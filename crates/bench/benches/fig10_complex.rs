@@ -1,0 +1,53 @@
+//! Fig 10: Delivery / Management / MLM on tree hierarchies vs the SQL-loop
+//! baselines.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rasql_bench::run_sql_with;
+use rasql_core::{library, EngineConfig};
+use rasql_datagen::{tree_hierarchy, TreeConfig};
+
+fn bench(c: &mut Criterion) {
+    let tree = tree_hierarchy(
+        TreeConfig {
+            target_nodes: 10_000,
+            ..Default::default()
+        },
+        5,
+    );
+    let mut g = c.benchmark_group("fig10_complex");
+    g.sample_size(10);
+    g.warm_up_time(std::time::Duration::from_millis(500));
+    g.measurement_time(std::time::Duration::from_secs(2));
+    let workloads: Vec<(&str, Vec<(&str, &rasql_storage::Relation)>, String)> = vec![
+        (
+            "Delivery",
+            vec![("assbl", &tree.assbl), ("basic", &tree.basic)],
+            library::bom_delivery(),
+        ),
+        (
+            "Management",
+            vec![("report", &tree.report)],
+            library::management(),
+        ),
+        (
+            "MLM",
+            vec![("sales", &tree.sales), ("sponsor", &tree.sponsor)],
+            library::mlm_bonus(),
+        ),
+    ];
+    for (name, tables, sql) in &workloads {
+        g.bench_function(format!("{name}_RaSQL"), |b| {
+            b.iter(|| run_sql_with(EngineConfig::rasql(), tables, sql))
+        });
+        g.bench_function(format!("{name}_SQL-SN"), |b| {
+            b.iter(|| run_sql_with(EngineConfig::spark_sql_sn(), tables, sql))
+        });
+        g.bench_function(format!("{name}_SQL-Naive"), |b| {
+            b.iter(|| run_sql_with(EngineConfig::spark_sql_naive(), tables, sql))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

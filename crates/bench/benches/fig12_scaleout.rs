@@ -1,0 +1,33 @@
+//! Fig 12 / Appendix F: scaling over worker count (TC).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rasql_bench::run_sql_with;
+use rasql_core::{library, EngineConfig};
+use rasql_datagen::erdos_renyi;
+
+fn bench(c: &mut Criterion) {
+    let edges = erdos_renyi(1200, 1e-3, 2);
+    let max = rasql_bench::default_workers();
+    let mut g = c.benchmark_group("fig12_scaleout");
+    g.sample_size(10);
+    g.warm_up_time(std::time::Duration::from_millis(500));
+    g.measurement_time(std::time::Duration::from_secs(2));
+    for &w in &[1usize, 2, 4, 8] {
+        if w > max.max(2) {
+            continue;
+        }
+        g.bench_with_input(BenchmarkId::new("TC", w), &w, |b, &w| {
+            b.iter(|| {
+                run_sql_with(
+                    EngineConfig::rasql().with_workers(w),
+                    &[("edge", &edges)],
+                    &library::transitive_closure(),
+                )
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

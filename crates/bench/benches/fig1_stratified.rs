@@ -1,0 +1,38 @@
+//! Fig 1: stratified query vs RaSQL endo-aggregate query (CC).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rasql_bench::rmat_graph;
+use rasql_core::{library, EngineConfig, RaSqlContext};
+
+fn bench(c: &mut Criterion) {
+    let edges = rmat_graph(400, true, 42);
+    let mut g = c.benchmark_group("fig1_stratified_vs_rasql");
+    g.sample_size(10);
+    g.warm_up_time(std::time::Duration::from_millis(500));
+    g.measurement_time(std::time::Duration::from_secs(2));
+    g.bench_function("rasql_cc", |b| {
+        b.iter(|| {
+            let ctx = RaSqlContext::with_config(EngineConfig::rasql());
+            ctx.register("edge", edges.clone()).unwrap();
+            ctx.sql(&library::cc()).unwrap()
+        })
+    });
+    g.bench_function("stratified_cc", |b| {
+        b.iter(|| {
+            let ctx = RaSqlContext::with_config(EngineConfig::rasql());
+            ctx.register("edge", edges.clone()).unwrap();
+            ctx.sql(&library::cc_stratified()).unwrap()
+        })
+    });
+    g.bench_function("rasql_sssp", |b| {
+        b.iter(|| {
+            let ctx = RaSqlContext::with_config(EngineConfig::rasql());
+            ctx.register("edge", edges.clone()).unwrap();
+            ctx.sql(&library::sssp(1)).unwrap()
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

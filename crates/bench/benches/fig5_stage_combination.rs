@@ -1,0 +1,41 @@
+//! Fig 5: effect of stage combination on the DSN loop.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rasql_bench::{rmat_graph, run_rasql, GraphQuery};
+use rasql_core::EngineConfig;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig5_stage_combination");
+    g.sample_size(10);
+    g.warm_up_time(std::time::Duration::from_millis(500));
+    g.measurement_time(std::time::Duration::from_secs(2));
+    for q in [GraphQuery::Cc, GraphQuery::Reach, GraphQuery::Sssp] {
+        let edges = rmat_graph(4000, q.weighted(), 7);
+        g.bench_function(format!("{}_with_combination", q.name()), |b| {
+            b.iter(|| {
+                run_rasql(
+                    EngineConfig::rasql().with_decomposed(false),
+                    q,
+                    &edges,
+                    1,
+                )
+            })
+        });
+        g.bench_function(format!("{}_without_combination", q.name()), |b| {
+            b.iter(|| {
+                run_rasql(
+                    EngineConfig::rasql()
+                        .with_decomposed(false)
+                        .with_stage_combination(false),
+                    q,
+                    &edges,
+                    1,
+                )
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,47 @@
+//! Fig 6: decomposed plan evaluation and broadcast compression on TC.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rasql_bench::run_sql_with;
+use rasql_core::{library, EngineConfig};
+use rasql_datagen::grid;
+
+fn bench(c: &mut Criterion) {
+    let edges = grid(25, false, 1);
+    let mut g = c.benchmark_group("fig6_decomposed_tc");
+    g.sample_size(10);
+    g.warm_up_time(std::time::Duration::from_millis(500));
+    g.measurement_time(std::time::Duration::from_secs(2));
+    g.bench_function("decompose_and_compress", |b| {
+        b.iter(|| {
+            run_sql_with(
+                EngineConfig::rasql(),
+                &[("edge", &edges)],
+                &library::transitive_closure(),
+            )
+        })
+    });
+    g.bench_function("decompose_only", |b| {
+        b.iter(|| {
+            run_sql_with(
+                EngineConfig::rasql().with_broadcast_compression(false),
+                &[("edge", &edges)],
+                &library::transitive_closure(),
+            )
+        })
+    });
+    g.bench_function("no_optimizations", |b| {
+        b.iter(|| {
+            run_sql_with(
+                EngineConfig::rasql()
+                    .with_decomposed(false)
+                    .with_broadcast_compression(false),
+                &[("edge", &edges)],
+                &library::transitive_closure(),
+            )
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

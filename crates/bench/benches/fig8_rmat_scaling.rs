@@ -1,0 +1,35 @@
+//! Fig 8: system comparison (RaSQL, BigDatalog, GraphX, Giraph, Myria) on
+//! RMAT graphs of increasing size.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rasql_bench::{rmat_graph, run_graph_query, GraphQuery, System};
+
+fn bench(c: &mut Criterion) {
+    let workers = rasql_bench::default_workers();
+    let mut g = c.benchmark_group("fig8_rmat_scaling");
+    g.sample_size(10);
+    g.warm_up_time(std::time::Duration::from_millis(500));
+    g.measurement_time(std::time::Duration::from_secs(2));
+    for &n in &[1000usize, 4000] {
+        for q in [GraphQuery::Reach, GraphQuery::Cc, GraphQuery::Sssp] {
+            let edges = rmat_graph(n, q.weighted(), 11);
+            for sys in [
+                System::RaSql,
+                System::BigDatalog,
+                System::GraphX,
+                System::Giraph,
+                System::Myria,
+            ] {
+                g.bench_with_input(
+                    BenchmarkId::new(format!("{}_{}", q.name(), sys.name()), n),
+                    &n,
+                    |b, _| b.iter(|| run_graph_query(sys, q, &edges, 1, workers)),
+                );
+            }
+        }
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

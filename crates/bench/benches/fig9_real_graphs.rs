@@ -1,0 +1,23 @@
+//! Fig 9 / Table 3: real-graph stand-ins, all systems incl. GAP-serial.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rasql_bench::{run_graph_query, GraphQuery, System};
+use rasql_datagen::{real_graph_standin, RealGraph};
+
+fn bench(c: &mut Criterion) {
+    let workers = rasql_bench::default_workers();
+    let mut g = c.benchmark_group("fig9_real_graphs");
+    g.sample_size(10);
+    g.warm_up_time(std::time::Duration::from_millis(500));
+    g.measurement_time(std::time::Duration::from_secs(2));
+    let edges = real_graph_standin(RealGraph::LiveJournal, 0.05, false, 23);
+    for sys in System::all() {
+        g.bench_function(format!("CC_livejournal-s_{}", sys.name()), |b| {
+            b.iter(|| run_graph_query(sys, GraphQuery::Cc, &edges, 1, workers))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,94 @@
+//! `reproduce` — regenerate every table and figure of the paper's evaluation.
+//!
+//! ```text
+//! reproduce [all|fig1|fig2|fig5|fig6|fig7|fig8|fig9|fig10|fig11|fig12|
+//!            table1|table2|table3|premcheck] [--scale X]
+//! ```
+//!
+//! `--scale` multiplies dataset sizes (default 0.25 for a quick run; use 1.0
+//! for the full laptop-scale reproduction recorded in EXPERIMENTS.md).
+
+use rasql_bench as bench;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut scale = 0.25f64;
+    let mut targets: Vec<String> = Vec::new();
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--scale" => {
+                i += 1;
+                scale = args
+                    .get(i)
+                    .and_then(|s| s.parse().ok())
+                    .unwrap_or_else(|| die("--scale needs a number"));
+            }
+            "--help" | "-h" => {
+                println!(
+                    "reproduce [all|fig1|fig2|fig5|fig6|fig7|fig8|fig9|fig10|fig11|fig12|\n\
+                     table1|table2|table3|premcheck]... [--scale X]"
+                );
+                return;
+            }
+            t => targets.push(t.to_string()),
+        }
+        i += 1;
+    }
+    if targets.is_empty() {
+        targets.push("all".into());
+    }
+
+    let all = targets.iter().any(|t| t == "all");
+    let want = |name: &str| all || targets.iter().any(|t| t == name);
+
+    println!(
+        "RaSQL reproduction harness — scale {scale} — {} workers",
+        bench::default_workers()
+    );
+
+    if want("fig1") {
+        println!("{}", bench::fig1(scale).render());
+    }
+    if want("fig2") {
+        println!("{}", bench::fig2());
+    }
+    if want("fig5") {
+        println!("{}", bench::fig5(scale).render());
+    }
+    if want("fig6") {
+        println!("{}", bench::fig6(scale).render());
+    }
+    if want("fig7") {
+        println!("{}", bench::fig7(scale).render());
+    }
+    if want("fig8") {
+        println!("{}", bench::fig8(scale).render());
+    }
+    if want("fig9") || want("table3") {
+        println!("{}", bench::fig9(scale).render());
+    }
+    if want("fig10") {
+        println!("{}", bench::fig10(scale).render());
+    }
+    if want("fig11") {
+        println!("{}", bench::fig11(scale).render());
+    }
+    if want("fig12") {
+        println!("{}", bench::fig12(scale).render());
+    }
+    if want("table1") {
+        println!("{}", bench::table1(scale).render());
+    }
+    if want("table2") {
+        println!("{}", bench::table2(scale).render());
+    }
+    if want("premcheck") {
+        println!("{}", bench::premcheck());
+    }
+}
+
+fn die(msg: &str) -> ! {
+    eprintln!("{msg}");
+    std::process::exit(2)
+}

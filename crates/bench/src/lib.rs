@@ -1,0 +1,821 @@
+//! Shared benchmark harness for the paper's evaluation (§8, Appendices D-F).
+//!
+//! Every figure/table has a `fig*`/`table*` function that produces the same
+//! rows/series the paper reports, at laptop scale. The `reproduce` binary
+//! prints them; the Criterion benches wrap the same runners at reduced sizes.
+
+use rasql_core::{library, EngineConfig, JoinStrategy, RaSqlContext};
+use rasql_datagen::{
+    erdos_renyi, grid, real_graph_standin, rmat, tree_hierarchy, RealGraph, RmatConfig,
+    TreeConfig,
+};
+use rasql_exec::{Cluster, ClusterConfig};
+use rasql_gap::Csr;
+use rasql_myria::{Algorithm as MyriaAlgo, MyriaEngine};
+use rasql_storage::Relation;
+use rasql_vertex::{BspEngine, Cc, DatasetPregelEngine, Reach, Sssp, VertexGraph};
+use std::time::{Duration, Instant};
+
+/// The graph programs of §8.1.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum GraphQuery {
+    /// Breadth-first reachability.
+    Reach,
+    /// Connected components (min-label propagation).
+    Cc,
+    /// Single-source shortest paths.
+    Sssp,
+}
+
+impl GraphQuery {
+    /// Display name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            GraphQuery::Reach => "REACH",
+            GraphQuery::Cc => "CC",
+            GraphQuery::Sssp => "SSSP",
+        }
+    }
+
+    /// Whether the workload needs edge weights.
+    pub fn weighted(&self) -> bool {
+        matches!(self, GraphQuery::Sssp)
+    }
+
+    fn rasql_sql(&self, source: i64) -> String {
+        match self {
+            GraphQuery::Reach => library::reach(source),
+            GraphQuery::Cc => library::cc(),
+            GraphQuery::Sssp => library::sssp(source),
+        }
+    }
+}
+
+/// The systems compared in Fig 8/9.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum System {
+    /// This paper's engine, fully optimized.
+    RaSql,
+    /// The BigDatalog stand-in (no stage combination / codegen — DESIGN.md).
+    BigDatalog,
+    /// GraphX analog (dataset-backed Pregel, 4 stages per superstep).
+    GraphX,
+    /// Giraph analog (tuned BSP).
+    Giraph,
+    /// Myria analog (asynchronous semi-naive).
+    Myria,
+    /// GAP-style serial baseline.
+    GapSerial,
+}
+
+impl System {
+    /// Display name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            System::RaSql => "RaSQL",
+            System::BigDatalog => "BigDatalog",
+            System::GraphX => "GraphX",
+            System::Giraph => "Giraph",
+            System::Myria => "Myria",
+            System::GapSerial => "GAP-serial",
+        }
+    }
+
+    /// All distributed systems plus the serial baseline.
+    pub fn all() -> [System; 6] {
+        [
+            System::RaSql,
+            System::BigDatalog,
+            System::GraphX,
+            System::Giraph,
+            System::Myria,
+            System::GapSerial,
+        ]
+    }
+}
+
+/// Default worker count for the harness.
+pub fn default_workers() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(4)
+        .clamp(2, 8)
+}
+
+/// Time a closure.
+pub fn time<R>(f: impl FnOnce() -> R) -> (Duration, R) {
+    let t = Instant::now();
+    let r = f();
+    (t.elapsed(), r)
+}
+
+/// Run a graph query on a system; returns (elapsed, result cardinality).
+pub fn run_graph_query(
+    system: System,
+    query: GraphQuery,
+    edges: &Relation,
+    source: i64,
+    workers: usize,
+) -> (Duration, usize) {
+    match system {
+        System::RaSql => run_rasql(EngineConfig::rasql().with_workers(workers), query, edges, source),
+        System::BigDatalog => run_rasql(
+            EngineConfig::bigdatalog_like().with_workers(workers),
+            query,
+            edges,
+            source,
+        ),
+        System::GraphX => {
+            let g = VertexGraph::from_relation(edges);
+            let cluster = Cluster::new(ClusterConfig::with_workers(workers));
+            let engine = DatasetPregelEngine::new(&cluster);
+            let (d, vals) = match query {
+                GraphQuery::Reach => time(|| engine.run(&g, Reach { source: source as u32 }).0),
+                GraphQuery::Cc => time(|| engine.run(&g, Cc).0),
+                GraphQuery::Sssp => time(|| engine.run(&g, Sssp { source: source as u32 }).0),
+            };
+            (d, vals.iter().filter(|v| v.is_finite()).count())
+        }
+        System::Giraph => {
+            let g = VertexGraph::from_relation(edges);
+            let cluster = Cluster::new(ClusterConfig::with_workers(workers));
+            let engine = BspEngine::new(&cluster);
+            let (d, vals) = match query {
+                GraphQuery::Reach => time(|| engine.run(&g, Reach { source: source as u32 }).0),
+                GraphQuery::Cc => time(|| engine.run(&g, Cc).0),
+                GraphQuery::Sssp => time(|| engine.run(&g, Sssp { source: source as u32 }).0),
+            };
+            (d, vals.iter().filter(|v| v.is_finite()).count())
+        }
+        System::Myria => {
+            let engine = MyriaEngine::new(workers);
+            let algo = match query {
+                GraphQuery::Reach => MyriaAlgo::Reach {
+                    source: source as u32,
+                },
+                GraphQuery::Cc => MyriaAlgo::Cc,
+                GraphQuery::Sssp => MyriaAlgo::Sssp {
+                    source: source as u32,
+                },
+            };
+            let (d, (vals, _)) = time(|| engine.run(edges, algo));
+            (d, vals.iter().filter(|v| v.is_finite()).count())
+        }
+        System::GapSerial => {
+            let csr = Csr::from_relation(edges);
+            match query {
+                GraphQuery::Reach => {
+                    let (d, r) = time(|| rasql_gap::bfs_reach(&csr, source as usize));
+                    (d, r.len())
+                }
+                GraphQuery::Cc => {
+                    let (d, r) = time(|| rasql_gap::cc_label_propagation(edges));
+                    (d, r.len())
+                }
+                GraphQuery::Sssp => {
+                    let (d, r) = time(|| rasql_gap::sssp_dijkstra(&csr, source as usize));
+                    (d, r.len())
+                }
+            }
+        }
+    }
+}
+
+/// Run a RaSQL config on a graph query.
+pub fn run_rasql(
+    config: EngineConfig,
+    query: GraphQuery,
+    edges: &Relation,
+    source: i64,
+) -> (Duration, usize) {
+    let ctx = RaSqlContext::with_config(config);
+    ctx.register("edge", edges.clone()).unwrap();
+    let (d, rel) = time(|| ctx.sql(&query.rasql_sql(source)).unwrap());
+    (d, rel.len())
+}
+
+/// Run an arbitrary SQL statement under a config with pre-registered tables.
+pub fn run_sql_with(
+    config: EngineConfig,
+    tables: &[(&str, &Relation)],
+    sql: &str,
+) -> (Duration, usize, rasql_core::QueryStats) {
+    let ctx = RaSqlContext::with_config(config);
+    for (name, rel) in tables {
+        ctx.register(name, (*rel).clone()).unwrap();
+    }
+    let (d, rel) = time(|| ctx.sql(sql).unwrap());
+    (d, rel.len(), ctx.last_stats())
+}
+
+/// RMAT graph per the paper's §8 parameters.
+pub fn rmat_graph(n: usize, weighted: bool, seed: u64) -> Relation {
+    rmat(
+        n,
+        RmatConfig {
+            weighted,
+            ..Default::default()
+        },
+        seed,
+    )
+}
+
+/// A formatted output row.
+pub struct Table {
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+    title: String,
+}
+
+impl Table {
+    /// New table with a title and column headers.
+    pub fn new(title: &str, header: &[&str]) -> Self {
+        Table {
+            header: header.iter().map(|s| s.to_string()).collect(),
+            rows: vec![],
+            title: title.to_string(),
+        }
+    }
+
+    /// Append a row.
+    pub fn row(&mut self, cells: Vec<String>) {
+        self.rows.push(cells);
+    }
+
+    /// Render aligned.
+    pub fn render(&self) -> String {
+        let mut widths: Vec<usize> = self.header.iter().map(String::len).collect();
+        for row in &self.rows {
+            for (i, c) in row.iter().enumerate() {
+                if i < widths.len() {
+                    widths[i] = widths[i].max(c.len());
+                } else {
+                    widths.push(c.len());
+                }
+            }
+        }
+        let mut out = format!("\n=== {} ===\n", self.title);
+        let fmt_row = |cells: &[String]| -> String {
+            cells
+                .iter()
+                .enumerate()
+                .map(|(i, c)| format!("{:>w$}", c, w = widths.get(i).copied().unwrap_or(8)))
+                .collect::<Vec<_>>()
+                .join("  ")
+        };
+        out.push_str(&fmt_row(&self.header));
+        out.push('\n');
+        out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * widths.len()));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&fmt_row(row));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// Format a duration in milliseconds.
+pub fn ms(d: Duration) -> String {
+    format!("{:.1}", d.as_secs_f64() * 1000.0)
+}
+
+// ====================================================================
+// Figure/table reproductions
+// ====================================================================
+
+/// Fig 1: stratified query vs RaSQL on CC and SSSP. The stratified SSSP on a
+/// cyclic graph is capped (the paper's `360*` footnote).
+pub fn fig1(scale: f64) -> Table {
+    let n = ((8_000.0 * scale) as usize).max(200);
+    let edges = rmat_graph(n, true, 42);
+    let workers = default_workers();
+    let mut t = Table::new(
+        "Fig 1 — Stratified vs RaSQL (times in ms)",
+        &["query", "time_ms", "iterations", "note"],
+    );
+    for (name, sql, cap) in [
+        ("RaSQL-CC", library::cc(), 100_000u32),
+        ("RaSQL-SSSP", library::sssp(1), 100_000),
+        ("Stratified-CC", library::cc_stratified(), 100_000),
+        // The stratified SSSP enumerates every path cost and diverges on
+        // cycles; only a few "meaningful iterations" are run, like the
+        // paper's `360*` footnote.
+        ("Stratified-SSSP", library::sssp_stratified(1), 8),
+    ] {
+        let ctx = RaSqlContext::with_config(
+            EngineConfig::rasql()
+                .with_workers(workers)
+                .with_max_iterations(cap),
+        );
+        ctx.register("edge", edges.clone()).unwrap();
+        let t0 = Instant::now();
+        match ctx.sql(&sql) {
+            Ok(_) => {
+                let stats = ctx.last_stats();
+                t.row(vec![
+                    name.into(),
+                    ms(t0.elapsed()),
+                    format!("{:?}", stats.iterations),
+                    String::new(),
+                ]);
+            }
+            Err(_) => {
+                t.row(vec![
+                    name.into(),
+                    ms(t0.elapsed()),
+                    format!("{cap}*"),
+                    "* capped: does not terminate (cycles)".into(),
+                ]);
+            }
+        }
+    }
+    t
+}
+
+/// Fig 2: the compiled clique + physical plan for the BOM Q2 query.
+pub fn fig2() -> String {
+    let ctx = RaSqlContext::in_memory();
+    ctx.register(
+        "assbl",
+        Relation::try_new(
+            rasql_storage::Schema::new(vec![
+                ("Part", rasql_storage::DataType::Int),
+                ("SPart", rasql_storage::DataType::Int),
+            ]),
+            vec![],
+        )
+        .unwrap(),
+    )
+    .unwrap();
+    ctx.register(
+        "basic",
+        Relation::try_new(
+            rasql_storage::Schema::new(vec![
+                ("Part", rasql_storage::DataType::Int),
+                ("Days", rasql_storage::DataType::Int),
+            ]),
+            vec![],
+        )
+        .unwrap(),
+    )
+    .unwrap();
+    format!(
+        "\n=== Fig 2 — RaSQL query plan for BOM Q2 ===\n{}",
+        ctx.explain(&library::bom_delivery()).unwrap()
+    )
+}
+
+/// Fig 5: effect of stage combination on CC/REACH/SSSP over RMAT sizes.
+pub fn fig5(scale: f64) -> Table {
+    let workers = default_workers();
+    let sizes: Vec<usize> = [16_000, 32_000, 64_000, 128_000]
+        .iter()
+        .map(|&n| ((n as f64) * scale) as usize)
+        .collect();
+    let mut t = Table::new(
+        "Fig 5 — Effect of Stage Combination (times in ms)",
+        &["graph", "query", "with_comb", "without_comb", "speedup"],
+    );
+    for &n in &sizes {
+        for q in [GraphQuery::Cc, GraphQuery::Reach, GraphQuery::Sssp] {
+            let edges = rmat_graph(n, q.weighted(), 7);
+            let (on, _) = run_rasql(
+                EngineConfig::rasql()
+                    .with_workers(workers)
+                    .with_decomposed(false),
+                q,
+                &edges,
+                1,
+            );
+            let (off, _) = run_rasql(
+                EngineConfig::rasql()
+                    .with_workers(workers)
+                    .with_decomposed(false)
+                    .with_stage_combination(false),
+                q,
+                &edges,
+                1,
+            );
+            t.row(vec![
+                format!("RMAT-{}k", n / 1000),
+                q.name().into(),
+                ms(on),
+                ms(off),
+                format!("{:.2}x", off.as_secs_f64() / on.as_secs_f64()),
+            ]);
+        }
+    }
+    t
+}
+
+/// Fig 6: decomposed plan evaluation + broadcast compression on TC.
+pub fn fig6(scale: f64) -> Table {
+    let workers = default_workers();
+    let mut t = Table::new(
+        "Fig 6 — Decomposition and Broadcast Compression, TC (times in ms)",
+        &["graph", "decomp+compress", "decomp_only", "no_opts", "bytes_compress", "bytes_raw"],
+    );
+    let gscale = |v: usize| ((v as f64) * scale.sqrt()).max(8.0) as usize;
+    let datasets: Vec<(String, Relation)> = vec![
+        (format!("Grid{}", gscale(60)), grid(gscale(60), false, 1)),
+        (format!("Grid{}", gscale(100)), grid(gscale(100), false, 1)),
+        (
+            format!("G{}-3", gscale(1500)),
+            erdos_renyi(gscale(1500), 1e-3, 2),
+        ),
+        (
+            format!("G{}-2", gscale(600)),
+            erdos_renyi(gscale(600), 1e-2, 3),
+        ),
+    ];
+    for (name, edges) in datasets {
+        let run = |decomposed: bool, compress: bool| {
+            run_sql_with(
+                EngineConfig::rasql()
+                    .with_workers(workers)
+                    .with_decomposed(decomposed)
+                    .with_broadcast_compression(compress),
+                &[("edge", &edges)],
+                &library::transitive_closure(),
+            )
+        };
+        let (t_dc, _, s_dc) = run(true, true);
+        let (t_d, _, s_d) = run(true, false);
+        let (t_n, _, _) = run(false, false);
+        t.row(vec![
+            name,
+            ms(t_dc),
+            ms(t_d),
+            ms(t_n),
+            format!("{}", s_dc.metrics.broadcast_bytes),
+            format!("{}", s_d.metrics.broadcast_bytes),
+        ]);
+    }
+    t
+}
+
+/// Fig 7: effect of (fused) code generation on CC/REACH/SSSP.
+pub fn fig7(scale: f64) -> Table {
+    let workers = default_workers();
+    let sizes: Vec<usize> = [16_000, 32_000, 64_000, 128_000]
+        .iter()
+        .map(|&n| ((n as f64) * scale) as usize)
+        .collect();
+    let mut t = Table::new(
+        "Fig 7 — Effect of Code Generation (fused pipelines, times in ms)",
+        &["graph", "query", "with_codegen", "without_codegen", "speedup"],
+    );
+    for &n in &sizes {
+        for q in [GraphQuery::Cc, GraphQuery::Reach, GraphQuery::Sssp] {
+            let edges = rmat_graph(n, q.weighted(), 7);
+            let (on, _) = run_rasql(
+                EngineConfig::rasql().with_workers(workers).with_decomposed(false),
+                q,
+                &edges,
+                1,
+            );
+            let (off, _) = run_rasql(
+                EngineConfig::rasql()
+                    .with_workers(workers)
+                    .with_decomposed(false)
+                    .with_fused_codegen(false),
+                q,
+                &edges,
+                1,
+            );
+            t.row(vec![
+                format!("RMAT-{}k", n / 1000),
+                q.name().into(),
+                ms(on),
+                ms(off),
+                format!("{:.2}x", off.as_secs_f64() / on.as_secs_f64()),
+            ]);
+        }
+    }
+    t
+}
+
+/// Fig 8: system comparison over RMAT sizes (1k..128k at scale 1).
+pub fn fig8(scale: f64) -> Table {
+    let workers = default_workers();
+    let sizes: Vec<usize> = [1, 2, 4, 8, 16, 32, 64, 128]
+        .iter()
+        .map(|&k| ((k * 1000) as f64 * scale) as usize)
+        .collect();
+    let mut t = Table::new(
+        "Fig 8 — System comparison on RMAT graphs (times in ms)",
+        &["query", "vertices", "RaSQL", "BigDatalog", "GraphX", "Giraph", "Myria"],
+    );
+    for q in [GraphQuery::Reach, GraphQuery::Cc, GraphQuery::Sssp] {
+        for &n in &sizes {
+            let edges = rmat_graph(n, q.weighted(), 11);
+            let mut cells = vec![q.name().to_string(), format!("{n}")];
+            for sys in [
+                System::RaSql,
+                System::BigDatalog,
+                System::GraphX,
+                System::Giraph,
+                System::Myria,
+            ] {
+                let (d, _) = run_graph_query(sys, q, &edges, 1, workers);
+                cells.push(ms(d));
+            }
+            t.row(cells);
+        }
+    }
+    t
+}
+
+/// Fig 9 + Table 3: real-graph stand-ins across all systems incl. GAP-serial.
+pub fn fig9(scale: f64) -> Table {
+    let workers = default_workers();
+    let mut t = Table::new(
+        "Fig 9 / Table 3 — Real-graph stand-ins (times in ms; see DESIGN.md substitutions)",
+        &["graph", "query", "RaSQL", "BigDatalog", "GraphX", "Giraph", "Myria", "GAP-serial"],
+    );
+    for which in [
+        RealGraph::LiveJournal,
+        RealGraph::Orkut,
+        RealGraph::Arabic,
+        RealGraph::Twitter,
+    ] {
+        for q in [GraphQuery::Reach, GraphQuery::Cc, GraphQuery::Sssp] {
+            let edges = real_graph_standin(which, scale, q.weighted(), 23);
+            let mut cells = vec![which.name().to_string(), q.name().to_string()];
+            for sys in System::all() {
+                let (d, _) = run_graph_query(sys, q, &edges, 1, workers);
+                cells.push(ms(d));
+            }
+            t.row(cells);
+        }
+    }
+    t
+}
+
+/// Fig 10: Delivery / Management / MLM vs GraphX-style and SQL-loop baselines.
+pub fn fig10(scale: f64) -> Table {
+    let workers = default_workers();
+    let sizes: Vec<usize> = [40_000, 80_000, 160_000, 300_000]
+        .iter()
+        .map(|&n| ((n as f64) * scale) as usize)
+        .collect();
+    let mut t = Table::new(
+        "Fig 10 — Complex analytics on tree hierarchies (times in ms)",
+        &["query", "nodes", "RaSQL", "SQL-SN", "SQL-Naive"],
+    );
+    for &n in &sizes {
+        let tree = tree_hierarchy(
+            TreeConfig {
+                target_nodes: n,
+                ..Default::default()
+            },
+            5,
+        );
+        let workloads: Vec<(&str, Vec<(&str, &Relation)>, String)> = vec![
+            (
+                "Delivery",
+                vec![("assbl", &tree.assbl), ("basic", &tree.basic)],
+                library::bom_delivery(),
+            ),
+            (
+                "Management",
+                vec![("report", &tree.report)],
+                library::management(),
+            ),
+            (
+                "MLM",
+                vec![("sales", &tree.sales), ("sponsor", &tree.sponsor)],
+                library::mlm_bonus(),
+            ),
+        ];
+        for (name, tables, sql) in workloads {
+            let (t_rasql, _, _) = run_sql_with(
+                EngineConfig::rasql().with_workers(workers),
+                &tables,
+                &sql,
+            );
+            let (t_sn, _, _) = run_sql_with(
+                EngineConfig::spark_sql_sn().with_workers(workers),
+                &tables,
+                &sql,
+            );
+            let (t_naive, _, _) = run_sql_with(
+                EngineConfig::spark_sql_naive().with_workers(workers),
+                &tables,
+                &sql,
+            );
+            t.row(vec![
+                name.into(),
+                format!("{n}"),
+                ms(t_rasql),
+                ms(t_sn),
+                ms(t_naive),
+            ]);
+        }
+    }
+    t
+}
+
+/// Fig 11 / Appendix D: shuffle-hash vs sort-merge join.
+pub fn fig11(scale: f64) -> Table {
+    let workers = default_workers();
+    let sizes: Vec<usize> = [16_000, 32_000, 64_000, 128_000]
+        .iter()
+        .map(|&n| ((n as f64) * scale) as usize)
+        .collect();
+    let mut t = Table::new(
+        "Fig 11 — Shuffle-Hash vs Sort-Merge join (times in ms)",
+        &["graph", "query", "shuffle_hash", "sort_merge"],
+    );
+    for &n in &sizes {
+        for q in [GraphQuery::Cc, GraphQuery::Reach, GraphQuery::Sssp] {
+            let edges = rmat_graph(n, q.weighted(), 7);
+            let (h, _) = run_rasql(
+                EngineConfig::rasql().with_workers(workers).with_decomposed(false),
+                q,
+                &edges,
+                1,
+            );
+            let (m, _) = run_rasql(
+                EngineConfig::rasql()
+                    .with_workers(workers)
+                    .with_decomposed(false)
+                    .with_join(JoinStrategy::SortMerge),
+                q,
+                &edges,
+                1,
+            );
+            t.row(vec![
+                format!("RMAT-{}k", n / 1000),
+                q.name().into(),
+                ms(h),
+                ms(m),
+            ]);
+        }
+    }
+    t
+}
+
+/// Fig 12 / Appendix F: scaling over cluster size (TC and SG).
+pub fn fig12(scale: f64) -> Table {
+    let max_workers = default_workers();
+    let worker_counts: Vec<usize> = [1usize, 2, 4, 8]
+        .iter()
+        .copied()
+        .filter(|&w| w <= max_workers.max(2))
+        .collect();
+    let mut t = Table::new(
+        "Fig 12 — Scaling out over cluster size (times in ms)",
+        &["workload", "workers", "time_ms"],
+    );
+    let g = erdos_renyi(((4000.0 * scale) as usize).max(100), 1e-3, 2);
+    let tree = tree_hierarchy(
+        TreeConfig {
+            target_nodes: ((3_000.0 * scale) as usize).max(100),
+            ..Default::default()
+        },
+        11,
+    );
+    // rel(Parent, Child) for SG.
+    let rel = Relation::try_new(
+        rasql_storage::Schema::new(vec![
+            ("Parent", rasql_storage::DataType::Int),
+            ("Child", rasql_storage::DataType::Int),
+        ]),
+        tree.assbl.rows().to_vec(),
+    )
+    .unwrap();
+    for &w in &worker_counts {
+        let (d, _, _) = run_sql_with(
+            EngineConfig::rasql().with_workers(w),
+            &[("edge", &g)],
+            &library::transitive_closure(),
+        );
+        t.row(vec!["TC-G4K".into(), format!("{w}"), ms(d)]);
+    }
+    for &w in &worker_counts {
+        let (d, _, _) = run_sql_with(
+            EngineConfig::rasql().with_workers(w),
+            &[("rel", &rel)],
+            &library::same_generation(),
+        );
+        t.row(vec!["SG-Tree".into(), format!("{w}"), ms(d)]);
+    }
+    t
+}
+
+/// Table 1: parameters of the real-graph stand-ins.
+pub fn table1(scale: f64) -> Table {
+    let mut t = Table::new(
+        "Table 1 — Real-world graph stand-ins (scaled; see DESIGN.md)",
+        &["name", "vertices", "edges", "paper_vertices", "paper_edges"],
+    );
+    let paper = [
+        (RealGraph::LiveJournal, "4,847,572", "68,993,773"),
+        (RealGraph::Orkut, "3,072,441", "117,185,083"),
+        (RealGraph::Arabic, "22,744,080", "639,999,458"),
+        (RealGraph::Twitter, "41,652,231", "1,468,365,182"),
+    ];
+    for (which, pv, pe) in paper {
+        let g = real_graph_standin(which, scale, false, 23);
+        let mut vertices = 0usize;
+        for r in g.rows() {
+            vertices = vertices
+                .max(r[0].as_int().unwrap() as usize + 1)
+                .max(r[1].as_int().unwrap() as usize + 1);
+        }
+        t.row(vec![
+            which.name().into(),
+            format!("{vertices}"),
+            format!("{}", g.len()),
+            pv.into(),
+            pe.into(),
+        ]);
+    }
+    t
+}
+
+/// Table 2: synthetic graph parameters with TC/SG output cardinalities,
+/// cross-checked between the SQL engine and the serial oracle.
+pub fn table2(scale: f64) -> Table {
+    let workers = default_workers();
+    let mut t = Table::new(
+        "Table 2 — Synthetic graphs with TC/SG output sizes (engine = oracle ✓)",
+        &["name", "vertices", "edges", "TC", "SG"],
+    );
+    let s = scale.sqrt();
+    let gs = |v: usize| ((v as f64) * s).max(4.0) as usize;
+    // Tree for SG + TC.
+    let tree = tree_hierarchy(
+        TreeConfig {
+            target_nodes: gs(2000),
+            ..Default::default()
+        },
+        11,
+    );
+    let tree_edges = Relation::edges(
+        &tree
+            .assbl
+            .rows()
+            .iter()
+            .map(|r| (r[0].as_int().unwrap(), r[1].as_int().unwrap()))
+            .collect::<Vec<_>>(),
+    );
+    let datasets: Vec<(String, Relation)> = vec![
+        (format!("Tree{}", tree.height), tree_edges),
+        (format!("Grid{}", gs(30)), grid(gs(30), false, 1)),
+        (
+            format!("G{}-3", gs(1500)),
+            erdos_renyi(gs(1500), 1e-3 / s.max(0.05), 2),
+        ),
+    ];
+    for (name, edges) in datasets {
+        let mut vertices = 0usize;
+        for r in edges.rows() {
+            vertices = vertices
+                .max(r[0].as_int().unwrap() as usize + 1)
+                .max(r[1].as_int().unwrap() as usize + 1);
+        }
+        let tc_oracle = rasql_gap::transitive_closure_count(&edges);
+        let sg_oracle = rasql_gap::same_generation_count(&edges);
+        // Cross-check TC with the engine.
+        let (_, tc_engine, _) = run_sql_with(
+            EngineConfig::rasql().with_workers(workers),
+            &[("edge", &edges)],
+            &library::transitive_closure(),
+        );
+        assert_eq!(tc_engine, tc_oracle, "engine/oracle TC mismatch on {name}");
+        t.row(vec![
+            name,
+            format!("{vertices}"),
+            format!("{}", edges.len()),
+            format!("{tc_oracle}"),
+            format!("{sg_oracle}"),
+        ]);
+    }
+    t
+}
+
+/// Appendix G: PreM auto-validation demo.
+pub fn premcheck() -> String {
+    let mut out = String::from("\n=== Appendix G — PreM auto-validation ===\n");
+    let ctx = RaSqlContext::in_memory();
+    ctx.register(
+        "edge",
+        rasql_datagen::rmat(200, RmatConfig { weighted: true, ..Default::default() }, 3),
+    )
+    .unwrap();
+    let checker = rasql_core::PremChecker::new(&ctx).with_bounds(rasql_core::prem::PremCheckBounds {
+        max_iterations: 30,
+        max_rows: 100_000,
+    });
+    for (name, sql) in [("SSSP", library::sssp(1)), ("APSP", library::apsp())] {
+        let outcome = checker.check(&sql).unwrap();
+        out.push_str(&format!("{name}: {outcome:?}\n"));
+    }
+    out.push_str("\nPreM-checking rewrite of APSP (Query G2):\n");
+    out.push_str(&rasql_core::prem::prem_checking_version(&library::apsp()).unwrap());
+    out.push('\n');
+    out
+}

@@ -1,0 +1,348 @@
+#![warn(missing_docs)]
+
+//! # rasql-cli
+//!
+//! The interactive RaSQL shell (`rasql-shell`): a line-oriented REPL over
+//! [`rasql_core::RaSqlContext`]. SQL statements end with `;`; backslash
+//! commands control the session:
+//!
+//! | command | effect |
+//! |---|---|
+//! | `\d` | list tables |
+//! | `\load <name> <path> <schema>` | load a text file (`schema` like `int,int,double`) |
+//! | `\gen <name> rmat\|grid\|tree <n>` | generate a synthetic table |
+//! | `\explain <sql>` | show the compiled (clique + final) plan |
+//! | `\prem <sql>` | run the PreM auto-validation (Appendix G) |
+//! | `\timing on\|off` | toggle per-query timing |
+//! | `\workers <n>` | restart the session with n workers |
+//! | `\q` | quit |
+//!
+//! The REPL machinery lives in this library crate so it is unit-testable; the
+//! binary is a thin stdin/stdout wrapper.
+
+use rasql_core::{EngineConfig, PremChecker, RaSqlContext};
+use rasql_datagen::{rmat, tree_hierarchy, RmatConfig, TreeConfig};
+use rasql_storage::{DataType, Relation, Schema};
+use std::path::Path;
+
+/// Outcome of feeding one line to the shell.
+#[derive(Debug, PartialEq, Eq)]
+pub enum LineResult {
+    /// Output to print.
+    Output(String),
+    /// Input incomplete (multi-line statement in progress).
+    Continue,
+    /// Exit requested.
+    Quit,
+}
+
+/// The shell session: a context plus REPL state.
+pub struct Shell {
+    ctx: RaSqlContext,
+    buffer: String,
+    timing: bool,
+}
+
+impl Default for Shell {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Shell {
+    /// A shell with the default engine configuration.
+    pub fn new() -> Self {
+        Shell::with_config(EngineConfig::rasql())
+    }
+
+    /// A shell with an explicit configuration.
+    pub fn with_config(config: EngineConfig) -> Self {
+        Shell {
+            ctx: RaSqlContext::with_config(config),
+            buffer: String::new(),
+            timing: false,
+        }
+    }
+
+    /// Access the underlying context (for scripted use).
+    pub fn context(&self) -> &RaSqlContext {
+        &self.ctx
+    }
+
+    /// Feed one input line.
+    pub fn feed(&mut self, line: &str) -> LineResult {
+        let trimmed = line.trim();
+        if self.buffer.is_empty() && trimmed.starts_with('\\') {
+            return self.command(trimmed);
+        }
+        self.buffer.push_str(line);
+        self.buffer.push('\n');
+        if !trimmed.ends_with(';') {
+            return LineResult::Continue;
+        }
+        let sql = std::mem::take(&mut self.buffer);
+        LineResult::Output(self.run_sql(&sql))
+    }
+
+    fn run_sql(&self, sql: &str) -> String {
+        let start = std::time::Instant::now();
+        match self.ctx.execute_script(sql) {
+            Ok(results) => {
+                let mut out = String::new();
+                for rel in &results {
+                    if rel.schema().arity() == 0 {
+                        out.push_str("ok\n");
+                    } else {
+                        out.push_str(&rel.pretty(40));
+                    }
+                }
+                if self.timing {
+                    let stats = self.ctx.last_stats();
+                    out.push_str(&format!(
+                        "time: {:?}  iterations: {:?}\n",
+                        start.elapsed(),
+                        stats.iterations
+                    ));
+                }
+                out
+            }
+            Err(e) => format!("error: {e}\n"),
+        }
+    }
+
+    fn command(&mut self, cmd: &str) -> LineResult {
+        let parts: Vec<&str> = cmd.split_whitespace().collect();
+        match parts[0] {
+            "\\q" | "\\quit" => LineResult::Quit,
+            "\\d" => {
+                let names = self.ctx.table_names();
+                if names.is_empty() {
+                    LineResult::Output("no tables\n".into())
+                } else {
+                    LineResult::Output(names.join("\n") + "\n")
+                }
+            }
+            "\\timing" => {
+                self.timing = parts.get(1) != Some(&"off");
+                LineResult::Output(format!(
+                    "timing {}\n",
+                    if self.timing { "on" } else { "off" }
+                ))
+            }
+            "\\workers" => match parts.get(1).and_then(|s| s.parse::<usize>().ok()) {
+                Some(n) => {
+                    self.ctx = RaSqlContext::with_config(EngineConfig::rasql().with_workers(n));
+                    LineResult::Output(format!("restarted with {n} workers (tables cleared)\n"))
+                }
+                None => LineResult::Output("usage: \\workers <n>\n".into()),
+            },
+            "\\load" => self.load(&parts),
+            "\\gen" => self.generate(&parts),
+            "\\explain" => {
+                let sql = cmd.trim_start_matches("\\explain").trim();
+                match self.ctx.explain(sql) {
+                    Ok(plan) => LineResult::Output(plan),
+                    Err(e) => LineResult::Output(format!("error: {e}\n")),
+                }
+            }
+            "\\prem" => {
+                let sql = cmd.trim_start_matches("\\prem").trim();
+                match PremChecker::new(&self.ctx).check(sql) {
+                    Ok(outcome) => LineResult::Output(format!("{outcome:?}\n")),
+                    Err(e) => LineResult::Output(format!("error: {e}\n")),
+                }
+            }
+            other => LineResult::Output(format!(
+                "unknown command '{other}' (try \\d, \\load, \\gen, \\explain, \\prem, \\timing, \\q)\n"
+            )),
+        }
+    }
+
+    fn load(&mut self, parts: &[&str]) -> LineResult {
+        let (Some(name), Some(path), Some(types)) = (parts.get(1), parts.get(2), parts.get(3))
+        else {
+            return LineResult::Output(
+                "usage: \\load <name> <path> <int,double,str,...>\n".into(),
+            );
+        };
+        let schema = match parse_schema(types) {
+            Ok(s) => s,
+            Err(e) => return LineResult::Output(format!("error: {e}\n")),
+        };
+        match Relation::load_text(Path::new(path), schema) {
+            Ok(rel) => {
+                let n = rel.len();
+                self.ctx.register_or_replace(name, rel);
+                LineResult::Output(format!("loaded {n} rows into '{name}'\n"))
+            }
+            Err(e) => LineResult::Output(format!("error: {e}\n")),
+        }
+    }
+
+    fn generate(&mut self, parts: &[&str]) -> LineResult {
+        let (Some(name), Some(kind), Some(n)) = (parts.get(1), parts.get(2), parts.get(3)) else {
+            return LineResult::Output("usage: \\gen <name> rmat|rmatw|grid|tree <n>\n".into());
+        };
+        let Ok(n) = n.parse::<usize>() else {
+            return LineResult::Output("error: size must be an integer\n".into());
+        };
+        let rel = match *kind {
+            "rmat" => rmat(n, RmatConfig::default(), 42),
+            "rmatw" => rmat(
+                n,
+                RmatConfig {
+                    weighted: true,
+                    ..Default::default()
+                },
+                42,
+            ),
+            "grid" => rasql_datagen::grid(n, false, 42),
+            "tree" => {
+                let t = tree_hierarchy(
+                    TreeConfig {
+                        target_nodes: n,
+                        ..Default::default()
+                    },
+                    42,
+                );
+                self.ctx.register_or_replace(&format!("{name}_basic"), t.basic);
+                self.ctx
+                    .register_or_replace(&format!("{name}_report"), t.report);
+                t.assbl
+            }
+            other => {
+                return LineResult::Output(format!(
+                    "unknown generator '{other}' (rmat|rmatw|grid|tree)\n"
+                ))
+            }
+        };
+        let rows = rel.len();
+        self.ctx.register_or_replace(name, rel);
+        LineResult::Output(format!("generated {rows} rows into '{name}'\n"))
+    }
+}
+
+/// Parse a `int,double,str,bool` column-type list into a schema with
+/// `c0..cN` column names.
+pub fn parse_schema(spec: &str) -> Result<Schema, String> {
+    let mut fields = Vec::new();
+    for (i, t) in spec.split(',').enumerate() {
+        let dt = match t.trim().to_ascii_lowercase().as_str() {
+            "int" | "i64" => DataType::Int,
+            "double" | "f64" | "float" => DataType::Double,
+            "str" | "string" | "text" => DataType::Str,
+            "bool" => DataType::Bool,
+            other => return Err(format!("unknown type '{other}'")),
+        };
+        fields.push((format!("c{i}"), dt));
+    }
+    if fields.is_empty() {
+        return Err("empty schema".into());
+    }
+    Ok(Schema::new(fields))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn multi_line_statement_and_query() {
+        let mut sh = Shell::new();
+        assert_eq!(sh.feed("\\gen g rmat 100"), LineResult::Output("generated 1000 rows into 'g'\n".into()));
+        assert_eq!(sh.feed("SELECT count(*)"), LineResult::Continue);
+        match sh.feed("FROM g;") {
+            LineResult::Output(o) => assert!(o.contains("1000"), "{o}"),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn recursive_query_through_shell() {
+        let mut sh = Shell::new();
+        sh.feed("\\gen g rmat 50");
+        match sh.feed(
+            "WITH recursive tc (Src, Dst) AS (SELECT Src, Dst FROM g) UNION \
+             (SELECT tc.Src, g.Dst FROM tc, g WHERE tc.Dst = g.Src) \
+             SELECT count(*) FROM tc;",
+        ) {
+            LineResult::Output(o) => assert!(!o.contains("error"), "{o}"),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn commands() {
+        let mut sh = Shell::new();
+        assert_eq!(sh.feed("\\q"), LineResult::Quit);
+        match sh.feed("\\d") {
+            LineResult::Output(o) => assert_eq!(o, "no tables\n"),
+            other => panic!("{other:?}"),
+        }
+        match sh.feed("\\timing on") {
+            LineResult::Output(o) => assert_eq!(o, "timing on\n"),
+            other => panic!("{other:?}"),
+        }
+        match sh.feed("\\nope") {
+            LineResult::Output(o) => assert!(o.contains("unknown command"), "{o}"),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn explain_and_prem_commands() {
+        let mut sh = Shell::new();
+        sh.feed("\\gen g rmatw 50");
+        match sh.feed(
+            "\\explain WITH recursive r (Dst, min() AS C) AS (SELECT 1, 0.0) UNION \
+             (SELECT g.Dst, r.C + g.Cost FROM r, g WHERE r.Dst = g.Src) SELECT Dst, C FROM r",
+        ) {
+            LineResult::Output(o) => assert!(o.contains("RecursiveClique"), "{o}"),
+            other => panic!("{other:?}"),
+        }
+        match sh.feed(
+            "\\prem WITH recursive r (Dst, min() AS C) AS (SELECT 1, 0.0) UNION \
+             (SELECT g.Dst, r.C + g.Cost FROM r, g WHERE r.Dst = g.Src) SELECT Dst, C FROM r",
+        ) {
+            LineResult::Output(o) => {
+                assert!(o.contains("Holds") || o.contains("HeldWithinBound"), "{o}")
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn load_round_trip() {
+        let dir = std::env::temp_dir().join("rasql_cli_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("edges.txt");
+        std::fs::write(&path, "1 2\n2 3\n").unwrap();
+        let mut sh = Shell::new();
+        match sh.feed(&format!("\\load e {} int,int", path.display())) {
+            LineResult::Output(o) => assert!(o.contains("loaded 2 rows"), "{o}"),
+            other => panic!("{other:?}"),
+        }
+        match sh.feed("SELECT count(*) FROM e;") {
+            LineResult::Output(o) => assert!(o.contains('2'), "{o}"),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn schema_parsing() {
+        assert!(parse_schema("int,double,str,bool").is_ok());
+        assert!(parse_schema("nope").is_err());
+        assert!(parse_schema("").is_err());
+    }
+
+    #[test]
+    fn sql_error_is_reported_not_fatal() {
+        let mut sh = Shell::new();
+        match sh.feed("SELECT broken FROM nowhere;") {
+            LineResult::Output(o) => assert!(o.contains("error"), "{o}"),
+            other => panic!("{other:?}"),
+        }
+        // Shell still usable.
+        assert_eq!(sh.feed("\\d"), LineResult::Output("no tables\n".into()));
+    }
+}

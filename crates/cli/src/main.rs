@@ -1,0 +1,36 @@
+//! The `rasql-shell` binary: a stdin/stdout wrapper around [`rasql_cli::Shell`].
+
+use rasql_cli::{LineResult, Shell};
+use std::io::{BufRead, Write};
+
+fn main() {
+    println!(
+        "RaSQL shell — recursive-aggregate SQL (SIGMOD 2019 reproduction).\n\
+         Statements end with ';'. Try \\gen g rmatw 1000, then a recursive query.\n\
+         \\q quits, \\d lists tables, \\explain/\\prem inspect queries."
+    );
+    let mut shell = Shell::new();
+    let stdin = std::io::stdin();
+    let mut prompt = "rasql> ";
+    loop {
+        print!("{prompt}");
+        std::io::stdout().flush().ok();
+        let mut line = String::new();
+        match stdin.lock().read_line(&mut line) {
+            Ok(0) => break, // EOF
+            Ok(_) => {}
+            Err(e) => {
+                eprintln!("input error: {e}");
+                break;
+            }
+        }
+        match shell.feed(&line) {
+            LineResult::Output(o) => {
+                print!("{o}");
+                prompt = "rasql> ";
+            }
+            LineResult::Continue => prompt = "   ... ",
+            LineResult::Quit => break,
+        }
+    }
+}

@@ -1,0 +1,203 @@
+//! Engine configuration: every optimization axis of the paper, toggleable for
+//! the ablation benchmarks.
+
+/// Naive vs. semi-naive fixpoint evaluation (§6, Algorithms 2 vs 4).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EvalMode {
+    /// Delta-driven semi-naive evaluation (the default).
+    SemiNaive,
+    /// Naive evaluation: every iteration re-derives from the full relations
+    /// (the Spark-SQL-Naive baseline of Fig 10).
+    Naive,
+}
+
+/// Distributed join strategy for the recursive join (Appendix D).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum JoinStrategy {
+    /// Build a cached hash table on the base side, probe with the delta.
+    ShuffleHash,
+    /// Keep the base side as a cached sorted run; sort the delta and merge.
+    SortMerge,
+}
+
+/// Full engine configuration.
+#[derive(Debug, Clone)]
+pub struct EngineConfig {
+    /// Simulated worker (thread) count.
+    pub workers: usize,
+    /// Partition count (defaults to `workers`).
+    pub partitions: usize,
+    /// Fixpoint evaluation mode.
+    pub eval_mode: EvalMode,
+    /// Fuse Reduce(i) with Map(i+1) into one ShuffleMap stage (§7.1).
+    pub stage_combination: bool,
+    /// Partition-aware task scheduling (§6.1).
+    pub partition_aware: bool,
+    /// Fused operator pipelines — the whole-stage-codegen analog (§7.3).
+    pub fused_codegen: bool,
+    /// Join strategy for the recursive join (Appendix D).
+    pub join: JoinStrategy,
+    /// Evaluate decomposable plans with broadcast bases and per-partition
+    /// local fixpoints (§7.2).
+    pub decomposed_plans: bool,
+    /// Broadcast the compressed relation and rebuild hash tables on workers,
+    /// instead of shipping the (2-3x larger) prebuilt hash table (§7.2).
+    pub broadcast_compression: bool,
+    /// Iteration cap; exceeded ⇒ [`crate::EngineError::NonTermination`].
+    pub max_iterations: u32,
+    /// Simulated per-stage scheduler latency in microseconds (see
+    /// `rasql_exec::cluster::ClusterConfig::stage_latency`). A property of
+    /// the simulated cluster, identical across engine presets.
+    pub stage_latency_us: u64,
+}
+
+impl Default for EngineConfig {
+    fn default() -> Self {
+        EngineConfig::rasql()
+    }
+}
+
+impl EngineConfig {
+    /// The fully-optimized RaSQL configuration used in the paper's
+    /// experiments (§8: shuffle-hash join, optimized DSN with stage
+    /// combination and code generation).
+    pub fn rasql() -> Self {
+        EngineConfig {
+            workers: default_workers(),
+            partitions: default_workers(),
+            eval_mode: EvalMode::SemiNaive,
+            stage_combination: true,
+            partition_aware: true,
+            fused_codegen: true,
+            join: JoinStrategy::ShuffleHash,
+            decomposed_plans: true,
+            broadcast_compression: true,
+            max_iterations: 100_000,
+            stage_latency_us: 2_000,
+        }
+    }
+
+    /// The BigDatalog stand-in: SetRDD-style cached state (always on here)
+    /// but none of RaSQL's new optimizations — no stage combination, no fused
+    /// code generation, no broadcast compression. See DESIGN.md.
+    pub fn bigdatalog_like() -> Self {
+        EngineConfig {
+            stage_combination: false,
+            fused_codegen: false,
+            broadcast_compression: false,
+            ..EngineConfig::rasql()
+        }
+    }
+
+    /// The Spark-SQL-SN baseline of Fig 10: semi-naive behavior *simulated*
+    /// as a loop of SQL statements — no partition-aware scheduling, no stage
+    /// combination, no mutable state reuse benefits modeled by locality.
+    pub fn spark_sql_sn() -> Self {
+        EngineConfig {
+            stage_combination: false,
+            partition_aware: false,
+            fused_codegen: false,
+            decomposed_plans: false,
+            broadcast_compression: false,
+            ..EngineConfig::rasql()
+        }
+    }
+
+    /// The Spark-SQL-Naive baseline of Fig 10.
+    pub fn spark_sql_naive() -> Self {
+        EngineConfig {
+            eval_mode: EvalMode::Naive,
+            ..EngineConfig::spark_sql_sn()
+        }
+    }
+
+    /// Set worker (and partition) count.
+    pub fn with_workers(mut self, workers: usize) -> Self {
+        self.workers = workers.max(1);
+        self.partitions = self.workers;
+        self
+    }
+
+    /// Toggle stage combination.
+    pub fn with_stage_combination(mut self, on: bool) -> Self {
+        self.stage_combination = on;
+        self
+    }
+
+    /// Toggle fused code generation.
+    pub fn with_fused_codegen(mut self, on: bool) -> Self {
+        self.fused_codegen = on;
+        self
+    }
+
+    /// Select the join strategy.
+    pub fn with_join(mut self, join: JoinStrategy) -> Self {
+        self.join = join;
+        self
+    }
+
+    /// Toggle decomposed-plan evaluation.
+    pub fn with_decomposed(mut self, on: bool) -> Self {
+        self.decomposed_plans = on;
+        self
+    }
+
+    /// Toggle broadcast compression.
+    pub fn with_broadcast_compression(mut self, on: bool) -> Self {
+        self.broadcast_compression = on;
+        self
+    }
+
+    /// Set the iteration cap.
+    pub fn with_max_iterations(mut self, n: u32) -> Self {
+        self.max_iterations = n;
+        self
+    }
+
+    /// Set the simulated per-stage scheduler latency (µs); 0 disables it.
+    pub fn with_stage_latency_us(mut self, us: u64) -> Self {
+        self.stage_latency_us = us;
+        self
+    }
+}
+
+fn default_workers() -> usize {
+    // At least 2 simulated workers even on a single-core host: the engine's
+    // stage/shuffle/locality behavior (what the paper's ablations measure)
+    // needs multiple partitions to be meaningful.
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(4)
+        .clamp(2, 8)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_differ_on_the_right_axes() {
+        let rasql = EngineConfig::rasql();
+        let bd = EngineConfig::bigdatalog_like();
+        assert!(rasql.stage_combination && !bd.stage_combination);
+        assert!(rasql.fused_codegen && !bd.fused_codegen);
+        assert_eq!(rasql.eval_mode, bd.eval_mode);
+        let naive = EngineConfig::spark_sql_naive();
+        assert_eq!(naive.eval_mode, EvalMode::Naive);
+        assert!(!naive.partition_aware);
+    }
+
+    #[test]
+    fn builder_methods() {
+        let c = EngineConfig::rasql()
+            .with_workers(3)
+            .with_stage_combination(false)
+            .with_join(JoinStrategy::SortMerge)
+            .with_max_iterations(7);
+        assert_eq!(c.workers, 3);
+        assert_eq!(c.partitions, 3);
+        assert!(!c.stage_combination);
+        assert_eq!(c.join, JoinStrategy::SortMerge);
+        assert_eq!(c.max_iterations, 7);
+    }
+}

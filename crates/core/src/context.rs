@@ -1,0 +1,237 @@
+//! [`RaSqlContext`] — the public entry point of the engine.
+
+use crate::config::EngineConfig;
+use crate::error::EngineError;
+use crate::eval::EvalContext;
+use crate::fixpoint::FixpointExecutor;
+use parking_lot::Mutex;
+use rasql_exec::{Cluster, ClusterConfig, MetricsSnapshot};
+use rasql_parser::{parse_statements, Statement};
+use rasql_plan::{analyze_statement, optimize, optimize_spec, AnalyzedStatement, ViewCatalog};
+use rasql_storage::{Catalog, Relation};
+use std::collections::HashMap;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Statistics of the most recent query execution.
+#[derive(Debug, Clone, Default)]
+pub struct QueryStats {
+    /// Fixpoint iterations, one entry per recursive clique evaluated.
+    pub iterations: Vec<u32>,
+    /// Wall-clock time of the execution.
+    pub elapsed: Duration,
+    /// Runtime metric deltas accumulated during the query.
+    pub metrics: MetricsSnapshot,
+}
+
+/// A RaSQL session: registered tables, a simulated cluster, and the SQL
+/// entry points.
+///
+/// ```
+/// use rasql_core::{EngineConfig, RaSqlContext};
+/// use rasql_storage::Relation;
+///
+/// let ctx = RaSqlContext::with_config(EngineConfig::rasql().with_workers(2));
+/// ctx.register("edge", Relation::edges(&[(1, 2), (2, 3)])).unwrap();
+/// let n = ctx.sql("SELECT count(*) FROM edge").unwrap();
+/// assert_eq!(n.rows()[0][0], rasql_storage::Value::Int(2));
+/// ```
+pub struct RaSqlContext {
+    catalog: Catalog,
+    planner_catalog: Mutex<ViewCatalog>,
+    cluster: Cluster,
+    config: EngineConfig,
+    last_stats: Mutex<QueryStats>,
+}
+
+impl RaSqlContext {
+    /// A context with the default (fully optimized) configuration.
+    pub fn in_memory() -> Self {
+        Self::with_config(EngineConfig::default())
+    }
+
+    /// A context with an explicit configuration.
+    pub fn with_config(config: EngineConfig) -> Self {
+        let cluster = Cluster::new(ClusterConfig {
+            workers: config.workers,
+            partition_aware: config.partition_aware,
+            stage_latency: std::time::Duration::from_micros(config.stage_latency_us),
+        });
+        RaSqlContext {
+            catalog: Catalog::new(),
+            planner_catalog: Mutex::new(ViewCatalog::new()),
+            cluster,
+            config,
+            last_stats: Mutex::new(QueryStats::default()),
+        }
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> &EngineConfig {
+        &self.config
+    }
+
+    /// Register a base table.
+    pub fn register(&self, name: &str, rel: Relation) -> Result<(), EngineError> {
+        self.planner_catalog
+            .lock()
+            .add_table(name, rel.schema().clone());
+        self.catalog.register(name, rel)?;
+        Ok(())
+    }
+
+    /// Register or replace a base table.
+    pub fn register_or_replace(&self, name: &str, rel: Relation) {
+        self.planner_catalog
+            .lock()
+            .add_table(name, rel.schema().clone());
+        self.catalog.register_or_replace(name, rel);
+    }
+
+    /// Execute one SQL statement; returns its result relation (empty for
+    /// `CREATE VIEW`).
+    pub fn sql(&self, sql: &str) -> Result<Relation, EngineError> {
+        let mut results = self.execute_script(sql)?;
+        results
+            .pop()
+            .ok_or_else(|| EngineError::Other("empty statement".into()))
+    }
+
+    /// Execute a `;`-separated script; returns one relation per statement.
+    pub fn execute_script(&self, sql: &str) -> Result<Vec<Relation>, EngineError> {
+        let statements = parse_statements(sql)?;
+        let mut out = Vec::with_capacity(statements.len());
+        for stmt in &statements {
+            out.push(self.execute_statement(stmt)?);
+        }
+        Ok(out)
+    }
+
+    fn execute_statement(&self, stmt: &Statement) -> Result<Relation, EngineError> {
+        let start = Instant::now();
+        let before = self.cluster.metrics.snapshot();
+        let analyzed = {
+            let pc = self.planner_catalog.lock();
+            analyze_statement(stmt, &pc)?
+        };
+        let result = match analyzed {
+            AnalyzedStatement::CreateView { name, plan } => {
+                let plan = optimize(plan);
+                self.planner_catalog.lock().add_view(&name, plan);
+                Ok(Relation::empty(rasql_storage::Schema::empty()))
+            }
+            AnalyzedStatement::Query(q) => {
+                let mut views: HashMap<String, Arc<Relation>> = HashMap::new();
+                let mut iterations = Vec::new();
+                for clique in q.cliques {
+                    let clique = optimize_spec(clique);
+                    let eval = EvalContext {
+                        cluster: &self.cluster,
+                        catalog: &self.catalog,
+                        views: &views,
+                        partitions: self.config.partitions,
+                        fused: self.config.fused_codegen,
+                    };
+                    let exec = FixpointExecutor::new(&eval, &self.config);
+                    let result = exec.run(&clique)?;
+                    iterations.push(result.iterations);
+                    for (spec, rel) in clique.views.iter().zip(result.views) {
+                        views.insert(spec.name.to_ascii_lowercase(), Arc::new(rel));
+                    }
+                }
+                let plan = optimize(q.final_plan);
+                let eval = EvalContext {
+                    cluster: &self.cluster,
+                    catalog: &self.catalog,
+                    views: &views,
+                    partitions: self.config.partitions,
+                    fused: self.config.fused_codegen,
+                };
+                let rel = eval.evaluate(&plan)?;
+                let after = self.cluster.metrics.snapshot();
+                *self.last_stats.lock() = QueryStats {
+                    iterations,
+                    elapsed: start.elapsed(),
+                    metrics: diff_metrics(before, after),
+                };
+                Ok(rel)
+            }
+        };
+        result
+    }
+
+    /// Render the compiled plan of a query: the recursive clique plans
+    /// (Fig 2a) and the final plan — without executing it.
+    pub fn explain(&self, sql: &str) -> Result<String, EngineError> {
+        let statements = parse_statements(sql)?;
+        let mut out = String::new();
+        for stmt in &statements {
+            let analyzed = {
+                let pc = self.planner_catalog.lock();
+                analyze_statement(stmt, &pc)?
+            };
+            match analyzed {
+                AnalyzedStatement::CreateView { name, plan } => {
+                    out.push_str(&format!("CreateView {name}\n"));
+                    out.push_str(&optimize(plan).display_indent());
+                }
+                AnalyzedStatement::Query(q) => {
+                    for clique in q.cliques {
+                        let clique = optimize_spec(clique);
+                        out.push_str(&clique.display());
+                    }
+                    out.push_str("Final plan:\n");
+                    out.push_str(&optimize(q.final_plan).display_indent());
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    /// Names of the registered base tables.
+    pub fn table_names(&self) -> Vec<String> {
+        self.catalog.table_names()
+    }
+
+    /// Statistics of the most recent query.
+    pub fn last_stats(&self) -> QueryStats {
+        self.last_stats.lock().clone()
+    }
+
+    /// Cumulative cluster metrics.
+    pub fn metrics(&self) -> MetricsSnapshot {
+        self.cluster.metrics.snapshot()
+    }
+
+    /// Reset cumulative cluster metrics.
+    pub fn reset_metrics(&self) {
+        self.cluster.metrics.reset();
+    }
+
+    /// Analyze a parsed statement against this session's catalog (used by the
+    /// PreM checker and tests that inspect plans).
+    pub fn analyze(&self, stmt: &Statement) -> Result<AnalyzedStatement, EngineError> {
+        Ok(analyze_statement(stmt, &self.planner_catalog.lock())?)
+    }
+
+    pub(crate) fn cluster(&self) -> &Cluster {
+        &self.cluster
+    }
+
+    pub(crate) fn catalog(&self) -> &Catalog {
+        &self.catalog
+    }
+}
+
+fn diff_metrics(before: MetricsSnapshot, after: MetricsSnapshot) -> MetricsSnapshot {
+    MetricsSnapshot {
+        stages: after.stages - before.stages,
+        tasks: after.tasks - before.tasks,
+        shuffle_rows: after.shuffle_rows - before.shuffle_rows,
+        shuffle_bytes: after.shuffle_bytes - before.shuffle_bytes,
+        remote_fetch_bytes: after.remote_fetch_bytes - before.remote_fetch_bytes,
+        broadcast_bytes: after.broadcast_bytes - before.broadcast_bytes,
+        join_output_rows: after.join_output_rows - before.join_output_rows,
+        iterations: after.iterations - before.iterations,
+    }
+}

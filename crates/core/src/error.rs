@@ -1,0 +1,73 @@
+//! Engine errors.
+
+use rasql_parser::ParseError;
+use rasql_plan::PlanError;
+use rasql_storage::StorageError;
+use std::fmt;
+
+/// Top-level error type of the RaSQL engine.
+#[derive(Debug)]
+pub enum EngineError {
+    /// SQL parse failure.
+    Parse(ParseError),
+    /// Analysis/planning failure.
+    Plan(PlanError),
+    /// Storage/catalog failure.
+    Storage(StorageError),
+    /// The fixpoint did not converge within the configured iteration cap —
+    /// the paper's stratified-SSSP-on-a-cyclic-graph situation (Fig 1's
+    /// `360*` footnote).
+    NonTermination {
+        /// The view that was still producing deltas.
+        view: String,
+        /// The iteration cap that was hit.
+        iterations: u32,
+    },
+    /// Anything else.
+    Other(String),
+}
+
+impl fmt::Display for EngineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EngineError::Parse(e) => write!(f, "{e}"),
+            EngineError::Plan(e) => write!(f, "{e}"),
+            EngineError::Storage(e) => write!(f, "{e}"),
+            EngineError::NonTermination { view, iterations } => write!(
+                f,
+                "fixpoint for view '{view}' did not converge after {iterations} iterations \
+                 (cyclic data with a stratified/set-semantics recursion?)"
+            ),
+            EngineError::Other(m) => write!(f, "{m}"),
+        }
+    }
+}
+
+impl std::error::Error for EngineError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            EngineError::Parse(e) => Some(e),
+            EngineError::Plan(e) => Some(e),
+            EngineError::Storage(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<ParseError> for EngineError {
+    fn from(e: ParseError) -> Self {
+        EngineError::Parse(e)
+    }
+}
+
+impl From<PlanError> for EngineError {
+    fn from(e: PlanError) -> Self {
+        EngineError::Plan(e)
+    }
+}
+
+impl From<StorageError> for EngineError {
+    fn from(e: StorageError) -> Self {
+        EngineError::Storage(e)
+    }
+}

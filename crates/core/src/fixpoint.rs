@@ -1,0 +1,1123 @@
+//! The fixpoint operator: distributed semi-naive evaluation with
+//! aggregates-in-recursion (paper §6, §7).
+//!
+//! One executor evaluates one recursive clique. The loop structure follows
+//! Algorithm 4/5 (separate Map and Reduce stages per iteration) or the
+//! optimized Algorithm 6 (one combined ShuffleMap stage per iteration) per
+//! `EngineConfig::stage_combination`; decomposable views (§7.2) instead run
+//! per-partition local fixpoints against broadcast base relations with *zero*
+//! per-iteration global stages.
+//!
+//! Round bookkeeping: contributions merged at the end of round *r* are
+//! stamped *r* and form the delta consumed by the next round; base-case
+//! results are stamped 0 and form the first delta. During a round with delta
+//! stamp *c*, the *old* snapshot of a relation (needed by the non-linear
+//! semi-naive term expansion) is "state before stamp *c* was merged".
+
+use crate::config::{EngineConfig, EvalMode, JoinStrategy};
+use crate::error::EngineError;
+use crate::eval::EvalContext;
+use parking_lot::Mutex;
+use rasql_exec::join::SortedRun;
+use rasql_exec::state::{AggMergeResult, AggState, MonotoneOp};
+use rasql_exec::{
+    merge_join, run_fused, run_unfused, Broadcast, Cluster, HashTable, Metrics, Pipeline,
+    PipelineStep, SetState, StageTask,
+};
+use rasql_parser::ast::AggFunc;
+use rasql_plan::{
+    BranchProgram, BranchStep, CountMode, DeltaValueMode, FixpointSpec, JoinBuild, PExpr,
+    RecAllMode, ViewSpec,
+};
+use rasql_storage::codec::CompressedRelation;
+use rasql_storage::{partition::hash_partition, FxHashMap, FxHashSet, Relation, Row, Value};
+use std::sync::Arc;
+
+/// Result of evaluating a clique.
+pub struct FixpointResult {
+    /// Materialized view contents, in clique view order.
+    pub views: Vec<Relation>,
+    /// Iterations until the fixpoint (max over partitions for decomposed
+    /// evaluation).
+    pub iterations: u32,
+}
+
+/// A delta batch: schema-shaped rows (aggregate columns hold *totals*) plus a
+/// parallel vector of per-row increments for the aggregate columns.
+#[derive(Clone, Default)]
+struct DeltaBatch {
+    rows: Vec<Row>,
+    increments: Vec<Box<[Value]>>,
+}
+
+impl DeltaBatch {
+    fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Rows as seen by a consumer with the given value mode.
+    fn reader_rows(&self, mode: DeltaValueMode, agg_cols: &[usize]) -> Vec<Row> {
+        match mode {
+            DeltaValueMode::Total => self.rows.clone(),
+            DeltaValueMode::Increment => self
+                .rows
+                .iter()
+                .zip(&self.increments)
+                .map(|(r, inc)| {
+                    let mut vals = r.values().to_vec();
+                    for (j, &c) in agg_cols.iter().enumerate() {
+                        vals[c] = inc[j].clone();
+                    }
+                    Row::new(vals)
+                })
+                .collect(),
+        }
+    }
+}
+
+/// Per-view partitioned fixpoint state.
+enum ViewState {
+    Set(SetState),
+    Agg(AggState),
+}
+
+struct ViewRt {
+    spec: ViewSpec,
+    /// Aggregate column positions (schema order).
+    agg_cols: Vec<usize>,
+    /// Monotone ops per aggregate column.
+    ops: Vec<MonotoneOp>,
+    /// Aggregate functions per aggregate column.
+    funcs: Vec<AggFunc>,
+    /// Resolved accumulation mode per aggregate column (see
+    /// [`resolve_count_modes`]).
+    modes: Vec<CountMode>,
+    /// Partitioning key for this view's state (key cols, or the preserved
+    /// columns in decomposed mode).
+    partition_key: Vec<usize>,
+    /// Per-partition state.
+    state: Vec<Mutex<ViewState>>,
+    /// Whether this view runs decomposed.
+    decomposed: bool,
+}
+
+impl ViewRt {
+    fn is_set(&self) -> bool {
+        self.spec.aggs.is_empty()
+    }
+
+    fn partition_of(&self, row: &Row, partitions: usize) -> usize {
+        let key: Vec<&Value> = self.partition_key.iter().map(|&c| &row[c]).collect();
+        hash_partition(&key, partitions)
+    }
+}
+
+/// The resolved per-column accumulation mode: `DistinctTuple` if any recursive
+/// branch targeting the view counts distinct tuples for that column; branches
+/// must agree (the analyzer's count-mode inference never mixes them for the
+/// paper's query class — a genuine mix is rejected here).
+fn resolve_count_modes(v: &ViewSpec) -> Result<Vec<CountMode>, EngineError> {
+    let n = v.aggs.len();
+    let mut modes = vec![None::<CountMode>; n];
+    for prog in &v.recursive {
+        for (j, m) in prog.count_modes.iter().enumerate() {
+            match modes[j] {
+                None => modes[j] = Some(*m),
+                Some(prev) if prev == *m => {}
+                Some(_) => {
+                    return Err(EngineError::Other(format!(
+                        "view '{}' mixes increment-flow and distinct-tuple branches \
+                         for aggregate column {j}; this is not supported",
+                        v.name
+                    )))
+                }
+            }
+        }
+    }
+    Ok(modes
+        .into_iter()
+        .map(|m| m.unwrap_or(CountMode::SumValues))
+        .collect())
+}
+
+/// The build side of a compiled join step.
+enum BuildSide {
+    /// Co-partitioned cached hash tables (one per partition).
+    Partitioned(Vec<Arc<HashTable>>),
+    /// Co-partitioned cached sorted runs (sort-merge strategy).
+    PartitionedSorted(Vec<Arc<SortedRun>>),
+    /// One replicated table per worker (broadcast, §7.2).
+    Replicated(Arc<Broadcast<HashTable>>),
+    /// Snapshot of a recursive relation, rebuilt per round.
+    Recursive { view: usize, mode: RecAllMode },
+}
+
+struct CompiledStep {
+    build: BuildSide,
+    stream_keys: Vec<PExpr>,
+    build_keys: Vec<usize>,
+}
+
+enum CompiledOp {
+    Join(CompiledStep),
+    Filter(PExpr),
+}
+
+struct CompiledBranch {
+    driver: usize,
+    driver_value_mode: DeltaValueMode,
+    ops: Vec<CompiledOp>,
+    target: usize,
+    key_exprs: Vec<PExpr>,
+    agg_exprs: Vec<PExpr>,
+    uses_recursive_build: bool,
+}
+
+/// Contributions produced by a map task: per target view, per target
+/// partition, schema-shaped rows.
+type Buckets = Vec<Vec<Vec<Row>>>;
+
+/// The fixpoint executor for one clique.
+pub struct FixpointExecutor<'a> {
+    eval: &'a EvalContext<'a>,
+    config: &'a EngineConfig,
+    cluster: &'a Cluster,
+}
+
+impl<'a> FixpointExecutor<'a> {
+    /// Create an executor.
+    pub fn new(eval: &'a EvalContext<'a>, config: &'a EngineConfig) -> Self {
+        FixpointExecutor {
+            eval,
+            config,
+            cluster: eval.cluster,
+        }
+    }
+
+    /// Evaluate the clique to materialized view relations.
+    pub fn run(&self, spec: &FixpointSpec) -> Result<FixpointResult, EngineError> {
+        let p = self.config.partitions;
+
+        // --- Per-view runtime state. ---
+        let mut views: Vec<ViewRt> = Vec::with_capacity(spec.views.len());
+        let single_view_clique = spec.views.len() == 1;
+        for v in &spec.views {
+            let decomposed = self.config.decomposed_plans
+                && single_view_clique
+                && v.decomposable_on.is_some()
+                && !v.recursive.is_empty();
+            let partition_key = if decomposed {
+                v.decomposable_on.clone().unwrap()
+            } else {
+                v.key_cols.clone()
+            };
+            let agg_cols: Vec<usize> = v.aggs.iter().map(|(c, _)| *c).collect();
+            let funcs: Vec<AggFunc> = v.aggs.iter().map(|(_, f)| *f).collect();
+            let ops: Vec<MonotoneOp> = funcs
+                .iter()
+                .map(|f| match f {
+                    AggFunc::Min => MonotoneOp::Min,
+                    AggFunc::Max => MonotoneOp::Max,
+                    AggFunc::Sum | AggFunc::Count => MonotoneOp::Sum,
+                    AggFunc::Avg => unreachable!("rejected by the analyzer"),
+                })
+                .collect();
+            let modes = resolve_count_modes(v)?;
+            let state = (0..p)
+                .map(|_| {
+                    Mutex::new(if v.aggs.is_empty() {
+                        ViewState::Set(SetState::new())
+                    } else {
+                        ViewState::Agg(AggState::new())
+                    })
+                })
+                .collect();
+            views.push(ViewRt {
+                spec: v.clone(),
+                agg_cols,
+                ops,
+                funcs,
+                modes,
+                partition_key,
+                state,
+                decomposed,
+            });
+        }
+        let views = Arc::new(views);
+
+        // --- Compile branch programs (evaluate & cache base build sides). ---
+        let mut branches: Vec<CompiledBranch> = Vec::new();
+        for (vi, v) in spec.views.iter().enumerate() {
+            for prog in &v.recursive {
+                branches.push(self.compile_branch(prog, &views[vi])?);
+            }
+        }
+        let branches = Arc::new(branches);
+
+        // --- Evaluate base cases (round-0 contributions). ---
+        // CTE branches are combined by set UNION, so base rows are deduped.
+        let mut base_buckets: Buckets = views
+            .iter()
+            .map(|_| (0..p).map(|_| Vec::new()).collect())
+            .collect();
+        for (vi, v) in spec.views.iter().enumerate() {
+            let mut seen: FxHashSet<Row> = FxHashSet::default();
+            for plan in &v.base {
+                let rel = self.eval.evaluate(plan)?;
+                for row in rel.into_rows() {
+                    if seen.insert(row.clone()) {
+                        let part = views[vi].partition_of(&row, p);
+                        base_buckets[vi][part].push(row);
+                    }
+                }
+            }
+        }
+
+        let iterations = if views.iter().any(|v| v.decomposed) {
+            self.run_decomposed(&views, &branches, base_buckets)?
+        } else {
+            match self.config.eval_mode {
+                EvalMode::SemiNaive => self.run_semi_naive(&views, &branches, base_buckets)?,
+                EvalMode::Naive => self.run_naive(&views, &branches, base_buckets)?,
+            }
+        };
+
+        // --- Materialize results. ---
+        let mut out = Vec::with_capacity(views.len());
+        for v in views.iter() {
+            let mut rows = Vec::new();
+            for part in &v.state {
+                rows.extend(state_rows(v, &part.lock()));
+            }
+            out.push(Relation::new_unchecked(v.spec.schema.clone(), rows));
+        }
+        Ok(FixpointResult {
+            views: out,
+            iterations,
+        })
+    }
+
+    // ----------------------------------------------------------------
+    // Branch compilation
+    // ----------------------------------------------------------------
+
+    fn compile_branch(
+        &self,
+        prog: &BranchProgram,
+        driver: &ViewRt,
+    ) -> Result<CompiledBranch, EngineError> {
+        let p = self.config.partitions;
+        let mut ops = Vec::with_capacity(prog.steps.len());
+        let mut first_join = true;
+        let mut uses_recursive_build = false;
+        for step in &prog.steps {
+            match step {
+                BranchStep::Filter(e) => ops.push(CompiledOp::Filter(e.clone())),
+                BranchStep::HashJoin {
+                    build,
+                    stream_keys,
+                    build_keys,
+                    ..
+                } => {
+                    let build_side = match build {
+                        JoinBuild::RecursiveAll { view, mode, .. } => {
+                            uses_recursive_build = true;
+                            BuildSide::Recursive {
+                                view: *view,
+                                mode: *mode,
+                            }
+                        }
+                        JoinBuild::Base(plan) => {
+                            let rel = self.eval.evaluate(plan)?;
+                            // Co-partitioned iff this is the first join, the
+                            // delta arrives partitioned on exactly the probe
+                            // key, and the view is not decomposed.
+                            let co_partitioned = first_join
+                                && !driver.decomposed
+                                && !build_keys.is_empty()
+                                && stream_keys_match(stream_keys, &driver.partition_key);
+                            if co_partitioned {
+                                let parts = rasql_storage::partition_rows(
+                                    rel.rows().to_vec(),
+                                    build_keys,
+                                    p,
+                                );
+                                if self.config.join == JoinStrategy::SortMerge {
+                                    BuildSide::PartitionedSorted(
+                                        parts
+                                            .into_iter()
+                                            .map(|rows| Arc::new(SortedRun::build(rows, build_keys)))
+                                            .collect(),
+                                    )
+                                } else {
+                                    BuildSide::Partitioned(
+                                        parts
+                                            .into_iter()
+                                            .map(|rows| Arc::new(HashTable::build(&rows, build_keys)))
+                                            .collect(),
+                                    )
+                                }
+                            } else {
+                                // Broadcast build (§7.2): compressed payload +
+                                // per-worker rebuild, or ship the prebuilt
+                                // (2-3x larger) hash table.
+                                let keys = build_keys.clone();
+                                let bc = if self.config.broadcast_compression {
+                                    let compressed = Arc::new(CompressedRelation::compress(
+                                        rel.schema(),
+                                        rel.rows(),
+                                    ));
+                                    let payload = compressed.size_bytes();
+                                    Broadcast::distribute(self.cluster, payload, move |_w| {
+                                        let rows = compressed.decompress().expect("own payload");
+                                        HashTable::build(&rows, &keys)
+                                    })
+                                } else {
+                                    let master = Arc::new(HashTable::build(rel.rows(), &keys));
+                                    let payload = master.size_bytes();
+                                    Broadcast::distribute(self.cluster, payload, move |_w| {
+                                        master.as_ref().clone()
+                                    })
+                                };
+                                BuildSide::Replicated(Arc::new(bc))
+                            }
+                        }
+                    };
+                    ops.push(CompiledOp::Join(CompiledStep {
+                        build: build_side,
+                        stream_keys: stream_keys.clone(),
+                        build_keys: build_keys.clone(),
+                    }));
+                    first_join = false;
+                }
+            }
+        }
+        Ok(CompiledBranch {
+            driver: prog.driver,
+            driver_value_mode: prog.driver_value_mode,
+            ops,
+            target: prog.target,
+            key_exprs: prog.key_exprs.clone(),
+            agg_exprs: prog.agg_exprs.clone(),
+            uses_recursive_build,
+        })
+    }
+
+    // ----------------------------------------------------------------
+    // Semi-naive loop (Algorithms 4/5 and 6)
+    // ----------------------------------------------------------------
+
+    fn run_semi_naive(
+        &self,
+        views: &Arc<Vec<ViewRt>>,
+        branches: &Arc<Vec<CompiledBranch>>,
+        base_buckets: Buckets,
+    ) -> Result<u32, EngineError> {
+        let p = self.config.partitions;
+        let nv = views.len();
+        let mut contributions: Buckets = base_buckets;
+        let mut round: u32 = 0;
+        // Stage combination fuses the reduce of round r with the map of round
+        // r+1 — sound only when no branch reads old/new snapshots of another
+        // recursive relation (those need the merge barrier).
+        let combine = self.config.stage_combination
+            && branches.iter().all(|b| !b.uses_recursive_build);
+
+        loop {
+            round += 1;
+            if round > self.config.max_iterations {
+                return Err(EngineError::NonTermination {
+                    view: views[0].spec.name.clone(),
+                    iterations: self.config.max_iterations,
+                });
+            }
+            Metrics::add(&self.cluster.metrics.iterations, 1);
+
+            let map_out: Vec<(bool, Buckets)> = if combine {
+                // --- One combined ShuffleMap stage: merge + join + partial
+                // aggregate per partition (Algorithm 6). ---
+                let contribs = Arc::new(contributions);
+                let views_c = Arc::clone(views);
+                let branches_c = Arc::clone(branches);
+                let fused = self.eval.fused;
+                let tasks: Vec<StageTask<(bool, Buckets)>> = (0..p)
+                    .map(|part| {
+                        let contribs = Arc::clone(&contribs);
+                        let views_c = Arc::clone(&views_c);
+                        let branches_c = Arc::clone(&branches_c);
+                        StageTask::new(part % self.cluster.workers(), move |w| {
+                            let mut deltas: Vec<DeltaBatch> = Vec::with_capacity(nv);
+                            for (vi, v) in views_c.iter().enumerate() {
+                                deltas.push(merge_partition(
+                                    v,
+                                    part,
+                                    &contribs[vi][part],
+                                    round - 1,
+                                ));
+                            }
+                            let empty = deltas.iter().all(DeltaBatch::is_empty);
+                            let refs: Vec<&DeltaBatch> = deltas.iter().collect();
+                            let buckets =
+                                map_task(&views_c, &branches_c, &refs, &[], part, w, fused);
+                            (empty, buckets)
+                        })
+                    })
+                    .collect();
+                self.cluster.run_stage(tasks)
+            } else {
+                // --- Reduce stage (Algorithm 4 lines 11-16). ---
+                let contribs = Arc::new(contributions);
+                let views_c = Arc::clone(views);
+                let reduce_tasks: Vec<StageTask<Vec<DeltaBatch>>> = (0..p)
+                    .map(|part| {
+                        let contribs = Arc::clone(&contribs);
+                        let views_c = Arc::clone(&views_c);
+                        StageTask::new(part % self.cluster.workers(), move |_w| {
+                            views_c
+                                .iter()
+                                .enumerate()
+                                .map(|(vi, v)| {
+                                    merge_partition(v, part, &contribs[vi][part], round - 1)
+                                })
+                                .collect()
+                        })
+                    })
+                    .collect();
+                let merged = self.cluster.run_stage(reduce_tasks);
+                let mut deltas: Vec<Vec<DeltaBatch>> =
+                    (0..nv).map(|_| vec![DeltaBatch::default(); p]).collect();
+                let mut all_empty = true;
+                for (part, dv) in merged.into_iter().enumerate() {
+                    for (vi, d) in dv.into_iter().enumerate() {
+                        all_empty &= d.is_empty();
+                        deltas[vi][part] = d;
+                    }
+                }
+                if all_empty {
+                    return Ok(round - 1);
+                }
+
+                // --- Map stage (Algorithm 4 lines 6-9 / Algorithm 5). ---
+                // Old/new snapshots use the delta stamp `round - 1` as cutoff.
+                let snapshots = Arc::new(self.build_snapshots(views, branches, round - 1));
+                let deltas = Arc::new(deltas);
+                let views_c = Arc::clone(views);
+                let branches_c = Arc::clone(branches);
+                let fused = self.eval.fused;
+                let tasks: Vec<StageTask<(bool, Buckets)>> = (0..p)
+                    .map(|part| {
+                        let deltas = Arc::clone(&deltas);
+                        let views_c = Arc::clone(&views_c);
+                        let branches_c = Arc::clone(&branches_c);
+                        let snapshots = Arc::clone(&snapshots);
+                        StageTask::new(part % self.cluster.workers(), move |w| {
+                            let empty = deltas.iter().all(|dv| dv[part].is_empty());
+                            let refs: Vec<&DeltaBatch> =
+                                deltas.iter().map(|dv| &dv[part]).collect();
+                            let buckets = map_task(
+                                &views_c, &branches_c, &refs, &snapshots, part, w, fused,
+                            );
+                            (empty, buckets)
+                        })
+                    })
+                    .collect();
+                self.cluster.run_stage(tasks)
+            };
+
+            let all_empty = map_out.iter().all(|(e, _)| *e);
+            if combine && all_empty {
+                return Ok(round - 1);
+            }
+
+            // --- Shuffle: gather buckets per (view, partition). ---
+            contributions = (0..nv)
+                .map(|_| (0..p).map(|_| Vec::new()).collect())
+                .collect();
+            let mut moved_rows = 0u64;
+            let mut moved_bytes = 0u64;
+            for (src_part, (_, buckets)) in map_out.into_iter().enumerate() {
+                for (vi, per_view) in buckets.into_iter().enumerate() {
+                    for (dst_part, rows) in per_view.into_iter().enumerate() {
+                        if self.cluster.owner_of(src_part) != self.cluster.owner_of(dst_part) {
+                            moved_rows += rows.len() as u64;
+                            moved_bytes += rows.iter().map(Row::size_bytes).sum::<usize>() as u64;
+                        }
+                        contributions[vi][dst_part].extend(rows);
+                    }
+                }
+            }
+            Metrics::add(&self.cluster.metrics.shuffle_rows, moved_rows);
+            Metrics::add(&self.cluster.metrics.shuffle_bytes, moved_bytes);
+        }
+    }
+
+    /// Per-round snapshots of recursive relations used as join build sides
+    /// (mutual/non-linear recursion). `cutoff` is the current delta's stamp.
+    fn build_snapshots(
+        &self,
+        views: &Arc<Vec<ViewRt>>,
+        branches: &Arc<Vec<CompiledBranch>>,
+        cutoff: u32,
+    ) -> Vec<Option<Arc<HashTable>>> {
+        let mut out = Vec::new();
+        for b in branches.iter() {
+            for op in &b.ops {
+                if let CompiledOp::Join(CompiledStep {
+                    build: BuildSide::Recursive { view, mode },
+                    build_keys,
+                    ..
+                }) = op
+                {
+                    let v = &views[*view];
+                    let mut rows = Vec::new();
+                    for part in &v.state {
+                        match &*part.lock() {
+                            ViewState::Set(s) => match mode {
+                                RecAllMode::New => rows.extend(s.iter().cloned()),
+                                RecAllMode::Old => rows.extend(s.iter_before(cutoff).cloned()),
+                            },
+                            ViewState::Agg(a) => {
+                                for (key, entry) in a.iter() {
+                                    let vals = match mode {
+                                        RecAllMode::New => Some(entry.values.clone()),
+                                        RecAllMode::Old => a.get_before(key, cutoff),
+                                    };
+                                    if let Some(vals) = vals {
+                                        rows.push(assemble_row(
+                                            key,
+                                            &vals,
+                                            &v.spec.key_cols,
+                                            &v.agg_cols,
+                                        ));
+                                    }
+                                }
+                            }
+                        }
+                    }
+                    out.push(Some(Arc::new(HashTable::build(&rows, build_keys))));
+                } else {
+                    out.push(None);
+                }
+            }
+        }
+        out
+    }
+
+    // ----------------------------------------------------------------
+    // Naive loop (Algorithm 2 / the Spark-SQL-Naive baseline of Fig 10)
+    // ----------------------------------------------------------------
+
+    fn run_naive(
+        &self,
+        views: &Arc<Vec<ViewRt>>,
+        branches: &Arc<Vec<CompiledBranch>>,
+        base_buckets: Buckets,
+    ) -> Result<u32, EngineError> {
+        let p = self.config.partitions;
+        let nv = views.len();
+        let mut round: u32 = 0;
+        // Previous full state as plain (schema-shaped) rows per view/partition.
+        let mut prev: Vec<Vec<Vec<Row>>> = (0..nv).map(|_| vec![Vec::new(); p]).collect();
+        loop {
+            round += 1;
+            if round > self.config.max_iterations {
+                return Err(EngineError::NonTermination {
+                    view: views[0].spec.name.clone(),
+                    iterations: self.config.max_iterations,
+                });
+            }
+            Metrics::add(&self.cluster.metrics.iterations, 1);
+
+            // Derive contributions = base ∪ T(prev); drivers read totals.
+            let mut contributions: Buckets = base_buckets.clone();
+            let snapshots = Arc::new(self.naive_snapshots(branches, &prev));
+            let prev_arc = Arc::new(prev);
+            let views_c = Arc::clone(views);
+            let branches_c = Arc::clone(branches);
+            let fused = self.eval.fused;
+            let tasks: Vec<StageTask<Buckets>> = (0..p)
+                .map(|part| {
+                    let prev = Arc::clone(&prev_arc);
+                    let views_c = Arc::clone(&views_c);
+                    let branches_c = Arc::clone(&branches_c);
+                    let snapshots = Arc::clone(&snapshots);
+                    StageTask::new(part % self.cluster.workers(), move |w| {
+                        let deltas: Vec<DeltaBatch> = views_c
+                            .iter()
+                            .enumerate()
+                            .map(|(vi, v)| DeltaBatch {
+                                rows: prev[vi][part].clone(),
+                                increments: prev[vi][part]
+                                    .iter()
+                                    .map(|r| v.agg_cols.iter().map(|&c| r[c].clone()).collect())
+                                    .collect(),
+                            })
+                            .collect();
+                        let refs: Vec<&DeltaBatch> = deltas.iter().collect();
+                        map_task(&views_c, &branches_c, &refs, &snapshots, part, w, fused)
+                    })
+                })
+                .collect();
+            let map_out = self.cluster.run_stage(tasks);
+            for buckets in map_out {
+                for (vi, per_view) in buckets.into_iter().enumerate() {
+                    for (dst, rows) in per_view.into_iter().enumerate() {
+                        contributions[vi][dst].extend(rows);
+                    }
+                }
+            }
+            prev = Arc::try_unwrap(prev_arc).ok().expect("stage done");
+
+            // Recompute state from scratch; compare with the previous round.
+            let mut changed = false;
+            let mut next: Vec<Vec<Vec<Row>>> = (0..nv).map(|_| vec![Vec::new(); p]).collect();
+            for (vi, v) in views.iter().enumerate() {
+                for part in 0..p {
+                    let mut fresh = if v.is_set() {
+                        ViewState::Set(SetState::new())
+                    } else {
+                        ViewState::Agg(AggState::new())
+                    };
+                    merge_into_state(v, &mut fresh, &contributions[vi][part], 0);
+                    let rows = state_rows(v, &fresh);
+                    let mut sorted = rows.clone();
+                    sorted.sort_unstable();
+                    let mut old_sorted = prev[vi][part].clone();
+                    old_sorted.sort_unstable();
+                    if sorted != old_sorted {
+                        changed = true;
+                    }
+                    next[vi][part] = rows;
+                    *v.state[part].lock() = fresh;
+                }
+            }
+            prev = next;
+            if !changed {
+                return Ok(round - 1);
+            }
+        }
+    }
+
+    fn naive_snapshots(
+        &self,
+        branches: &Arc<Vec<CompiledBranch>>,
+        prev: &[Vec<Vec<Row>>],
+    ) -> Vec<Option<Arc<HashTable>>> {
+        let mut out = Vec::new();
+        for b in branches.iter() {
+            for op in &b.ops {
+                if let CompiledOp::Join(CompiledStep {
+                    build: BuildSide::Recursive { view, .. },
+                    build_keys,
+                    ..
+                }) = op
+                {
+                    let rows: Vec<Row> = prev[*view].iter().flatten().cloned().collect();
+                    out.push(Some(Arc::new(HashTable::build(&rows, build_keys))));
+                } else {
+                    out.push(None);
+                }
+            }
+        }
+        out
+    }
+
+    // ----------------------------------------------------------------
+    // Decomposed evaluation (§7.2): per-partition local fixpoints
+    // ----------------------------------------------------------------
+
+    fn run_decomposed(
+        &self,
+        views: &Arc<Vec<ViewRt>>,
+        branches: &Arc<Vec<CompiledBranch>>,
+        base_buckets: Buckets,
+    ) -> Result<u32, EngineError> {
+        debug_assert_eq!(views.len(), 1);
+        let max_iter = self.config.max_iterations;
+        let p = self.config.partitions;
+        let base = Arc::new(base_buckets);
+        let views_c = Arc::clone(views);
+        let branches_c = Arc::clone(branches);
+        let fused = self.eval.fused;
+        let tasks: Vec<StageTask<Result<u32, ()>>> = (0..p)
+            .map(|part| {
+                let base = Arc::clone(&base);
+                let views_c = Arc::clone(&views_c);
+                let branches_c = Arc::clone(&branches_c);
+                StageTask::new(part % self.cluster.workers(), move |w| {
+                    let v = &views_c[0];
+                    let mut state = v.state[part].lock();
+                    let mut delta = merge_into_state(v, &mut state, &base[0][part], 0);
+                    let mut iters: u32 = 0;
+                    while !delta.is_empty() {
+                        iters += 1;
+                        if iters > max_iter {
+                            return Err(());
+                        }
+                        let mut produced: Vec<Row> = Vec::new();
+                        for b in branches_c.iter() {
+                            let input = delta.reader_rows(b.driver_value_mode, &v.agg_cols);
+                            let out = run_branch(b, &input, &[], 0, usize::MAX, w, fused);
+                            // Translate keys-then-aggs into schema shape; the
+                            // preserved-column property guarantees rows stay
+                            // in this partition.
+                            produced.extend(out.into_iter().map(|r| {
+                                contribution_to_schema_row(&r, &v.spec.key_cols, &v.agg_cols)
+                            }));
+                        }
+                        delta = merge_into_state(v, &mut state, &produced, iters);
+                    }
+                    Ok(iters)
+                })
+            })
+            .collect();
+        let results = self.cluster.run_stage(tasks);
+        let mut max_rounds = 0u32;
+        for r in results {
+            match r {
+                Ok(iters) => max_rounds = max_rounds.max(iters),
+                Err(()) => {
+                    return Err(EngineError::NonTermination {
+                        view: views[0].spec.name.clone(),
+                        iterations: max_iter,
+                    })
+                }
+            }
+        }
+        Metrics::add(&self.cluster.metrics.iterations, max_rounds as u64);
+        Ok(max_rounds)
+    }
+}
+
+// --------------------------------------------------------------------
+// Map-side evaluation
+// --------------------------------------------------------------------
+
+/// Run all branch pipelines over one partition's deltas; returns contributions
+/// bucketed per (target view, target partition). `delta_of(vi)` supplies the
+/// partition's delta for view `vi`.
+fn map_task(
+    views: &[ViewRt],
+    branches: &[CompiledBranch],
+    deltas: &[&DeltaBatch],
+    snapshots: &[Option<Arc<HashTable>>],
+    part: usize,
+    worker: usize,
+    fused: bool,
+) -> Buckets {
+    let p = views[0].state.len();
+    let mut buckets: Buckets = views
+        .iter()
+        .map(|_| (0..p).map(|_| Vec::new()).collect())
+        .collect();
+    let mut op_index = 0usize;
+    for b in branches {
+        let op_base = op_index;
+        op_index += b.ops.len();
+        let delta = deltas[b.driver];
+        if delta.is_empty() {
+            continue;
+        }
+        let driver_view = &views[b.driver];
+        let input = delta.reader_rows(b.driver_value_mode, &driver_view.agg_cols);
+        let produced = run_branch(b, &input, snapshots, op_base, part, worker, fused);
+        // Map-side partial aggregation (Algorithm 5 line 5) / duplicate
+        // elimination before the shuffle.
+        let target = &views[b.target];
+        let partial = partial_aggregate(target, produced);
+        for row in partial {
+            let dst = target.partition_of(&row, p);
+            buckets[b.target][dst].push(row);
+        }
+    }
+    buckets
+}
+
+/// Execute one compiled branch over input rows; returns keys-then-aggs
+/// contribution rows for the target view. `part == usize::MAX` means "no
+/// co-partitioned builds exist" (decomposed mode).
+fn run_branch(
+    b: &CompiledBranch,
+    input: &[Row],
+    snapshots: &[Option<Arc<HashTable>>],
+    op_base: usize,
+    part: usize,
+    worker: usize,
+    fused: bool,
+) -> Vec<Row> {
+    // A leading sort-merge join (if any) is executed eagerly; the remaining
+    // operators run as a (fused or unfused) pipeline.
+    let mut current: Option<Vec<Row>> = None;
+    let mut start = 0usize;
+    for (i, op) in b.ops.iter().enumerate() {
+        match op {
+            CompiledOp::Filter(e) => {
+                // Only pre-execute filters that precede a sort-merge join.
+                if b.ops[i..].iter().any(|o| {
+                    matches!(
+                        o,
+                        CompiledOp::Join(CompiledStep {
+                            build: BuildSide::PartitionedSorted(_),
+                            ..
+                        })
+                    )
+                }) {
+                    let rows = current.get_or_insert_with(|| input.to_vec());
+                    rows.retain(|r| e.eval(r).is_truthy());
+                    start = i + 1;
+                } else {
+                    break;
+                }
+            }
+            CompiledOp::Join(CompiledStep {
+                build: BuildSide::PartitionedSorted(runs),
+                stream_keys,
+                ..
+            }) => {
+                let probe_cols: Vec<usize> = stream_keys
+                    .iter()
+                    .map(|e| match e {
+                        PExpr::Col(c) => *c,
+                        _ => unreachable!("co-partitioned keys are plain columns"),
+                    })
+                    .collect();
+                let mut probe = current.take().unwrap_or_else(|| input.to_vec());
+                let mut out = Vec::new();
+                merge_join(&mut probe, &probe_cols, &runs[part], |r| out.push(r));
+                current = Some(out);
+                start = i + 1;
+            }
+            CompiledOp::Join(_) => break,
+        }
+    }
+
+    let mut steps: Vec<PipelineStep> = Vec::new();
+    for (i, op) in b.ops.iter().enumerate().skip(start) {
+        match op {
+            CompiledOp::Filter(e) => {
+                let e = e.clone();
+                steps.push(PipelineStep::Filter(Arc::new(move |r: &Row| {
+                    e.eval(r).is_truthy()
+                })));
+            }
+            CompiledOp::Join(cs) => {
+                let table: Arc<HashTable> = match &cs.build {
+                    BuildSide::Partitioned(tables) => Arc::clone(&tables[part]),
+                    BuildSide::PartitionedSorted(_) => {
+                        unreachable!("sorted joins executed eagerly above")
+                    }
+                    BuildSide::Replicated(bc) => Arc::clone(bc.on_worker(worker)),
+                    BuildSide::Recursive { .. } => Arc::clone(
+                        snapshots[op_base + i]
+                            .as_ref()
+                            .expect("snapshot built for recursive build side"),
+                    ),
+                };
+                let keys = cs.stream_keys.clone();
+                steps.push(PipelineStep::HashJoin {
+                    table,
+                    key: Arc::new(move |r: &Row| keys.iter().map(|e| e.eval(r)).collect()),
+                });
+            }
+        }
+    }
+    let key_exprs = b.key_exprs.clone();
+    let agg_exprs = b.agg_exprs.clone();
+    let project: rasql_exec::pipeline::MapFn = Arc::new(move |r: &Row| {
+        let mut vals = Vec::with_capacity(key_exprs.len() + agg_exprs.len());
+        for e in &key_exprs {
+            vals.push(e.eval(r));
+        }
+        for e in &agg_exprs {
+            vals.push(e.eval(r));
+        }
+        Row::new(vals)
+    });
+    let pipeline = Pipeline::with_project(steps, project);
+    let input_rows: &[Row] = current.as_deref().unwrap_or(input);
+    if fused {
+        run_fused(input_rows, &pipeline)
+    } else {
+        run_unfused(input_rows, &pipeline)
+    }
+}
+
+/// Translate a keys-then-aggs contribution row into schema order.
+fn contribution_to_schema_row(row: &Row, key_cols: &[usize], agg_cols: &[usize]) -> Row {
+    let arity = key_cols.len() + agg_cols.len();
+    let mut vals = vec![Value::Null; arity];
+    for (i, &c) in key_cols.iter().enumerate() {
+        vals[c] = row[i].clone();
+    }
+    for (j, &c) in agg_cols.iter().enumerate() {
+        vals[c] = row[key_cols.len() + j].clone();
+    }
+    Row::new(vals)
+}
+
+fn assemble_row(key: &[Value], aggs: &[Value], key_cols: &[usize], agg_cols: &[usize]) -> Row {
+    let arity = key_cols.len() + agg_cols.len();
+    let mut vals = vec![Value::Null; arity];
+    for (i, &c) in key_cols.iter().enumerate() {
+        vals[c] = key[i].clone();
+    }
+    for (j, &c) in agg_cols.iter().enumerate() {
+        vals[c] = aggs[j].clone();
+    }
+    Row::new(vals)
+}
+
+/// Map-side partial aggregation / dedup before the shuffle (Algorithm 5).
+/// Input rows are keys-then-aggs; output rows are schema-shaped.
+fn partial_aggregate(target: &ViewRt, produced: Vec<Row>) -> Vec<Row> {
+    if target.is_set() {
+        let mut seen: FxHashSet<Row> = FxHashSet::default();
+        let mut out = Vec::with_capacity(produced.len());
+        for r in produced {
+            let row = contribution_to_schema_row(&r, &target.spec.key_cols, &target.agg_cols);
+            if seen.insert(row.clone()) {
+                out.push(row);
+            }
+        }
+        return out;
+    }
+    // Distinct-tuple columns must be deduplicated globally at the reducer;
+    // locally we may only drop *identical* tuples (idempotent), not merge.
+    if target.modes.contains(&CountMode::DistinctTuple) {
+        let mut seen: FxHashSet<Row> = FxHashSet::default();
+        let mut out = Vec::with_capacity(produced.len());
+        for r in produced {
+            let row = contribution_to_schema_row(&r, &target.spec.key_cols, &target.agg_cols);
+            if seen.insert(row.clone()) {
+                out.push(row);
+            }
+        }
+        return out;
+    }
+    let k = target.spec.key_cols.len();
+    let mut groups: FxHashMap<Box<[Value]>, Vec<Value>> = FxHashMap::default();
+    for r in &produced {
+        let key: Box<[Value]> = r.values()[..k].to_vec().into_boxed_slice();
+        let vals = &r.values()[k..];
+        match groups.entry(key) {
+            std::collections::hash_map::Entry::Vacant(slot) => {
+                slot.insert(vals.to_vec());
+            }
+            std::collections::hash_map::Entry::Occupied(mut slot) => {
+                for (cur, (new, op)) in slot
+                    .get_mut()
+                    .iter_mut()
+                    .zip(vals.iter().zip(&target.ops))
+                {
+                    op.merge(cur, new);
+                }
+            }
+        }
+    }
+    groups
+        .into_iter()
+        .map(|(key, vals)| {
+            let mut kv: Vec<Value> = key.into_vec();
+            kv.extend(vals);
+            contribution_to_schema_row(&Row::new(kv), &target.spec.key_cols, &target.agg_cols)
+        })
+        .collect()
+}
+
+// --------------------------------------------------------------------
+// Reduce-side merge
+// --------------------------------------------------------------------
+
+/// Merge schema-shaped contributions into one partition's state; returns the
+/// delta batch (stamped `round`).
+fn merge_partition(v: &ViewRt, part: usize, contributions: &[Row], round: u32) -> DeltaBatch {
+    let mut state = v.state[part].lock();
+    merge_into_state(v, &mut state, contributions, round)
+}
+
+fn merge_into_state(
+    v: &ViewRt,
+    state: &mut ViewState,
+    contributions: &[Row],
+    round: u32,
+) -> DeltaBatch {
+    let mut delta = DeltaBatch::default();
+    match state {
+        ViewState::Set(s) => {
+            for row in contributions {
+                if s.insert(row.clone(), round) {
+                    delta.rows.push(row.clone());
+                }
+            }
+        }
+        ViewState::Agg(a) => {
+            // Track changed groups; delta rows are assembled after all merges
+            // so a group appears once per round with its final totals.
+            let mut changed: FxHashSet<Box<[Value]>> = FxHashSet::default();
+            for row in contributions {
+                let key: Vec<Value> = v.spec.key_cols.iter().map(|&c| row[c].clone()).collect();
+                let mut vals: Vec<Value> = Vec::with_capacity(v.agg_cols.len());
+                let mut needs_dedup = false;
+                for (j, &c) in v.agg_cols.iter().enumerate() {
+                    match (v.funcs[j], v.modes[j]) {
+                        (AggFunc::Count, CountMode::DistinctTuple) => {
+                            needs_dedup = true;
+                            vals.push(Value::Int(1));
+                        }
+                        (AggFunc::Sum, CountMode::DistinctTuple) => {
+                            needs_dedup = true;
+                            vals.push(row[c].clone());
+                        }
+                        _ => vals.push(row[c].clone()),
+                    }
+                }
+                let dedup_tuple: Option<Vec<Value>> = needs_dedup.then(|| row.values().to_vec());
+                let res = a.merge(&key, &vals, &v.ops, round, dedup_tuple.as_deref());
+                if matches!(res, AggMergeResult::Changed { .. }) {
+                    changed.insert(key.into_boxed_slice());
+                }
+            }
+            for key in changed {
+                if let Some(entry_vals) = a.get(&key) {
+                    let totals: Vec<Value> = entry_vals.to_vec();
+                    let prev = a.get_before(&key, round);
+                    let increments: Box<[Value]> = v
+                        .ops
+                        .iter()
+                        .enumerate()
+                        .map(|(j, op)| match op {
+                            MonotoneOp::Sum => match &prev {
+                                Some(p) => totals[j].sub(&p[j]),
+                                None => totals[j].clone(),
+                            },
+                            _ => totals[j].clone(),
+                        })
+                        .collect();
+                    delta
+                        .rows
+                        .push(assemble_row(&key, &totals, &v.spec.key_cols, &v.agg_cols));
+                    delta.increments.push(increments);
+                }
+            }
+        }
+    }
+    delta
+}
+
+fn state_rows(v: &ViewRt, state: &ViewState) -> Vec<Row> {
+    match state {
+        ViewState::Set(s) => s.iter().cloned().collect(),
+        ViewState::Agg(a) => a
+            .iter()
+            .map(|(k, e)| assemble_row(k, &e.values, &v.spec.key_cols, &v.agg_cols))
+            .collect(),
+    }
+}
+
+fn stream_keys_match(stream_keys: &[PExpr], partition_key: &[usize]) -> bool {
+    stream_keys.len() == partition_key.len()
+        && stream_keys
+            .iter()
+            .zip(partition_key)
+            .all(|(e, &c)| *e == PExpr::Col(c))
+}

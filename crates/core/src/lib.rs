@@ -1,0 +1,37 @@
+#![warn(missing_docs)]
+
+//! # rasql-core
+//!
+//! The RaSQL engine (the paper's primary contribution): recursive-aggregate
+//! SQL compiled to a **fixpoint operator** executed with **distributed
+//! semi-naive evaluation** over the [`rasql_exec`] cluster runtime.
+//!
+//! Entry point: [`RaSqlContext`].
+//!
+//! ```
+//! use rasql_core::RaSqlContext;
+//! use rasql_storage::Relation;
+//!
+//! let ctx = RaSqlContext::in_memory();
+//! ctx.register("edge", Relation::edges(&[(1, 2), (2, 3), (3, 4)])).unwrap();
+//! let tc = ctx.sql(
+//!     "WITH recursive tc (Src, Dst) AS \
+//!        (SELECT Src, Dst FROM edge) UNION \
+//!        (SELECT tc.Src, edge.Dst FROM tc, edge WHERE tc.Dst = edge.Src) \
+//!      SELECT Src, Dst FROM tc",
+//! ).unwrap();
+//! assert_eq!(tc.len(), 6);
+//! ```
+
+pub mod config;
+pub mod context;
+pub mod error;
+pub mod eval;
+pub mod fixpoint;
+pub mod library;
+pub mod prem;
+
+pub use config::{EngineConfig, EvalMode, JoinStrategy};
+pub use context::{QueryStats, RaSqlContext};
+pub use error::EngineError;
+pub use prem::{PremCheckOutcome, PremChecker};

@@ -1,0 +1,259 @@
+//! Graph generators.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use rasql_storage::Relation;
+
+/// RMAT generator configuration. Defaults match the paper (§8): quadrant
+/// probabilities `(0.45, 0.25, 0.15)` (d = 0.15), 10 edges per vertex and
+/// uniform integer weights in `[0, 100)`.
+#[derive(Debug, Clone, Copy)]
+pub struct RmatConfig {
+    /// Probability of the top-left quadrant.
+    pub a: f64,
+    /// Probability of the top-right quadrant.
+    pub b: f64,
+    /// Probability of the bottom-left quadrant.
+    pub c: f64,
+    /// Edges per vertex.
+    pub edge_factor: usize,
+    /// Attach uniform integer weights `[0, 100)` as a cost column.
+    pub weighted: bool,
+}
+
+impl Default for RmatConfig {
+    fn default() -> Self {
+        RmatConfig {
+            a: 0.45,
+            b: 0.25,
+            c: 0.15,
+            edge_factor: 10,
+            weighted: false,
+        }
+    }
+}
+
+/// Generate an RMAT-`n` graph: `n` vertices (rounded up to a power of two for
+/// quadrant recursion, then mapped down), `edge_factor·n` directed edges.
+pub fn rmat(n: usize, config: RmatConfig, seed: u64) -> Relation {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let scale = (n.max(2) as f64).log2().ceil() as u32;
+    let side = 1usize << scale;
+    let m = n * config.edge_factor;
+    let mut weighted = Vec::with_capacity(if config.weighted { m } else { 0 });
+    let mut unweighted = Vec::with_capacity(if config.weighted { 0 } else { m });
+    for _ in 0..m {
+        let (mut x, mut y) = (0usize, 0usize);
+        let mut step = side / 2;
+        while step > 0 {
+            let r: f64 = rng.gen();
+            if r < config.a {
+                // top-left: nothing to add
+            } else if r < config.a + config.b {
+                y += step;
+            } else if r < config.a + config.b + config.c {
+                x += step;
+            } else {
+                x += step;
+                y += step;
+            }
+            step /= 2;
+        }
+        let src = (x % n) as i64;
+        let dst = (y % n) as i64;
+        if config.weighted {
+            weighted.push((src, dst, rng.gen_range(0..100) as f64));
+        } else {
+            unweighted.push((src, dst));
+        }
+    }
+    if config.weighted {
+        Relation::weighted_edges(&weighted)
+    } else {
+        Relation::edges(&unweighted)
+    }
+}
+
+/// An (n+1)×(n+1) grid graph: each cell connects right and down (the paper's
+/// `Grid150` is `grid(150)`). Optionally weighted like RMAT.
+pub fn grid(n: usize, weighted: bool, seed: u64) -> Relation {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let side = n + 1;
+    let id = |r: usize, c: usize| (r * side + c) as i64;
+    let mut w = Vec::new();
+    let mut uw = Vec::new();
+    for r in 0..side {
+        for c in 0..side {
+            if c + 1 < side {
+                if weighted {
+                    w.push((id(r, c), id(r, c + 1), rng.gen_range(0..100) as f64));
+                } else {
+                    uw.push((id(r, c), id(r, c + 1)));
+                }
+            }
+            if r + 1 < side {
+                if weighted {
+                    w.push((id(r, c), id(r + 1, c), rng.gen_range(0..100) as f64));
+                } else {
+                    uw.push((id(r, c), id(r + 1, c)));
+                }
+            }
+        }
+    }
+    if weighted {
+        Relation::weighted_edges(&w)
+    } else {
+        Relation::edges(&uw)
+    }
+}
+
+/// Erdős–Rényi G(n, p): each ordered pair is an edge with probability `p`
+/// (the paper's `G10K-3` is `erdos_renyi(10_000, 1e-3, …)`). Sampled by
+/// geometric skips so generation is O(edges).
+pub fn erdos_renyi(n: usize, p: f64, seed: u64) -> Relation {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut edges = Vec::new();
+    if p <= 0.0 {
+        return Relation::edges(&edges);
+    }
+    let total = (n as u128) * (n as u128);
+    let log1mp = (1.0 - p).ln();
+    let mut idx: u128 = 0;
+    loop {
+        let r: f64 = rng.gen::<f64>().max(f64::MIN_POSITIVE);
+        let skip = (r.ln() / log1mp).floor() as u128 + 1;
+        idx += skip;
+        if idx > total {
+            break;
+        }
+        let e = idx - 1;
+        let src = (e / n as u128) as i64;
+        let dst = (e % n as u128) as i64;
+        edges.push((src, dst));
+    }
+    Relation::edges(&edges)
+}
+
+/// The paper's real-world graphs (Table 1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RealGraph {
+    /// livejournal: 4.8M vertices, 69M edges (avg degree ~14).
+    LiveJournal,
+    /// orkut: 3.1M vertices, 117M edges (avg degree ~38, denser).
+    Orkut,
+    /// arabic-2005: 22.7M vertices, 640M edges (web graph, deep).
+    Arabic,
+    /// twitter-2010: 41.7M vertices, 1.47B edges (heavy skew).
+    Twitter,
+}
+
+impl RealGraph {
+    /// Display name of the scaled stand-in.
+    pub fn name(&self) -> &'static str {
+        match self {
+            RealGraph::LiveJournal => "livejournal-s",
+            RealGraph::Orkut => "orkut-s",
+            RealGraph::Arabic => "arabic-s",
+            RealGraph::Twitter => "twitter-s",
+        }
+    }
+}
+
+/// A scaled RMAT stand-in with the real graph's average degree and a skew
+/// profile in the same rank order (twitter ≫ arabic > orkut > livejournal).
+/// `scale` multiplies the default vertex counts (1.0 → the laptop defaults).
+pub fn real_graph_standin(which: RealGraph, scale: f64, weighted: bool, seed: u64) -> Relation {
+    let (vertices, degree, a) = match which {
+        RealGraph::LiveJournal => (100_000.0, 14, 0.45),
+        RealGraph::Orkut => (60_000.0, 38, 0.45),
+        RealGraph::Arabic => (200_000.0, 28, 0.50),
+        RealGraph::Twitter => (300_000.0, 35, 0.55),
+    };
+    let n = (vertices * scale).max(16.0) as usize;
+    let remainder = (1.0 - a) / 3.0;
+    rmat(
+        n,
+        RmatConfig {
+            a,
+            b: remainder * 1.2,
+            c: remainder * 0.9,
+            edge_factor: degree,
+            weighted,
+        },
+        seed,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rasql_storage::Value;
+
+    #[test]
+    fn rmat_size_and_determinism() {
+        let g1 = rmat(1000, RmatConfig::default(), 42);
+        let g2 = rmat(1000, RmatConfig::default(), 42);
+        assert_eq!(g1.len(), 10_000);
+        assert_eq!(g1, g2);
+        let g3 = rmat(1000, RmatConfig::default(), 43);
+        assert_ne!(g1, g3);
+    }
+
+    #[test]
+    fn rmat_is_skewed() {
+        // With (0.45, 0.25, 0.15) the low-id vertices dominate: the top 1% of
+        // sources must own far more than 1% of edges.
+        let g = rmat(1000, RmatConfig::default(), 7);
+        let mut counts = vec![0usize; 1000];
+        for r in g.rows() {
+            counts[r[0].as_int().unwrap() as usize] += 1;
+        }
+        counts.sort_unstable_by(|a, b| b.cmp(a));
+        let top: usize = counts[..10].iter().sum();
+        assert!(top * 10 > g.len(), "top-1% owns {top} of {}", g.len());
+    }
+
+    #[test]
+    fn rmat_weights_in_range() {
+        let g = rmat(
+            100,
+            RmatConfig {
+                weighted: true,
+                ..Default::default()
+            },
+            1,
+        );
+        for r in g.rows() {
+            let c = match &r[2] {
+                Value::Double(c) => *c,
+                other => panic!("{other:?}"),
+            };
+            assert!((0.0..100.0).contains(&c));
+        }
+    }
+
+    #[test]
+    fn grid_edge_count() {
+        // (n+1)² vertices, 2·n·(n+1) edges.
+        let g = grid(10, false, 0);
+        assert_eq!(g.len(), 2 * 10 * 11);
+    }
+
+    #[test]
+    fn erdos_renyi_density() {
+        let g = erdos_renyi(1000, 1e-2, 5);
+        let expected = 1000.0 * 1000.0 * 1e-2;
+        assert!(
+            (g.len() as f64) > expected * 0.8 && (g.len() as f64) < expected * 1.2,
+            "{} vs {expected}",
+            g.len()
+        );
+    }
+
+    #[test]
+    fn standins_have_expected_density() {
+        let g = real_graph_standin(RealGraph::Orkut, 0.01, false, 3);
+        // 600 vertices × degree 38.
+        assert_eq!(g.len(), 600 * 38);
+    }
+}

@@ -1,0 +1,25 @@
+#![warn(missing_docs)]
+
+//! # rasql-datagen
+//!
+//! Deterministic workload generators for the RaSQL experiments (paper §8,
+//! Appendix E):
+//!
+//! - **RMAT-n** graphs with the paper's parameters `(a,b,c) = (0.45,0.25,0.15)`,
+//!   n vertices and 10n directed edges with uniform integer weights `[0,100)`;
+//! - **Grid-n** graphs (the `Grid150`/`Grid250` family: an (n+1)×(n+1) lattice);
+//! - **G(n,p)** Erdős–Rényi random graphs (the `G10K-3`/`G10K-2` family where
+//!   `-e` means p = 10⁻ᵉ);
+//! - **random trees** with fanout 5-10 and a leaf probability (the Fig 10
+//!   hierarchy datasets), plus `basic`/`sales` value tables;
+//! - **stand-ins** for the real-world graphs of Table 1 (livejournal, orkut,
+//!   arabic, twitter) as RMAT graphs with matched average degree and skew —
+//!   the originals are not redistributable nor laptop-sized (see DESIGN.md).
+//!
+//! All generators take an explicit seed and are reproducible.
+
+pub mod graphs;
+pub mod trees;
+
+pub use graphs::{erdos_renyi, grid, real_graph_standin, rmat, RealGraph, RmatConfig};
+pub use trees::{tree_hierarchy, TreeConfig, TreeData};

@@ -1,0 +1,190 @@
+//! Tree/hierarchy generators for the Fig 10 workloads (Delivery, Management,
+//! MLM): "each tree node has randomly 5 to 10 children, and each child has a
+//! 20% to 60% chance of becoming a leaf".
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use rasql_storage::{DataType, Relation, Row, Schema, Value};
+
+/// Tree generation parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct TreeConfig {
+    /// Approximate number of nodes to generate (generation stops expanding
+    /// once reached).
+    pub target_nodes: usize,
+    /// Minimum children per internal node.
+    pub min_children: usize,
+    /// Maximum children per internal node.
+    pub max_children: usize,
+    /// Probability that a child is a leaf.
+    pub leaf_probability: f64,
+}
+
+impl Default for TreeConfig {
+    fn default() -> Self {
+        TreeConfig {
+            target_nodes: 10_000,
+            min_children: 5,
+            max_children: 10,
+            leaf_probability: 0.4,
+        }
+    }
+}
+
+/// A generated hierarchy with the relations the Fig 10 queries consume.
+pub struct TreeData {
+    /// `child → parent` pairs as `assbl(Part, SPart)`-style rows
+    /// (parent, child) — i.e. `(Part, SPart)`.
+    pub assbl: Relation,
+    /// The same hierarchy as `report(Emp, Mgr)` — (child, parent).
+    pub report: Relation,
+    /// The same hierarchy as `sponsor(M1, M2)` — (parent, child) with
+    /// sponsor = parent.
+    pub sponsor: Relation,
+    /// `basic(Part, Days)` for the leaves (Delivery).
+    pub basic: Relation,
+    /// `sales(M, P)` for every node (MLM).
+    pub sales: Relation,
+    /// Total node count.
+    pub nodes: usize,
+    /// Tree height.
+    pub height: usize,
+}
+
+/// Generate a hierarchy breadth-first.
+pub fn tree_hierarchy(config: TreeConfig, seed: u64) -> TreeData {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut parent_child: Vec<(i64, i64)> = Vec::with_capacity(config.target_nodes);
+    let mut leaves: Vec<i64> = Vec::new();
+    let mut frontier: Vec<i64> = vec![0];
+    let mut next_id: i64 = 1;
+    let mut height = 0usize;
+    while !frontier.is_empty() && (next_id as usize) < config.target_nodes {
+        height += 1;
+        let mut next_frontier = Vec::new();
+        for &node in &frontier {
+            let k = rng.gen_range(config.min_children..=config.max_children);
+            for _ in 0..k {
+                if next_id as usize >= config.target_nodes {
+                    break;
+                }
+                let child = next_id;
+                next_id += 1;
+                parent_child.push((node, child));
+                if rng.gen_bool(config.leaf_probability) {
+                    leaves.push(child);
+                } else {
+                    next_frontier.push(child);
+                }
+            }
+        }
+        if next_frontier.is_empty() && (next_id as usize) < config.target_nodes {
+            // Keep growing from the last generated children.
+            next_frontier = parent_child
+                .iter()
+                .rev()
+                .take(4)
+                .map(|&(_, c)| c)
+                .collect();
+        }
+        frontier = next_frontier;
+    }
+    // Frontier nodes that never expanded are leaves too.
+    leaves.extend(frontier);
+    let nodes = next_id as usize;
+
+    let assbl = Relation::try_new(
+        Schema::new(vec![("Part", DataType::Int), ("SPart", DataType::Int)]),
+        parent_child
+            .iter()
+            .map(|&(p, c)| Row::new(vec![Value::Int(p), Value::Int(c)]))
+            .collect(),
+    )
+    .expect("arity");
+    let report = Relation::try_new(
+        Schema::new(vec![("Emp", DataType::Int), ("Mgr", DataType::Int)]),
+        parent_child
+            .iter()
+            .map(|&(p, c)| Row::new(vec![Value::Int(c), Value::Int(p)]))
+            .collect(),
+    )
+    .expect("arity");
+    let sponsor = Relation::try_new(
+        Schema::new(vec![("M1", DataType::Int), ("M2", DataType::Int)]),
+        parent_child
+            .iter()
+            .map(|&(p, c)| Row::new(vec![Value::Int(p), Value::Int(c)]))
+            .collect(),
+    )
+    .expect("arity");
+    let basic = Relation::try_new(
+        Schema::new(vec![("Part", DataType::Int), ("Days", DataType::Int)]),
+        leaves
+            .iter()
+            .map(|&l| Row::new(vec![Value::Int(l), Value::Int(rng.gen_range(1..30))]))
+            .collect(),
+    )
+    .expect("arity");
+    let sales = Relation::try_new(
+        Schema::new(vec![("M", DataType::Int), ("P", DataType::Double)]),
+        (0..nodes as i64)
+            .map(|m| {
+                Row::new(vec![
+                    Value::Int(m),
+                    Value::Double(rng.gen_range(0.0..1000.0)),
+                ])
+            })
+            .collect(),
+    )
+    .expect("arity");
+
+    TreeData {
+        assbl,
+        report,
+        sponsor,
+        basic,
+        sales,
+        nodes,
+        height,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tree_reaches_target_and_is_deterministic() {
+        let cfg = TreeConfig {
+            target_nodes: 2000,
+            ..Default::default()
+        };
+        let a = tree_hierarchy(cfg, 11);
+        let b = tree_hierarchy(cfg, 11);
+        assert_eq!(a.nodes, 2000);
+        assert_eq!(a.assbl, b.assbl);
+        assert!(a.height >= 3, "height {}", a.height);
+        // Every node except the root appears as a child exactly once.
+        assert_eq!(a.assbl.len(), a.nodes - 1);
+        assert_eq!(a.sales.len(), a.nodes);
+        assert!(!a.basic.is_empty());
+    }
+
+    #[test]
+    fn relations_are_consistent_views_of_one_tree() {
+        let t = tree_hierarchy(
+            TreeConfig {
+                target_nodes: 500,
+                ..Default::default()
+            },
+            3,
+        );
+        assert_eq!(t.assbl.len(), t.report.len());
+        assert_eq!(t.assbl.len(), t.sponsor.len());
+        // report is (child, parent) of assbl's (parent, child).
+        let a = &t.assbl.rows()[0];
+        let r = &t.report.rows()[0];
+        assert_eq!(a[0], r[1]);
+        assert_eq!(a[1], r[0]);
+    }
+}

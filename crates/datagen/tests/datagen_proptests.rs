@@ -1,0 +1,85 @@
+//! Generator invariants: determinism, size contracts, and structural
+//! properties the benchmark harness depends on.
+
+use proptest::prelude::*;
+use rasql_datagen::{erdos_renyi, grid, rmat, tree_hierarchy, RmatConfig, TreeConfig};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn rmat_edge_count_and_bounds(n in 4usize..400, seed in 0u64..100) {
+        let g = rmat(n, RmatConfig::default(), seed);
+        prop_assert_eq!(g.len(), n * 10);
+        for r in g.rows() {
+            let s = r[0].as_int().unwrap();
+            let d = r[1].as_int().unwrap();
+            prop_assert!(s >= 0 && (s as usize) < n);
+            prop_assert!(d >= 0 && (d as usize) < n);
+        }
+    }
+
+    #[test]
+    fn rmat_seeded_determinism(n in 4usize..200, seed in 0u64..50) {
+        prop_assert_eq!(
+            rmat(n, RmatConfig::default(), seed),
+            rmat(n, RmatConfig::default(), seed)
+        );
+    }
+
+    #[test]
+    fn grid_structure(n in 1usize..40) {
+        let g = grid(n, false, 0);
+        let side = n + 1;
+        prop_assert_eq!(g.len(), 2 * n * side);
+        // Every edge goes right or down by exactly one cell.
+        for r in g.rows() {
+            let s = r[0].as_int().unwrap();
+            let d = r[1].as_int().unwrap();
+            let diff = d - s;
+            prop_assert!(diff == 1 || diff == side as i64, "bad edge {s}→{d}");
+        }
+    }
+
+    #[test]
+    fn erdos_renyi_edges_unique_and_in_range(n in 10usize..500) {
+        let g = erdos_renyi(n, 5e-3, 7);
+        let mut seen = std::collections::HashSet::new();
+        for r in g.rows() {
+            let s = r[0].as_int().unwrap();
+            let d = r[1].as_int().unwrap();
+            prop_assert!((s as usize) < n && (d as usize) < n);
+            prop_assert!(seen.insert((s, d)), "duplicate edge {s}→{d}");
+        }
+    }
+
+    #[test]
+    fn tree_is_a_tree(target in 50usize..2000, seed in 0u64..20) {
+        let t = tree_hierarchy(
+            TreeConfig {
+                target_nodes: target,
+                ..Default::default()
+            },
+            seed,
+        );
+        prop_assert_eq!(t.assbl.len(), t.nodes - 1, "tree edge count");
+        // Every child has exactly one parent; node 0 is the root.
+        let mut seen_child = std::collections::HashSet::new();
+        for r in t.assbl.rows() {
+            let child = r[1].as_int().unwrap();
+            prop_assert!(child != 0, "root cannot be a child");
+            prop_assert!(seen_child.insert(child), "child {child} has two parents");
+        }
+        // basic covers only leaves: no leaf appears as a parent.
+        let parents: std::collections::HashSet<i64> = t
+            .assbl
+            .rows()
+            .iter()
+            .map(|r| r[0].as_int().unwrap())
+            .collect();
+        for r in t.basic.rows() {
+            let part = r[0].as_int().unwrap();
+            prop_assert!(!parents.contains(&part), "basic part {part} is internal");
+        }
+    }
+}

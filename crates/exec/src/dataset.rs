@@ -1,0 +1,296 @@
+//! Partitioned datasets: the RDD analog.
+//!
+//! A `Dataset` is a vector of immutable row partitions, each with a *home*
+//! worker. Reading a partition from its home worker is free (an `Arc` clone);
+//! reading it from elsewhere performs a deep copy and is charged to
+//! `remote_fetch_bytes` — making the partition-aware-scheduling ablation
+//! measurable in both metrics and wall-clock.
+
+use crate::cluster::{Cluster, StageTask};
+use crate::metrics::Metrics;
+use rasql_storage::{partition::row_partition, Partitioning, Relation, Row, Schema};
+use std::sync::Arc;
+
+/// A hash-partitioned, distributed (simulated) collection of rows.
+#[derive(Clone)]
+pub struct Dataset {
+    /// Partition data; `Arc` so local access is zero-copy.
+    pub partitions: Vec<Arc<Vec<Row>>>,
+    /// How the data is partitioned.
+    pub partitioning: Partitioning,
+}
+
+impl Dataset {
+    /// Create from pre-built partitions.
+    pub fn from_partitions(partitions: Vec<Vec<Row>>, partitioning: Partitioning) -> Self {
+        Dataset {
+            partitions: partitions.into_iter().map(Arc::new).collect(),
+            partitioning,
+        }
+    }
+
+    /// Hash-partition rows on `key` columns into `n` partitions.
+    pub fn hash_partitioned(rows: Vec<Row>, key: &[usize], n: usize) -> Self {
+        let mut parts: Vec<Vec<Row>> = (0..n).map(|_| Vec::new()).collect();
+        for row in rows {
+            let p = row_partition(&row, key, n);
+            parts[p].push(row);
+        }
+        Dataset::from_partitions(
+            parts,
+            Partitioning::Hash {
+                key: key.to_vec(),
+                partitions: n,
+            },
+        )
+    }
+
+    /// A single-partition dataset.
+    pub fn single(rows: Vec<Row>) -> Self {
+        Dataset::from_partitions(vec![rows], Partitioning::Single)
+    }
+
+    /// Split rows round-robin into `n` partitions with no partitioning
+    /// guarantee (freshly loaded data).
+    pub fn round_robin(rows: Vec<Row>, n: usize) -> Self {
+        let mut parts: Vec<Vec<Row>> = (0..n).map(|_| Vec::new()).collect();
+        for (i, row) in rows.into_iter().enumerate() {
+            parts[i % n].push(row);
+        }
+        Dataset::from_partitions(parts, Partitioning::Unknown { partitions: n })
+    }
+
+    /// Number of partitions.
+    pub fn num_partitions(&self) -> usize {
+        self.partitions.len()
+    }
+
+    /// Total row count.
+    pub fn len(&self) -> usize {
+        self.partitions.iter().map(|p| p.len()).sum()
+    }
+
+    /// True if all partitions are empty.
+    pub fn is_empty(&self) -> bool {
+        self.partitions.iter().all(|p| p.is_empty())
+    }
+
+    /// Gather all rows to the driver.
+    pub fn collect(&self) -> Vec<Row> {
+        let mut out = Vec::with_capacity(self.len());
+        for p in &self.partitions {
+            out.extend(p.iter().cloned());
+        }
+        out
+    }
+
+    /// Materialize into a [`Relation`].
+    pub fn into_relation(&self, schema: Schema) -> Relation {
+        Relation::new_unchecked(schema, self.collect())
+    }
+
+    /// Access partition `p` from worker `worker`: zero-copy if local,
+    /// deep-copied (and metered) if remote.
+    pub fn read_partition(
+        &self,
+        cluster: &Cluster,
+        p: usize,
+        worker: usize,
+    ) -> Arc<Vec<Row>> {
+        let data = Arc::clone(&self.partitions[p]);
+        if cluster.owner_of(p) == worker {
+            data
+        } else {
+            let bytes: usize = data.iter().map(Row::size_bytes).sum();
+            Metrics::add(&cluster.metrics.remote_fetch_bytes, bytes as u64);
+            // The deep copy is the simulated network transfer.
+            Arc::new(data.as_ref().clone())
+        }
+    }
+
+    /// Run `f` over every partition as one stage; produces a new dataset with
+    /// the same partition count and `Unknown` partitioning (caller may
+    /// reassert a partitioning it knows is preserved).
+    pub fn map_partitions(
+        &self,
+        cluster: &Cluster,
+        f: impl Fn(usize, &[Row]) -> Vec<Row> + Send + Sync + 'static,
+    ) -> Dataset {
+        let f = Arc::new(f);
+        let n = self.num_partitions();
+        let tasks: Vec<StageTask<Vec<Row>>> = (0..n)
+            .map(|p| {
+                let f = Arc::clone(&f);
+                let this = self.clone();
+                let cluster_metrics = Arc::clone(&cluster.metrics);
+                let owner = cluster.owner_of(p);
+                StageTask::new(owner, move |w| {
+                    let data = Arc::clone(&this.partitions[p]);
+                    let data = if w != owner {
+                        let bytes: usize = data.iter().map(Row::size_bytes).sum();
+                        Metrics::add(&cluster_metrics.remote_fetch_bytes, bytes as u64);
+                        Arc::new(data.as_ref().clone())
+                    } else {
+                        data
+                    };
+                    f(p, &data)
+                })
+            })
+            .collect();
+        let parts = cluster.run_stage(tasks);
+        Dataset::from_partitions(parts, Partitioning::Unknown { partitions: n })
+    }
+
+    /// Shuffle into `n` partitions hash-keyed on `key` columns, as a
+    /// map-exchange stage pair. Bytes that cross worker boundaries are charged
+    /// to `shuffle_bytes`.
+    pub fn shuffle(&self, cluster: &Cluster, key: &[usize], n: usize) -> Dataset {
+        let key_owned: Vec<usize> = key.to_vec();
+        let src_parts = self.num_partitions();
+        // Map side: bucket each source partition's rows by target partition.
+        let key_for_task = key_owned.clone();
+        let buckets: Vec<Vec<Vec<Row>>> = {
+            let this = self.clone();
+            let tasks: Vec<StageTask<Vec<Vec<Row>>>> = (0..src_parts)
+                .map(|p| {
+                    let this = this.clone();
+                    let key = key_for_task.clone();
+                    let owner = cluster.owner_of(p);
+                    StageTask::new(owner, move |_w| {
+                        let mut out: Vec<Vec<Row>> = (0..n).map(|_| Vec::new()).collect();
+                        for row in this.partitions[p].iter() {
+                            let t = row_partition(row, &key, n);
+                            out[t].push(row.clone());
+                        }
+                        out
+                    })
+                })
+                .collect();
+            cluster.run_stage(tasks)
+        };
+        // Exchange: gather bucket (src → dst) into dst partitions; count the
+        // worker-crossing volume.
+        let mut parts: Vec<Vec<Row>> = (0..n).map(|_| Vec::new()).collect();
+        let mut moved_rows = 0u64;
+        let mut moved_bytes = 0u64;
+        for (src, mut src_buckets) in buckets.into_iter().enumerate() {
+            for (dst, bucket) in src_buckets.drain(..).enumerate() {
+                if cluster.owner_of(src) != cluster.owner_of(dst) {
+                    moved_rows += bucket.len() as u64;
+                    moved_bytes += bucket.iter().map(Row::size_bytes).sum::<usize>() as u64;
+                }
+                parts[dst].extend(bucket);
+            }
+        }
+        Metrics::add(&cluster.metrics.shuffle_rows, moved_rows);
+        Metrics::add(&cluster.metrics.shuffle_bytes, moved_bytes);
+        Dataset::from_partitions(
+            parts,
+            Partitioning::Hash {
+                key: key_owned,
+                partitions: n,
+            },
+        )
+    }
+
+    /// Repartition to `n` partitions on `key` only if the current partitioning
+    /// does not already satisfy it.
+    pub fn shuffle_if_needed(&self, cluster: &Cluster, key: &[usize], n: usize) -> Dataset {
+        if self.partitioning.satisfies_hash(key, n) {
+            self.clone()
+        } else {
+            self.shuffle(cluster, key, n)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cluster::ClusterConfig;
+    use rasql_storage::row::int_row;
+
+    fn rows(n: i64) -> Vec<Row> {
+        (0..n).map(|i| int_row(&[i, i * 10])).collect()
+    }
+
+    #[test]
+    fn hash_partitioning_groups_keys() {
+        let d = Dataset::hash_partitioned(rows(100), &[0], 4);
+        assert_eq!(d.len(), 100);
+        // Every row in partition p hashes to p.
+        for (p, part) in d.partitions.iter().enumerate() {
+            for r in part.iter() {
+                assert_eq!(row_partition(r, &[0], 4), p);
+            }
+        }
+    }
+
+    #[test]
+    fn shuffle_repartitions_correctly() {
+        let c = Cluster::new(ClusterConfig::with_workers(2));
+        let d = Dataset::round_robin(rows(50), 4);
+        let s = d.shuffle(&c, &[1], 4);
+        assert_eq!(s.len(), 50);
+        assert!(s.partitioning.satisfies_hash(&[1], 4));
+        assert!(c.metrics.snapshot().shuffle_rows > 0);
+    }
+
+    #[test]
+    fn shuffle_if_needed_is_noop_when_satisfied() {
+        let c = Cluster::new(ClusterConfig::with_workers(2));
+        let d = Dataset::hash_partitioned(rows(10), &[0], 4);
+        let before = c.metrics.snapshot().shuffle_rows;
+        let s = d.shuffle_if_needed(&c, &[0], 4);
+        assert_eq!(c.metrics.snapshot().shuffle_rows, before);
+        assert_eq!(s.len(), 10);
+    }
+
+    #[test]
+    fn map_partitions_applies_per_partition() {
+        let c = Cluster::new(ClusterConfig::with_workers(2));
+        let d = Dataset::hash_partitioned(rows(20), &[0], 4);
+        let doubled = d.map_partitions(&c, |_p, part| {
+            part.iter()
+                .map(|r| int_row(&[r[0].as_int().unwrap() * 2]))
+                .collect()
+        });
+        assert_eq!(doubled.len(), 20);
+        let mut all: Vec<i64> = doubled
+            .collect()
+            .iter()
+            .map(|r| r[0].as_int().unwrap())
+            .collect();
+        all.sort_unstable();
+        assert_eq!(all, (0..20).map(|i| i * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn non_aware_scheduling_pays_remote_fetches() {
+        let aware = Cluster::new(ClusterConfig {
+            workers: 4,
+            partition_aware: true,
+            ..Default::default()
+        });
+        let drift = Cluster::new(ClusterConfig {
+            workers: 4,
+            partition_aware: false,
+            ..Default::default()
+        });
+        let d = Dataset::hash_partitioned(rows(100), &[0], 8);
+        d.map_partitions(&aware, |_p, part| part.to_vec());
+        d.map_partitions(&drift, |_p, part| part.to_vec());
+        assert_eq!(aware.metrics.snapshot().remote_fetch_bytes, 0);
+        assert!(drift.metrics.snapshot().remote_fetch_bytes > 0);
+    }
+
+    #[test]
+    fn collect_round_trip() {
+        let d = Dataset::hash_partitioned(rows(30), &[0], 4);
+        let mut got = d.collect();
+        got.sort_unstable();
+        let mut want = rows(30);
+        want.sort_unstable();
+        assert_eq!(got, want);
+    }
+}

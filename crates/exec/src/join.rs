@@ -1,0 +1,216 @@
+//! Join kernels (paper Appendix D).
+//!
+//! - **Hash join**: the base/build side is hashed once and cached across
+//!   fixpoint iterations (the paper always builds on the base relation);
+//!   the delta streams and probes.
+//! - **Sort-merge join**: both sides sorted by key, merged; the base side's
+//!   sorted run is likewise built once and reused.
+
+use rasql_storage::{FxHashMap, Row, Value};
+
+/// A multimap hash table over `key_cols` of the build rows.
+#[derive(Debug, Clone, Default)]
+pub struct HashTable {
+    map: FxHashMap<Box<[Value]>, Vec<Row>>,
+    key_cols: Vec<usize>,
+}
+
+impl HashTable {
+    /// Build from rows.
+    pub fn build(rows: &[Row], key_cols: &[usize]) -> Self {
+        let mut map: FxHashMap<Box<[Value]>, Vec<Row>> = FxHashMap::default();
+        for row in rows {
+            let key: Box<[Value]> = key_cols.iter().map(|&c| row[c].clone()).collect();
+            map.entry(key).or_default().push(row.clone());
+        }
+        HashTable {
+            map,
+            key_cols: key_cols.to_vec(),
+        }
+    }
+
+    /// Key columns this table is built on.
+    pub fn key_cols(&self) -> &[usize] {
+        &self.key_cols
+    }
+
+    /// Probe with key values.
+    #[inline]
+    pub fn probe(&self, key: &[Value]) -> &[Row] {
+        self.map.get(key).map(|v| v.as_slice()).unwrap_or(&[])
+    }
+
+    /// Number of distinct keys.
+    pub fn keys(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Total rows stored.
+    pub fn len(&self) -> usize {
+        self.map.values().map(Vec::len).sum()
+    }
+
+    /// True if empty.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// Approximate memory footprint: the paper notes a hashed relation is
+    /// typically 2-3x the raw data — this is what broadcast compression avoids
+    /// shipping.
+    pub fn size_bytes(&self) -> usize {
+        self.map
+            .iter()
+            .map(|(k, v)| {
+                32 + k.iter().map(Value::size_bytes).sum::<usize>()
+                    + v.iter().map(Row::size_bytes).sum::<usize>()
+            })
+            .sum()
+    }
+}
+
+/// A build side pre-sorted on its key columns, reusable across iterations.
+#[derive(Debug, Clone)]
+pub struct SortedRun {
+    rows: Vec<Row>,
+    key_cols: Vec<usize>,
+}
+
+impl SortedRun {
+    /// Sort rows by key columns.
+    pub fn build(mut rows: Vec<Row>, key_cols: &[usize]) -> Self {
+        rows.sort_unstable_by(|a, b| cmp_keys(a, b, key_cols, key_cols));
+        SortedRun {
+            rows,
+            key_cols: key_cols.to_vec(),
+        }
+    }
+
+    /// The sorted rows.
+    pub fn rows(&self) -> &[Row] {
+        &self.rows
+    }
+
+    /// Key columns.
+    pub fn key_cols(&self) -> &[usize] {
+        &self.key_cols
+    }
+}
+
+fn cmp_keys(a: &Row, b: &Row, a_cols: &[usize], b_cols: &[usize]) -> std::cmp::Ordering {
+    for (&ca, &cb) in a_cols.iter().zip(b_cols) {
+        let o = a[ca].cmp(&b[cb]);
+        if o != std::cmp::Ordering::Equal {
+            return o;
+        }
+    }
+    std::cmp::Ordering::Equal
+}
+
+/// Sort-merge join: sorts the probe side, merges against the pre-sorted build
+/// run, and emits `probe ++ build` rows through `emit`.
+pub fn merge_join(
+    probe: &mut Vec<Row>,
+    probe_keys: &[usize],
+    build: &SortedRun,
+    mut emit: impl FnMut(Row),
+) {
+    probe.sort_unstable_by(|a, b| cmp_keys(a, b, probe_keys, probe_keys));
+    let build_rows = build.rows();
+    let bk = build.key_cols();
+    let mut bi = 0usize;
+    let mut pi = 0usize;
+    while pi < probe.len() && bi < build_rows.len() {
+        match cmp_keys(&probe[pi], &build_rows[bi], probe_keys, bk) {
+            std::cmp::Ordering::Less => pi += 1,
+            std::cmp::Ordering::Greater => bi += 1,
+            std::cmp::Ordering::Equal => {
+                // Find the full runs of equal keys on both sides.
+                let b_start = bi;
+                let mut b_end = bi + 1;
+                while b_end < build_rows.len()
+                    && cmp_keys(&build_rows[b_start], &build_rows[b_end], bk, bk)
+                        == std::cmp::Ordering::Equal
+                {
+                    b_end += 1;
+                }
+                let p_start = pi;
+                let mut p_end = pi + 1;
+                while p_end < probe.len()
+                    && cmp_keys(&probe[p_start], &probe[p_end], probe_keys, probe_keys)
+                        == std::cmp::Ordering::Equal
+                {
+                    p_end += 1;
+                }
+                for p in &probe[p_start..p_end] {
+                    for b in &build_rows[b_start..b_end] {
+                        emit(p.concat(b));
+                    }
+                }
+                pi = p_end;
+                bi = b_end;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rasql_storage::row::int_row;
+
+    #[test]
+    fn hash_table_build_and_probe() {
+        let rows = vec![int_row(&[1, 10]), int_row(&[1, 11]), int_row(&[2, 20])];
+        let ht = HashTable::build(&rows, &[0]);
+        assert_eq!(ht.keys(), 2);
+        assert_eq!(ht.len(), 3);
+        assert_eq!(ht.probe(&[Value::Int(1)]).len(), 2);
+        assert_eq!(ht.probe(&[Value::Int(3)]).len(), 0);
+    }
+
+    #[test]
+    fn hash_table_is_larger_than_raw() {
+        let rows: Vec<Row> = (0..1000).map(|i| int_row(&[i, i])).collect();
+        let raw: usize = rows.iter().map(Row::size_bytes).sum();
+        let ht = HashTable::build(&rows, &[0]);
+        assert!(ht.size_bytes() > raw, "{} !> {raw}", ht.size_bytes());
+    }
+
+    #[test]
+    fn merge_join_matches_hash_join() {
+        let build_rows: Vec<Row> = (0..50).map(|i| int_row(&[i % 10, i])).collect();
+        let probe_rows: Vec<Row> = (0..30).map(|i| int_row(&[i % 15, i * 100])).collect();
+
+        // Hash join reference.
+        let ht = HashTable::build(&build_rows, &[0]);
+        let mut expected = Vec::new();
+        for p in &probe_rows {
+            for b in ht.probe(std::slice::from_ref(&p[0])) {
+                expected.push(p.concat(b));
+            }
+        }
+        expected.sort_unstable();
+
+        // Merge join.
+        let run = SortedRun::build(build_rows, &[0]);
+        let mut got = Vec::new();
+        let mut probe = probe_rows;
+        merge_join(&mut probe, &[0], &run, |r| got.push(r));
+        got.sort_unstable();
+
+        assert_eq!(got, expected);
+        assert!(!got.is_empty());
+    }
+
+    #[test]
+    fn merge_join_empty_sides() {
+        let run = SortedRun::build(vec![], &[0]);
+        let mut probe = vec![int_row(&[1])];
+        let mut n = 0;
+        merge_join(&mut probe, &[0], &run, |_| n += 1);
+        assert_eq!(n, 0);
+    }
+
+    use rasql_storage::Value;
+}

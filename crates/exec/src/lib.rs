@@ -1,0 +1,39 @@
+#![warn(missing_docs)]
+
+//! # rasql-exec
+//!
+//! The distributed-runtime substrate of the RaSQL reproduction: a
+//! **cluster simulator** standing in for Apache Spark (see DESIGN.md for the
+//! substitution argument). It provides:
+//!
+//! - a pool of worker threads with **stage-granular scheduling** and a
+//!   pluggable **locality policy** (partition-aware vs. Spark's default hybrid
+//!   policy, §6.1 of the paper);
+//! - hash-partitioned [`Dataset`]s whose partitions live on owning workers;
+//!   running a task away from its partition's home incurs a *real* deep copy,
+//!   so locality effects show up in wall-clock time and in [`Metrics`];
+//! - shuffle exchanges with byte accounting;
+//! - broadcast variables with byte accounting (compressed payloads are the
+//!   caller's choice — §7.2);
+//! - the mutable per-partition fixpoint state of §6.1/§6.2: [`SetState`]
+//!   (the SetRDD analog) and [`AggState`] (monotone aggregate maps);
+//! - hash-join and sort-merge-join kernels (Appendix D);
+//! - **fused vs. unfused operator pipelines** — the code-generation analog
+//!   (§7.3): the unfused backend materializes an intermediate collection per
+//!   operator, the fused backend collapses all steps into one pass.
+
+pub mod broadcast;
+pub mod cluster;
+pub mod dataset;
+pub mod join;
+pub mod metrics;
+pub mod pipeline;
+pub mod state;
+
+pub use broadcast::Broadcast;
+pub use cluster::{Cluster, ClusterConfig, StageTask};
+pub use dataset::Dataset;
+pub use join::{merge_join, HashTable};
+pub use metrics::{Metrics, MetricsSnapshot};
+pub use pipeline::{run_fused, run_unfused, Pipeline, PipelineStep};
+pub use state::{AggState, MergeOutcome, MonotoneOp, SetState};

@@ -1,0 +1,120 @@
+//! Runtime metrics: the counters the paper's ablations reason about
+//! (stages scheduled, bytes shuffled, remote fetches, broadcast volume).
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Shared atomic counters updated by workers during execution.
+#[derive(Debug, Default)]
+pub struct Metrics {
+    /// Stages executed (each stage = one barrier).
+    pub stages: AtomicU64,
+    /// Tasks executed.
+    pub tasks: AtomicU64,
+    /// Rows moved through shuffle exchanges.
+    pub shuffle_rows: AtomicU64,
+    /// Bytes moved through shuffle exchanges (worker-crossing only).
+    pub shuffle_bytes: AtomicU64,
+    /// Bytes deep-copied because a task ran away from its partition's home
+    /// worker (the cost partition-aware scheduling avoids).
+    pub remote_fetch_bytes: AtomicU64,
+    /// Bytes sent by broadcast (payload × receiving workers).
+    pub broadcast_bytes: AtomicU64,
+    /// Rows produced by join probes.
+    pub join_output_rows: AtomicU64,
+    /// Fixpoint iterations executed.
+    pub iterations: AtomicU64,
+}
+
+impl Metrics {
+    /// New zeroed metrics.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Add to a counter.
+    #[inline]
+    pub fn add(counter: &AtomicU64, v: u64) {
+        counter.fetch_add(v, Ordering::Relaxed);
+    }
+
+    /// Reset all counters to zero.
+    pub fn reset(&self) {
+        self.stages.store(0, Ordering::Relaxed);
+        self.tasks.store(0, Ordering::Relaxed);
+        self.shuffle_rows.store(0, Ordering::Relaxed);
+        self.shuffle_bytes.store(0, Ordering::Relaxed);
+        self.remote_fetch_bytes.store(0, Ordering::Relaxed);
+        self.broadcast_bytes.store(0, Ordering::Relaxed);
+        self.join_output_rows.store(0, Ordering::Relaxed);
+        self.iterations.store(0, Ordering::Relaxed);
+    }
+
+    /// Take a plain-value snapshot.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        MetricsSnapshot {
+            stages: self.stages.load(Ordering::Relaxed),
+            tasks: self.tasks.load(Ordering::Relaxed),
+            shuffle_rows: self.shuffle_rows.load(Ordering::Relaxed),
+            shuffle_bytes: self.shuffle_bytes.load(Ordering::Relaxed),
+            remote_fetch_bytes: self.remote_fetch_bytes.load(Ordering::Relaxed),
+            broadcast_bytes: self.broadcast_bytes.load(Ordering::Relaxed),
+            join_output_rows: self.join_output_rows.load(Ordering::Relaxed),
+            iterations: self.iterations.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// A point-in-time copy of [`Metrics`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct MetricsSnapshot {
+    /// Stages executed.
+    pub stages: u64,
+    /// Tasks executed.
+    pub tasks: u64,
+    /// Rows shuffled.
+    pub shuffle_rows: u64,
+    /// Bytes shuffled across workers.
+    pub shuffle_bytes: u64,
+    /// Bytes deep-copied for non-local tasks.
+    pub remote_fetch_bytes: u64,
+    /// Broadcast bytes.
+    pub broadcast_bytes: u64,
+    /// Join output rows.
+    pub join_output_rows: u64,
+    /// Fixpoint iterations.
+    pub iterations: u64,
+}
+
+impl std::fmt::Display for MetricsSnapshot {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "stages={} tasks={} iters={} shuffle={} rows/{} B remote_fetch={} B broadcast={} B join_out={}",
+            self.stages,
+            self.tasks,
+            self.iterations,
+            self.shuffle_rows,
+            self.shuffle_bytes,
+            self.remote_fetch_bytes,
+            self.broadcast_bytes,
+            self.join_output_rows
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn snapshot_and_reset() {
+        let m = Metrics::new();
+        Metrics::add(&m.stages, 3);
+        Metrics::add(&m.shuffle_bytes, 100);
+        let s = m.snapshot();
+        assert_eq!(s.stages, 3);
+        assert_eq!(s.shuffle_bytes, 100);
+        m.reset();
+        assert_eq!(m.snapshot(), MetricsSnapshot::default());
+    }
+}

@@ -1,0 +1,159 @@
+//! Property-based tests for the execution substrate: shuffles preserve the
+//! multiset of rows, fused and unfused pipelines agree, and the monotone
+//! aggregate state is order-insensitive where the algebra says it must be.
+
+use proptest::prelude::*;
+use rasql_exec::state::{AggState, MonotoneOp};
+use rasql_exec::{
+    run_fused, run_unfused, Cluster, ClusterConfig, Dataset, HashTable, Pipeline, PipelineStep,
+    SetState,
+};
+use rasql_storage::row::int_row;
+use rasql_storage::{Row, Value};
+use std::sync::Arc;
+use std::time::Duration;
+
+fn quiet_cluster(workers: usize) -> Cluster {
+    Cluster::new(ClusterConfig {
+        workers,
+        partition_aware: true,
+        stage_latency: Duration::ZERO,
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn shuffle_preserves_multiset(
+        rows in prop::collection::vec((0i64..50, 0i64..50), 0..200),
+        parts in 1usize..9,
+    ) {
+        let c = quiet_cluster(3);
+        let data: Vec<Row> = rows.iter().map(|&(a, b)| int_row(&[a, b])).collect();
+        let d = Dataset::round_robin(data.clone(), 4);
+        let s = d.shuffle(&c, &[1], parts);
+        prop_assert_eq!(s.num_partitions(), parts);
+        let mut got = s.collect();
+        let mut want = data;
+        got.sort();
+        want.sort();
+        prop_assert_eq!(got, want);
+    }
+
+    #[test]
+    fn fused_equals_unfused_on_random_pipelines(
+        input in prop::collection::vec((0i64..30, 0i64..30), 0..120),
+        build in prop::collection::vec((0i64..30, 0i64..100), 0..60),
+        threshold in 0i64..30,
+    ) {
+        let input_rows: Vec<Row> = input.iter().map(|&(a, b)| int_row(&[a, b])).collect();
+        let build_rows: Vec<Row> = build.iter().map(|&(a, b)| int_row(&[a, b])).collect();
+        let table = Arc::new(HashTable::build(&build_rows, &[0]));
+        let steps = vec![
+            PipelineStep::Filter(Arc::new(move |r: &Row| {
+                r[0].as_int().unwrap() >= threshold
+            })),
+            PipelineStep::HashJoin {
+                table,
+                key: Arc::new(|r: &Row| vec![r[1].clone()]),
+            },
+            PipelineStep::Filter(Arc::new(|r: &Row| r[3].as_int().unwrap() % 2 == 0)),
+        ];
+        let pipeline = Pipeline::with_project(steps, Arc::new(|r: &Row| r.project(&[0, 3])));
+        let mut a = run_fused(&input_rows, &pipeline);
+        let mut b = run_unfused(&input_rows, &pipeline);
+        a.sort();
+        b.sort();
+        prop_assert_eq!(a, b);
+    }
+
+    #[test]
+    fn min_state_is_order_insensitive(
+        contribs in prop::collection::vec((0i64..10, -100i64..100), 1..80),
+    ) {
+        // Merging the same contributions in any order yields the same totals.
+        let ops = [MonotoneOp::Min];
+        let mut forward = AggState::new();
+        for (round, &(k, v)) in contribs.iter().enumerate() {
+            forward.merge(&[Value::Int(k)], &[Value::Int(v)], &ops, round as u32, None);
+        }
+        let mut reversed = AggState::new();
+        for (round, &(k, v)) in contribs.iter().rev().enumerate() {
+            reversed.merge(&[Value::Int(k)], &[Value::Int(v)], &ops, round as u32, None);
+        }
+        for &(k, _) in &contribs {
+            prop_assert_eq!(
+                forward.get(&[Value::Int(k)]).unwrap(),
+                reversed.get(&[Value::Int(k)]).unwrap()
+            );
+        }
+    }
+
+    #[test]
+    fn sum_state_is_order_insensitive(
+        contribs in prop::collection::vec((0i64..10, 1i64..100), 1..80),
+    ) {
+        let ops = [MonotoneOp::Sum];
+        let mut forward = AggState::new();
+        let mut reversed = AggState::new();
+        for (round, &(k, v)) in contribs.iter().enumerate() {
+            forward.merge(&[Value::Int(k)], &[Value::Int(v)], &ops, round as u32, None);
+        }
+        for (round, &(k, v)) in contribs.iter().rev().enumerate() {
+            reversed.merge(&[Value::Int(k)], &[Value::Int(v)], &ops, round as u32, None);
+        }
+        for &(k, _) in &contribs {
+            prop_assert_eq!(
+                forward.get(&[Value::Int(k)]).unwrap(),
+                reversed.get(&[Value::Int(k)]).unwrap()
+            );
+        }
+    }
+
+    #[test]
+    fn set_state_is_a_set(rows in prop::collection::vec((0i64..15, 0i64..15), 0..100)) {
+        let mut s = SetState::new();
+        let mut inserted = 0;
+        for (round, &(a, b)) in rows.iter().enumerate() {
+            if s.insert(int_row(&[a, b]), round as u32) {
+                inserted += 1;
+            }
+        }
+        let distinct: std::collections::HashSet<_> = rows.iter().collect();
+        prop_assert_eq!(inserted, distinct.len());
+        prop_assert_eq!(s.len(), distinct.len());
+    }
+
+    #[test]
+    fn map_partitions_preserves_counts(
+        rows in prop::collection::vec((0i64..100, 0i64..100), 0..150),
+        workers in 1usize..5,
+    ) {
+        let c = quiet_cluster(workers);
+        let data: Vec<Row> = rows.iter().map(|&(a, b)| int_row(&[a, b])).collect();
+        let d = Dataset::hash_partitioned(data, &[0], workers * 2);
+        let out = d.map_partitions(&c, |_p, part| part.to_vec());
+        prop_assert_eq!(out.len(), rows.len());
+    }
+}
+
+#[test]
+fn agg_state_increments_sum_to_total() {
+    // The increments reported across rounds must sum to the final total.
+    let ops = [MonotoneOp::Sum];
+    let mut st = AggState::new();
+    let mut sum_of_increments = 0i64;
+    for round in 0..20u32 {
+        let v = (round as i64 % 5) + 1;
+        if let rasql_exec::state::AggMergeResult::Changed { increments, .. } =
+            st.merge(&[Value::Int(1)], &[Value::Int(v)], &ops, round, None)
+        {
+            sum_of_increments += increments[0].as_int().unwrap();
+        }
+    }
+    assert_eq!(
+        st.get(&[Value::Int(1)]).unwrap()[0],
+        Value::Int(sum_of_increments)
+    );
+}

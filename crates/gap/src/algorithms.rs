@@ -1,0 +1,481 @@
+//! Serial algorithms: GAP-style baselines and test oracles.
+
+use crate::csr::Csr;
+use rasql_storage::{FxHashMap, FxHashSet, Relation};
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// BFS reachability from `source`; returns the set of reached vertex ids
+/// (including the source).
+pub fn bfs_reach(csr: &Csr, source: usize) -> Vec<u32> {
+    if source >= csr.n {
+        return vec![source as u32];
+    }
+    let mut visited = vec![false; csr.n];
+    let mut queue = vec![source as u32];
+    visited[source] = true;
+    let mut head = 0;
+    while head < queue.len() {
+        let v = queue[head] as usize;
+        head += 1;
+        for &w in csr.neighbors(v) {
+            if !visited[w as usize] {
+                visited[w as usize] = true;
+                queue.push(w);
+            }
+        }
+    }
+    queue
+}
+
+/// Label-propagation connected components over the *directed* edges read both
+/// ways (matching the RaSQL CC query run on symmetric inputs); returns per-
+/// vertex labels for vertices that appear in the graph.
+pub fn cc_label_propagation(rel: &Relation) -> FxHashMap<i64, i64> {
+    // Union-find is faster; label propagation matches the paper's algorithm.
+    let mut labels: FxHashMap<i64, i64> = FxHashMap::default();
+    let edges: Vec<(i64, i64)> = rel
+        .rows()
+        .iter()
+        .map(|r| (r[0].as_int().unwrap(), r[1].as_int().unwrap()))
+        .collect();
+    for &(s, d) in &edges {
+        labels.entry(s).or_insert(s);
+        labels.entry(d).or_insert(d);
+    }
+    let mut changed = true;
+    while changed {
+        changed = false;
+        for &(s, d) in &edges {
+            let ls = labels[&s];
+            let ld = labels[&d];
+            if ls < ld {
+                labels.insert(d, ls);
+                changed = true;
+            }
+        }
+    }
+    labels
+}
+
+/// The RaSQL CC query's exact semantics (labels propagate only along edge
+/// direction, initialized from source endpoints): the oracle for Example 2.
+pub fn cc_rasql_oracle(rel: &Relation) -> FxHashMap<i64, i64> {
+    let edges: Vec<(i64, i64)> = rel
+        .rows()
+        .iter()
+        .map(|r| (r[0].as_int().unwrap(), r[1].as_int().unwrap()))
+        .collect();
+    let mut labels: FxHashMap<i64, i64> = FxHashMap::default();
+    for &(s, _) in &edges {
+        labels.entry(s).or_insert(s);
+    }
+    let mut changed = true;
+    while changed {
+        changed = false;
+        for &(s, d) in &edges {
+            if let Some(&ls) = labels.get(&s) {
+                let cur = labels.get(&d).copied();
+                if cur.map(|c| ls < c).unwrap_or(true) {
+                    labels.insert(d, ls);
+                    changed = true;
+                }
+            }
+        }
+    }
+    labels
+}
+
+/// Dijkstra single-source shortest paths; returns distances for reached
+/// vertices. Requires non-negative weights (the paper's generators comply).
+pub fn sssp_dijkstra(csr: &Csr, source: usize) -> FxHashMap<i64, f64> {
+    let mut dist: FxHashMap<i64, f64> = FxHashMap::default();
+    if source >= csr.n {
+        dist.insert(source as i64, 0.0);
+        return dist;
+    }
+    let mut heap: BinaryHeap<Reverse<(u64, u32)>> = BinaryHeap::new();
+    // f64 distances ordered via their bit pattern (non-negative ⇒ monotone).
+    let enc = |d: f64| d.to_bits();
+    dist.insert(source as i64, 0.0);
+    heap.push(Reverse((enc(0.0), source as u32)));
+    while let Some(Reverse((dbits, v))) = heap.pop() {
+        let d = f64::from_bits(dbits);
+        if dist.get(&(v as i64)).copied().unwrap_or(f64::INFINITY) < d {
+            continue;
+        }
+        for (w, c) in csr.weighted_neighbors(v as usize) {
+            let nd = d + c;
+            let cur = dist.get(&(w as i64)).copied().unwrap_or(f64::INFINITY);
+            if nd < cur {
+                dist.insert(w as i64, nd);
+                heap.push(Reverse((enc(nd), w)));
+            }
+        }
+    }
+    dist
+}
+
+/// Number of distinct paths from `source` to each node (DAG inputs only —
+/// cycles would make counts infinite); the oracle for Example 3.
+pub fn count_paths_dag(rel: &Relation, source: i64) -> FxHashMap<i64, i64> {
+    let edges: Vec<(i64, i64)> = rel
+        .rows()
+        .iter()
+        .map(|r| (r[0].as_int().unwrap(), r[1].as_int().unwrap()))
+        .collect();
+    let mut counts: FxHashMap<i64, i64> = FxHashMap::default();
+    counts.insert(source, 1);
+    // Kahn-style propagation: iterate until fixpoint (small inputs).
+    let mut changed = true;
+    while changed {
+        changed = false;
+        let mut next = counts.clone();
+        for &(s, d) in &edges {
+            if let Some(&cs) = counts.get(&s) {
+                let sum: i64 = edges
+                    .iter()
+                    .filter(|&&(x, y)| y == d && counts.contains_key(&x))
+                    .map(|&(x, _)| counts[&x])
+                    .sum();
+                let _ = cs;
+                if next.get(&d) != Some(&sum) && sum > 0 {
+                    next.insert(d, sum);
+                    changed = true;
+                }
+            }
+        }
+        // Do not overwrite the source's own count.
+        next.insert(source, 1);
+        counts = next;
+    }
+    counts
+}
+
+/// Semi-naive transitive closure; returns the number of reachable pairs
+/// (Table 2's TC column).
+pub fn transitive_closure_count(rel: &Relation) -> usize {
+    let csr = Csr::from_relation(rel);
+    let mut total = 0usize;
+    // Per-source BFS: O(V·E) but cache-friendly; fine at bench scale.
+    for s in 0..csr.n {
+        if csr.neighbors(s).is_empty() {
+            continue;
+        }
+        let mut visited = vec![false; csr.n];
+        let mut queue: Vec<u32> = Vec::new();
+        for &w in csr.neighbors(s) {
+            if !visited[w as usize] {
+                visited[w as usize] = true;
+                queue.push(w);
+            }
+        }
+        let mut head = 0;
+        while head < queue.len() {
+            let v = queue[head] as usize;
+            head += 1;
+            for &w in csr.neighbors(v) {
+                if !visited[w as usize] {
+                    visited[w as usize] = true;
+                    queue.push(w);
+                }
+            }
+        }
+        total += queue.len();
+    }
+    total
+}
+
+/// Semi-naive same-generation pair count (Table 2's SG column). `rel` holds
+/// `(parent, child)` rows.
+pub fn same_generation_count(rel: &Relation) -> usize {
+    let pairs: Vec<(i64, i64)> = rel
+        .rows()
+        .iter()
+        .map(|r| (r[0].as_int().unwrap(), r[1].as_int().unwrap()))
+        .collect();
+    // children by parent; parents by child.
+    let mut children: FxHashMap<i64, Vec<i64>> = FxHashMap::default();
+    for &(p, c) in &pairs {
+        children.entry(p).or_default().push(c);
+    }
+    let mut sg: FxHashSet<(i64, i64)> = FxHashSet::default();
+    let mut delta: Vec<(i64, i64)> = Vec::new();
+    for kids in children.values() {
+        for &a in kids {
+            for &b in kids {
+                if a != b && sg.insert((a, b)) {
+                    delta.push((a, b));
+                }
+            }
+        }
+    }
+    // parent lists per node for the recursive case: sg(x,y) ⇒ sg(child(x), child(y)).
+    while !delta.is_empty() {
+        let mut next = Vec::new();
+        for &(x, y) in &delta {
+            if let (Some(cx), Some(cy)) = (children.get(&x), children.get(&y)) {
+                for &a in cx {
+                    for &b in cy {
+                        if sg.insert((a, b)) {
+                            next.push((a, b));
+                        }
+                    }
+                }
+            }
+        }
+        delta = next;
+    }
+    sg.len()
+}
+
+/// Widest-path oracle: maximum bottleneck capacity from `source` to each
+/// reachable node (max-capacity Dijkstra; the source itself has capacity
+/// `source_cap`).
+pub fn widest_path(csr: &Csr, source: usize, source_cap: f64) -> FxHashMap<i64, f64> {
+    let mut cap: FxHashMap<i64, f64> = FxHashMap::default();
+    cap.insert(source as i64, source_cap);
+    if source >= csr.n {
+        return cap;
+    }
+    // Max-heap on capacity (bit pattern of non-negative f64 is monotone).
+    let mut heap: BinaryHeap<(u64, u32)> = BinaryHeap::new();
+    heap.push((source_cap.to_bits(), source as u32));
+    while let Some((cbits, v)) = heap.pop() {
+        let c = f64::from_bits(cbits);
+        if cap.get(&(v as i64)).copied().unwrap_or(0.0) > c {
+            continue;
+        }
+        for (w, ew) in csr.weighted_neighbors(v as usize) {
+            let nc = c.min(ew);
+            let cur = cap.get(&(w as i64)).copied().unwrap_or(f64::NEG_INFINITY);
+            if nc > cur {
+                cap.insert(w as i64, nc);
+                heap.push((nc.to_bits(), w));
+            }
+        }
+    }
+    cap
+}
+
+/// BOM oracle: days until each part is ready (`max` over subpart days).
+/// `assbl` = (part, spart); `basic` = (part, days).
+pub fn waitfor_days(assbl: &Relation, basic: &Relation) -> FxHashMap<i64, i64> {
+    let mut days: FxHashMap<i64, i64> = FxHashMap::default();
+    for r in basic.rows() {
+        let part = r[0].as_int().unwrap();
+        let d = r[1].as_int().unwrap();
+        let e = days.entry(part).or_insert(d);
+        *e = (*e).max(d);
+    }
+    let links: Vec<(i64, i64)> = assbl
+        .rows()
+        .iter()
+        .map(|r| (r[0].as_int().unwrap(), r[1].as_int().unwrap()))
+        .collect();
+    let mut changed = true;
+    while changed {
+        changed = false;
+        for &(part, spart) in &links {
+            if let Some(&d) = days.get(&spart) {
+                let cur = days.get(&part).copied();
+                if cur.map(|c| d > c).unwrap_or(true) {
+                    days.insert(part, d);
+                    changed = true;
+                }
+            }
+        }
+    }
+    days
+}
+
+/// Management oracle: the exact semantics of the Example 4 SQL under
+/// count-in-recursion — every person appearing as `Emp` contributes a base
+/// count of 1 (the tuple `(Emp, 1)`), and a manager accumulates the counts of
+/// all direct reporters. Hence `empCount(x) = [x appears as Emp] + Σ_{e→x}
+/// empCount(e)`: a leaf counts 1 (themselves), an internal manager counts
+/// their whole subtree including themselves, and the root (never an `Emp`)
+/// counts exactly the people they manage. `report` = (emp, mgr).
+pub fn management_counts(report: &Relation) -> FxHashMap<i64, i64> {
+    let mut children: FxHashMap<i64, Vec<i64>> = FxHashMap::default();
+    let mut is_emp: FxHashSet<i64> = FxHashSet::default();
+    for r in report.rows() {
+        let emp = r[0].as_int().unwrap();
+        let mgr = r[1].as_int().unwrap();
+        children.entry(mgr).or_default().push(emp);
+        is_emp.insert(emp);
+    }
+    fn empcount(
+        node: i64,
+        children: &FxHashMap<i64, Vec<i64>>,
+        is_emp: &FxHashSet<i64>,
+        memo: &mut FxHashMap<i64, i64>,
+    ) -> i64 {
+        if let Some(&v) = memo.get(&node) {
+            return v;
+        }
+        let mut v = if is_emp.contains(&node) { 1 } else { 0 };
+        if let Some(kids) = children.get(&node) {
+            for &k in kids {
+                v += empcount(k, children, is_emp, memo);
+            }
+        }
+        memo.insert(node, v);
+        v
+    }
+    let mut memo = FxHashMap::default();
+    let mut out = FxHashMap::default();
+    let mut all: Vec<i64> = children.keys().copied().collect();
+    all.extend(is_emp.iter().copied());
+    all.sort_unstable();
+    all.dedup();
+    for node in all {
+        out.insert(node, empcount(node, &children, &is_emp, &mut memo));
+    }
+    out
+}
+
+/// MLM bonus oracle. `sales` = (member, profit); `sponsor` = (m1 sponsors m2).
+pub fn mlm_bonuses(sales: &Relation, sponsor: &Relation) -> FxHashMap<i64, f64> {
+    let mut children: FxHashMap<i64, Vec<i64>> = FxHashMap::default();
+    for r in sponsor.rows() {
+        children
+            .entry(r[0].as_int().unwrap())
+            .or_default()
+            .push(r[1].as_int().unwrap());
+    }
+    let own: FxHashMap<i64, f64> = sales
+        .rows()
+        .iter()
+        .map(|r| (r[0].as_int().unwrap(), r[1].as_f64().unwrap() * 0.1))
+        .collect();
+    fn bonus(
+        node: i64,
+        children: &FxHashMap<i64, Vec<i64>>,
+        own: &FxHashMap<i64, f64>,
+        memo: &mut FxHashMap<i64, f64>,
+    ) -> f64 {
+        if let Some(&v) = memo.get(&node) {
+            return v;
+        }
+        let mut v = own.get(&node).copied().unwrap_or(0.0);
+        if let Some(kids) = children.get(&node) {
+            for &k in kids {
+                v += 0.5 * bonus(k, children, own, memo);
+            }
+        }
+        memo.insert(node, v);
+        v
+    }
+    let mut memo = FxHashMap::default();
+    let mut out = FxHashMap::default();
+    let mut all: Vec<i64> = own.keys().copied().collect();
+    all.extend(children.keys().copied());
+    all.sort_unstable();
+    all.dedup();
+    for node in all {
+        out.insert(node, bonus(node, &children, &own, &mut memo));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn diamond() -> Relation {
+        // 0→1, 0→2, 1→3, 2→3, 3→4
+        Relation::edges(&[(0, 1), (0, 2), (1, 3), (2, 3), (3, 4)])
+    }
+
+    #[test]
+    fn bfs_reaches_everything_from_root() {
+        let csr = Csr::from_relation(&diamond());
+        let mut r = bfs_reach(&csr, 0);
+        r.sort_unstable();
+        assert_eq!(r, vec![0, 1, 2, 3, 4]);
+        assert_eq!(bfs_reach(&csr, 4), vec![4]);
+    }
+
+    #[test]
+    fn dijkstra_diamond() {
+        let rel = Relation::weighted_edges(&[
+            (0, 1, 1.0),
+            (0, 2, 4.0),
+            (1, 2, 1.0),
+            (2, 3, 1.0),
+        ]);
+        let csr = Csr::from_relation(&rel);
+        let d = sssp_dijkstra(&csr, 0);
+        assert_eq!(d[&2], 2.0);
+        assert_eq!(d[&3], 3.0);
+    }
+
+    #[test]
+    fn count_paths_diamond() {
+        let c = count_paths_dag(&diamond(), 0);
+        assert_eq!(c[&3], 2);
+        assert_eq!(c[&4], 2);
+        assert_eq!(c[&1], 1);
+    }
+
+    #[test]
+    fn tc_count_on_chain() {
+        // 0→1→2→3: pairs = 3+2+1 = 6
+        let rel = Relation::edges(&[(0, 1), (1, 2), (2, 3)]);
+        assert_eq!(transitive_closure_count(&rel), 6);
+    }
+
+    #[test]
+    fn sg_on_balanced_tree() {
+        // parent 0 → 1,2; 1 → 3,4; 2 → 5,6
+        let rel = Relation::edges(&[(0, 1), (0, 2), (1, 3), (1, 4), (2, 5), (2, 6)]);
+        // Same generation: (1,2),(2,1) plus all ordered pairs among {3,4,5,6}
+        // except identities: 4*3 = 12 → total 14.
+        assert_eq!(same_generation_count(&rel), 14);
+    }
+
+    #[test]
+    fn waitfor_oracle() {
+        let assbl = Relation::edges(&[(1, 2), (1, 3), (2, 4)]);
+        let basic = Relation::edges(&[(3, 5), (4, 7)]);
+        let days = waitfor_days(&assbl, &basic);
+        assert_eq!(days[&3], 5);
+        assert_eq!(days[&2], 7);
+        assert_eq!(days[&1], 7);
+    }
+
+    #[test]
+    fn management_oracle() {
+        // 1 manages 2,3; 2 manages 4,5.
+        let report = Relation::edges(&[(2, 1), (3, 1), (4, 2), (5, 2)]);
+        let c = management_counts(&report);
+        assert_eq!(c[&4], 1); // a leaf counts themselves
+        assert_eq!(c[&2], 3); // 2 + reporters 4, 5
+        assert_eq!(c[&1], 4); // root: everyone below (2's 3 + 3's 1)
+    }
+
+    #[test]
+    fn mlm_oracle() {
+        use rasql_storage::{DataType, Row, Schema, Value};
+        let sales = Relation::try_new(
+            Schema::new(vec![("M", DataType::Int), ("P", DataType::Double)]),
+            vec![
+                Row::new(vec![Value::Int(1), Value::Double(100.0)]),
+                Row::new(vec![Value::Int(2), Value::Double(200.0)]),
+            ],
+        )
+        .unwrap();
+        let sponsor = Relation::edges(&[(1, 2)]); // 1 sponsors 2
+        let b = mlm_bonuses(&sales, &sponsor);
+        assert!((b[&2] - 20.0).abs() < 1e-9);
+        assert!((b[&1] - (10.0 + 0.5 * 20.0)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn cc_oracle_directed() {
+        let labels = cc_rasql_oracle(&diamond());
+        // All nodes reachable from 0 get label 0.
+        assert!(labels.values().all(|&l| l == 0));
+    }
+}

@@ -1,0 +1,106 @@
+//! Compressed sparse row adjacency — the representation the GAP benchmark
+//! uses; all serial algorithms run over it.
+
+use rasql_storage::Relation;
+
+/// CSR adjacency with optional edge weights.
+#[derive(Debug, Clone)]
+pub struct Csr {
+    /// Offsets into `targets` per vertex (len = n+1).
+    pub offsets: Vec<usize>,
+    /// Edge targets.
+    pub targets: Vec<u32>,
+    /// Edge weights (empty if unweighted).
+    pub weights: Vec<f64>,
+    /// Vertex count.
+    pub n: usize,
+}
+
+impl Csr {
+    /// Build from an edge relation `(src, dst[, cost])`. Vertex ids are the
+    /// integers that appear; `n` = max id + 1.
+    pub fn from_relation(rel: &Relation) -> Csr {
+        let weighted = rel.schema().arity() >= 3;
+        let mut n = 0usize;
+        for r in rel.rows() {
+            n = n
+                .max(r[0].as_int().unwrap_or(0) as usize + 1)
+                .max(r[1].as_int().unwrap_or(0) as usize + 1);
+        }
+        let mut degree = vec![0usize; n];
+        for r in rel.rows() {
+            degree[r[0].as_int().unwrap() as usize] += 1;
+        }
+        let mut offsets = Vec::with_capacity(n + 1);
+        let mut acc = 0usize;
+        offsets.push(0);
+        for d in &degree {
+            acc += d;
+            offsets.push(acc);
+        }
+        let mut targets = vec![0u32; acc];
+        let mut weights = if weighted { vec![0.0; acc] } else { Vec::new() };
+        let mut cursor = offsets.clone();
+        for r in rel.rows() {
+            let s = r[0].as_int().unwrap() as usize;
+            let pos = cursor[s];
+            cursor[s] += 1;
+            targets[pos] = r[1].as_int().unwrap() as u32;
+            if weighted {
+                weights[pos] = r[2].as_f64().unwrap_or(0.0);
+            }
+        }
+        Csr {
+            offsets,
+            targets,
+            weights,
+            n,
+        }
+    }
+
+    /// Neighbors of `v`.
+    #[inline]
+    pub fn neighbors(&self, v: usize) -> &[u32] {
+        &self.targets[self.offsets[v]..self.offsets[v + 1]]
+    }
+
+    /// Weighted neighbors of `v`.
+    #[inline]
+    pub fn weighted_neighbors(&self, v: usize) -> impl Iterator<Item = (u32, f64)> + '_ {
+        let range = self.offsets[v]..self.offsets[v + 1];
+        self.targets[range.clone()]
+            .iter()
+            .copied()
+            .zip(self.weights[range].iter().copied())
+    }
+
+    /// Edge count.
+    pub fn edges(&self) -> usize {
+        self.targets.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn build_and_neighbors() {
+        let rel = Relation::edges(&[(0, 1), (0, 2), (2, 1), (3, 0)]);
+        let csr = Csr::from_relation(&rel);
+        assert_eq!(csr.n, 4);
+        assert_eq!(csr.edges(), 4);
+        let mut n0 = csr.neighbors(0).to_vec();
+        n0.sort_unstable();
+        assert_eq!(n0, vec![1, 2]);
+        assert!(csr.neighbors(1).is_empty());
+    }
+
+    #[test]
+    fn weighted_build() {
+        let rel = Relation::weighted_edges(&[(0, 1, 2.5), (1, 2, 0.5)]);
+        let csr = Csr::from_relation(&rel);
+        let wn: Vec<(u32, f64)> = csr.weighted_neighbors(0).collect();
+        assert_eq!(wn, vec![(1, 2.5)]);
+    }
+}

@@ -1,0 +1,18 @@
+#![warn(missing_docs)]
+
+//! # rasql-gap
+//!
+//! Single-threaded graph algorithms: the GAP-Serial / COST baseline of the
+//! paper's Fig 9 and Table 3, and the correctness *oracles* the test suite
+//! compares the SQL engine against. Tuned but simple: CSR adjacency, BFS with
+//! a flat queue, label-propagation CC, Dijkstra SSSP, plus semi-naive TC/SG
+//! used for Table 2's output cardinalities.
+
+pub mod csr;
+pub mod algorithms;
+
+pub use algorithms::{
+    bfs_reach, cc_label_propagation, count_paths_dag, management_counts, mlm_bonuses,
+    same_generation_count, sssp_dijkstra, transitive_closure_count, waitfor_days,
+};
+pub use csr::Csr;

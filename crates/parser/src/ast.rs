@@ -1,0 +1,456 @@
+//! Abstract syntax tree of the RaSQL dialect.
+//!
+//! The tree mirrors the paper's grammar (§2): a statement is either a
+//! `CREATE VIEW`, or a query consisting of an optional `WITH` clause holding
+//! (possibly `recursive`) view definitions — each a UNION of sub-queries —
+//! followed by a final `SELECT`.
+
+use std::fmt;
+
+/// A top-level statement.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Statement {
+    /// A (possibly recursive) query.
+    Query(Query),
+    /// `CREATE VIEW name(cols) AS query` — a named, non-recursive view
+    /// registered in the session (used by the Interval Coalesce example).
+    CreateView {
+        /// View name.
+        name: String,
+        /// Declared column names (may be empty = inherit from query).
+        columns: Vec<String>,
+        /// Defining query.
+        query: Query,
+    },
+}
+
+/// A query: `WITH` definitions plus a final select body.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Query {
+    /// CTE definitions, in declaration order.
+    pub ctes: Vec<CteDef>,
+    /// The final `SELECT` (a union chain of one or more selects).
+    pub body: Vec<Select>,
+}
+
+/// One `WITH [recursive] name(columns) AS (q) UNION (q) ...` definition.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CteDef {
+    /// Whether the `recursive` keyword was present.
+    pub recursive: bool,
+    /// View name.
+    pub name: String,
+    /// Declared head columns — plain or aggregate.
+    pub columns: Vec<CteColumn>,
+    /// The UNION-ed sub-queries (base and recursive cases).
+    pub branches: Vec<Select>,
+}
+
+/// A column in a recursive view head: either plain, or the paper's
+/// aggregate-in-head form `min() AS Cost`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CteColumn {
+    /// Output column name.
+    pub name: String,
+    /// The aggregate applied in recursion, if any.
+    pub agg: Option<AggFunc>,
+}
+
+/// The four basic aggregates the paper allows in recursion, plus `avg`
+/// which the analyzer rejects inside recursion (§3: the ratio of monotonic
+/// count and sum is not monotonic) but accepts in final selects.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AggFunc {
+    /// Minimum.
+    Min,
+    /// Maximum.
+    Max,
+    /// Sum.
+    Sum,
+    /// Count.
+    Count,
+    /// Average — stratified contexts only.
+    Avg,
+}
+
+impl AggFunc {
+    /// Parse an aggregate name.
+    pub fn from_name(name: &str) -> Option<AggFunc> {
+        match name.to_ascii_lowercase().as_str() {
+            "min" => Some(AggFunc::Min),
+            "max" => Some(AggFunc::Max),
+            "sum" => Some(AggFunc::Sum),
+            "count" => Some(AggFunc::Count),
+            "avg" => Some(AggFunc::Avg),
+            _ => None,
+        }
+    }
+
+    /// Name for display.
+    pub fn name(&self) -> &'static str {
+        match self {
+            AggFunc::Min => "min",
+            AggFunc::Max => "max",
+            AggFunc::Sum => "sum",
+            AggFunc::Count => "count",
+            AggFunc::Avg => "avg",
+        }
+    }
+
+    /// True for the aggregates PreM admits in recursion.
+    pub fn allowed_in_recursion(&self) -> bool {
+        !matches!(self, AggFunc::Avg)
+    }
+}
+
+impl fmt::Display for AggFunc {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// A single SELECT block.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Select {
+    /// `SELECT DISTINCT`.
+    pub distinct: bool,
+    /// Projection list.
+    pub projection: Vec<SelectItem>,
+    /// FROM items (comma join). Empty for scalar selects like `SELECT 1, 0`.
+    pub from: Vec<TableRef>,
+    /// WHERE predicate.
+    pub where_clause: Option<Expr>,
+    /// GROUP BY expressions.
+    pub group_by: Vec<Expr>,
+    /// HAVING predicate.
+    pub having: Option<Expr>,
+    /// ORDER BY (expression, ascending).
+    pub order_by: Vec<(Expr, bool)>,
+    /// LIMIT row count.
+    pub limit: Option<u64>,
+}
+
+/// One projection item.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SelectItem {
+    /// `expr [AS alias]`.
+    Expr {
+        /// The expression.
+        expr: Expr,
+        /// Optional alias.
+        alias: Option<String>,
+    },
+    /// `*`.
+    Wildcard,
+    /// `t.*`.
+    QualifiedWildcard(String),
+}
+
+/// A FROM-clause item.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TableRef {
+    /// `name [alias]` or `name AS alias`.
+    Table {
+        /// Table/view name.
+        name: String,
+        /// Optional alias.
+        alias: Option<String>,
+    },
+    /// `(query) alias` — derived table.
+    Subquery {
+        /// The subquery.
+        query: Box<Query>,
+        /// Mandatory alias.
+        alias: String,
+    },
+}
+
+impl TableRef {
+    /// The name the item is referred to by in expressions.
+    pub fn binding_name(&self) -> &str {
+        match self {
+            TableRef::Table { name, alias } => alias.as_deref().unwrap_or(name),
+            TableRef::Subquery { alias, .. } => alias,
+        }
+    }
+}
+
+/// Scalar/boolean expressions.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Expr {
+    /// Column reference `[qualifier.]name`.
+    Column {
+        /// Table qualifier.
+        qualifier: Option<String>,
+        /// Column name.
+        name: String,
+    },
+    /// Literal value.
+    Literal(Literal),
+    /// Binary operation.
+    Binary {
+        /// Left operand.
+        left: Box<Expr>,
+        /// Operator.
+        op: BinaryOp,
+        /// Right operand.
+        right: Box<Expr>,
+    },
+    /// Unary operation.
+    Unary {
+        /// Operator.
+        op: UnaryOp,
+        /// Operand.
+        expr: Box<Expr>,
+    },
+    /// Function call — aggregates (`min(x)`, `count(distinct x)`, `count(*)`)
+    /// or scalar functions (`abs`).
+    Func {
+        /// Function name, lower-cased.
+        name: String,
+        /// `DISTINCT` inside the call.
+        distinct: bool,
+        /// Arguments; empty plus `star=true` encodes `count(*)`.
+        args: Vec<Expr>,
+        /// `*` argument.
+        star: bool,
+    },
+    /// `expr IS [NOT] NULL`.
+    IsNull {
+        /// Operand.
+        expr: Box<Expr>,
+        /// True for `IS NOT NULL`.
+        negated: bool,
+    },
+}
+
+impl Expr {
+    /// Unqualified column shorthand.
+    pub fn col(name: impl Into<String>) -> Expr {
+        Expr::Column {
+            qualifier: None,
+            name: name.into(),
+        }
+    }
+
+    /// Qualified column shorthand.
+    pub fn qcol(qualifier: impl Into<String>, name: impl Into<String>) -> Expr {
+        Expr::Column {
+            qualifier: Some(qualifier.into()),
+            name: name.into(),
+        }
+    }
+
+    /// Integer literal shorthand.
+    pub fn int(v: i64) -> Expr {
+        Expr::Literal(Literal::Int(v))
+    }
+
+    /// Walk the expression tree, calling `f` on every node.
+    pub fn visit(&self, f: &mut impl FnMut(&Expr)) {
+        f(self);
+        match self {
+            Expr::Binary { left, right, .. } => {
+                left.visit(f);
+                right.visit(f);
+            }
+            Expr::Unary { expr, .. } | Expr::IsNull { expr, .. } => expr.visit(f),
+            Expr::Func { args, .. } => {
+                for a in args {
+                    a.visit(f);
+                }
+            }
+            Expr::Column { .. } | Expr::Literal(_) => {}
+        }
+    }
+
+    /// True if any node satisfies the predicate.
+    pub fn any(&self, pred: &impl Fn(&Expr) -> bool) -> bool {
+        let mut found = false;
+        self.visit(&mut |e| {
+            if pred(e) {
+                found = true;
+            }
+        });
+        found
+    }
+
+    /// True if the expression contains an aggregate function call.
+    pub fn contains_aggregate(&self) -> bool {
+        self.any(&|e| {
+            matches!(e, Expr::Func { name, .. } if AggFunc::from_name(name).is_some())
+        })
+    }
+}
+
+/// Literal values at the syntax level.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Literal {
+    /// Integer.
+    Int(i64),
+    /// Float.
+    Double(f64),
+    /// String.
+    Str(String),
+    /// Boolean.
+    Bool(bool),
+    /// NULL.
+    Null,
+}
+
+/// Binary operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum BinaryOp {
+    /// `+`
+    Add,
+    /// `-`
+    Sub,
+    /// `*`
+    Mul,
+    /// `/`
+    Div,
+    /// `%`
+    Mod,
+    /// `=`
+    Eq,
+    /// `<>`
+    NotEq,
+    /// `<`
+    Lt,
+    /// `<=`
+    LtEq,
+    /// `>`
+    Gt,
+    /// `>=`
+    GtEq,
+    /// `AND`
+    And,
+    /// `OR`
+    Or,
+}
+
+impl BinaryOp {
+    /// True for `= <> < <= > >=`.
+    pub fn is_comparison(&self) -> bool {
+        matches!(
+            self,
+            BinaryOp::Eq | BinaryOp::NotEq | BinaryOp::Lt | BinaryOp::LtEq | BinaryOp::Gt | BinaryOp::GtEq
+        )
+    }
+}
+
+impl fmt::Display for BinaryOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            BinaryOp::Add => "+",
+            BinaryOp::Sub => "-",
+            BinaryOp::Mul => "*",
+            BinaryOp::Div => "/",
+            BinaryOp::Mod => "%",
+            BinaryOp::Eq => "=",
+            BinaryOp::NotEq => "<>",
+            BinaryOp::Lt => "<",
+            BinaryOp::LtEq => "<=",
+            BinaryOp::Gt => ">",
+            BinaryOp::GtEq => ">=",
+            BinaryOp::And => "AND",
+            BinaryOp::Or => "OR",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Unary operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum UnaryOp {
+    /// Numeric negation.
+    Neg,
+    /// Logical NOT.
+    Not,
+}
+
+impl fmt::Display for Expr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Expr::Column { qualifier: Some(q), name } => write!(f, "{q}.{name}"),
+            Expr::Column { qualifier: None, name } => write!(f, "{name}"),
+            Expr::Literal(Literal::Int(v)) => write!(f, "{v}"),
+            Expr::Literal(Literal::Double(v)) => write!(f, "{v}"),
+            Expr::Literal(Literal::Str(s)) => write!(f, "'{s}'"),
+            Expr::Literal(Literal::Bool(b)) => write!(f, "{b}"),
+            Expr::Literal(Literal::Null) => write!(f, "NULL"),
+            Expr::Binary { left, op, right } => write!(f, "({left} {op} {right})"),
+            Expr::Unary { op: UnaryOp::Neg, expr } => write!(f, "(-{expr})"),
+            Expr::Unary { op: UnaryOp::Not, expr } => write!(f, "(NOT {expr})"),
+            Expr::Func { name, distinct, args, star } => {
+                write!(f, "{name}(")?;
+                if *distinct {
+                    write!(f, "distinct ")?;
+                }
+                if *star {
+                    write!(f, "*")?;
+                }
+                for (i, a) in args.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{a}")?;
+                }
+                write!(f, ")")
+            }
+            Expr::IsNull { expr, negated } => {
+                write!(f, "({expr} IS {}NULL)", if *negated { "NOT " } else { "" })
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn agg_func_names() {
+        assert_eq!(AggFunc::from_name("MAX"), Some(AggFunc::Max));
+        assert_eq!(AggFunc::from_name("nope"), None);
+        assert!(AggFunc::Sum.allowed_in_recursion());
+        assert!(!AggFunc::Avg.allowed_in_recursion());
+    }
+
+    #[test]
+    fn expr_visit_and_contains_aggregate() {
+        let e = Expr::Binary {
+            left: Box::new(Expr::col("a")),
+            op: BinaryOp::Add,
+            right: Box::new(Expr::Func {
+                name: "min".into(),
+                distinct: false,
+                args: vec![Expr::col("b")],
+                star: false,
+            }),
+        };
+        assert!(e.contains_aggregate());
+        let mut count = 0;
+        e.visit(&mut |_| count += 1);
+        assert_eq!(count, 4);
+    }
+
+    #[test]
+    fn display_round() {
+        let e = Expr::Binary {
+            left: Box::new(Expr::qcol("t", "x")),
+            op: BinaryOp::LtEq,
+            right: Box::new(Expr::int(3)),
+        };
+        assert_eq!(e.to_string(), "(t.x <= 3)");
+    }
+
+    #[test]
+    fn binding_name() {
+        let t = TableRef::Table {
+            name: "edge".into(),
+            alias: Some("e".into()),
+        };
+        assert_eq!(t.binding_name(), "e");
+    }
+}

@@ -1,0 +1,29 @@
+#![warn(missing_docs)]
+
+//! # rasql-parser
+//!
+//! Lexer, abstract syntax tree and recursive-descent parser for the **RaSQL
+//! dialect**: SQL:99 plus the paper's extension of the recursive Common Table
+//! Expression — basic aggregates (`min`, `max`, `sum`, `count`) declared in the
+//! recursive view head with the *implicit group-by* rule (§2 of the paper).
+//!
+//! ```
+//! use rasql_parser::parse;
+//!
+//! let stmt = parse(
+//!     "WITH recursive waitfor(Part, max() AS Days) AS \
+//!        (SELECT Part, Days FROM basic) UNION \
+//!        (SELECT assbl.Part, waitfor.Days FROM assbl, waitfor \
+//!         WHERE assbl.Spart = waitfor.Part) \
+//!      SELECT Part, Days FROM waitfor",
+//! ).unwrap();
+//! # let _ = stmt;
+//! ```
+
+pub mod ast;
+pub mod lexer;
+pub mod parser;
+
+pub use ast::*;
+pub use lexer::{Lexer, Token, TokenKind};
+pub use parser::{parse, parse_statements, ParseError, Parser};

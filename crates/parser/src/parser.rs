@@ -1,0 +1,908 @@
+//! Recursive-descent parser for the RaSQL dialect.
+//!
+//! The grammar follows §2 of the paper:
+//!
+//! ```text
+//! statement   := create_view | query
+//! create_view := CREATE VIEW name [(cols)] AS body
+//! query       := [WITH cte (',' cte)*] body
+//! cte         := [RECURSIVE] name '(' cte_col (',' cte_col)* ')' AS body
+//! cte_col     := agg '(' ')' AS name | name
+//! body        := select (UNION [ALL] select)*      -- selects may be parenthesized
+//! select      := SELECT [DISTINCT] items [FROM refs [JOIN ref ON expr]*]
+//!                [WHERE expr] [GROUP BY exprs] [HAVING expr]
+//!                [ORDER BY expr [ASC|DESC], ...] [LIMIT n]
+//! ```
+
+use crate::ast::*;
+use crate::lexer::{LexError, Lexer, Token, TokenKind};
+use std::fmt;
+
+/// Parser errors with position information.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ParseError {
+    /// Error in the lexer.
+    Lex(LexError),
+    /// Unexpected token.
+    Unexpected {
+        /// What the parser found.
+        found: String,
+        /// What it expected.
+        expected: String,
+        /// 1-based line.
+        line: u32,
+        /// 1-based column.
+        col: u32,
+    },
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ParseError::Lex(e) => write!(f, "{e}"),
+            ParseError::Unexpected {
+                found,
+                expected,
+                line,
+                col,
+            } => write!(f, "parse error at {line}:{col}: expected {expected}, found '{found}'"),
+        }
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+impl From<LexError> for ParseError {
+    fn from(e: LexError) -> Self {
+        ParseError::Lex(e)
+    }
+}
+
+/// Reserved words that terminate identifier-position parsing (e.g. aliases).
+const KEYWORDS: &[&str] = &[
+    // NB: "by" is deliberately NOT reserved — the paper's Company Control query
+    // uses `By` as a column name; the parser only ever demands "by" explicitly
+    // after GROUP/ORDER.
+    "select", "from", "where", "group", "having", "order", "limit", "union", "all",
+    "with", "recursive", "as", "on", "and", "or", "not", "distinct", "create", "view",
+    "is", "null", "true", "false", "asc", "desc", "join", "inner",
+];
+
+fn is_keyword(s: &str) -> bool {
+    KEYWORDS.contains(&s.to_ascii_lowercase().as_str())
+}
+
+/// Parse one statement.
+pub fn parse(sql: &str) -> Result<Statement, ParseError> {
+    let mut stmts = parse_statements(sql)?;
+    if stmts.len() != 1 {
+        return Err(ParseError::Unexpected {
+            found: format!("{} statements", stmts.len()),
+            expected: "exactly one statement".into(),
+            line: 1,
+            col: 1,
+        });
+    }
+    Ok(stmts.remove(0))
+}
+
+/// Parse a `;`-separated script.
+pub fn parse_statements(sql: &str) -> Result<Vec<Statement>, ParseError> {
+    let tokens = Lexer::new(sql).tokenize()?;
+    let mut parser = Parser::new(tokens);
+    let mut out = Vec::new();
+    loop {
+        while parser.eat_symbol(&TokenKind::Semi) {}
+        if parser.at_eof() {
+            break;
+        }
+        out.push(parser.parse_statement()?);
+    }
+    Ok(out)
+}
+
+/// The recursive-descent parser over a token buffer.
+pub struct Parser {
+    tokens: Vec<Token>,
+    pos: usize,
+}
+
+impl Parser {
+    /// Create a parser over pre-lexed tokens.
+    pub fn new(tokens: Vec<Token>) -> Self {
+        Parser { tokens, pos: 0 }
+    }
+
+    fn peek(&self) -> &Token {
+        &self.tokens[self.pos.min(self.tokens.len() - 1)]
+    }
+
+    fn at_eof(&self) -> bool {
+        self.peek().kind == TokenKind::Eof
+    }
+
+    fn bump(&mut self) -> Token {
+        let t = self.peek().clone();
+        if self.pos < self.tokens.len() - 1 {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn error(&self, expected: impl Into<String>) -> ParseError {
+        let t = self.peek();
+        ParseError::Unexpected {
+            found: t.kind.to_string(),
+            expected: expected.into(),
+            line: t.line,
+            col: t.col,
+        }
+    }
+
+    /// True and consume if the next token is the keyword `kw` (case-insensitive).
+    fn eat_kw(&mut self, kw: &str) -> bool {
+        if let TokenKind::Ident(s) = &self.peek().kind {
+            if s.eq_ignore_ascii_case(kw) {
+                self.bump();
+                return true;
+            }
+        }
+        false
+    }
+
+    /// True without consuming if the next token is the keyword `kw`.
+    fn peek_kw(&self, kw: &str) -> bool {
+        matches!(&self.peek().kind, TokenKind::Ident(s) if s.eq_ignore_ascii_case(kw))
+    }
+
+    fn expect_kw(&mut self, kw: &str) -> Result<(), ParseError> {
+        if self.eat_kw(kw) {
+            Ok(())
+        } else {
+            Err(self.error(format!("keyword {}", kw.to_uppercase())))
+        }
+    }
+
+    fn eat_symbol(&mut self, kind: &TokenKind) -> bool {
+        if &self.peek().kind == kind {
+            self.bump();
+            return true;
+        }
+        false
+    }
+
+    fn expect_symbol(&mut self, kind: &TokenKind) -> Result<(), ParseError> {
+        if self.eat_symbol(kind) {
+            Ok(())
+        } else {
+            Err(self.error(format!("'{kind}'")))
+        }
+    }
+
+    /// An identifier that is not a reserved keyword.
+    fn expect_ident(&mut self) -> Result<String, ParseError> {
+        match &self.peek().kind {
+            TokenKind::Ident(s) if !is_keyword(s) => {
+                let s = s.clone();
+                self.bump();
+                Ok(s)
+            }
+            TokenKind::QuotedIdent(s) => {
+                let s = s.clone();
+                self.bump();
+                Ok(s)
+            }
+            _ => Err(self.error("identifier")),
+        }
+    }
+
+    /// Parse one statement.
+    pub fn parse_statement(&mut self) -> Result<Statement, ParseError> {
+        if self.peek_kw("create") {
+            self.parse_create_view()
+        } else {
+            Ok(Statement::Query(self.parse_query()?))
+        }
+    }
+
+    fn parse_create_view(&mut self) -> Result<Statement, ParseError> {
+        self.expect_kw("create")?;
+        self.expect_kw("view")?;
+        let name = self.expect_ident()?;
+        let mut columns = Vec::new();
+        if self.eat_symbol(&TokenKind::LParen) {
+            loop {
+                columns.push(self.expect_ident()?);
+                if !self.eat_symbol(&TokenKind::Comma) {
+                    break;
+                }
+            }
+            self.expect_symbol(&TokenKind::RParen)?;
+        }
+        self.expect_kw("as")?;
+        let body = self.parse_union_body()?;
+        Ok(Statement::CreateView {
+            name,
+            columns,
+            query: Query { ctes: vec![], body },
+        })
+    }
+
+    /// Parse `[WITH ctes] select-union`.
+    pub fn parse_query(&mut self) -> Result<Query, ParseError> {
+        let mut ctes = Vec::new();
+        if self.eat_kw("with") {
+            loop {
+                ctes.push(self.parse_cte()?);
+                if !self.eat_symbol(&TokenKind::Comma) {
+                    break;
+                }
+            }
+        }
+        let body = self.parse_union_body()?;
+        Ok(Query { ctes, body })
+    }
+
+    fn parse_cte(&mut self) -> Result<CteDef, ParseError> {
+        let recursive = self.eat_kw("recursive");
+        let name = self.expect_ident()?;
+        self.expect_symbol(&TokenKind::LParen)?;
+        let mut columns = Vec::new();
+        loop {
+            columns.push(self.parse_cte_column()?);
+            if !self.eat_symbol(&TokenKind::Comma) {
+                break;
+            }
+        }
+        self.expect_symbol(&TokenKind::RParen)?;
+        self.expect_kw("as")?;
+        let branches = self.parse_union_body()?;
+        Ok(CteDef {
+            recursive,
+            name,
+            columns,
+            branches,
+        })
+    }
+
+    /// A CTE head column: `name` or `agg() AS name`.
+    fn parse_cte_column(&mut self) -> Result<CteColumn, ParseError> {
+        // Look ahead for `ident ( )` — the aggregate-in-head form.
+        if let TokenKind::Ident(s) = &self.peek().kind {
+            if let Some(agg) = AggFunc::from_name(s) {
+                if self.tokens.get(self.pos + 1).map(|t| &t.kind) == Some(&TokenKind::LParen) {
+                    self.bump(); // agg name
+                    self.bump(); // (
+                    self.expect_symbol(&TokenKind::RParen)?;
+                    self.expect_kw("as")?;
+                    let name = self.expect_ident()?;
+                    return Ok(CteColumn {
+                        name,
+                        agg: Some(agg),
+                    });
+                }
+            }
+        }
+        let name = self.expect_ident()?;
+        Ok(CteColumn { name, agg: None })
+    }
+
+    /// A union chain: `(select) UNION (select) ...` or bare selects.
+    fn parse_union_body(&mut self) -> Result<Vec<Select>, ParseError> {
+        let mut branches = vec![self.parse_select_maybe_paren()?];
+        while self.eat_kw("union") {
+            // RaSQL's recursive UNION is set-union; accept and ignore ALL.
+            self.eat_kw("all");
+            branches.push(self.parse_select_maybe_paren()?);
+        }
+        Ok(branches)
+    }
+
+    fn parse_select_maybe_paren(&mut self) -> Result<Select, ParseError> {
+        if self.eat_symbol(&TokenKind::LParen) {
+            let s = self.parse_select_maybe_paren()?;
+            self.expect_symbol(&TokenKind::RParen)?;
+            Ok(s)
+        } else {
+            self.parse_select()
+        }
+    }
+
+    fn parse_select(&mut self) -> Result<Select, ParseError> {
+        self.expect_kw("select")?;
+        let distinct = self.eat_kw("distinct");
+
+        let mut projection = Vec::new();
+        loop {
+            projection.push(self.parse_select_item()?);
+            if !self.eat_symbol(&TokenKind::Comma) {
+                break;
+            }
+        }
+
+        let mut from = Vec::new();
+        let mut join_conditions: Vec<Expr> = Vec::new();
+        if self.eat_kw("from") {
+            loop {
+                from.push(self.parse_table_ref()?);
+                // `JOIN t ON cond` sugar — folded into the comma-join + WHERE form.
+                while self.peek_kw("join") || self.peek_kw("inner") {
+                    self.eat_kw("inner");
+                    self.expect_kw("join")?;
+                    from.push(self.parse_table_ref()?);
+                    self.expect_kw("on")?;
+                    join_conditions.push(self.parse_expr()?);
+                }
+                if !self.eat_symbol(&TokenKind::Comma) {
+                    break;
+                }
+            }
+        }
+
+        let mut where_clause = if self.eat_kw("where") {
+            Some(self.parse_expr()?)
+        } else {
+            None
+        };
+        for cond in join_conditions {
+            where_clause = Some(match where_clause {
+                Some(w) => Expr::Binary {
+                    left: Box::new(w),
+                    op: BinaryOp::And,
+                    right: Box::new(cond),
+                },
+                None => cond,
+            });
+        }
+
+        let mut group_by = Vec::new();
+        if self.eat_kw("group") {
+            self.expect_kw("by")?;
+            loop {
+                group_by.push(self.parse_expr()?);
+                if !self.eat_symbol(&TokenKind::Comma) {
+                    break;
+                }
+            }
+        }
+
+        let having = if self.eat_kw("having") {
+            Some(self.parse_expr()?)
+        } else {
+            None
+        };
+
+        let mut order_by = Vec::new();
+        if self.eat_kw("order") {
+            self.expect_kw("by")?;
+            loop {
+                let e = self.parse_expr()?;
+                let asc = if self.eat_kw("desc") {
+                    false
+                } else {
+                    self.eat_kw("asc");
+                    true
+                };
+                order_by.push((e, asc));
+                if !self.eat_symbol(&TokenKind::Comma) {
+                    break;
+                }
+            }
+        }
+
+        let limit = if self.eat_kw("limit") {
+            match self.peek().kind {
+                TokenKind::Int(n) if n >= 0 => {
+                    self.bump();
+                    Some(n as u64)
+                }
+                _ => return Err(self.error("non-negative integer after LIMIT")),
+            }
+        } else {
+            None
+        };
+
+        Ok(Select {
+            distinct,
+            projection,
+            from,
+            where_clause,
+            group_by,
+            having,
+            order_by,
+            limit,
+        })
+    }
+
+    fn parse_select_item(&mut self) -> Result<SelectItem, ParseError> {
+        if self.eat_symbol(&TokenKind::Star) {
+            return Ok(SelectItem::Wildcard);
+        }
+        // `t.*`
+        if let TokenKind::Ident(s) = &self.peek().kind {
+            if !is_keyword(s)
+                && self.tokens.get(self.pos + 1).map(|t| &t.kind) == Some(&TokenKind::Dot)
+                && self.tokens.get(self.pos + 2).map(|t| &t.kind) == Some(&TokenKind::Star)
+            {
+                let q = s.clone();
+                self.bump();
+                self.bump();
+                self.bump();
+                return Ok(SelectItem::QualifiedWildcard(q));
+            }
+        }
+        let expr = self.parse_expr()?;
+        let alias = if self.eat_kw("as") {
+            Some(self.expect_ident()?)
+        } else if matches!(&self.peek().kind, TokenKind::Ident(s) if !is_keyword(s)) {
+            Some(self.expect_ident()?)
+        } else {
+            None
+        };
+        Ok(SelectItem::Expr { expr, alias })
+    }
+
+    fn parse_table_ref(&mut self) -> Result<TableRef, ParseError> {
+        if self.eat_symbol(&TokenKind::LParen) {
+            let query = self.parse_query()?;
+            self.expect_symbol(&TokenKind::RParen)?;
+            self.eat_kw("as");
+            let alias = self.expect_ident()?;
+            return Ok(TableRef::Subquery {
+                query: Box::new(query),
+                alias,
+            });
+        }
+        let name = self.expect_ident()?;
+        let alias = if self.eat_kw("as") {
+            Some(self.expect_ident()?)
+        } else if matches!(&self.peek().kind, TokenKind::Ident(s) if !is_keyword(s)) {
+            Some(self.expect_ident()?)
+        } else {
+            None
+        };
+        Ok(TableRef::Table { name, alias })
+    }
+
+    /// Expression entry point (lowest precedence: OR).
+    pub fn parse_expr(&mut self) -> Result<Expr, ParseError> {
+        self.parse_or()
+    }
+
+    fn parse_or(&mut self) -> Result<Expr, ParseError> {
+        let mut left = self.parse_and()?;
+        while self.eat_kw("or") {
+            let right = self.parse_and()?;
+            left = Expr::Binary {
+                left: Box::new(left),
+                op: BinaryOp::Or,
+                right: Box::new(right),
+            };
+        }
+        Ok(left)
+    }
+
+    fn parse_and(&mut self) -> Result<Expr, ParseError> {
+        let mut left = self.parse_not()?;
+        while self.eat_kw("and") {
+            let right = self.parse_not()?;
+            left = Expr::Binary {
+                left: Box::new(left),
+                op: BinaryOp::And,
+                right: Box::new(right),
+            };
+        }
+        Ok(left)
+    }
+
+    fn parse_not(&mut self) -> Result<Expr, ParseError> {
+        if self.eat_kw("not") {
+            let e = self.parse_not()?;
+            return Ok(Expr::Unary {
+                op: UnaryOp::Not,
+                expr: Box::new(e),
+            });
+        }
+        self.parse_comparison()
+    }
+
+    fn parse_comparison(&mut self) -> Result<Expr, ParseError> {
+        let left = self.parse_additive()?;
+        // `IS [NOT] NULL`
+        if self.eat_kw("is") {
+            let negated = self.eat_kw("not");
+            self.expect_kw("null")?;
+            return Ok(Expr::IsNull {
+                expr: Box::new(left),
+                negated,
+            });
+        }
+        let op = match self.peek().kind {
+            TokenKind::Eq => BinaryOp::Eq,
+            TokenKind::NotEq => BinaryOp::NotEq,
+            TokenKind::Lt => BinaryOp::Lt,
+            TokenKind::LtEq => BinaryOp::LtEq,
+            TokenKind::Gt => BinaryOp::Gt,
+            TokenKind::GtEq => BinaryOp::GtEq,
+            _ => return Ok(left),
+        };
+        self.bump();
+        let right = self.parse_additive()?;
+        Ok(Expr::Binary {
+            left: Box::new(left),
+            op,
+            right: Box::new(right),
+        })
+    }
+
+    fn parse_additive(&mut self) -> Result<Expr, ParseError> {
+        let mut left = self.parse_multiplicative()?;
+        loop {
+            let op = match self.peek().kind {
+                TokenKind::Plus => BinaryOp::Add,
+                TokenKind::Minus => BinaryOp::Sub,
+                _ => return Ok(left),
+            };
+            self.bump();
+            let right = self.parse_multiplicative()?;
+            left = Expr::Binary {
+                left: Box::new(left),
+                op,
+                right: Box::new(right),
+            };
+        }
+    }
+
+    fn parse_multiplicative(&mut self) -> Result<Expr, ParseError> {
+        let mut left = self.parse_unary()?;
+        loop {
+            let op = match self.peek().kind {
+                TokenKind::Star => BinaryOp::Mul,
+                TokenKind::Slash => BinaryOp::Div,
+                TokenKind::Percent => BinaryOp::Mod,
+                _ => return Ok(left),
+            };
+            self.bump();
+            let right = self.parse_unary()?;
+            left = Expr::Binary {
+                left: Box::new(left),
+                op,
+                right: Box::new(right),
+            };
+        }
+    }
+
+    fn parse_unary(&mut self) -> Result<Expr, ParseError> {
+        if self.eat_symbol(&TokenKind::Minus) {
+            let e = self.parse_unary()?;
+            // Fold negation into numeric literals directly.
+            return Ok(match e {
+                Expr::Literal(Literal::Int(v)) => Expr::Literal(Literal::Int(-v)),
+                Expr::Literal(Literal::Double(v)) => Expr::Literal(Literal::Double(-v)),
+                other => Expr::Unary {
+                    op: UnaryOp::Neg,
+                    expr: Box::new(other),
+                },
+            });
+        }
+        if self.eat_symbol(&TokenKind::Plus) {
+            return self.parse_unary();
+        }
+        self.parse_primary()
+    }
+
+    fn parse_primary(&mut self) -> Result<Expr, ParseError> {
+        match self.peek().kind.clone() {
+            TokenKind::Int(v) => {
+                self.bump();
+                Ok(Expr::Literal(Literal::Int(v)))
+            }
+            TokenKind::Double(v) => {
+                self.bump();
+                Ok(Expr::Literal(Literal::Double(v)))
+            }
+            TokenKind::Str(s) => {
+                self.bump();
+                Ok(Expr::Literal(Literal::Str(s)))
+            }
+            TokenKind::LParen => {
+                self.bump();
+                let e = self.parse_expr()?;
+                self.expect_symbol(&TokenKind::RParen)?;
+                Ok(e)
+            }
+            TokenKind::Ident(s) if s.eq_ignore_ascii_case("null") => {
+                self.bump();
+                Ok(Expr::Literal(Literal::Null))
+            }
+            TokenKind::Ident(s) if s.eq_ignore_ascii_case("true") => {
+                self.bump();
+                Ok(Expr::Literal(Literal::Bool(true)))
+            }
+            TokenKind::Ident(s) if s.eq_ignore_ascii_case("false") => {
+                self.bump();
+                Ok(Expr::Literal(Literal::Bool(false)))
+            }
+            TokenKind::Ident(s) if !is_keyword(&s) => {
+                self.bump();
+                // Function call?
+                if self.peek().kind == TokenKind::LParen {
+                    return self.parse_func_call(s);
+                }
+                // Qualified column?
+                if self.eat_symbol(&TokenKind::Dot) {
+                    let name = self.expect_ident()?;
+                    return Ok(Expr::Column {
+                        qualifier: Some(s),
+                        name,
+                    });
+                }
+                Ok(Expr::Column {
+                    qualifier: None,
+                    name: s,
+                })
+            }
+            TokenKind::QuotedIdent(s) => {
+                self.bump();
+                if self.eat_symbol(&TokenKind::Dot) {
+                    let name = self.expect_ident()?;
+                    return Ok(Expr::Column {
+                        qualifier: Some(s),
+                        name,
+                    });
+                }
+                Ok(Expr::Column {
+                    qualifier: None,
+                    name: s,
+                })
+            }
+            _ => Err(self.error("expression")),
+        }
+    }
+
+    fn parse_func_call(&mut self, name: String) -> Result<Expr, ParseError> {
+        self.expect_symbol(&TokenKind::LParen)?;
+        let mut distinct = false;
+        let mut args = Vec::new();
+        let mut star = false;
+        if self.eat_symbol(&TokenKind::Star) {
+            star = true;
+        } else if self.peek().kind != TokenKind::RParen {
+            distinct = self.eat_kw("distinct");
+            loop {
+                args.push(self.parse_expr()?);
+                if !self.eat_symbol(&TokenKind::Comma) {
+                    break;
+                }
+            }
+        }
+        self.expect_symbol(&TokenKind::RParen)?;
+        Ok(Expr::Func {
+            name: name.to_ascii_lowercase(),
+            distinct,
+            args,
+            star,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn q(sql: &str) -> Query {
+        match parse(sql).unwrap() {
+            Statement::Query(q) => q,
+            other => panic!("expected query, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn scalar_select() {
+        let query = q("SELECT 1, 0");
+        assert_eq!(query.body.len(), 1);
+        assert_eq!(query.body[0].projection.len(), 2);
+        assert!(query.body[0].from.is_empty());
+    }
+
+    #[test]
+    fn bom_q2_parses() {
+        let query = q("WITH recursive waitfor(Part, max() AS Days) AS \
+             (SELECT Part, Days FROM basic) UNION \
+             (SELECT assbl.Part, waitfor.Days FROM assbl, waitfor \
+              WHERE assbl.Spart = waitfor.Part) \
+             SELECT Part, Days FROM waitfor");
+        assert_eq!(query.ctes.len(), 1);
+        let cte = &query.ctes[0];
+        assert!(cte.recursive);
+        assert_eq!(cte.name, "waitfor");
+        assert_eq!(cte.columns.len(), 2);
+        assert_eq!(cte.columns[0].agg, None);
+        assert_eq!(cte.columns[1].agg, Some(AggFunc::Max));
+        assert_eq!(cte.columns[1].name, "Days");
+        assert_eq!(cte.branches.len(), 2);
+    }
+
+    #[test]
+    fn mutual_recursion_parses() {
+        let query = q("WITH recursive attend(Person) AS \
+               (SELECT OrgName FROM organizer) UNION \
+               (SELECT Name FROM cntfriends WHERE Ncount >= 3), \
+             recursive cntfriends(Name, count() AS Ncount) AS \
+               (SELECT friend.FName, friend.Pname FROM attend, friend \
+                WHERE attend.Person = friend.Pname) \
+             SELECT Person FROM attend");
+        assert_eq!(query.ctes.len(), 2);
+        assert_eq!(query.ctes[1].columns[1].agg, Some(AggFunc::Count));
+    }
+
+    #[test]
+    fn group_by_having_order_limit() {
+        let s = &q("SELECT Part, max(Days) FROM waitfor \
+             GROUP BY Part HAVING max(Days) > 3 ORDER BY Part DESC LIMIT 10")
+        .body[0];
+        assert_eq!(s.group_by.len(), 1);
+        assert!(s.having.is_some());
+        assert_eq!(s.order_by.len(), 1);
+        assert!(!s.order_by[0].1);
+        assert_eq!(s.limit, Some(10));
+    }
+
+    #[test]
+    fn count_distinct_star() {
+        let s = &q("SELECT count(distinct cc.CmpId), count(*) FROM cc").body[0];
+        match &s.projection[0] {
+            SelectItem::Expr { expr: Expr::Func { name, distinct, .. }, .. } => {
+                assert_eq!(name, "count");
+                assert!(distinct);
+            }
+            other => panic!("{other:?}"),
+        }
+        match &s.projection[1] {
+            SelectItem::Expr { expr: Expr::Func { star, .. }, .. } => assert!(star),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn aliases() {
+        let s = &q("SELECT a.S x, b.E AS y FROM inter a, inter AS b").body[0];
+        assert_eq!(s.from.len(), 2);
+        assert_eq!(s.from[0].binding_name(), "a");
+        assert_eq!(s.from[1].binding_name(), "b");
+        match &s.projection[0] {
+            SelectItem::Expr { alias, .. } => assert_eq!(alias.as_deref(), Some("x")),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn join_on_sugar() {
+        let s = &q("SELECT * FROM a JOIN b ON a.x = b.y WHERE a.z > 1").body[0];
+        assert_eq!(s.from.len(), 2);
+        // WHERE z>1 AND a.x=b.y folded together.
+        let w = s.where_clause.as_ref().unwrap();
+        assert!(matches!(w, Expr::Binary { op: BinaryOp::And, .. }));
+    }
+
+    #[test]
+    fn create_view() {
+        let stmt = parse(
+            "CREATE VIEW lstart(T) AS (SELECT a.S FROM inter a, inter b \
+             WHERE a.S <= b.E GROUP BY a.S HAVING a.S = min(b.S))",
+        )
+        .unwrap();
+        match stmt {
+            Statement::CreateView { name, columns, query } => {
+                assert_eq!(name, "lstart");
+                assert_eq!(columns, vec!["T"]);
+                assert!(query.body[0].having.is_some());
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn union_at_top_level() {
+        let query = q("(SELECT 1) UNION (SELECT 2) UNION (SELECT 3)");
+        assert_eq!(query.body.len(), 3);
+    }
+
+    #[test]
+    fn operator_precedence() {
+        let s = &q("SELECT 1 + 2 * 3").body[0];
+        match &s.projection[0] {
+            SelectItem::Expr { expr, .. } => assert_eq!(expr.to_string(), "(1 + (2 * 3))"),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn arithmetic_in_projection() {
+        let s = &q("SELECT bonus.B * 0.5, path.Cost + edge.Cost FROM bonus, path, edge").body[0];
+        assert_eq!(s.projection.len(), 2);
+        assert_eq!(s.from.len(), 3);
+    }
+
+    #[test]
+    fn negative_literal_folding() {
+        let s = &q("SELECT -5, -2.5, -(x)").body[0];
+        match &s.projection[0] {
+            SelectItem::Expr { expr: Expr::Literal(Literal::Int(-5)), .. } => {}
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn multi_statement_script() {
+        let stmts = parse_statements("SELECT 1; SELECT 2;").unwrap();
+        assert_eq!(stmts.len(), 2);
+    }
+
+    #[test]
+    fn error_has_position() {
+        let err = parse("SELECT FROM").unwrap_err();
+        let msg = err.to_string();
+        assert!(msg.contains("1:8"), "{msg}");
+    }
+
+    #[test]
+    fn keyword_not_alias() {
+        // `WHERE` must not be eaten as a table alias.
+        let s = &q("SELECT x FROM t WHERE x = 1").body[0];
+        assert!(s.where_clause.is_some());
+        match &s.from[0] {
+            TableRef::Table { alias, .. } => assert!(alias.is_none()),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn subquery_in_from() {
+        let s = &q("SELECT t.x FROM (SELECT 1 AS x) t").body[0];
+        match &s.from[0] {
+            TableRef::Subquery { alias, .. } => assert_eq!(alias, "t"),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn all_paper_examples_parse() {
+        let examples = [
+            // Q1 stratified BOM
+            "WITH recursive waitfor(Part, Days) AS (SELECT Part, Days FROM basic) UNION \
+             (SELECT assbl.Part, waitfor.Days FROM assbl, waitfor WHERE assbl.Spart = waitfor.Part) \
+             SELECT Part, max(Days) FROM waitfor GROUP BY Part",
+            // SSSP
+            "WITH recursive path (Dst, min() AS Cost) AS (SELECT 1, 0) UNION \
+             (SELECT edge.Dst, path.Cost + edge.Cost FROM path, edge WHERE path.Dst = edge.Src) \
+             SELECT Dst, Cost FROM path",
+            // CC
+            "WITH recursive cc (Src, min() AS CmpId) AS (SELECT Src, Src FROM edge) UNION \
+             (SELECT edge.Dst, cc.CmpId FROM cc, edge WHERE cc.Src = edge.Src) \
+             SELECT count(distinct cc.CmpId) FROM cc",
+            // Count Paths
+            "WITH recursive cpaths (Dst, sum() AS Cnt) AS (SELECT 1, 1) UNION \
+             (SELECT edge.Dst, cpaths.Cnt FROM cpaths, edge WHERE cpaths.Dst = edge.Src) \
+             SELECT Dst, Cnt FROM cpaths",
+            // Company control (mutual, non-linear)
+            "WITH recursive cshares(ByCom, OfCom, sum() AS Tot) AS \
+             (SELECT By, Of, Percent FROM shares) UNION \
+             (SELECT control.Com1, cshares.OfCom, cshares.Tot FROM control, cshares \
+              WHERE control.Com2 = cshares.ByCom), \
+             recursive control(Com1, Com2) AS \
+             (SELECT ByCom, OfCom FROM cshares WHERE Tot > 50) \
+             SELECT ByCom, OfCom, Tot FROM cshares",
+            // SG
+            "WITH recursive sg (X, Y) AS \
+             (SELECT a.Child, b.Child FROM rel a, rel b \
+              WHERE a.Parent = b.Parent AND a.Child <> b.Child) UNION \
+             (SELECT a.Child, b.Child FROM rel a, sg, rel b \
+              WHERE a.Parent = sg.X AND b.Parent = sg.Y) \
+             SELECT X, Y FROM sg",
+        ];
+        for sql in examples {
+            parse(sql).unwrap_or_else(|e| panic!("failed: {e}\n{sql}"));
+        }
+    }
+}

@@ -1,0 +1,153 @@
+//! Parser robustness: property tests (no panics on arbitrary input, expression
+//! display→reparse round trips) and grammar edge cases.
+
+use proptest::prelude::*;
+use rasql_parser::ast::{Expr, SelectItem, Statement};
+use rasql_parser::{parse, parse_statements, Lexer};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    #[test]
+    fn lexer_never_panics(input in ".*") {
+        let _ = Lexer::new(&input).tokenize();
+    }
+
+    #[test]
+    fn parser_never_panics(input in ".{0,200}") {
+        let _ = parse_statements(&input);
+    }
+
+    #[test]
+    fn parser_never_panics_on_sqlish_soup(
+        tokens in prop::collection::vec(
+            prop_oneof![
+                Just("SELECT".to_string()),
+                Just("FROM".to_string()),
+                Just("WHERE".to_string()),
+                Just("UNION".to_string()),
+                Just("WITH".to_string()),
+                Just("recursive".to_string()),
+                Just("(".to_string()),
+                Just(")".to_string()),
+                Just(",".to_string()),
+                Just("=".to_string()),
+                Just("min()".to_string()),
+                Just("AS".to_string()),
+                "[a-z]{1,5}".prop_map(|s| s),
+                (0i64..100).prop_map(|n| n.to_string()),
+            ],
+            0..30,
+        )
+    ) {
+        let sql = tokens.join(" ");
+        let _ = parse_statements(&sql);
+    }
+
+    #[test]
+    fn expression_display_reparses(
+        a in 0i64..100,
+        b in 0i64..100,
+        c in -50i64..50,
+    ) {
+        // Build a moderately nested expression through SQL, print it, reparse,
+        // and confirm the AST is identical (Display must stay valid syntax).
+        let sql = format!("SELECT x + {a} * (y - {b}) / 2 % 7 <= {c} AND NOT z");
+        let first = extract_expr(&sql);
+        let reprinted = format!("SELECT {first}");
+        let second = extract_expr(&reprinted);
+        prop_assert_eq!(first, second);
+    }
+}
+
+fn extract_expr(sql: &str) -> Expr {
+    match parse(sql).unwrap() {
+        Statement::Query(q) => match &q.body[0].projection[0] {
+            SelectItem::Expr { expr, .. } => expr.clone(),
+            other => panic!("{other:?}"),
+        },
+        other => panic!("{other:?}"),
+    }
+}
+
+#[test]
+fn deeply_nested_parens() {
+    let sql = format!("SELECT {}1{}", "(".repeat(60), ")".repeat(60));
+    parse(&sql).unwrap();
+}
+
+#[test]
+fn deeply_nested_select_parens() {
+    let sql = format!(
+        "{}SELECT 1{}",
+        "(".repeat(40),
+        ")".repeat(40)
+    );
+    parse(&sql).unwrap();
+}
+
+#[test]
+fn quoted_identifiers_preserve_case_and_keywords() {
+    let q = parse("SELECT \"WHERE\" FROM \"My Table\"").unwrap();
+    match q {
+        Statement::Query(q) => {
+            match &q.body[0].projection[0] {
+                SelectItem::Expr {
+                    expr: Expr::Column { name, .. },
+                    ..
+                } => assert_eq!(name, "WHERE"),
+                other => panic!("{other:?}"),
+            }
+        }
+        other => panic!("{other:?}"),
+    }
+}
+
+#[test]
+fn semicolons_and_whitespace_variants() {
+    assert_eq!(parse_statements(";;;").unwrap().len(), 0);
+    assert_eq!(parse_statements("SELECT 1;;SELECT 2;;;").unwrap().len(), 2);
+    assert_eq!(
+        parse_statements("\n\t  SELECT\n1\n").unwrap().len(),
+        1
+    );
+}
+
+#[test]
+fn errors_name_the_offender() {
+    for (sql, needle) in [
+        ("SELECT 1 FROM", "identifier"),
+        ("WITH r() AS (SELECT 1) SELECT 1", "identifier"),
+        ("SELECT 1 LIMIT x", "integer"),
+        ("SELECT (1", "')'"),
+    ] {
+        let err = parse(sql).unwrap_err().to_string();
+        assert!(err.contains(needle), "{sql} → {err}");
+    }
+}
+
+#[test]
+fn giant_union_chain() {
+    let branches: Vec<String> = (0..120).map(|i| format!("(SELECT {i})")).collect();
+    let sql = branches.join(" UNION ");
+    match parse(&sql).unwrap() {
+        Statement::Query(q) => assert_eq!(q.body.len(), 120),
+        other => panic!("{other:?}"),
+    }
+}
+
+#[test]
+fn unicode_in_string_literals() {
+    // Strings are raw byte-per-char in the lexer; ASCII SQL with non-ASCII
+    // literal content must at minimum not panic.
+    let _ = parse_statements("SELECT 'héllo wörld'");
+}
+
+#[test]
+fn case_insensitive_keywords_parse() {
+    let q = parse("sElEcT x fRoM t wHeRe x > 1").unwrap();
+    match q {
+        Statement::Query(q) => assert!(q.body[0].where_clause.is_some()),
+        other => panic!("{other:?}"),
+    }
+}

@@ -1,0 +1,49 @@
+//! Planning errors.
+
+use std::fmt;
+
+/// Errors raised while analyzing or optimizing a query.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PlanError {
+    /// A referenced table/view does not exist.
+    UnknownTable(String),
+    /// A referenced column does not resolve.
+    UnknownColumn(String),
+    /// A column name resolves against several FROM items.
+    AmbiguousColumn(String),
+    /// Projection arity does not match a view's declared head.
+    ArityMismatch {
+        /// The view name.
+        view: String,
+        /// Declared head arity.
+        expected: usize,
+        /// Branch projection arity.
+        actual: usize,
+    },
+    /// An SQL feature is used in an unsupported position.
+    Unsupported(String),
+    /// A semantic violation of RaSQL rules (e.g. `avg` in recursion).
+    Invalid(String),
+}
+
+impl fmt::Display for PlanError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PlanError::UnknownTable(t) => write!(f, "unknown table or view '{t}'"),
+            PlanError::UnknownColumn(c) => write!(f, "unknown column '{c}'"),
+            PlanError::AmbiguousColumn(c) => write!(f, "ambiguous column '{c}'"),
+            PlanError::ArityMismatch {
+                view,
+                expected,
+                actual,
+            } => write!(
+                f,
+                "view '{view}' declares {expected} columns but a branch produces {actual}"
+            ),
+            PlanError::Unsupported(m) => write!(f, "unsupported: {m}"),
+            PlanError::Invalid(m) => write!(f, "invalid query: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for PlanError {}

@@ -1,0 +1,333 @@
+//! Bound logical plans and the recursive clique / fixpoint specification.
+
+use crate::branch::BranchProgram;
+use crate::expr::PExpr;
+use rasql_parser::ast::AggFunc;
+use rasql_storage::{Row, Schema};
+use std::fmt;
+
+/// A bound logical plan node. Column references inside expressions are
+/// positions into the input row; every node carries its output schema.
+#[derive(Debug, Clone, PartialEq)]
+pub enum LogicalPlan {
+    /// Scan of a base table.
+    TableScan {
+        /// Table name.
+        table: String,
+        /// Table schema.
+        schema: Schema,
+    },
+    /// Scan of a materialized recursive view (fixpoint result).
+    ViewScan {
+        /// View name.
+        view: String,
+        /// View schema.
+        schema: Schema,
+    },
+    /// Inline literal rows (`SELECT 1, 0`).
+    Values {
+        /// Output schema.
+        schema: Schema,
+        /// The rows.
+        rows: Vec<Row>,
+    },
+    /// Projection.
+    Projection {
+        /// Input.
+        input: Box<LogicalPlan>,
+        /// One expression per output column.
+        exprs: Vec<PExpr>,
+        /// Output schema.
+        schema: Schema,
+    },
+    /// Filter.
+    Filter {
+        /// Input.
+        input: Box<LogicalPlan>,
+        /// Predicate (kept in conjunct-split form by the optimizer).
+        predicate: PExpr,
+    },
+    /// Join. Empty key vectors = cross join. Output row = left ++ right.
+    Join {
+        /// Left input (stream side at execution).
+        left: Box<LogicalPlan>,
+        /// Right input (build side at execution).
+        right: Box<LogicalPlan>,
+        /// Equi-key columns on the left.
+        left_keys: Vec<usize>,
+        /// Equi-key columns on the right.
+        right_keys: Vec<usize>,
+        /// Non-equi residual predicate over the combined row.
+        residual: Option<PExpr>,
+        /// Output schema (left ++ right).
+        schema: Schema,
+    },
+    /// Hash aggregation. Input row layout: `[g_1..g_k, arg_1..arg_m]`
+    /// (the analyzer inserts the projection); output `[g_1..g_k, agg_1..agg_m]`.
+    Aggregate {
+        /// Input.
+        input: Box<LogicalPlan>,
+        /// Number of leading group columns.
+        group_cols: usize,
+        /// Aggregate specs (in output order).
+        aggs: Vec<AggExpr>,
+        /// Output schema.
+        schema: Schema,
+    },
+    /// Bag union of same-arity inputs.
+    Union {
+        /// Inputs.
+        inputs: Vec<LogicalPlan>,
+        /// Output schema.
+        schema: Schema,
+    },
+    /// Duplicate elimination.
+    Distinct {
+        /// Input.
+        input: Box<LogicalPlan>,
+    },
+    /// Sort by `(column, ascending)` keys.
+    Sort {
+        /// Input.
+        input: Box<LogicalPlan>,
+        /// Sort keys.
+        keys: Vec<(usize, bool)>,
+    },
+    /// Row-count limit.
+    Limit {
+        /// Input.
+        input: Box<LogicalPlan>,
+        /// Maximum rows.
+        n: u64,
+    },
+}
+
+/// One aggregate computation in an [`LogicalPlan::Aggregate`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct AggExpr {
+    /// The aggregate function.
+    pub func: AggFunc,
+    /// Input column (position in the aggregate's input row); `None` = `count(*)`.
+    pub arg: Option<usize>,
+    /// `DISTINCT` aggregation.
+    pub distinct: bool,
+}
+
+impl LogicalPlan {
+    /// Output schema of this node.
+    pub fn schema(&self) -> &Schema {
+        match self {
+            LogicalPlan::TableScan { schema, .. }
+            | LogicalPlan::ViewScan { schema, .. }
+            | LogicalPlan::Values { schema, .. }
+            | LogicalPlan::Projection { schema, .. }
+            | LogicalPlan::Join { schema, .. }
+            | LogicalPlan::Aggregate { schema, .. }
+            | LogicalPlan::Union { schema, .. } => schema,
+            LogicalPlan::Filter { input, .. }
+            | LogicalPlan::Distinct { input }
+            | LogicalPlan::Sort { input, .. }
+            | LogicalPlan::Limit { input, .. } => input.schema(),
+        }
+    }
+
+    /// Names of base tables scanned anywhere in the plan.
+    pub fn referenced_tables(&self, out: &mut Vec<String>) {
+        match self {
+            LogicalPlan::TableScan { table, .. } => out.push(table.clone()),
+            LogicalPlan::ViewScan { .. } | LogicalPlan::Values { .. } => {}
+            LogicalPlan::Projection { input, .. }
+            | LogicalPlan::Filter { input, .. }
+            | LogicalPlan::Aggregate { input, .. }
+            | LogicalPlan::Distinct { input }
+            | LogicalPlan::Sort { input, .. }
+            | LogicalPlan::Limit { input, .. } => input.referenced_tables(out),
+            LogicalPlan::Join { left, right, .. } => {
+                left.referenced_tables(out);
+                right.referenced_tables(out);
+            }
+            LogicalPlan::Union { inputs, .. } => {
+                for i in inputs {
+                    i.referenced_tables(out);
+                }
+            }
+        }
+    }
+
+    /// Indented plan rendering (the Fig 2 artifact).
+    pub fn display_indent(&self) -> String {
+        let mut s = String::new();
+        self.fmt_indent(&mut s, 0);
+        s
+    }
+
+    fn fmt_indent(&self, out: &mut String, depth: usize) {
+        let pad = "  ".repeat(depth);
+        match self {
+            LogicalPlan::TableScan { table, schema } => {
+                out.push_str(&format!("{pad}TableScan {table} {schema}\n"));
+            }
+            LogicalPlan::ViewScan { view, schema } => {
+                out.push_str(&format!("{pad}ViewScan {view} {schema}\n"));
+            }
+            LogicalPlan::Values { rows, .. } => {
+                out.push_str(&format!("{pad}Values ({} rows)\n", rows.len()));
+            }
+            LogicalPlan::Projection { input, exprs, .. } => {
+                let es: Vec<String> = exprs.iter().map(|e| e.to_string()).collect();
+                out.push_str(&format!("{pad}Project [{}]\n", es.join(", ")));
+                input.fmt_indent(out, depth + 1);
+            }
+            LogicalPlan::Filter { input, predicate } => {
+                out.push_str(&format!("{pad}Filter {predicate}\n"));
+                input.fmt_indent(out, depth + 1);
+            }
+            LogicalPlan::Join {
+                left,
+                right,
+                left_keys,
+                right_keys,
+                residual,
+                ..
+            } => {
+                if left_keys.is_empty() {
+                    out.push_str(&format!("{pad}CrossJoin"));
+                } else {
+                    out.push_str(&format!("{pad}HashJoin on {left_keys:?}={right_keys:?}"));
+                }
+                if let Some(r) = residual {
+                    out.push_str(&format!(" residual {r}"));
+                }
+                out.push('\n');
+                left.fmt_indent(out, depth + 1);
+                right.fmt_indent(out, depth + 1);
+            }
+            LogicalPlan::Aggregate {
+                input,
+                group_cols,
+                aggs,
+                ..
+            } => {
+                let asp: Vec<String> = aggs
+                    .iter()
+                    .map(|a| {
+                        format!(
+                            "{}({}{})",
+                            a.func,
+                            if a.distinct { "distinct " } else { "" },
+                            a.arg.map(|c| format!("#{c}")).unwrap_or_else(|| "*".into())
+                        )
+                    })
+                    .collect();
+                out.push_str(&format!(
+                    "{pad}HashAggregate groups=#0..#{group_cols} [{}]\n",
+                    asp.join(", ")
+                ));
+                input.fmt_indent(out, depth + 1);
+            }
+            LogicalPlan::Union { inputs, .. } => {
+                out.push_str(&format!("{pad}Union\n"));
+                for i in inputs {
+                    i.fmt_indent(out, depth + 1);
+                }
+            }
+            LogicalPlan::Distinct { input } => {
+                out.push_str(&format!("{pad}Distinct\n"));
+                input.fmt_indent(out, depth + 1);
+            }
+            LogicalPlan::Sort { input, keys } => {
+                out.push_str(&format!("{pad}Sort {keys:?}\n"));
+                input.fmt_indent(out, depth + 1);
+            }
+            LogicalPlan::Limit { input, n } => {
+                out.push_str(&format!("{pad}Limit {n}\n"));
+                input.fmt_indent(out, depth + 1);
+            }
+        }
+    }
+}
+
+impl fmt::Display for LogicalPlan {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.display_indent())
+    }
+}
+
+/// A recursive clique (paper Fig 2a): the set of mutually recursive views and,
+/// per view, its base and recursive branches — the unit the fixpoint operator
+/// evaluates.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FixpointSpec {
+    /// The clique's views, in declaration order.
+    pub views: Vec<ViewSpec>,
+}
+
+impl FixpointSpec {
+    /// Index of a view by name (case-insensitive).
+    pub fn view_index(&self, name: &str) -> Option<usize> {
+        self.views
+            .iter()
+            .position(|v| v.name.eq_ignore_ascii_case(name))
+    }
+
+    /// Render the clique plan (the Fig 2a artifact).
+    pub fn display(&self) -> String {
+        let mut s = String::new();
+        for v in &self.views {
+            s.push_str(&format!(
+                "RecursiveClique {} {} key={:?} aggs={:?}{}\n",
+                v.name,
+                v.schema,
+                v.key_cols,
+                v.aggs
+                    .iter()
+                    .map(|(c, f)| format!("{f}@#{c}"))
+                    .collect::<Vec<_>>(),
+                match &v.decomposable_on {
+                    Some(p) => format!(" decomposable_on={p:?}"),
+                    None => String::new(),
+                }
+            ));
+            for (i, b) in v.base.iter().enumerate() {
+                s.push_str(&format!("  Base[{i}]\n"));
+                for line in b.display_indent().lines() {
+                    s.push_str(&format!("    {line}\n"));
+                }
+            }
+            for (i, r) in v.recursive.iter().enumerate() {
+                s.push_str(&format!("  Recursive[{i}]\n"));
+                for line in r.display().lines() {
+                    s.push_str(&format!("    {line}\n"));
+                }
+            }
+        }
+        s
+    }
+}
+
+/// One recursive view inside a clique.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ViewSpec {
+    /// View name.
+    pub name: String,
+    /// Output schema (head columns, declared order).
+    pub schema: Schema,
+    /// Positions of the non-aggregate (group) columns.
+    pub key_cols: Vec<usize>,
+    /// `(position, function)` for each aggregate head column.
+    pub aggs: Vec<(usize, AggFunc)>,
+    /// Base-case branches (no clique references), as ordinary plans.
+    pub base: Vec<LogicalPlan>,
+    /// Recursive branches, lowered to per-iteration pipelines.
+    pub recursive: Vec<BranchProgram>,
+    /// If the view's recursive plan preserves partitioning on these key
+    /// positions (paper §7.2), it can run decomposed with broadcast joins.
+    pub decomposable_on: Option<Vec<usize>>,
+}
+
+impl ViewSpec {
+    /// True if the view aggregates (vs. pure set semantics).
+    pub fn has_aggs(&self) -> bool {
+        !self.aggs.is_empty()
+    }
+}

@@ -1,0 +1,471 @@
+//! Rule-based logical optimizer (paper §5: "the analyzed plan is then
+//! optimized by a batch of rules such as predicate pushdown, filter
+//! combination and constant evaluation").
+//!
+//! Rules:
+//! 1. **constant folding** — evaluate constant subexpressions;
+//! 2. **filter combination** — merge stacked filters;
+//! 3. **predicate pushdown** — move filter conjuncts through projections,
+//!    unions, distinct, and into join sides;
+//! 4. **equi-join extraction** — turn `σ_{l.x = r.y}(L × R)` into a hash
+//!    equi-join (crucial: the Same-Generation base case is a self-join that
+//!    would otherwise be a quadratic cross product).
+
+use crate::expr::PExpr;
+use crate::logical::{FixpointSpec, LogicalPlan};
+use crate::branch::{BranchStep, JoinBuild};
+use rasql_parser::ast::BinaryOp;
+use rasql_storage::Value;
+
+/// Optimize a logical plan (applies all rules to fixpoint, bounded).
+pub fn optimize(plan: LogicalPlan) -> LogicalPlan {
+    let mut plan = plan;
+    for _ in 0..4 {
+        let next = rewrite(plan.clone());
+        if next == plan {
+            return plan;
+        }
+        plan = next;
+    }
+    plan
+}
+
+/// Optimize every embedded plan of a fixpoint spec: base branches, the build
+/// sides of recursive joins, and fold expressions inside branch steps.
+pub fn optimize_spec(mut spec: FixpointSpec) -> FixpointSpec {
+    for view in &mut spec.views {
+        for b in &mut view.base {
+            *b = optimize(std::mem::replace(
+                b,
+                LogicalPlan::Values {
+                    schema: rasql_storage::Schema::empty(),
+                    rows: vec![],
+                },
+            ));
+        }
+        for prog in &mut view.recursive {
+            for step in &mut prog.steps {
+                match step {
+                    BranchStep::HashJoin {
+                        build: JoinBuild::Base(p),
+                        stream_keys,
+                        ..
+                    } => {
+                        *p = optimize(std::mem::replace(
+                            p,
+                            LogicalPlan::Values {
+                                schema: rasql_storage::Schema::empty(),
+                                rows: vec![],
+                            },
+                        ));
+                        for k in stream_keys {
+                            *k = k.fold();
+                        }
+                    }
+                    BranchStep::HashJoin { stream_keys, .. } => {
+                        for k in stream_keys {
+                            *k = k.fold();
+                        }
+                    }
+                    BranchStep::Filter(p) => *p = p.fold(),
+                }
+            }
+            for e in prog.key_exprs.iter_mut().chain(prog.agg_exprs.iter_mut()) {
+                *e = e.fold();
+            }
+        }
+    }
+    spec
+}
+
+fn rewrite(plan: LogicalPlan) -> LogicalPlan {
+    // Bottom-up.
+    let plan = map_children(plan, rewrite);
+    match plan {
+        LogicalPlan::Filter { input, predicate } => rewrite_filter(*input, predicate),
+        LogicalPlan::Projection {
+            input,
+            exprs,
+            schema,
+        } => LogicalPlan::Projection {
+            input,
+            exprs: exprs.into_iter().map(|e| e.fold()).collect(),
+            schema,
+        },
+        other => other,
+    }
+}
+
+fn map_children(plan: LogicalPlan, f: impl Fn(LogicalPlan) -> LogicalPlan + Copy) -> LogicalPlan {
+    match plan {
+        LogicalPlan::Projection {
+            input,
+            exprs,
+            schema,
+        } => LogicalPlan::Projection {
+            input: Box::new(f(*input)),
+            exprs,
+            schema,
+        },
+        LogicalPlan::Filter { input, predicate } => LogicalPlan::Filter {
+            input: Box::new(f(*input)),
+            predicate,
+        },
+        LogicalPlan::Join {
+            left,
+            right,
+            left_keys,
+            right_keys,
+            residual,
+            schema,
+        } => LogicalPlan::Join {
+            left: Box::new(f(*left)),
+            right: Box::new(f(*right)),
+            left_keys,
+            right_keys,
+            residual,
+            schema,
+        },
+        LogicalPlan::Aggregate {
+            input,
+            group_cols,
+            aggs,
+            schema,
+        } => LogicalPlan::Aggregate {
+            input: Box::new(f(*input)),
+            group_cols,
+            aggs,
+            schema,
+        },
+        LogicalPlan::Union { inputs, schema } => LogicalPlan::Union {
+            inputs: inputs.into_iter().map(f).collect(),
+            schema,
+        },
+        LogicalPlan::Distinct { input } => LogicalPlan::Distinct {
+            input: Box::new(f(*input)),
+        },
+        LogicalPlan::Sort { input, keys } => LogicalPlan::Sort {
+            input: Box::new(f(*input)),
+            keys,
+        },
+        LogicalPlan::Limit { input, n } => LogicalPlan::Limit {
+            input: Box::new(f(*input)),
+            n,
+        },
+        leaf => leaf,
+    }
+}
+
+/// Rewrite `Filter(pred) over input`, pushing conjuncts as deep as possible.
+fn rewrite_filter(input: LogicalPlan, predicate: PExpr) -> LogicalPlan {
+    let mut conjuncts = Vec::new();
+    predicate.fold().split_conjuncts(&mut conjuncts);
+    // Drop literal TRUE conjuncts.
+    conjuncts.retain(|c| !matches!(c, PExpr::Lit(Value::Bool(true))));
+    push_conjuncts(input, conjuncts)
+}
+
+/// Push a set of conjuncts into `plan`; conjuncts that cannot sink stay in a
+/// filter above it.
+fn push_conjuncts(plan: LogicalPlan, conjuncts: Vec<PExpr>) -> LogicalPlan {
+    if conjuncts.is_empty() {
+        return plan;
+    }
+    match plan {
+        // Merge with an existing filter below, then retry as one batch.
+        LogicalPlan::Filter { input, predicate } => {
+            let mut all = conjuncts;
+            predicate.split_conjuncts(&mut all);
+            push_conjuncts(*input, all)
+        }
+        // Substitute projection expressions into the conjunct and sink it.
+        LogicalPlan::Projection {
+            input,
+            exprs,
+            schema,
+        } => {
+            let substituted: Vec<PExpr> = conjuncts
+                .iter()
+                .map(|c| substitute(c, &exprs))
+                .collect();
+            let inner = push_conjuncts(*input, substituted);
+            LogicalPlan::Projection {
+                input: Box::new(inner),
+                exprs,
+                schema,
+            }
+        }
+        LogicalPlan::Join {
+            left,
+            right,
+            mut left_keys,
+            mut right_keys,
+            residual,
+            schema,
+        } => {
+            let l_arity = left.schema().arity();
+            let mut left_push = Vec::new();
+            let mut right_push = Vec::new();
+            let mut residuals: Vec<PExpr> = Vec::new();
+            if let Some(r) = residual {
+                r.split_conjuncts(&mut residuals);
+            }
+            for c in conjuncts {
+                let mut cols = Vec::new();
+                c.columns(&mut cols);
+                let all_left = cols.iter().all(|&i| i < l_arity);
+                let all_right = !cols.is_empty() && cols.iter().all(|&i| i >= l_arity);
+                if all_left && !cols.is_empty() {
+                    left_push.push(c);
+                } else if all_right {
+                    right_push.push(c.remap_columns(&|i| i - l_arity));
+                } else if let Some((lk, rk)) = as_equi_key(&c, l_arity) {
+                    left_keys.push(lk);
+                    right_keys.push(rk);
+                } else {
+                    residuals.push(c);
+                }
+            }
+            let left = push_conjuncts(*left, left_push);
+            let right = push_conjuncts(*right, right_push);
+            LogicalPlan::Join {
+                left: Box::new(left),
+                right: Box::new(right),
+                left_keys,
+                right_keys,
+                residual: if residuals.is_empty() {
+                    None
+                } else {
+                    Some(PExpr::and_all(residuals))
+                },
+                schema,
+            }
+        }
+        LogicalPlan::Union { inputs, schema } => LogicalPlan::Union {
+            inputs: inputs
+                .into_iter()
+                .map(|i| push_conjuncts(i, conjuncts.clone()))
+                .collect(),
+            schema,
+        },
+        LogicalPlan::Distinct { input } => LogicalPlan::Distinct {
+            input: Box::new(push_conjuncts(*input, conjuncts)),
+        },
+        // Anything else: leave the filter in place.
+        other => LogicalPlan::Filter {
+            input: Box::new(other),
+            predicate: PExpr::and_all(conjuncts),
+        },
+    }
+}
+
+/// If the conjunct is `Col(l) = Col(r)` across the join boundary, return the
+/// `(left_key, right_key)` pair.
+fn as_equi_key(c: &PExpr, l_arity: usize) -> Option<(usize, usize)> {
+    if let PExpr::Binary {
+        left,
+        op: BinaryOp::Eq,
+        right,
+    } = c
+    {
+        if let (PExpr::Col(a), PExpr::Col(b)) = (left.as_ref(), right.as_ref()) {
+            if *a < l_arity && *b >= l_arity {
+                return Some((*a, *b - l_arity));
+            }
+            if *b < l_arity && *a >= l_arity {
+                return Some((*b, *a - l_arity));
+            }
+        }
+    }
+    None
+}
+
+/// Replace `Col(i)` with `exprs[i]` (pushing a predicate through a projection).
+fn substitute(e: &PExpr, exprs: &[PExpr]) -> PExpr {
+    match e {
+        PExpr::Col(i) => exprs[*i].clone(),
+        PExpr::Lit(v) => PExpr::Lit(v.clone()),
+        PExpr::Binary { left, op, right } => PExpr::Binary {
+            left: Box::new(substitute(left, exprs)),
+            op: *op,
+            right: Box::new(substitute(right, exprs)),
+        },
+        PExpr::Neg(x) => PExpr::Neg(Box::new(substitute(x, exprs))),
+        PExpr::Not(x) => PExpr::Not(Box::new(substitute(x, exprs))),
+        PExpr::IsNull { expr, negated } => PExpr::IsNull {
+            expr: Box::new(substitute(expr, exprs)),
+            negated: *negated,
+        },
+        PExpr::Func { func, args } => PExpr::Func {
+            func: *func,
+            args: args.iter().map(|a| substitute(a, exprs)).collect(),
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rasql_storage::{DataType, Schema};
+
+    fn scan(name: &str, cols: &[&str]) -> LogicalPlan {
+        LogicalPlan::TableScan {
+            table: name.into(),
+            schema: Schema::new(cols.iter().map(|c| (c.to_string(), DataType::Int)).collect()),
+        }
+    }
+
+    fn cross(l: LogicalPlan, r: LogicalPlan) -> LogicalPlan {
+        let schema = l.schema().join(r.schema());
+        LogicalPlan::Join {
+            left: Box::new(l),
+            right: Box::new(r),
+            left_keys: vec![],
+            right_keys: vec![],
+            residual: None,
+            schema,
+        }
+    }
+
+    #[test]
+    fn equi_join_extraction() {
+        // σ(#0 = #2)(a(x,y) × b(z,w)) → a ⋈_{x=z} b
+        let plan = LogicalPlan::Filter {
+            input: Box::new(cross(scan("a", &["x", "y"]), scan("b", &["z", "w"]))),
+            predicate: PExpr::eq(PExpr::Col(0), PExpr::Col(2)),
+        };
+        match optimize(plan) {
+            LogicalPlan::Join {
+                left_keys,
+                right_keys,
+                residual,
+                ..
+            } => {
+                assert_eq!(left_keys, vec![0]);
+                assert_eq!(right_keys, vec![0]);
+                assert!(residual.is_none());
+            }
+            other => panic!("{other}"),
+        }
+    }
+
+    #[test]
+    fn one_sided_predicates_sink() {
+        // σ(#1 > 5 AND #3 = 7)(a × b): both sides get their own filter.
+        let pred = PExpr::and_all(vec![
+            PExpr::Binary {
+                left: Box::new(PExpr::Col(1)),
+                op: BinaryOp::Gt,
+                right: Box::new(PExpr::lit(5i64)),
+            },
+            PExpr::eq(PExpr::Col(3), PExpr::lit(7i64)),
+        ]);
+        let plan = LogicalPlan::Filter {
+            input: Box::new(cross(scan("a", &["x", "y"]), scan("b", &["z", "w"]))),
+            predicate: pred,
+        };
+        match optimize(plan) {
+            LogicalPlan::Join { left, right, .. } => {
+                assert!(matches!(*left, LogicalPlan::Filter { .. }));
+                match *right {
+                    LogicalPlan::Filter { predicate, .. } => {
+                        // remapped to the right side's local indices
+                        assert_eq!(predicate, PExpr::eq(PExpr::Col(1), PExpr::lit(7i64)));
+                    }
+                    other => panic!("{other}"),
+                }
+            }
+            other => panic!("{other}"),
+        }
+    }
+
+    #[test]
+    fn inequality_stays_residual() {
+        let plan = LogicalPlan::Filter {
+            input: Box::new(cross(scan("a", &["x"]), scan("b", &["y"]))),
+            predicate: PExpr::Binary {
+                left: Box::new(PExpr::Col(0)),
+                op: BinaryOp::LtEq,
+                right: Box::new(PExpr::Col(1)),
+            },
+        };
+        match optimize(plan) {
+            LogicalPlan::Join {
+                left_keys,
+                residual,
+                ..
+            } => {
+                assert!(left_keys.is_empty());
+                assert!(residual.is_some());
+            }
+            other => panic!("{other}"),
+        }
+    }
+
+    #[test]
+    fn filters_combine_through_projection() {
+        // Filter(#0 = 1) over Project[#1, #0] over scan → filter lands on scan
+        // with substituted columns.
+        let inner = scan("a", &["x", "y"]);
+        let plan = LogicalPlan::Filter {
+            input: Box::new(LogicalPlan::Projection {
+                input: Box::new(inner),
+                exprs: vec![PExpr::Col(1), PExpr::Col(0)],
+                schema: Schema::new(vec![("y", DataType::Int), ("x", DataType::Int)]),
+            }),
+            predicate: PExpr::eq(PExpr::Col(0), PExpr::lit(1i64)),
+        };
+        match optimize(plan) {
+            LogicalPlan::Projection { input, .. } => match *input {
+                LogicalPlan::Filter { predicate, .. } => {
+                    assert_eq!(predicate, PExpr::eq(PExpr::Col(1), PExpr::lit(1i64)));
+                }
+                other => panic!("{other}"),
+            },
+            other => panic!("{other}"),
+        }
+    }
+
+    #[test]
+    fn constant_folding_in_projection() {
+        let plan = LogicalPlan::Projection {
+            input: Box::new(scan("a", &["x"])),
+            exprs: vec![PExpr::Binary {
+                left: Box::new(PExpr::lit(2i64)),
+                op: BinaryOp::Add,
+                right: Box::new(PExpr::lit(3i64)),
+            }],
+            schema: Schema::new(vec![("c", DataType::Int)]),
+        };
+        match optimize(plan) {
+            LogicalPlan::Projection { exprs, .. } => {
+                assert_eq!(exprs[0], PExpr::lit(5i64));
+            }
+            other => panic!("{other}"),
+        }
+    }
+
+    #[test]
+    fn stacked_filters_merge() {
+        let plan = LogicalPlan::Filter {
+            input: Box::new(LogicalPlan::Filter {
+                input: Box::new(scan("a", &["x"])),
+                predicate: PExpr::eq(PExpr::Col(0), PExpr::lit(1i64)),
+            }),
+            predicate: PExpr::Binary {
+                left: Box::new(PExpr::Col(0)),
+                op: BinaryOp::Gt,
+                right: Box::new(PExpr::lit(0i64)),
+            },
+        };
+        match optimize(plan) {
+            LogicalPlan::Filter { input, predicate } => {
+                assert!(matches!(*input, LogicalPlan::TableScan { .. }));
+                let mut cs = Vec::new();
+                predicate.split_conjuncts(&mut cs);
+                assert_eq!(cs.len(), 2);
+            }
+            other => panic!("{other}"),
+        }
+    }
+}

@@ -1,0 +1,375 @@
+//! Analyzer integration tests over the paper's query suite: clique
+//! recognition, implicit group-by, branch-program shapes, delta semantics
+//! modes, and decomposability detection.
+
+use rasql_parser::ast::AggFunc;
+use rasql_parser::parse;
+use rasql_plan::{
+    analyze_statement, AnalyzedStatement, BranchStep, CountMode, DeltaValueMode, JoinBuild,
+    LogicalPlan, PExpr, RecAllMode, ViewCatalog,
+};
+use rasql_storage::{DataType, Schema};
+
+fn catalog() -> ViewCatalog {
+    let mut c = ViewCatalog::new();
+    c.add_table(
+        "edge",
+        Schema::new(vec![
+            ("src", DataType::Int),
+            ("dst", DataType::Int),
+            ("cost", DataType::Double),
+        ]),
+    );
+    c.add_table(
+        "uedge",
+        Schema::new(vec![("src", DataType::Int), ("dst", DataType::Int)]),
+    );
+    c.add_table(
+        "assbl",
+        Schema::new(vec![("part", DataType::Int), ("spart", DataType::Int)]),
+    );
+    c.add_table(
+        "basic",
+        Schema::new(vec![("part", DataType::Int), ("days", DataType::Int)]),
+    );
+    c.add_table(
+        "report",
+        Schema::new(vec![("emp", DataType::Int), ("mgr", DataType::Int)]),
+    );
+    c.add_table(
+        "sales",
+        Schema::new(vec![("m", DataType::Int), ("p", DataType::Double)]),
+    );
+    c.add_table(
+        "sponsor",
+        Schema::new(vec![("m1", DataType::Int), ("m2", DataType::Int)]),
+    );
+    c.add_table(
+        "organizer",
+        Schema::new(vec![("orgname", DataType::Str)]),
+    );
+    c.add_table(
+        "friend",
+        Schema::new(vec![("pname", DataType::Str), ("fname", DataType::Str)]),
+    );
+    c.add_table(
+        "shares",
+        Schema::new(vec![
+            ("by", DataType::Str),
+            ("of", DataType::Str),
+            ("percent", DataType::Int),
+        ]),
+    );
+    c.add_table(
+        "rel",
+        Schema::new(vec![("parent", DataType::Int), ("child", DataType::Int)]),
+    );
+    c
+}
+
+fn analyze(sql: &str) -> rasql_plan::AnalyzedQuery {
+    let stmt = parse(sql).unwrap();
+    match analyze_statement(&stmt, &catalog()).unwrap() {
+        AnalyzedStatement::Query(q) => q,
+        other => panic!("{other:?}"),
+    }
+}
+
+#[test]
+fn bom_q2_clique_structure() {
+    let q = analyze(
+        "WITH recursive waitfor(Part, max() AS Days) AS \
+           (SELECT Part, Days FROM basic) UNION \
+           (SELECT assbl.Part, waitfor.Days FROM assbl, waitfor \
+            WHERE assbl.Spart = waitfor.Part) \
+         SELECT Part, Days FROM waitfor",
+    );
+    assert_eq!(q.cliques.len(), 1);
+    let v = &q.cliques[0].views[0];
+    assert_eq!(v.name, "waitfor");
+    assert_eq!(v.key_cols, vec![0]);
+    assert_eq!(v.aggs, vec![(1, AggFunc::Max)]);
+    assert_eq!(v.base.len(), 1);
+    assert_eq!(v.recursive.len(), 1);
+    let p = &v.recursive[0];
+    // Driver is waitfor; one hash join against assbl on Part = Spart.
+    assert_eq!(p.driver, 0);
+    assert_eq!(p.driver_value_mode, DeltaValueMode::Total); // max view
+    assert_eq!(p.steps.len(), 1);
+    match &p.steps[0] {
+        BranchStep::HashJoin {
+            build: JoinBuild::Base(LogicalPlan::TableScan { table, .. }),
+            stream_keys,
+            build_keys,
+            ..
+        } => {
+            assert_eq!(table, "assbl");
+            assert_eq!(stream_keys, &vec![PExpr::Col(0)]); // waitfor.Part
+            assert_eq!(build_keys, &vec![1]); // assbl.Spart
+        }
+        other => panic!("{other:?}"),
+    }
+    // Emits assbl.Part (combined col 2) as key, waitfor.Days (col 1) as agg.
+    assert_eq!(p.key_exprs, vec![PExpr::Col(2)]);
+    assert_eq!(p.agg_exprs, vec![PExpr::Col(1)]);
+    // Final select scans the materialized view.
+    let mut s = String::new();
+    q.final_plan.referenced_tables(&mut Vec::new());
+    s.push_str(&q.final_plan.display_indent());
+    assert!(s.contains("ViewScan waitfor"), "{s}");
+}
+
+#[test]
+fn sssp_min_view() {
+    let q = analyze(
+        "WITH recursive path (Dst, min() AS Cost) AS \
+           (SELECT 1, 0.0) UNION \
+           (SELECT edge.Dst, path.Cost + edge.Cost FROM path, edge \
+            WHERE path.Dst = edge.Src) \
+         SELECT Dst, Cost FROM path",
+    );
+    let v = &q.cliques[0].views[0];
+    assert_eq!(v.aggs, vec![(1, AggFunc::Min)]);
+    // Cost column widened to Double across branches.
+    assert_eq!(v.schema.field(1).data_type, DataType::Double);
+    let p = &v.recursive[0];
+    // Stream key is path.Dst == the view key ⇒ co-partitioned (no reshuffle).
+    assert_eq!(p.first_join_stream_keys().unwrap(), &[PExpr::Col(0)]);
+    // SSSP is not decomposable: the output key comes from the edge side.
+    assert!(v.decomposable_on.is_none());
+}
+
+#[test]
+fn tc_is_decomposable() {
+    let q = analyze(
+        "WITH recursive tc (Src, Dst) AS \
+           (SELECT Src, Dst FROM uedge) UNION \
+           (SELECT tc.Src, uedge.Dst FROM tc, uedge WHERE tc.Dst = uedge.Src) \
+         SELECT Src, Dst FROM tc",
+    );
+    let v = &q.cliques[0].views[0];
+    assert!(v.aggs.is_empty());
+    assert_eq!(v.key_cols, vec![0, 1]); // set semantics: all columns are key
+    assert_eq!(v.decomposable_on, Some(vec![0])); // Src passes through
+}
+
+#[test]
+fn count_paths_uses_increments() {
+    let q = analyze(
+        "WITH recursive cpaths (Dst, sum() AS Cnt) AS \
+           (SELECT 1, 1) UNION \
+           (SELECT uedge.Dst, cpaths.Cnt FROM cpaths, uedge WHERE cpaths.Dst = uedge.Src) \
+         SELECT Dst, Cnt FROM cpaths",
+    );
+    let p = &q.cliques[0].views[0].recursive[0];
+    assert_eq!(p.driver_value_mode, DeltaValueMode::Increment);
+    assert_eq!(p.count_modes, vec![CountMode::SumValues]);
+}
+
+#[test]
+fn party_attendance_mutual_recursion() {
+    let q = analyze(
+        "WITH recursive attend(Person) AS \
+           (SELECT OrgName FROM organizer) UNION \
+           (SELECT Name FROM cntfriends WHERE Ncount >= 3), \
+         recursive cntfriends(Name, count() AS Ncount) AS \
+           (SELECT friend.FName, friend.Pname FROM attend, friend \
+            WHERE attend.Person = friend.Pname) \
+         SELECT Person FROM attend",
+    );
+    assert_eq!(q.cliques.len(), 1);
+    let clique = &q.cliques[0];
+    assert_eq!(clique.views.len(), 2);
+    let attend = &clique.views[clique.view_index("attend").unwrap()];
+    let cnt = &clique.views[clique.view_index("cntfriends").unwrap()];
+    // attend's recursive branch reads cntfriends' *total* (threshold filter).
+    let ap = &attend.recursive[0];
+    assert_eq!(ap.driver_value_mode, DeltaValueMode::Total);
+    assert!(matches!(ap.steps[0], BranchStep::Filter(_)));
+    // cntfriends counts distinct (FName, Pname) tuples.
+    let cp = &cnt.recursive[0];
+    assert_eq!(cp.count_modes, vec![CountMode::DistinctTuple]);
+    // cntfriends' Ncount is Int, Name is Str.
+    assert_eq!(cnt.schema.field(0).data_type, DataType::Str);
+    assert_eq!(cnt.schema.field(1).data_type, DataType::Int);
+}
+
+#[test]
+fn company_control_modes() {
+    let q = analyze(
+        "WITH recursive cshares(ByCom, OfCom, sum() AS Tot) AS \
+           (SELECT By, Of, Percent FROM shares) UNION \
+           (SELECT control.Com1, cshares.OfCom, cshares.Tot FROM control, cshares \
+            WHERE control.Com2 = cshares.ByCom), \
+         recursive control(Com1, Com2) AS \
+           (SELECT ByCom, OfCom FROM cshares WHERE Tot > 50) \
+         SELECT ByCom, OfCom, Tot FROM cshares",
+    );
+    let clique = &q.cliques[0];
+    let cshares = &clique.views[clique.view_index("cshares").unwrap()];
+    let control = &clique.views[clique.view_index("control").unwrap()];
+
+    // The cshares rule has two recursive refs → two branch programs.
+    assert_eq!(cshares.recursive.len(), 2);
+    // Program driven by cshares' delta consumes increments.
+    let by_cshares = cshares
+        .recursive
+        .iter()
+        .find(|p| p.driver == clique.view_index("cshares").unwrap())
+        .unwrap();
+    assert_eq!(by_cshares.driver_value_mode, DeltaValueMode::Increment);
+    // Its join against `control` reads a snapshot (all relation).
+    assert!(by_cshares.steps.iter().any(|s| matches!(
+        s,
+        BranchStep::HashJoin {
+            build: JoinBuild::RecursiveAll { .. },
+            ..
+        }
+    )));
+    // Program driven by control's delta joins cshares as all-old (control is
+    // FROM-position 0, so when cshares drives, control is all-NEW; when
+    // control drives, cshares is all-OLD).
+    let by_control = cshares
+        .recursive
+        .iter()
+        .find(|p| p.driver == clique.view_index("control").unwrap())
+        .unwrap();
+    let mode = by_control
+        .steps
+        .iter()
+        .find_map(|s| match s {
+            BranchStep::HashJoin {
+                build: JoinBuild::RecursiveAll { mode, value_mode, .. },
+                ..
+            } => Some((*mode, *value_mode)),
+            _ => None,
+        })
+        .unwrap();
+    assert_eq!(mode.0, RecAllMode::Old);
+    // The snapshot's Tot feeds the sum head → read as increments.
+    assert_eq!(mode.1, DeltaValueMode::Increment);
+
+    // control's branch reads totals (threshold).
+    let ctl = &control.recursive[0];
+    assert_eq!(ctl.driver_value_mode, DeltaValueMode::Total);
+}
+
+#[test]
+fn same_generation_base_is_equi_join() {
+    let q = analyze(
+        "WITH recursive sg (X, Y) AS \
+           (SELECT a.Child, b.Child FROM rel a, rel b \
+            WHERE a.Parent = b.Parent AND a.Child <> b.Child) UNION \
+           (SELECT a.Child, b.Child FROM rel a, sg, rel b \
+            WHERE a.Parent = sg.X AND b.Parent = sg.Y) \
+         SELECT X, Y FROM sg",
+    );
+    let v = &q.cliques[0].views[0];
+    // Base: after optimization the self-join must be an equi hash join.
+    let optimized = rasql_plan::optimize(v.base[0].clone());
+    let txt = optimized.display_indent();
+    assert!(txt.contains("HashJoin"), "{txt}");
+    // Recursive branch: sg drives, joins rel twice.
+    let p = &v.recursive[0];
+    let joins = p
+        .steps
+        .iter()
+        .filter(|s| matches!(s, BranchStep::HashJoin { .. }))
+        .count();
+    assert_eq!(joins, 2);
+    assert_eq!(p.combined_arity, 6);
+}
+
+#[test]
+fn stratified_q1_has_no_head_aggs() {
+    let q = analyze(
+        "WITH recursive waitfor(Part, Days) AS \
+           (SELECT Part, Days FROM basic) UNION \
+           (SELECT assbl.Part, waitfor.Days FROM assbl, waitfor \
+            WHERE assbl.Spart = waitfor.Part) \
+         SELECT Part, max(Days) FROM waitfor GROUP BY Part",
+    );
+    let v = &q.cliques[0].views[0];
+    assert!(v.aggs.is_empty());
+    assert_eq!(v.key_cols, vec![0, 1]);
+    // Final plan aggregates over the view scan.
+    let txt = q.final_plan.display_indent();
+    assert!(txt.contains("HashAggregate"), "{txt}");
+}
+
+#[test]
+fn avg_in_recursion_rejected() {
+    let stmt = parse(
+        "WITH recursive r(X, avg() AS A) AS \
+           (SELECT Src, Cost FROM edge) UNION \
+           (SELECT edge.Dst, r.A FROM r, edge WHERE r.X = edge.Src) \
+         SELECT X, A FROM r",
+    )
+    .unwrap();
+    let err = analyze_statement(&stmt, &catalog()).unwrap_err();
+    assert!(err.to_string().contains("PreM"), "{err}");
+}
+
+#[test]
+fn unknown_column_errors() {
+    let stmt = parse("SELECT nope FROM edge").unwrap();
+    let err = analyze_statement(&stmt, &catalog()).unwrap_err();
+    assert!(err.to_string().contains("nope"), "{err}");
+}
+
+#[test]
+fn ambiguous_column_errors() {
+    let stmt = parse("SELECT Src FROM edge a, edge b").unwrap();
+    let err = analyze_statement(&stmt, &catalog()).unwrap_err();
+    assert!(err.to_string().contains("ambiguous"), "{err}");
+}
+
+#[test]
+fn create_view_renames_columns() {
+    let stmt = parse("CREATE VIEW e2(a, b) AS (SELECT Src, Dst FROM uedge)").unwrap();
+    match analyze_statement(&stmt, &catalog()).unwrap() {
+        AnalyzedStatement::CreateView { name, plan } => {
+            assert_eq!(name, "e2");
+            assert_eq!(plan.schema().names(), vec!["a", "b"]);
+        }
+        other => panic!("{other:?}"),
+    }
+}
+
+#[test]
+fn final_select_with_count_distinct() {
+    let q = analyze(
+        "WITH recursive cc (Src, min() AS CmpId) AS \
+           (SELECT Src, Src FROM uedge) UNION \
+           (SELECT uedge.Dst, cc.CmpId FROM cc, uedge WHERE cc.Src = uedge.Src) \
+         SELECT count(distinct cc.CmpId) FROM cc",
+    );
+    let txt = q.final_plan.display_indent();
+    assert!(txt.contains("count(distinct"), "{txt}");
+}
+
+#[test]
+fn non_recursive_cte_is_inlined() {
+    let q = analyze(
+        "WITH e2(a, b) AS (SELECT Src, Dst FROM uedge) \
+         SELECT a FROM e2 WHERE b > 1",
+    );
+    assert!(q.cliques.is_empty());
+    let txt = q.final_plan.display_indent();
+    assert!(txt.contains("TableScan uedge"), "{txt}");
+}
+
+#[test]
+fn clique_plan_display_mentions_branches() {
+    let q = analyze(
+        "WITH recursive tc (Src, Dst) AS \
+           (SELECT Src, Dst FROM uedge) UNION \
+           (SELECT tc.Src, uedge.Dst FROM tc, uedge WHERE tc.Dst = uedge.Src) \
+         SELECT Src, Dst FROM tc",
+    );
+    let txt = q.cliques[0].display();
+    assert!(txt.contains("RecursiveClique tc"), "{txt}");
+    assert!(txt.contains("Base[0]"), "{txt}");
+    assert!(txt.contains("Recursive[0]"), "{txt}");
+    assert!(txt.contains("decomposable_on"), "{txt}");
+}

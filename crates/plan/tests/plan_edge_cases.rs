@@ -1,0 +1,275 @@
+//! Planner edge cases: branch-program shapes beyond the paper suite,
+//! optimizer interactions, and analyzer rejections.
+
+use rasql_parser::parse;
+use rasql_plan::{
+    analyze_statement, optimize, AnalyzedStatement, BranchStep, JoinBuild, LogicalPlan, PExpr,
+    ViewCatalog,
+};
+use rasql_storage::{DataType, Schema};
+
+fn catalog() -> ViewCatalog {
+    let mut c = ViewCatalog::new();
+    c.add_table(
+        "edge",
+        Schema::new(vec![
+            ("src", DataType::Int),
+            ("dst", DataType::Int),
+            ("cost", DataType::Double),
+        ]),
+    );
+    c.add_table(
+        "nodes",
+        Schema::new(vec![("id", DataType::Int), ("kind", DataType::Str)]),
+    );
+    c
+}
+
+fn analyze(sql: &str) -> rasql_plan::AnalyzedQuery {
+    match analyze_statement(&parse(sql).unwrap(), &catalog()).unwrap() {
+        AnalyzedStatement::Query(q) => q,
+        other => panic!("{other:?}"),
+    }
+}
+
+#[test]
+fn three_way_join_in_recursive_branch_orders_greedily() {
+    // Recursive branch joins two base tables; the join graph must chain
+    // through the available equi edges.
+    let q = analyze(
+        "WITH recursive r (X) AS \
+           (SELECT 1) UNION \
+           (SELECT n.id FROM r, edge e, nodes n \
+            WHERE r.X = e.src AND e.dst = n.id) \
+         SELECT X FROM r",
+    );
+    let p = &q.cliques[0].views[0].recursive[0];
+    let joins: Vec<_> = p
+        .steps
+        .iter()
+        .filter_map(|s| match s {
+            BranchStep::HashJoin { build, .. } => Some(build),
+            _ => None,
+        })
+        .collect();
+    assert_eq!(joins.len(), 2);
+    // First join must be edge (connected to the driver), then nodes.
+    match joins[0] {
+        JoinBuild::Base(LogicalPlan::TableScan { table, .. }) => assert_eq!(table, "edge"),
+        other => panic!("{other:?}"),
+    }
+    match joins[1] {
+        JoinBuild::Base(LogicalPlan::TableScan { table, .. }) => assert_eq!(table, "nodes"),
+        other => panic!("{other:?}"),
+    }
+}
+
+#[test]
+fn disconnected_table_becomes_cross_join() {
+    let q = analyze(
+        "WITH recursive r (X) AS \
+           (SELECT 1) UNION \
+           (SELECT e.dst FROM r, edge e, nodes n WHERE r.X = e.src) \
+         SELECT X FROM r",
+    );
+    let p = &q.cliques[0].views[0].recursive[0];
+    let empty_key_joins = p
+        .steps
+        .iter()
+        .filter(|s| matches!(s, BranchStep::HashJoin { build_keys, .. } if build_keys.is_empty()))
+        .count();
+    assert_eq!(empty_key_joins, 1, "nodes has no equi edge → cross join");
+}
+
+#[test]
+fn expression_join_key_on_stream_side() {
+    // Stream key may be an expression (r.X + 1); build key must be a column.
+    let q = analyze(
+        "WITH recursive r (X) AS \
+           (SELECT 0) UNION \
+           (SELECT e.dst FROM r, edge e WHERE r.X + 1 = e.src) \
+         SELECT X FROM r",
+    );
+    let p = &q.cliques[0].views[0].recursive[0];
+    match &p.steps[0] {
+        BranchStep::HashJoin { stream_keys, build_keys, .. } => {
+            assert_eq!(build_keys, &vec![0]);
+            assert!(
+                matches!(stream_keys[0], PExpr::Binary { .. }),
+                "{stream_keys:?}"
+            );
+        }
+        other => panic!("{other:?}"),
+    }
+}
+
+#[test]
+fn filter_position_respects_join_order() {
+    // A predicate on the joined table must run after that join.
+    let q = analyze(
+        "WITH recursive r (X) AS \
+           (SELECT 1) UNION \
+           (SELECT e.dst FROM r, edge e WHERE r.X = e.src AND e.cost > 2.0) \
+         SELECT X FROM r",
+    );
+    let p = &q.cliques[0].views[0].recursive[0];
+    assert!(matches!(p.steps[0], BranchStep::HashJoin { .. }));
+    assert!(matches!(p.steps[1], BranchStep::Filter(_)));
+}
+
+#[test]
+fn filter_on_driver_runs_before_join() {
+    let q = analyze(
+        "WITH recursive r (X) AS \
+           (SELECT 1) UNION \
+           (SELECT e.dst FROM r, edge e WHERE r.X = e.src AND r.X < 100) \
+         SELECT X FROM r",
+    );
+    let p = &q.cliques[0].views[0].recursive[0];
+    assert!(
+        matches!(p.steps[0], BranchStep::Filter(_)),
+        "driver-only predicate should precede the join: {:?}",
+        p.steps
+    );
+}
+
+#[test]
+fn multiple_base_branches_union() {
+    let q = analyze(
+        "WITH recursive r (X) AS \
+           (SELECT 1) UNION (SELECT 2) UNION \
+           (SELECT e.dst FROM r, edge e WHERE r.X = e.src) \
+         SELECT X FROM r",
+    );
+    let v = &q.cliques[0].views[0];
+    assert_eq!(v.base.len(), 2);
+    assert_eq!(v.recursive.len(), 1);
+}
+
+#[test]
+fn multiple_recursive_branches() {
+    // Forward and backward expansion in one view.
+    let q = analyze(
+        "WITH recursive r (X) AS \
+           (SELECT 1) UNION \
+           (SELECT e.dst FROM r, edge e WHERE r.X = e.src) UNION \
+           (SELECT e.src FROM r, edge e WHERE r.X = e.dst) \
+         SELECT X FROM r",
+    );
+    let v = &q.cliques[0].views[0];
+    assert_eq!(v.recursive.len(), 2);
+}
+
+#[test]
+fn optimizer_prunes_true_filters() {
+    let q = analyze("SELECT src FROM edge WHERE 1 = 1");
+    let plan = optimize(q.final_plan);
+    let txt = plan.display_indent();
+    assert!(!txt.contains("Filter"), "{txt}");
+}
+
+#[test]
+fn optimizer_folds_arithmetic_into_literals() {
+    let q = analyze("SELECT src + 2 * 3 FROM edge");
+    let plan = optimize(q.final_plan);
+    let txt = plan.display_indent();
+    assert!(txt.contains("(#0 + 6)"), "{txt}");
+}
+
+#[test]
+fn projection_pushdown_keeps_semantics_text() {
+    // Regression artifact: filter over computed projection pushes through.
+    let q = analyze("SELECT s2 FROM (SELECT src * 2 AS s2 FROM edge) t WHERE s2 > 4");
+    let plan = optimize(q.final_plan);
+    let txt = plan.display_indent();
+    // The filter must now reference the pre-projection expression.
+    assert!(txt.contains("Filter ((#0 * 2) > 4)"), "{txt}");
+}
+
+#[test]
+fn rejects_group_by_in_recursive_branch() {
+    let err = analyze_statement(
+        &parse(
+            "WITH recursive r (X, min() AS C) AS \
+               (SELECT src, cost FROM edge) UNION \
+               (SELECT e.dst, r.C FROM r, edge e WHERE r.X = e.src GROUP BY e.dst) \
+             SELECT X, C FROM r",
+        )
+        .unwrap(),
+        &catalog(),
+    )
+    .unwrap_err();
+    assert!(err.to_string().contains("implicit group-by"), "{err}");
+}
+
+#[test]
+fn rejects_star_in_recursive_branch() {
+    let err = analyze_statement(
+        &parse(
+            "WITH recursive r (A, B, C) AS \
+               (SELECT src, dst, cost FROM edge) UNION \
+               (SELECT * FROM r) \
+             SELECT A FROM r",
+        )
+        .unwrap(),
+        &catalog(),
+    )
+    .unwrap_err();
+    assert!(err.to_string().contains('*'), "{err}");
+}
+
+#[test]
+fn rejects_aggregate_call_in_recursive_branch() {
+    let err = analyze_statement(
+        &parse(
+            "WITH recursive r (X, min() AS C) AS \
+               (SELECT src, cost FROM edge) UNION \
+               (SELECT e.dst, min(r.C) FROM r, edge e WHERE r.X = e.src) \
+             SELECT X, C FROM r",
+        )
+        .unwrap(),
+        &catalog(),
+    )
+    .unwrap_err();
+    assert!(err.to_string().contains("head"), "{err}");
+}
+
+#[test]
+fn rejects_arity_mismatch_between_head_and_branch() {
+    let err = analyze_statement(
+        &parse(
+            "WITH recursive r (X, Y) AS \
+               (SELECT src FROM edge) UNION \
+               (SELECT e.dst, e.src FROM r, edge e WHERE r.X = e.src) \
+             SELECT X FROM r",
+        )
+        .unwrap(),
+        &catalog(),
+    )
+    .unwrap_err();
+    assert!(err.to_string().contains("columns"), "{err}");
+}
+
+#[test]
+fn wildcards_expand_in_plain_selects() {
+    let q = analyze("SELECT * FROM edge");
+    assert_eq!(q.final_plan.schema().arity(), 3);
+    let q = analyze("SELECT e.*, n.kind FROM edge e, nodes n WHERE e.src = n.id");
+    assert_eq!(q.final_plan.schema().arity(), 4);
+}
+
+#[test]
+fn table_alias_shadows_in_self_join() {
+    let q = analyze("SELECT a.src, b.dst FROM edge a, edge b WHERE a.dst = b.src");
+    let plan = optimize(q.final_plan);
+    match &plan {
+        LogicalPlan::Projection { input, .. } => match input.as_ref() {
+            LogicalPlan::Join { left_keys, right_keys, .. } => {
+                assert_eq!(left_keys, &vec![1]);
+                assert_eq!(right_keys, &vec![0]);
+            }
+            other => panic!("{}", other.display_indent()),
+        },
+        other => panic!("{}", other.display_indent()),
+    }
+}

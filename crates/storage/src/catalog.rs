@@ -1,0 +1,95 @@
+//! Catalog: the named base tables visible to a query session.
+
+use crate::error::StorageError;
+use crate::relation::Relation;
+use parking_lot::RwLock;
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+/// A thread-safe registry of base relations, shared between the engine's
+/// planner and the executor's workers. Names are case-insensitive (SQL).
+#[derive(Default)]
+pub struct Catalog {
+    tables: RwLock<BTreeMap<String, Arc<Relation>>>,
+}
+
+impl Catalog {
+    /// An empty catalog.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Register a table, failing if the name is taken.
+    pub fn register(&self, name: &str, rel: Relation) -> Result<(), StorageError> {
+        let key = name.to_ascii_lowercase();
+        let mut tables = self.tables.write();
+        if tables.contains_key(&key) {
+            return Err(StorageError::DuplicateTable(name.to_string()));
+        }
+        tables.insert(key, Arc::new(rel));
+        Ok(())
+    }
+
+    /// Register or replace a table.
+    pub fn register_or_replace(&self, name: &str, rel: Relation) {
+        self.tables
+            .write()
+            .insert(name.to_ascii_lowercase(), Arc::new(rel));
+    }
+
+    /// Look up a table.
+    pub fn get(&self, name: &str) -> Result<Arc<Relation>, StorageError> {
+        self.tables
+            .read()
+            .get(&name.to_ascii_lowercase())
+            .cloned()
+            .ok_or_else(|| StorageError::UnknownTable(name.to_string()))
+    }
+
+    /// True if the table exists.
+    pub fn contains(&self, name: &str) -> bool {
+        self.tables.read().contains_key(&name.to_ascii_lowercase())
+    }
+
+    /// Remove a table; returns it if present.
+    pub fn drop_table(&self, name: &str) -> Option<Arc<Relation>> {
+        self.tables.write().remove(&name.to_ascii_lowercase())
+    }
+
+    /// Sorted table names.
+    pub fn table_names(&self) -> Vec<String> {
+        self.tables.read().keys().cloned().collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn register_lookup_case_insensitive() {
+        let c = Catalog::new();
+        c.register("Edge", Relation::edges(&[(1, 2)])).unwrap();
+        assert!(c.contains("edge"));
+        assert_eq!(c.get("EDGE").unwrap().len(), 1);
+    }
+
+    #[test]
+    fn duplicate_rejected_replace_allowed() {
+        let c = Catalog::new();
+        c.register("t", Relation::edges(&[])).unwrap();
+        assert!(c.register("T", Relation::edges(&[])).is_err());
+        c.register_or_replace("t", Relation::edges(&[(1, 2)]));
+        assert_eq!(c.get("t").unwrap().len(), 1);
+    }
+
+    #[test]
+    fn drop_and_names() {
+        let c = Catalog::new();
+        c.register("b", Relation::edges(&[])).unwrap();
+        c.register("a", Relation::edges(&[])).unwrap();
+        assert_eq!(c.table_names(), vec!["a", "b"]);
+        assert!(c.drop_table("a").is_some());
+        assert!(c.get("a").is_err());
+    }
+}

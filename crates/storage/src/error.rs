@@ -1,0 +1,55 @@
+//! Storage-layer errors.
+
+use std::fmt;
+
+/// Errors from the storage substrate.
+#[derive(Debug)]
+pub enum StorageError {
+    /// Row arity does not match relation schema.
+    ArityMismatch {
+        /// Arity the schema expects.
+        expected: usize,
+        /// Arity the row actually has.
+        actual: usize,
+    },
+    /// Unknown table name in a catalog lookup.
+    UnknownTable(String),
+    /// A table with this name is already registered.
+    DuplicateTable(String),
+    /// Malformed input during CSV/text ingestion.
+    Parse(String),
+    /// Codec error (corrupt varint stream etc).
+    Codec(String),
+    /// Underlying IO error.
+    Io(std::io::Error),
+}
+
+impl fmt::Display for StorageError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StorageError::ArityMismatch { expected, actual } => {
+                write!(f, "row arity {actual} does not match schema arity {expected}")
+            }
+            StorageError::UnknownTable(t) => write!(f, "unknown table '{t}'"),
+            StorageError::DuplicateTable(t) => write!(f, "table '{t}' already exists"),
+            StorageError::Parse(m) => write!(f, "parse error: {m}"),
+            StorageError::Codec(m) => write!(f, "codec error: {m}"),
+            StorageError::Io(e) => write!(f, "io error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for StorageError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            StorageError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for StorageError {
+    fn from(e: std::io::Error) -> Self {
+        StorageError::Io(e)
+    }
+}

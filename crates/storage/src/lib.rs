@@ -1,0 +1,45 @@
+#![warn(missing_docs)]
+
+//! # rasql-storage
+//!
+//! The storage substrate of the RaSQL reproduction: dynamically-typed values,
+//! rows, schemas, in-memory relations, hash partitioning, a fast non-cryptographic
+//! hasher, and the varint/delta codecs used for compressed broadcast of base
+//! relations (paper §7.2).
+//!
+//! Everything above this crate (parser, planner, executor, fixpoint operator)
+//! manipulates data exclusively through the types defined here.
+//!
+//! ## Quick tour
+//!
+//! ```
+//! use rasql_storage::{Relation, Schema, DataType, Value, Row};
+//!
+//! let schema = Schema::new(vec![
+//!     ("src", DataType::Int),
+//!     ("dst", DataType::Int),
+//! ]);
+//! let mut rel = Relation::empty(schema);
+//! rel.push(Row::from(vec![Value::Int(1), Value::Int(2)]));
+//! rel.push(Row::from(vec![Value::Int(2), Value::Int(3)]));
+//! assert_eq!(rel.len(), 2);
+//! ```
+
+pub mod catalog;
+pub mod codec;
+pub mod error;
+pub mod hasher;
+pub mod partition;
+pub mod relation;
+pub mod row;
+pub mod schema;
+pub mod value;
+
+pub use catalog::Catalog;
+pub use error::StorageError;
+pub use hasher::{FxBuildHasher, FxHashMap, FxHashSet, FxHasher};
+pub use partition::{hash_partition, partition_rows, Partitioning};
+pub use relation::Relation;
+pub use row::Row;
+pub use schema::{DataType, Field, Schema};
+pub use value::Value;

@@ -1,0 +1,153 @@
+//! Schema: named, typed columns of a relation.
+
+use std::fmt;
+
+/// The SQL data types supported by the engine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DataType {
+    /// 64-bit signed integer (`int` in the paper's base tables).
+    Int,
+    /// 64-bit IEEE float (`double`).
+    Double,
+    /// UTF-8 string (`str`).
+    Str,
+    /// Boolean.
+    Bool,
+    /// Unknown/any — produced for NULL literals before coercion.
+    Any,
+}
+
+impl fmt::Display for DataType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            DataType::Int => "INT",
+            DataType::Double => "DOUBLE",
+            DataType::Str => "STR",
+            DataType::Bool => "BOOL",
+            DataType::Any => "ANY",
+        };
+        f.write_str(s)
+    }
+}
+
+/// A named, typed column.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Field {
+    /// Column name (lower-cased by the analyzer; stored verbatim here).
+    pub name: String,
+    /// Column type.
+    pub data_type: DataType,
+}
+
+impl Field {
+    /// Build a field.
+    pub fn new(name: impl Into<String>, data_type: DataType) -> Self {
+        Field {
+            name: name.into(),
+            data_type,
+        }
+    }
+}
+
+/// An ordered list of fields.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Schema {
+    fields: Vec<Field>,
+}
+
+impl Schema {
+    /// Build a schema from `(name, type)` pairs.
+    pub fn new<N: Into<String>>(fields: Vec<(N, DataType)>) -> Self {
+        Schema {
+            fields: fields
+                .into_iter()
+                .map(|(n, t)| Field::new(n, t))
+                .collect(),
+        }
+    }
+
+    /// Build from prepared fields.
+    pub fn from_fields(fields: Vec<Field>) -> Self {
+        Schema { fields }
+    }
+
+    /// The empty schema.
+    pub fn empty() -> Self {
+        Schema { fields: vec![] }
+    }
+
+    /// Number of columns.
+    pub fn arity(&self) -> usize {
+        self.fields.len()
+    }
+
+    /// Fields slice.
+    pub fn fields(&self) -> &[Field] {
+        &self.fields
+    }
+
+    /// Field by position.
+    pub fn field(&self, i: usize) -> &Field {
+        &self.fields[i]
+    }
+
+    /// Case-insensitive lookup of a column index by name.
+    pub fn index_of(&self, name: &str) -> Option<usize> {
+        self.fields
+            .iter()
+            .position(|f| f.name.eq_ignore_ascii_case(name))
+    }
+
+    /// Concatenate two schemas (join output schema).
+    pub fn join(&self, other: &Schema) -> Schema {
+        let mut fields = self.fields.clone();
+        fields.extend(other.fields.iter().cloned());
+        Schema { fields }
+    }
+
+    /// Column names in order.
+    pub fn names(&self) -> Vec<&str> {
+        self.fields.iter().map(|f| f.name.as_str()).collect()
+    }
+}
+
+impl fmt::Display for Schema {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[")?;
+        for (i, fld) in self.fields.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{}: {}", fld.name, fld.data_type)?;
+        }
+        write!(f, "]")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lookup_is_case_insensitive() {
+        let s = Schema::new(vec![("Src", DataType::Int), ("Dst", DataType::Int)]);
+        assert_eq!(s.index_of("src"), Some(0));
+        assert_eq!(s.index_of("DST"), Some(1));
+        assert_eq!(s.index_of("cost"), None);
+    }
+
+    #[test]
+    fn join_concatenates() {
+        let a = Schema::new(vec![("x", DataType::Int)]);
+        let b = Schema::new(vec![("y", DataType::Str)]);
+        let j = a.join(&b);
+        assert_eq!(j.arity(), 2);
+        assert_eq!(j.names(), vec!["x", "y"]);
+    }
+
+    #[test]
+    fn display() {
+        let s = Schema::new(vec![("a", DataType::Int)]);
+        assert_eq!(s.to_string(), "[a: INT]");
+    }
+}

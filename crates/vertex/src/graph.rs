@@ -1,0 +1,62 @@
+//! Graph representation shared by the vertex-centric engines.
+
+use rasql_storage::Relation;
+
+/// An adjacency-partitioned graph: vertex ids are dense `0..n`, each
+/// partition owns the out-edges of its vertices.
+#[derive(Debug, Clone)]
+pub struct VertexGraph {
+    /// Vertex count.
+    pub n: usize,
+    /// Per-vertex out-neighbors with weights (1.0 when unweighted).
+    pub adj: Vec<Vec<(u32, f64)>>,
+}
+
+impl VertexGraph {
+    /// Build from an edge relation `(src, dst[, cost])`.
+    pub fn from_relation(rel: &Relation) -> Self {
+        let weighted = rel.schema().arity() >= 3;
+        let mut n = 0usize;
+        for r in rel.rows() {
+            n = n
+                .max(r[0].as_int().unwrap_or(0) as usize + 1)
+                .max(r[1].as_int().unwrap_or(0) as usize + 1);
+        }
+        let mut adj = vec![Vec::new(); n];
+        for r in rel.rows() {
+            let s = r[0].as_int().unwrap() as usize;
+            let d = r[1].as_int().unwrap() as u32;
+            let w = if weighted {
+                r[2].as_f64().unwrap_or(1.0)
+            } else {
+                1.0
+            };
+            adj[s].push((d, w));
+        }
+        VertexGraph { n, adj }
+    }
+
+    /// Edge count.
+    pub fn edges(&self) -> usize {
+        self.adj.iter().map(Vec::len).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn build_from_relation() {
+        let g = VertexGraph::from_relation(&Relation::edges(&[(0, 1), (1, 2), (0, 2)]));
+        assert_eq!(g.n, 3);
+        assert_eq!(g.edges(), 3);
+        assert_eq!(g.adj[0].len(), 2);
+    }
+
+    #[test]
+    fn weighted_edges_carry_costs() {
+        let g = VertexGraph::from_relation(&Relation::weighted_edges(&[(0, 1, 2.5)]));
+        assert_eq!(g.adj[0], vec![(1, 2.5)]);
+    }
+}

@@ -1,0 +1,26 @@
+#![warn(missing_docs)]
+
+//! # rasql-vertex
+//!
+//! Vertex-centric graph processing baselines for the paper's §8 comparisons:
+//!
+//! - [`BspEngine`] — the **Giraph analog**: a tuned bulk-synchronous Pregel
+//!   with per-worker vertex partitions and message combiners; one compute
+//!   stage + one message exchange per superstep.
+//! - [`DatasetPregelEngine`] — the **GraphX analog**: the same vertex
+//!   programs executed over the [`rasql_exec::Dataset`] machinery with the
+//!   4-stage-per-superstep structure the paper observed in GraphX (message
+//!   reduce, vertex join/apply, vertex-edge join, message generation), which
+//!   is precisely why GraphX trails RaSQL in Fig 8/9.
+//!
+//! Shipped programs: [`programs::Reach`], [`programs::Cc`], [`programs::Sssp`].
+
+pub mod bsp;
+pub mod dataset_pregel;
+pub mod graph;
+pub mod programs;
+
+pub use bsp::BspEngine;
+pub use dataset_pregel::DatasetPregelEngine;
+pub use graph::VertexGraph;
+pub use programs::{Cc, Reach, Sssp, VertexProgram};

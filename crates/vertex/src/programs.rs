@@ -1,0 +1,100 @@
+//! Vertex programs: the Pregel-style algorithm definitions.
+
+/// A bulk-synchronous vertex program over `f64` vertex values with
+/// min-combining messages — the shape of all three benchmark algorithms
+/// (REACH, CC, SSSP) and of Pregel's classic examples.
+pub trait VertexProgram: Send + Sync {
+    /// Initial value of a vertex (`f64::INFINITY` = inactive/unreached).
+    fn initial(&self, vertex: u32) -> f64;
+
+    /// Combine two messages destined for the same vertex.
+    fn combine(&self, a: f64, b: f64) -> f64 {
+        a.min(b)
+    }
+
+    /// Apply a combined message; `Some(new_value)` activates the vertex.
+    fn apply(&self, current: f64, msg: f64) -> Option<f64> {
+        if msg < current {
+            Some(msg)
+        } else {
+            None
+        }
+    }
+
+    /// The message an active vertex sends along an out-edge of weight `w`.
+    fn scatter(&self, value: f64, w: f64) -> f64;
+}
+
+/// Reachability (BFS): reached vertices have value 0.
+pub struct Reach {
+    /// BFS source.
+    pub source: u32,
+}
+
+impl VertexProgram for Reach {
+    fn initial(&self, vertex: u32) -> f64 {
+        if vertex == self.source {
+            0.0
+        } else {
+            f64::INFINITY
+        }
+    }
+
+    fn scatter(&self, _value: f64, _w: f64) -> f64 {
+        0.0
+    }
+}
+
+/// Connected components by min-label propagation (labels = vertex ids).
+pub struct Cc;
+
+impl VertexProgram for Cc {
+    fn initial(&self, vertex: u32) -> f64 {
+        vertex as f64
+    }
+
+    fn scatter(&self, value: f64, _w: f64) -> f64 {
+        value
+    }
+}
+
+/// Single-source shortest paths.
+pub struct Sssp {
+    /// Source vertex.
+    pub source: u32,
+}
+
+impl VertexProgram for Sssp {
+    fn initial(&self, vertex: u32) -> f64 {
+        if vertex == self.source {
+            0.0
+        } else {
+            f64::INFINITY
+        }
+    }
+
+    fn scatter(&self, value: f64, w: f64) -> f64 {
+        value + w
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reach_semantics() {
+        let p = Reach { source: 3 };
+        assert_eq!(p.initial(3), 0.0);
+        assert_eq!(p.initial(0), f64::INFINITY);
+        assert_eq!(p.apply(f64::INFINITY, 0.0), Some(0.0));
+        assert_eq!(p.apply(0.0, 0.0), None);
+    }
+
+    #[test]
+    fn sssp_scatter_adds_weight() {
+        let p = Sssp { source: 0 };
+        assert_eq!(p.scatter(2.0, 3.5), 5.5);
+        assert_eq!(p.combine(4.0, 3.0), 3.0);
+    }
+}

@@ -1,0 +1,74 @@
+//! Property tests: the two vertex-centric engines agree with each other and
+//! with the serial oracles on random graphs, and the superstep counts match
+//! (the paper's "both systems spend the same number of iterations" §8.1).
+
+use proptest::prelude::*;
+use rasql_exec::{Cluster, ClusterConfig};
+use rasql_storage::Relation;
+use rasql_vertex::{BspEngine, Cc, DatasetPregelEngine, Reach, Sssp, VertexGraph};
+use std::time::Duration;
+
+fn quiet_cluster() -> Cluster {
+    Cluster::new(ClusterConfig {
+        workers: 2,
+        partition_aware: true,
+        stage_latency: Duration::ZERO,
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn engines_agree_on_random_graphs(
+        edges in prop::collection::vec((0i64..25, 0i64..25), 1..80),
+        source in 0u32..25,
+    ) {
+        let rel = Relation::edges(&edges);
+        let g = VertexGraph::from_relation(&rel);
+        prop_assume!((source as usize) < g.n);
+        let c = quiet_cluster();
+
+        let (a, sa) = BspEngine::new(&c).run(&g, Reach { source });
+        let (b, sb) = DatasetPregelEngine::new(&c).run(&g, Reach { source });
+        prop_assert_eq!(&a, &b);
+        prop_assert_eq!(sa, sb, "superstep counts must match (§8.1)");
+
+        let (a, _) = BspEngine::new(&c).run(&g, Cc);
+        let (b, _) = DatasetPregelEngine::new(&c).run(&g, Cc);
+        prop_assert_eq!(a, b);
+    }
+
+    #[test]
+    fn bsp_reach_matches_serial_bfs(
+        edges in prop::collection::vec((0i64..30, 0i64..30), 1..100),
+    ) {
+        let rel = Relation::edges(&edges);
+        let g = VertexGraph::from_relation(&rel);
+        let c = quiet_cluster();
+        let (vals, _) = BspEngine::new(&c).run(&g, Reach { source: 0 });
+        let csr = rasql_gap::Csr::from_relation(&rel);
+        let reached: std::collections::HashSet<u32> =
+            rasql_gap::bfs_reach(&csr, 0).into_iter().collect();
+        for (v, val) in vals.iter().enumerate() {
+            prop_assert_eq!(
+                val.is_finite(),
+                reached.contains(&(v as u32)),
+                "vertex {}", v
+            );
+        }
+    }
+
+    #[test]
+    fn myria_matches_bsp_on_cc(
+        edges in prop::collection::vec((0i64..20, 0i64..20), 1..60),
+    ) {
+        let rel = Relation::edges(&edges);
+        let g = VertexGraph::from_relation(&rel);
+        let c = quiet_cluster();
+        let (bsp, _) = BspEngine::new(&c).run(&g, Cc);
+        let (myria, _) =
+            rasql_myria::MyriaEngine::new(3).run(&rel, rasql_myria::Algorithm::Cc);
+        prop_assert_eq!(bsp, myria);
+    }
+}
