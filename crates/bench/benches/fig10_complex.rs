@@ -6,6 +6,9 @@ use rasql_bench::run_sql_with;
 use rasql_core::{library, EngineConfig};
 use rasql_datagen::{tree_hierarchy, TreeConfig};
 
+/// A named benchmark workload: display name, input tables, SQL text.
+type Workload<'a> = (&'a str, Vec<(&'a str, &'a rasql_storage::Relation)>, String);
+
 fn bench(c: &mut Criterion) {
     let tree = tree_hierarchy(
         TreeConfig {
@@ -18,7 +21,7 @@ fn bench(c: &mut Criterion) {
     g.sample_size(10);
     g.warm_up_time(std::time::Duration::from_millis(500));
     g.measurement_time(std::time::Duration::from_secs(2));
-    let workloads: Vec<(&str, Vec<(&str, &rasql_storage::Relation)>, String)> = vec![
+    let workloads: Vec<Workload<'_>> = vec![
         (
             "Delivery",
             vec![("assbl", &tree.assbl), ("basic", &tree.basic)],

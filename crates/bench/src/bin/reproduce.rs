@@ -2,11 +2,14 @@
 //!
 //! ```text
 //! reproduce [all|fig1|fig2|fig5|fig6|fig7|fig8|fig9|fig10|fig11|fig12|
-//!            table1|table2|table3|premcheck] [--scale X]
+//!            table1|table2|table3|premcheck|traces] [--scale X]
 //! ```
 //!
 //! `--scale` multiplies dataset sizes (default 0.25 for a quick run; use 1.0
 //! for the full laptop-scale reproduction recorded in EXPERIMENTS.md).
+//!
+//! The `traces` target runs CC/SSSP/decomposed-TC with tracing enabled and
+//! writes one `QueryTrace` JSON file per query under `target/traces/`.
 
 use rasql_bench as bench;
 
@@ -27,7 +30,7 @@ fn main() {
             "--help" | "-h" => {
                 println!(
                     "reproduce [all|fig1|fig2|fig5|fig6|fig7|fig8|fig9|fig10|fig11|fig12|\n\
-                     table1|table2|table3|premcheck]... [--scale X]"
+                     table1|table2|table3|premcheck|traces]... [--scale X]"
                 );
                 return;
             }
@@ -85,6 +88,28 @@ fn main() {
     }
     if want("premcheck") {
         println!("{}", bench::premcheck());
+    }
+    if want("traces") {
+        let dir = std::path::Path::new("target/traces");
+        if let Err(e) = std::fs::create_dir_all(dir) {
+            die(&format!("cannot create {}: {e}", dir.display()));
+        }
+        for (name, trace) in bench::trace_suite(scale) {
+            let path = dir.join(format!("{name}.json"));
+            if let Err(e) = std::fs::write(&path, trace.to_json()) {
+                die(&format!("cannot write {}: {e}", path.display()));
+            }
+            println!(
+                "wrote {} ({} fixpoint rounds, {} stages)",
+                path.display(),
+                trace
+                    .cliques
+                    .iter()
+                    .map(|c| c.iterations.len())
+                    .sum::<usize>(),
+                trace.stages.len()
+            );
+        }
     }
 }
 

@@ -6,8 +6,7 @@
 
 use rasql_core::{library, EngineConfig, JoinStrategy, RaSqlContext};
 use rasql_datagen::{
-    erdos_renyi, grid, real_graph_standin, rmat, tree_hierarchy, RealGraph, RmatConfig,
-    TreeConfig,
+    erdos_renyi, grid, real_graph_standin, rmat, tree_hierarchy, RealGraph, RmatConfig, TreeConfig,
 };
 use rasql_exec::{Cluster, ClusterConfig};
 use rasql_gap::Csr;
@@ -15,6 +14,9 @@ use rasql_myria::{Algorithm as MyriaAlgo, MyriaEngine};
 use rasql_storage::Relation;
 use rasql_vertex::{BspEngine, Cc, DatasetPregelEngine, Reach, Sssp, VertexGraph};
 use std::time::{Duration, Instant};
+
+/// A named benchmark workload: display name, input tables, SQL text.
+type Workload<'a> = (&'a str, Vec<(&'a str, &'a Relation)>, String);
 
 /// The graph programs of §8.1.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -118,7 +120,12 @@ pub fn run_graph_query(
     workers: usize,
 ) -> (Duration, usize) {
     match system {
-        System::RaSql => run_rasql(EngineConfig::rasql().with_workers(workers), query, edges, source),
+        System::RaSql => run_rasql(
+            EngineConfig::rasql().with_workers(workers),
+            query,
+            edges,
+            source,
+        ),
         System::BigDatalog => run_rasql(
             EngineConfig::bigdatalog_like().with_workers(workers),
             query,
@@ -130,9 +137,27 @@ pub fn run_graph_query(
             let cluster = Cluster::new(ClusterConfig::with_workers(workers));
             let engine = DatasetPregelEngine::new(&cluster);
             let (d, vals) = match query {
-                GraphQuery::Reach => time(|| engine.run(&g, Reach { source: source as u32 }).0),
+                GraphQuery::Reach => time(|| {
+                    engine
+                        .run(
+                            &g,
+                            Reach {
+                                source: source as u32,
+                            },
+                        )
+                        .0
+                }),
                 GraphQuery::Cc => time(|| engine.run(&g, Cc).0),
-                GraphQuery::Sssp => time(|| engine.run(&g, Sssp { source: source as u32 }).0),
+                GraphQuery::Sssp => time(|| {
+                    engine
+                        .run(
+                            &g,
+                            Sssp {
+                                source: source as u32,
+                            },
+                        )
+                        .0
+                }),
             };
             (d, vals.iter().filter(|v| v.is_finite()).count())
         }
@@ -141,9 +166,27 @@ pub fn run_graph_query(
             let cluster = Cluster::new(ClusterConfig::with_workers(workers));
             let engine = BspEngine::new(&cluster);
             let (d, vals) = match query {
-                GraphQuery::Reach => time(|| engine.run(&g, Reach { source: source as u32 }).0),
+                GraphQuery::Reach => time(|| {
+                    engine
+                        .run(
+                            &g,
+                            Reach {
+                                source: source as u32,
+                            },
+                        )
+                        .0
+                }),
                 GraphQuery::Cc => time(|| engine.run(&g, Cc).0),
-                GraphQuery::Sssp => time(|| engine.run(&g, Sssp { source: source as u32 }).0),
+                GraphQuery::Sssp => time(|| {
+                    engine
+                        .run(
+                            &g,
+                            Sssp {
+                                source: source as u32,
+                            },
+                        )
+                        .0
+                }),
             };
             (d, vals.iter().filter(|v| v.is_finite()).count())
         }
@@ -190,8 +233,8 @@ pub fn run_rasql(
 ) -> (Duration, usize) {
     let ctx = RaSqlContext::with_config(config);
     ctx.register("edge", edges.clone()).unwrap();
-    let (d, rel) = time(|| ctx.sql(&query.rasql_sql(source)).unwrap());
-    (d, rel.len())
+    let (d, result) = time(|| ctx.query(&query.rasql_sql(source)).unwrap());
+    (d, result.relation.len())
 }
 
 /// Run an arbitrary SQL statement under a config with pre-registered tables.
@@ -204,8 +247,25 @@ pub fn run_sql_with(
     for (name, rel) in tables {
         ctx.register(name, (*rel).clone()).unwrap();
     }
-    let (d, rel) = time(|| ctx.sql(sql).unwrap());
-    (d, rel.len(), ctx.last_stats())
+    let (d, result) = time(|| ctx.query(sql).unwrap());
+    (d, result.relation.len(), result.stats)
+}
+
+/// Run an arbitrary SQL statement with tracing on; returns the elapsed time,
+/// result cardinality, and the full [`rasql_core::QueryTrace`] (e.g. for the
+/// `reproduce` binary's JSON artifacts).
+pub fn run_traced(
+    config: EngineConfig,
+    tables: &[(&str, &Relation)],
+    sql: &str,
+) -> (Duration, usize, rasql_core::QueryTrace) {
+    let ctx = RaSqlContext::with_config(config.with_tracing(true));
+    for (name, rel) in tables {
+        ctx.register(name, (*rel).clone()).unwrap();
+    }
+    let (d, result) = time(|| ctx.query(sql).unwrap());
+    let trace = result.trace.expect("tracing enabled");
+    (d, result.relation.len(), trace)
 }
 
 /// RMAT graph per the paper's §8 parameters.
@@ -310,13 +370,12 @@ pub fn fig1(scale: f64) -> Table {
         );
         ctx.register("edge", edges.clone()).unwrap();
         let t0 = Instant::now();
-        match ctx.sql(&sql) {
-            Ok(_) => {
-                let stats = ctx.last_stats();
+        match ctx.query(&sql) {
+            Ok(result) => {
                 t.row(vec![
                     name.into(),
                     ms(t0.elapsed()),
-                    format!("{:?}", stats.iterations),
+                    format!("{:?}", result.stats.iterations),
                     String::new(),
                 ]);
             }
@@ -414,7 +473,14 @@ pub fn fig6(scale: f64) -> Table {
     let workers = default_workers();
     let mut t = Table::new(
         "Fig 6 — Decomposition and Broadcast Compression, TC (times in ms)",
-        &["graph", "decomp+compress", "decomp_only", "no_opts", "bytes_compress", "bytes_raw"],
+        &[
+            "graph",
+            "decomp+compress",
+            "decomp_only",
+            "no_opts",
+            "bytes_compress",
+            "bytes_raw",
+        ],
     );
     let gscale = |v: usize| ((v as f64) * scale.sqrt()).max(8.0) as usize;
     let datasets: Vec<(String, Relation)> = vec![
@@ -464,13 +530,21 @@ pub fn fig7(scale: f64) -> Table {
         .collect();
     let mut t = Table::new(
         "Fig 7 — Effect of Code Generation (fused pipelines, times in ms)",
-        &["graph", "query", "with_codegen", "without_codegen", "speedup"],
+        &[
+            "graph",
+            "query",
+            "with_codegen",
+            "without_codegen",
+            "speedup",
+        ],
     );
     for &n in &sizes {
         for q in [GraphQuery::Cc, GraphQuery::Reach, GraphQuery::Sssp] {
             let edges = rmat_graph(n, q.weighted(), 7);
             let (on, _) = run_rasql(
-                EngineConfig::rasql().with_workers(workers).with_decomposed(false),
+                EngineConfig::rasql()
+                    .with_workers(workers)
+                    .with_decomposed(false),
                 q,
                 &edges,
                 1,
@@ -505,7 +579,15 @@ pub fn fig8(scale: f64) -> Table {
         .collect();
     let mut t = Table::new(
         "Fig 8 — System comparison on RMAT graphs (times in ms)",
-        &["query", "vertices", "RaSQL", "BigDatalog", "GraphX", "Giraph", "Myria"],
+        &[
+            "query",
+            "vertices",
+            "RaSQL",
+            "BigDatalog",
+            "GraphX",
+            "Giraph",
+            "Myria",
+        ],
     );
     for q in [GraphQuery::Reach, GraphQuery::Cc, GraphQuery::Sssp] {
         for &n in &sizes {
@@ -532,7 +614,16 @@ pub fn fig9(scale: f64) -> Table {
     let workers = default_workers();
     let mut t = Table::new(
         "Fig 9 / Table 3 — Real-graph stand-ins (times in ms; see DESIGN.md substitutions)",
-        &["graph", "query", "RaSQL", "BigDatalog", "GraphX", "Giraph", "Myria", "GAP-serial"],
+        &[
+            "graph",
+            "query",
+            "RaSQL",
+            "BigDatalog",
+            "GraphX",
+            "Giraph",
+            "Myria",
+            "GAP-serial",
+        ],
     );
     for which in [
         RealGraph::LiveJournal,
@@ -572,7 +663,7 @@ pub fn fig10(scale: f64) -> Table {
             },
             5,
         );
-        let workloads: Vec<(&str, Vec<(&str, &Relation)>, String)> = vec![
+        let workloads: Vec<Workload<'_>> = vec![
             (
                 "Delivery",
                 vec![("assbl", &tree.assbl), ("basic", &tree.basic)],
@@ -590,11 +681,8 @@ pub fn fig10(scale: f64) -> Table {
             ),
         ];
         for (name, tables, sql) in workloads {
-            let (t_rasql, _, _) = run_sql_with(
-                EngineConfig::rasql().with_workers(workers),
-                &tables,
-                &sql,
-            );
+            let (t_rasql, _, _) =
+                run_sql_with(EngineConfig::rasql().with_workers(workers), &tables, &sql);
             let (t_sn, _, _) = run_sql_with(
                 EngineConfig::spark_sql_sn().with_workers(workers),
                 &tables,
@@ -632,7 +720,9 @@ pub fn fig11(scale: f64) -> Table {
         for q in [GraphQuery::Cc, GraphQuery::Reach, GraphQuery::Sssp] {
             let edges = rmat_graph(n, q.weighted(), 7);
             let (h, _) = run_rasql(
-                EngineConfig::rasql().with_workers(workers).with_decomposed(false),
+                EngineConfig::rasql()
+                    .with_workers(workers)
+                    .with_decomposed(false),
                 q,
                 &edges,
                 1,
@@ -798,18 +888,57 @@ pub fn table2(scale: f64) -> Table {
 }
 
 /// Appendix G: PreM auto-validation demo.
+/// Run the trace suite: CC, SSSP and decomposed TC with tracing enabled,
+/// returning `(name, trace)` pairs ready for JSON export (the `reproduce`
+/// binary writes them under `target/traces/`).
+pub fn trace_suite(scale: f64) -> Vec<(String, rasql_core::QueryTrace)> {
+    let n = ((4_000.0 * scale) as usize).max(200);
+    let plain = rmat_graph(n, false, 7);
+    let weighted = rmat_graph(n, true, 7);
+    let mut out = Vec::new();
+    let (_, _, trace) = run_traced(
+        EngineConfig::rasql().with_workers(default_workers()),
+        &[("edge", &plain)],
+        &library::cc(),
+    );
+    out.push(("cc".to_string(), trace));
+    let (_, _, trace) = run_traced(
+        EngineConfig::rasql().with_workers(default_workers()),
+        &[("edge", &weighted)],
+        &library::sssp(1),
+    );
+    out.push(("sssp".to_string(), trace));
+    let (_, _, trace) = run_traced(
+        EngineConfig::rasql()
+            .with_workers(default_workers())
+            .with_decomposed(true),
+        &[("edge", &plain)],
+        &library::transitive_closure(),
+    );
+    out.push(("tc_decomposed".to_string(), trace));
+    out
+}
+
 pub fn premcheck() -> String {
     let mut out = String::from("\n=== Appendix G — PreM auto-validation ===\n");
     let ctx = RaSqlContext::in_memory();
     ctx.register(
         "edge",
-        rasql_datagen::rmat(200, RmatConfig { weighted: true, ..Default::default() }, 3),
+        rasql_datagen::rmat(
+            200,
+            RmatConfig {
+                weighted: true,
+                ..Default::default()
+            },
+            3,
+        ),
     )
     .unwrap();
-    let checker = rasql_core::PremChecker::new(&ctx).with_bounds(rasql_core::prem::PremCheckBounds {
-        max_iterations: 30,
-        max_rows: 100_000,
-    });
+    let checker =
+        rasql_core::PremChecker::new(&ctx).with_bounds(rasql_core::prem::PremCheckBounds {
+            max_iterations: 30,
+            max_rows: 100_000,
+        });
     for (name, sql) in [("SSSP", library::sssp(1)), ("APSP", library::apsp())] {
         let outcome = checker.check(&sql).unwrap();
         out.push_str(&format!("{name}: {outcome:?}\n"));

@@ -14,13 +14,19 @@
 //! | `\explain <sql>` | show the compiled (clique + final) plan |
 //! | `\prem <sql>` | run the PreM auto-validation (Appendix G) |
 //! | `\timing on\|off` | toggle per-query timing |
+//! | `\tracing on\|off` | collect a [`rasql_core::QueryTrace`] per query |
+//! | `\trace [json]` | show (or export as JSON) the last query's trace |
 //! | `\workers <n>` | restart the session with n workers |
 //! | `\q` | quit |
+//!
+//! `EXPLAIN [ANALYZE] <query>;` works as plain SQL: `EXPLAIN` prints the
+//! compiled plan, `EXPLAIN ANALYZE` executes the query and annotates the
+//! plan with live row/byte/iteration counters.
 //!
 //! The REPL machinery lives in this library crate so it is unit-testable; the
 //! binary is a thin stdin/stdout wrapper.
 
-use rasql_core::{EngineConfig, PremChecker, RaSqlContext};
+use rasql_core::{EngineConfig, PremChecker, QueryResult, RaSqlContext};
 use rasql_datagen::{rmat, tree_hierarchy, RmatConfig, TreeConfig};
 use rasql_storage::{DataType, Relation, Schema};
 use std::path::Path;
@@ -41,6 +47,8 @@ pub struct Shell {
     ctx: RaSqlContext,
     buffer: String,
     timing: bool,
+    /// The most recent statement's result (for `\trace`).
+    last: Option<QueryResult>,
 }
 
 impl Default for Shell {
@@ -61,6 +69,7 @@ impl Shell {
             ctx: RaSqlContext::with_config(config),
             buffer: String::new(),
             timing: false,
+            last: None,
         }
     }
 
@@ -84,26 +93,28 @@ impl Shell {
         LineResult::Output(self.run_sql(&sql))
     }
 
-    fn run_sql(&self, sql: &str) -> String {
+    fn run_sql(&mut self, sql: &str) -> String {
         let start = std::time::Instant::now();
-        match self.ctx.execute_script(sql) {
+        match self.ctx.query_script(sql) {
             Ok(results) => {
                 let mut out = String::new();
-                for rel in &results {
-                    if rel.schema().arity() == 0 {
+                for result in &results {
+                    if result.relation.schema().arity() == 0 {
                         out.push_str("ok\n");
                     } else {
-                        out.push_str(&rel.pretty(40));
+                        out.push_str(&result.relation.pretty(40));
                     }
                 }
                 if self.timing {
-                    let stats = self.ctx.last_stats();
-                    out.push_str(&format!(
-                        "time: {:?}  iterations: {:?}\n",
-                        start.elapsed(),
-                        stats.iterations
-                    ));
+                    if let Some(last) = results.last() {
+                        out.push_str(&format!(
+                            "time: {:?}  iterations: {:?}\n",
+                            start.elapsed(),
+                            last.stats.iterations
+                        ));
+                    }
                 }
+                self.last = results.into_iter().next_back();
                 out
             }
             Err(e) => format!("error: {e}\n"),
@@ -129,6 +140,26 @@ impl Shell {
                     if self.timing { "on" } else { "off" }
                 ))
             }
+            "\\tracing" => {
+                let on = parts.get(1) != Some(&"off");
+                self.ctx.set_tracing(on);
+                LineResult::Output(format!("tracing {}\n", if on { "on" } else { "off" }))
+            }
+            "\\trace" => {
+                let json = parts.get(1) == Some(&"json");
+                match self.last.as_ref().and_then(|r| r.trace.as_ref()) {
+                    Some(trace) => LineResult::Output(if json {
+                        trace.to_json() + "\n"
+                    } else {
+                        trace.render()
+                    }),
+                    None => LineResult::Output(
+                        "no trace recorded (enable with \\tracing on, then run a query; \
+                         or use EXPLAIN ANALYZE)\n"
+                            .into(),
+                    ),
+                }
+            }
             "\\workers" => match parts.get(1).and_then(|s| s.parse::<usize>().ok()) {
                 Some(n) => {
                     self.ctx = RaSqlContext::with_config(EngineConfig::rasql().with_workers(n));
@@ -153,7 +184,8 @@ impl Shell {
                 }
             }
             other => LineResult::Output(format!(
-                "unknown command '{other}' (try \\d, \\load, \\gen, \\explain, \\prem, \\timing, \\q)\n"
+                "unknown command '{other}' (try \\d, \\load, \\gen, \\explain, \\prem, \\timing, \
+                 \\tracing, \\trace, \\q)\n"
             )),
         }
     }
@@ -161,9 +193,7 @@ impl Shell {
     fn load(&mut self, parts: &[&str]) -> LineResult {
         let (Some(name), Some(path), Some(types)) = (parts.get(1), parts.get(2), parts.get(3))
         else {
-            return LineResult::Output(
-                "usage: \\load <name> <path> <int,double,str,...>\n".into(),
-            );
+            return LineResult::Output("usage: \\load <name> <path> <int,double,str,...>\n".into());
         };
         let schema = match parse_schema(types) {
             Ok(s) => s,
@@ -205,7 +235,8 @@ impl Shell {
                     },
                     42,
                 );
-                self.ctx.register_or_replace(&format!("{name}_basic"), t.basic);
+                self.ctx
+                    .register_or_replace(&format!("{name}_basic"), t.basic);
                 self.ctx
                     .register_or_replace(&format!("{name}_report"), t.report);
                 t.assbl
@@ -249,7 +280,10 @@ mod tests {
     #[test]
     fn multi_line_statement_and_query() {
         let mut sh = Shell::new();
-        assert_eq!(sh.feed("\\gen g rmat 100"), LineResult::Output("generated 1000 rows into 'g'\n".into()));
+        assert_eq!(
+            sh.feed("\\gen g rmat 100"),
+            LineResult::Output("generated 1000 rows into 'g'\n".into())
+        );
         assert_eq!(sh.feed("SELECT count(*)"), LineResult::Continue);
         match sh.feed("FROM g;") {
             LineResult::Output(o) => assert!(o.contains("1000"), "{o}"),
@@ -285,6 +319,61 @@ mod tests {
         }
         match sh.feed("\\nope") {
             LineResult::Output(o) => assert!(o.contains("unknown command"), "{o}"),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn tracing_and_trace_commands() {
+        let mut sh = Shell::new();
+        match sh.feed("\\trace") {
+            LineResult::Output(o) => assert!(o.contains("no trace recorded"), "{o}"),
+            other => panic!("{other:?}"),
+        }
+        assert_eq!(
+            sh.feed("\\tracing on"),
+            LineResult::Output("tracing on\n".into())
+        );
+        sh.feed("\\gen g rmat 50");
+        sh.feed(
+            "WITH recursive tc (Src, Dst) AS (SELECT Src, Dst FROM g) UNION \
+             (SELECT tc.Src, g.Dst FROM tc, g WHERE tc.Dst = g.Src) \
+             SELECT count(*) FROM tc;",
+        );
+        match sh.feed("\\trace") {
+            LineResult::Output(o) => assert!(o.contains("Fixpoint"), "{o}"),
+            other => panic!("{other:?}"),
+        }
+        match sh.feed("\\trace json") {
+            LineResult::Output(o) => {
+                assert!(o.starts_with('{') && o.contains("\"cliques\""), "{o}")
+            }
+            other => panic!("{other:?}"),
+        }
+        assert_eq!(
+            sh.feed("\\tracing off"),
+            LineResult::Output("tracing off\n".into())
+        );
+    }
+
+    #[test]
+    fn explain_analyze_through_shell() {
+        let mut sh = Shell::new();
+        sh.feed("\\gen g rmat 50");
+        match sh.feed(
+            "EXPLAIN ANALYZE WITH recursive tc (Src, Dst) AS (SELECT Src, Dst FROM g) UNION \
+             (SELECT tc.Src, g.Dst FROM tc, g WHERE tc.Dst = g.Src) \
+             SELECT count(*) FROM tc;",
+        ) {
+            LineResult::Output(o) => {
+                assert!(o.contains("rows="), "{o}");
+                assert!(o.contains("iter"), "{o}");
+            }
+            other => panic!("{other:?}"),
+        }
+        // EXPLAIN ANALYZE leaves the trace behind for \trace.
+        match sh.feed("\\trace") {
+            LineResult::Output(o) => assert!(o.contains("Fixpoint"), "{o}"),
             other => panic!("{other:?}"),
         }
     }

@@ -49,6 +49,10 @@ pub struct EngineConfig {
     /// `rasql_exec::cluster::ClusterConfig::stage_latency`). A property of
     /// the simulated cluster, identical across engine presets.
     pub stage_latency_us: u64,
+    /// Collect a [`rasql_exec::QueryTrace`] for every query: per-iteration
+    /// fixpoint counters, stage spans, and operator rows/bytes. Off by
+    /// default; `EXPLAIN ANALYZE` forces it on for that statement.
+    pub tracing: bool,
 }
 
 impl Default for EngineConfig {
@@ -74,6 +78,7 @@ impl EngineConfig {
             broadcast_compression: true,
             max_iterations: 100_000,
             stage_latency_us: 2_000,
+            tracing: false,
         }
     }
 
@@ -157,6 +162,12 @@ impl EngineConfig {
     /// Set the simulated per-stage scheduler latency (µs); 0 disables it.
     pub fn with_stage_latency_us(mut self, us: u64) -> Self {
         self.stage_latency_us = us;
+        self
+    }
+
+    /// Toggle query tracing (see [`EngineConfig::tracing`]).
+    pub fn with_tracing(mut self, on: bool) -> Self {
+        self.tracing = on;
         self
     }
 }

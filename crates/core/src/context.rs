@@ -1,20 +1,23 @@
 //! [`RaSqlContext`] — the public entry point of the engine.
 
-use crate::config::EngineConfig;
+use crate::config::{EngineConfig, EvalMode, JoinStrategy};
 use crate::error::EngineError;
 use crate::eval::EvalContext;
 use crate::fixpoint::FixpointExecutor;
 use parking_lot::Mutex;
-use rasql_exec::{Cluster, ClusterConfig, MetricsSnapshot};
+use rasql_exec::{Cluster, ClusterConfig, MetricsSnapshot, QueryTrace, TraceSink};
 use rasql_parser::{parse_statements, Statement};
-use rasql_plan::{analyze_statement, optimize, optimize_spec, AnalyzedStatement, ViewCatalog};
-use rasql_storage::{Catalog, Relation};
+use rasql_plan::{
+    analyze_statement, optimize, optimize_spec, AnalyzedQuery, AnalyzedStatement, ViewCatalog,
+};
+use rasql_storage::{Catalog, DataType, Relation, Row, Schema, Value};
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 /// Statistics of the most recent query execution.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct QueryStats {
     /// Fixpoint iterations, one entry per recursive clique evaluated.
     pub iterations: Vec<u32>,
@@ -24,23 +27,41 @@ pub struct QueryStats {
     pub metrics: MetricsSnapshot,
 }
 
+/// The result of one statement: its relation, execution statistics, and —
+/// when tracing is on — the full [`QueryTrace`].
+///
+/// This replaces the old `sql() → Relation` + `last_stats()` side channel:
+/// everything a statement produced travels in one value.
+#[derive(Debug, Clone)]
+pub struct QueryResult {
+    /// The result rows (empty for `CREATE VIEW`).
+    pub relation: Relation,
+    /// Iterations, wall-clock time, and metric deltas for this statement.
+    pub stats: QueryStats,
+    /// Per-iteration fixpoint counters, stage spans, and operator counters.
+    /// `Some` when tracing was enabled (via [`EngineConfig::tracing`],
+    /// [`RaSqlContext::set_tracing`], or `EXPLAIN ANALYZE`).
+    pub trace: Option<QueryTrace>,
+}
+
 /// A RaSQL session: registered tables, a simulated cluster, and the SQL
 /// entry points.
 ///
 /// ```
-/// use rasql_core::{EngineConfig, RaSqlContext};
+/// use rasql_core::RaSqlContext;
 /// use rasql_storage::Relation;
 ///
-/// let ctx = RaSqlContext::with_config(EngineConfig::rasql().with_workers(2));
+/// let ctx = RaSqlContext::builder().workers(2).build();
 /// ctx.register("edge", Relation::edges(&[(1, 2), (2, 3)])).unwrap();
-/// let n = ctx.sql("SELECT count(*) FROM edge").unwrap();
-/// assert_eq!(n.rows()[0][0], rasql_storage::Value::Int(2));
+/// let result = ctx.query("SELECT count(*) FROM edge").unwrap();
+/// assert_eq!(result.relation.rows()[0][0], rasql_storage::Value::Int(2));
 /// ```
 pub struct RaSqlContext {
     catalog: Catalog,
     planner_catalog: Mutex<ViewCatalog>,
     cluster: Cluster,
     config: EngineConfig,
+    tracing: AtomicBool,
     last_stats: Mutex<QueryStats>,
 }
 
@@ -48,6 +69,11 @@ impl RaSqlContext {
     /// A context with the default (fully optimized) configuration.
     pub fn in_memory() -> Self {
         Self::with_config(EngineConfig::default())
+    }
+
+    /// A builder for configuring a context fluently; see [`ContextBuilder`].
+    pub fn builder() -> ContextBuilder {
+        ContextBuilder::new()
     }
 
     /// A context with an explicit configuration.
@@ -61,6 +87,7 @@ impl RaSqlContext {
             catalog: Catalog::new(),
             planner_catalog: Mutex::new(ViewCatalog::new()),
             cluster,
+            tracing: AtomicBool::new(config.tracing),
             config,
             last_stats: Mutex::new(QueryStats::default()),
         }
@@ -69,6 +96,18 @@ impl RaSqlContext {
     /// The active configuration.
     pub fn config(&self) -> &EngineConfig {
         &self.config
+    }
+
+    /// Enable or disable query tracing for subsequent statements (the
+    /// runtime counterpart of [`EngineConfig::tracing`]). `EXPLAIN ANALYZE`
+    /// traces its statement regardless of this switch.
+    pub fn set_tracing(&self, on: bool) {
+        self.tracing.store(on, Ordering::Relaxed);
+    }
+
+    /// Whether query tracing is currently enabled.
+    pub fn tracing_enabled(&self) -> bool {
+        self.tracing.load(Ordering::Relaxed)
     }
 
     /// Register a base table.
@@ -88,17 +127,18 @@ impl RaSqlContext {
         self.catalog.register_or_replace(name, rel);
     }
 
-    /// Execute one SQL statement; returns its result relation (empty for
-    /// `CREATE VIEW`).
-    pub fn sql(&self, sql: &str) -> Result<Relation, EngineError> {
-        let mut results = self.execute_script(sql)?;
+    /// Execute one SQL statement; returns its [`QueryResult`] (empty
+    /// relation for `CREATE VIEW`, plan text for `EXPLAIN`).
+    pub fn query(&self, sql: &str) -> Result<QueryResult, EngineError> {
+        let mut results = self.query_script(sql)?;
         results
             .pop()
             .ok_or_else(|| EngineError::Other("empty statement".into()))
     }
 
-    /// Execute a `;`-separated script; returns one relation per statement.
-    pub fn execute_script(&self, sql: &str) -> Result<Vec<Relation>, EngineError> {
+    /// Execute a `;`-separated script; returns one [`QueryResult`] per
+    /// statement.
+    pub fn query_script(&self, sql: &str) -> Result<Vec<QueryResult>, EngineError> {
         let statements = parse_statements(sql)?;
         let mut out = Vec::with_capacity(statements.len());
         for stmt in &statements {
@@ -107,57 +147,167 @@ impl RaSqlContext {
         Ok(out)
     }
 
-    fn execute_statement(&self, stmt: &Statement) -> Result<Relation, EngineError> {
-        let start = Instant::now();
-        let before = self.cluster.metrics.snapshot();
+    /// Execute one SQL statement; returns its result relation.
+    #[deprecated(since = "0.2.0", note = "use `query` — it returns stats and trace too")]
+    pub fn sql(&self, sql: &str) -> Result<Relation, EngineError> {
+        Ok(self.query(sql)?.relation)
+    }
+
+    /// Execute a `;`-separated script; returns one relation per statement.
+    #[deprecated(since = "0.2.0", note = "use `query_script`")]
+    pub fn execute_script(&self, sql: &str) -> Result<Vec<Relation>, EngineError> {
+        Ok(self
+            .query_script(sql)?
+            .into_iter()
+            .map(|r| r.relation)
+            .collect())
+    }
+
+    fn execute_statement(&self, stmt: &Statement) -> Result<QueryResult, EngineError> {
         let analyzed = {
             let pc = self.planner_catalog.lock();
             analyze_statement(stmt, &pc)?
         };
-        let result = match analyzed {
+        self.execute_analyzed(analyzed)
+    }
+
+    fn execute_analyzed(&self, analyzed: AnalyzedStatement) -> Result<QueryResult, EngineError> {
+        match analyzed {
             AnalyzedStatement::CreateView { name, plan } => {
                 let plan = optimize(plan);
                 self.planner_catalog.lock().add_view(&name, plan);
-                Ok(Relation::empty(rasql_storage::Schema::empty()))
+                Ok(QueryResult {
+                    relation: Relation::empty(Schema::empty()),
+                    stats: QueryStats::default(),
+                    trace: None,
+                })
             }
-            AnalyzedStatement::Query(q) => {
-                let mut views: HashMap<String, Arc<Relation>> = HashMap::new();
-                let mut iterations = Vec::new();
-                for clique in q.cliques {
-                    let clique = optimize_spec(clique);
-                    let eval = EvalContext {
-                        cluster: &self.cluster,
-                        catalog: &self.catalog,
-                        views: &views,
-                        partitions: self.config.partitions,
-                        fused: self.config.fused_codegen,
-                    };
-                    let exec = FixpointExecutor::new(&eval, &self.config);
-                    let result = exec.run(&clique)?;
-                    iterations.push(result.iterations);
-                    for (spec, rel) in clique.views.iter().zip(result.views) {
-                        views.insert(spec.name.to_ascii_lowercase(), Arc::new(rel));
-                    }
-                }
-                let plan = optimize(q.final_plan);
-                let eval = EvalContext {
-                    cluster: &self.cluster,
-                    catalog: &self.catalog,
-                    views: &views,
-                    partitions: self.config.partitions,
-                    fused: self.config.fused_codegen,
-                };
-                let rel = eval.evaluate(&plan)?;
-                let after = self.cluster.metrics.snapshot();
-                *self.last_stats.lock() = QueryStats {
-                    iterations,
-                    elapsed: start.elapsed(),
-                    metrics: diff_metrics(before, after),
-                };
-                Ok(rel)
+            AnalyzedStatement::Query(q) => self.execute_query(q, self.tracing_enabled()),
+            AnalyzedStatement::Explain { analyze, inner } => self.execute_explain(analyze, *inner),
+        }
+    }
+
+    /// Run an analyzed query; `traced` additionally collects a [`QueryTrace`].
+    fn execute_query(&self, q: AnalyzedQuery, traced: bool) -> Result<QueryResult, EngineError> {
+        let start = Instant::now();
+        let before = self.cluster.metrics.snapshot();
+        let sink = traced.then(TraceSink::new);
+        let mut views: HashMap<String, Arc<Relation>> = HashMap::new();
+        let mut iterations = Vec::new();
+        for clique in q.cliques {
+            let clique = optimize_spec(clique);
+            let eval = EvalContext {
+                cluster: &self.cluster,
+                catalog: &self.catalog,
+                views: &views,
+                partitions: self.config.partitions,
+                fused: self.config.fused_codegen,
+                trace: sink.as_ref(),
+            };
+            let exec = FixpointExecutor::new(&eval, &self.config);
+            let result = exec.run(&clique)?;
+            iterations.push(result.iterations);
+            for (spec, rel) in clique.views.iter().zip(result.views) {
+                views.insert(spec.name.to_ascii_lowercase(), Arc::new(rel));
             }
+        }
+        let plan = optimize(q.final_plan);
+        let eval = EvalContext {
+            cluster: &self.cluster,
+            catalog: &self.catalog,
+            views: &views,
+            partitions: self.config.partitions,
+            fused: self.config.fused_codegen,
+            trace: sink.as_ref(),
         };
-        result
+        // Operator counters only around the final plan, so base-case and
+        // build-side evaluations inside the fixpoint don't pollute them.
+        if let Some(s) = &sink {
+            s.enable_operators(true);
+        }
+        let rel = eval.evaluate(&plan)?;
+        if let Some(s) = &sink {
+            s.enable_operators(false);
+        }
+        let elapsed = start.elapsed();
+        let metrics = diff_metrics(before, self.cluster.metrics.snapshot());
+        let stats = QueryStats {
+            iterations,
+            elapsed,
+            metrics,
+        };
+        *self.last_stats.lock() = stats.clone();
+        Ok(QueryResult {
+            relation: rel,
+            stats,
+            trace: sink.map(|s| s.finish(elapsed, metrics)),
+        })
+    }
+
+    fn execute_explain(
+        &self,
+        analyze: bool,
+        inner: AnalyzedStatement,
+    ) -> Result<QueryResult, EngineError> {
+        match inner {
+            // EXPLAIN ANALYZE query: execute with tracing forced on, then
+            // render the plan annotated with the live counters.
+            AnalyzedStatement::Query(q) if analyze => {
+                let plan_for_render = optimize(q.final_plan.clone());
+                let cliques_for_render: Vec<String> = q
+                    .cliques
+                    .iter()
+                    .cloned()
+                    .map(|c| optimize_spec(c).display())
+                    .collect();
+                let mut result = self.execute_query(q, true)?;
+                let trace = result.trace.take().expect("tracing forced on");
+                let mut text = String::new();
+                for c in &cliques_for_render {
+                    text.push_str(c);
+                }
+                let by_path: HashMap<&str, &rasql_exec::OperatorTrace> = trace
+                    .operators
+                    .iter()
+                    .map(|o| (o.path.as_str(), o))
+                    .collect();
+                text.push_str("Final plan:\n");
+                text.push_str(&plan_for_render.display_annotated(
+                    &mut |path| match by_path.get(path) {
+                        Some(o) => format!(
+                            "  (rows={} bytes={} time={:.3}ms)",
+                            o.rows,
+                            o.bytes,
+                            o.elapsed_us as f64 / 1000.0
+                        ),
+                        None => String::new(),
+                    },
+                ));
+                text.push_str(&trace.render_iterations());
+                text.push_str(&format!(
+                    "\nTotals: {:.3} ms, {} stages, {} tasks, {} iterations, \
+                     shuffle {} rows / {} bytes\n",
+                    trace.elapsed_us as f64 / 1000.0,
+                    trace.metrics.stages,
+                    trace.metrics.tasks,
+                    trace.metrics.iterations,
+                    trace.metrics.shuffle_rows,
+                    trace.metrics.shuffle_bytes,
+                ));
+                Ok(QueryResult {
+                    relation: text_relation(&text),
+                    stats: result.stats,
+                    trace: Some(trace),
+                })
+            }
+            // Plain EXPLAIN (and EXPLAIN ANALYZE of non-queries, which have
+            // nothing to measure): render without executing.
+            other => Ok(QueryResult {
+                relation: text_relation(&render_plan(&other)),
+                stats: QueryStats::default(),
+                trace: None,
+            }),
+        }
     }
 
     /// Render the compiled plan of a query: the recursive clique plans
@@ -170,20 +320,7 @@ impl RaSqlContext {
                 let pc = self.planner_catalog.lock();
                 analyze_statement(stmt, &pc)?
             };
-            match analyzed {
-                AnalyzedStatement::CreateView { name, plan } => {
-                    out.push_str(&format!("CreateView {name}\n"));
-                    out.push_str(&optimize(plan).display_indent());
-                }
-                AnalyzedStatement::Query(q) => {
-                    for clique in q.cliques {
-                        let clique = optimize_spec(clique);
-                        out.push_str(&clique.display());
-                    }
-                    out.push_str("Final plan:\n");
-                    out.push_str(&optimize(q.final_plan).display_indent());
-                }
-            }
+            out.push_str(&render_plan(&analyzed));
         }
         Ok(out)
     }
@@ -194,6 +331,10 @@ impl RaSqlContext {
     }
 
     /// Statistics of the most recent query.
+    #[deprecated(
+        since = "0.2.0",
+        note = "use the `stats` field of the `QueryResult` returned by `query`"
+    )]
     pub fn last_stats(&self) -> QueryStats {
         self.last_stats.lock().clone()
     }
@@ -221,6 +362,160 @@ impl RaSqlContext {
     pub(crate) fn catalog(&self) -> &Catalog {
         &self.catalog
     }
+}
+
+/// Fluent construction of a [`RaSqlContext`]; obtained from
+/// [`RaSqlContext::builder`].
+///
+/// ```
+/// use rasql_core::{JoinStrategy, RaSqlContext};
+///
+/// let ctx = RaSqlContext::builder()
+///     .workers(4)
+///     .join(JoinStrategy::ShuffleHash)
+///     .tracing(true)
+///     .build();
+/// assert!(ctx.tracing_enabled());
+/// ```
+#[derive(Debug, Clone)]
+pub struct ContextBuilder {
+    config: EngineConfig,
+}
+
+impl Default for ContextBuilder {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl ContextBuilder {
+    /// Start from the default (fully optimized) configuration.
+    pub fn new() -> Self {
+        ContextBuilder {
+            config: EngineConfig::default(),
+        }
+    }
+
+    /// Start from an explicit preset (e.g. `EngineConfig::bigdatalog_like()`).
+    pub fn preset(mut self, config: EngineConfig) -> Self {
+        self.config = config;
+        self
+    }
+
+    /// Simulated worker (and partition) count.
+    pub fn workers(mut self, n: usize) -> Self {
+        self.config = self.config.with_workers(n);
+        self
+    }
+
+    /// Partition count, decoupled from the worker count.
+    pub fn partitions(mut self, n: usize) -> Self {
+        self.config.partitions = n.max(1);
+        self
+    }
+
+    /// Join strategy for the recursive join.
+    pub fn join(mut self, join: JoinStrategy) -> Self {
+        self.config = self.config.with_join(join);
+        self
+    }
+
+    /// Fixpoint evaluation mode (semi-naive vs. naive).
+    pub fn eval_mode(mut self, mode: EvalMode) -> Self {
+        self.config.eval_mode = mode;
+        self
+    }
+
+    /// Toggle stage combination (§7.1).
+    pub fn stage_combination(mut self, on: bool) -> Self {
+        self.config = self.config.with_stage_combination(on);
+        self
+    }
+
+    /// Toggle decomposed-plan evaluation (§7.2).
+    pub fn decomposed_plans(mut self, on: bool) -> Self {
+        self.config = self.config.with_decomposed(on);
+        self
+    }
+
+    /// Toggle fused code generation (§7.3).
+    pub fn fused_codegen(mut self, on: bool) -> Self {
+        self.config = self.config.with_fused_codegen(on);
+        self
+    }
+
+    /// Toggle partition-aware scheduling (§6.1).
+    pub fn partition_aware(mut self, on: bool) -> Self {
+        self.config.partition_aware = on;
+        self
+    }
+
+    /// Toggle broadcast compression (§7.2).
+    pub fn broadcast_compression(mut self, on: bool) -> Self {
+        self.config = self.config.with_broadcast_compression(on);
+        self
+    }
+
+    /// Iteration cap.
+    pub fn max_iterations(mut self, n: u32) -> Self {
+        self.config = self.config.with_max_iterations(n);
+        self
+    }
+
+    /// Simulated per-stage scheduler latency in microseconds.
+    pub fn stage_latency_us(mut self, us: u64) -> Self {
+        self.config = self.config.with_stage_latency_us(us);
+        self
+    }
+
+    /// Collect a [`QueryTrace`] for every query.
+    pub fn tracing(mut self, on: bool) -> Self {
+        self.config = self.config.with_tracing(on);
+        self
+    }
+
+    /// The configuration built so far.
+    pub fn config(&self) -> &EngineConfig {
+        &self.config
+    }
+
+    /// Build the context.
+    pub fn build(self) -> RaSqlContext {
+        RaSqlContext::with_config(self.config)
+    }
+}
+
+/// Render an analyzed statement's plan as text (no execution).
+fn render_plan(analyzed: &AnalyzedStatement) -> String {
+    match analyzed {
+        AnalyzedStatement::CreateView { name, plan } => {
+            format!(
+                "CreateView {name}\n{}",
+                optimize(plan.clone()).display_indent()
+            )
+        }
+        AnalyzedStatement::Query(q) => {
+            let mut out = String::new();
+            for clique in &q.cliques {
+                out.push_str(&optimize_spec(clique.clone()).display());
+            }
+            out.push_str("Final plan:\n");
+            out.push_str(&optimize(q.final_plan.clone()).display_indent());
+            out
+        }
+        AnalyzedStatement::Explain { inner, .. } => render_plan(inner),
+    }
+}
+
+/// Pack rendered text into a single-column relation, one row per line — the
+/// shape `EXPLAIN` results travel in.
+fn text_relation(text: &str) -> Relation {
+    let schema = Schema::new(vec![("plan", DataType::Str)]);
+    let rows = text
+        .lines()
+        .map(|l| Row::new(vec![Value::str(l)]))
+        .collect();
+    Relation::new_unchecked(schema, rows)
 }
 
 fn diff_metrics(before: MetricsSnapshot, after: MetricsSnapshot) -> MetricsSnapshot {

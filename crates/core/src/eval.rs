@@ -6,12 +6,15 @@
 //! is parallel like everything else.
 
 use crate::error::EngineError;
-use rasql_exec::{run_fused, run_unfused, Cluster, Dataset, HashTable, Pipeline, PipelineStep};
+use rasql_exec::{
+    run_fused, run_unfused, Cluster, Dataset, HashTable, Pipeline, PipelineStep, TraceSink,
+};
 use rasql_parser::ast::AggFunc;
 use rasql_plan::{AggExpr, LogicalPlan, PExpr};
 use rasql_storage::{Catalog, FxHashMap, FxHashSet, Relation, Row, Value};
 use std::collections::HashMap;
 use std::sync::Arc;
+use std::time::Instant;
 
 /// Everything a plan evaluation needs.
 pub struct EvalContext<'a> {
@@ -25,6 +28,8 @@ pub struct EvalContext<'a> {
     pub partitions: usize,
     /// Fused (codegen-analog) pipelines vs. per-operator passes.
     pub fused: bool,
+    /// Per-query trace recorder; `None` disables all recording.
+    pub trace: Option<&'a TraceSink>,
 }
 
 impl<'a> EvalContext<'a> {
@@ -36,6 +41,39 @@ impl<'a> EvalContext<'a> {
 
     /// Evaluate to a dataset.
     pub fn eval_ds(&self, plan: &LogicalPlan) -> Result<Dataset, EngineError> {
+        self.eval_node(plan, "0")
+    }
+
+    /// Evaluate one node, recording its output cardinality/bytes/time under
+    /// its pre-order `path` (matching
+    /// [`LogicalPlan::display_annotated`][rasql_plan::LogicalPlan::display_annotated])
+    /// when operator tracing is on. Counters are inclusive of children.
+    fn eval_node(&self, plan: &LogicalPlan, path: &str) -> Result<Dataset, EngineError> {
+        let recording = self.trace.is_some_and(TraceSink::operators_enabled);
+        let t0 = Instant::now();
+        let ds = self.eval_inner(plan, path)?;
+        if recording {
+            if let Some(sink) = self.trace {
+                let rows = ds.len() as u64;
+                let bytes: usize = ds
+                    .partitions
+                    .iter()
+                    .flat_map(|p| p.iter())
+                    .map(Row::size_bytes)
+                    .sum();
+                sink.record_operator(
+                    path.to_string(),
+                    plan.node_label(),
+                    rows,
+                    bytes as u64,
+                    t0.elapsed(),
+                );
+            }
+        }
+        Ok(ds)
+    }
+
+    fn eval_inner(&self, plan: &LogicalPlan, path: &str) -> Result<Dataset, EngineError> {
         match plan {
             LogicalPlan::TableScan { table, .. } => {
                 let rel = self.catalog.get(table)?;
@@ -50,20 +88,19 @@ impl<'a> EvalContext<'a> {
             }
             LogicalPlan::Values { rows, .. } => Ok(Dataset::single(rows.clone())),
             LogicalPlan::Projection { input, exprs, .. } => {
-                let input = self.eval_ds(input)?;
+                let input = self.eval_node(input, &format!("{path}.0"))?;
                 let exprs = exprs.clone();
-                let project: rasql_exec::pipeline::MapFn = Arc::new(move |r: &Row| {
-                    Row::new(exprs.iter().map(|e| e.eval(r)).collect())
-                });
-                self.run_pipeline(input, Pipeline::with_project(vec![], project))
+                let project: rasql_exec::pipeline::MapFn =
+                    Arc::new(move |r: &Row| Row::new(exprs.iter().map(|e| e.eval(r)).collect()));
+                self.run_pipeline(input, Pipeline::with_project(vec![], project), "project")
             }
             LogicalPlan::Filter { input, predicate } => {
-                let input = self.eval_ds(input)?;
+                let input = self.eval_node(input, &format!("{path}.0"))?;
                 let pred = predicate.clone();
                 let steps = vec![PipelineStep::Filter(Arc::new(move |r: &Row| {
                     pred.eval(r).is_truthy()
                 }))];
-                self.run_pipeline(input, Pipeline::new(steps))
+                self.run_pipeline(input, Pipeline::new(steps), "filter")
             }
             LogicalPlan::Join {
                 left,
@@ -72,38 +109,49 @@ impl<'a> EvalContext<'a> {
                 right_keys,
                 residual,
                 ..
-            } => self.eval_join(left, right, left_keys, right_keys, residual.as_ref()),
+            } => self.eval_join(left, right, left_keys, right_keys, residual.as_ref(), path),
             LogicalPlan::Aggregate {
                 input,
                 group_cols,
                 aggs,
                 ..
-            } => self.eval_aggregate(input, *group_cols, aggs),
+            } => self.eval_aggregate(input, *group_cols, aggs, path),
             LogicalPlan::Union { inputs, .. } => {
                 let mut rows = Vec::new();
-                for i in inputs {
-                    rows.extend(self.eval_ds(i)?.collect());
+                for (i, input) in inputs.iter().enumerate() {
+                    rows.extend(self.eval_node(input, &format!("{path}.{i}"))?.collect());
                 }
                 Ok(Dataset::round_robin(rows, self.partitions))
             }
             LogicalPlan::Distinct { input } => {
-                let child = self.eval_ds(input)?;
+                let child = self.eval_node(input, &format!("{path}.0"))?;
                 let arity = input.schema().arity();
                 let all_cols: Vec<usize> = (0..arity).collect();
-                let shuffled = child.shuffle_if_needed(self.cluster, &all_cols, self.partitions);
-                Ok(shuffled.map_partitions(self.cluster, |_p, rows| {
-                    let mut seen: FxHashSet<&Row> = FxHashSet::default();
-                    let mut out = Vec::with_capacity(rows.len());
-                    for r in rows {
-                        if seen.insert(r) {
-                            out.push(r.clone());
+                let shuffled = child.shuffle_if_needed_traced(
+                    self.cluster,
+                    self.trace,
+                    "distinct shuffle",
+                    &all_cols,
+                    self.partitions,
+                );
+                Ok(shuffled.map_partitions_traced(
+                    self.cluster,
+                    self.trace,
+                    "distinct",
+                    |_p, rows| {
+                        let mut seen: FxHashSet<&Row> = FxHashSet::default();
+                        let mut out = Vec::with_capacity(rows.len());
+                        for r in rows {
+                            if seen.insert(r) {
+                                out.push(r.clone());
+                            }
                         }
-                    }
-                    out
-                }))
+                        out
+                    },
+                ))
             }
             LogicalPlan::Sort { input, keys } => {
-                let mut rows = self.eval_ds(input)?.collect();
+                let mut rows = self.eval_node(input, &format!("{path}.0"))?.collect();
                 let keys = keys.clone();
                 rows.sort_by(|a, b| {
                     for &(c, asc) in &keys {
@@ -117,24 +165,32 @@ impl<'a> EvalContext<'a> {
                 Ok(Dataset::single(rows))
             }
             LogicalPlan::Limit { input, n } => {
-                let mut rows = self.eval_ds(input)?.collect();
+                let mut rows = self.eval_node(input, &format!("{path}.0"))?.collect();
                 rows.truncate(*n as usize);
                 Ok(Dataset::single(rows))
             }
         }
     }
 
-    fn run_pipeline(&self, input: Dataset, pipeline: Pipeline) -> Result<Dataset, EngineError> {
+    fn run_pipeline(
+        &self,
+        input: Dataset,
+        pipeline: Pipeline,
+        label: &str,
+    ) -> Result<Dataset, EngineError> {
         let fused = self.fused;
-        Ok(input.map_partitions(self.cluster, move |_p, rows| {
-            if fused {
-                run_fused(rows, &pipeline)
-            } else {
-                run_unfused(rows, &pipeline)
-            }
-        }))
+        Ok(
+            input.map_partitions_traced(self.cluster, self.trace, label, move |_p, rows| {
+                if fused {
+                    run_fused(rows, &pipeline)
+                } else {
+                    run_unfused(rows, &pipeline)
+                }
+            }),
+        )
     }
 
+    #[allow(clippy::too_many_arguments)]
     fn eval_join(
         &self,
         left: &LogicalPlan,
@@ -142,59 +198,79 @@ impl<'a> EvalContext<'a> {
         left_keys: &[usize],
         right_keys: &[usize],
         residual: Option<&PExpr>,
+        path: &str,
     ) -> Result<Dataset, EngineError> {
-        let l = self.eval_ds(left)?;
-        let r = self.eval_ds(right)?;
+        let l = self.eval_node(left, &format!("{path}.0"))?;
+        let r = self.eval_node(right, &format!("{path}.1"))?;
         let residual = residual.cloned();
 
         if left_keys.is_empty() {
             // Cross join (possibly with a residual inequality predicate):
             // replicate the right side and nested-loop per left partition.
             let right_rows = Arc::new(r.collect());
-            return Ok(l.map_partitions(self.cluster, move |_p, rows| {
+            return Ok(l.map_partitions_traced(
+                self.cluster,
+                self.trace,
+                "cross join",
+                move |_p, rows| {
+                    let mut out = Vec::new();
+                    for a in rows {
+                        for b in right_rows.iter() {
+                            let joined = a.concat(b);
+                            if residual
+                                .as_ref()
+                                .map(|p| p.eval(&joined).is_truthy())
+                                .unwrap_or(true)
+                            {
+                                out.push(joined);
+                            }
+                        }
+                    }
+                    out
+                },
+            ));
+        }
+
+        // Equi join: co-partition both sides, hash-join partition-wise.
+        let l = l.shuffle_if_needed_traced(
+            self.cluster,
+            self.trace,
+            "join probe shuffle",
+            left_keys,
+            self.partitions,
+        );
+        let r = r.shuffle_if_needed_traced(
+            self.cluster,
+            self.trace,
+            "join build shuffle",
+            right_keys,
+            self.partitions,
+        );
+        let right_parts = r.partitions.clone();
+        let left_keys: Vec<usize> = left_keys.to_vec();
+        let right_keys: Vec<usize> = right_keys.to_vec();
+        let cluster_metrics = Arc::clone(&self.cluster.metrics);
+        Ok(
+            l.map_partitions_traced(self.cluster, self.trace, "hash join", move |p, rows| {
+                let table = HashTable::build(&right_parts[p], &right_keys);
                 let mut out = Vec::new();
                 for a in rows {
-                    for b in right_rows.iter() {
+                    let key: Vec<Value> = left_keys.iter().map(|&c| a[c].clone()).collect();
+                    for b in table.probe(&key) {
                         let joined = a.concat(b);
                         if residual
                             .as_ref()
-                            .map(|p| p.eval(&joined).is_truthy())
+                            .map(|pr| pr.eval(&joined).is_truthy())
                             .unwrap_or(true)
                         {
                             out.push(joined);
                         }
                     }
                 }
+                rasql_exec::Metrics::add(&cluster_metrics.join_output_rows, out.len() as u64);
                 out
-            }));
-        }
-
-        // Equi join: co-partition both sides, hash-join partition-wise.
-        let l = l.shuffle_if_needed(self.cluster, left_keys, self.partitions);
-        let r = r.shuffle_if_needed(self.cluster, right_keys, self.partitions);
-        let right_parts = r.partitions.clone();
-        let left_keys: Vec<usize> = left_keys.to_vec();
-        let right_keys: Vec<usize> = right_keys.to_vec();
-        let cluster_metrics = Arc::clone(&self.cluster.metrics);
-        Ok(l.map_partitions(self.cluster, move |p, rows| {
-            let table = HashTable::build(&right_parts[p], &right_keys);
-            let mut out = Vec::new();
-            for a in rows {
-                let key: Vec<Value> = left_keys.iter().map(|&c| a[c].clone()).collect();
-                for b in table.probe(&key) {
-                    let joined = a.concat(b);
-                    if residual
-                        .as_ref()
-                        .map(|pr| pr.eval(&joined).is_truthy())
-                        .unwrap_or(true)
-                    {
-                        out.push(joined);
-                    }
-                }
-            }
-            rasql_exec::Metrics::add(&cluster_metrics.join_output_rows, out.len() as u64);
-            out
-        }))
+            }),
+        )
     }
 
     fn eval_aggregate(
@@ -202,37 +278,43 @@ impl<'a> EvalContext<'a> {
         input: &LogicalPlan,
         group_cols: usize,
         aggs: &[AggExpr],
+        path: &str,
     ) -> Result<Dataset, EngineError> {
-        let child = self.eval_ds(input)?;
+        let child = self.eval_node(input, &format!("{path}.0"))?;
         let key: Vec<usize> = (0..group_cols).collect();
         let child = if group_cols == 0 {
             // Global aggregate: everything to one partition.
             Dataset::single(child.collect())
         } else {
-            child.shuffle_if_needed(self.cluster, &key, self.partitions)
+            child.shuffle_if_needed_traced(
+                self.cluster,
+                self.trace,
+                "aggregate shuffle",
+                &key,
+                self.partitions,
+            )
         };
         let aggs: Vec<AggExpr> = aggs.to_vec();
-        Ok(child.map_partitions(self.cluster, move |_p, rows| {
-            let mut groups: FxHashMap<Box<[Value]>, Vec<Accumulator>> = FxHashMap::default();
-            if group_cols == 0 && rows.is_empty() {
-                // SQL: a global aggregate over zero rows still yields one row.
-                let accs: Vec<Accumulator> = aggs.iter().map(Accumulator::new).collect();
-                return vec![finish_row(&[], &accs)];
-            }
-            for row in rows {
-                let k: Box<[Value]> = (0..group_cols).map(|c| row[c].clone()).collect();
-                let accs = groups
-                    .entry(k)
-                    .or_insert_with(|| aggs.iter().map(Accumulator::new).collect());
-                for acc in accs.iter_mut() {
-                    acc.update(row);
+        Ok(
+            child.map_partitions_traced(self.cluster, self.trace, "aggregate", move |_p, rows| {
+                let mut groups: FxHashMap<Box<[Value]>, Vec<Accumulator>> = FxHashMap::default();
+                if group_cols == 0 && rows.is_empty() {
+                    // SQL: a global aggregate over zero rows still yields one row.
+                    let accs: Vec<Accumulator> = aggs.iter().map(Accumulator::new).collect();
+                    return vec![finish_row(&[], &accs)];
                 }
-            }
-            groups
-                .iter()
-                .map(|(k, accs)| finish_row(k, accs))
-                .collect()
-        }))
+                for row in rows {
+                    let k: Box<[Value]> = (0..group_cols).map(|c| row[c].clone()).collect();
+                    let accs = groups
+                        .entry(k)
+                        .or_insert_with(|| aggs.iter().map(Accumulator::new).collect());
+                    for acc in accs.iter_mut() {
+                        acc.update(row);
+                    }
+                }
+                groups.iter().map(|(k, accs)| finish_row(k, accs)).collect()
+            }),
+        )
     }
 }
 
@@ -349,6 +431,7 @@ mod tests {
             views: &views,
             partitions: 4,
             fused: true,
+            trace: None,
         };
         ctx.evaluate(&plan).unwrap().sorted()
     }

@@ -21,8 +21,8 @@ use parking_lot::Mutex;
 use rasql_exec::join::SortedRun;
 use rasql_exec::state::{AggMergeResult, AggState, MonotoneOp};
 use rasql_exec::{
-    merge_join, run_fused, run_unfused, Broadcast, Cluster, HashTable, Metrics, Pipeline,
-    PipelineStep, SetState, StageTask,
+    merge_join, run_fused, run_unfused, Broadcast, Cluster, HashTable, IterationTrace, Metrics,
+    Pipeline, PipelineStep, SetState, StageKind, StageTask,
 };
 use rasql_parser::ast::AggFunc;
 use rasql_plan::{
@@ -32,6 +32,11 @@ use rasql_plan::{
 use rasql_storage::codec::CompressedRelation;
 use rasql_storage::{partition::hash_partition, FxHashMap, FxHashSet, Relation, Row, Value};
 use std::sync::Arc;
+use std::time::Instant;
+
+/// Per-partition local-fixpoint history: one `(delta rows consumed, state
+/// rows after merge)` pair per local round (`Err` marks a failed task).
+type RoundHistory = Result<Vec<(u64, u64)>, ()>;
 
 /// Result of evaluating a clique.
 pub struct FixpointResult {
@@ -281,6 +286,9 @@ impl<'a> FixpointExecutor<'a> {
                 EvalMode::Naive => self.run_naive(&views, &branches, base_buckets)?,
             }
         };
+        if let Some(sink) = self.eval.trace {
+            sink.end_clique(iterations);
+        }
 
         // --- Materialize results. ---
         let mut out = Vec::with_capacity(views.len());
@@ -346,14 +354,18 @@ impl<'a> FixpointExecutor<'a> {
                                     BuildSide::PartitionedSorted(
                                         parts
                                             .into_iter()
-                                            .map(|rows| Arc::new(SortedRun::build(rows, build_keys)))
+                                            .map(|rows| {
+                                                Arc::new(SortedRun::build(rows, build_keys))
+                                            })
                                             .collect(),
                                     )
                                 } else {
                                     BuildSide::Partitioned(
                                         parts
                                             .into_iter()
-                                            .map(|rows| Arc::new(HashTable::build(&rows, build_keys)))
+                                            .map(|rows| {
+                                                Arc::new(HashTable::build(&rows, build_keys))
+                                            })
                                             .collect(),
                                     )
                                 }
@@ -420,8 +432,19 @@ impl<'a> FixpointExecutor<'a> {
         // Stage combination fuses the reduce of round r with the map of round
         // r+1 — sound only when no branch reads old/new snapshots of another
         // recursive relation (those need the merge barrier).
-        let combine = self.config.stage_combination
-            && branches.iter().all(|b| !b.uses_recursive_build);
+        let combine =
+            self.config.stage_combination && branches.iter().all(|b| !b.uses_recursive_build);
+        let sink = self.eval.trace;
+        if let Some(s) = sink {
+            s.begin_clique(
+                views.iter().map(|v| v.spec.name.clone()).collect(),
+                if combine {
+                    "semi_naive_combined"
+                } else {
+                    "semi_naive"
+                },
+            );
+        }
 
         loop {
             round += 1;
@@ -432,15 +455,16 @@ impl<'a> FixpointExecutor<'a> {
                 });
             }
             Metrics::add(&self.cluster.metrics.iterations, 1);
+            let round_t0 = Instant::now();
 
-            let map_out: Vec<(bool, Buckets)> = if combine {
+            let map_out: Vec<(u64, Buckets)> = if combine {
                 // --- One combined ShuffleMap stage: merge + join + partial
                 // aggregate per partition (Algorithm 6). ---
                 let contribs = Arc::new(contributions);
                 let views_c = Arc::clone(views);
                 let branches_c = Arc::clone(branches);
                 let fused = self.eval.fused;
-                let tasks: Vec<StageTask<(bool, Buckets)>> = (0..p)
+                let tasks: Vec<StageTask<(u64, Buckets)>> = (0..p)
                     .map(|part| {
                         let contribs = Arc::clone(&contribs);
                         let views_c = Arc::clone(&views_c);
@@ -455,15 +479,16 @@ impl<'a> FixpointExecutor<'a> {
                                     round - 1,
                                 ));
                             }
-                            let empty = deltas.iter().all(DeltaBatch::is_empty);
+                            let delta_rows: u64 = deltas.iter().map(|d| d.rows.len() as u64).sum();
                             let refs: Vec<&DeltaBatch> = deltas.iter().collect();
                             let buckets =
                                 map_task(&views_c, &branches_c, &refs, &[], part, w, fused);
-                            (empty, buckets)
+                            (delta_rows, buckets)
                         })
                     })
                     .collect();
-                self.cluster.run_stage(tasks)
+                self.cluster
+                    .run_stage_traced(sink, "fixpoint combined", StageKind::Combined, tasks)
             } else {
                 // --- Reduce stage (Algorithm 4 lines 11-16). ---
                 let contribs = Arc::new(contributions);
@@ -483,7 +508,12 @@ impl<'a> FixpointExecutor<'a> {
                         })
                     })
                     .collect();
-                let merged = self.cluster.run_stage(reduce_tasks);
+                let merged = self.cluster.run_stage_traced(
+                    sink,
+                    "fixpoint reduce",
+                    StageKind::Reduce,
+                    reduce_tasks,
+                );
                 let mut deltas: Vec<Vec<DeltaBatch>> =
                     (0..nv).map(|_| vec![DeltaBatch::default(); p]).collect();
                 let mut all_empty = true;
@@ -494,6 +524,18 @@ impl<'a> FixpointExecutor<'a> {
                     }
                 }
                 if all_empty {
+                    // Closing round: the reduce found nothing new.
+                    if let Some(s) = sink {
+                        s.record_iteration(IterationTrace {
+                            round,
+                            delta_rows: 0,
+                            total_rows: total_state_rows(views),
+                            stages: 1,
+                            shuffle_rows: 0,
+                            shuffle_bytes: 0,
+                            elapsed_us: round_t0.elapsed().as_micros() as u64,
+                        });
+                    }
                     return Ok(round - 1);
                 }
 
@@ -504,28 +546,41 @@ impl<'a> FixpointExecutor<'a> {
                 let views_c = Arc::clone(views);
                 let branches_c = Arc::clone(branches);
                 let fused = self.eval.fused;
-                let tasks: Vec<StageTask<(bool, Buckets)>> = (0..p)
+                let tasks: Vec<StageTask<(u64, Buckets)>> = (0..p)
                     .map(|part| {
                         let deltas = Arc::clone(&deltas);
                         let views_c = Arc::clone(&views_c);
                         let branches_c = Arc::clone(&branches_c);
                         let snapshots = Arc::clone(&snapshots);
                         StageTask::new(part % self.cluster.workers(), move |w| {
-                            let empty = deltas.iter().all(|dv| dv[part].is_empty());
+                            let delta_rows: u64 =
+                                deltas.iter().map(|dv| dv[part].rows.len() as u64).sum();
                             let refs: Vec<&DeltaBatch> =
                                 deltas.iter().map(|dv| &dv[part]).collect();
-                            let buckets = map_task(
-                                &views_c, &branches_c, &refs, &snapshots, part, w, fused,
-                            );
-                            (empty, buckets)
+                            let buckets =
+                                map_task(&views_c, &branches_c, &refs, &snapshots, part, w, fused);
+                            (delta_rows, buckets)
                         })
                     })
                     .collect();
-                self.cluster.run_stage(tasks)
+                self.cluster
+                    .run_stage_traced(sink, "fixpoint map", StageKind::Map, tasks)
             };
 
-            let all_empty = map_out.iter().all(|(e, _)| *e);
-            if combine && all_empty {
+            let delta_rows: u64 = map_out.iter().map(|(n, _)| *n).sum();
+            if combine && delta_rows == 0 {
+                // Closing round: every partition merged an empty delta.
+                if let Some(s) = sink {
+                    s.record_iteration(IterationTrace {
+                        round,
+                        delta_rows: 0,
+                        total_rows: total_state_rows(views),
+                        stages: 1,
+                        shuffle_rows: 0,
+                        shuffle_bytes: 0,
+                        elapsed_us: round_t0.elapsed().as_micros() as u64,
+                    });
+                }
                 return Ok(round - 1);
             }
 
@@ -548,6 +603,17 @@ impl<'a> FixpointExecutor<'a> {
             }
             Metrics::add(&self.cluster.metrics.shuffle_rows, moved_rows);
             Metrics::add(&self.cluster.metrics.shuffle_bytes, moved_bytes);
+            if let Some(s) = sink {
+                s.record_iteration(IterationTrace {
+                    round,
+                    delta_rows,
+                    total_rows: total_state_rows(views),
+                    stages: if combine { 1 } else { 2 },
+                    shuffle_rows: moved_rows,
+                    shuffle_bytes: moved_bytes,
+                    elapsed_us: round_t0.elapsed().as_micros() as u64,
+                });
+            }
         }
     }
 
@@ -616,6 +682,10 @@ impl<'a> FixpointExecutor<'a> {
         let p = self.config.partitions;
         let nv = views.len();
         let mut round: u32 = 0;
+        let sink = self.eval.trace;
+        if let Some(s) = sink {
+            s.begin_clique(views.iter().map(|v| v.spec.name.clone()).collect(), "naive");
+        }
         // Previous full state as plain (schema-shaped) rows per view/partition.
         let mut prev: Vec<Vec<Vec<Row>>> = (0..nv).map(|_| vec![Vec::new(); p]).collect();
         loop {
@@ -627,6 +697,7 @@ impl<'a> FixpointExecutor<'a> {
                 });
             }
             Metrics::add(&self.cluster.metrics.iterations, 1);
+            let round_t0 = Instant::now();
 
             // Derive contributions = base ∪ T(prev); drivers read totals.
             let mut contributions: Buckets = base_buckets.clone();
@@ -658,15 +729,21 @@ impl<'a> FixpointExecutor<'a> {
                     })
                 })
                 .collect();
-            let map_out = self.cluster.run_stage(tasks);
+            let map_out =
+                self.cluster
+                    .run_stage_traced(sink, "fixpoint naive map", StageKind::Map, tasks);
+            let mut derived_rows = 0u64;
             for buckets in map_out {
                 for (vi, per_view) in buckets.into_iter().enumerate() {
                     for (dst, rows) in per_view.into_iter().enumerate() {
+                        derived_rows += rows.len() as u64;
                         contributions[vi][dst].extend(rows);
                     }
                 }
             }
-            prev = Arc::try_unwrap(prev_arc).ok().expect("stage done");
+            prev = Arc::try_unwrap(prev_arc)
+                .map_err(|_| ())
+                .expect("stage done");
 
             // Recompute state from scratch; compare with the previous round.
             let mut changed = false;
@@ -692,6 +769,19 @@ impl<'a> FixpointExecutor<'a> {
                 }
             }
             prev = next;
+            if let Some(s) = sink {
+                // Naive evaluation has no deltas: record the re-derivation
+                // volume instead (the waste the SN ablation measures).
+                s.record_iteration(IterationTrace {
+                    round,
+                    delta_rows: if changed { derived_rows } else { 0 },
+                    total_rows: total_state_rows(views),
+                    stages: 1,
+                    shuffle_rows: 0,
+                    shuffle_bytes: 0,
+                    elapsed_us: round_t0.elapsed().as_micros() as u64,
+                });
+            }
             if !changed {
                 return Ok(round - 1);
             }
@@ -735,11 +825,17 @@ impl<'a> FixpointExecutor<'a> {
         debug_assert_eq!(views.len(), 1);
         let max_iter = self.config.max_iterations;
         let p = self.config.partitions;
+        let sink = self.eval.trace;
+        if let Some(s) = sink {
+            s.begin_clique(vec![views[0].spec.name.clone()], "decomposed");
+        }
         let base = Arc::new(base_buckets);
         let views_c = Arc::clone(views);
         let branches_c = Arc::clone(branches);
         let fused = self.eval.fused;
-        let tasks: Vec<StageTask<Result<u32, ()>>> = (0..p)
+        // Each task returns its local per-round history: (delta rows consumed,
+        // state rows after the round's merge).
+        let tasks: Vec<StageTask<RoundHistory>> = (0..p)
             .map(|part| {
                 let base = Arc::clone(&base);
                 let views_c = Arc::clone(&views_c);
@@ -749,11 +845,13 @@ impl<'a> FixpointExecutor<'a> {
                     let mut state = v.state[part].lock();
                     let mut delta = merge_into_state(v, &mut state, &base[0][part], 0);
                     let mut iters: u32 = 0;
+                    let mut history: Vec<(u64, u64)> = Vec::new();
                     while !delta.is_empty() {
                         iters += 1;
                         if iters > max_iter {
                             return Err(());
                         }
+                        let consumed = delta.rows.len() as u64;
                         let mut produced: Vec<Row> = Vec::new();
                         for b in branches_c.iter() {
                             let input = delta.reader_rows(b.driver_value_mode, &v.agg_cols);
@@ -766,22 +864,61 @@ impl<'a> FixpointExecutor<'a> {
                             }));
                         }
                         delta = merge_into_state(v, &mut state, &produced, iters);
+                        history.push((consumed, state_len(&state) as u64));
                     }
-                    Ok(iters)
+                    Ok(history)
                 })
             })
             .collect();
-        let results = self.cluster.run_stage(tasks);
-        let mut max_rounds = 0u32;
+        let results = self.cluster.run_stage_traced(
+            sink,
+            "fixpoint decomposed",
+            StageKind::Decomposed,
+            tasks,
+        );
+        let mut histories: Vec<Vec<(u64, u64)>> = Vec::with_capacity(p);
         for r in results {
             match r {
-                Ok(iters) => max_rounds = max_rounds.max(iters),
+                Ok(history) => histories.push(history),
                 Err(()) => {
                     return Err(EngineError::NonTermination {
                         view: views[0].spec.name.clone(),
                         iterations: max_iter,
                     })
                 }
+            }
+        }
+        let max_rounds = histories.iter().map(Vec::len).max().unwrap_or(0) as u32;
+        if let Some(s) = sink {
+            // Partition totals only change while that partition still
+            // iterates, so a partition past its own fixpoint contributes its
+            // final state size to later global rounds.
+            let final_lens: Vec<u64> = (0..p)
+                .map(|part| state_len(&views[0].state[part].lock()) as u64)
+                .collect();
+            for r in 0..max_rounds as usize {
+                let mut delta_rows = 0u64;
+                let mut total_rows = 0u64;
+                for (part, h) in histories.iter().enumerate() {
+                    match h.get(r) {
+                        Some(&(d, t)) => {
+                            delta_rows += d;
+                            total_rows += t;
+                        }
+                        None => total_rows += final_lens[part],
+                    }
+                }
+                s.record_iteration(IterationTrace {
+                    round: r as u32 + 1,
+                    delta_rows,
+                    total_rows,
+                    // Local rounds run inside the single decomposed stage:
+                    // no per-round stages and no shuffle (the §7.2 claim).
+                    stages: 0,
+                    shuffle_rows: 0,
+                    shuffle_bytes: 0,
+                    elapsed_us: 0,
+                });
             }
         }
         Metrics::add(&self.cluster.metrics.iterations, max_rounds as u64);
@@ -1004,10 +1141,7 @@ fn partial_aggregate(target: &ViewRt, produced: Vec<Row>) -> Vec<Row> {
                 slot.insert(vals.to_vec());
             }
             std::collections::hash_map::Entry::Occupied(mut slot) => {
-                for (cur, (new, op)) in slot
-                    .get_mut()
-                    .iter_mut()
-                    .zip(vals.iter().zip(&target.ops))
+                for (cur, (new, op)) in slot.get_mut().iter_mut().zip(vals.iter().zip(&target.ops))
                 {
                     op.merge(cur, new);
                 }
@@ -1102,6 +1236,27 @@ fn merge_into_state(
         }
     }
     delta
+}
+
+/// Rows currently held in one partition's state.
+fn state_len(state: &ViewState) -> usize {
+    match state {
+        ViewState::Set(s) => s.len(),
+        ViewState::Agg(a) => a.len(),
+    }
+}
+
+/// Total rows across every partition of every view in the clique.
+fn total_state_rows(views: &[ViewRt]) -> u64 {
+    views
+        .iter()
+        .map(|v| {
+            v.state
+                .iter()
+                .map(|m| state_len(&m.lock()) as u64)
+                .sum::<u64>()
+        })
+        .sum()
 }
 
 fn state_rows(v: &ViewRt, state: &ViewState) -> Vec<Row> {

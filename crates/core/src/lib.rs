@@ -14,13 +14,14 @@
 //!
 //! let ctx = RaSqlContext::in_memory();
 //! ctx.register("edge", Relation::edges(&[(1, 2), (2, 3), (3, 4)])).unwrap();
-//! let tc = ctx.sql(
+//! let tc = ctx.query(
 //!     "WITH recursive tc (Src, Dst) AS \
 //!        (SELECT Src, Dst FROM edge) UNION \
 //!        (SELECT tc.Src, edge.Dst FROM tc, edge WHERE tc.Dst = edge.Src) \
 //!      SELECT Src, Dst FROM tc",
 //! ).unwrap();
-//! assert_eq!(tc.len(), 6);
+//! assert_eq!(tc.relation.len(), 6);
+//! assert_eq!(tc.stats.iterations.len(), 1);
 //! ```
 
 pub mod config;
@@ -32,6 +33,9 @@ pub mod library;
 pub mod prem;
 
 pub use config::{EngineConfig, EvalMode, JoinStrategy};
-pub use context::{QueryStats, RaSqlContext};
+pub use context::{ContextBuilder, QueryResult, QueryStats, RaSqlContext};
 pub use error::EngineError;
 pub use prem::{PremCheckOutcome, PremChecker};
+pub use rasql_exec::{
+    CliqueTrace, IterationTrace, JsonValue, OperatorTrace, QueryTrace, StageKind, StageSpan,
+};

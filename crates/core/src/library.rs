@@ -141,12 +141,14 @@ pub fn party_attendance() -> String {
         .to_string()
 }
 
-/// Example 8: company control (mutual + non-linear recursion with sum).
+/// Example 8: company control (mutual recursion with sum() in recursion;
+/// the recursive rule extends control with *direct* holdings from `shares`,
+/// per Mumick-Pirahesh-Ramakrishnan, so nothing is double-counted).
 pub fn company_control() -> String {
     "WITH recursive cshares(ByCom, OfCom, sum() AS Tot) AS \
        (SELECT By, Of, Percent FROM shares) UNION \
-       (SELECT control.Com1, cshares.OfCom, cshares.Tot FROM control, cshares \
-        WHERE control.Com2 = cshares.ByCom), \
+       (SELECT control.Com1, shares.Of, shares.Percent FROM control, shares \
+        WHERE control.Com2 = shares.By), \
      recursive control(Com1, Com2) AS \
        (SELECT ByCom, OfCom FROM cshares WHERE Tot > 50) \
      SELECT ByCom, OfCom, Tot FROM cshares"

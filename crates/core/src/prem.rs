@@ -101,9 +101,9 @@ impl<'a> PremChecker<'a> {
         let analyzed = self.ctx.analyze(&stmt)?;
         let q = match analyzed {
             AnalyzedStatement::Query(q) => q,
-            AnalyzedStatement::CreateView { .. } => {
+            AnalyzedStatement::CreateView { .. } | AnalyzedStatement::Explain { .. } => {
                 return Ok(PremCheckOutcome::Inconclusive(
-                    "CREATE VIEW has no recursion to check".into(),
+                    "only plain queries have recursion to check".into(),
                 ))
             }
         };
@@ -139,14 +139,14 @@ impl<'a> PremChecker<'a> {
 
     fn lockstep(&self, view: &ViewSpec) -> Result<PremCheckOutcome, EngineError> {
         let ctx = self.ctx;
-        let views_empty: HashMap<String, std::sync::Arc<rasql_storage::Relation>> =
-            HashMap::new();
+        let views_empty: HashMap<String, std::sync::Arc<rasql_storage::Relation>> = HashMap::new();
         let eval = EvalContext {
             cluster: ctx.cluster(),
             catalog: ctx.catalog(),
             views: &views_empty,
             partitions: ctx.config().partitions,
             fused: true,
+            trace: None,
         };
 
         // Base rows (deduped — UNION semantics).
@@ -253,41 +253,43 @@ impl<'a> PremChecker<'a> {
         };
 
         // Merge into an extrema map; returns changed rows (schema-shaped).
-        let merge_agg = |state: &mut FxHashMap<Box<[Value]>, Vec<Value>>,
-                         rows: &[Row]|
-         -> Vec<Row> {
-            use std::collections::hash_map::Entry;
-            let mut changed: FxHashMap<Box<[Value]>, Vec<Value>> = FxHashMap::default();
-            for row in rows {
-                let key: Box<[Value]> = key_cols.iter().map(|&c| row[c].clone()).collect();
-                let vals: Vec<Value> = agg_cols.iter().map(|&c| row[c].clone()).collect();
-                let mut improved = false;
-                match state.entry(key.clone()) {
-                    Entry::Vacant(slot) => {
-                        slot.insert(vals);
-                        improved = true;
-                    }
-                    Entry::Occupied(mut slot) => {
-                        let entry = slot.get_mut();
-                        for (j, v) in vals.iter().enumerate() {
-                            let better =
-                                if mins[j] { *v < entry[j] } else { *v > entry[j] };
-                            if better {
-                                entry[j] = v.clone();
-                                improved = true;
+        let merge_agg =
+            |state: &mut FxHashMap<Box<[Value]>, Vec<Value>>, rows: &[Row]| -> Vec<Row> {
+                use std::collections::hash_map::Entry;
+                let mut changed: FxHashMap<Box<[Value]>, Vec<Value>> = FxHashMap::default();
+                for row in rows {
+                    let key: Box<[Value]> = key_cols.iter().map(|&c| row[c].clone()).collect();
+                    let vals: Vec<Value> = agg_cols.iter().map(|&c| row[c].clone()).collect();
+                    let mut improved = false;
+                    match state.entry(key.clone()) {
+                        Entry::Vacant(slot) => {
+                            slot.insert(vals);
+                            improved = true;
+                        }
+                        Entry::Occupied(mut slot) => {
+                            let entry = slot.get_mut();
+                            for (j, v) in vals.iter().enumerate() {
+                                let better = if mins[j] {
+                                    *v < entry[j]
+                                } else {
+                                    *v > entry[j]
+                                };
+                                if better {
+                                    entry[j] = v.clone();
+                                    improved = true;
+                                }
                             }
                         }
                     }
+                    if improved {
+                        changed.insert(key.clone(), state.get(&key).unwrap().clone());
+                    }
                 }
-                if improved {
-                    changed.insert(key.clone(), state.get(&key).unwrap().clone());
-                }
-            }
-            changed
-                .into_iter()
-                .map(|(k, v)| to_schema(k.to_vec(), v))
-                .collect()
-        };
+                changed
+                    .into_iter()
+                    .map(|(k, v)| to_schema(k.to_vec(), v))
+                    .collect()
+            };
 
         // Aggregated run.
         let mut agg_state: FxHashMap<Box<[Value]>, Vec<Value>> = FxHashMap::default();
@@ -340,7 +342,11 @@ impl<'a> PremChecker<'a> {
                     let vals: Vec<Value> = agg_cols.iter().map(|&c| row[c].clone()).collect();
                     let entry = gamma.entry(key).or_insert_with(|| vals.clone());
                     for (j, v) in vals.iter().enumerate() {
-                        let better = if mins[j] { *v < entry[j] } else { *v > entry[j] };
+                        let better = if mins[j] {
+                            *v < entry[j]
+                        } else {
+                            *v > entry[j]
+                        };
                         if better {
                             entry[j] = v.clone();
                         }
@@ -532,10 +538,8 @@ mod tests {
     fn bom_prem_holds() {
         use rasql_storage::{DataType, Schema};
         let ctx = RaSqlContext::in_memory();
-        let assbl_schema =
-            Schema::new(vec![("Part", DataType::Int), ("SPart", DataType::Int)]);
-        let basic_schema =
-            Schema::new(vec![("Part", DataType::Int), ("Days", DataType::Int)]);
+        let assbl_schema = Schema::new(vec![("Part", DataType::Int), ("SPart", DataType::Int)]);
+        let basic_schema = Schema::new(vec![("Part", DataType::Int), ("Days", DataType::Int)]);
         let pairs = |v: &[(i64, i64)]| {
             v.iter()
                 .map(|&(a, b)| rasql_storage::row::int_row(&[a, b]))

@@ -17,7 +17,7 @@ fn min_and_max_in_one_head() {
     ctx.register("edge", Relation::edges(&[(1, 2), (2, 3), (1, 3), (3, 4)]))
         .unwrap();
     let r = ctx
-        .sql(
+        .query(
             "WITH recursive span (Dst, min() AS Lo, max() AS Hi) AS \
                (SELECT 1, 0, 0) UNION \
                (SELECT edge.Dst, span.Lo + 1, span.Hi + 1 FROM span, edge \
@@ -25,6 +25,7 @@ fn min_and_max_in_one_head() {
              SELECT Dst, Lo, Hi FROM span",
         )
         .unwrap()
+        .relation
         .sorted();
     let rows: Vec<(i64, i64, i64)> = r
         .rows()
@@ -39,10 +40,7 @@ fn min_and_max_in_one_head() {
         .collect();
     // node 3: min path 1→3 (1 hop), max path 1→2→3 (2 hops);
     // node 4: min 2 hops (1→3→4), max 3 hops (1→2→3→4).
-    assert_eq!(
-        rows,
-        vec![(1, 0, 0), (2, 1, 1), (3, 1, 2), (4, 2, 3)]
-    );
+    assert_eq!(rows, vec![(1, 0, 0), (2, 1, 1), (3, 1, 2), (4, 2, 3)]);
 }
 
 #[test]
@@ -58,7 +56,7 @@ fn apsp_decomposed_equals_plain() {
     let run = |decomposed: bool| {
         let ctx = ctx2(EngineConfig::rasql().with_decomposed(decomposed));
         ctx.register("edge", edges.clone()).unwrap();
-        ctx.sql(&library::apsp()).unwrap().sorted()
+        ctx.query(&library::apsp()).unwrap().relation.sorted()
     };
     // APSP preserves Src through the recursion, so it is decomposable even
     // though it aggregates — both paths must agree exactly.
@@ -77,16 +75,18 @@ fn apsp_plan_is_decomposable() {
 #[test]
 fn recursive_view_joined_with_itself_in_final_select() {
     let ctx = ctx2(EngineConfig::rasql());
-    ctx.register("edge", Relation::edges(&[(1, 2), (2, 3)])).unwrap();
+    ctx.register("edge", Relation::edges(&[(1, 2), (2, 3)]))
+        .unwrap();
     // Count 2-step chains in the closure via a self-join of the fixpoint.
     let r = ctx
-        .sql(
+        .query(
             "WITH recursive tc (Src, Dst) AS \
                (SELECT Src, Dst FROM edge) UNION \
                (SELECT tc.Src, edge.Dst FROM tc, edge WHERE tc.Dst = edge.Src) \
              SELECT count(*) FROM tc a, tc b WHERE a.Dst = b.Src",
         )
-        .unwrap();
+        .unwrap()
+        .relation;
     // closure = {(1,2),(2,3),(1,3)}; joinable pairs: (1,2)-(2,3) → 1.
     assert_eq!(r.rows()[0][0], Value::Int(1));
 }
@@ -94,10 +94,12 @@ fn recursive_view_joined_with_itself_in_final_select() {
 #[test]
 fn two_independent_cliques_in_one_query() {
     let ctx = ctx2(EngineConfig::rasql());
-    ctx.register("edge", Relation::edges(&[(1, 2), (2, 3)])).unwrap();
-    ctx.register("redge", Relation::edges(&[(3, 2), (2, 1)])).unwrap();
+    ctx.register("edge", Relation::edges(&[(1, 2), (2, 3)]))
+        .unwrap();
+    ctx.register("redge", Relation::edges(&[(3, 2), (2, 1)]))
+        .unwrap();
     let r = ctx
-        .sql(
+        .query(
             "WITH recursive fwd (Dst) AS \
                (SELECT 1) UNION \
                (SELECT edge.Dst FROM fwd, edge WHERE fwd.Dst = edge.Src), \
@@ -106,22 +108,22 @@ fn two_independent_cliques_in_one_query() {
                (SELECT redge.Dst FROM bwd, redge WHERE bwd.Dst = redge.Src) \
              SELECT fwd.Dst FROM fwd, bwd WHERE fwd.Dst = bwd.Dst",
         )
-        .unwrap()
-        .sorted();
+        .unwrap();
     // fwd = {1,2,3}, bwd = {3,2,1} → intersection = all three.
-    assert_eq!(r.len(), 3);
-    let stats = ctx.last_stats();
-    assert_eq!(stats.iterations.len(), 2, "two cliques evaluated");
+    assert_eq!(r.relation.len(), 3);
+    assert_eq!(r.stats.iterations.len(), 2, "two cliques evaluated");
 }
 
 #[test]
 fn chained_cliques_second_reads_first() {
     // A second recursive view whose BASE case scans the first clique's result.
     let ctx = ctx2(EngineConfig::rasql());
-    ctx.register("edge", Relation::edges(&[(1, 2), (2, 3)])).unwrap();
-    ctx.register("hop", Relation::edges(&[(3, 4), (4, 5)])).unwrap();
+    ctx.register("edge", Relation::edges(&[(1, 2), (2, 3)]))
+        .unwrap();
+    ctx.register("hop", Relation::edges(&[(3, 4), (4, 5)]))
+        .unwrap();
     let r = ctx
-        .sql(
+        .query(
             "WITH recursive reach1 (Dst) AS \
                (SELECT 1) UNION \
                (SELECT edge.Dst FROM reach1, edge WHERE reach1.Dst = edge.Src), \
@@ -131,6 +133,7 @@ fn chained_cliques_second_reads_first() {
              SELECT Dst FROM reach2",
         )
         .unwrap()
+        .relation
         .sorted();
     let vals: Vec<i64> = r.rows().iter().map(|x| x[0].as_int().unwrap()).collect();
     assert_eq!(vals, vec![1, 2, 3, 4, 5]);
@@ -141,15 +144,17 @@ fn non_partition_aware_is_slower_but_correct() {
     let edges = rasql_datagen::rmat(300, rasql_datagen::RmatConfig::default(), 3);
     let aware = ctx2(EngineConfig::rasql().with_decomposed(false));
     aware.register("edge", edges.clone()).unwrap();
-    let a = aware.sql(&library::reach(1)).unwrap().sorted();
-    let aware_fetch = aware.last_stats().metrics.remote_fetch_bytes;
+    let ra = aware.query(&library::reach(1)).unwrap();
+    let a = ra.relation.sorted();
+    let aware_fetch = ra.stats.metrics.remote_fetch_bytes;
 
     let mut cfg = EngineConfig::rasql().with_decomposed(false);
     cfg.partition_aware = false;
     let drift = ctx2(cfg);
     drift.register("edge", edges).unwrap();
-    let b = drift.sql(&library::reach(1)).unwrap().sorted();
-    let drift_fetch = drift.last_stats().metrics.remote_fetch_bytes;
+    let rb = drift.query(&library::reach(1)).unwrap();
+    let b = rb.relation.sorted();
+    let drift_fetch = rb.stats.metrics.remote_fetch_bytes;
 
     assert_eq!(a, b, "locality policy must not change results");
     assert_eq!(aware_fetch, 0, "partition-aware runs fully local");
@@ -159,8 +164,9 @@ fn non_partition_aware_is_slower_but_correct() {
 #[test]
 fn zero_stage_latency_configuration() {
     let ctx = ctx2(EngineConfig::rasql().with_stage_latency_us(0));
-    ctx.register("edge", Relation::edges(&[(1, 2), (2, 3)])).unwrap();
-    let r = ctx.sql(&library::reach(1)).unwrap();
+    ctx.register("edge", Relation::edges(&[(1, 2), (2, 3)]))
+        .unwrap();
+    let r = ctx.query(&library::reach(1)).unwrap().relation;
     assert_eq!(r.len(), 3);
 }
 
@@ -184,7 +190,7 @@ fn duplicate_base_rows_union_semantics() {
     let ctx = ctx2(EngineConfig::rasql());
     ctx.register("sales", sales).unwrap();
     ctx.register("sponsor", sponsor).unwrap();
-    let r = ctx.sql(&library::mlm_bonus()).unwrap();
+    let r = ctx.query(&library::mlm_bonus()).unwrap().relation;
     assert_eq!(r.len(), 1);
     // Set semantics: the duplicate (1, 10.0) contribution applies once.
     assert_eq!(r.rows()[0][1], Value::Double(10.0));
@@ -196,7 +202,7 @@ fn negative_weights_still_converge_on_dags() {
     let edges = Relation::weighted_edges(&[(1, 2, 5.0), (2, 3, -3.0), (1, 3, 4.0)]);
     let ctx = ctx2(EngineConfig::rasql());
     ctx.register("edge", edges).unwrap();
-    let r = ctx.sql(&library::sssp(1)).unwrap().sorted();
+    let r = ctx.query(&library::sssp(1)).unwrap().relation.sorted();
     let v: Vec<f64> = r.rows().iter().map(|x| x[1].as_f64().unwrap()).collect();
     assert_eq!(v, vec![0.0, 5.0, 2.0]); // 1→2→3 = 2.0 beats direct 4.0
 }
@@ -215,13 +221,14 @@ fn string_keyed_recursion() {
     let ctx = ctx2(EngineConfig::rasql());
     ctx.register("edge", edges).unwrap();
     let r = ctx
-        .sql(
+        .query(
             "WITH recursive reach (Dst) AS \
                (SELECT 'a') UNION \
                (SELECT edge.Dst FROM reach, edge WHERE reach.Dst = edge.Src) \
              SELECT Dst FROM reach",
         )
         .unwrap()
+        .relation
         .sorted();
     let names: Vec<&str> = r.rows().iter().map(|x| x[0].as_str().unwrap()).collect();
     assert_eq!(names, vec!["a", "b", "c"]);
@@ -237,7 +244,7 @@ fn filter_inside_recursive_branch() {
     )
     .unwrap();
     let r = ctx
-        .sql(
+        .query(
             "WITH recursive cheap (Dst, min() AS Cost) AS \
                (SELECT 1, 0.0) UNION \
                (SELECT edge.Dst, cheap.Cost + edge.Cost FROM cheap, edge \
@@ -245,6 +252,7 @@ fn filter_inside_recursive_branch() {
              SELECT Dst, Cost FROM cheap",
         )
         .unwrap()
+        .relation
         .sorted();
     // Node 3 unreachable through cheap edges.
     let dsts: Vec<i64> = r.rows().iter().map(|x| x[0].as_int().unwrap()).collect();
@@ -258,31 +266,35 @@ fn constant_only_recursion_terminates() {
     let ctx = ctx2(EngineConfig::rasql());
     ctx.register("edge", Relation::edges(&[(1, 1)])).unwrap();
     let r = ctx
-        .sql(
+        .query(
             "WITH recursive r (X) AS \
                (SELECT 1) UNION \
                (SELECT edge.Dst FROM r, edge WHERE r.X = edge.Src) \
              SELECT X FROM r",
         )
         .unwrap();
-    assert_eq!(r.len(), 1);
-    assert!(ctx.last_stats().iterations[0] <= 2);
+    assert_eq!(r.relation.len(), 1);
+    assert!(r.stats.iterations[0] <= 2);
 }
 
 #[test]
 fn final_select_with_arithmetic_over_view() {
     let ctx = ctx2(EngineConfig::rasql());
-    ctx.register("edge", Relation::weighted_edges(&[(1, 2, 2.0), (2, 3, 3.0)]))
-        .unwrap();
+    ctx.register(
+        "edge",
+        Relation::weighted_edges(&[(1, 2, 2.0), (2, 3, 3.0)]),
+    )
+    .unwrap();
     let r = ctx
-        .sql(
+        .query(
             "WITH recursive path (Dst, min() AS Cost) AS \
                (SELECT 1, 0.0) UNION \
                (SELECT edge.Dst, path.Cost + edge.Cost FROM path, edge \
                 WHERE path.Dst = edge.Src) \
              SELECT Dst, Cost * 2 + 1 FROM path WHERE Dst > 1 ORDER BY Dst",
         )
-        .unwrap();
+        .unwrap()
+        .relation;
     let v: Vec<f64> = r.rows().iter().map(|x| x[1].as_f64().unwrap()).collect();
     assert_eq!(v, vec![5.0, 11.0]);
 }
@@ -293,9 +305,9 @@ fn large_iteration_chain_deep_recursion() {
     let edges: Vec<(i64, i64)> = (0..500).map(|i| (i, i + 1)).collect();
     let ctx = ctx2(EngineConfig::rasql());
     ctx.register("edge", Relation::edges(&edges)).unwrap();
-    let r = ctx.sql(&library::reach(0)).unwrap();
-    assert_eq!(r.len(), 501);
-    assert!(ctx.last_stats().iterations[0] >= 500);
+    let r = ctx.query(&library::reach(0)).unwrap();
+    assert_eq!(r.relation.len(), 501);
+    assert!(r.stats.iterations[0] >= 500);
 }
 
 #[test]
@@ -310,10 +322,14 @@ fn explain_does_not_execute() {
 #[test]
 fn scalar_functions_in_plain_select() {
     let ctx = ctx2(EngineConfig::rasql());
-    ctx.register("edge", Relation::weighted_edges(&[(1, 2, 3.5)])).unwrap();
-    let r = ctx
-        .sql("SELECT least(Src, Dst), greatest(Src, Dst), abs(0 - Dst), least(Cost, 1.0) FROM edge")
+    ctx.register("edge", Relation::weighted_edges(&[(1, 2, 3.5)]))
         .unwrap();
+    let r = ctx
+        .query(
+            "SELECT least(Src, Dst), greatest(Src, Dst), abs(0 - Dst), least(Cost, 1.0) FROM edge",
+        )
+        .unwrap()
+        .relation;
     let row = &r.rows()[0];
     assert_eq!(row[0], Value::Int(1));
     assert_eq!(row[1], Value::Int(2));
@@ -335,7 +351,7 @@ fn widest_path_matches_oracle() {
     let expected = rasql_gap::algorithms::widest_path(&csr, 1, 1e9);
     let ctx = ctx2(EngineConfig::rasql());
     ctx.register("edge", edges).unwrap();
-    let got = ctx.sql(&library::widest_path(1)).unwrap();
+    let got = ctx.query(&library::widest_path(1)).unwrap().relation;
     assert_eq!(got.len(), expected.len());
     for r in got.rows() {
         let d = r[0].as_int().unwrap();
@@ -351,11 +367,13 @@ fn widest_path_matches_oracle() {
 #[test]
 fn scalar_function_in_aggregate_context() {
     let ctx = ctx2(EngineConfig::rasql());
-    ctx.register("edge", Relation::edges(&[(1, 5), (2, 3), (7, 2)])).unwrap();
+    ctx.register("edge", Relation::edges(&[(1, 5), (2, 3), (7, 2)]))
+        .unwrap();
     // greatest() inside a grouped projection over aggregate results.
     let r = ctx
-        .sql("SELECT greatest(min(Src), 2), least(max(Dst), 4) FROM edge")
-        .unwrap();
+        .query("SELECT greatest(min(Src), 2), least(max(Dst), 4) FROM edge")
+        .unwrap()
+        .relation;
     assert_eq!(r.rows()[0][0], Value::Int(2));
     assert_eq!(r.rows()[0][1], Value::Int(4));
 }
@@ -368,18 +386,23 @@ fn nonlinear_tc_equals_linear_tc() {
     let edges = rasql_datagen::rmat(60, rasql_datagen::RmatConfig::default(), 77);
     let ctx_lin = ctx2(EngineConfig::rasql());
     ctx_lin.register("edge", edges.clone()).unwrap();
-    let linear = ctx_lin.sql(&library::transitive_closure()).unwrap().sorted();
+    let linear = ctx_lin
+        .query(&library::transitive_closure())
+        .unwrap()
+        .relation
+        .sorted();
 
     let ctx_nl = ctx2(EngineConfig::rasql());
     ctx_nl.register("edge", edges).unwrap();
     let nonlinear = ctx_nl
-        .sql(
+        .query(
             "WITH recursive tc (Src, Dst) AS \
                (SELECT Src, Dst FROM edge) UNION \
                (SELECT a.Src, b.Dst FROM tc a, tc b WHERE a.Dst = b.Src) \
              SELECT Src, Dst FROM tc",
         )
         .unwrap()
+        .relation
         .sorted();
     assert_eq!(nonlinear, linear);
     // Non-linear closure squares the frontier: it must converge in
@@ -388,14 +411,17 @@ fn nonlinear_tc_equals_linear_tc() {
     let chain: Vec<(i64, i64)> = (0..64).map(|i| (i, i + 1)).collect();
     let ctx_chain = ctx2(EngineConfig::rasql());
     ctx_chain.register("edge", Relation::edges(&chain)).unwrap();
-    ctx_chain
-        .sql(
+    let chain_result = ctx_chain
+        .query(
             "WITH recursive tc (Src, Dst) AS \
                (SELECT Src, Dst FROM edge) UNION \
                (SELECT a.Src, b.Dst FROM tc a, tc b WHERE a.Dst = b.Src) \
              SELECT count(*) FROM tc",
         )
         .unwrap();
-    let nl_iters = ctx_chain.last_stats().iterations[0];
-    assert!(nl_iters <= 10, "non-linear TC should need ~log2(64) rounds, took {nl_iters}");
+    let nl_iters = chain_result.stats.iterations[0];
+    assert!(
+        nl_iters <= 10,
+        "non-linear TC should need ~log2(64) rounds, took {nl_iters}"
+    );
 }

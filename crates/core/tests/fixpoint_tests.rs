@@ -13,7 +13,11 @@ fn ctx_with(config: EngineConfig) -> RaSqlContext {
 }
 
 fn int_rel(cols: &[&str], rows: &[&[i64]]) -> Relation {
-    let schema = Schema::new(cols.iter().map(|c| (c.to_string(), DataType::Int)).collect());
+    let schema = Schema::new(
+        cols.iter()
+            .map(|c| (c.to_string(), DataType::Int))
+            .collect(),
+    );
     Relation::try_new(
         schema,
         rows.iter()
@@ -31,10 +35,7 @@ fn all_configs() -> Vec<(&'static str, EngineConfig)> {
             "no-stage-combination",
             EngineConfig::rasql().with_stage_combination(false),
         ),
-        (
-            "unfused",
-            EngineConfig::rasql().with_fused_codegen(false),
-        ),
+        ("unfused", EngineConfig::rasql().with_fused_codegen(false)),
         (
             "sort-merge",
             EngineConfig::rasql().with_join(JoinStrategy::SortMerge),
@@ -59,7 +60,7 @@ fn tc_on_cycle_all_configs() {
     for (name, cfg) in all_configs() {
         let ctx = ctx_with(cfg);
         ctx.register("edge", edges.clone()).unwrap();
-        let tc = ctx.sql(&library::transitive_closure()).unwrap();
+        let tc = ctx.query(&library::transitive_closure()).unwrap().relation;
         assert_eq!(tc.len(), 16, "config {name}");
     }
 }
@@ -70,12 +71,15 @@ fn tc_matches_oracle_on_random_graph() {
     let expected = oracle::transitive_closure_count(&edges);
     for (name, cfg) in [
         ("rasql", EngineConfig::rasql()),
-        ("no-decomposed", EngineConfig::rasql().with_decomposed(false)),
+        (
+            "no-decomposed",
+            EngineConfig::rasql().with_decomposed(false),
+        ),
         ("naive", EngineConfig::spark_sql_naive()),
     ] {
         let ctx = ctx_with(cfg);
         ctx.register("edge", edges.clone()).unwrap();
-        let tc = ctx.sql(&library::transitive_closure()).unwrap();
+        let tc = ctx.query(&library::transitive_closure()).unwrap().relation;
         assert_eq!(tc.len(), expected, "config {name}");
     }
 }
@@ -84,12 +88,15 @@ fn tc_matches_oracle_on_random_graph() {
 fn reach_matches_bfs() {
     let edges = rasql_datagen::rmat(300, rasql_datagen::RmatConfig::default(), 21);
     let csr = Csr::from_relation(&edges);
-    let mut expected: Vec<i64> = oracle::bfs_reach(&csr, 1).iter().map(|&v| v as i64).collect();
+    let mut expected: Vec<i64> = oracle::bfs_reach(&csr, 1)
+        .iter()
+        .map(|&v| v as i64)
+        .collect();
     expected.sort_unstable();
     for (name, cfg) in all_configs() {
         let ctx = ctx_with(cfg);
         ctx.register("edge", edges.clone()).unwrap();
-        let got = ctx.sql(&library::reach(1)).unwrap();
+        let got = ctx.query(&library::reach(1)).unwrap().relation;
         let mut vals: Vec<i64> = got.rows().iter().map(|r| r[0].as_int().unwrap()).collect();
         vals.sort_unstable();
         assert_eq!(vals, expected, "config {name}");
@@ -115,7 +122,7 @@ fn sssp_matches_dijkstra_all_configs() {
     for (name, cfg) in all_configs() {
         let ctx = ctx_with(cfg);
         ctx.register("edge", edges.clone()).unwrap();
-        let got = ctx.sql(&library::sssp(1)).unwrap();
+        let got = ctx.query(&library::sssp(1)).unwrap().relation;
         assert_eq!(got.len(), expected.len(), "config {name}");
         for r in got.rows() {
             let dst = r[0].as_int().unwrap();
@@ -132,15 +139,10 @@ fn sssp_matches_dijkstra_all_configs() {
 #[test]
 fn sssp_terminates_on_cyclic_graph() {
     // The killer case for stratified evaluation (Fig 1): cycles.
-    let edges = Relation::weighted_edges(&[
-        (1, 2, 1.0),
-        (2, 3, 1.0),
-        (3, 1, 1.0),
-        (3, 4, 1.0),
-    ]);
+    let edges = Relation::weighted_edges(&[(1, 2, 1.0), (2, 3, 1.0), (3, 1, 1.0), (3, 4, 1.0)]);
     let ctx = ctx_with(EngineConfig::rasql());
     ctx.register("edge", edges).unwrap();
-    let got = ctx.sql(&library::sssp(1)).unwrap().sorted();
+    let got = ctx.query(&library::sssp(1)).unwrap().relation.sorted();
     let costs: Vec<(i64, f64)> = got
         .rows()
         .iter()
@@ -154,7 +156,7 @@ fn stratified_sssp_on_cycle_hits_iteration_cap() {
     let edges = Relation::weighted_edges(&[(1, 2, 1.0), (2, 1, 1.0)]);
     let ctx = ctx_with(EngineConfig::rasql().with_max_iterations(30));
     ctx.register("edge", edges).unwrap();
-    let err = ctx.sql(&library::sssp_stratified(1)).unwrap_err();
+    let err = ctx.query(&library::sssp_stratified(1)).unwrap_err();
     assert!(err.to_string().contains("did not converge"), "{err}");
 }
 
@@ -165,7 +167,7 @@ fn cc_matches_oracle() {
     for (name, cfg) in all_configs() {
         let ctx = ctx_with(cfg);
         ctx.register("edge", edges.clone()).unwrap();
-        let got = ctx.sql(&library::cc()).unwrap();
+        let got = ctx.query(&library::cc()).unwrap().relation;
         assert_eq!(got.len(), expected.len(), "config {name}");
         for r in got.rows() {
             let node = r[0].as_int().unwrap();
@@ -182,7 +184,7 @@ fn cc_count_distinct_components() {
     let edges = Relation::edges(&[(0, 1), (1, 0), (1, 2), (2, 1), (10, 11), (11, 10)]);
     let ctx = ctx_with(EngineConfig::rasql());
     ctx.register("edge", edges).unwrap();
-    let got = ctx.sql(&library::cc_count()).unwrap();
+    let got = ctx.query(&library::cc_count()).unwrap().relation;
     assert_eq!(got.rows()[0][0], Value::Int(2));
 }
 
@@ -200,7 +202,7 @@ fn bom_q1_and_q2_agree_with_oracle() {
         let ctx = ctx_with(EngineConfig::rasql());
         ctx.register("assbl", tree.assbl.clone()).unwrap();
         ctx.register("basic", tree.basic.clone()).unwrap();
-        let got = ctx.sql(&sql).unwrap();
+        let got = ctx.query(&sql).unwrap().relation;
         assert_eq!(got.len(), expected.len(), "{sql}");
         for r in got.rows() {
             let part = r[0].as_int().unwrap();
@@ -231,7 +233,7 @@ fn count_paths_matches_oracle_on_dag() {
     for (name, cfg) in all_configs() {
         let ctx = ctx_with(cfg);
         ctx.register("edge", edges.clone()).unwrap();
-        let got = ctx.sql(&library::count_paths(0)).unwrap();
+        let got = ctx.query(&library::count_paths(0)).unwrap().relation;
         assert_eq!(got.len(), expected.len(), "config {name}");
         for r in got.rows() {
             let dst = r[0].as_int().unwrap();
@@ -256,12 +258,15 @@ fn management_matches_oracle() {
     let expected = oracle::management_counts(&tree.report);
     for (name, cfg) in [
         ("rasql", EngineConfig::rasql()),
-        ("no-stage-combination", EngineConfig::rasql().with_stage_combination(false)),
+        (
+            "no-stage-combination",
+            EngineConfig::rasql().with_stage_combination(false),
+        ),
         ("spark-sql-sn", EngineConfig::spark_sql_sn()),
     ] {
         let ctx = ctx_with(cfg);
         ctx.register("report", tree.report.clone()).unwrap();
-        let got = ctx.sql(&library::management()).unwrap();
+        let got = ctx.query(&library::management()).unwrap().relation;
         assert_eq!(got.len(), expected.len(), "config {name}");
         for r in got.rows() {
             let mgr = r[0].as_int().unwrap();
@@ -287,7 +292,7 @@ fn mlm_matches_oracle() {
     let ctx = ctx_with(EngineConfig::rasql());
     ctx.register("sales", tree.sales.clone()).unwrap();
     ctx.register("sponsor", tree.sponsor.clone()).unwrap();
-    let got = ctx.sql(&library::mlm_bonus()).unwrap();
+    let got = ctx.query(&library::mlm_bonus()).unwrap().relation;
     assert_eq!(got.len(), expected.len());
     for r in got.rows() {
         let m = r[0].as_int().unwrap();
@@ -343,7 +348,11 @@ fn party_attendance_threshold() {
     let ctx = ctx_with(EngineConfig::rasql());
     ctx.register("organizer", organizer).unwrap();
     ctx.register("friend", friend).unwrap();
-    let got = ctx.sql(&library::party_attendance()).unwrap().sorted();
+    let got = ctx
+        .query(&library::party_attendance())
+        .unwrap()
+        .relation
+        .sorted();
     let names: Vec<&str> = got.rows().iter().map(|r| r[0].as_str().unwrap()).collect();
     // alice attends (organizer). bob/carol/dave: with alice attending they
     // have 1; nobody reaches 3 unless the mutual clique bootstraps — it
@@ -385,7 +394,11 @@ fn party_attendance_cascade() {
     let ctx = ctx_with(EngineConfig::rasql());
     ctx.register("organizer", organizer).unwrap();
     ctx.register("friend", friend).unwrap();
-    let got = ctx.sql(&library::party_attendance()).unwrap().sorted();
+    let got = ctx
+        .query(&library::party_attendance())
+        .unwrap()
+        .relation
+        .sorted();
     let names: Vec<&str> = got.rows().iter().map(|r| r[0].as_str().unwrap()).collect();
     assert_eq!(names, vec!["bob", "carol", "o1", "o2", "o3"]);
 }
@@ -409,7 +422,11 @@ fn company_control_mumick_example() {
     .unwrap();
     let ctx = ctx_with(EngineConfig::rasql());
     ctx.register("shares", shares).unwrap();
-    let got = ctx.sql(&library::company_control()).unwrap().sorted();
+    let got = ctx
+        .query(&library::company_control())
+        .unwrap()
+        .relation
+        .sorted();
     let rows: Vec<(String, String, i64)> = got
         .rows()
         .iter()
@@ -444,26 +461,24 @@ fn same_generation_matches_oracle() {
     let expected = oracle::same_generation_count(&rel);
     for (name, cfg) in [
         ("rasql", EngineConfig::rasql()),
-        ("no-stage-combination", EngineConfig::rasql().with_stage_combination(false)),
+        (
+            "no-stage-combination",
+            EngineConfig::rasql().with_stage_combination(false),
+        ),
     ] {
         let ctx = ctx_with(cfg);
         ctx.register("rel", rel.clone()).unwrap();
-        let got = ctx.sql(&library::same_generation()).unwrap();
+        let got = ctx.query(&library::same_generation()).unwrap().relation;
         assert_eq!(got.len(), expected, "config {name}");
     }
 }
 
 #[test]
 fn apsp_small_graph() {
-    let edges = Relation::weighted_edges(&[
-        (0, 1, 1.0),
-        (1, 2, 1.0),
-        (2, 0, 1.0),
-        (0, 2, 5.0),
-    ]);
+    let edges = Relation::weighted_edges(&[(0, 1, 1.0), (1, 2, 1.0), (2, 0, 1.0), (0, 2, 5.0)]);
     let ctx = ctx_with(EngineConfig::rasql());
     ctx.register("edge", edges).unwrap();
-    let got = ctx.sql(&library::apsp()).unwrap().sorted();
+    let got = ctx.query(&library::apsp()).unwrap().relation.sorted();
     // 9 pairs (including self-loops through the cycle).
     assert_eq!(got.len(), 9);
     let find = |s: i64, d: i64| -> f64 {
@@ -483,8 +498,8 @@ fn interval_coalesce_example() {
     let inter = int_rel(&["S", "E"], &[&[1, 3], &[2, 5], &[4, 8], &[10, 12]]);
     let ctx = ctx_with(EngineConfig::rasql());
     ctx.register("inter", inter).unwrap();
-    let results = ctx.execute_script(&library::interval_coalesce()).unwrap();
-    let got = results.last().unwrap().clone().sorted();
+    let results = ctx.query_script(&library::interval_coalesce()).unwrap();
+    let got = results.last().unwrap().relation.clone().sorted();
     let rows: Vec<(i64, i64)> = got
         .rows()
         .iter()
@@ -502,11 +517,11 @@ fn naive_and_semi_naive_agree_but_naive_does_more_work() {
     let edges = rasql_datagen::rmat(100, rasql_datagen::RmatConfig::default(), 2);
     let sn_ctx = ctx_with(EngineConfig::rasql().with_decomposed(false));
     sn_ctx.register("edge", edges.clone()).unwrap();
-    let sn = sn_ctx.sql(&library::reach(1)).unwrap().sorted();
+    let sn = sn_ctx.query(&library::reach(1)).unwrap().relation.sorted();
 
     let nv_ctx = ctx_with(EngineConfig::spark_sql_naive());
     nv_ctx.register("edge", edges).unwrap();
-    let nv = nv_ctx.sql(&library::reach(1)).unwrap().sorted();
+    let nv = nv_ctx.query(&library::reach(1)).unwrap().relation.sorted();
     assert_eq!(sn, nv);
 }
 
@@ -527,8 +542,7 @@ fn stage_combination_halves_stages() {
                 .with_decomposed(false),
         );
         ctx.register("edge", edges.clone()).unwrap();
-        ctx.sql(&library::sssp(1)).unwrap();
-        let stats = ctx.last_stats();
+        let stats = ctx.query(&library::sssp(1)).unwrap().stats;
         (stats.metrics.stages, stats.metrics.iterations)
     };
     let (stages_on, iters_on) = run(true);
@@ -545,13 +559,21 @@ fn decomposed_tc_runs_in_constant_stages() {
     let edges = rasql_datagen::grid(20, false, 1);
     let ctx = ctx_with(EngineConfig::rasql());
     ctx.register("edge", edges.clone()).unwrap();
-    ctx.sql(&library::transitive_closure()).unwrap();
-    let dec_stages = ctx.last_stats().metrics.stages;
+    let dec_stages = ctx
+        .query(&library::transitive_closure())
+        .unwrap()
+        .stats
+        .metrics
+        .stages;
 
     let ctx2 = ctx_with(EngineConfig::rasql().with_decomposed(false));
     ctx2.register("edge", edges).unwrap();
-    ctx2.sql(&library::transitive_closure()).unwrap();
-    let plain_stages = ctx2.last_stats().metrics.stages;
+    let plain_stages = ctx2
+        .query(&library::transitive_closure())
+        .unwrap()
+        .stats
+        .metrics
+        .stages;
     assert!(
         dec_stages * 4 < plain_stages,
         "decomposed {dec_stages} vs plain {plain_stages}"
@@ -564,15 +586,12 @@ fn broadcast_compression_reduces_bytes() {
     let run = |compress: bool| -> u64 {
         let ctx = ctx_with(EngineConfig::rasql().with_broadcast_compression(compress));
         ctx.register("edge", edges.clone()).unwrap();
-        ctx.sql(&library::transitive_closure()).unwrap();
-        ctx.last_stats().metrics.broadcast_bytes
+        let result = ctx.query(&library::transitive_closure()).unwrap();
+        result.stats.metrics.broadcast_bytes
     };
     let compressed = run(true);
     let raw = run(false);
-    assert!(
-        compressed * 4 < raw,
-        "compressed {compressed} vs raw {raw}"
-    );
+    assert!(compressed * 4 < raw, "compressed {compressed} vs raw {raw}");
 }
 
 #[test]
@@ -581,8 +600,7 @@ fn query_stats_report_iterations() {
     let edges = Relation::edges(&[(1, 2), (2, 3), (3, 4), (4, 5), (5, 6)]);
     let ctx = ctx_with(EngineConfig::rasql());
     ctx.register("edge", edges).unwrap();
-    ctx.sql(&library::reach(1)).unwrap();
-    let stats = ctx.last_stats();
+    let stats = ctx.query(&library::reach(1)).unwrap().stats;
     assert_eq!(stats.iterations.len(), 1);
     assert!(stats.iterations[0] >= 5, "{:?}", stats.iterations);
 }
@@ -601,7 +619,7 @@ fn explain_shows_fixpoint_plan() {
 fn empty_base_case_terminates_immediately() {
     let ctx = ctx_with(EngineConfig::rasql());
     ctx.register("edge", Relation::edges(&[])).unwrap();
-    let got = ctx.sql(&library::transitive_closure()).unwrap();
+    let got = ctx.query(&library::transitive_closure()).unwrap().relation;
     assert!(got.is_empty());
 }
 
@@ -609,7 +627,7 @@ fn empty_base_case_terminates_immediately() {
 fn self_loop_single_node() {
     let ctx = ctx_with(EngineConfig::rasql());
     ctx.register("edge", Relation::edges(&[(7, 7)])).unwrap();
-    let got = ctx.sql(&library::transitive_closure()).unwrap();
+    let got = ctx.query(&library::transitive_closure()).unwrap().relation;
     assert_eq!(got.len(), 1);
 }
 
@@ -620,7 +638,7 @@ fn workers_sweep_gives_same_answers() {
     for workers in [1, 2, 4] {
         let ctx = RaSqlContext::with_config(EngineConfig::rasql().with_workers(workers));
         ctx.register("edge", edges.clone()).unwrap();
-        let got = ctx.sql(&library::cc()).unwrap().sorted();
+        let got = ctx.query(&library::cc()).unwrap().relation.sorted();
         match &reference {
             None => reference = Some(got),
             Some(r) => assert_eq!(&got, r, "workers={workers}"),
@@ -637,7 +655,7 @@ fn eval_mode_naive_on_aggregates() {
         ..EngineConfig::rasql()
     });
     ctx.register("edge", edges).unwrap();
-    let got = ctx.sql(&library::sssp(1)).unwrap().sorted();
+    let got = ctx.query(&library::sssp(1)).unwrap().relation.sorted();
     let costs: Vec<(i64, f64)> = got
         .rows()
         .iter()

@@ -1,0 +1,191 @@
+//! Observability tests: fixpoint iteration traces, stage spans, EXPLAIN
+//! ANALYZE and the JSON export — the measurable side of the paper's §7
+//! optimizations (stage combination, Fig 5; decomposed plans, Fig 6).
+
+use rasql_core::{library, EngineConfig, QueryTrace, RaSqlContext};
+use rasql_storage::Relation;
+
+fn chain_edges(n: i64) -> Vec<(i64, i64)> {
+    (0..n).map(|i| (i, i + 1)).collect()
+}
+
+fn traced_ctx(config: EngineConfig) -> RaSqlContext {
+    RaSqlContext::with_config(config.with_tracing(true))
+}
+
+fn sssp_trace(config: EngineConfig) -> QueryTrace {
+    let ctx = traced_ctx(config);
+    let weighted: Vec<(i64, i64, f64)> =
+        chain_edges(12).iter().map(|&(a, b)| (a, b, 1.0)).collect();
+    ctx.register("edge", Relation::weighted_edges(&weighted))
+        .unwrap();
+    ctx.query(&library::sssp(0)).unwrap().trace.unwrap()
+}
+
+/// Fig 5: stage combination folds the map and reduce of each semi-naive
+/// round into one stage, so the combined run needs about half the stages
+/// of the ablated run over the same number of fixpoint rounds.
+#[test]
+fn stage_combination_halves_traced_stages() {
+    let base = EngineConfig::rasql().with_workers(2).with_decomposed(false);
+    let combined = sssp_trace(base.clone().with_stage_combination(true));
+    let ablated = sssp_trace(base.with_stage_combination(false));
+
+    let stages = |t: &QueryTrace| -> u64 { t.cliques[0].iterations.iter().map(|i| i.stages).sum() };
+    let (c, a) = (stages(&combined), stages(&ablated));
+    assert!(c > 0 && a > 0, "both runs must record stages ({c}, {a})");
+    assert!(
+        2 * c <= a + combined.cliques[0].iterations.len() as u64,
+        "combined {c} stages should be ~half of ablated {a}"
+    );
+    // Same convergence either way.
+    assert_eq!(
+        combined.cliques[0].fixpoint_rounds,
+        ablated.cliques[0].fixpoint_rounds
+    );
+}
+
+/// Fig 6: a decomposable query (TC partitioned by source vertex) runs the
+/// whole fixpoint inside each partition — the trace must show zero
+/// per-iteration shuffle.
+#[test]
+fn decomposed_tc_reports_zero_shuffle() {
+    let ctx = traced_ctx(EngineConfig::rasql().with_workers(2).with_decomposed(true));
+    ctx.register("edge", Relation::edges(&chain_edges(10)))
+        .unwrap();
+    let trace = ctx
+        .query(&library::transitive_closure())
+        .unwrap()
+        .trace
+        .unwrap();
+
+    let clique = &trace.cliques[0];
+    assert_eq!(clique.mode, "decomposed");
+    assert!(!clique.iterations.is_empty());
+    for iter in &clique.iterations {
+        assert_eq!(iter.shuffle_rows, 0, "round {}", iter.round);
+        assert_eq!(iter.shuffle_bytes, 0, "round {}", iter.round);
+    }
+}
+
+/// Semi-naive evaluation converges: the recorded deltas end at zero and the
+/// all-relation size never shrinks (rows are only ever added or improved).
+#[test]
+fn iteration_deltas_converge_and_totals_are_monotone() {
+    let ctx = traced_ctx(EngineConfig::rasql().with_workers(2).with_decomposed(false));
+    ctx.register("edge", Relation::edges(&chain_edges(8)))
+        .unwrap();
+    let trace = ctx.query(&library::cc()).unwrap().trace.unwrap();
+
+    let iters = &trace.cliques[0].iterations;
+    assert!(iters.len() >= 2, "chain CC needs several rounds");
+    assert_eq!(
+        iters.last().unwrap().delta_rows,
+        0,
+        "final round must be the empty-delta closing round"
+    );
+    assert!(iters[0].delta_rows > 0, "first round seeds the delta");
+    for pair in iters.windows(2) {
+        assert!(
+            pair[1].total_rows >= pair[0].total_rows,
+            "all-relation size shrank between rounds {} and {}",
+            pair[0].round,
+            pair[1].round
+        );
+    }
+}
+
+/// The trace JSON export round-trips losslessly through the hand-rolled
+/// parser.
+#[test]
+fn trace_json_round_trips() {
+    let trace = sssp_trace(EngineConfig::rasql().with_workers(2));
+    let json = trace.to_json();
+    let back = QueryTrace::from_json(&json).unwrap();
+    assert_eq!(back, trace);
+    // And the rendered forms agree too.
+    assert_eq!(back.render(), trace.render());
+}
+
+/// `EXPLAIN ANALYZE` executes the statement and annotates the plan with
+/// live row counts plus the per-iteration fixpoint table.
+#[test]
+fn explain_analyze_annotates_plan_and_iterations() {
+    let ctx = RaSqlContext::with_config(EngineConfig::rasql().with_workers(2));
+    ctx.register("edge", Relation::edges(&chain_edges(6)))
+        .unwrap();
+    let result = ctx
+        .query(&format!(
+            "EXPLAIN ANALYZE {}",
+            library::transitive_closure()
+        ))
+        .unwrap();
+
+    let text: Vec<String> = result
+        .relation
+        .rows()
+        .iter()
+        .map(|r| r[0].as_str().unwrap().to_string())
+        .collect();
+    let text = text.join("\n");
+    assert!(
+        text.contains("rows="),
+        "plan lines carry live counters:\n{text}"
+    );
+    assert!(
+        text.contains("iter"),
+        "per-iteration table present:\n{text}"
+    );
+    assert!(text.contains("Totals:"), "footer present:\n{text}");
+    // EXPLAIN ANALYZE always traces, even though the context default is off.
+    let trace = result.trace.unwrap();
+    assert!(!trace.operators.is_empty(), "operator counters recorded");
+    assert!(!trace.cliques.is_empty(), "fixpoint clique recorded");
+}
+
+/// Plain `EXPLAIN` renders the plan without executing anything.
+#[test]
+fn plain_explain_does_not_execute() {
+    let ctx = RaSqlContext::with_config(EngineConfig::rasql().with_workers(2));
+    ctx.register("edge", Relation::edges(&chain_edges(6)))
+        .unwrap();
+    let result = ctx
+        .query(&format!("EXPLAIN {}", library::transitive_closure()))
+        .unwrap();
+    assert!(result.trace.is_none(), "no execution, no trace");
+    assert!(!result.relation.is_empty(), "plan text rendered");
+    assert_eq!(result.stats.iterations, Vec::<u32>::new());
+}
+
+/// The builder wires every knob through to the running context.
+#[test]
+fn builder_configures_tracing_and_workers() {
+    let ctx = RaSqlContext::builder()
+        .workers(3)
+        .stage_combination(true)
+        .tracing(true)
+        .build();
+    ctx.register("edge", Relation::edges(&chain_edges(5)))
+        .unwrap();
+    let result = ctx.query(&library::reach(0)).unwrap();
+    assert!(result.trace.is_some(), "builder enabled tracing");
+    assert_eq!(result.relation.len(), 6, "source plus 5 reachable nodes");
+
+    // Tracing can be flipped at runtime without rebuilding the context.
+    ctx.set_tracing(false);
+    assert!(ctx.query(&library::reach(0)).unwrap().trace.is_none());
+}
+
+/// The deprecated `sql()`/`last_stats()` shims still work and agree with
+/// the `query()` path they delegate to.
+#[test]
+#[allow(deprecated)]
+fn deprecated_shims_delegate_to_query() {
+    let ctx = RaSqlContext::with_config(EngineConfig::rasql().with_workers(2));
+    ctx.register("edge", Relation::edges(&chain_edges(6)))
+        .unwrap();
+    let via_shim = ctx.query(&library::transitive_closure()).unwrap().relation;
+    let shim = ctx.sql(&library::transitive_closure()).unwrap();
+    assert_eq!(shim.sorted(), via_shim.sorted());
+    assert!(!ctx.last_stats().iterations.is_empty());
+}

@@ -80,12 +80,7 @@ pub fn tree_hierarchy(config: TreeConfig, seed: u64) -> TreeData {
         }
         if next_frontier.is_empty() && (next_id as usize) < config.target_nodes {
             // Keep growing from the last generated children.
-            next_frontier = parent_child
-                .iter()
-                .rev()
-                .take(4)
-                .map(|&(_, c)| c)
-                .collect();
+            next_frontier = parent_child.iter().rev().take(4).map(|&(_, c)| c).collect();
         }
         frontier = next_frontier;
     }

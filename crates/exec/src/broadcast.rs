@@ -9,6 +9,7 @@
 
 use crate::cluster::Cluster;
 use crate::metrics::Metrics;
+use crate::trace::{StageKind, TraceSink};
 use parking_lot::Mutex;
 use std::sync::Arc;
 
@@ -31,6 +32,17 @@ impl<T: Send + Sync + 'static> Broadcast<T> {
         payload_bytes: usize,
         build: impl Fn(usize) -> T + Send + Sync + 'static,
     ) -> Self {
+        Broadcast::distribute_traced(cluster, None, payload_bytes, build)
+    }
+
+    /// [`Broadcast::distribute`] that records the per-worker build stage as a
+    /// `broadcast build` span into `sink` (when given).
+    pub fn distribute_traced(
+        cluster: &Cluster,
+        sink: Option<&TraceSink>,
+        payload_bytes: usize,
+        build: impl Fn(usize) -> T + Send + Sync + 'static,
+    ) -> Self {
         Metrics::add(
             &cluster.metrics.broadcast_bytes,
             (payload_bytes * cluster.workers()) as u64,
@@ -39,10 +51,15 @@ impl<T: Send + Sync + 'static> Broadcast<T> {
             Arc::new(Mutex::new((0..cluster.workers()).map(|_| None).collect()));
         let built2 = Arc::clone(&built);
         let build = Arc::new(build);
-        cluster.run_on_all_workers(move |w| {
-            let v = Arc::new(build(w));
-            built2.lock()[w] = Some(v);
-        });
+        cluster.run_on_all_workers_traced(
+            sink,
+            "broadcast build",
+            StageKind::Broadcast,
+            move |w| {
+                let v = Arc::new(build(w));
+                built2.lock()[w] = Some(v);
+            },
+        );
         let copies = Arc::try_unwrap(built)
             .ok()
             .expect("stage complete")

@@ -9,11 +9,12 @@
 //! forces remote fetches.
 
 use crate::metrics::Metrics;
+use crate::trace::{StageKind, StageSpan, TraceSink};
 use crossbeam::channel::{unbounded, Sender};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// Cluster configuration.
 #[derive(Debug, Clone)]
@@ -71,10 +72,7 @@ pub struct StageTask<R> {
 
 impl<R> StageTask<R> {
     /// Build a task.
-    pub fn new(
-        preferred_worker: usize,
-        run: impl FnOnce(usize) -> R + Send + 'static,
-    ) -> Self {
+    pub fn new(preferred_worker: usize, run: impl FnOnce(usize) -> R + Send + 'static) -> Self {
         StageTask {
             preferred_worker,
             run: Box::new(run),
@@ -144,7 +142,22 @@ impl Cluster {
     /// Run one stage: execute all tasks (respecting the locality policy),
     /// barrier, and return results in task order.
     pub fn run_stage<R: Send + 'static>(&self, tasks: Vec<StageTask<R>>) -> Vec<R> {
+        self.run_stage_traced(None, "stage", StageKind::Generic, tasks)
+    }
+
+    /// [`Cluster::run_stage`] that additionally records a [`StageSpan`] into
+    /// `sink` (when given): dispatch time (scheduler latency + task enqueue),
+    /// run time (dispatch end to first task result), and barrier time (first
+    /// result to last — the straggler wait).
+    pub fn run_stage_traced<R: Send + 'static>(
+        &self,
+        sink: Option<&TraceSink>,
+        label: &str,
+        kind: StageKind,
+        tasks: Vec<StageTask<R>>,
+    ) -> Vec<R> {
         let n = tasks.len();
+        let t_start = Instant::now();
         if !self.config.stage_latency.is_zero() {
             std::thread::sleep(self.config.stage_latency);
         }
@@ -172,10 +185,26 @@ impl Cluster {
                 .expect("worker alive");
         }
         drop(done_tx);
+        let t_dispatched = Instant::now();
+        let mut t_first: Option<Instant> = None;
         let mut results: Vec<Option<R>> = (0..n).map(|_| None).collect();
         for _ in 0..n {
             let (i, r) = done_rx.recv().expect("task result");
+            t_first.get_or_insert_with(Instant::now);
             results[i] = Some(r);
+        }
+        if let Some(sink) = sink {
+            let t_end = Instant::now();
+            let first = t_first.unwrap_or(t_dispatched);
+            sink.record_stage(StageSpan {
+                label: label.to_string(),
+                kind,
+                tasks: n as u64,
+                dispatch_us: (t_dispatched - t_start).as_micros() as u64,
+                run_us: (first - t_dispatched).as_micros() as u64,
+                barrier_us: (t_end - first).as_micros() as u64,
+                total_us: (t_end - t_start).as_micros() as u64,
+            });
         }
         results.into_iter().map(Option::unwrap).collect()
     }
@@ -185,6 +214,17 @@ impl Cluster {
         &self,
         f: impl Fn(usize) -> R + Send + Sync + 'static,
     ) -> Vec<R> {
+        self.run_on_all_workers_traced(None, "all-workers", StageKind::Generic, f)
+    }
+
+    /// [`Cluster::run_on_all_workers`] with stage-span recording.
+    pub fn run_on_all_workers_traced<R: Send + 'static>(
+        &self,
+        sink: Option<&TraceSink>,
+        label: &str,
+        kind: StageKind,
+        f: impl Fn(usize) -> R + Send + Sync + 'static,
+    ) -> Vec<R> {
         let f = Arc::new(f);
         let tasks = (0..self.config.workers)
             .map(|w| {
@@ -192,7 +232,7 @@ impl Cluster {
                 StageTask::new(w, move |wid| f(wid))
             })
             .collect();
-        self.run_stage(tasks)
+        self.run_stage_traced(sink, label, kind, tasks)
     }
 }
 
@@ -257,11 +297,39 @@ mod tests {
     }
 
     #[test]
+    fn traced_stage_records_span() {
+        let c = Cluster::new(ClusterConfig::with_workers(2));
+        let sink = TraceSink::new();
+        let out = c.run_stage_traced(
+            Some(&sink),
+            "unit",
+            StageKind::Map,
+            (0..4)
+                .map(|i| StageTask::new(i, move |_w| i + 1))
+                .collect::<Vec<StageTask<usize>>>(),
+        );
+        assert_eq!(out, vec![1, 2, 3, 4]);
+        let t = sink.finish(Duration::from_millis(1), c.metrics.snapshot());
+        assert_eq!(t.stages.len(), 1);
+        let s = &t.stages[0];
+        assert_eq!(s.label, "unit");
+        assert_eq!(s.kind, StageKind::Map);
+        assert_eq!(s.tasks, 4);
+        // Dispatch includes the configured 2ms stage latency.
+        assert!(s.dispatch_us >= 1000, "dispatch {}us", s.dispatch_us);
+        assert!(s.total_us >= s.dispatch_us);
+    }
+
+    #[test]
     fn parallel_speedup_is_real() {
         // Sanity check that tasks actually run concurrently: 4 tasks of ~20ms
         // on 4 workers should take well under 4×20ms. Timing is only
         // meaningful with real parallelism, so skip on single-core hosts.
-        if std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1) < 2 {
+        if std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+            < 2
+        {
             return;
         }
         let c = Cluster::new(ClusterConfig::with_workers(4));

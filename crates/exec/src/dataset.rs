@@ -8,8 +8,10 @@
 
 use crate::cluster::{Cluster, StageTask};
 use crate::metrics::Metrics;
+use crate::trace::{StageKind, StageSpan, TraceSink};
 use rasql_storage::{partition::row_partition, Partitioning, Relation, Row, Schema};
 use std::sync::Arc;
+use std::time::Instant;
 
 /// A hash-partitioned, distributed (simulated) collection of rows.
 #[derive(Clone)]
@@ -91,12 +93,7 @@ impl Dataset {
 
     /// Access partition `p` from worker `worker`: zero-copy if local,
     /// deep-copied (and metered) if remote.
-    pub fn read_partition(
-        &self,
-        cluster: &Cluster,
-        p: usize,
-        worker: usize,
-    ) -> Arc<Vec<Row>> {
+    pub fn read_partition(&self, cluster: &Cluster, p: usize, worker: usize) -> Arc<Vec<Row>> {
         let data = Arc::clone(&self.partitions[p]);
         if cluster.owner_of(p) == worker {
             data
@@ -114,6 +111,18 @@ impl Dataset {
     pub fn map_partitions(
         &self,
         cluster: &Cluster,
+        f: impl Fn(usize, &[Row]) -> Vec<Row> + Send + Sync + 'static,
+    ) -> Dataset {
+        self.map_partitions_traced(cluster, None, "map", f)
+    }
+
+    /// [`Dataset::map_partitions`] that records a labelled stage span into
+    /// `sink` (when given).
+    pub fn map_partitions_traced(
+        &self,
+        cluster: &Cluster,
+        sink: Option<&TraceSink>,
+        label: &str,
         f: impl Fn(usize, &[Row]) -> Vec<Row> + Send + Sync + 'static,
     ) -> Dataset {
         let f = Arc::new(f);
@@ -137,7 +146,7 @@ impl Dataset {
                 })
             })
             .collect();
-        let parts = cluster.run_stage(tasks);
+        let parts = cluster.run_stage_traced(sink, label, StageKind::Map, tasks);
         Dataset::from_partitions(parts, Partitioning::Unknown { partitions: n })
     }
 
@@ -145,6 +154,19 @@ impl Dataset {
     /// map-exchange stage pair. Bytes that cross worker boundaries are charged
     /// to `shuffle_bytes`.
     pub fn shuffle(&self, cluster: &Cluster, key: &[usize], n: usize) -> Dataset {
+        self.shuffle_traced(cluster, None, "shuffle", key, n)
+    }
+
+    /// [`Dataset::shuffle`] that records the map side as a `shuffle write`
+    /// span and the exchange/gather side as a `shuffle read` span.
+    pub fn shuffle_traced(
+        &self,
+        cluster: &Cluster,
+        sink: Option<&TraceSink>,
+        label: &str,
+        key: &[usize],
+        n: usize,
+    ) -> Dataset {
         let key_owned: Vec<usize> = key.to_vec();
         let src_parts = self.num_partitions();
         // Map side: bucket each source partition's rows by target partition.
@@ -166,10 +188,16 @@ impl Dataset {
                     })
                 })
                 .collect();
-            cluster.run_stage(tasks)
+            cluster.run_stage_traced(
+                sink,
+                &format!("{label} write"),
+                StageKind::ShuffleWrite,
+                tasks,
+            )
         };
         // Exchange: gather bucket (src → dst) into dst partitions; count the
         // worker-crossing volume.
+        let t_read = Instant::now();
         let mut parts: Vec<Vec<Row>> = (0..n).map(|_| Vec::new()).collect();
         let mut moved_rows = 0u64;
         let mut moved_bytes = 0u64;
@@ -184,6 +212,20 @@ impl Dataset {
         }
         Metrics::add(&cluster.metrics.shuffle_rows, moved_rows);
         Metrics::add(&cluster.metrics.shuffle_bytes, moved_bytes);
+        if let Some(sink) = sink {
+            // The gather runs on the driver, so the whole exchange is "run"
+            // time — there is no dispatch or barrier component.
+            let us = t_read.elapsed().as_micros() as u64;
+            sink.record_stage(StageSpan {
+                label: format!("{label} read"),
+                kind: StageKind::ShuffleRead,
+                tasks: n as u64,
+                dispatch_us: 0,
+                run_us: us,
+                barrier_us: 0,
+                total_us: us,
+            });
+        }
         Dataset::from_partitions(
             parts,
             Partitioning::Hash {
@@ -196,10 +238,22 @@ impl Dataset {
     /// Repartition to `n` partitions on `key` only if the current partitioning
     /// does not already satisfy it.
     pub fn shuffle_if_needed(&self, cluster: &Cluster, key: &[usize], n: usize) -> Dataset {
+        self.shuffle_if_needed_traced(cluster, None, "shuffle", key, n)
+    }
+
+    /// [`Dataset::shuffle_if_needed`] with stage-span recording.
+    pub fn shuffle_if_needed_traced(
+        &self,
+        cluster: &Cluster,
+        sink: Option<&TraceSink>,
+        label: &str,
+        key: &[usize],
+        n: usize,
+    ) -> Dataset {
         if self.partitioning.satisfies_hash(key, n) {
             self.clone()
         } else {
-            self.shuffle(cluster, key, n)
+            self.shuffle_traced(cluster, sink, label, key, n)
         }
     }
 }

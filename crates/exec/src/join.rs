@@ -110,7 +110,7 @@ fn cmp_keys(a: &Row, b: &Row, a_cols: &[usize], b_cols: &[usize]) -> std::cmp::O
 /// Sort-merge join: sorts the probe side, merges against the pre-sorted build
 /// run, and emits `probe ++ build` rows through `emit`.
 pub fn merge_join(
-    probe: &mut Vec<Row>,
+    probe: &mut [Row],
     probe_keys: &[usize],
     build: &SortedRun,
     mut emit: impl FnMut(Row),

@@ -29,6 +29,7 @@ pub mod join;
 pub mod metrics;
 pub mod pipeline;
 pub mod state;
+pub mod trace;
 
 pub use broadcast::Broadcast;
 pub use cluster::{Cluster, ClusterConfig, StageTask};
@@ -37,3 +38,7 @@ pub use join::{merge_join, HashTable};
 pub use metrics::{Metrics, MetricsSnapshot};
 pub use pipeline::{run_fused, run_unfused, Pipeline, PipelineStep};
 pub use state::{AggState, MergeOutcome, MonotoneOp, SetState};
+pub use trace::{
+    CliqueTrace, IterationTrace, JsonValue, OperatorTrace, QueryTrace, StageKind, StageSpan,
+    TraceSink,
+};

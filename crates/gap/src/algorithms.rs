@@ -399,12 +399,7 @@ mod tests {
 
     #[test]
     fn dijkstra_diamond() {
-        let rel = Relation::weighted_edges(&[
-            (0, 1, 1.0),
-            (0, 2, 4.0),
-            (1, 2, 1.0),
-            (2, 3, 1.0),
-        ]);
+        let rel = Relation::weighted_edges(&[(0, 1, 1.0), (0, 2, 4.0), (1, 2, 1.0), (2, 3, 1.0)]);
         let csr = Csr::from_relation(&rel);
         let d = sssp_dijkstra(&csr, 0);
         assert_eq!(d[&2], 2.0);

@@ -8,8 +8,8 @@
 //! a flat queue, label-propagation CC, Dijkstra SSSP, plus semi-naive TC/SG
 //! used for Table 2's output cardinalities.
 
-pub mod csr;
 pub mod algorithms;
+pub mod csr;
 
 pub use algorithms::{
     bfs_reach, cc_label_propagation, count_paths_dag, management_counts, mlm_bonuses,

@@ -131,7 +131,9 @@ impl MyriaEngine {
                 for &(d, wgt) in &adj[v as usize] {
                     pending.fetch_add(1, Ordering::SeqCst);
                     messages.fetch_add(1, Ordering::Relaxed);
-                    senders[d as usize % w].send((d, algo.scatter(val, wgt))).unwrap();
+                    senders[d as usize % w]
+                        .send((d, algo.scatter(val, wgt)))
+                        .unwrap();
                 }
             }
         }
@@ -147,10 +149,10 @@ impl MyriaEngine {
                 // Local state for owned vertices (dense, indexed v / w).
                 let owned = (n + w - 1 - wid).div_ceil(w).max(1);
                 let mut local = vec![f64::NAN; owned];
-                for i in 0..owned {
+                for (i, slot) in local.iter_mut().enumerate() {
                     let v = (i * w + wid) as u32;
                     if (v as usize) < n {
-                        local[i] = algo.initial(v);
+                        *slot = algo.initial(v);
                     }
                 }
                 loop {

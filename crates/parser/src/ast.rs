@@ -22,6 +22,15 @@ pub enum Statement {
         /// Defining query.
         query: Query,
     },
+    /// `EXPLAIN [ANALYZE] statement` — render the compiled plan; with
+    /// `ANALYZE`, execute the statement and annotate the plan with live
+    /// counters (rows, bytes, fixpoint iterations, time).
+    Explain {
+        /// `EXPLAIN ANALYZE` (execute + annotate) vs. plain `EXPLAIN`.
+        analyze: bool,
+        /// The explained statement.
+        inner: Box<Statement>,
+    },
 }
 
 /// A query: `WITH` definitions plus a final select body.
@@ -277,9 +286,7 @@ impl Expr {
 
     /// True if the expression contains an aggregate function call.
     pub fn contains_aggregate(&self) -> bool {
-        self.any(&|e| {
-            matches!(e, Expr::Func { name, .. } if AggFunc::from_name(name).is_some())
-        })
+        self.any(&|e| matches!(e, Expr::Func { name, .. } if AggFunc::from_name(name).is_some()))
     }
 }
 
@@ -334,7 +341,12 @@ impl BinaryOp {
     pub fn is_comparison(&self) -> bool {
         matches!(
             self,
-            BinaryOp::Eq | BinaryOp::NotEq | BinaryOp::Lt | BinaryOp::LtEq | BinaryOp::Gt | BinaryOp::GtEq
+            BinaryOp::Eq
+                | BinaryOp::NotEq
+                | BinaryOp::Lt
+                | BinaryOp::LtEq
+                | BinaryOp::Gt
+                | BinaryOp::GtEq
         )
     }
 }
@@ -372,17 +384,34 @@ pub enum UnaryOp {
 impl fmt::Display for Expr {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            Expr::Column { qualifier: Some(q), name } => write!(f, "{q}.{name}"),
-            Expr::Column { qualifier: None, name } => write!(f, "{name}"),
+            Expr::Column {
+                qualifier: Some(q),
+                name,
+            } => write!(f, "{q}.{name}"),
+            Expr::Column {
+                qualifier: None,
+                name,
+            } => write!(f, "{name}"),
             Expr::Literal(Literal::Int(v)) => write!(f, "{v}"),
             Expr::Literal(Literal::Double(v)) => write!(f, "{v}"),
             Expr::Literal(Literal::Str(s)) => write!(f, "'{s}'"),
             Expr::Literal(Literal::Bool(b)) => write!(f, "{b}"),
             Expr::Literal(Literal::Null) => write!(f, "NULL"),
             Expr::Binary { left, op, right } => write!(f, "({left} {op} {right})"),
-            Expr::Unary { op: UnaryOp::Neg, expr } => write!(f, "(-{expr})"),
-            Expr::Unary { op: UnaryOp::Not, expr } => write!(f, "(NOT {expr})"),
-            Expr::Func { name, distinct, args, star } => {
+            Expr::Unary {
+                op: UnaryOp::Neg,
+                expr,
+            } => write!(f, "(-{expr})"),
+            Expr::Unary {
+                op: UnaryOp::Not,
+                expr,
+            } => write!(f, "(NOT {expr})"),
+            Expr::Func {
+                name,
+                distinct,
+                args,
+                star,
+            } => {
                 write!(f, "{name}(")?;
                 if *distinct {
                     write!(f, "distinct ")?;

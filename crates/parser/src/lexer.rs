@@ -105,7 +105,11 @@ pub struct LexError {
 
 impl fmt::Display for LexError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "lex error at {}:{}: {}", self.line, self.col, self.message)
+        write!(
+            f,
+            "lex error at {}:{}: {}",
+            self.line, self.col, self.message
+        )
     }
 }
 
@@ -469,8 +473,14 @@ mod tests {
 
     #[test]
     fn float_with_exponent() {
-        assert_eq!(kinds("1e3"), vec![TokenKind::Double(1000.0), TokenKind::Eof]);
-        assert_eq!(kinds("2.5E-1"), vec![TokenKind::Double(0.25), TokenKind::Eof]);
+        assert_eq!(
+            kinds("1e3"),
+            vec![TokenKind::Double(1000.0), TokenKind::Eof]
+        );
+        assert_eq!(
+            kinds("2.5E-1"),
+            vec![TokenKind::Double(0.25), TokenKind::Eof]
+        );
     }
 
     #[test]

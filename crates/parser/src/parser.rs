@@ -45,7 +45,10 @@ impl fmt::Display for ParseError {
                 expected,
                 line,
                 col,
-            } => write!(f, "parse error at {line}:{col}: expected {expected}, found '{found}'"),
+            } => write!(
+                f,
+                "parse error at {line}:{col}: expected {expected}, found '{found}'"
+            ),
         }
     }
 }
@@ -63,9 +66,33 @@ const KEYWORDS: &[&str] = &[
     // NB: "by" is deliberately NOT reserved — the paper's Company Control query
     // uses `By` as a column name; the parser only ever demands "by" explicitly
     // after GROUP/ORDER.
-    "select", "from", "where", "group", "having", "order", "limit", "union", "all",
-    "with", "recursive", "as", "on", "and", "or", "not", "distinct", "create", "view",
-    "is", "null", "true", "false", "asc", "desc", "join", "inner",
+    "select",
+    "from",
+    "where",
+    "group",
+    "having",
+    "order",
+    "limit",
+    "union",
+    "all",
+    "with",
+    "recursive",
+    "as",
+    "on",
+    "and",
+    "or",
+    "not",
+    "distinct",
+    "create",
+    "view",
+    "is",
+    "null",
+    "true",
+    "false",
+    "asc",
+    "desc",
+    "join",
+    "inner",
 ];
 
 fn is_keyword(s: &str) -> bool {
@@ -198,7 +225,13 @@ impl Parser {
 
     /// Parse one statement.
     pub fn parse_statement(&mut self) -> Result<Statement, ParseError> {
-        if self.peek_kw("create") {
+        if self.eat_kw("explain") {
+            // Contextual keywords: `explain`/`analyze` stay usable as
+            // identifiers everywhere else.
+            let analyze = self.eat_kw("analyze");
+            let inner = Box::new(self.parse_statement()?);
+            Ok(Statement::Explain { analyze, inner })
+        } else if self.peek_kw("create") {
             self.parse_create_view()
         } else {
             Ok(Statement::Query(self.parse_query()?))
@@ -432,9 +465,9 @@ impl Parser {
             }
         }
         let expr = self.parse_expr()?;
-        let alias = if self.eat_kw("as") {
-            Some(self.expect_ident()?)
-        } else if matches!(&self.peek().kind, TokenKind::Ident(s) if !is_keyword(s)) {
+        let aliased =
+            self.eat_kw("as") || matches!(&self.peek().kind, TokenKind::Ident(s) if !is_keyword(s));
+        let alias = if aliased {
             Some(self.expect_ident()?)
         } else {
             None
@@ -454,9 +487,9 @@ impl Parser {
             });
         }
         let name = self.expect_ident()?;
-        let alias = if self.eat_kw("as") {
-            Some(self.expect_ident()?)
-        } else if matches!(&self.peek().kind, TokenKind::Ident(s) if !is_keyword(s)) {
+        let aliased =
+            self.eat_kw("as") || matches!(&self.peek().kind, TokenKind::Ident(s) if !is_keyword(s));
+        let alias = if aliased {
             Some(self.expect_ident()?)
         } else {
             None
@@ -752,14 +785,20 @@ mod tests {
     fn count_distinct_star() {
         let s = &q("SELECT count(distinct cc.CmpId), count(*) FROM cc").body[0];
         match &s.projection[0] {
-            SelectItem::Expr { expr: Expr::Func { name, distinct, .. }, .. } => {
+            SelectItem::Expr {
+                expr: Expr::Func { name, distinct, .. },
+                ..
+            } => {
                 assert_eq!(name, "count");
                 assert!(distinct);
             }
             other => panic!("{other:?}"),
         }
         match &s.projection[1] {
-            SelectItem::Expr { expr: Expr::Func { star, .. }, .. } => assert!(star),
+            SelectItem::Expr {
+                expr: Expr::Func { star, .. },
+                ..
+            } => assert!(star),
             other => panic!("{other:?}"),
         }
     }
@@ -782,7 +821,13 @@ mod tests {
         assert_eq!(s.from.len(), 2);
         // WHERE z>1 AND a.x=b.y folded together.
         let w = s.where_clause.as_ref().unwrap();
-        assert!(matches!(w, Expr::Binary { op: BinaryOp::And, .. }));
+        assert!(matches!(
+            w,
+            Expr::Binary {
+                op: BinaryOp::And,
+                ..
+            }
+        ));
     }
 
     #[test]
@@ -793,13 +838,35 @@ mod tests {
         )
         .unwrap();
         match stmt {
-            Statement::CreateView { name, columns, query } => {
+            Statement::CreateView {
+                name,
+                columns,
+                query,
+            } => {
                 assert_eq!(name, "lstart");
                 assert_eq!(columns, vec!["T"]);
                 assert!(query.body[0].having.is_some());
             }
             other => panic!("{other:?}"),
         }
+    }
+
+    #[test]
+    fn explain_and_explain_analyze() {
+        match parse("EXPLAIN SELECT 1").unwrap() {
+            Statement::Explain { analyze, inner } => {
+                assert!(!analyze);
+                assert!(matches!(*inner, Statement::Query(_)));
+            }
+            other => panic!("{other:?}"),
+        }
+        match parse("explain analyze SELECT a FROM t").unwrap() {
+            Statement::Explain { analyze, .. } => assert!(analyze),
+            other => panic!("{other:?}"),
+        }
+        // `explain`/`analyze` are contextual: still valid as identifiers.
+        let s = &q("SELECT explain, analyze FROM plans").body[0];
+        assert_eq!(s.projection.len(), 2);
     }
 
     #[test]
@@ -828,7 +895,10 @@ mod tests {
     fn negative_literal_folding() {
         let s = &q("SELECT -5, -2.5, -(x)").body[0];
         match &s.projection[0] {
-            SelectItem::Expr { expr: Expr::Literal(Literal::Int(-5)), .. } => {}
+            SelectItem::Expr {
+                expr: Expr::Literal(Literal::Int(-5)),
+                ..
+            } => {}
             other => panic!("{other:?}"),
         }
     }

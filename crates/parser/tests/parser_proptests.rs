@@ -78,11 +78,7 @@ fn deeply_nested_parens() {
 
 #[test]
 fn deeply_nested_select_parens() {
-    let sql = format!(
-        "{}SELECT 1{}",
-        "(".repeat(40),
-        ")".repeat(40)
-    );
+    let sql = format!("{}SELECT 1{}", "(".repeat(40), ")".repeat(40));
     parse(&sql).unwrap();
 }
 
@@ -90,15 +86,13 @@ fn deeply_nested_select_parens() {
 fn quoted_identifiers_preserve_case_and_keywords() {
     let q = parse("SELECT \"WHERE\" FROM \"My Table\"").unwrap();
     match q {
-        Statement::Query(q) => {
-            match &q.body[0].projection[0] {
-                SelectItem::Expr {
-                    expr: Expr::Column { name, .. },
-                    ..
-                } => assert_eq!(name, "WHERE"),
-                other => panic!("{other:?}"),
-            }
-        }
+        Statement::Query(q) => match &q.body[0].projection[0] {
+            SelectItem::Expr {
+                expr: Expr::Column { name, .. },
+                ..
+            } => assert_eq!(name, "WHERE"),
+            other => panic!("{other:?}"),
+        },
         other => panic!("{other:?}"),
     }
 }
@@ -107,10 +101,7 @@ fn quoted_identifiers_preserve_case_and_keywords() {
 fn semicolons_and_whitespace_variants() {
     assert_eq!(parse_statements(";;;").unwrap().len(), 0);
     assert_eq!(parse_statements("SELECT 1;;SELECT 2;;;").unwrap().len(), 2);
-    assert_eq!(
-        parse_statements("\n\t  SELECT\n1\n").unwrap().len(),
-        1
-    );
+    assert_eq!(parse_statements("\n\t  SELECT\n1\n").unwrap().len(), 1);
 }
 
 #[test]

@@ -8,18 +8,20 @@
 //! implicit group-by rule of §2 derives each recursive view's grouping from its
 //! head declaration.
 
-use crate::branch::{
-    BranchProgram, BranchStep, CountMode, DeltaValueMode, JoinBuild, RecAllMode,
-};
+use crate::branch::{BranchProgram, BranchStep, CountMode, DeltaValueMode, JoinBuild, RecAllMode};
 use crate::error::PlanError;
 use crate::expr::PExpr;
 use crate::logical::{AggExpr, FixpointSpec, LogicalPlan, ViewSpec};
 use rasql_parser::ast::{
-    AggFunc, BinaryOp, CteDef, Expr, Literal, Query, Select, SelectItem, Statement,
-    TableRef, UnaryOp,
+    AggFunc, BinaryOp, CteDef, Expr, Literal, Query, Select, SelectItem, Statement, TableRef,
+    UnaryOp,
 };
 use rasql_storage::{DataType, Field, Row, Schema, Value};
 use std::collections::HashMap;
+
+/// Recursive-clique scope passed through resolution: view-name → index map
+/// plus the per-view schemas known so far.
+type CliqueScope<'a> = Option<(&'a HashMap<String, usize>, &'a [Option<Schema>])>;
 
 /// The tables and named views visible to the analyzer.
 #[derive(Default, Clone)]
@@ -67,6 +69,13 @@ pub enum AnalyzedStatement {
         name: String,
         /// The bound defining plan.
         plan: LogicalPlan,
+    },
+    /// An `EXPLAIN [ANALYZE]` wrapping an analyzed statement.
+    Explain {
+        /// `EXPLAIN ANALYZE` (execute + annotate) vs. plain `EXPLAIN`.
+        analyze: bool,
+        /// The explained statement.
+        inner: Box<AnalyzedStatement>,
     },
 }
 
@@ -119,6 +128,10 @@ pub fn analyze_statement(
                 plan,
             })
         }
+        Statement::Explain { analyze, inner } => Ok(AnalyzedStatement::Explain {
+            analyze: *analyze,
+            inner: Box::new(analyze_statement(inner, catalog)?),
+        }),
     }
 }
 
@@ -141,23 +154,14 @@ fn rename_schema(plan: LogicalPlan, schema: Schema) -> LogicalPlan {
 #[derive(Debug, Clone)]
 enum TableSource {
     /// A base table (scan).
-    BaseTable {
-        name: String,
-        schema: Schema,
-    },
+    BaseTable { name: String, schema: Schema },
     /// A named view / derived table, inlined.
     Inline(LogicalPlan),
     /// A previously-evaluated recursive view (read as materialized result).
-    CliqueView {
-        view: String,
-        schema: Schema,
-    },
+    CliqueView { view: String, schema: Schema },
     /// A member of the clique currently being analyzed (a *recursive
     /// reference*, the paper's mark point).
-    RecursiveLocal {
-        view_idx: usize,
-        schema: Schema,
-    },
+    RecursiveLocal { view_idx: usize, schema: Schema },
 }
 
 /// Internal analysis error: `Defer` signals that a clique member's schema is
@@ -235,8 +239,7 @@ impl<'a> Analyzer<'a> {
         // --- Step 2: SCCs in topological order. ---
         let sccs = tarjan_sccs(n, &deps);
         for scc in sccs {
-            let self_recursive = scc.len() > 1
-                || deps[scc[0]].contains(&scc[0]);
+            let self_recursive = scc.len() > 1 || deps[scc[0]].contains(&scc[0]);
             if self_recursive {
                 self.analyze_clique(&scc.iter().map(|&i| &query.ctes[i]).collect::<Vec<_>>())?;
             } else {
@@ -245,8 +248,7 @@ impl<'a> Analyzer<'a> {
                     .analyze_union(&cte.branches, None)
                     .map_err(|e| to_plan_err(e, &cte.name))?;
                 let plan = self.apply_cte_head(cte, plan)?;
-                self.local_views
-                    .insert(cte.name.to_ascii_lowercase(), plan);
+                self.local_views.insert(cte.name.to_ascii_lowercase(), plan);
             }
         }
 
@@ -365,11 +367,8 @@ impl<'a> Analyzer<'a> {
         // Int base case unioned with a Double recursive case).
         let mut schemas: Vec<Schema> = schemas.into_iter().map(Option::unwrap).collect();
         for (vi, cte) in ctes.iter().enumerate() {
-            let mut types: Vec<DataType> = schemas[vi]
-                .fields()
-                .iter()
-                .map(|f| f.data_type)
-                .collect();
+            let mut types: Vec<DataType> =
+                schemas[vi].fields().iter().map(|f| f.data_type).collect();
             let opt_schemas: Vec<Option<Schema>> = schemas.iter().cloned().map(Some).collect();
             for branch in &cte.branches {
                 if let Ok(bt) = self.branch_output_types(branch, &member_idx, &opt_schemas) {
@@ -524,11 +523,7 @@ impl<'a> Analyzer<'a> {
     // Scopes and FROM resolution
     // ----------------------------------------------------------------
 
-    fn resolve_table(
-        &self,
-        name: &str,
-        clique: Option<(&HashMap<String, usize>, &[Option<Schema>])>,
-    ) -> ARes<TableSource> {
+    fn resolve_table(&self, name: &str, clique: CliqueScope<'_>) -> ARes<TableSource> {
         let key = name.to_ascii_lowercase();
         if let Some((members, schemas)) = clique {
             if let Some(&vi) = members.get(&key) {
@@ -555,11 +550,7 @@ impl<'a> Analyzer<'a> {
             .ok_or_else(|| AErr::Plan(PlanError::UnknownTable(name.to_string())))
     }
 
-    fn build_scope(
-        &self,
-        select: &Select,
-        clique: Option<(&HashMap<String, usize>, &[Option<Schema>])>,
-    ) -> ARes<Scope> {
+    fn build_scope(&self, select: &Select, clique: CliqueScope<'_>) -> ARes<Scope> {
         let mut bindings = Vec::new();
         for item in &select.from {
             let (name, source) = match item {
@@ -612,11 +603,7 @@ impl<'a> Analyzer<'a> {
     // Plain SELECT analysis (base branches, views, final select)
     // ----------------------------------------------------------------
 
-    fn analyze_union(
-        &self,
-        selects: &[Select],
-        clique: Option<(&HashMap<String, usize>, &[Option<Schema>])>,
-    ) -> ARes<LogicalPlan> {
+    fn analyze_union(&self, selects: &[Select], clique: CliqueScope<'_>) -> ARes<LogicalPlan> {
         let mut plans: Vec<LogicalPlan> = Vec::with_capacity(selects.len());
         for s in selects {
             plans.push(self.analyze_select(s, clique)?);
@@ -648,11 +635,7 @@ impl<'a> Analyzer<'a> {
         })
     }
 
-    fn analyze_select(
-        &self,
-        select: &Select,
-        clique: Option<(&HashMap<String, usize>, &[Option<Schema>])>,
-    ) -> ARes<LogicalPlan> {
+    fn analyze_select(&self, select: &Select, clique: CliqueScope<'_>) -> ARes<LogicalPlan> {
         let scope = self.build_scope(select, clique)?;
 
         // Reject recursive references outside recursive-branch analysis.
@@ -1103,9 +1086,7 @@ impl<'a> Analyzer<'a> {
                 }
                 let mut keys = Vec::new();
                 for c in &pending {
-                    if let Some((stream_e, build_col)) =
-                        equi_edge(c, scope, &joined, cand)?
-                    {
+                    if let Some((stream_e, build_col)) = equi_edge(c, scope, &joined, cand)? {
                         let bound = bind_local(&stream_e, &offsets)?;
                         keys.push((bound, build_col));
                     }
@@ -1155,10 +1136,12 @@ impl<'a> Analyzer<'a> {
                         value_mode: DeltaValueMode::Total,
                     }
                 }
-                TableSource::BaseTable { name, schema } => JoinBuild::Base(LogicalPlan::TableScan {
-                    table: name.clone(),
-                    schema: schema.clone(),
-                }),
+                TableSource::BaseTable { name, schema } => {
+                    JoinBuild::Base(LogicalPlan::TableScan {
+                        table: name.clone(),
+                        schema: schema.clone(),
+                    })
+                }
                 TableSource::Inline(p) => JoinBuild::Base(p.clone()),
                 TableSource::CliqueView { view, schema } => {
                     JoinBuild::Base(LogicalPlan::ViewScan {
@@ -1264,13 +1247,10 @@ impl<'a> Analyzer<'a> {
                                 && offsets[p].is_some_and(|o| o != 0)
                         })
                         .unwrap_or(driver_pos);
-                    let uses_increment = target_aggs
-                        .iter()
-                        .enumerate()
-                        .any(|(i, (_, f))| {
-                            matches!(f, AggFunc::Sum | AggFunc::Count)
-                                && reads_rec_agg(&agg_exprs[i], p)
-                        });
+                    let uses_increment = target_aggs.iter().enumerate().any(|(i, (_, f))| {
+                        matches!(f, AggFunc::Sum | AggFunc::Count)
+                            && reads_rec_agg(&agg_exprs[i], p)
+                    });
                     let value_mode = if uses_increment {
                         DeltaValueMode::Increment
                     } else {
@@ -1307,7 +1287,6 @@ impl<'a> Analyzer<'a> {
             combined_arity: cur_arity,
         })
     }
-
 }
 
 // --------------------------------------------------------------------
@@ -1396,10 +1375,7 @@ impl Scope {
                         ))));
                     }
                     let bound: ARes<Vec<PExpr>> = args.iter().map(|a| self.bind(a)).collect();
-                    return Ok(PExpr::Func {
-                        func,
-                        args: bound?,
-                    });
+                    return Ok(PExpr::Func { func, args: bound? });
                 }
                 Err(AErr::Plan(PlanError::Unsupported(format!(
                     "function '{name}' in this position"
@@ -1454,10 +1430,7 @@ fn bind_expr_with_offsets(e: &Expr, scope: &Scope, offsets: &[Option<usize>]) ->
                     .iter()
                     .map(|a| bind_expr_with_offsets(a, scope, offsets))
                     .collect();
-                return Ok(PExpr::Func {
-                    func,
-                    args: bound?,
-                });
+                return Ok(PExpr::Func { func, args: bound? });
             }
             Err(AErr::Plan(PlanError::Unsupported(format!(
                 "function '{name}' in a recursive branch"
@@ -1618,10 +1591,7 @@ fn rewrite_agg_expr(
                     .iter()
                     .map(|a| rewrite_agg_expr(a, scope, group_bound, agg_calls))
                     .collect();
-                return Ok(PExpr::Func {
-                    func,
-                    args: bound?,
-                });
+                return Ok(PExpr::Func { func, args: bound? });
             }
         }
         if let Some(func) = AggFunc::from_name(name) {

@@ -172,9 +172,7 @@ impl PExpr {
                 _ => Value::Null,
             },
             PExpr::Not(e) => Value::Bool(!e.eval(row).is_truthy()),
-            PExpr::IsNull { expr, negated } => {
-                Value::Bool(expr.eval(row).is_null() != *negated)
-            }
+            PExpr::IsNull { expr, negated } => Value::Bool(expr.eval(row).is_null() != *negated),
             PExpr::Func { func, args } => {
                 let vals: Vec<Value> = args.iter().map(|a| a.eval(row)).collect();
                 func.eval(&vals)

@@ -154,59 +154,37 @@ impl LogicalPlan {
         }
     }
 
-    /// Indented plan rendering (the Fig 2 artifact).
-    pub fn display_indent(&self) -> String {
-        let mut s = String::new();
-        self.fmt_indent(&mut s, 0);
-        s
-    }
-
-    fn fmt_indent(&self, out: &mut String, depth: usize) {
-        let pad = "  ".repeat(depth);
+    /// One-line label of this node (no children, no indentation) — the same
+    /// text [`LogicalPlan::display_indent`] prints for the node. Execution
+    /// traces key operator counters by (pre-order path, label).
+    pub fn node_label(&self) -> String {
         match self {
-            LogicalPlan::TableScan { table, schema } => {
-                out.push_str(&format!("{pad}TableScan {table} {schema}\n"));
-            }
-            LogicalPlan::ViewScan { view, schema } => {
-                out.push_str(&format!("{pad}ViewScan {view} {schema}\n"));
-            }
-            LogicalPlan::Values { rows, .. } => {
-                out.push_str(&format!("{pad}Values ({} rows)\n", rows.len()));
-            }
-            LogicalPlan::Projection { input, exprs, .. } => {
+            LogicalPlan::TableScan { table, schema } => format!("TableScan {table} {schema}"),
+            LogicalPlan::ViewScan { view, schema } => format!("ViewScan {view} {schema}"),
+            LogicalPlan::Values { rows, .. } => format!("Values ({} rows)", rows.len()),
+            LogicalPlan::Projection { exprs, .. } => {
                 let es: Vec<String> = exprs.iter().map(|e| e.to_string()).collect();
-                out.push_str(&format!("{pad}Project [{}]\n", es.join(", ")));
-                input.fmt_indent(out, depth + 1);
+                format!("Project [{}]", es.join(", "))
             }
-            LogicalPlan::Filter { input, predicate } => {
-                out.push_str(&format!("{pad}Filter {predicate}\n"));
-                input.fmt_indent(out, depth + 1);
-            }
+            LogicalPlan::Filter { predicate, .. } => format!("Filter {predicate}"),
             LogicalPlan::Join {
-                left,
-                right,
                 left_keys,
                 right_keys,
                 residual,
                 ..
             } => {
-                if left_keys.is_empty() {
-                    out.push_str(&format!("{pad}CrossJoin"));
+                let mut s = if left_keys.is_empty() {
+                    "CrossJoin".to_string()
                 } else {
-                    out.push_str(&format!("{pad}HashJoin on {left_keys:?}={right_keys:?}"));
-                }
+                    format!("HashJoin on {left_keys:?}={right_keys:?}")
+                };
                 if let Some(r) = residual {
-                    out.push_str(&format!(" residual {r}"));
+                    s.push_str(&format!(" residual {r}"));
                 }
-                out.push('\n');
-                left.fmt_indent(out, depth + 1);
-                right.fmt_indent(out, depth + 1);
+                s
             }
             LogicalPlan::Aggregate {
-                input,
-                group_cols,
-                aggs,
-                ..
+                group_cols, aggs, ..
             } => {
                 let asp: Vec<String> = aggs
                     .iter()
@@ -219,30 +197,71 @@ impl LogicalPlan {
                         )
                     })
                     .collect();
-                out.push_str(&format!(
-                    "{pad}HashAggregate groups=#0..#{group_cols} [{}]\n",
+                format!(
+                    "HashAggregate groups=#0..#{group_cols} [{}]",
                     asp.join(", ")
-                ));
-                input.fmt_indent(out, depth + 1);
+                )
             }
-            LogicalPlan::Union { inputs, .. } => {
-                out.push_str(&format!("{pad}Union\n"));
-                for i in inputs {
-                    i.fmt_indent(out, depth + 1);
-                }
-            }
-            LogicalPlan::Distinct { input } => {
-                out.push_str(&format!("{pad}Distinct\n"));
-                input.fmt_indent(out, depth + 1);
-            }
-            LogicalPlan::Sort { input, keys } => {
-                out.push_str(&format!("{pad}Sort {keys:?}\n"));
-                input.fmt_indent(out, depth + 1);
-            }
-            LogicalPlan::Limit { input, n } => {
-                out.push_str(&format!("{pad}Limit {n}\n"));
-                input.fmt_indent(out, depth + 1);
-            }
+            LogicalPlan::Union { .. } => "Union".to_string(),
+            LogicalPlan::Distinct { .. } => "Distinct".to_string(),
+            LogicalPlan::Sort { keys, .. } => format!("Sort {keys:?}"),
+            LogicalPlan::Limit { n, .. } => format!("Limit {n}"),
+        }
+    }
+
+    /// Child nodes in evaluation order (the order pre-order paths use).
+    pub fn children(&self) -> Vec<&LogicalPlan> {
+        match self {
+            LogicalPlan::TableScan { .. }
+            | LogicalPlan::ViewScan { .. }
+            | LogicalPlan::Values { .. } => Vec::new(),
+            LogicalPlan::Projection { input, .. }
+            | LogicalPlan::Filter { input, .. }
+            | LogicalPlan::Aggregate { input, .. }
+            | LogicalPlan::Distinct { input }
+            | LogicalPlan::Sort { input, .. }
+            | LogicalPlan::Limit { input, .. } => vec![input],
+            LogicalPlan::Join { left, right, .. } => vec![left, right],
+            LogicalPlan::Union { inputs, .. } => inputs.iter().collect(),
+        }
+    }
+
+    /// Indented plan rendering (the Fig 2 artifact).
+    pub fn display_indent(&self) -> String {
+        let mut s = String::new();
+        self.fmt_indent(&mut s, 0);
+        s
+    }
+
+    /// Indented rendering with a per-node annotation: `annotate` receives each
+    /// node's pre-order path (root `"0"`, children `"0.0"`, `"0.1"`, …) and
+    /// returns text appended to that node's line. Paths match the ones
+    /// execution traces record, so `EXPLAIN ANALYZE` can join the two.
+    pub fn display_annotated(&self, annotate: &mut dyn FnMut(&str) -> String) -> String {
+        let mut s = String::new();
+        self.fmt_annotated(&mut s, 0, "0", annotate);
+        s
+    }
+
+    fn fmt_annotated(
+        &self,
+        out: &mut String,
+        depth: usize,
+        path: &str,
+        annotate: &mut dyn FnMut(&str) -> String,
+    ) {
+        let pad = "  ".repeat(depth);
+        out.push_str(&format!("{pad}{}{}\n", self.node_label(), annotate(path)));
+        for (i, child) in self.children().into_iter().enumerate() {
+            child.fmt_annotated(out, depth + 1, &format!("{path}.{i}"), annotate);
+        }
+    }
+
+    fn fmt_indent(&self, out: &mut String, depth: usize) {
+        let pad = "  ".repeat(depth);
+        out.push_str(&format!("{pad}{}\n", self.node_label()));
+        for child in self.children() {
+            child.fmt_indent(out, depth + 1);
         }
     }
 }

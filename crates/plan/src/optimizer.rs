@@ -11,9 +11,9 @@
 //!    equi-join (crucial: the Same-Generation base case is a self-join that
 //!    would otherwise be a quadratic cross product).
 
+use crate::branch::{BranchStep, JoinBuild};
 use crate::expr::PExpr;
 use crate::logical::{FixpointSpec, LogicalPlan};
-use crate::branch::{BranchStep, JoinBuild};
 use rasql_parser::ast::BinaryOp;
 use rasql_storage::Value;
 
@@ -184,10 +184,7 @@ fn push_conjuncts(plan: LogicalPlan, conjuncts: Vec<PExpr>) -> LogicalPlan {
             exprs,
             schema,
         } => {
-            let substituted: Vec<PExpr> = conjuncts
-                .iter()
-                .map(|c| substitute(c, &exprs))
-                .collect();
+            let substituted: Vec<PExpr> = conjuncts.iter().map(|c| substitute(c, &exprs)).collect();
             let inner = push_conjuncts(*input, substituted);
             LogicalPlan::Projection {
                 input: Box::new(inner),
@@ -311,7 +308,11 @@ mod tests {
     fn scan(name: &str, cols: &[&str]) -> LogicalPlan {
         LogicalPlan::TableScan {
             table: name.into(),
-            schema: Schema::new(cols.iter().map(|c| (c.to_string(), DataType::Int)).collect()),
+            schema: Schema::new(
+                cols.iter()
+                    .map(|c| (c.to_string(), DataType::Int))
+                    .collect(),
+            ),
         }
     }
 

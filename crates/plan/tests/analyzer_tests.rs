@@ -44,10 +44,7 @@ fn catalog() -> ViewCatalog {
         "sponsor",
         Schema::new(vec![("m1", DataType::Int), ("m2", DataType::Int)]),
     );
-    c.add_table(
-        "organizer",
-        Schema::new(vec![("orgname", DataType::Str)]),
-    );
+    c.add_table("organizer", Schema::new(vec![("orgname", DataType::Str)]));
     c.add_table(
         "friend",
         Schema::new(vec![("pname", DataType::Str), ("fname", DataType::Str)]),
@@ -239,7 +236,10 @@ fn company_control_modes() {
         .iter()
         .find_map(|s| match s {
             BranchStep::HashJoin {
-                build: JoinBuild::RecursiveAll { mode, value_mode, .. },
+                build:
+                    JoinBuild::RecursiveAll {
+                        mode, value_mode, ..
+                    },
                 ..
             } => Some((*mode, *value_mode)),
             _ => None,

@@ -92,7 +92,11 @@ fn expression_join_key_on_stream_side() {
     );
     let p = &q.cliques[0].views[0].recursive[0];
     match &p.steps[0] {
-        BranchStep::HashJoin { stream_keys, build_keys, .. } => {
+        BranchStep::HashJoin {
+            stream_keys,
+            build_keys,
+            ..
+        } => {
             assert_eq!(build_keys, &vec![0]);
             assert!(
                 matches!(stream_keys[0], PExpr::Binary { .. }),
@@ -264,7 +268,11 @@ fn table_alias_shadows_in_self_join() {
     let plan = optimize(q.final_plan);
     match &plan {
         LogicalPlan::Projection { input, .. } => match input.as_ref() {
-            LogicalPlan::Join { left_keys, right_keys, .. } => {
+            LogicalPlan::Join {
+                left_keys,
+                right_keys,
+                ..
+            } => {
                 assert_eq!(left_keys, &vec![1]);
                 assert_eq!(right_keys, &vec![0]);
             }

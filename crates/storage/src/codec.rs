@@ -76,7 +76,9 @@ impl CompressedRelation {
     /// Compress rows of `schema`.
     pub fn compress(schema: &Schema, rows: &[Row]) -> Self {
         let all_int = schema.fields().iter().all(|f| f.data_type == DataType::Int)
-            && rows.iter().all(|r| r.values().iter().all(|v| matches!(v, Value::Int(_))));
+            && rows
+                .iter()
+                .all(|r| r.values().iter().all(|v| matches!(v, Value::Int(_))));
         let mut buf = BytesMut::new();
         if all_int && schema.arity() > 0 {
             // Sort rows, then delta-encode column 0 across rows and store the
@@ -254,7 +256,11 @@ mod tests {
         let rows: Vec<Row> = (0..1000).map(|i| int_row(&[i / 10, i % 10])).collect();
         let raw_size: usize = rows.iter().map(Row::size_bytes).sum();
         let c = CompressedRelation::compress(&schema, &rows);
-        assert!(c.size_bytes() * 4 < raw_size, "compressed {} vs raw {raw_size}", c.size_bytes());
+        assert!(
+            c.size_bytes() * 4 < raw_size,
+            "compressed {} vs raw {raw_size}",
+            c.size_bytes()
+        );
         let mut back = c.decompress().unwrap();
         back.sort_unstable();
         let mut orig = rows;

@@ -28,7 +28,10 @@ impl fmt::Display for StorageError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             StorageError::ArityMismatch { expected, actual } => {
-                write!(f, "row arity {actual} does not match schema arity {expected}")
+                write!(
+                    f,
+                    "row arity {actual} does not match schema arity {expected}"
+                )
             }
             StorageError::UnknownTable(t) => write!(f, "unknown table '{t}'"),
             StorageError::DuplicateTable(t) => write!(f, "table '{t}' already exists"),

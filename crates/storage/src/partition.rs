@@ -110,12 +110,19 @@ mod tests {
         let buckets = partition_rows(rows, &[0], 4);
         assert_eq!(buckets.iter().map(Vec::len).sum::<usize>(), 100);
         // No pathological skew on sequential keys.
-        assert!(buckets.iter().all(|b| b.len() > 5), "{:?}", buckets.iter().map(Vec::len).collect::<Vec<_>>());
+        assert!(
+            buckets.iter().all(|b| b.len() > 5),
+            "{:?}",
+            buckets.iter().map(Vec::len).collect::<Vec<_>>()
+        );
     }
 
     #[test]
     fn satisfies_hash() {
-        let p = Partitioning::Hash { key: vec![0], partitions: 4 };
+        let p = Partitioning::Hash {
+            key: vec![0],
+            partitions: 4,
+        };
         assert!(p.satisfies_hash(&[0], 4));
         assert!(!p.satisfies_hash(&[1], 4));
         assert!(!p.satisfies_hash(&[0], 8));

@@ -21,7 +21,10 @@ pub struct Relation {
 impl Relation {
     /// An empty relation with the given schema.
     pub fn empty(schema: Schema) -> Self {
-        Relation { schema, rows: vec![] }
+        Relation {
+            schema,
+            rows: vec![],
+        }
     }
 
     /// Build from schema and rows, validating arity.
@@ -143,16 +146,17 @@ impl Relation {
             }
             let mut values = Vec::with_capacity(parts.len());
             for (part, field) in parts.iter().zip(schema.fields()) {
-                let v = match field.data_type {
-                    DataType::Int => Value::Int(part.parse::<i64>().map_err(|e| {
-                        StorageError::Parse(format!("line {}: {e}", lineno + 1))
-                    })?),
-                    DataType::Double => Value::Double(part.parse::<f64>().map_err(|e| {
-                        StorageError::Parse(format!("line {}: {e}", lineno + 1))
-                    })?),
-                    DataType::Bool => Value::Bool(part.eq_ignore_ascii_case("true")),
-                    DataType::Str | DataType::Any => Value::from(*part),
-                };
+                let v =
+                    match field.data_type {
+                        DataType::Int => Value::Int(part.parse::<i64>().map_err(|e| {
+                            StorageError::Parse(format!("line {}: {e}", lineno + 1))
+                        })?),
+                        DataType::Double => Value::Double(part.parse::<f64>().map_err(|e| {
+                            StorageError::Parse(format!("line {}: {e}", lineno + 1))
+                        })?),
+                        DataType::Bool => Value::Bool(part.eq_ignore_ascii_case("true")),
+                        DataType::Str | DataType::Any => Value::from(*part),
+                    };
                 values.push(v);
             }
             rows.push(Row::new(values));

@@ -23,7 +23,9 @@ impl Row {
 
     /// The empty row (used for scalar subquery results).
     pub fn unit() -> Self {
-        Row { values: Box::new([]) }
+        Row {
+            values: Box::new([]),
+        }
     }
 
     /// Number of columns.

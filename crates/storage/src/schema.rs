@@ -59,10 +59,7 @@ impl Schema {
     /// Build a schema from `(name, type)` pairs.
     pub fn new<N: Into<String>>(fields: Vec<(N, DataType)>) -> Self {
         Schema {
-            fields: fields
-                .into_iter()
-                .map(|(n, t)| Field::new(n, t))
-                .collect(),
+            fields: fields.into_iter().map(|(n, t)| Field::new(n, t)).collect(),
         }
     }
 

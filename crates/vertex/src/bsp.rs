@@ -11,6 +11,10 @@ use rasql_exec::{Cluster, Metrics, StageTask};
 use rasql_storage::FxHashMap;
 use std::sync::Arc;
 
+/// One worker's superstep output: vertex updates plus per-destination-worker
+/// outboxes.
+type SuperstepResult = (Vec<(u32, f64)>, Vec<Vec<(u32, f64)>>);
+
 /// The BSP engine.
 pub struct BspEngine<'a> {
     cluster: &'a Cluster,
@@ -38,10 +42,10 @@ impl<'a> BspEngine<'a> {
         let mut values: Vec<f64> = (0..n as u32).map(|v| program.initial(v)).collect();
         // Initial messages: every initialized (non-INF) vertex scatters.
         let mut inbox: Vec<Vec<(u32, f64)>> = vec![Vec::new(); workers];
-        for v in 0..n {
-            if values[v].is_finite() {
+        for (v, &val) in values.iter().enumerate() {
+            if val.is_finite() {
                 for &(d, w) in &graph.adj[v] {
-                    inbox[d as usize % workers].push((d, program.scatter(values[v], w)));
+                    inbox[d as usize % workers].push((d, program.scatter(val, w)));
                 }
             }
         }
@@ -52,7 +56,7 @@ impl<'a> BspEngine<'a> {
             Metrics::add(&self.cluster.metrics.iterations, 1);
             let values_arc = Arc::new(values);
             let inbox_arc = Arc::new(inbox);
-            let tasks: Vec<StageTask<(Vec<(u32, f64)>, Vec<Vec<(u32, f64)>>)>> = (0..workers)
+            let tasks: Vec<StageTask<SuperstepResult>> = (0..workers)
                 .map(|p| {
                     let graph = Arc::clone(&graph);
                     let program = Arc::clone(&program);
@@ -86,15 +90,15 @@ impl<'a> BspEngine<'a> {
                         }
                         (
                             updates,
-                            out.into_iter()
-                                .map(|m| m.into_iter().collect())
-                                .collect(),
+                            out.into_iter().map(|m| m.into_iter().collect()).collect(),
                         )
                     })
                 })
                 .collect();
             let results = self.cluster.run_stage(tasks);
-            values = Arc::try_unwrap(values_arc).ok().expect("stage done");
+            values = Arc::try_unwrap(values_arc)
+                .map_err(|_| ())
+                .expect("stage done");
             inbox = vec![Vec::new(); workers];
             let mut moved = 0u64;
             for (src, (updates, outs)) in results.into_iter().enumerate() {

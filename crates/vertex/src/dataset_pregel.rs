@@ -18,6 +18,10 @@ use rasql_exec::{Cluster, Metrics, StageTask};
 use rasql_storage::FxHashMap;
 use std::sync::Arc;
 
+/// One partition's apply-stage output: updated vertices plus the activated
+/// (re-scattering) set.
+type ApplyResult = (Vec<(u32, f64)>, Vec<(u32, f64)>);
+
 /// The dataset-backed Pregel engine.
 pub struct DatasetPregelEngine<'a> {
     cluster: &'a Cluster,
@@ -100,15 +104,14 @@ impl<'a> DatasetPregelEngine<'a> {
             let reduced = Arc::new(reduced);
             let verts = Arc::new(vertex_parts);
             let program2 = Arc::clone(&program);
-            let applied: Vec<(Vec<(u32, f64)>, Vec<(u32, f64)>)> = self.cluster.run_stage(
+            let applied: Vec<ApplyResult> = self.cluster.run_stage(
                 (0..parts)
                     .map(|p| {
                         let reduced = Arc::clone(&reduced);
                         let verts = Arc::clone(&verts);
                         let program = Arc::clone(&program2);
                         StageTask::new(p, move |_w| {
-                            let inbox: FxHashMap<u32, f64> =
-                                reduced[p].iter().copied().collect();
+                            let inbox: FxHashMap<u32, f64> = reduced[p].iter().copied().collect();
                             let mut new_part = Vec::with_capacity(verts[p].len());
                             let mut activated = Vec::new();
                             for &(v, val) in &verts[p] {
@@ -145,10 +148,8 @@ impl<'a> DatasetPregelEngine<'a> {
                         let edges = Arc::clone(&edge_parts3);
                         let program = Arc::clone(&program3);
                         StageTask::new(p, move |_w| {
-                            let vals: FxHashMap<u32, f64> =
-                                activated[p].iter().copied().collect();
-                            let mut out: Vec<Vec<(u32, f64)>> =
-                                vec![Vec::new(); activated.len()];
+                            let vals: FxHashMap<u32, f64> = activated[p].iter().copied().collect();
+                            let mut out: Vec<Vec<(u32, f64)>> = vec![Vec::new(); activated.len()];
                             for &(s, d, w) in &edges[p] {
                                 if let Some(&val) = vals.get(&s) {
                                     out[d as usize % activated.len()]

@@ -5,7 +5,7 @@
 use proptest::prelude::*;
 use rasql_exec::{Cluster, ClusterConfig};
 use rasql_storage::Relation;
-use rasql_vertex::{BspEngine, Cc, DatasetPregelEngine, Reach, Sssp, VertexGraph};
+use rasql_vertex::{BspEngine, Cc, DatasetPregelEngine, Reach, VertexGraph};
 use std::time::Duration;
 
 fn quiet_cluster() -> Cluster {

@@ -34,28 +34,33 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // Q2 — the endo-max query: the aggregate runs inside the fixpoint, so
     // only the best value per part survives each iteration.
     let t = Instant::now();
-    let q2 = ctx.sql(&library::bom_delivery())?;
+    let q2_result = ctx.query(&library::bom_delivery())?;
     let t_q2 = t.elapsed();
+    let q2 = q2_result.relation;
     println!(
         "Q2 (max in recursion):   {} parts resolved in {t_q2:?} \
          ({:?} iterations)",
         q2.len(),
-        ctx.last_stats().iterations,
+        q2_result.stats.iterations,
     );
 
     // Q1 — the stratified version: recursion enumerates every (part, days)
     // derivation, the aggregate runs afterwards. Same answer, more work.
     let t = Instant::now();
-    let q1 = ctx.sql(&library::bom_delivery_stratified())?;
+    let q1 = ctx.query(&library::bom_delivery_stratified())?.relation;
     let t_q1 = t.elapsed();
-    println!("Q1 (stratified max):     {} parts resolved in {t_q1:?}", q1.len());
+    println!(
+        "Q1 (stratified max):     {} parts resolved in {t_q1:?}",
+        q1.len()
+    );
     println!(
         "endo-aggregate speedup:  {:.1}x",
         t_q1.as_secs_f64() / t_q2.as_secs_f64()
     );
 
-    // The two must agree (PreM — §3 of the paper).
-    assert_eq!(q1.clone().sorted(), q2.clone().sorted());
+    // The two must agree on rows (PreM — §3 of the paper); the output column
+    // names differ (declared head vs. aggregate call), so compare row sets.
+    assert_eq!(q1.clone().sorted().rows(), q2.clone().sorted().rows());
     println!("Q1 ≡ Q2 verified ✓ (PreM holds)");
 
     // Count of basic items per assembly: the count() variant from §3.
@@ -64,7 +69,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                        (SELECT assbl.Part, items.N FROM assbl, items \
                         WHERE assbl.SPart = items.Part) \
                      SELECT Part, N FROM items ORDER BY N DESC LIMIT 5";
-    let top = ctx.sql(count_sql)?;
+    let top = ctx.query(count_sql)?.relation;
     println!("\ntop assemblies by number of basic parts:\n{top}");
     Ok(())
 }

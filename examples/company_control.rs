@@ -1,6 +1,6 @@
-//! Company Control (Example 8, Mumick-Pirahesh-Ramakrishnan): mutual +
-//! non-linear recursion with `sum()` in recursion — the hardest query shape
-//! the paper demonstrates. Builds a synthetic ownership network and finds all
+//! Company Control (Example 8, Mumick-Pirahesh-Ramakrishnan): mutual
+//! recursion with `sum()` in recursion — one of the hardest query shapes the
+//! paper demonstrates. Builds a synthetic ownership network and finds all
 //! control relationships.
 //!
 //! ```text
@@ -49,20 +49,22 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     ctx.register("shares", shares)?;
 
     let t = Instant::now();
-    let cshares = ctx.sql(&library::company_control())?.sorted();
+    let cshares = ctx.query(&library::company_control())?.relation.sorted();
     println!("controlled share totals ({:?}):", t.elapsed());
     println!("{cshares}");
 
     // Who controls whom (>50%)?
-    let control = ctx.sql(
-        "WITH recursive cshares(ByCom, OfCom, sum() AS Tot) AS \
+    let control = ctx
+        .query(
+            "WITH recursive cshares(ByCom, OfCom, sum() AS Tot) AS \
            (SELECT By, Of, Percent FROM shares) UNION \
-           (SELECT control.Com1, cshares.OfCom, cshares.Tot FROM control, cshares \
-            WHERE control.Com2 = cshares.ByCom), \
+           (SELECT control.Com1, shares.Of, shares.Percent FROM control, shares \
+            WHERE control.Com2 = shares.By), \
          recursive control(Com1, Com2) AS \
            (SELECT ByCom, OfCom FROM cshares WHERE Tot > 50) \
          SELECT Com1, Com2 FROM control ORDER BY Com1, Com2",
-    )?;
+        )?
+        .relation;
     println!("control relationships:\n{control}");
 
     // apex controls h1, h2 directly; m1, m2 through them; op1 through m1+m2.
@@ -84,7 +86,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             "missing control pair {expected:?}"
         );
     }
-    assert!(!pairs.iter().any(|(_, of)| of == "indy"), "indy is independent");
+    assert!(
+        !pairs.iter().any(|(_, of)| of == "indy"),
+        "indy is independent"
+    );
     println!("control closure verified ✓");
     Ok(())
 }

@@ -32,11 +32,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     ctx.register("edge", edges.clone())?;
 
     let t = Instant::now();
-    let reach = ctx.sql(&library::reach(1))?;
+    let reach = ctx.query(&library::reach(1))?.relation;
     println!("RaSQL REACH: {} vertices in {:?}", reach.len(), t.elapsed());
 
     let t = Instant::now();
-    let cc = ctx.sql(&library::cc_count())?;
+    let cc = ctx.query(&library::cc_count())?.relation;
     println!(
         "RaSQL CC:    {} components in {:?}",
         cc.rows()[0][0],
@@ -44,12 +44,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
 
     let t = Instant::now();
-    let sssp = ctx.sql(&library::sssp(1))?;
+    let sssp_result = ctx.query(&library::sssp(1))?;
+    let sssp = sssp_result.relation;
     println!("RaSQL SSSP:  {} reached in {:?}", sssp.len(), t.elapsed());
     println!(
         "             iterations {:?}, {}",
-        ctx.last_stats().iterations,
-        ctx.last_stats().metrics
+        sssp_result.stats.iterations, sssp_result.stats.metrics
     );
 
     // --- Cross-check against the serial oracle ---

@@ -9,7 +9,8 @@ use rasql::prelude::*;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     // A context simulates a small cluster (one worker thread per core).
-    let ctx = RaSqlContext::in_memory();
+    // Tracing makes every query carry a full `QueryTrace`.
+    let ctx = RaSqlContext::builder().tracing(true).build();
 
     // A weighted road network with a cycle — the case where aggregates in
     // recursion shine: the stratified version would never terminate.
@@ -37,16 +38,22 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("{}", ctx.explain(sql)?);
 
     println!("-- result -------------------------------------------");
-    let result = ctx.sql(sql)?;
-    println!("{result}");
+    let result = ctx.query(sql)?;
+    println!("{}", result.relation);
 
-    let stats = ctx.last_stats();
     println!("-- execution ----------------------------------------");
     println!(
         "fixpoint iterations: {:?}, elapsed: {:?}",
-        stats.iterations, stats.elapsed
+        result.stats.iterations, result.stats.elapsed
     );
-    println!("{}", stats.metrics);
+    println!("{}", result.stats.metrics);
+
+    // The trace records every fixpoint iteration and cluster stage; it also
+    // exports as JSON (`trace.to_json()`) for offline analysis.
+    if let Some(trace) = &result.trace {
+        println!("-- trace --------------------------------------------");
+        println!("{}", trace.render());
+    }
 
     // The same data through the stratified (SQL:99-style) query would loop
     // forever on this cyclic graph; the engine detects it via the iteration
@@ -61,7 +68,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         "edge",
         Relation::weighted_edges(&[(1, 2, 1.0), (2, 1, 1.0)]),
     )?;
-    match capped.sql(stratified) {
+    match capped.query(stratified) {
         Err(e) => println!("\nstratified version on a cycle: {e}"),
         Ok(_) => unreachable!("cycle cannot converge under set semantics"),
     }

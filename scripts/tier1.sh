@@ -1,0 +1,9 @@
+#!/usr/bin/env bash
+# Tier-1 gate: everything a PR must pass before merge.
+set -euxo pipefail
+cd "$(dirname "$0")/.."
+
+cargo build --release
+cargo test -q
+cargo fmt --check
+cargo clippy -- -D warnings

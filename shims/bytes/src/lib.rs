@@ -1,0 +1,173 @@
+//! Offline stand-in for the `bytes` crate.
+//!
+//! Implements the subset the storage codec uses: `BytesMut` as a growable
+//! write buffer with `put_*` methods, `Bytes` as a cheaply-cloneable read
+//! view implementing [`Buf`], and the [`Buf`]/[`BufMut`] traits themselves.
+
+use std::sync::Arc;
+
+/// Read-side cursor abstraction (subset of `bytes::Buf`).
+pub trait Buf {
+    /// Bytes left to read.
+    fn remaining(&self) -> usize;
+    /// Read `dst.len()` bytes; panics if not enough remain.
+    fn copy_to_slice(&mut self, dst: &mut [u8]);
+
+    /// True if any bytes remain.
+    fn has_remaining(&self) -> bool {
+        self.remaining() > 0
+    }
+
+    /// Read one byte.
+    fn get_u8(&mut self) -> u8 {
+        let mut b = [0u8; 1];
+        self.copy_to_slice(&mut b);
+        b[0]
+    }
+
+    /// Read a little-endian u64.
+    fn get_u64_le(&mut self) -> u64 {
+        let mut b = [0u8; 8];
+        self.copy_to_slice(&mut b);
+        u64::from_le_bytes(b)
+    }
+}
+
+/// Write-side abstraction (subset of `bytes::BufMut`).
+pub trait BufMut {
+    /// Append raw bytes.
+    fn put_slice(&mut self, src: &[u8]);
+
+    /// Append one byte.
+    fn put_u8(&mut self, v: u8) {
+        self.put_slice(&[v]);
+    }
+
+    /// Append a little-endian u64.
+    fn put_u64_le(&mut self, v: u64) {
+        self.put_slice(&v.to_le_bytes());
+    }
+}
+
+/// A cheaply-cloneable immutable byte buffer with an internal read cursor.
+#[derive(Debug, Clone)]
+pub struct Bytes {
+    data: Arc<[u8]>,
+    pos: usize,
+}
+
+impl Bytes {
+    /// Total length of the underlying buffer (not the unread remainder).
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// True if the underlying buffer is empty.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// The unread remainder as a slice.
+    pub fn chunk(&self) -> &[u8] {
+        &self.data[self.pos..]
+    }
+
+    /// A new buffer holding the given subrange, with a reset cursor.
+    ///
+    /// The real crate shares the allocation; this shim copies, which is fine
+    /// for the codec's use on small payloads.
+    pub fn slice(&self, range: std::ops::Range<usize>) -> Bytes {
+        Bytes {
+            data: self.data[range].into(),
+            pos: 0,
+        }
+    }
+}
+
+impl Buf for Bytes {
+    fn remaining(&self) -> usize {
+        self.data.len() - self.pos
+    }
+
+    fn copy_to_slice(&mut self, dst: &mut [u8]) {
+        assert!(dst.len() <= self.remaining(), "buffer underflow");
+        dst.copy_from_slice(&self.data[self.pos..self.pos + dst.len()]);
+        self.pos += dst.len();
+    }
+}
+
+/// A growable write buffer.
+#[derive(Debug, Clone, Default)]
+pub struct BytesMut {
+    data: Vec<u8>,
+}
+
+impl BytesMut {
+    /// An empty buffer.
+    pub fn new() -> Self {
+        BytesMut::default()
+    }
+
+    /// An empty buffer with reserved capacity.
+    pub fn with_capacity(cap: usize) -> Self {
+        BytesMut {
+            data: Vec::with_capacity(cap),
+        }
+    }
+
+    /// Written length.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// True if nothing has been written.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Freeze into an immutable [`Bytes`].
+    pub fn freeze(self) -> Bytes {
+        Bytes {
+            data: self.data.into(),
+            pos: 0,
+        }
+    }
+}
+
+impl BufMut for BytesMut {
+    fn put_slice(&mut self, src: &[u8]) {
+        self.data.extend_from_slice(src);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn write_freeze_read_round_trip() {
+        let mut w = BytesMut::new();
+        w.put_u8(7);
+        w.put_u64_le(0xdead_beef);
+        w.put_slice(b"hi");
+        let mut r = w.freeze();
+        assert_eq!(r.len(), 11);
+        assert_eq!(r.get_u8(), 7);
+        assert_eq!(r.get_u64_le(), 0xdead_beef);
+        let mut s = [0u8; 2];
+        r.copy_to_slice(&mut s);
+        assert_eq!(&s, b"hi");
+        assert!(!r.has_remaining());
+    }
+
+    #[test]
+    fn clone_is_independent_cursor() {
+        let mut w = BytesMut::new();
+        w.put_slice(&[1, 2, 3]);
+        let mut a = w.freeze();
+        let mut b = a.clone();
+        assert_eq!(a.get_u8(), 1);
+        assert_eq!(b.get_u8(), 1);
+        assert_eq!(a.remaining(), 2);
+    }
+}

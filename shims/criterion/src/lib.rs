@@ -1,0 +1,239 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! Implements the macro/API surface the `rasql-bench` bench targets use —
+//! `criterion_group!`/`criterion_main!`, benchmark groups with
+//! `sample_size`/`warm_up_time`/`measurement_time`, `bench_function`,
+//! `bench_with_input`, `BenchmarkId` and `black_box` — over a simple
+//! wall-clock timer. Reports mean/min/max per benchmark; no statistical
+//! analysis, HTML reports, or baseline comparison.
+
+use std::time::{Duration, Instant};
+
+/// Prevent the optimizer from deleting a computed value.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// The top-level harness handle.
+#[derive(Debug, Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Create a harness (CLI args are accepted and ignored).
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+
+    /// Open a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            _parent: self,
+            name: name.into(),
+            samples: 10,
+            warm_up: Duration::from_millis(300),
+            measurement: Duration::from_secs(1),
+        }
+    }
+
+    /// Run one benchmark outside a group.
+    pub fn bench_function(&mut self, name: impl Into<String>, f: impl FnMut(&mut Bencher)) {
+        let name: String = name.into();
+        let mut g = self.benchmark_group("");
+        g.bench_function(name, f);
+        g.finish();
+    }
+}
+
+/// A named benchmark id, optionally parameterized.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    full: String,
+}
+
+impl BenchmarkId {
+    /// `name/parameter` id.
+    pub fn new(name: impl Into<String>, parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            full: format!("{}/{}", name.into(), parameter),
+        }
+    }
+}
+
+impl std::fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.full)
+    }
+}
+
+/// Anything usable as a benchmark name.
+pub trait IntoBenchmarkName {
+    /// Render the name.
+    fn into_name(self) -> String;
+}
+
+impl IntoBenchmarkName for BenchmarkId {
+    fn into_name(self) -> String {
+        self.full
+    }
+}
+
+impl IntoBenchmarkName for String {
+    fn into_name(self) -> String {
+        self
+    }
+}
+
+impl IntoBenchmarkName for &str {
+    fn into_name(self) -> String {
+        self.to_string()
+    }
+}
+
+/// A group of related benchmarks sharing settings.
+pub struct BenchmarkGroup<'a> {
+    _parent: &'a Criterion,
+    name: String,
+    samples: usize,
+    warm_up: Duration,
+    measurement: Duration,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Number of timed samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.samples = n.max(1);
+        self
+    }
+
+    /// Warm-up budget before timing starts.
+    pub fn warm_up_time(&mut self, d: Duration) -> &mut Self {
+        self.warm_up = d;
+        self
+    }
+
+    /// Total measurement budget (bounds the sample count).
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.measurement = d;
+        self
+    }
+
+    /// Run one benchmark.
+    pub fn bench_function(
+        &mut self,
+        id: impl IntoBenchmarkName,
+        mut f: impl FnMut(&mut Bencher),
+    ) -> &mut Self {
+        let name = id.into_name();
+        let mut b = Bencher {
+            samples: Vec::new(),
+            budget: self.measurement,
+            target_samples: self.samples,
+            warm_up: self.warm_up,
+        };
+        f(&mut b);
+        self.report(&name, &b.samples);
+        self
+    }
+
+    /// Run one benchmark parameterized by an input.
+    pub fn bench_with_input<I>(
+        &mut self,
+        id: impl IntoBenchmarkName,
+        input: &I,
+        mut f: impl FnMut(&mut Bencher, &I),
+    ) -> &mut Self {
+        self.bench_function(id, |b| f(b, input))
+    }
+
+    /// Close the group.
+    pub fn finish(&mut self) {}
+
+    fn report(&self, name: &str, samples: &[Duration]) {
+        if samples.is_empty() {
+            return;
+        }
+        let total: Duration = samples.iter().sum();
+        let mean = total / samples.len() as u32;
+        let min = samples.iter().min().unwrap();
+        let max = samples.iter().max().unwrap();
+        let group = if self.name.is_empty() {
+            String::new()
+        } else {
+            format!("{}/", self.name)
+        };
+        println!(
+            "bench {group}{name}: mean {mean:?} min {min:?} max {max:?} ({} samples)",
+            samples.len()
+        );
+    }
+}
+
+/// Times closures handed to it by the benchmark body.
+pub struct Bencher {
+    samples: Vec<Duration>,
+    budget: Duration,
+    target_samples: usize,
+    warm_up: Duration,
+}
+
+impl Bencher {
+    /// Time `f`, recording up to the configured sample count within the
+    /// measurement budget.
+    pub fn iter<R>(&mut self, mut f: impl FnMut() -> R) {
+        // Warm-up: run until the warm-up budget is spent (at least once).
+        let start = Instant::now();
+        loop {
+            black_box(f());
+            if start.elapsed() >= self.warm_up {
+                break;
+            }
+        }
+        let budget_start = Instant::now();
+        for _ in 0..self.target_samples {
+            let t = Instant::now();
+            black_box(f());
+            self.samples.push(t.elapsed());
+            if budget_start.elapsed() >= self.budget {
+                break;
+            }
+        }
+    }
+}
+
+/// Collect benchmark functions into a named group runner.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+/// Emit `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_records_samples() {
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("t");
+        g.sample_size(3)
+            .warm_up_time(Duration::from_millis(1))
+            .measurement_time(Duration::from_millis(50));
+        g.bench_function("noop", |b| b.iter(|| 1 + 1));
+        g.bench_with_input(BenchmarkId::new("param", 4), &4, |b, &x| b.iter(|| x * 2));
+        g.finish();
+    }
+}

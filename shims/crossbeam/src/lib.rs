@@ -1,0 +1,123 @@
+//! Offline stand-in for the `crossbeam` crate.
+//!
+//! Only the `channel` module is provided (the subset this workspace uses):
+//! unbounded MPSC channels with `send`/`recv`/`recv_timeout`. Backed by
+//! `std::sync::mpsc`, whose `Sender` has been `Sync + Clone` since Rust 1.72,
+//! which is all the cluster simulator and the Myria engine need.
+
+/// Multi-producer channels (subset of `crossbeam::channel`).
+pub mod channel {
+    use std::sync::mpsc;
+    use std::time::Duration;
+
+    /// Sending half of an unbounded channel.
+    pub struct Sender<T> {
+        inner: mpsc::Sender<T>,
+    }
+
+    impl<T> Clone for Sender<T> {
+        fn clone(&self) -> Self {
+            Sender {
+                inner: self.inner.clone(),
+            }
+        }
+    }
+
+    /// Receiving half of an unbounded channel.
+    pub struct Receiver<T> {
+        inner: mpsc::Receiver<T>,
+    }
+
+    /// Error returned by [`Sender::send`] when the receiver is gone.
+    #[derive(PartialEq, Eq)]
+    pub struct SendError<T>(pub T);
+
+    // Like real crossbeam: Debug regardless of whether T is Debug, so
+    // `.expect()` works on channels of closures.
+    impl<T> std::fmt::Debug for SendError<T> {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            write!(f, "SendError(..)")
+        }
+    }
+
+    impl<T> std::fmt::Display for SendError<T> {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            write!(f, "sending on a disconnected channel")
+        }
+    }
+
+    /// Error returned by [`Receiver::recv`] when all senders are gone.
+    #[derive(Debug, PartialEq, Eq)]
+    pub struct RecvError;
+
+    /// Error returned by [`Receiver::recv_timeout`].
+    #[derive(Debug, PartialEq, Eq)]
+    pub enum RecvTimeoutError {
+        /// No message arrived within the timeout.
+        Timeout,
+        /// All senders disconnected.
+        Disconnected,
+    }
+
+    impl<T> Sender<T> {
+        /// Send a message; fails only if the receiver was dropped.
+        pub fn send(&self, value: T) -> Result<(), SendError<T>> {
+            self.inner
+                .send(value)
+                .map_err(|mpsc::SendError(v)| SendError(v))
+        }
+    }
+
+    impl<T> Receiver<T> {
+        /// Block until a message arrives or all senders disconnect.
+        pub fn recv(&self) -> Result<T, RecvError> {
+            self.inner.recv().map_err(|_| RecvError)
+        }
+
+        /// Block for at most `timeout`.
+        pub fn recv_timeout(&self, timeout: Duration) -> Result<T, RecvTimeoutError> {
+            self.inner.recv_timeout(timeout).map_err(|e| match e {
+                mpsc::RecvTimeoutError::Timeout => RecvTimeoutError::Timeout,
+                mpsc::RecvTimeoutError::Disconnected => RecvTimeoutError::Disconnected,
+            })
+        }
+
+        /// Non-blocking receive.
+        pub fn try_recv(&self) -> Result<T, RecvTimeoutError> {
+            self.inner.try_recv().map_err(|e| match e {
+                mpsc::TryRecvError::Empty => RecvTimeoutError::Timeout,
+                mpsc::TryRecvError::Disconnected => RecvTimeoutError::Disconnected,
+            })
+        }
+    }
+
+    /// Create an unbounded channel.
+    pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+        let (tx, rx) = mpsc::channel();
+        (Sender { inner: tx }, Receiver { inner: rx })
+    }
+
+    #[cfg(test)]
+    mod tests {
+        use super::*;
+
+        #[test]
+        fn send_recv_across_threads() {
+            let (tx, rx) = unbounded::<u32>();
+            let tx2 = tx.clone();
+            std::thread::spawn(move || tx2.send(7).unwrap());
+            assert_eq!(rx.recv(), Ok(7));
+            drop(tx);
+            assert_eq!(rx.recv(), Err(RecvError));
+        }
+
+        #[test]
+        fn timeout_fires() {
+            let (_tx, rx) = unbounded::<u32>();
+            assert_eq!(
+                rx.recv_timeout(Duration::from_millis(5)),
+                Err(RecvTimeoutError::Timeout)
+            );
+        }
+    }
+}

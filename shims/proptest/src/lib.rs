@@ -1,0 +1,250 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! The sandboxed build has no crates.io access, so this shim reimplements the
+//! slice of proptest the workspace's property tests use: the [`Strategy`]
+//! trait with `prop_map`, range/tuple/`Just`/`any` strategies, a regex-lite
+//! string strategy (`"[a-z]{1,5}"`, `".*"`, …), `prop::collection::vec`,
+//! `prop_oneof!`, the `proptest!` test macro, and the
+//! `prop_assert*`/`prop_assume!` macros.
+//!
+//! Differences from real proptest: cases are generated from a fixed
+//! deterministic seed (reproducible across runs), there is **no shrinking**
+//! (a failure reports the raw case index and message), and `.proptest-regressions`
+//! files are ignored.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+pub mod strategy;
+
+pub use strategy::{any, BoxedStrategy, Just, Strategy, Union};
+
+/// `prop::...` namespace mirror.
+pub mod prop {
+    /// Collection strategies.
+    pub mod collection {
+        pub use crate::strategy::vec;
+    }
+}
+
+/// Runner configuration.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of generated cases per property.
+    pub cases: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 256 }
+    }
+}
+
+impl ProptestConfig {
+    /// A config running `cases` cases.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+/// Why a test case did not pass.
+#[derive(Debug)]
+pub enum TestCaseError {
+    /// The case was rejected by `prop_assume!` — not a failure.
+    Reject(String),
+    /// A `prop_assert*` failed.
+    Fail(String),
+}
+
+/// Deterministic per-case RNG. The seed mixes the property name and the case
+/// index so distinct properties see distinct streams, reproducibly.
+pub fn case_rng(name: &str, case: u64) -> StdRng {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in name.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x1000_0000_01b3);
+    }
+    StdRng::seed_from_u64(h ^ case.wrapping_mul(0x9e37_79b9_7f4a_7c15))
+}
+
+/// Drive one property: generate `cases` inputs, run the body, panic on the
+/// first failure. Rejected cases (via `prop_assume!`) are skipped, with a cap
+/// on consecutive rejections to catch vacuous properties.
+pub fn run_property<F>(name: &str, config: &ProptestConfig, mut body: F)
+where
+    F: FnMut(&mut StdRng) -> Result<(), TestCaseError>,
+{
+    let mut rejected = 0u32;
+    let mut case = 0u64;
+    let mut executed = 0u32;
+    while executed < config.cases {
+        let mut rng = case_rng(name, case);
+        case += 1;
+        match body(&mut rng) {
+            Ok(()) => {
+                executed += 1;
+                rejected = 0;
+            }
+            Err(TestCaseError::Reject(_)) => {
+                rejected += 1;
+                if rejected > 1024 {
+                    panic!("property '{name}': too many consecutive prop_assume! rejections");
+                }
+            }
+            Err(TestCaseError::Fail(msg)) => {
+                panic!("property '{name}' failed at case {}: {msg}", case - 1);
+            }
+        }
+    }
+}
+
+/// Define property tests (subset of proptest's macro of the same name).
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_items! { ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_items! { ($crate::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_items {
+    (($cfg:expr)) => {};
+    (($cfg:expr)
+     $(#[$meta:meta])*
+     fn $name:ident($($arg:ident in $strat:expr),* $(,)?) $body:block
+     $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let config: $crate::ProptestConfig = $cfg;
+            $crate::run_property(stringify!($name), &config, |__rng| {
+                $(let $arg = $crate::Strategy::generate(&($strat), __rng);)*
+                $body
+                Ok(())
+            });
+        }
+        $crate::__proptest_items! { ($cfg) $($rest)* }
+    };
+}
+
+/// Assert inside a property; failure reports the case instead of panicking
+/// through arbitrary stack frames.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        if !($cond) {
+            return Err($crate::TestCaseError::Fail(format!(
+                "assertion failed: {}", stringify!($cond)
+            )));
+        }
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !($cond) {
+            return Err($crate::TestCaseError::Fail(format!($($fmt)*)));
+        }
+    };
+}
+
+/// Equality assertion inside a property.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        if !(*l == *r) {
+            return Err($crate::TestCaseError::Fail(format!(
+                "assertion failed: {} == {}\n  left: {:?}\n right: {:?}",
+                stringify!($left), stringify!($right), l, r
+            )));
+        }
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)*) => {{
+        let (l, r) = (&$left, &$right);
+        if !(*l == *r) {
+            return Err($crate::TestCaseError::Fail(format!(
+                "{}\n  left: {:?}\n right: {:?}",
+                format!($($fmt)*), l, r
+            )));
+        }
+    }};
+}
+
+/// Discard the current case unless a precondition holds.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !($cond) {
+            return Err($crate::TestCaseError::Reject(stringify!($cond).to_string()));
+        }
+    };
+}
+
+/// Choose among strategies with the same value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strat:expr),+ $(,)?) => {
+        $crate::Union::new(vec![
+            $($crate::Strategy::boxed($strat)),+
+        ])
+    };
+}
+
+/// One-stop imports, mirroring `proptest::prelude::*`.
+pub mod prelude {
+    pub use crate::strategy::{any, BoxedStrategy, Just, Strategy, Union};
+    pub use crate::{
+        prop, prop_assert, prop_assert_eq, prop_assume, prop_oneof, proptest, ProptestConfig,
+        TestCaseError,
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn ranges_and_tuples(x in 0i64..10, pair in (0usize..4, -3i64..3)) {
+            prop_assert!((0..10).contains(&x));
+            prop_assert!(pair.0 < 4);
+            prop_assert!((-3..3).contains(&pair.1));
+        }
+
+        #[test]
+        fn vec_respects_length(v in prop::collection::vec((0i64..5, 0i64..5), 2..7)) {
+            prop_assert!((2..7).contains(&v.len()), "len {}", v.len());
+        }
+
+        #[test]
+        fn oneof_and_map(v in prop_oneof![
+            Just(-1i64),
+            (0i64..100).prop_map(|n| n * 2),
+        ]) {
+            prop_assert!(v == -1 || (v % 2 == 0 && (0..200).contains(&v)));
+        }
+
+        #[test]
+        fn regex_lite_char_class(s in "[a-z]{1,5}") {
+            prop_assert!((1..=5).contains(&s.len()), "{s:?}");
+            prop_assert!(s.bytes().all(|b| b.is_ascii_lowercase()));
+        }
+
+        #[test]
+        fn assume_rejects(x in 0i64..10) {
+            prop_assume!(x != 3);
+            prop_assert!(x != 3);
+        }
+    }
+
+    #[test]
+    fn determinism_across_runs() {
+        let a = crate::Strategy::generate(&(0i64..1000), &mut crate::case_rng("d", 5));
+        let b = crate::Strategy::generate(&(0i64..1000), &mut crate::case_rng("d", 5));
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,326 @@
+//! Value-generation strategies (subset of `proptest::strategy`).
+
+use rand::rngs::StdRng;
+use rand::Rng;
+use std::ops::Range;
+
+/// A recipe for generating values of `Self::Value`.
+///
+/// Unlike real proptest there is no value tree / shrinking: `generate` draws
+/// one concrete value from the RNG.
+pub trait Strategy {
+    /// The generated type.
+    type Value;
+
+    /// Draw one value.
+    fn generate(&self, rng: &mut StdRng) -> Self::Value;
+
+    /// Transform generated values.
+    fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> O,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Erase the concrete strategy type.
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        Box::new(self)
+    }
+}
+
+/// A type-erased strategy.
+pub type BoxedStrategy<T> = Box<dyn Strategy<Value = T>>;
+
+impl<T> Strategy for BoxedStrategy<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut StdRng) -> T {
+        self.as_ref().generate(rng)
+    }
+}
+
+/// Always yields a clone of the given value.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+
+    fn generate(&self, _rng: &mut StdRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// `prop_map` adapter.
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, O, F> Strategy for Map<S, F>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> O,
+{
+    type Value = O;
+
+    fn generate(&self, rng: &mut StdRng) -> O {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+/// Uniform choice among boxed strategies (what `prop_oneof!` builds).
+pub struct Union<T> {
+    arms: Vec<BoxedStrategy<T>>,
+}
+
+impl<T> Union<T> {
+    /// A union over the given arms (must be non-empty).
+    pub fn new(arms: Vec<BoxedStrategy<T>>) -> Self {
+        assert!(!arms.is_empty(), "prop_oneof! needs at least one arm");
+        Union { arms }
+    }
+}
+
+impl<T> Strategy for Union<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut StdRng) -> T {
+        let i = rng.gen_range(0..self.arms.len());
+        self.arms[i].generate(rng)
+    }
+}
+
+macro_rules! range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+
+            fn generate(&self, rng: &mut StdRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+    )*};
+}
+
+range_strategy!(i64, u64, i32, u32, usize, f64);
+
+macro_rules! tuple_strategy {
+    ($(($($n:tt $S:ident),+))*) => {$(
+        impl<$($S: Strategy),+> Strategy for ($($S,)+) {
+            type Value = ($($S::Value,)+);
+
+            fn generate(&self, rng: &mut StdRng) -> Self::Value {
+                ($(self.$n.generate(rng),)+)
+            }
+        }
+    )*};
+}
+
+tuple_strategy! {
+    (0 A)
+    (0 A, 1 B)
+    (0 A, 1 B, 2 C)
+    (0 A, 1 B, 2 C, 3 D)
+}
+
+/// Full-domain generation for primitive types (via [`any`]).
+pub trait Arbitrary {
+    /// Draw one arbitrary value.
+    fn arbitrary(rng: &mut StdRng) -> Self;
+}
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut StdRng) -> Self {
+        rng.gen()
+    }
+}
+
+impl Arbitrary for i64 {
+    fn arbitrary(rng: &mut StdRng) -> Self {
+        // Mix in boundary values: overflow/ordering bugs live at the edges.
+        match rng.gen_range(0u32..16) {
+            0 => i64::MIN,
+            1 => i64::MAX,
+            2 => 0,
+            3 => -1,
+            _ => rng.gen(),
+        }
+    }
+}
+
+impl Arbitrary for u64 {
+    fn arbitrary(rng: &mut StdRng) -> Self {
+        match rng.gen_range(0u32..16) {
+            0 => u64::MAX,
+            1 => 0,
+            _ => rng.gen(),
+        }
+    }
+}
+
+/// Strategy returned by [`any`].
+pub struct Any<T> {
+    _marker: std::marker::PhantomData<fn() -> T>,
+}
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut StdRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+/// The full-domain strategy for `T` (subset of `proptest::arbitrary::any`).
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any {
+        _marker: std::marker::PhantomData,
+    }
+}
+
+/// `prop::collection::vec`: a vector with element strategy and length range.
+pub struct VecStrategy<S> {
+    elem: S,
+    len: Range<usize>,
+}
+
+impl<S: Strategy> Strategy for VecStrategy<S> {
+    type Value = Vec<S::Value>;
+
+    fn generate(&self, rng: &mut StdRng) -> Vec<S::Value> {
+        let n = rng.gen_range(self.len.clone());
+        (0..n).map(|_| self.elem.generate(rng)).collect()
+    }
+}
+
+/// Build a [`VecStrategy`].
+pub fn vec<S: Strategy>(elem: S, len: Range<usize>) -> VecStrategy<S> {
+    assert!(len.start < len.end, "empty length range");
+    VecStrategy { elem, len }
+}
+
+// ---------------------------------------------------------------------
+// Regex-lite string strategies
+// ---------------------------------------------------------------------
+
+/// String patterns as strategies, like proptest's regex strings. Supported
+/// grammar (enough for this workspace's tests): a sequence of elements, each
+/// a literal char, `.` (any printable ASCII or a sprinkling of non-ASCII), or
+/// a `[a-z0-9_]`-style class; optionally followed by `*` (0..=32) or
+/// `{m,n}` / `{n}` repetition.
+impl Strategy for &'static str {
+    type Value = String;
+
+    fn generate(&self, rng: &mut StdRng) -> String {
+        generate_pattern(self, rng)
+    }
+}
+
+#[derive(Debug)]
+enum Elem {
+    Literal(char),
+    AnyChar,
+    Class(Vec<(char, char)>),
+}
+
+fn generate_pattern(pattern: &str, rng: &mut StdRng) -> String {
+    let mut out = String::new();
+    let chars: Vec<char> = pattern.chars().collect();
+    let mut i = 0;
+    while i < chars.len() {
+        let (elem, next) = parse_elem(&chars, i);
+        i = next;
+        // Optional quantifier.
+        let (lo, hi, next) = parse_quantifier(&chars, i);
+        i = next;
+        let n = if lo == hi {
+            lo
+        } else {
+            rng.gen_range(lo..hi + 1)
+        };
+        for _ in 0..n {
+            emit(&elem, rng, &mut out);
+        }
+    }
+    out
+}
+
+fn parse_elem(chars: &[char], i: usize) -> (Elem, usize) {
+    match chars[i] {
+        '.' => (Elem::AnyChar, i + 1),
+        '[' => {
+            let mut ranges = Vec::new();
+            let mut j = i + 1;
+            while j < chars.len() && chars[j] != ']' {
+                let lo = chars[j];
+                if j + 2 < chars.len() && chars[j + 1] == '-' && chars[j + 2] != ']' {
+                    ranges.push((lo, chars[j + 2]));
+                    j += 3;
+                } else {
+                    ranges.push((lo, lo));
+                    j += 1;
+                }
+            }
+            (Elem::Class(ranges), j + 1)
+        }
+        '\\' if i + 1 < chars.len() => (Elem::Literal(chars[i + 1]), i + 2),
+        c => (Elem::Literal(c), i + 1),
+    }
+}
+
+fn parse_quantifier(chars: &[char], i: usize) -> (usize, usize, usize) {
+    if i >= chars.len() {
+        return (1, 1, i);
+    }
+    match chars[i] {
+        '*' => (0, 32, i + 1),
+        '+' => (1, 32, i + 1),
+        '?' => (0, 1, i + 1),
+        '{' => {
+            let close = chars[i..].iter().position(|&c| c == '}').map(|p| p + i);
+            let Some(close) = close else { return (1, 1, i) };
+            let body: String = chars[i + 1..close].iter().collect();
+            let (lo, hi) = match body.split_once(',') {
+                Some((a, b)) => (
+                    a.trim().parse().unwrap_or(0),
+                    b.trim().parse().unwrap_or(32),
+                ),
+                None => {
+                    let n = body.trim().parse().unwrap_or(1);
+                    (n, n)
+                }
+            };
+            (lo, hi, close + 1)
+        }
+        _ => (1, 1, i),
+    }
+}
+
+fn emit(elem: &Elem, rng: &mut StdRng, out: &mut String) {
+    match elem {
+        Elem::Literal(c) => out.push(*c),
+        Elem::AnyChar => {
+            // Mostly printable ASCII, with occasional newline/unicode to keep
+            // "never panics" properties honest.
+            match rng.gen_range(0u32..20) {
+                0 => out.push('\n'),
+                1 => out.push('\t'),
+                2 => out.push('é'),
+                3 => out.push('→'),
+                _ => out.push(char::from(rng.gen_range(0x20u32..0x7f) as u8)),
+            }
+        }
+        Elem::Class(ranges) => {
+            let (lo, hi) = ranges[rng.gen_range(0..ranges.len())];
+            let span = hi as u32 - lo as u32 + 1;
+            let c = char::from_u32(lo as u32 + rng.gen_range(0..span)).unwrap_or(lo);
+            out.push(c);
+        }
+    }
+}

@@ -19,14 +19,14 @@
 //!     (1, 2, 1.0), (2, 3, 2.0), (1, 3, 10.0),
 //! ])).unwrap();
 //!
-//! let result = ctx.sql(
+//! let result = ctx.query(
 //!     "WITH recursive path (Dst, min() AS Cost) AS \
 //!        (SELECT 1, 0.0) UNION \
 //!        (SELECT edge.Dst, path.Cost + edge.Cost FROM path, edge \
 //!         WHERE path.Dst = edge.Src) \
 //!      SELECT Dst, Cost FROM path",
 //! ).unwrap();
-//! assert_eq!(result.len(), 3); // shortest paths to nodes 1, 2, 3
+//! assert_eq!(result.relation.len(), 3); // shortest paths to nodes 1, 2, 3
 //! ```
 
 pub use rasql_core as core;
@@ -39,11 +39,14 @@ pub use rasql_plan as plan;
 pub use rasql_storage as storage;
 pub use rasql_vertex as vertex;
 
-pub use rasql_core::{EngineConfig, RaSqlContext};
+pub use rasql_core::{ContextBuilder, EngineConfig, QueryResult, QueryTrace, RaSqlContext};
 pub use rasql_storage::{DataType, Relation, Row, Schema, Value};
 
 /// One-stop imports for examples and tests.
 pub mod prelude {
-    pub use rasql_core::{EngineConfig, EvalMode, JoinStrategy, RaSqlContext};
+    pub use rasql_core::{
+        ContextBuilder, EngineConfig, EvalMode, JoinStrategy, QueryResult, QueryStats, QueryTrace,
+        RaSqlContext,
+    };
     pub use rasql_storage::{DataType, Relation, Row, Schema, Value};
 }

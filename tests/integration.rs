@@ -29,7 +29,7 @@ fn four_engines_agree_on_sssp() {
     // 1. RaSQL.
     let ctx = RaSqlContext::with_config(EngineConfig::rasql().with_workers(2));
     ctx.register("edge", edges.clone()).unwrap();
-    let sql = ctx.sql(&library::sssp(source)).unwrap();
+    let sql = ctx.query(&library::sssp(source)).unwrap().relation;
     let mut sql_pairs: Vec<(i64, i64)> = sql
         .rows()
         .iter()
@@ -54,7 +54,12 @@ fn four_engines_agree_on_sssp() {
     // 3. BSP (Giraph analog).
     let cluster = Cluster::new(ClusterConfig::with_workers(2));
     let g = VertexGraph::from_relation(&edges);
-    let (bsp_vals, _) = BspEngine::new(&cluster).run(&g, Sssp { source: source as u32 });
+    let (bsp_vals, _) = BspEngine::new(&cluster).run(
+        &g,
+        Sssp {
+            source: source as u32,
+        },
+    );
     let mut bsp: Vec<(i64, i64)> = bsp_vals
         .iter()
         .enumerate()
@@ -65,12 +70,21 @@ fn four_engines_agree_on_sssp() {
     assert_eq!(bsp, oracle, "BSP vs Dijkstra");
 
     // 4. Dataset Pregel (GraphX analog).
-    let (dp_vals, _) =
-        DatasetPregelEngine::new(&cluster).run(&g, Sssp { source: source as u32 });
+    let (dp_vals, _) = DatasetPregelEngine::new(&cluster).run(
+        &g,
+        Sssp {
+            source: source as u32,
+        },
+    );
     assert_eq!(dp_vals, bsp_vals, "DatasetPregel vs BSP");
 
     // 5. Myria (async).
-    let (my_vals, _) = MyriaEngine::new(3).run(&edges, Algorithm::Sssp { source: source as u32 });
+    let (my_vals, _) = MyriaEngine::new(3).run(
+        &edges,
+        Algorithm::Sssp {
+            source: source as u32,
+        },
+    );
     let mut myria: Vec<(i64, i64)> = my_vals
         .iter()
         .enumerate()
@@ -91,9 +105,15 @@ fn fig10_queries_cross_config_agreement() {
         99,
     );
     for sql_tables in [
-        (library::bom_delivery(), vec![("assbl", &tree.assbl), ("basic", &tree.basic)]),
+        (
+            library::bom_delivery(),
+            vec![("assbl", &tree.assbl), ("basic", &tree.basic)],
+        ),
         (library::management(), vec![("report", &tree.report)]),
-        (library::mlm_bonus(), vec![("sales", &tree.sales), ("sponsor", &tree.sponsor)]),
+        (
+            library::mlm_bonus(),
+            vec![("sales", &tree.sales), ("sponsor", &tree.sponsor)],
+        ),
     ] {
         let (sql, tables) = sql_tables;
         let mut reference: Option<Relation> = None;
@@ -106,7 +126,7 @@ fn fig10_queries_cross_config_agreement() {
             for (n, r) in &tables {
                 ctx.register(n, (*r).clone()).unwrap();
             }
-            let got = ctx.sql(&sql).unwrap().sorted();
+            let got = ctx.query(&sql).unwrap().relation.sorted();
             match &reference {
                 None => reference = Some(got),
                 Some(want) => assert_eq!(&got, want, "{sql}"),
@@ -122,7 +142,7 @@ fn multi_statement_session_with_views() {
         .unwrap();
     // CREATE VIEW, then use the view from a recursive query.
     let results = ctx
-        .execute_script(
+        .query_script(
             "CREATE VIEW fwd(a, b) AS (SELECT Src, Dst FROM edge WHERE Src < 9); \
              WITH recursive tc (Src, Dst) AS \
                (SELECT a, b FROM fwd) UNION \
@@ -130,7 +150,7 @@ fn multi_statement_session_with_views() {
              SELECT Src, Dst FROM tc",
         )
         .unwrap();
-    assert_eq!(results.last().unwrap().len(), 6);
+    assert_eq!(results.last().unwrap().relation.len(), 6);
 }
 
 #[test]
@@ -143,7 +163,7 @@ fn quickstart_doc_example() {
     )
     .unwrap();
     let result = ctx
-        .sql(
+        .query(
             "WITH recursive path (Dst, min() AS Cost) AS \
                (SELECT 1, 0.0) UNION \
                (SELECT edge.Dst, path.Cost + edge.Cost FROM path, edge \
@@ -151,19 +171,20 @@ fn quickstart_doc_example() {
              SELECT Dst, Cost FROM path",
         )
         .unwrap();
-    assert_eq!(result.len(), 3);
-    let r = result.sorted();
+    assert_eq!(result.relation.len(), 3);
+    let r = result.relation.sorted();
     assert_eq!(r.rows()[2][1], Value::Double(3.0)); // 1→2→3 beats direct 10.0
 }
 
 #[test]
 fn metrics_accumulate_across_queries() {
     let ctx = RaSqlContext::in_memory();
-    ctx.register("edge", Relation::edges(&[(1, 2), (2, 3)])).unwrap();
-    ctx.sql(&library::reach(1)).unwrap();
+    ctx.register("edge", Relation::edges(&[(1, 2), (2, 3)]))
+        .unwrap();
+    ctx.query(&library::reach(1)).unwrap();
     let after_one = ctx.metrics();
     assert!(after_one.stages > 0);
-    ctx.sql(&library::reach(1)).unwrap();
+    ctx.query(&library::reach(1)).unwrap();
     assert!(ctx.metrics().stages > after_one.stages);
     ctx.reset_metrics();
     assert_eq!(ctx.metrics().stages, 0);
@@ -173,9 +194,9 @@ fn metrics_accumulate_across_queries() {
 fn error_paths_are_clean() {
     let ctx = RaSqlContext::in_memory();
     // Unknown table.
-    assert!(ctx.sql("SELECT x FROM missing").is_err());
+    assert!(ctx.query("SELECT x FROM missing").is_err());
     // Parse error.
-    assert!(ctx.sql("SELEKT 1").is_err());
+    assert!(ctx.query("SELEKT 1").is_err());
     // Duplicate registration.
     ctx.register("t", Relation::edges(&[])).unwrap();
     assert!(ctx.register("t", Relation::edges(&[])).is_err());
@@ -183,7 +204,7 @@ fn error_paths_are_clean() {
     ctx.register("edge", Relation::weighted_edges(&[(1, 2, 1.0)]))
         .unwrap();
     let err = ctx
-        .sql(
+        .query(
             "WITH recursive r(X, avg() AS A) AS \
                (SELECT Src, Cost FROM edge) UNION \
                (SELECT edge.Dst, r.A FROM r, edge WHERE r.X = edge.Src) \
@@ -215,7 +236,7 @@ fn same_generation_cross_engine_count() {
     ));
     let ctx = RaSqlContext::with_config(EngineConfig::rasql().with_workers(2));
     ctx.register("rel", rel).unwrap();
-    let got = ctx.sql(&library::same_generation()).unwrap();
+    let got = ctx.query(&library::same_generation()).unwrap().relation;
     assert_eq!(got.len(), expected);
 }
 

@@ -35,7 +35,10 @@ fn dag_strategy(max_v: i64, max_e: usize) -> impl Strategy<Value = Vec<(i64, i64
 fn run_tc(edges: &[(i64, i64)], cfg: EngineConfig) -> Relation {
     let ctx = RaSqlContext::with_config(cfg);
     ctx.register("edge", Relation::edges(edges)).unwrap();
-    ctx.sql(&library::transitive_closure()).unwrap().sorted()
+    ctx.query(&library::transitive_closure())
+        .unwrap()
+        .relation
+        .sorted()
 }
 
 proptest! {
@@ -76,8 +79,8 @@ proptest! {
             .collect();
         let ctx = RaSqlContext::with_config(EngineConfig::rasql().with_workers(2));
         ctx.register("edge", Relation::weighted_edges(&weighted)).unwrap();
-        let endo = ctx.sql(&library::sssp(0)).unwrap().sorted();
-        let strat = ctx.sql(&library::sssp_stratified(0)).unwrap().sorted();
+        let endo = ctx.query(&library::sssp(0)).unwrap().relation.sorted();
+        let strat = ctx.query(&library::sssp_stratified(0)).unwrap().relation.sorted();
         // Output column names differ (declared head vs. aggregate call);
         // PreM is about the *rows*.
         prop_assert_eq!(endo.rows(), strat.rows());
@@ -89,7 +92,7 @@ proptest! {
         let expected = rasql::gap::algorithms::cc_rasql_oracle(&rel);
         let ctx = RaSqlContext::with_config(EngineConfig::rasql().with_workers(2));
         ctx.register("edge", rel).unwrap();
-        let got = ctx.sql(&library::cc()).unwrap();
+        let got = ctx.query(&library::cc()).unwrap().relation;
         prop_assert_eq!(got.len(), expected.len());
         for r in got.rows() {
             let node = r[0].as_int().unwrap();
@@ -111,8 +114,8 @@ proptest! {
         );
         ctx1.register("edge", Relation::edges(&edges)).unwrap();
         ctx2.register("edge", Relation::edges(&edges)).unwrap();
-        let a = ctx1.sql(&library::sssp_hops(0)).unwrap().sorted();
-        let b = ctx2.sql(&library::sssp_hops(0)).unwrap().sorted();
+        let a = ctx1.query(&library::sssp_hops(0)).unwrap().relation.sorted();
+        let b = ctx2.query(&library::sssp_hops(0)).unwrap().relation.sorted();
         prop_assert_eq!(a, b);
     }
 
@@ -133,8 +136,8 @@ proptest! {
         // plus the source itself.
         let ctx = RaSqlContext::with_config(EngineConfig::rasql().with_workers(2));
         ctx.register("edge", Relation::edges(&edges)).unwrap();
-        let reach = ctx.sql(&library::reach(0)).unwrap();
-        let tc = ctx.sql(&library::transitive_closure()).unwrap();
+        let reach = ctx.query(&library::reach(0)).unwrap().relation;
+        let tc = ctx.query(&library::transitive_closure()).unwrap().relation;
         let tc_from_0: std::collections::HashSet<i64> = tc
             .rows()
             .iter()
@@ -181,9 +184,9 @@ proptest! {
         let ctx = RaSqlContext::with_config(EngineConfig::rasql().with_workers(2));
         ctx.register("inter", inter).unwrap();
         let results = ctx
-            .execute_script(&library::interval_coalesce())
+            .query_script(&library::interval_coalesce())
             .unwrap();
-        let got = results.last().unwrap().clone().sorted();
+        let got = results.last().unwrap().relation.clone().sorted();
         let got_pairs: Vec<(i64, i64)> = got
             .rows()
             .iter()
