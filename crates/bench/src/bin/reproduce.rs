@@ -2,7 +2,8 @@
 //!
 //! ```text
 //! reproduce [all|fig1|fig2|fig5|fig6|fig7|fig8|fig9|fig10|fig11|fig12|
-//!            table1|table2|table3|premcheck|traces] [--scale X]
+//!            table1|table2|table3|premcheck|traces|faults] [--scale X]
+//!           [--faults SPEC] [--retries N] [--checkpoint-every K]
 //! ```
 //!
 //! `--scale` multiplies dataset sizes (default 0.25 for a quick run; use 1.0
@@ -10,12 +11,28 @@
 //!
 //! The `traces` target runs CC/SSSP/decomposed-TC with tracing enabled and
 //! writes one `QueryTrace` JSON file per query under `target/traces/`.
+//!
+//! The `faults` target runs the seeded fault-injection soak: every example
+//! query under deterministic fault injection must match its fault-free
+//! result, plus a zero-retry checkpoint/restore leg. `--faults` overrides the
+//! default spec (e.g. `--faults kill=0.1,loss=0.05,seed=7`), `--retries` the
+//! retry budget, and `--checkpoint-every` the checkpoint interval.
 
 use rasql_bench as bench;
+use rasql_exec::FaultSpec;
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut scale = 0.25f64;
+    let mut spec = FaultSpec {
+        kill: 0.15,
+        delay: 0.1,
+        loss: 0.05,
+        delay_us: 50,
+        seed: 42,
+    };
+    let mut retries = 3u32;
+    let mut checkpoint_every = 3u32;
     let mut targets: Vec<String> = Vec::new();
     let mut i = 0;
     while i < args.len() {
@@ -27,10 +44,30 @@ fn main() {
                     .and_then(|s| s.parse().ok())
                     .unwrap_or_else(|| die("--scale needs a number"));
             }
+            "--faults" => {
+                i += 1;
+                let raw = args.get(i).unwrap_or_else(|| die("--faults needs a spec"));
+                spec = FaultSpec::parse(raw).unwrap_or_else(|e| die(&e));
+            }
+            "--retries" => {
+                i += 1;
+                retries = args
+                    .get(i)
+                    .and_then(|s| s.parse().ok())
+                    .unwrap_or_else(|| die("--retries needs an integer"));
+            }
+            "--checkpoint-every" => {
+                i += 1;
+                checkpoint_every = args
+                    .get(i)
+                    .and_then(|s| s.parse().ok())
+                    .unwrap_or_else(|| die("--checkpoint-every needs an integer"));
+            }
             "--help" | "-h" => {
                 println!(
                     "reproduce [all|fig1|fig2|fig5|fig6|fig7|fig8|fig9|fig10|fig11|fig12|\n\
-                     table1|table2|table3|premcheck|traces]... [--scale X]"
+                     table1|table2|table3|premcheck|traces|faults]... [--scale X]\n\
+                     [--faults SPEC] [--retries N] [--checkpoint-every K]"
                 );
                 return;
             }
@@ -88,6 +125,13 @@ fn main() {
     }
     if want("premcheck") {
         println!("{}", bench::premcheck());
+    }
+    // Not part of `all`: a subsystem check, not a paper artifact.
+    if targets.iter().any(|t| t == "faults") {
+        println!(
+            "{}",
+            bench::fault_soak(scale, spec, retries, checkpoint_every).render()
+        );
     }
     if want("traces") {
         let dir = std::path::Path::new("target/traces");

@@ -8,7 +8,7 @@ use rasql_core::{library, EngineConfig, JoinStrategy, RaSqlContext};
 use rasql_datagen::{
     erdos_renyi, grid, real_graph_standin, rmat, tree_hierarchy, RealGraph, RmatConfig, TreeConfig,
 };
-use rasql_exec::{Cluster, ClusterConfig};
+use rasql_exec::{Cluster, ClusterConfig, FaultSpec, RecoveryKind};
 use rasql_gap::Csr;
 use rasql_myria::{Algorithm as MyriaAlgo, MyriaEngine};
 use rasql_storage::Relation;
@@ -917,6 +917,201 @@ pub fn trace_suite(scale: f64) -> Vec<(String, rasql_core::QueryTrace)> {
     );
     out.push(("tc_decomposed".to_string(), trace));
     out
+}
+
+/// Seeded fault-injection soak over the paper's example queries.
+///
+/// Each workload runs twice — fault-free, then under deterministic fault
+/// injection (per-workload seeds derived from `spec.seed`, since every fresh
+/// cluster numbers its stages from zero) — and the results must be
+/// identical; any divergence panics, so the tier-1 gate can run this as a
+/// hard check. A final leg runs transitive closure with a *zero* retry
+/// budget and per-round checkpoints, scanning a fixed seed range for a
+/// schedule whose failure lands inside the fixpoint, to exercise the
+/// checkpoint/restore path end to end.
+pub fn fault_soak(scale: f64, spec: FaultSpec, retries: u32, checkpoint_every: u32) -> Table {
+    let n = ((2_000.0 * scale) as usize).max(100);
+    let plain = rmat_graph(n, false, 7);
+    let weighted = rmat_graph(n, true, 7);
+    let tree = tree_hierarchy(
+        TreeConfig {
+            target_nodes: n,
+            ..Default::default()
+        },
+        17,
+    );
+    let shares = ownership_graph(40);
+    let workloads: Vec<Workload> = vec![
+        ("TC", vec![("edge", &plain)], library::transitive_closure()),
+        ("SSSP", vec![("edge", &weighted)], library::sssp(1)),
+        ("CC", vec![("edge", &plain)], library::cc()),
+        (
+            "CompanyControl",
+            vec![("shares", &shares)],
+            library::company_control(),
+        ),
+        (
+            "BoM",
+            vec![("assbl", &tree.assbl), ("basic", &tree.basic)],
+            library::bom_delivery(),
+        ),
+    ];
+
+    let mut table = Table::new(
+        &format!(
+            "Fault-injection soak — {spec}, retries={retries}, checkpoint every \
+             {checkpoint_every} rounds"
+        ),
+        &[
+            "query",
+            "rows",
+            "failures",
+            "retries",
+            "blacklists",
+            "checkpoints",
+            "restores",
+            "status",
+        ],
+    );
+    let mut injected = 0u64;
+    for (i, (name, tables, sql)) in workloads.into_iter().enumerate() {
+        let (_, clean, _) = run_sql_with(
+            EngineConfig::rasql().with_workers(default_workers()),
+            &tables,
+            &sql,
+        );
+        let faulted_cfg = EngineConfig::rasql()
+            .with_workers(default_workers())
+            .with_faults(Some(FaultSpec {
+                seed: spec.seed + 101 * i as u64,
+                ..spec
+            }))
+            .with_max_task_retries(retries)
+            .with_checkpoint_interval(checkpoint_every);
+        let ctx = RaSqlContext::with_config(faulted_cfg);
+        for (tname, rel) in &tables {
+            ctx.register(tname, (*rel).clone()).unwrap();
+        }
+        let result = ctx.query(&sql).unwrap();
+        let m = &result.stats.metrics;
+        assert_eq!(
+            result.relation.len(),
+            clean,
+            "fault soak: {name} diverged from the fault-free run"
+        );
+        injected += m.task_failures;
+        table.row(vec![
+            name.to_string(),
+            clean.to_string(),
+            m.task_failures.to_string(),
+            m.task_retries.to_string(),
+            m.worker_blacklists.to_string(),
+            m.checkpoints.to_string(),
+            m.restores.to_string(),
+            "ok".into(),
+        ]);
+    }
+    assert!(
+        injected > 0,
+        "fault soak: the fault spec never fired — the soak proved nothing"
+    );
+
+    // Restore leg: zero retries force every injected kill to become a stage
+    // loss; the fixpoint must come back from its last checkpoint.
+    let chain: Vec<(i64, i64)> = (0..9).map(|i| (i, i + 1)).collect();
+    let edges = Relation::edges(&chain);
+    let clean = {
+        let ctx = RaSqlContext::with_config(EngineConfig::rasql().with_workers(2));
+        ctx.register("edge", edges.clone()).unwrap();
+        ctx.query(&library::transitive_closure()).unwrap().relation
+    };
+    let prev_hook = std::panic::take_hook();
+    std::panic::set_hook(Box::new(|_| {}));
+    let mut restore_row = vec![
+        "TC/restore".to_string(),
+        clean.len().to_string(),
+        "-".into(),
+        "-".into(),
+        "-".into(),
+        "-".into(),
+        "-".into(),
+        "no restore witnessed".into(),
+    ];
+    for seed in 0..50u64 {
+        let cfg = EngineConfig::rasql()
+            .with_workers(2)
+            .with_decomposed(false)
+            .with_faults(Some(FaultSpec {
+                kill: 0.12,
+                delay: 0.0,
+                loss: 0.0,
+                delay_us: 0,
+                seed,
+            }))
+            .with_max_task_retries(0)
+            .with_checkpoint_interval(1)
+            .with_tracing(true);
+        let ctx = RaSqlContext::with_config(cfg);
+        ctx.register("edge", edges.clone()).unwrap();
+        let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            ctx.query(&library::transitive_closure())
+        }));
+        let Ok(Ok(result)) = outcome else { continue };
+        let trace = result.trace.as_ref().expect("tracing enabled");
+        let restored = trace
+            .recovery
+            .iter()
+            .any(|e| e.kind == RecoveryKind::Restore && e.round >= 1);
+        if restored {
+            let rows = result.relation.len();
+            assert_eq!(
+                result.relation.sorted().rows(),
+                clean.clone().sorted().rows(),
+                "fault soak: restored TC run diverged (seed {seed})"
+            );
+            let m = &result.stats.metrics;
+            restore_row = vec![
+                "TC/restore".to_string(),
+                rows.to_string(),
+                m.task_failures.to_string(),
+                m.task_retries.to_string(),
+                m.worker_blacklists.to_string(),
+                m.checkpoints.to_string(),
+                m.restores.to_string(),
+                format!("ok (seed {seed}, resumed mid-fixpoint)"),
+            ];
+            break;
+        }
+    }
+    std::panic::set_hook(prev_hook);
+    table.row(restore_row);
+    table
+}
+
+/// A small synthetic share-ownership relation for the company-control soak:
+/// a layered DAG of `n` companies with integer percentages.
+fn ownership_graph(n: i64) -> Relation {
+    use rasql_storage::{DataType, Row, Schema, Value};
+    let mut rows = Vec::new();
+    for by in 0..n {
+        for of in (by + 1)..(by + 4).min(n) {
+            let pct = 20 + ((by * 13 + of * 7) % 41);
+            rows.push(Row::new(vec![
+                Value::Int(by),
+                Value::Int(of),
+                Value::Int(pct),
+            ]));
+        }
+    }
+    Relation::try_new(
+        Schema::new(vec![
+            ("By", DataType::Int),
+            ("Of", DataType::Int),
+            ("Percent", DataType::Int),
+        ]),
+        rows,
+    )
+    .unwrap()
 }
 
 pub fn premcheck() -> String {

@@ -17,6 +17,7 @@
 //! | `\tracing on\|off` | collect a [`rasql_core::QueryTrace`] per query |
 //! | `\trace [json]` | show (or export as JSON) the last query's trace |
 //! | `\workers <n>` | restart the session with n workers |
+//! | `\fault [spec\|off]` | show/set/clear deterministic fault injection (e.g. `\fault kill=0.1,seed=7 retries=2 checkpoint=3`) |
 //! | `\q` | quit |
 //!
 //! `EXPLAIN [ANALYZE] <query>;` works as plain SQL: `EXPLAIN` prints the
@@ -45,6 +46,9 @@ pub enum LineResult {
 /// The shell session: a context plus REPL state.
 pub struct Shell {
     ctx: RaSqlContext,
+    /// The engine configuration the context was built from, kept so session
+    /// restarts (`\workers`, `\fault`) preserve the other settings.
+    config: EngineConfig,
     buffer: String,
     timing: bool,
     /// The most recent statement's result (for `\trace`).
@@ -66,7 +70,8 @@ impl Shell {
     /// A shell with an explicit configuration.
     pub fn with_config(config: EngineConfig) -> Self {
         Shell {
-            ctx: RaSqlContext::with_config(config),
+            ctx: RaSqlContext::with_config(config.clone()),
+            config,
             buffer: String::new(),
             timing: false,
             last: None,
@@ -162,11 +167,13 @@ impl Shell {
             }
             "\\workers" => match parts.get(1).and_then(|s| s.parse::<usize>().ok()) {
                 Some(n) => {
-                    self.ctx = RaSqlContext::with_config(EngineConfig::rasql().with_workers(n));
+                    self.config = self.config.clone().with_workers(n);
+                    self.ctx = RaSqlContext::with_config(self.config.clone());
                     LineResult::Output(format!("restarted with {n} workers (tables cleared)\n"))
                 }
                 None => LineResult::Output("usage: \\workers <n>\n".into()),
             },
+            "\\fault" => self.fault(&parts),
             "\\load" => self.load(&parts),
             "\\gen" => self.generate(&parts),
             "\\explain" => {
@@ -185,8 +192,79 @@ impl Shell {
             }
             other => LineResult::Output(format!(
                 "unknown command '{other}' (try \\d, \\load, \\gen, \\explain, \\prem, \\timing, \
-                 \\tracing, \\trace, \\q)\n"
+                 \\tracing, \\trace, \\fault, \\q)\n"
             )),
+        }
+    }
+
+    /// `\fault` — show, set, or clear deterministic fault injection. Setting
+    /// or clearing restarts the session (the simulated cluster is immutable
+    /// once its workers are spawned), so tables are cleared.
+    fn fault(&mut self, parts: &[&str]) -> LineResult {
+        match parts.get(1) {
+            None => LineResult::Output(match &self.config.fault_spec {
+                Some(spec) => format!(
+                    "fault injection: {spec} (retries={}, checkpoint every {} rounds)\n",
+                    self.config.max_task_retries, self.config.checkpoint_interval
+                ),
+                None => "fault injection off \
+                         (usage: \\fault kill=0.1[,loss=P][,delay=P][,delay_us=N][,seed=N] \
+                         [retries=N] [checkpoint=K] | \\fault off)\n"
+                    .into(),
+            }),
+            Some(&"off") => {
+                self.config = self.config.clone().with_faults(None);
+                self.ctx = RaSqlContext::with_config(self.config.clone());
+                LineResult::Output(
+                    "fault injection off (session restarted, tables cleared)\n".into(),
+                )
+            }
+            Some(_) => {
+                // `retries=` and `checkpoint=` belong to the engine, not the
+                // spec; peel them off before handing the rest to the parser.
+                let mut spec_tokens: Vec<&str> = Vec::new();
+                let mut retries = self.config.max_task_retries;
+                let mut checkpoint = self.config.checkpoint_interval;
+                for token in &parts[1..] {
+                    if let Some(v) = token.strip_prefix("retries=") {
+                        match v.parse() {
+                            Ok(n) => retries = n,
+                            Err(e) => {
+                                return LineResult::Output(format!(
+                                    "error: bad retries '{v}': {e}\n"
+                                ))
+                            }
+                        }
+                    } else if let Some(v) = token.strip_prefix("checkpoint=") {
+                        match v.parse() {
+                            Ok(k) => checkpoint = k,
+                            Err(e) => {
+                                return LineResult::Output(format!(
+                                    "error: bad checkpoint '{v}': {e}\n"
+                                ))
+                            }
+                        }
+                    } else {
+                        spec_tokens.push(token);
+                    }
+                }
+                match rasql_exec::FaultSpec::parse(&spec_tokens.join(",")) {
+                    Ok(spec) => {
+                        self.config = self
+                            .config
+                            .clone()
+                            .with_faults(Some(spec))
+                            .with_max_task_retries(retries)
+                            .with_checkpoint_interval(checkpoint);
+                        self.ctx = RaSqlContext::with_config(self.config.clone());
+                        LineResult::Output(format!(
+                            "fault injection: {spec} (retries={retries}, checkpoint every \
+                             {checkpoint} rounds; session restarted, tables cleared)\n"
+                        ))
+                    }
+                    Err(e) => LineResult::Output(format!("error: {e}\n")),
+                }
+            }
         }
     }
 
@@ -396,6 +474,41 @@ mod tests {
             LineResult::Output(o) => {
                 assert!(o.contains("Holds") || o.contains("HeldWithinBound"), "{o}")
             }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn fault_command_round_trip() {
+        let mut sh = Shell::new();
+        match sh.feed("\\fault") {
+            LineResult::Output(o) => assert!(o.contains("fault injection off"), "{o}"),
+            other => panic!("{other:?}"),
+        }
+        match sh.feed("\\fault kill=0.25,seed=7 retries=5 checkpoint=2") {
+            LineResult::Output(o) => {
+                assert!(o.contains("kill=0.25"), "{o}");
+                assert!(o.contains("retries=5"), "{o}");
+                assert!(o.contains("checkpoint every 2 rounds"), "{o}");
+            }
+            other => panic!("{other:?}"),
+        }
+        // Queries still return correct results under injected faults.
+        sh.feed("\\gen g rmat 100");
+        match sh.feed("SELECT count(*) FROM g;") {
+            LineResult::Output(o) => assert!(o.contains("1000"), "{o}"),
+            other => panic!("{other:?}"),
+        }
+        match sh.feed("\\fault") {
+            LineResult::Output(o) => assert!(o.contains("kill=0.25"), "{o}"),
+            other => panic!("{other:?}"),
+        }
+        match sh.feed("\\fault off") {
+            LineResult::Output(o) => assert!(o.contains("fault injection off"), "{o}"),
+            other => panic!("{other:?}"),
+        }
+        match sh.feed("\\fault kill=notanumber") {
+            LineResult::Output(o) => assert!(o.contains("error"), "{o}"),
             other => panic!("{other:?}"),
         }
     }

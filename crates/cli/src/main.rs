@@ -1,15 +1,78 @@
 //! The `rasql-shell` binary: a stdin/stdout wrapper around [`rasql_cli::Shell`].
+//!
+//! Flags:
+//!
+//! * `--workers <n>` — simulated worker count
+//! * `--faults <spec>` — deterministic fault injection, e.g.
+//!   `--faults kill=0.05,loss=0.02,seed=42`
+//! * `--retries <n>` — retry budget for injected task failures
+//! * `--checkpoint-every <k>` — checkpoint fixpoint state every k rounds
 
 use rasql_cli::{LineResult, Shell};
+use rasql_core::EngineConfig;
+use rasql_exec::FaultSpec;
 use std::io::{BufRead, Write};
 
+fn parse_args(args: &[String]) -> Result<EngineConfig, String> {
+    let mut config = EngineConfig::rasql();
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        let mut value = |flag: &str| -> Result<&String, String> {
+            it.next().ok_or_else(|| format!("{flag} needs a value"))
+        };
+        match arg.as_str() {
+            "--workers" => {
+                let n = value("--workers")?
+                    .parse::<usize>()
+                    .map_err(|e| format!("bad --workers: {e}"))?;
+                config = config.with_workers(n);
+            }
+            "--faults" => {
+                let spec = FaultSpec::parse(value("--faults")?)?;
+                config = config.with_faults(Some(spec));
+            }
+            "--retries" => {
+                let n = value("--retries")?
+                    .parse::<u32>()
+                    .map_err(|e| format!("bad --retries: {e}"))?;
+                config = config.with_max_task_retries(n);
+            }
+            "--checkpoint-every" => {
+                let k = value("--checkpoint-every")?
+                    .parse::<u32>()
+                    .map_err(|e| format!("bad --checkpoint-every: {e}"))?;
+                config = config.with_checkpoint_interval(k);
+            }
+            other => return Err(format!("unknown flag '{other}'")),
+        }
+    }
+    Ok(config)
+}
+
 fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let config = match parse_args(&args) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!(
+                "error: {e}\nusage: rasql-shell [--workers N] [--faults SPEC] [--retries N] \
+                 [--checkpoint-every K]"
+            );
+            std::process::exit(2);
+        }
+    };
     println!(
         "RaSQL shell — recursive-aggregate SQL (SIGMOD 2019 reproduction).\n\
          Statements end with ';'. Try \\gen g rmatw 1000, then a recursive query.\n\
-         \\q quits, \\d lists tables, \\explain/\\prem inspect queries."
+         \\q quits, \\d lists tables, \\explain/\\prem inspect queries, \\fault injects faults."
     );
-    let mut shell = Shell::new();
+    if let Some(spec) = &config.fault_spec {
+        println!(
+            "fault injection: {spec} (retries={}, checkpoint every {} rounds)",
+            config.max_task_retries, config.checkpoint_interval
+        );
+    }
+    let mut shell = Shell::with_config(config);
     let stdin = std::io::stdin();
     let mut prompt = "rasql> ";
     loop {

@@ -1,6 +1,8 @@
 //! Engine configuration: every optimization axis of the paper, toggleable for
 //! the ablation benchmarks.
 
+use rasql_exec::FaultSpec;
+
 /// Naive vs. semi-naive fixpoint evaluation (§6, Algorithms 2 vs 4).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum EvalMode {
@@ -53,6 +55,15 @@ pub struct EngineConfig {
     /// fixpoint counters, stage spans, and operator rows/bytes. Off by
     /// default; `EXPLAIN ANALYZE` forces it on for that statement.
     pub tracing: bool,
+    /// Deterministic fault injection for the simulated cluster; `None` (the
+    /// default) disables all failure paths.
+    pub fault_spec: Option<FaultSpec>,
+    /// Retry budget for injected task failures (attempts = 1 + retries).
+    pub max_task_retries: u32,
+    /// Checkpoint the fixpoint's per-partition state every K rounds (plus an
+    /// initial round-0 capture); 0 disables checkpointing, so an
+    /// unrecoverable stage failure fails the query.
+    pub checkpoint_interval: u32,
 }
 
 impl Default for EngineConfig {
@@ -79,6 +90,9 @@ impl EngineConfig {
             max_iterations: 100_000,
             stage_latency_us: 2_000,
             tracing: false,
+            fault_spec: None,
+            max_task_retries: 3,
+            checkpoint_interval: 0,
         }
     }
 
@@ -168,6 +182,24 @@ impl EngineConfig {
     /// Toggle query tracing (see [`EngineConfig::tracing`]).
     pub fn with_tracing(mut self, on: bool) -> Self {
         self.tracing = on;
+        self
+    }
+
+    /// Enable deterministic fault injection (`None` disables it).
+    pub fn with_faults(mut self, spec: Option<FaultSpec>) -> Self {
+        self.fault_spec = spec;
+        self
+    }
+
+    /// Set the retry budget for injected task failures.
+    pub fn with_max_task_retries(mut self, retries: u32) -> Self {
+        self.max_task_retries = retries;
+        self
+    }
+
+    /// Checkpoint fixpoint state every `k` rounds (0 disables).
+    pub fn with_checkpoint_interval(mut self, k: u32) -> Self {
+        self.checkpoint_interval = k;
         self
     }
 }

@@ -82,6 +82,9 @@ impl RaSqlContext {
             workers: config.workers,
             partition_aware: config.partition_aware,
             stage_latency: std::time::Duration::from_micros(config.stage_latency_us),
+            fault_spec: config.fault_spec,
+            max_task_retries: config.max_task_retries,
+            ..Default::default()
         });
         RaSqlContext {
             catalog: Catalog::new(),
@@ -284,6 +287,7 @@ impl RaSqlContext {
                     },
                 ));
                 text.push_str(&trace.render_iterations());
+                text.push_str(&trace.render_recovery());
                 text.push_str(&format!(
                     "\nTotals: {:.3} ms, {} stages, {} tasks, {} iterations, \
                      shuffle {} rows / {} bytes\n",
@@ -294,6 +298,12 @@ impl RaSqlContext {
                     trace.metrics.shuffle_rows,
                     trace.metrics.shuffle_bytes,
                 ));
+                if trace.metrics.task_retries + trace.metrics.restores > 0 {
+                    text.push_str(&format!(
+                        "Recovered: {} task retries, {} checkpoint restores\n",
+                        trace.metrics.task_retries, trace.metrics.restores,
+                    ));
+                }
                 Ok(QueryResult {
                     relation: text_relation(&text),
                     stats: result.stats,
@@ -474,6 +484,24 @@ impl ContextBuilder {
         self
     }
 
+    /// Enable deterministic fault injection on the simulated cluster.
+    pub fn faults(mut self, spec: Option<rasql_exec::FaultSpec>) -> Self {
+        self.config = self.config.with_faults(spec);
+        self
+    }
+
+    /// Retry budget for injected task failures.
+    pub fn max_task_retries(mut self, retries: u32) -> Self {
+        self.config = self.config.with_max_task_retries(retries);
+        self
+    }
+
+    /// Checkpoint fixpoint state every `k` rounds (0 disables).
+    pub fn checkpoint_interval(mut self, k: u32) -> Self {
+        self.config = self.config.with_checkpoint_interval(k);
+        self
+    }
+
     /// The configuration built so far.
     pub fn config(&self) -> &EngineConfig {
         &self.config
@@ -528,5 +556,12 @@ fn diff_metrics(before: MetricsSnapshot, after: MetricsSnapshot) -> MetricsSnaps
         broadcast_bytes: after.broadcast_bytes - before.broadcast_bytes,
         join_output_rows: after.join_output_rows - before.join_output_rows,
         iterations: after.iterations - before.iterations,
+        remote_fetches: after.remote_fetches - before.remote_fetches,
+        task_failures: after.task_failures - before.task_failures,
+        task_retries: after.task_retries - before.task_retries,
+        worker_blacklists: after.worker_blacklists - before.worker_blacklists,
+        checkpoints: after.checkpoints - before.checkpoints,
+        checkpoint_bytes: after.checkpoint_bytes - before.checkpoint_bytes,
+        restores: after.restores - before.restores,
     }
 }

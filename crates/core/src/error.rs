@@ -1,5 +1,6 @@
 //! Engine errors.
 
+use rasql_exec::ExecError;
 use rasql_parser::ParseError;
 use rasql_plan::PlanError;
 use rasql_storage::StorageError;
@@ -14,6 +15,9 @@ pub enum EngineError {
     Plan(PlanError),
     /// Storage/catalog failure.
     Storage(StorageError),
+    /// Unrecoverable execution failure: a task panicked, or injected faults
+    /// exhausted the retry budget and no checkpoint could absorb the loss.
+    Exec(ExecError),
     /// The fixpoint did not converge within the configured iteration cap —
     /// the paper's stratified-SSSP-on-a-cyclic-graph situation (Fig 1's
     /// `360*` footnote).
@@ -33,6 +37,7 @@ impl fmt::Display for EngineError {
             EngineError::Parse(e) => write!(f, "{e}"),
             EngineError::Plan(e) => write!(f, "{e}"),
             EngineError::Storage(e) => write!(f, "{e}"),
+            EngineError::Exec(e) => write!(f, "{e}"),
             EngineError::NonTermination { view, iterations } => write!(
                 f,
                 "fixpoint for view '{view}' did not converge after {iterations} iterations \
@@ -49,6 +54,7 @@ impl std::error::Error for EngineError {
             EngineError::Parse(e) => Some(e),
             EngineError::Plan(e) => Some(e),
             EngineError::Storage(e) => Some(e),
+            EngineError::Exec(e) => Some(e),
             _ => None,
         }
     }
@@ -69,5 +75,11 @@ impl From<PlanError> for EngineError {
 impl From<StorageError> for EngineError {
     fn from(e: StorageError) -> Self {
         EngineError::Storage(e)
+    }
+}
+
+impl From<ExecError> for EngineError {
+    fn from(e: ExecError) -> Self {
+        EngineError::Exec(e)
     }
 }

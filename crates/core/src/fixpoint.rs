@@ -18,11 +18,15 @@ use crate::config::{EngineConfig, EvalMode, JoinStrategy};
 use crate::error::EngineError;
 use crate::eval::EvalContext;
 use parking_lot::Mutex;
+use rasql_exec::checkpoint::{
+    decode_agg_state, decode_rows, decode_set_state, encode_agg_state, encode_rows,
+    encode_set_state, Bytes, CheckpointStore,
+};
 use rasql_exec::join::SortedRun;
 use rasql_exec::state::{AggMergeResult, AggState, MonotoneOp};
 use rasql_exec::{
     merge_join, run_fused, run_unfused, Broadcast, Cluster, HashTable, IterationTrace, Metrics,
-    Pipeline, PipelineStep, SetState, StageKind, StageTask,
+    Pipeline, PipelineStep, RecoveryEvent, RecoveryKind, SetState, StageKind, StageTask,
 };
 use rasql_parser::ast::AggFunc;
 use rasql_plan::{
@@ -37,6 +41,12 @@ use std::time::Instant;
 /// Per-partition local-fixpoint history: one `(delta rows consumed, state
 /// rows after merge)` pair per local round (`Err` marks a failed task).
 type RoundHistory = Result<Vec<(u64, u64)>, ()>;
+
+/// How many times the fixpoint may restore from the *same* checkpoint before
+/// giving up. The budget refills whenever a newer checkpoint is captured
+/// (forward progress), so this only bounds repeated failures of one round —
+/// a livelock guard, not a global retry cap.
+const RESTORE_BUDGET: u32 = 8;
 
 /// Result of evaluating a clique.
 pub struct FixpointResult {
@@ -429,6 +439,14 @@ impl<'a> FixpointExecutor<'a> {
         let nv = views.len();
         let mut contributions: Buckets = base_buckets;
         let mut round: u32 = 0;
+        // Round-boundary checkpointing (see `rasql_exec::checkpoint`): between
+        // rounds every partition's state plus the pending contributions form a
+        // consistent cut, so that is where snapshots are taken and where
+        // replay resumes after an unrecoverable stage failure.
+        let ckpt_every = self.config.checkpoint_interval;
+        let store = (ckpt_every > 0).then(CheckpointStore::memory);
+        let mut last_ckpt: Option<u32> = None;
+        let mut restores_left: u32 = RESTORE_BUDGET;
         // Stage combination fuses the reduce of round r with the map of round
         // r+1 — sound only when no branch reads old/new snapshots of another
         // recursive relation (those need the merge barrier).
@@ -446,7 +464,35 @@ impl<'a> FixpointExecutor<'a> {
             );
         }
 
-        loop {
+        'rounds: loop {
+            // Capture at the round boundary: round 0 (the base delta) and
+            // every `ckpt_every` rounds after. A restore rewinds `round` to a
+            // boundary we already captured; the `last_ckpt` guard keeps the
+            // replay from re-capturing (and re-filling the restore budget for)
+            // the same snapshot.
+            if let Some(st) = store.as_ref() {
+                if round.is_multiple_of(ckpt_every) && last_ckpt != Some(round) {
+                    match self.capture_checkpoint(st, views, &contributions, round) {
+                        Ok(()) => {
+                            last_ckpt = Some(round);
+                            restores_left = RESTORE_BUDGET;
+                        }
+                        Err(e) => {
+                            // The capture stage itself was lost; rewind to the
+                            // previous snapshot (if any) and replay.
+                            round = self.restore_or_fail(
+                                Some(st),
+                                views,
+                                &mut contributions,
+                                last_ckpt,
+                                &mut restores_left,
+                                e,
+                            )?;
+                            continue 'rounds;
+                        }
+                    }
+                }
+            }
             round += 1;
             if round > self.config.max_iterations {
                 return Err(EngineError::NonTermination {
@@ -487,8 +533,29 @@ impl<'a> FixpointExecutor<'a> {
                         })
                     })
                     .collect();
-                self.cluster
-                    .run_stage_traced(sink, "fixpoint combined", StageKind::Combined, tasks)
+                match self.cluster.try_run_stage_traced(
+                    sink,
+                    "fixpoint combined",
+                    StageKind::Combined,
+                    tasks,
+                ) {
+                    Ok(out) => out,
+                    Err(e) => {
+                        // `contributions` was moved into the stage; the drain
+                        // guarantee of `try_run_stage_traced` means no task
+                        // still holds it (or the state locks) here.
+                        contributions = empty_buckets(nv, p);
+                        round = self.restore_or_fail(
+                            store.as_ref(),
+                            views,
+                            &mut contributions,
+                            last_ckpt,
+                            &mut restores_left,
+                            EngineError::Exec(e),
+                        )?;
+                        continue 'rounds;
+                    }
+                }
             } else {
                 // --- Reduce stage (Algorithm 4 lines 11-16). ---
                 let contribs = Arc::new(contributions);
@@ -508,12 +575,26 @@ impl<'a> FixpointExecutor<'a> {
                         })
                     })
                     .collect();
-                let merged = self.cluster.run_stage_traced(
+                let merged = match self.cluster.try_run_stage_traced(
                     sink,
                     "fixpoint reduce",
                     StageKind::Reduce,
                     reduce_tasks,
-                );
+                ) {
+                    Ok(out) => out,
+                    Err(e) => {
+                        contributions = empty_buckets(nv, p);
+                        round = self.restore_or_fail(
+                            store.as_ref(),
+                            views,
+                            &mut contributions,
+                            last_ckpt,
+                            &mut restores_left,
+                            EngineError::Exec(e),
+                        )?;
+                        continue 'rounds;
+                    }
+                };
                 let mut deltas: Vec<Vec<DeltaBatch>> =
                     (0..nv).map(|_| vec![DeltaBatch::default(); p]).collect();
                 let mut all_empty = true;
@@ -563,8 +644,24 @@ impl<'a> FixpointExecutor<'a> {
                         })
                     })
                     .collect();
-                self.cluster
-                    .run_stage_traced(sink, "fixpoint map", StageKind::Map, tasks)
+                match self
+                    .cluster
+                    .try_run_stage_traced(sink, "fixpoint map", StageKind::Map, tasks)
+                {
+                    Ok(out) => out,
+                    Err(e) => {
+                        contributions = empty_buckets(nv, p);
+                        round = self.restore_or_fail(
+                            store.as_ref(),
+                            views,
+                            &mut contributions,
+                            last_ckpt,
+                            &mut restores_left,
+                            EngineError::Exec(e),
+                        )?;
+                        continue 'rounds;
+                    }
+                }
             };
 
             let delta_rows: u64 = map_out.iter().map(|(n, _)| *n).sum();
@@ -615,6 +712,116 @@ impl<'a> FixpointExecutor<'a> {
                 });
             }
         }
+    }
+
+    // ----------------------------------------------------------------
+    // Checkpoint / restore (round-boundary recovery)
+    // ----------------------------------------------------------------
+
+    /// Serialize every partition's state (as a traced cluster stage — the
+    /// encode work runs where the state lives, and is itself subject to fault
+    /// injection) plus the pending contribution buckets (driver-side, it
+    /// already holds them) into the store under round `round`.
+    fn capture_checkpoint(
+        &self,
+        store: &CheckpointStore,
+        views: &Arc<Vec<ViewRt>>,
+        contributions: &Buckets,
+        round: u32,
+    ) -> Result<(), EngineError> {
+        let p = self.config.partitions;
+        let sink = self.eval.trace;
+        let views_c = Arc::clone(views);
+        let tasks: Vec<StageTask<Vec<(String, Bytes)>>> = (0..p)
+            .map(|part| {
+                let views_c = Arc::clone(&views_c);
+                StageTask::new(part % self.cluster.workers(), move |_w| {
+                    views_c
+                        .iter()
+                        .enumerate()
+                        .map(|(vi, v)| {
+                            let data = match &*v.state[part].lock() {
+                                ViewState::Set(s) => encode_set_state(s),
+                                ViewState::Agg(a) => encode_agg_state(a),
+                            };
+                            (format!("r{round}/v{vi}/p{part}"), data)
+                        })
+                        .collect()
+                })
+            })
+            .collect();
+        let encoded = self
+            .cluster
+            .try_run_stage_traced(sink, "fixpoint checkpoint", StageKind::Checkpoint, tasks)
+            .map_err(EngineError::Exec)?;
+        let mut bytes = 0u64;
+        for per_part in encoded {
+            for (key, data) in per_part {
+                bytes += store.put(&key, data)? as u64;
+            }
+        }
+        for (vi, per_view) in contributions.iter().enumerate() {
+            for (part, rows) in per_view.iter().enumerate() {
+                let data = encode_rows(rows);
+                bytes += store.put(&format!("r{round}/contrib/v{vi}/p{part}"), data)? as u64;
+            }
+        }
+        Metrics::add(&self.cluster.metrics.checkpoints, 1);
+        Metrics::add(&self.cluster.metrics.checkpoint_bytes, bytes);
+        if let Some(s) = sink {
+            s.record_recovery(RecoveryEvent {
+                kind: RecoveryKind::Checkpoint,
+                stage: clique_label(views),
+                round,
+                detail: format!("{bytes} B across {p} partitions"),
+            });
+        }
+        Ok(())
+    }
+
+    /// Rewind to the last captured round boundary, or fail with `err` if no
+    /// snapshot (or no budget) is left. On success every partition's state and
+    /// the pending contributions hold exactly what was captured, and the
+    /// returned round is where the loop resumes.
+    fn restore_or_fail(
+        &self,
+        store: Option<&CheckpointStore>,
+        views: &[ViewRt],
+        contributions: &mut Buckets,
+        last_ckpt: Option<u32>,
+        restores_left: &mut u32,
+        err: EngineError,
+    ) -> Result<u32, EngineError> {
+        let (Some(store), Some(at), 1..) = (store, last_ckpt, *restores_left) else {
+            return Err(err);
+        };
+        *restores_left -= 1;
+        let mut bytes = 0u64;
+        for (vi, v) in views.iter().enumerate() {
+            for (part, contrib) in contributions[vi].iter_mut().enumerate() {
+                let key = format!("r{at}/v{vi}/p{part}");
+                let data = checkpoint_entry(store, &key)?;
+                bytes += data.len() as u64;
+                *v.state[part].lock() = if v.is_set() {
+                    ViewState::Set(decode_set_state(data)?)
+                } else {
+                    ViewState::Agg(decode_agg_state(data)?)
+                };
+                let data = checkpoint_entry(store, &format!("r{at}/contrib/v{vi}/p{part}"))?;
+                bytes += data.len() as u64;
+                *contrib = decode_rows(data)?;
+            }
+        }
+        Metrics::add(&self.cluster.metrics.restores, 1);
+        if let Some(s) = self.eval.trace {
+            s.record_recovery(RecoveryEvent {
+                kind: RecoveryKind::Restore,
+                stage: clique_label(views),
+                round: at,
+                detail: format!("replaying from round {at} ({bytes} B) after: {err}"),
+            });
+        }
+        Ok(at)
     }
 
     /// Per-round snapshots of recursive relations used as join build sides
@@ -729,9 +936,13 @@ impl<'a> FixpointExecutor<'a> {
                     })
                 })
                 .collect();
-            let map_out =
-                self.cluster
-                    .run_stage_traced(sink, "fixpoint naive map", StageKind::Map, tasks);
+            // Naive evaluation has no mid-round mutable state to protect (the
+            // map is pure and state is rebuilt from scratch below), so a
+            // failed stage simply propagates as a typed error.
+            let map_out = self
+                .cluster
+                .try_run_stage_traced(sink, "fixpoint naive map", StageKind::Map, tasks)
+                .map_err(EngineError::Exec)?;
             let mut derived_rows = 0u64;
             for buckets in map_out {
                 for (vi, per_view) in buckets.into_iter().enumerate() {
@@ -835,47 +1046,86 @@ impl<'a> FixpointExecutor<'a> {
         let fused = self.eval.fused;
         // Each task returns its local per-round history: (delta rows consumed,
         // state rows after the round's merge).
-        let tasks: Vec<StageTask<RoundHistory>> = (0..p)
-            .map(|part| {
-                let base = Arc::clone(&base);
-                let views_c = Arc::clone(&views_c);
-                let branches_c = Arc::clone(&branches_c);
-                StageTask::new(part % self.cluster.workers(), move |w| {
-                    let v = &views_c[0];
-                    let mut state = v.state[part].lock();
-                    let mut delta = merge_into_state(v, &mut state, &base[0][part], 0);
-                    let mut iters: u32 = 0;
-                    let mut history: Vec<(u64, u64)> = Vec::new();
-                    while !delta.is_empty() {
-                        iters += 1;
-                        if iters > max_iter {
-                            return Err(());
+        let make_tasks = || -> Vec<StageTask<RoundHistory>> {
+            (0..p)
+                .map(|part| {
+                    let base = Arc::clone(&base);
+                    let views_c = Arc::clone(&views_c);
+                    let branches_c = Arc::clone(&branches_c);
+                    StageTask::new(part % self.cluster.workers(), move |w| {
+                        let v = &views_c[0];
+                        let mut state = v.state[part].lock();
+                        let mut delta = merge_into_state(v, &mut state, &base[0][part], 0);
+                        let mut iters: u32 = 0;
+                        let mut history: Vec<(u64, u64)> = Vec::new();
+                        while !delta.is_empty() {
+                            iters += 1;
+                            if iters > max_iter {
+                                return Err(());
+                            }
+                            let consumed = delta.rows.len() as u64;
+                            let mut produced: Vec<Row> = Vec::new();
+                            for b in branches_c.iter() {
+                                let input = delta.reader_rows(b.driver_value_mode, &v.agg_cols);
+                                let out = run_branch(b, &input, &[], 0, usize::MAX, w, fused);
+                                // Translate keys-then-aggs into schema shape; the
+                                // preserved-column property guarantees rows stay
+                                // in this partition.
+                                produced.extend(out.into_iter().map(|r| {
+                                    contribution_to_schema_row(&r, &v.spec.key_cols, &v.agg_cols)
+                                }));
+                            }
+                            delta = merge_into_state(v, &mut state, &produced, iters);
+                            history.push((consumed, state_len(&state) as u64));
                         }
-                        let consumed = delta.rows.len() as u64;
-                        let mut produced: Vec<Row> = Vec::new();
-                        for b in branches_c.iter() {
-                            let input = delta.reader_rows(b.driver_value_mode, &v.agg_cols);
-                            let out = run_branch(b, &input, &[], 0, usize::MAX, w, fused);
-                            // Translate keys-then-aggs into schema shape; the
-                            // preserved-column property guarantees rows stay
-                            // in this partition.
-                            produced.extend(out.into_iter().map(|r| {
-                                contribution_to_schema_row(&r, &v.spec.key_cols, &v.agg_cols)
-                            }));
-                        }
-                        delta = merge_into_state(v, &mut state, &produced, iters);
-                        history.push((consumed, state_len(&state) as u64));
-                    }
-                    Ok(history)
+                        Ok(history)
+                    })
                 })
-            })
-            .collect();
-        let results = self.cluster.run_stage_traced(
-            sink,
-            "fixpoint decomposed",
-            StageKind::Decomposed,
-            tasks,
-        );
+                .collect()
+        };
+        // A decomposed run has no round boundaries to checkpoint at — the
+        // entire local fixpoint is one stage — so recovery is reset-and-rerun:
+        // wipe every partition back to empty state and run the stage again
+        // (sound because the stage derives everything from the immutable base
+        // buckets). Only attempted when checkpointing is enabled; otherwise a
+        // lost stage propagates as a typed error.
+        let mut reruns_left = if self.config.checkpoint_interval > 0 {
+            RESTORE_BUDGET
+        } else {
+            0
+        };
+        let results = loop {
+            match self.cluster.try_run_stage_traced(
+                sink,
+                "fixpoint decomposed",
+                StageKind::Decomposed,
+                make_tasks(),
+            ) {
+                Ok(r) => break r,
+                Err(e) => {
+                    if reruns_left == 0 {
+                        return Err(EngineError::Exec(e));
+                    }
+                    reruns_left -= 1;
+                    for part in &views[0].state {
+                        *part.lock() = if views[0].is_set() {
+                            ViewState::Set(SetState::new())
+                        } else {
+                            ViewState::Agg(AggState::new())
+                        };
+                    }
+                    Metrics::add(&self.cluster.metrics.restores, 1);
+                    if let Some(s) = sink {
+                        s.record_recovery(RecoveryEvent {
+                            kind: RecoveryKind::Restore,
+                            stage: clique_label(views),
+                            round: 0,
+                            detail: format!("state reset to empty; rerunning after: {e}"),
+                        });
+                    }
+                }
+            }
+        };
         let mut histories: Vec<Vec<(u64, u64)>> = Vec::with_capacity(p);
         for r in results {
             match r {
@@ -1236,6 +1486,30 @@ fn merge_into_state(
         }
     }
     delta
+}
+
+/// Freshly-allocated empty contribution buckets (`nv` views × `p` partitions).
+fn empty_buckets(nv: usize, p: usize) -> Buckets {
+    (0..nv)
+        .map(|_| (0..p).map(|_| Vec::new()).collect())
+        .collect()
+}
+
+/// Comma-joined view names — the `stage` label for clique-scoped recovery
+/// events.
+fn clique_label(views: &[ViewRt]) -> String {
+    views
+        .iter()
+        .map(|v| v.spec.name.as_str())
+        .collect::<Vec<_>>()
+        .join(",")
+}
+
+/// Fetch a checkpoint entry that must exist (it was captured this run).
+fn checkpoint_entry(store: &CheckpointStore, key: &str) -> Result<Bytes, EngineError> {
+    store.get(key)?.ok_or_else(|| {
+        EngineError::Other(format!("checkpoint entry '{key}' missing from the store"))
+    })
 }
 
 /// Rows currently held in one partition's state.

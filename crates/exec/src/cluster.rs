@@ -7,10 +7,26 @@
 //! its input partition); otherwise a drifting round-robin models Spark's
 //! default hybrid policy, which ignores inter-iteration locality and thereby
 //! forces remote fetches.
+//!
+//! # Fault tolerance
+//!
+//! When a [`FaultSpec`] is configured, each task attempt is assigned a
+//! deterministic fate by the [`FaultInjector`] *before its body runs* (a
+//! worker crashing at task receipt). Injected failures are retried with
+//! bounded exponential backoff, up to `max_task_retries` times; a worker that
+//! keeps failing is blacklisted and subsequent retries are placed elsewhere
+//! (paying the remote-fetch cost, which the metrics record). Genuine task
+//! panics are caught with `catch_unwind` and surfaced as a typed
+//! [`ExecError`] — they are *not* retried, because a panicking body may have
+//! partially mutated per-partition state (the price of the paper's mutable
+//! SetRDD design; see DESIGN.md "Fault tolerance").
 
+use crate::error::ExecError;
+use crate::fault::{FaultInjector, FaultSpec, TaskFault};
 use crate::metrics::Metrics;
-use crate::trace::{StageKind, StageSpan, TraceSink};
+use crate::trace::{RecoveryEvent, RecoveryKind, StageKind, StageSpan, TraceSink};
 use crossbeam::channel::{unbounded, Sender};
+use parking_lot::Mutex;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
@@ -32,10 +48,27 @@ pub struct ClusterConfig {
     /// latency is modeled explicitly (and can be zeroed for pure-compute
     /// microbenchmarks).
     pub stage_latency: Duration,
+    /// Deterministic fault injection; `None` disables all failure paths.
+    pub fault_spec: Option<FaultSpec>,
+    /// Retries per task for injected failures (attempts = 1 + retries).
+    pub max_task_retries: u32,
+    /// Base backoff before the first retry; doubles per subsequent retry.
+    pub retry_backoff: Duration,
+    /// Injected failures on one worker before it is blacklisted.
+    pub blacklist_after: u32,
 }
 
 /// Default per-stage scheduler latency (a conservative Spark-like figure).
 pub const DEFAULT_STAGE_LATENCY: Duration = Duration::from_millis(2);
+
+/// Default retry budget for injected task failures.
+pub const DEFAULT_MAX_TASK_RETRIES: u32 = 3;
+
+/// Default base backoff before a task retry.
+pub const DEFAULT_RETRY_BACKOFF: Duration = Duration::from_micros(200);
+
+/// Default injected-failure count that blacklists a worker.
+pub const DEFAULT_BLACKLIST_AFTER: u32 = 3;
 
 impl Default for ClusterConfig {
     fn default() -> Self {
@@ -46,6 +79,10 @@ impl Default for ClusterConfig {
                 .min(8),
             partition_aware: true,
             stage_latency: DEFAULT_STAGE_LATENCY,
+            fault_spec: None,
+            max_task_retries: DEFAULT_MAX_TASK_RETRIES,
+            retry_backoff: DEFAULT_RETRY_BACKOFF,
+            blacklist_after: DEFAULT_BLACKLIST_AFTER,
         }
     }
 }
@@ -61,13 +98,14 @@ impl ClusterConfig {
 }
 
 type Job = Box<dyn FnOnce(usize) + Send + 'static>;
+type TaskBody<R> = Box<dyn FnOnce(usize) -> R + Send + 'static>;
 
 /// One task of a stage: a closure plus the worker that owns its input.
 pub struct StageTask<R> {
     /// The worker that holds this task's input partition.
     pub preferred_worker: usize,
     /// The task body; receives the worker id it actually runs on.
-    pub run: Box<dyn FnOnce(usize) -> R + Send + 'static>,
+    pub run: TaskBody<R>,
 }
 
 impl<R> StageTask<R> {
@@ -80,6 +118,28 @@ impl<R> StageTask<R> {
     }
 }
 
+/// What a worker sends back for one task attempt.
+enum TaskOutcome<R> {
+    /// The body ran to completion.
+    Done(R),
+    /// An injected fault fired *before* the body ran; the un-consumed body
+    /// travels back so the driver can re-dispatch it.
+    Faulted {
+        body: TaskBody<R>,
+        fault: TaskFault,
+        worker: usize,
+    },
+    /// The body panicked (body consumed — not retryable).
+    Panicked { worker: usize, message: String },
+}
+
+/// Per-worker health bookkeeping for blacklisting.
+#[derive(Debug, Default)]
+struct WorkerHealth {
+    failures: Vec<u32>,
+    blacklisted: Vec<bool>,
+}
+
 /// The simulated cluster.
 pub struct Cluster {
     senders: Vec<Sender<Job>>,
@@ -88,6 +148,8 @@ pub struct Cluster {
     pub metrics: Arc<Metrics>,
     config: ClusterConfig,
     stage_seq: AtomicU64,
+    injector: Option<FaultInjector>,
+    health: Mutex<WorkerHealth>,
 }
 
 impl Cluster {
@@ -109,12 +171,22 @@ impl Cluster {
                     .expect("spawn worker"),
             );
         }
+        let injector = config
+            .fault_spec
+            .filter(FaultSpec::is_active)
+            .map(FaultInjector::new);
+        let health = Mutex::new(WorkerHealth {
+            failures: vec![0; config.workers],
+            blacklisted: vec![false; config.workers],
+        });
         Cluster {
             senders,
             handles,
             metrics: Arc::new(Metrics::new()),
             config,
             stage_seq: AtomicU64::new(0),
+            injector,
+            health,
         }
     }
 
@@ -133,6 +205,23 @@ impl Cluster {
         self.config.partition_aware
     }
 
+    /// The fault spec driving the injector, if fault injection is active.
+    pub fn fault_spec(&self) -> Option<&FaultSpec> {
+        self.injector.as_ref().map(FaultInjector::spec)
+    }
+
+    /// Workers currently blacklisted for retry placement.
+    pub fn blacklisted_workers(&self) -> Vec<usize> {
+        self.health
+            .lock()
+            .blacklisted
+            .iter()
+            .enumerate()
+            .filter(|(_, &b)| b)
+            .map(|(w, _)| w)
+            .collect()
+    }
+
     /// The home worker of a partition id.
     #[inline]
     pub fn owner_of(&self, partition: usize) -> usize {
@@ -141,8 +230,19 @@ impl Cluster {
 
     /// Run one stage: execute all tasks (respecting the locality policy),
     /// barrier, and return results in task order.
+    ///
+    /// Panics (driver-side, with the task's message) on an unrecoverable task
+    /// failure; use [`Cluster::try_run_stage`] to handle it as a value.
     pub fn run_stage<R: Send + 'static>(&self, tasks: Vec<StageTask<R>>) -> Vec<R> {
         self.run_stage_traced(None, "stage", StageKind::Generic, tasks)
+    }
+
+    /// Fallible [`Cluster::run_stage`].
+    pub fn try_run_stage<R: Send + 'static>(
+        &self,
+        tasks: Vec<StageTask<R>>,
+    ) -> Result<Vec<R>, ExecError> {
+        self.try_run_stage_traced(None, "stage", StageKind::Generic, tasks)
     }
 
     /// [`Cluster::run_stage`] that additionally records a [`StageSpan`] into
@@ -156,6 +256,22 @@ impl Cluster {
         kind: StageKind,
         tasks: Vec<StageTask<R>>,
     ) -> Vec<R> {
+        self.try_run_stage_traced(sink, label, kind, tasks)
+            .unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fallible [`Cluster::run_stage_traced`]: task panics and exhausted
+    /// retry budgets come back as [`ExecError`] instead of unwinding across
+    /// the result channel. Guaranteed quiescent on return — every dispatched
+    /// task attempt has completed (successfully or not), so callers may
+    /// safely restore shared state afterwards.
+    pub fn try_run_stage_traced<R: Send + 'static>(
+        &self,
+        sink: Option<&TraceSink>,
+        label: &str,
+        kind: StageKind,
+        tasks: Vec<StageTask<R>>,
+    ) -> Result<Vec<R>, ExecError> {
         let n = tasks.len();
         let t_start = Instant::now();
         if !self.config.stage_latency.is_zero() {
@@ -165,7 +281,8 @@ impl Cluster {
         Metrics::add(&self.metrics.tasks, n as u64);
         let seq = self.stage_seq.fetch_add(1, Ordering::Relaxed);
 
-        let (done_tx, done_rx) = unbounded::<(usize, R)>();
+        let (done_tx, done_rx) = unbounded::<(usize, TaskOutcome<R>)>();
+        let mut prefs = Vec::with_capacity(n);
         for (i, task) in tasks.into_iter().enumerate() {
             let worker = if self.config.partition_aware {
                 task.preferred_worker % self.config.workers
@@ -175,23 +292,100 @@ impl Cluster {
                 // task lands on a different worker each stage.
                 (task.preferred_worker + 1 + seq as usize) % self.config.workers
             };
-            let tx = done_tx.clone();
-            let body = task.run;
-            self.senders[worker]
-                .send(Box::new(move |w| {
-                    let r = body(w);
-                    let _ = tx.send((i, r));
-                }))
-                .expect("worker alive");
+            prefs.push(task.preferred_worker);
+            self.dispatch(worker, i, seq, 1, task.run, &done_tx);
         }
-        drop(done_tx);
+
         let t_dispatched = Instant::now();
         let mut t_first: Option<Instant> = None;
         let mut results: Vec<Option<R>> = (0..n).map(|_| None).collect();
-        for _ in 0..n {
-            let (i, r) = done_rx.recv().expect("task result");
-            t_first.get_or_insert_with(Instant::now);
-            results[i] = Some(r);
+        let mut attempts: Vec<u32> = vec![1; n];
+        let mut total_attempts = n as u64;
+        let mut pending = n;
+        let mut fatal: Option<ExecError> = None;
+        while pending > 0 {
+            let (i, outcome) = done_rx.recv().expect("driver holds a sender");
+            match outcome {
+                TaskOutcome::Done(r) => {
+                    t_first.get_or_insert_with(Instant::now);
+                    results[i] = Some(r);
+                    pending -= 1;
+                }
+                TaskOutcome::Panicked { worker, message } => {
+                    pending -= 1;
+                    if fatal.is_none() {
+                        fatal = Some(ExecError::TaskPanicked {
+                            stage: label.to_string(),
+                            task: i,
+                            worker,
+                            message,
+                        });
+                    }
+                }
+                TaskOutcome::Faulted {
+                    body,
+                    fault,
+                    worker,
+                } => {
+                    Metrics::add(&self.metrics.task_failures, 1);
+                    if self.note_failure(worker) {
+                        Metrics::add(&self.metrics.worker_blacklists, 1);
+                        if let Some(sink) = sink {
+                            sink.record_recovery(RecoveryEvent {
+                                kind: RecoveryKind::Blacklist,
+                                stage: label.to_string(),
+                                round: 0,
+                                detail: format!(
+                                    "worker {worker} blacklisted after {} injected failures",
+                                    self.config.blacklist_after
+                                ),
+                            });
+                        }
+                    }
+                    // Once the stage is doomed, drain instead of retrying.
+                    if fatal.is_some() || attempts[i] > self.config.max_task_retries {
+                        pending -= 1;
+                        if fatal.is_none() {
+                            fatal = Some(ExecError::RetriesExhausted {
+                                stage: label.to_string(),
+                                task: i,
+                                attempts: attempts[i],
+                                fault: fault.name().to_string(),
+                            });
+                        }
+                        continue;
+                    }
+                    let prior = attempts[i];
+                    attempts[i] += 1;
+                    total_attempts += 1;
+                    Metrics::add(&self.metrics.task_retries, 1);
+                    if let Some(sink) = sink {
+                        sink.record_recovery(RecoveryEvent {
+                            kind: RecoveryKind::TaskRetry,
+                            stage: label.to_string(),
+                            round: 0,
+                            detail: format!(
+                                "task {i} attempt {} after injected {} on worker {worker}",
+                                attempts[i],
+                                fault.name()
+                            ),
+                        });
+                    }
+                    // Bounded exponential backoff: base × 2^(retries so far).
+                    let backoff = self
+                        .config
+                        .retry_backoff
+                        .saturating_mul(1u32 << (prior - 1).min(10));
+                    if !backoff.is_zero() {
+                        std::thread::sleep(backoff.min(Duration::from_millis(100)));
+                    }
+                    let target = self.retry_worker(prefs[i], attempts[i]);
+                    self.dispatch(target, i, seq, attempts[i], body, &done_tx);
+                }
+            }
+        }
+        if let Some(err) = fatal {
+            return Err(err);
         }
         if let Some(sink) = sink {
             let t_end = Instant::now();
@@ -200,13 +394,98 @@ impl Cluster {
                 label: label.to_string(),
                 kind,
                 tasks: n as u64,
+                attempts: total_attempts,
                 dispatch_us: (t_dispatched - t_start).as_micros() as u64,
                 run_us: (first - t_dispatched).as_micros() as u64,
                 barrier_us: (t_end - first).as_micros() as u64,
                 total_us: (t_end - t_start).as_micros() as u64,
             });
         }
-        results.into_iter().map(Option::unwrap).collect()
+        Ok(results.into_iter().map(Option::unwrap).collect())
+    }
+
+    /// Enqueue one attempt of a task on `worker`. The fault fate is decided
+    /// *here* from `(stage, task, attempt)` — never from placement — so the
+    /// injected schedule is identical across runs regardless of blacklisting.
+    fn dispatch<R: Send + 'static>(
+        &self,
+        worker: usize,
+        i: usize,
+        seq: u64,
+        attempt: u32,
+        body: TaskBody<R>,
+        done_tx: &Sender<(usize, TaskOutcome<R>)>,
+    ) {
+        let fault = self
+            .injector
+            .as_ref()
+            .map(|inj| inj.decide(seq, i as u64, attempt))
+            .unwrap_or(TaskFault::None);
+        let tx = done_tx.clone();
+        self.senders[worker]
+            .send(Box::new(move |w| {
+                let outcome = match fault {
+                    TaskFault::Kill | TaskFault::LoseOutput => TaskOutcome::Faulted {
+                        body,
+                        fault,
+                        worker: w,
+                    },
+                    TaskFault::None | TaskFault::Delay(_) => {
+                        if let TaskFault::Delay(d) = fault {
+                            std::thread::sleep(d);
+                        }
+                        match std::panic::catch_unwind(std::panic::AssertUnwindSafe(move || {
+                            body(w)
+                        })) {
+                            Ok(r) => TaskOutcome::Done(r),
+                            Err(payload) => TaskOutcome::Panicked {
+                                worker: w,
+                                message: panic_message(payload.as_ref()),
+                            },
+                        }
+                    }
+                };
+                let _ = tx.send((i, outcome));
+            }))
+            .expect("worker alive");
+    }
+
+    /// Record an injected failure on `worker`; true if this crossed the
+    /// blacklist threshold (a worker is never blacklisted if it would leave
+    /// no eligible workers).
+    fn note_failure(&self, worker: usize) -> bool {
+        let mut h = self.health.lock();
+        h.failures[worker] += 1;
+        let eligible = h.blacklisted.iter().filter(|&&b| !b).count();
+        if !h.blacklisted[worker]
+            && h.failures[worker] >= self.config.blacklist_after
+            && eligible > 1
+        {
+            h.blacklisted[worker] = true;
+            return true;
+        }
+        false
+    }
+
+    /// Placement for a retry: scan from `preferred + attempt` for the first
+    /// non-blacklisted worker, falling back to the preferred worker.
+    fn retry_worker(&self, preferred: usize, attempt: u32) -> usize {
+        let w = self.config.workers;
+        let h = self.health.lock();
+        let start = (preferred + attempt as usize) % w;
+        let preferred = preferred % w;
+        // Prefer home if healthy; otherwise the first healthy worker from a
+        // drifted start so consecutive retries spread out.
+        if !h.blacklisted[preferred] {
+            return preferred;
+        }
+        for off in 0..w {
+            let c = (start + off) % w;
+            if !h.blacklisted[c] {
+                return c;
+            }
+        }
+        preferred
     }
 
     /// Run one closure per worker (e.g. installing a broadcast value).
@@ -233,6 +512,17 @@ impl Cluster {
             })
             .collect();
         self.run_stage_traced(sink, label, kind, tasks)
+    }
+}
+
+/// Stringify a panic payload (the common `&str` / `String` cases).
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
     }
 }
 
@@ -315,9 +605,139 @@ mod tests {
         assert_eq!(s.label, "unit");
         assert_eq!(s.kind, StageKind::Map);
         assert_eq!(s.tasks, 4);
+        assert_eq!(s.attempts, 4);
         // Dispatch includes the configured 2ms stage latency.
         assert!(s.dispatch_us >= 1000, "dispatch {}us", s.dispatch_us);
         assert!(s.total_us >= s.dispatch_us);
+    }
+
+    #[test]
+    fn task_panic_is_a_typed_error() {
+        let c = Cluster::new(ClusterConfig::with_workers(2));
+        let tasks: Vec<StageTask<usize>> = (0..4)
+            .map(|i| {
+                StageTask::new(i, move |_w| {
+                    if i == 2 {
+                        panic!("boom {i}");
+                    }
+                    i
+                })
+            })
+            .collect();
+        match c.try_run_stage(tasks) {
+            Err(ExecError::TaskPanicked { task, message, .. }) => {
+                assert_eq!(task, 2);
+                assert!(message.contains("boom"), "{message}");
+            }
+            other => panic!("expected TaskPanicked, got {other:?}"),
+        }
+        // The cluster survives: a later stage still works.
+        let ok = c.run_stage(vec![StageTask::new(0, |_w| 7usize)]);
+        assert_eq!(ok, vec![7]);
+    }
+
+    #[test]
+    fn injected_kills_are_retried_to_success() {
+        let c = Cluster::new(ClusterConfig {
+            workers: 4,
+            stage_latency: Duration::ZERO,
+            fault_spec: Some(FaultSpec {
+                kill: 0.4,
+                seed: 11,
+                ..Default::default()
+            }),
+            max_task_retries: 8,
+            ..ClusterConfig::default()
+        });
+        for _ in 0..10 {
+            let out = c
+                .try_run_stage((0..8).map(|i| StageTask::new(i, move |_w| i)).collect())
+                .expect("retries absorb injected kills");
+            assert_eq!(out, (0..8).collect::<Vec<_>>());
+        }
+        let m = c.metrics.snapshot();
+        assert!(m.task_failures > 0, "faults should have fired: {m}");
+        assert_eq!(m.task_failures, m.task_retries);
+    }
+
+    #[test]
+    fn zero_retries_surface_exhaustion() {
+        let c = Cluster::new(ClusterConfig {
+            workers: 2,
+            stage_latency: Duration::ZERO,
+            fault_spec: Some(FaultSpec {
+                kill: 1.0,
+                seed: 1,
+                ..Default::default()
+            }),
+            max_task_retries: 0,
+            ..ClusterConfig::default()
+        });
+        match c.try_run_stage((0..2).map(|i| StageTask::new(i, move |_w| i)).collect()) {
+            Err(ExecError::RetriesExhausted {
+                attempts, fault, ..
+            }) => {
+                assert_eq!(attempts, 1);
+                assert_eq!(fault, "kill");
+            }
+            other => panic!("expected RetriesExhausted, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn fault_schedule_is_reproducible() {
+        let run = || {
+            let c = Cluster::new(ClusterConfig {
+                workers: 4,
+                stage_latency: Duration::ZERO,
+                fault_spec: Some(FaultSpec {
+                    kill: 0.3,
+                    loss: 0.1,
+                    seed: 77,
+                    ..Default::default()
+                }),
+                max_task_retries: 10,
+                ..ClusterConfig::default()
+            });
+            for _ in 0..5 {
+                c.try_run_stage((0..8).map(|i| StageTask::new(i, move |_w| i)).collect())
+                    .unwrap();
+            }
+            let m = c.metrics.snapshot();
+            (m.task_failures, m.task_retries)
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn repeated_failures_blacklist_a_worker() {
+        let c = Cluster::new(ClusterConfig {
+            workers: 4,
+            stage_latency: Duration::ZERO,
+            fault_spec: Some(FaultSpec {
+                kill: 0.5,
+                seed: 3,
+                ..Default::default()
+            }),
+            max_task_retries: 12,
+            blacklist_after: 2,
+            ..ClusterConfig::default()
+        });
+        for _ in 0..10 {
+            c.try_run_stage(
+                (0..8)
+                    .map(|i| StageTask::new(i, move |_w| i))
+                    .collect::<Vec<StageTask<usize>>>(),
+            )
+            .unwrap();
+        }
+        assert!(
+            !c.blacklisted_workers().is_empty(),
+            "kill=0.5 over 80 tasks should blacklist someone"
+        );
+        assert!(c.metrics.snapshot().worker_blacklists > 0);
+        // Blacklisting never removes the last eligible worker.
+        assert!(c.blacklisted_workers().len() < 4);
     }
 
     #[test]

@@ -99,6 +99,7 @@ impl Dataset {
             data
         } else {
             let bytes: usize = data.iter().map(Row::size_bytes).sum();
+            Metrics::add(&cluster.metrics.remote_fetches, 1);
             Metrics::add(&cluster.metrics.remote_fetch_bytes, bytes as u64);
             // The deep copy is the simulated network transfer.
             Arc::new(data.as_ref().clone())
@@ -137,6 +138,7 @@ impl Dataset {
                     let data = Arc::clone(&this.partitions[p]);
                     let data = if w != owner {
                         let bytes: usize = data.iter().map(Row::size_bytes).sum();
+                        Metrics::add(&cluster_metrics.remote_fetches, 1);
                         Metrics::add(&cluster_metrics.remote_fetch_bytes, bytes as u64);
                         Arc::new(data.as_ref().clone())
                     } else {
@@ -220,6 +222,7 @@ impl Dataset {
                 label: format!("{label} read"),
                 kind: StageKind::ShuffleRead,
                 tasks: n as u64,
+                attempts: n as u64,
                 dispatch_us: 0,
                 run_us: us,
                 barrier_us: 0,

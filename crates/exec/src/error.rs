@@ -1,0 +1,66 @@
+//! Typed execution errors.
+//!
+//! Before this module existed a panicking task tore down its worker thread
+//! and the driver died on a closed result channel with no context. Stage
+//! execution now returns [`ExecError`] through
+//! [`crate::Cluster::try_run_stage_traced`] instead of unwinding across the
+//! channel.
+
+use std::fmt;
+
+/// A stage-level execution failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ExecError {
+    /// A task body panicked. Genuine panics are not retried: the task may
+    /// have partially mutated per-partition state, so re-running it is not
+    /// safe — recovery (if any) is the fixpoint's checkpoint/restore.
+    TaskPanicked {
+        /// Stage label.
+        stage: String,
+        /// Task index within the stage.
+        task: usize,
+        /// Worker the task ran on.
+        worker: usize,
+        /// The panic payload, stringified.
+        message: String,
+    },
+    /// An injected fault kept recurring until the retry budget ran out.
+    RetriesExhausted {
+        /// Stage label.
+        stage: String,
+        /// Task index within the stage.
+        task: usize,
+        /// Attempts made (1 + retries).
+        attempts: u32,
+        /// Name of the last injected fault (`kill` / `lost_output`).
+        fault: String,
+    },
+}
+
+impl fmt::Display for ExecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ExecError::TaskPanicked {
+                stage,
+                task,
+                worker,
+                message,
+            } => write!(
+                f,
+                "task {task} of stage '{stage}' panicked on worker {worker}: {message}"
+            ),
+            ExecError::RetriesExhausted {
+                stage,
+                task,
+                attempts,
+                fault,
+            } => write!(
+                f,
+                "task {task} of stage '{stage}' failed {attempts} attempts \
+                 (last injected fault: {fault}); retry budget exhausted"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for ExecError {}

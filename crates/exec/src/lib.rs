@@ -20,11 +20,19 @@
 //! - hash-join and sort-merge-join kernels (Appendix D);
 //! - **fused vs. unfused operator pipelines** — the code-generation analog
 //!   (§7.3): the unfused backend materializes an intermediate collection per
-//!   operator, the fused backend collapses all steps into one pass.
+//!   operator, the fused backend collapses all steps into one pass;
+//! - a **fault-tolerance layer**: deterministic seeded fault injection
+//!   ([`FaultSpec`]), task retry with backoff and worker blacklisting, typed
+//!   stage errors ([`ExecError`]), and round-boundary checkpoint stores
+//!   ([`CheckpointStore`]) for the fixpoint's mutable state (which forfeits
+//!   Spark's lineage recovery — see DESIGN.md "Fault tolerance").
 
 pub mod broadcast;
+pub mod checkpoint;
 pub mod cluster;
 pub mod dataset;
+pub mod error;
+pub mod fault;
 pub mod join;
 pub mod metrics;
 pub mod pipeline;
@@ -32,13 +40,19 @@ pub mod state;
 pub mod trace;
 
 pub use broadcast::Broadcast;
+pub use checkpoint::{
+    decode_agg_state, decode_rows, decode_set_state, encode_agg_state, encode_rows,
+    encode_set_state, CheckpointStore,
+};
 pub use cluster::{Cluster, ClusterConfig, StageTask};
 pub use dataset::Dataset;
+pub use error::ExecError;
+pub use fault::{FaultInjector, FaultSpec, TaskFault};
 pub use join::{merge_join, HashTable};
 pub use metrics::{Metrics, MetricsSnapshot};
 pub use pipeline::{run_fused, run_unfused, Pipeline, PipelineStep};
 pub use state::{AggState, MergeOutcome, MonotoneOp, SetState};
 pub use trace::{
-    CliqueTrace, IterationTrace, JsonValue, OperatorTrace, QueryTrace, StageKind, StageSpan,
-    TraceSink,
+    CliqueTrace, IterationTrace, JsonValue, OperatorTrace, QueryTrace, RecoveryEvent, RecoveryKind,
+    StageKind, StageSpan, TraceSink,
 };

@@ -23,6 +23,20 @@ pub struct Metrics {
     pub join_output_rows: AtomicU64,
     /// Fixpoint iterations executed.
     pub iterations: AtomicU64,
+    /// Tasks that ran on a non-preferred worker (locality violations).
+    pub remote_fetches: AtomicU64,
+    /// Task attempts lost to injected faults.
+    pub task_failures: AtomicU64,
+    /// Task re-executions after injected faults.
+    pub task_retries: AtomicU64,
+    /// Workers blacklisted for repeated injected failures.
+    pub worker_blacklists: AtomicU64,
+    /// Fixpoint checkpoints captured.
+    pub checkpoints: AtomicU64,
+    /// Bytes written into the checkpoint store.
+    pub checkpoint_bytes: AtomicU64,
+    /// Fixpoint restores performed after unrecoverable stage failures.
+    pub restores: AtomicU64,
 }
 
 impl Metrics {
@@ -47,6 +61,13 @@ impl Metrics {
         self.broadcast_bytes.store(0, Ordering::Relaxed);
         self.join_output_rows.store(0, Ordering::Relaxed);
         self.iterations.store(0, Ordering::Relaxed);
+        self.remote_fetches.store(0, Ordering::Relaxed);
+        self.task_failures.store(0, Ordering::Relaxed);
+        self.task_retries.store(0, Ordering::Relaxed);
+        self.worker_blacklists.store(0, Ordering::Relaxed);
+        self.checkpoints.store(0, Ordering::Relaxed);
+        self.checkpoint_bytes.store(0, Ordering::Relaxed);
+        self.restores.store(0, Ordering::Relaxed);
     }
 
     /// Take a plain-value snapshot.
@@ -60,6 +81,13 @@ impl Metrics {
             broadcast_bytes: self.broadcast_bytes.load(Ordering::Relaxed),
             join_output_rows: self.join_output_rows.load(Ordering::Relaxed),
             iterations: self.iterations.load(Ordering::Relaxed),
+            remote_fetches: self.remote_fetches.load(Ordering::Relaxed),
+            task_failures: self.task_failures.load(Ordering::Relaxed),
+            task_retries: self.task_retries.load(Ordering::Relaxed),
+            worker_blacklists: self.worker_blacklists.load(Ordering::Relaxed),
+            checkpoints: self.checkpoints.load(Ordering::Relaxed),
+            checkpoint_bytes: self.checkpoint_bytes.load(Ordering::Relaxed),
+            restores: self.restores.load(Ordering::Relaxed),
         }
     }
 }
@@ -83,22 +111,52 @@ pub struct MetricsSnapshot {
     pub join_output_rows: u64,
     /// Fixpoint iterations.
     pub iterations: u64,
+    /// Tasks that ran on a non-preferred worker.
+    pub remote_fetches: u64,
+    /// Task attempts lost to injected faults.
+    pub task_failures: u64,
+    /// Task re-executions after injected faults.
+    pub task_retries: u64,
+    /// Workers blacklisted for repeated injected failures.
+    pub worker_blacklists: u64,
+    /// Fixpoint checkpoints captured.
+    pub checkpoints: u64,
+    /// Bytes written into the checkpoint store.
+    pub checkpoint_bytes: u64,
+    /// Fixpoint restores after unrecoverable stage failures.
+    pub restores: u64,
 }
 
 impl std::fmt::Display for MetricsSnapshot {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         write!(
             f,
-            "stages={} tasks={} iters={} shuffle={} rows/{} B remote_fetch={} B broadcast={} B join_out={}",
+            "stages={} tasks={} iters={} shuffle={} rows/{} B remote_fetch={}x/{} B broadcast={} B join_out={}",
             self.stages,
             self.tasks,
             self.iterations,
             self.shuffle_rows,
             self.shuffle_bytes,
+            self.remote_fetches,
             self.remote_fetch_bytes,
             self.broadcast_bytes,
             self.join_output_rows
-        )
+        )?;
+        if self.task_failures + self.task_retries + self.worker_blacklists > 0 {
+            write!(
+                f,
+                " failures={} retries={} blacklists={}",
+                self.task_failures, self.task_retries, self.worker_blacklists
+            )?;
+        }
+        if self.checkpoints + self.restores > 0 {
+            write!(
+                f,
+                " checkpoints={}/{} B restores={}",
+                self.checkpoints, self.checkpoint_bytes, self.restores
+            )?;
+        }
+        Ok(())
     }
 }
 

@@ -125,6 +125,12 @@ impl SetState {
             .filter(move |(_, &r)| r < round)
             .map(|(row, _)| row)
     }
+
+    /// Iterate `(row, merge round)` pairs — the full state the checkpoint
+    /// codec must capture (round watermarks drive old/new snapshots).
+    pub fn iter_with_rounds(&self) -> impl Iterator<Item = (&Row, u32)> {
+        self.rows.iter().map(|(row, &r)| (row, r))
+    }
 }
 
 /// One aggregate group's stored state.
@@ -285,6 +291,21 @@ impl AggState {
     /// Iterate `(key, entry)` pairs.
     pub fn iter(&self) -> impl Iterator<Item = (&[Value], &AggEntry)> {
         self.groups.iter().map(|(k, e)| (k.as_ref(), e))
+    }
+
+    /// Iterate the distinct-contributor tuples (checkpoint capture).
+    pub fn contributors(&self) -> impl Iterator<Item = &[Value]> {
+        self.contributors.iter().map(|t| t.as_ref())
+    }
+
+    /// Reinstall a group entry verbatim (checkpoint restore).
+    pub fn insert_group(&mut self, key: Box<[Value]>, entry: AggEntry) {
+        self.groups.insert(key, entry);
+    }
+
+    /// Reinstall a contributor tuple verbatim (checkpoint restore).
+    pub fn insert_contributor(&mut self, tuple: Box<[Value]>) {
+        self.contributors.insert(tuple);
     }
 }
 

@@ -312,6 +312,8 @@ pub enum StageKind {
     ShuffleWrite,
     /// The exchange side of a shuffle (gathering buckets).
     ShuffleRead,
+    /// A fixpoint checkpoint capture (round-boundary state snapshot).
+    Checkpoint,
 }
 
 impl StageKind {
@@ -326,6 +328,7 @@ impl StageKind {
             StageKind::Broadcast => "broadcast",
             StageKind::ShuffleWrite => "shuffle_write",
             StageKind::ShuffleRead => "shuffle_read",
+            StageKind::Checkpoint => "checkpoint",
         }
     }
 
@@ -340,6 +343,7 @@ impl StageKind {
             "broadcast" => StageKind::Broadcast,
             "shuffle_write" => StageKind::ShuffleWrite,
             "shuffle_read" => StageKind::ShuffleRead,
+            "checkpoint" => StageKind::Checkpoint,
             _ => return None,
         })
     }
@@ -356,6 +360,9 @@ pub struct StageSpan {
     pub kind: StageKind,
     /// Number of tasks in the stage.
     pub tasks: u64,
+    /// Task attempts dispatched, including fault-injection retries (equals
+    /// `tasks` on a fault-free stage).
+    pub attempts: u64,
     /// Scheduler latency + task dispatch, µs.
     pub dispatch_us: u64,
     /// Dispatch end until first task result, µs.
@@ -402,6 +409,57 @@ pub struct CliqueTrace {
     pub iterations: Vec<IterationTrace>,
 }
 
+/// What kind of fault-tolerance action a [`RecoveryEvent`] records.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RecoveryKind {
+    /// A task was re-dispatched after an injected fault.
+    TaskRetry,
+    /// A worker was blacklisted for repeated injected failures.
+    Blacklist,
+    /// A fixpoint checkpoint was captured at a round boundary.
+    Checkpoint,
+    /// Fixpoint state was restored from the last checkpoint and replayed.
+    Restore,
+}
+
+impl RecoveryKind {
+    /// Stable string form (used in JSON).
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            RecoveryKind::TaskRetry => "task_retry",
+            RecoveryKind::Blacklist => "blacklist",
+            RecoveryKind::Checkpoint => "checkpoint",
+            RecoveryKind::Restore => "restore",
+        }
+    }
+
+    /// Inverse of [`RecoveryKind::as_str`].
+    pub fn from_name(s: &str) -> Option<RecoveryKind> {
+        Some(match s {
+            "task_retry" => RecoveryKind::TaskRetry,
+            "blacklist" => RecoveryKind::Blacklist,
+            "checkpoint" => RecoveryKind::Checkpoint,
+            "restore" => RecoveryKind::Restore,
+            _ => return None,
+        })
+    }
+}
+
+/// One fault-tolerance action taken during the query: a task retry, a worker
+/// blacklist, a checkpoint capture, or a checkpoint restore.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RecoveryEvent {
+    /// What happened.
+    pub kind: RecoveryKind,
+    /// Label of the stage it happened in (or the fixpoint's view list for
+    /// checkpoint/restore events).
+    pub stage: String,
+    /// Fixpoint round the event belongs to (0 when not round-scoped).
+    pub round: u32,
+    /// Human-readable detail.
+    pub detail: String,
+}
+
 /// Live counters of one (final-plan) operator. Times and counts are
 /// *inclusive* of the operator's children, like `EXPLAIN ANALYZE` totals.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -431,6 +489,9 @@ pub struct QueryTrace {
     pub stages: Vec<StageSpan>,
     /// Final-plan operator counters (pre-order).
     pub operators: Vec<OperatorTrace>,
+    /// Fault-tolerance actions (retries, blacklists, checkpoints, restores),
+    /// in occurrence order. Empty on a fault-free run.
+    pub recovery: Vec<RecoveryEvent>,
 }
 
 // --------------------------------------------------------------------
@@ -443,6 +504,7 @@ struct TraceData {
     cliques: Vec<CliqueTrace>,
     current: Option<CliqueTrace>,
     operators: Vec<OperatorTrace>,
+    recovery: Vec<RecoveryEvent>,
 }
 
 /// Per-query trace recorder, threaded through the executor by reference.
@@ -475,6 +537,11 @@ impl TraceSink {
     /// Record a stage span.
     pub fn record_stage(&self, span: StageSpan) {
         self.inner.lock().stages.push(span);
+    }
+
+    /// Record a fault-tolerance action.
+    pub fn record_recovery(&self, event: RecoveryEvent) {
+        self.inner.lock().recovery.push(event);
     }
 
     /// Open a clique trace; subsequent iterations are recorded into it.
@@ -550,6 +617,7 @@ impl TraceSink {
             cliques: d.cliques,
             stages: d.stages,
             operators: d.operators,
+            recovery: d.recovery,
         }
     }
 }
@@ -566,6 +634,12 @@ fn get_u64(obj: &JsonValue, key: &str) -> Result<u64, String> {
     obj.get(key)
         .and_then(JsonValue::as_u64)
         .ok_or_else(|| format!("missing or non-numeric field '{key}'"))
+}
+
+/// Like [`get_u64`] but tolerates a missing field (older trace exports predate
+/// the fault-tolerance counters).
+fn get_u64_or(obj: &JsonValue, key: &str, default: u64) -> u64 {
+    obj.get(key).and_then(JsonValue::as_u64).unwrap_or(default)
 }
 
 fn get_str(obj: &JsonValue, key: &str) -> Result<String, String> {
@@ -598,6 +672,13 @@ impl QueryTrace {
                     ("broadcast_bytes".into(), num(m.broadcast_bytes)),
                     ("join_output_rows".into(), num(m.join_output_rows)),
                     ("iterations".into(), num(m.iterations)),
+                    ("remote_fetches".into(), num(m.remote_fetches)),
+                    ("task_failures".into(), num(m.task_failures)),
+                    ("task_retries".into(), num(m.task_retries)),
+                    ("worker_blacklists".into(), num(m.worker_blacklists)),
+                    ("checkpoints".into(), num(m.checkpoints)),
+                    ("checkpoint_bytes".into(), num(m.checkpoint_bytes)),
+                    ("restores".into(), num(m.restores)),
                 ]),
             ),
             (
@@ -649,6 +730,7 @@ impl QueryTrace {
                                 ("label".into(), JsonValue::Str(s.label.clone())),
                                 ("kind".into(), JsonValue::Str(s.kind.as_str().into())),
                                 ("tasks".into(), num(s.tasks)),
+                                ("attempts".into(), num(s.attempts)),
                                 ("dispatch_us".into(), num(s.dispatch_us)),
                                 ("run_us".into(), num(s.run_us)),
                                 ("barrier_us".into(), num(s.barrier_us)),
@@ -675,6 +757,22 @@ impl QueryTrace {
                         .collect(),
                 ),
             ),
+            (
+                "recovery".into(),
+                JsonValue::Arr(
+                    self.recovery
+                        .iter()
+                        .map(|e| {
+                            JsonValue::Obj(vec![
+                                ("kind".into(), JsonValue::Str(e.kind.as_str().into())),
+                                ("stage".into(), JsonValue::Str(e.stage.clone())),
+                                ("round".into(), num(e.round as u64)),
+                                ("detail".into(), JsonValue::Str(e.detail.clone())),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
         ])
     }
 
@@ -691,6 +789,13 @@ impl QueryTrace {
             broadcast_bytes: get_u64(m, "broadcast_bytes")?,
             join_output_rows: get_u64(m, "join_output_rows")?,
             iterations: get_u64(m, "iterations")?,
+            remote_fetches: get_u64_or(m, "remote_fetches", 0),
+            task_failures: get_u64_or(m, "task_failures", 0),
+            task_retries: get_u64_or(m, "task_retries", 0),
+            worker_blacklists: get_u64_or(m, "worker_blacklists", 0),
+            checkpoints: get_u64_or(m, "checkpoints", 0),
+            checkpoint_bytes: get_u64_or(m, "checkpoint_bytes", 0),
+            restores: get_u64_or(m, "restores", 0),
         };
         let mut cliques = Vec::new();
         for c in root
@@ -735,11 +840,13 @@ impl QueryTrace {
             .ok_or("missing 'stages'")?
         {
             let kind_s = get_str(s, "kind")?;
+            let tasks = get_u64(s, "tasks")?;
             stages.push(StageSpan {
                 label: get_str(s, "label")?,
                 kind: StageKind::from_name(&kind_s)
                     .ok_or_else(|| format!("unknown stage kind '{kind_s}'"))?,
-                tasks: get_u64(s, "tasks")?,
+                tasks,
+                attempts: get_u64_or(s, "attempts", tasks),
                 dispatch_us: get_u64(s, "dispatch_us")?,
                 run_us: get_u64(s, "run_us")?,
                 barrier_us: get_u64(s, "barrier_us")?,
@@ -760,12 +867,26 @@ impl QueryTrace {
                 elapsed_us: get_u64(o, "elapsed_us")?,
             });
         }
+        let mut recovery = Vec::new();
+        if let Some(events) = root.get("recovery").and_then(JsonValue::as_arr) {
+            for e in events {
+                let kind_s = get_str(e, "kind")?;
+                recovery.push(RecoveryEvent {
+                    kind: RecoveryKind::from_name(&kind_s)
+                        .ok_or_else(|| format!("unknown recovery kind '{kind_s}'"))?,
+                    stage: get_str(e, "stage")?,
+                    round: get_u64_or(e, "round", 0) as u32,
+                    detail: get_str(e, "detail")?,
+                });
+            }
+        }
         Ok(QueryTrace {
             elapsed_us: get_u64(&root, "elapsed_us")?,
             metrics,
             cliques,
             stages,
             operators,
+            recovery,
         })
     }
 
@@ -799,8 +920,49 @@ impl QueryTrace {
         out
     }
 
+    /// Render the fault-tolerance section: a recovery summary line plus one
+    /// line per event. Empty string when the run was fault-free.
+    pub fn render_recovery(&self) -> String {
+        let m = &self.metrics;
+        if self.recovery.is_empty()
+            && m.task_failures + m.task_retries + m.checkpoints + m.restores == 0
+        {
+            return String::new();
+        }
+        let mut out = String::new();
+        out.push_str(&format!(
+            "\nRecovery: {} failures, {} retries, {} blacklists, {} checkpoints ({} B), {} restores\n",
+            m.task_failures,
+            m.task_retries,
+            m.worker_blacklists,
+            m.checkpoints,
+            m.checkpoint_bytes,
+            m.restores
+        ));
+        for e in &self.recovery {
+            if e.round > 0 {
+                out.push_str(&format!(
+                    "  [{}] round {} {}: {}\n",
+                    e.kind.as_str(),
+                    e.round,
+                    e.stage,
+                    e.detail
+                ));
+            } else {
+                out.push_str(&format!(
+                    "  [{}] {}: {}\n",
+                    e.kind.as_str(),
+                    e.stage,
+                    e.detail
+                ));
+            }
+        }
+        out
+    }
+
     /// Render as human-readable text: one table per clique (the per-iteration
-    /// record), a stage-span summary grouped by label, and the operator list.
+    /// record), a stage-span summary grouped by label, recovery events, and
+    /// the operator list.
     pub fn render(&self) -> String {
         let mut out = String::new();
         out.push_str(&format!(
@@ -810,33 +972,44 @@ impl QueryTrace {
             self.metrics.tasks,
             self.metrics.iterations,
         ));
+        if self.metrics.remote_fetches > 0 {
+            out.push_str(&format!(
+                "remote fetches: {} tasks off their home worker, {} B deep-copied\n",
+                self.metrics.remote_fetches, self.metrics.remote_fetch_bytes
+            ));
+        }
         out.push_str(&self.render_iterations());
         if !self.stages.is_empty() {
             out.push_str("\nStage spans (aggregated by label):\n");
-            // Aggregate consecutive-label-equal spans into per-label totals.
+            // Aggregate consecutive-label-equal spans into per-label totals:
+            // (stages, dispatch_us, run_us, barrier_us, total_us, tasks, attempts).
+            type SpanTotals = (u64, u64, u64, u64, u64, u64, u64);
             let mut order: Vec<String> = Vec::new();
-            let mut agg: std::collections::HashMap<String, (u64, u64, u64, u64, u64)> =
+            let mut agg: std::collections::HashMap<String, SpanTotals> =
                 std::collections::HashMap::new();
             for s in &self.stages {
                 let e = agg.entry(s.label.clone()).or_insert_with(|| {
                     order.push(s.label.clone());
-                    (0, 0, 0, 0, 0)
+                    (0, 0, 0, 0, 0, 0, 0)
                 });
                 e.0 += 1;
                 e.1 += s.dispatch_us;
                 e.2 += s.run_us;
                 e.3 += s.barrier_us;
                 e.4 += s.total_us;
+                e.5 += s.tasks;
+                e.6 += s.attempts;
             }
             out.push_str(
-                "  label                    | stages | dispatch_ms | run_ms | barrier_ms | total_ms\n",
+                "  label                    | stages | retries | dispatch_ms | run_ms | barrier_ms | total_ms\n",
             );
             for label in order {
-                let (n, d, r, b, t) = agg[&label];
+                let (n, d, r, b, t, tasks, attempts) = agg[&label];
                 out.push_str(&format!(
-                    "  {:<24} | {:>6} | {:>11.3} | {:>6.3} | {:>10.3} | {:>8.3}\n",
+                    "  {:<24} | {:>6} | {:>7} | {:>11.3} | {:>6.3} | {:>10.3} | {:>8.3}\n",
                     label,
                     n,
+                    attempts - tasks,
                     d as f64 / 1000.0,
                     r as f64 / 1000.0,
                     b as f64 / 1000.0,
@@ -844,6 +1017,7 @@ impl QueryTrace {
                 ));
             }
         }
+        out.push_str(&self.render_recovery());
         if !self.operators.is_empty() {
             out.push_str("\nOperators (final plan, inclusive):\n");
             for o in &self.operators {
@@ -878,6 +1052,12 @@ mod tests {
                 broadcast_bytes: 512,
                 join_output_rows: 77,
                 iterations: 3,
+                task_failures: 2,
+                task_retries: 2,
+                checkpoints: 1,
+                checkpoint_bytes: 640,
+                restores: 1,
+                ..Default::default()
             },
             cliques: vec![CliqueTrace {
                 views: vec!["tc".into()],
@@ -908,6 +1088,7 @@ mod tests {
                 label: "fixpoint combined".into(),
                 kind: StageKind::Combined,
                 tasks: 4,
+                attempts: 6,
                 dispatch_us: 2000,
                 run_us: 40,
                 barrier_us: 12,
@@ -920,6 +1101,20 @@ mod tests {
                 bytes: 1344,
                 elapsed_us: 15,
             }],
+            recovery: vec![
+                RecoveryEvent {
+                    kind: RecoveryKind::TaskRetry,
+                    stage: "fixpoint combined".into(),
+                    round: 0,
+                    detail: "task 1 attempt 2 after injected kill on worker 0".into(),
+                },
+                RecoveryEvent {
+                    kind: RecoveryKind::Restore,
+                    stage: "tc".into(),
+                    round: 2,
+                    detail: "restored 4 partitions at round 2".into(),
+                },
+            ],
         }
     }
 
@@ -988,8 +1183,64 @@ mod tests {
             StageKind::Broadcast,
             StageKind::ShuffleWrite,
             StageKind::ShuffleRead,
+            StageKind::Checkpoint,
         ] {
             assert_eq!(StageKind::from_name(k.as_str()), Some(k));
         }
+        for k in [
+            RecoveryKind::TaskRetry,
+            RecoveryKind::Blacklist,
+            RecoveryKind::Checkpoint,
+            RecoveryKind::Restore,
+        ] {
+            assert_eq!(RecoveryKind::from_name(k.as_str()), Some(k));
+        }
+    }
+
+    #[test]
+    fn old_trace_json_without_recovery_fields_still_parses() {
+        // Simulate a pre-fault-tolerance export: strip the new fields.
+        let mut t = sample();
+        t.recovery.clear();
+        t.metrics = MetricsSnapshot {
+            stages: 5,
+            tasks: 20,
+            shuffle_rows: 100,
+            shuffle_bytes: 4096,
+            broadcast_bytes: 512,
+            join_output_rows: 77,
+            iterations: 3,
+            ..Default::default()
+        };
+        let json = t.to_json();
+        // Drop the recovery array and new metric keys textually.
+        let json = json
+            .replace(",\"recovery\":[]", "")
+            .replace(",\"remote_fetches\":0", "")
+            .replace(",\"task_failures\":0", "")
+            .replace(",\"task_retries\":0", "")
+            .replace(",\"worker_blacklists\":0", "")
+            .replace(",\"checkpoints\":0", "")
+            .replace(",\"checkpoint_bytes\":0", "")
+            .replace(",\"restores\":0", "")
+            .replace(",\"attempts\":6", "");
+        let back = QueryTrace::from_json(&json).unwrap();
+        assert_eq!(back.metrics.stages, 5);
+        assert!(back.recovery.is_empty());
+        // attempts defaults to tasks when absent.
+        assert_eq!(back.stages[0].attempts, back.stages[0].tasks);
+    }
+
+    #[test]
+    fn render_recovery_lists_events() {
+        let text = sample().render();
+        assert!(text.contains("Recovery:"), "{text}");
+        assert!(text.contains("[task_retry]"), "{text}");
+        assert!(text.contains("[restore] round 2"), "{text}");
+        // Fault-free traces render no recovery section.
+        let mut clean = sample();
+        clean.recovery.clear();
+        clean.metrics = MetricsSnapshot::default();
+        assert!(!clean.render().contains("Recovery:"));
     }
 }

@@ -3,6 +3,10 @@
 //! aggregate state is order-insensitive where the algebra says it must be.
 
 use proptest::prelude::*;
+use rasql_exec::checkpoint::{
+    decode_agg_state, decode_rows, decode_set_state, encode_agg_state, encode_rows,
+    encode_set_state,
+};
 use rasql_exec::state::{AggState, MonotoneOp};
 use rasql_exec::{
     run_fused, run_unfused, Cluster, ClusterConfig, Dataset, HashTable, Pipeline, PipelineStep,
@@ -18,6 +22,7 @@ fn quiet_cluster(workers: usize) -> Cluster {
         workers,
         partition_aware: true,
         stage_latency: Duration::ZERO,
+        ..Default::default()
     })
 }
 
@@ -123,6 +128,82 @@ proptest! {
         let distinct: std::collections::HashSet<_> = rows.iter().collect();
         prop_assert_eq!(inserted, distinct.len());
         prop_assert_eq!(s.len(), distinct.len());
+    }
+
+    #[test]
+    fn set_state_survives_checkpoint_byte_identically(
+        rows in prop::collection::vec((0i64..40, 0i64..40, 0u32..12), 0..150),
+    ) {
+        // encode → decode → encode must be byte-identical (the encoding is
+        // canonical), and the restored state must agree row-for-row and
+        // round-for-round with the original.
+        let mut original = SetState::new();
+        for &(a, b, round) in &rows {
+            original.insert(int_row(&[a, b]), round);
+        }
+        let encoded = encode_set_state(&original);
+        let restored = decode_set_state(encoded.clone()).unwrap();
+        prop_assert_eq!(encode_set_state(&restored), encoded);
+        let mut got: Vec<_> = restored.iter_with_rounds().map(|(r, n)| (r.clone(), n)).collect();
+        let mut want: Vec<_> = original.iter_with_rounds().map(|(r, n)| (r.clone(), n)).collect();
+        got.sort();
+        want.sort();
+        prop_assert_eq!(got, want);
+    }
+
+    #[test]
+    fn agg_state_survives_checkpoint_byte_identically(
+        contribs in prop::collection::vec((0i64..8, -50i64..50, 1i64..20), 0..120),
+        dedup in prop::collection::vec((0i64..8, 0i64..8), 0..40),
+    ) {
+        // Build a two-column (min, sum) aggregate state with a populated
+        // distinct-contributor set, then round-trip it through the checkpoint
+        // codec. Canonical encoding ⇒ byte-identical re-encode; every group's
+        // totals must survive.
+        let ops = [MonotoneOp::Min, MonotoneOp::Sum];
+        let mut original = AggState::new();
+        for (round, &(k, lo, add)) in contribs.iter().enumerate() {
+            original.merge(
+                &[Value::Int(k)],
+                &[Value::Int(lo), Value::Int(add)],
+                &ops,
+                round as u32,
+                None,
+            );
+        }
+        for &(k, t) in &dedup {
+            original.merge(
+                &[Value::Int(k)],
+                &[Value::Int(t), Value::Int(1)],
+                &ops,
+                0,
+                Some(&[Value::Int(k), Value::Int(t)]),
+            );
+        }
+        let encoded = encode_agg_state(&original);
+        let restored = decode_agg_state(encoded.clone()).unwrap();
+        prop_assert_eq!(encode_agg_state(&restored), encoded);
+        for &(k, _, _) in &contribs {
+            prop_assert_eq!(
+                restored.get(&[Value::Int(k)]).unwrap(),
+                original.get(&[Value::Int(k)]).unwrap()
+            );
+        }
+        prop_assert_eq!(restored.len(), original.len());
+    }
+
+    #[test]
+    fn rows_survive_checkpoint_byte_identically(
+        rows in prop::collection::vec((-1000i64..1000, -1000i64..1000), 0..200),
+    ) {
+        // The row encoding is canonical (sorted), so compare as multisets.
+        let data: Vec<Row> = rows.iter().map(|&(a, b)| int_row(&[a, b])).collect();
+        let encoded = encode_rows(&data);
+        let restored = decode_rows(encoded.clone()).unwrap();
+        let mut want = data;
+        want.sort();
+        prop_assert_eq!(&restored, &want);
+        prop_assert_eq!(encode_rows(&restored), encoded);
     }
 
     #[test]

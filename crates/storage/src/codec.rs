@@ -169,7 +169,9 @@ impl CompressedRelation {
     }
 }
 
-fn encode_value(buf: &mut BytesMut, v: &Value) {
+/// Encode one [`Value`] with a 1-byte type tag (the row-codec building block,
+/// also used by the exec crate's checkpoint encoding).
+pub fn encode_value(buf: &mut BytesMut, v: &Value) {
     match v {
         Value::Null => buf.put_u8(0),
         Value::Bool(b) => {
@@ -192,7 +194,8 @@ fn encode_value(buf: &mut BytesMut, v: &Value) {
     }
 }
 
-fn decode_value(buf: &mut impl Buf) -> Result<Value, StorageError> {
+/// Inverse of [`encode_value`].
+pub fn decode_value(buf: &mut impl Buf) -> Result<Value, StorageError> {
     if !buf.has_remaining() {
         return Err(StorageError::Codec("truncated value".into()));
     }

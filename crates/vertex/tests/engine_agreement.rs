@@ -13,6 +13,7 @@ fn quiet_cluster() -> Cluster {
         workers: 2,
         partition_aware: true,
         stage_latency: Duration::ZERO,
+        ..Default::default()
     })
 }
 

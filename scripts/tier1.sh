@@ -7,3 +7,8 @@ cargo build --release
 cargo test -q
 cargo fmt --check
 cargo clippy -- -D warnings
+
+# Seeded fault-injection soak: every example query under deterministic
+# kill/delay/loss injection must match its fault-free result, and a
+# zero-retry leg must recover via checkpoint/restore mid-fixpoint.
+cargo run --release -p rasql-bench --bin reproduce -- faults --scale 0.1

@@ -82,7 +82,40 @@ impl Bytes {
             pos: 0,
         }
     }
+
+    /// A buffer over a static byte string.
+    pub fn from_static(data: &'static [u8]) -> Bytes {
+        Bytes {
+            data: data.into(),
+            pos: 0,
+        }
+    }
 }
+
+impl From<Vec<u8>> for Bytes {
+    fn from(data: Vec<u8>) -> Bytes {
+        Bytes {
+            data: data.into(),
+            pos: 0,
+        }
+    }
+}
+
+impl AsRef<[u8]> for Bytes {
+    /// The whole underlying buffer, ignoring the read cursor.
+    fn as_ref(&self) -> &[u8] {
+        &self.data
+    }
+}
+
+impl PartialEq for Bytes {
+    /// Content equality over the whole buffer (cursor position ignored).
+    fn eq(&self, other: &Self) -> bool {
+        self.data == other.data
+    }
+}
+
+impl Eq for Bytes {}
 
 impl Buf for Bytes {
     fn remaining(&self) -> usize {
