@@ -40,13 +40,13 @@ fn bench(c: &mut Criterion) {
     ];
     for (name, tables, sql) in &workloads {
         g.bench_function(format!("{name}_RaSQL"), |b| {
-            b.iter(|| run_sql_with(EngineConfig::rasql(), tables, sql))
+            b.iter(|| run_sql_with(EngineConfig::rasql(), tables, sql));
         });
         g.bench_function(format!("{name}_SQL-SN"), |b| {
-            b.iter(|| run_sql_with(EngineConfig::spark_sql_sn(), tables, sql))
+            b.iter(|| run_sql_with(EngineConfig::spark_sql_sn(), tables, sql));
         });
         g.bench_function(format!("{name}_SQL-Naive"), |b| {
-            b.iter(|| run_sql_with(EngineConfig::spark_sql_naive(), tables, sql))
+            b.iter(|| run_sql_with(EngineConfig::spark_sql_naive(), tables, sql));
         });
     }
     g.finish();

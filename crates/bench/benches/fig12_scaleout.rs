@@ -23,7 +23,7 @@ fn bench(c: &mut Criterion) {
                     &[("edge", &edges)],
                     &library::transitive_closure(),
                 )
-            })
+            });
         });
     }
     g.finish();

@@ -15,21 +15,21 @@ fn bench(c: &mut Criterion) {
             let ctx = RaSqlContext::with_config(EngineConfig::rasql());
             ctx.register("edge", edges.clone()).unwrap();
             ctx.query(&library::cc()).unwrap()
-        })
+        });
     });
     g.bench_function("stratified_cc", |b| {
         b.iter(|| {
             let ctx = RaSqlContext::with_config(EngineConfig::rasql());
             ctx.register("edge", edges.clone()).unwrap();
             ctx.query(&library::cc_stratified()).unwrap()
-        })
+        });
     });
     g.bench_function("rasql_sssp", |b| {
         b.iter(|| {
             let ctx = RaSqlContext::with_config(EngineConfig::rasql());
             ctx.register("edge", edges.clone()).unwrap();
             ctx.query(&library::sssp(1)).unwrap()
-        })
+        });
     });
     g.finish();
 }

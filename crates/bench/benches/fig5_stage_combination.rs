@@ -12,7 +12,7 @@ fn bench(c: &mut Criterion) {
     for q in [GraphQuery::Cc, GraphQuery::Reach, GraphQuery::Sssp] {
         let edges = rmat_graph(4000, q.weighted(), 7);
         g.bench_function(format!("{}_with_combination", q.name()), |b| {
-            b.iter(|| run_rasql(EngineConfig::rasql().with_decomposed(false), q, &edges, 1))
+            b.iter(|| run_rasql(EngineConfig::rasql().with_decomposed(false), q, &edges, 1));
         });
         g.bench_function(format!("{}_without_combination", q.name()), |b| {
             b.iter(|| {
@@ -24,7 +24,7 @@ fn bench(c: &mut Criterion) {
                     &edges,
                     1,
                 )
-            })
+            });
         });
     }
     g.finish();

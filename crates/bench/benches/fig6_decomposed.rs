@@ -18,7 +18,7 @@ fn bench(c: &mut Criterion) {
                 &[("edge", &edges)],
                 &library::transitive_closure(),
             )
-        })
+        });
     });
     g.bench_function("decompose_only", |b| {
         b.iter(|| {
@@ -27,7 +27,7 @@ fn bench(c: &mut Criterion) {
                 &[("edge", &edges)],
                 &library::transitive_closure(),
             )
-        })
+        });
     });
     g.bench_function("no_optimizations", |b| {
         b.iter(|| {
@@ -38,7 +38,7 @@ fn bench(c: &mut Criterion) {
                 &[("edge", &edges)],
                 &library::transitive_closure(),
             )
-        })
+        });
     });
     g.finish();
 }

@@ -13,7 +13,7 @@ fn bench(c: &mut Criterion) {
     let edges = real_graph_standin(RealGraph::LiveJournal, 0.05, false, 23);
     for sys in System::all() {
         g.bench_function(format!("CC_livejournal-s_{}", sys.name()), |b| {
-            b.iter(|| run_graph_query(sys, GraphQuery::Cc, &edges, 1, workers))
+            b.iter(|| run_graph_query(sys, GraphQuery::Cc, &edges, 1, workers));
         });
     }
     g.finish();

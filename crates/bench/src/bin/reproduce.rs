@@ -2,7 +2,7 @@
 //!
 //! ```text
 //! reproduce [all|fig1|fig2|fig5|fig6|fig7|fig8|fig9|fig10|fig11|fig12|
-//!            table1|table2|table3|premcheck|traces|faults] [--scale X]
+//!            table1|table2|table3|premcheck|traces|faults|lint] [--scale X]
 //!           [--faults SPEC] [--retries N] [--checkpoint-every K]
 //! ```
 //!
@@ -11,6 +11,10 @@
 //!
 //! The `traces` target runs CC/SSSP/decomposed-TC with tracing enabled and
 //! writes one `QueryTrace` JSON file per query under `target/traces/`.
+//!
+//! The `lint` target runs the compile-time verifier (`CHECK`) over every
+//! shipped example query and exits non-zero on any error-severity
+//! diagnostic or refuted PreM obligation.
 //!
 //! The `faults` target runs the seeded fault-injection soak: every example
 //! query under deterministic fault injection must match its fault-free
@@ -66,7 +70,7 @@ fn main() {
             "--help" | "-h" => {
                 println!(
                     "reproduce [all|fig1|fig2|fig5|fig6|fig7|fig8|fig9|fig10|fig11|fig12|\n\
-                     table1|table2|table3|premcheck|traces|faults]... [--scale X]\n\
+                     table1|table2|table3|premcheck|traces|faults|lint]... [--scale X]\n\
                      [--faults SPEC] [--retries N] [--checkpoint-every K]"
                 );
                 return;
@@ -125,6 +129,14 @@ fn main() {
     }
     if want("premcheck") {
         println!("{}", bench::premcheck());
+    }
+    // Not part of `all`: a subsystem check, not a paper artifact.
+    if targets.iter().any(|t| t == "lint") {
+        let (report, clean) = bench::lint();
+        println!("{report}");
+        if !clean {
+            die("lint found error-severity diagnostics");
+        }
     }
     // Not part of `all`: a subsystem check, not a paper artifact.
     if targets.iter().any(|t| t == "faults") {

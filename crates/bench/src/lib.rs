@@ -1066,7 +1066,7 @@ pub fn fault_soak(scale: f64, spec: FaultSpec, retries: u32, checkpoint_every: u
             let rows = result.relation.len();
             assert_eq!(
                 result.relation.sorted().rows(),
-                clean.clone().sorted().rows(),
+                clean.sorted().rows(),
                 "fault soak: restored TC run diverged (seed {seed})"
             );
             let m = &result.stats.metrics;
@@ -1142,4 +1142,103 @@ pub fn premcheck() -> String {
     out.push_str(&rasql_core::prem::prem_checking_version(&library::apsp()).unwrap());
     out.push('\n');
     out
+}
+
+/// `reproduce lint` — run the compile-time verifier over every shipped
+/// example query against empty base tables with the library's standard
+/// schemas. Returns the rendered reports and whether every query came out
+/// clean (no error-severity diagnostic, no refuted PreM obligation).
+pub fn lint() -> (String, bool) {
+    use rasql_storage::{DataType, Schema};
+    let ctx = RaSqlContext::in_memory();
+    let tables: [(&str, &[(&str, DataType)]); 11] = [
+        (
+            "assbl",
+            &[("Part", DataType::Int), ("SPart", DataType::Int)],
+        ),
+        ("basic", &[("Part", DataType::Int), ("Days", DataType::Int)]),
+        (
+            "edge",
+            &[
+                ("Src", DataType::Int),
+                ("Dst", DataType::Int),
+                ("Cost", DataType::Double),
+            ],
+        ),
+        ("report", &[("Emp", DataType::Int), ("Mgr", DataType::Int)]),
+        ("sales", &[("M", DataType::Int), ("P", DataType::Double)]),
+        ("sponsor", &[("M1", DataType::Int), ("M2", DataType::Int)]),
+        ("inter", &[("S", DataType::Int), ("E", DataType::Int)]),
+        ("organizer", &[("OrgName", DataType::Str)]),
+        (
+            "friend",
+            &[("Pname", DataType::Str), ("Fname", DataType::Str)],
+        ),
+        (
+            "shares",
+            &[
+                ("By", DataType::Int),
+                ("Of", DataType::Int),
+                ("Percent", DataType::Int),
+            ],
+        ),
+        (
+            "rel",
+            &[("Parent", DataType::Int), ("Child", DataType::Int)],
+        ),
+    ];
+    for (name, cols) in tables {
+        ctx.register(name, Relation::empty(Schema::new(cols.to_vec())))
+            .expect("register lint schema");
+    }
+    let queries: Vec<(&str, String)> = vec![
+        ("bom_delivery", library::bom_delivery()),
+        (
+            "bom_delivery_stratified",
+            library::bom_delivery_stratified(),
+        ),
+        ("sssp", library::sssp(1)),
+        ("sssp_stratified", library::sssp_stratified(1)),
+        ("cc", library::cc()),
+        ("cc_count", library::cc_count()),
+        ("cc_stratified", library::cc_stratified()),
+        ("count_paths", library::count_paths(1)),
+        ("management", library::management()),
+        ("mlm_bonus", library::mlm_bonus()),
+        ("interval_coalesce", library::interval_coalesce()),
+        ("party_attendance", library::party_attendance()),
+        ("company_control", library::company_control()),
+        ("same_generation", library::same_generation()),
+        ("reach", library::reach(1)),
+        ("apsp", library::apsp()),
+        ("transitive_closure", library::transitive_closure()),
+        ("widest_path", library::widest_path(1)),
+        ("sssp_hops", library::sssp_hops(1)),
+    ];
+    let mut out = String::from("=== Compile-time query verification (CHECK) ===\n");
+    let mut all_clean = true;
+    for (name, sql) in queries {
+        out.push_str(&format!("\n--- {name} ---\n"));
+        match ctx.lint_script(&sql) {
+            Ok(reports) => {
+                for r in &reports {
+                    out.push_str(&r.rendered);
+                    all_clean &= r.passed();
+                }
+            }
+            Err(e) => {
+                out.push_str(&format!("lint failed: {e}\n"));
+                all_clean = false;
+            }
+        }
+    }
+    out.push_str(&format!(
+        "\nlint: {}\n",
+        if all_clean {
+            "all queries clean"
+        } else {
+            "FAILED"
+        }
+    ));
+    (out, all_clean)
 }

@@ -190,9 +190,28 @@ impl Shell {
                     Err(e) => LineResult::Output(format!("error: {e}\n")),
                 }
             }
+            "\\lint" => {
+                let sql = cmd.trim_start_matches("\\lint").trim();
+                if sql.is_empty() {
+                    return LineResult::Output(
+                        "usage: \\lint <query> — static verification (same as CHECK <query>)\n"
+                            .into(),
+                    );
+                }
+                match self.ctx.lint_script(sql) {
+                    Ok(reports) => {
+                        let mut out = String::new();
+                        for r in reports {
+                            out.push_str(&r.rendered);
+                        }
+                        LineResult::Output(out)
+                    }
+                    Err(e) => LineResult::Output(format!("error: {e}\n")),
+                }
+            }
             other => LineResult::Output(format!(
-                "unknown command '{other}' (try \\d, \\load, \\gen, \\explain, \\prem, \\timing, \
-                 \\tracing, \\trace, \\fault, \\q)\n"
+                "unknown command '{other}' (try \\d, \\load, \\gen, \\explain, \\lint, \\prem, \
+                 \\timing, \\tracing, \\trace, \\fault, \\q)\n"
             )),
         }
     }
@@ -424,7 +443,7 @@ mod tests {
         }
         match sh.feed("\\trace json") {
             LineResult::Output(o) => {
-                assert!(o.starts_with('{') && o.contains("\"cliques\""), "{o}")
+                assert!(o.starts_with('{') && o.contains("\"cliques\""), "{o}");
             }
             other => panic!("{other:?}"),
         }
@@ -472,7 +491,27 @@ mod tests {
              (SELECT g.Dst, r.C + g.Cost FROM r, g WHERE r.Dst = g.Src) SELECT Dst, C FROM r",
         ) {
             LineResult::Output(o) => {
-                assert!(o.contains("Holds") || o.contains("HeldWithinBound"), "{o}")
+                assert!(o.contains("Holds") || o.contains("HeldWithinBound"), "{o}");
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn lint_command_reports_verdict() {
+        let mut sh = Shell::new();
+        sh.feed("\\gen g rmatw 50");
+        match sh.feed("\\lint") {
+            LineResult::Output(o) => assert!(o.contains("usage"), "{o}"),
+            other => panic!("{other:?}"),
+        }
+        match sh.feed(
+            "\\lint WITH recursive r (Dst, min() AS C) AS (SELECT 1, 0.0) UNION \
+             (SELECT g.Dst, r.C + g.Cost FROM r, g WHERE r.Dst = g.Src) SELECT Dst, C FROM r",
+        ) {
+            LineResult::Output(o) => {
+                assert!(o.contains("PreM evidence"), "{o}");
+                assert!(o.contains("CHECK: pass"), "{o}");
             }
             other => panic!("{other:?}"),
         }

@@ -1,0 +1,257 @@
+//! `CHECK query` — the unified static + dynamic verification entry point.
+//!
+//! [`RaSqlContext::check`] runs the static verifier
+//! ([`rasql_plan::verify_query`]) over a query and, for every PreM obligation
+//! the syntactic conditions leave [`StaticVerdict::Unknown`], falls back to
+//! the dynamic lock-step [`PremChecker`](crate::PremChecker) on the session's
+//! registered data. Both kinds of evidence travel in one [`CheckReport`], so
+//! callers (the `CHECK` statement, the shell's `\lint`, `reproduce lint`)
+//! never have to stitch the two systems together.
+
+use crate::context::{QueryResult, QueryStats, RaSqlContext};
+use crate::error::EngineError;
+use crate::prem::{PremCheckOutcome, PremChecker};
+use rasql_parser::ast::{AggFunc, Query, Statement};
+use rasql_parser::parse;
+use rasql_plan::{Severity, StaticVerdict, VerifyReport};
+use rasql_storage::Relation;
+
+/// How a PreM obligation was discharged.
+#[derive(Debug, Clone)]
+pub enum PremEvidence {
+    /// The syntactic sufficient conditions settled it.
+    Static {
+        /// The static outcome (`Proven` or `Refuted`).
+        verdict: StaticVerdict,
+        /// Why.
+        reason: String,
+    },
+    /// Statically unknown; the lock-step checker ran on the registered data.
+    Dynamic {
+        /// The dynamic outcome.
+        outcome: PremCheckOutcome,
+    },
+}
+
+impl PremEvidence {
+    /// True when the evidence does not contradict PreM: a static proof, or a
+    /// dynamic run that found no violation.
+    pub fn supports_prem(&self) -> bool {
+        match self {
+            PremEvidence::Static { verdict, .. } => *verdict == StaticVerdict::Proven,
+            PremEvidence::Dynamic { outcome } => {
+                !matches!(outcome, PremCheckOutcome::Violated { .. })
+            }
+        }
+    }
+}
+
+/// Evidence for one aggregate head column.
+#[derive(Debug, Clone)]
+pub struct PremColumnEvidence {
+    /// View the column belongs to.
+    pub view: String,
+    /// Head column name.
+    pub column: String,
+    /// The aggregate applied in recursion.
+    pub func: AggFunc,
+    /// The unified evidence.
+    pub evidence: PremEvidence,
+}
+
+/// The result of `CHECK query`: static diagnostics, per-column PreM evidence
+/// (with dynamic fallback), and the rendered report.
+#[derive(Debug, Clone)]
+pub struct CheckReport {
+    /// The static verifier's findings (diagnostics, PreM verdicts,
+    /// certificates).
+    pub verification: VerifyReport,
+    /// Unified PreM evidence, one entry per aggregate head column.
+    pub prem: Vec<PremColumnEvidence>,
+    /// The full report rendered against the original SQL.
+    pub rendered: String,
+}
+
+impl CheckReport {
+    /// True when no error-severity diagnostic was emitted and no dynamic
+    /// check observed a PreM violation.
+    pub fn passed(&self) -> bool {
+        self.verification.is_clean() && self.prem.iter().all(|p| p.evidence.supports_prem())
+    }
+}
+
+impl RaSqlContext {
+    /// Verify a query without executing it: stratification and safety
+    /// diagnostics, static PreM proofs with dynamic fallback, and the
+    /// decomposed-plan partition certificate. Accepts either a plain query
+    /// or one already prefixed with `CHECK`.
+    pub fn check(&self, sql: &str) -> Result<CheckReport, EngineError> {
+        let stmt = parse(sql)?;
+        let q = match stmt {
+            Statement::Check(q) | Statement::Query(q) => q,
+            Statement::CreateView { .. } | Statement::Explain { .. } => {
+                return Err(EngineError::Other(
+                    "CHECK applies to queries (not CREATE VIEW or EXPLAIN)".into(),
+                ))
+            }
+        };
+        Ok(self.run_check(&q, sql))
+    }
+
+    /// Verify every query statement of a `;`-separated script, *executing*
+    /// `CREATE VIEW` statements so later queries see their schemas (queries
+    /// themselves are never executed). Returns one report per query
+    /// statement — the engine behind the shell's `\lint` and
+    /// `reproduce lint`.
+    pub fn lint_script(&self, sql: &str) -> Result<Vec<CheckReport>, EngineError> {
+        let statements = rasql_parser::parse_statements(sql)?;
+        let mut reports = Vec::new();
+        for stmt in &statements {
+            match stmt {
+                Statement::Query(q) | Statement::Check(q) => reports.push(self.run_check(q, sql)),
+                Statement::CreateView { .. } => {
+                    self.execute_statement(stmt, sql)?;
+                }
+                Statement::Explain { .. } => {}
+            }
+        }
+        Ok(reports)
+    }
+
+    /// The shared `CHECK` implementation: `source` is the text the query's
+    /// spans index into.
+    pub(crate) fn run_check(&self, q: &Query, source: &str) -> CheckReport {
+        let verification = self.verify_ast(q);
+
+        // Dynamic fallback: run the lock-step checker once if any obligation
+        // is statically unknown, and share the outcome across those columns.
+        let any_unknown = verification
+            .views
+            .iter()
+            .flat_map(|v| &v.prem)
+            .any(|o| o.verdict == StaticVerdict::Unknown);
+        let dynamic_outcome = if any_unknown {
+            Some(
+                PremChecker::new(self)
+                    .check_statement(&Statement::Query(q.clone()))
+                    .unwrap_or_else(|e| PremCheckOutcome::Inconclusive(e.to_string())),
+            )
+        } else {
+            None
+        };
+
+        let mut prem = Vec::new();
+        for view in &verification.views {
+            for o in &view.prem {
+                let evidence = match o.verdict {
+                    StaticVerdict::Unknown => PremEvidence::Dynamic {
+                        outcome: dynamic_outcome
+                            .clone()
+                            .unwrap_or_else(|| PremCheckOutcome::Inconclusive("not run".into())),
+                    },
+                    verdict => PremEvidence::Static {
+                        verdict,
+                        reason: o.reason.clone(),
+                    },
+                };
+                prem.push(PremColumnEvidence {
+                    view: o.view.clone(),
+                    column: o.column.clone(),
+                    func: o.func,
+                    evidence,
+                });
+            }
+        }
+
+        let rendered = render_report(&verification, &prem, source);
+        CheckReport {
+            verification,
+            prem,
+            rendered,
+        }
+    }
+}
+
+fn render_report(verification: &VerifyReport, prem: &[PremColumnEvidence], source: &str) -> String {
+    let mut out = String::new();
+    for d in &verification.diagnostics {
+        out.push_str(&d.render(source));
+    }
+    if !prem.is_empty() {
+        out.push_str("PreM evidence:\n");
+        for p in prem {
+            out.push_str(&format!(
+                "  {}.{} ({}): {}\n",
+                p.view,
+                p.column,
+                p.func,
+                describe_evidence(&p.evidence)
+            ));
+        }
+    }
+    for v in &verification.views {
+        if let Some(c) = &v.certificate {
+            out.push_str(&format!("Certificate {}: {}\n", v.name, c));
+        }
+    }
+    let errors = verification.error_count();
+    let warnings = verification
+        .diagnostics
+        .iter()
+        .filter(|d| d.severity == Severity::Warning)
+        .count();
+    let violated = prem.iter().any(|p| !p.evidence.supports_prem());
+    let pass = errors == 0 && !violated;
+    out.push_str(&format!(
+        "CHECK: {} ({errors} error(s), {warnings} warning(s))\n",
+        if pass { "pass" } else { "FAIL" }
+    ));
+    out
+}
+
+fn describe_evidence(e: &PremEvidence) -> String {
+    match e {
+        PremEvidence::Static { verdict, reason } => {
+            format!("statically {verdict} — {reason}")
+        }
+        PremEvidence::Dynamic { outcome } => format!(
+            "statically Unknown → dynamic: {}",
+            describe_outcome(outcome)
+        ),
+    }
+}
+
+fn describe_outcome(o: &PremCheckOutcome) -> String {
+    match o {
+        PremCheckOutcome::Holds { iterations } => {
+            format!("holds on the registered data ({iterations} iterations)")
+        }
+        PremCheckOutcome::HeldWithinBound { iterations } => {
+            format!("held within bound ({iterations} iterations compared)")
+        }
+        PremCheckOutcome::Violated { iteration, detail } => {
+            format!("VIOLATED at iteration {iteration}: {detail}")
+        }
+        PremCheckOutcome::Inconclusive(msg) => format!("inconclusive — {msg}"),
+    }
+}
+
+/// Pack a check report into the single-column relation shape statement
+/// results travel in.
+pub(crate) fn check_result(report: &CheckReport) -> QueryResult {
+    QueryResult {
+        relation: text_lines(&report.rendered),
+        stats: QueryStats::default(),
+        trace: None,
+    }
+}
+
+fn text_lines(text: &str) -> Relation {
+    use rasql_storage::{DataType, Row, Schema, Value};
+    let schema = Schema::new(vec![("check", DataType::Str)]);
+    let rows = text
+        .lines()
+        .map(|l| Row::new(vec![Value::str(l)]))
+        .collect();
+    Relation::new_unchecked(schema, rows)
+}

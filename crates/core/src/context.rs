@@ -145,7 +145,7 @@ impl RaSqlContext {
         let statements = parse_statements(sql)?;
         let mut out = Vec::with_capacity(statements.len());
         for stmt in &statements {
-            out.push(self.execute_statement(stmt)?);
+            out.push(self.execute_statement(stmt, sql)?);
         }
         Ok(out)
     }
@@ -166,15 +166,15 @@ impl RaSqlContext {
             .collect())
     }
 
-    fn execute_statement(&self, stmt: &Statement) -> Result<QueryResult, EngineError> {
+    pub(crate) fn execute_statement(
+        &self,
+        stmt: &Statement,
+        source: &str,
+    ) -> Result<QueryResult, EngineError> {
         let analyzed = {
             let pc = self.planner_catalog.lock();
             analyze_statement(stmt, &pc)?
         };
-        self.execute_analyzed(analyzed)
-    }
-
-    fn execute_analyzed(&self, analyzed: AnalyzedStatement) -> Result<QueryResult, EngineError> {
         match analyzed {
             AnalyzedStatement::CreateView { name, plan } => {
                 let plan = optimize(plan);
@@ -186,7 +186,13 @@ impl RaSqlContext {
                 })
             }
             AnalyzedStatement::Query(q) => self.execute_query(q, self.tracing_enabled()),
-            AnalyzedStatement::Explain { analyze, inner } => self.execute_explain(analyze, *inner),
+            AnalyzedStatement::Check(q) => {
+                Ok(crate::check::check_result(&self.run_check(&q, source)))
+            }
+            AnalyzedStatement::Explain { analyze, inner } => {
+                let verification = innermost_query(stmt).map(|q| self.verify_ast(q).summary());
+                self.execute_explain(analyze, *inner, verification, source)
+            }
         }
     }
 
@@ -251,8 +257,15 @@ impl RaSqlContext {
         &self,
         analyze: bool,
         inner: AnalyzedStatement,
+        verification: Option<String>,
+        source: &str,
     ) -> Result<QueryResult, EngineError> {
         match inner {
+            // EXPLAIN CHECK is the same as CHECK: the report *is* the plan
+            // explanation of a verification-only statement.
+            AnalyzedStatement::Check(q) => {
+                Ok(crate::check::check_result(&self.run_check(&q, source)))
+            }
             // EXPLAIN ANALYZE query: execute with tracing forced on, then
             // render the plan annotated with the live counters.
             AnalyzedStatement::Query(q) if analyze => {
@@ -304,6 +317,10 @@ impl RaSqlContext {
                         trace.metrics.task_retries, trace.metrics.restores,
                     ));
                 }
+                if let Some(v) = verification {
+                    text.push_str("Verification:\n");
+                    text.push_str(&v);
+                }
                 Ok(QueryResult {
                     relation: text_relation(&text),
                     stats: result.stats,
@@ -312,11 +329,20 @@ impl RaSqlContext {
             }
             // Plain EXPLAIN (and EXPLAIN ANALYZE of non-queries, which have
             // nothing to measure): render without executing.
-            other => Ok(QueryResult {
-                relation: text_relation(&render_plan(&other)),
-                stats: QueryStats::default(),
-                trace: None,
-            }),
+            other => {
+                let mut text = render_plan(&other);
+                if matches!(other, AnalyzedStatement::Query(_)) {
+                    if let Some(v) = verification {
+                        text.push_str("Verification:\n");
+                        text.push_str(&v);
+                    }
+                }
+                Ok(QueryResult {
+                    relation: text_relation(&text),
+                    stats: QueryStats::default(),
+                    trace: None,
+                })
+            }
         }
     }
 
@@ -330,9 +356,26 @@ impl RaSqlContext {
                 let pc = self.planner_catalog.lock();
                 analyze_statement(stmt, &pc)?
             };
-            out.push_str(&render_plan(&analyzed));
+            match analyzed {
+                AnalyzedStatement::Check(q) => out.push_str(&self.run_check(&q, sql).rendered),
+                other => {
+                    out.push_str(&render_plan(&other));
+                    if matches!(other, AnalyzedStatement::Query(_)) {
+                        if let Some(q) = innermost_query(stmt) {
+                            out.push_str("Verification:\n");
+                            out.push_str(&self.verify_ast(q).summary());
+                        }
+                    }
+                }
+            }
         }
         Ok(out)
+    }
+
+    /// Run the static verifier over a query AST against this session's view
+    /// catalog (the `CHECK` statement and `EXPLAIN` verification section).
+    pub(crate) fn verify_ast(&self, q: &rasql_parser::ast::Query) -> rasql_plan::VerifyReport {
+        rasql_plan::verify_query(q, &self.planner_catalog.lock())
     }
 
     /// Names of the registered base tables.
@@ -532,6 +575,20 @@ fn render_plan(analyzed: &AnalyzedStatement) -> String {
             out
         }
         AnalyzedStatement::Explain { inner, .. } => render_plan(inner),
+        AnalyzedStatement::Check(_) => {
+            "Check (execute the statement to run the verifier)\n".to_string()
+        }
+    }
+}
+
+/// The query AST a statement ultimately wraps (through any `EXPLAIN` /
+/// `CHECK` layers) — the input to the static verifier, which needs the AST
+/// because source spans don't survive analysis.
+fn innermost_query(stmt: &Statement) -> Option<&rasql_parser::ast::Query> {
+    match stmt {
+        Statement::Query(q) | Statement::Check(q) => Some(q),
+        Statement::Explain { inner, .. } => innermost_query(inner),
+        Statement::CreateView { .. } => None,
     }
 }
 

@@ -92,7 +92,7 @@ impl<'a> EvalContext<'a> {
                 let exprs = exprs.clone();
                 let project: rasql_exec::pipeline::MapFn =
                     Arc::new(move |r: &Row| Row::new(exprs.iter().map(|e| e.eval(r)).collect()));
-                self.run_pipeline(input, Pipeline::with_project(vec![], project), "project")
+                self.run_pipeline(&input, Pipeline::with_project(vec![], project), "project")
             }
             LogicalPlan::Filter { input, predicate } => {
                 let input = self.eval_node(input, &format!("{path}.0"))?;
@@ -100,7 +100,7 @@ impl<'a> EvalContext<'a> {
                 let steps = vec![PipelineStep::Filter(Arc::new(move |r: &Row| {
                     pred.eval(r).is_truthy()
                 }))];
-                self.run_pipeline(input, Pipeline::new(steps), "filter")
+                self.run_pipeline(&input, Pipeline::new(steps), "filter")
             }
             LogicalPlan::Join {
                 left,
@@ -133,7 +133,7 @@ impl<'a> EvalContext<'a> {
                     "distinct shuffle",
                     &all_cols,
                     self.partitions,
-                );
+                )?;
                 Ok(shuffled.map_partitions_traced(
                     self.cluster,
                     self.trace,
@@ -148,7 +148,7 @@ impl<'a> EvalContext<'a> {
                         }
                         out
                     },
-                ))
+                )?)
             }
             LogicalPlan::Sort { input, keys } => {
                 let mut rows = self.eval_node(input, &format!("{path}.0"))?.collect();
@@ -174,7 +174,7 @@ impl<'a> EvalContext<'a> {
 
     fn run_pipeline(
         &self,
-        input: Dataset,
+        input: &Dataset,
         pipeline: Pipeline,
         label: &str,
     ) -> Result<Dataset, EngineError> {
@@ -186,7 +186,7 @@ impl<'a> EvalContext<'a> {
                 } else {
                     run_unfused(rows, &pipeline)
                 }
-            }),
+            })?,
         )
     }
 
@@ -228,7 +228,7 @@ impl<'a> EvalContext<'a> {
                     }
                     out
                 },
-            ));
+            )?);
         }
 
         // Equi join: co-partition both sides, hash-join partition-wise.
@@ -238,15 +238,15 @@ impl<'a> EvalContext<'a> {
             "join probe shuffle",
             left_keys,
             self.partitions,
-        );
+        )?;
         let r = r.shuffle_if_needed_traced(
             self.cluster,
             self.trace,
             "join build shuffle",
             right_keys,
             self.partitions,
-        );
-        let right_parts = r.partitions.clone();
+        )?;
+        let right_parts = r.partitions;
         let left_keys: Vec<usize> = left_keys.to_vec();
         let right_keys: Vec<usize> = right_keys.to_vec();
         let cluster_metrics = Arc::clone(&self.cluster.metrics);
@@ -269,7 +269,7 @@ impl<'a> EvalContext<'a> {
                 }
                 rasql_exec::Metrics::add(&cluster_metrics.join_output_rows, out.len() as u64);
                 out
-            }),
+            })?,
         )
     }
 
@@ -292,11 +292,14 @@ impl<'a> EvalContext<'a> {
                 "aggregate shuffle",
                 &key,
                 self.partitions,
-            )
+            )?
         };
         let aggs: Vec<AggExpr> = aggs.to_vec();
-        Ok(
-            child.map_partitions_traced(self.cluster, self.trace, "aggregate", move |_p, rows| {
+        Ok(child.map_partitions_traced(
+            self.cluster,
+            self.trace,
+            "aggregate",
+            move |_p, rows| {
                 let mut groups: FxHashMap<Box<[Value]>, Vec<Accumulator>> = FxHashMap::default();
                 if group_cols == 0 && rows.is_empty() {
                     // SQL: a global aggregate over zero rows still yields one row.
@@ -313,8 +316,8 @@ impl<'a> EvalContext<'a> {
                     }
                 }
                 groups.iter().map(|(k, accs)| finish_row(k, accs)).collect()
-            }),
-        )
+            },
+        )?)
     }
 }
 

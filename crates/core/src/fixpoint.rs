@@ -215,16 +215,19 @@ impl<'a> FixpointExecutor<'a> {
 
         // --- Per-view runtime state. ---
         let mut views: Vec<ViewRt> = Vec::with_capacity(spec.views.len());
-        let single_view_clique = spec.views.len() == 1;
         for v in &spec.views {
-            let decomposed = self.config.decomposed_plans
-                && single_view_clique
-                && v.decomposable_on.is_some()
-                && !v.recursive.is_empty();
-            let partition_key = if decomposed {
-                v.decomposable_on.clone().unwrap()
-            } else {
-                v.key_cols.clone()
+            // Decomposed evaluation is selected purely on the analyzer's
+            // partition-preservation certificate (§7.2) — the proof already
+            // covers single-view-ness, linearity and key pass-through.
+            let preserved = self
+                .config
+                .decomposed_plans
+                .then(|| v.certificate.preserved_key())
+                .flatten();
+            let decomposed = preserved.is_some();
+            let partition_key = match preserved {
+                Some(key) => key.to_vec(),
+                None => v.key_cols.clone(),
             };
             let agg_cols: Vec<usize> = v.aggs.iter().map(|(c, _)| *c).collect();
             let funcs: Vec<AggFunc> = v.aggs.iter().map(|(_, f)| *f).collect();
@@ -293,7 +296,7 @@ impl<'a> FixpointExecutor<'a> {
         } else {
             match self.config.eval_mode {
                 EvalMode::SemiNaive => self.run_semi_naive(&views, &branches, base_buckets)?,
-                EvalMode::Naive => self.run_naive(&views, &branches, base_buckets)?,
+                EvalMode::Naive => self.run_naive(&views, &branches, &base_buckets)?,
             }
         };
         if let Some(sink) = self.eval.trace {
@@ -401,7 +404,7 @@ impl<'a> FixpointExecutor<'a> {
                                         master.as_ref().clone()
                                     })
                                 };
-                                BuildSide::Replicated(Arc::new(bc))
+                                BuildSide::Replicated(Arc::new(bc?))
                             }
                         }
                     };
@@ -533,7 +536,7 @@ impl<'a> FixpointExecutor<'a> {
                         })
                     })
                     .collect();
-                match self.cluster.try_run_stage_traced(
+                match self.cluster.run_stage_traced(
                     sink,
                     "fixpoint combined",
                     StageKind::Combined,
@@ -542,7 +545,7 @@ impl<'a> FixpointExecutor<'a> {
                     Ok(out) => out,
                     Err(e) => {
                         // `contributions` was moved into the stage; the drain
-                        // guarantee of `try_run_stage_traced` means no task
+                        // guarantee of `run_stage_traced` means no task
                         // still holds it (or the state locks) here.
                         contributions = empty_buckets(nv, p);
                         round = self.restore_or_fail(
@@ -575,7 +578,7 @@ impl<'a> FixpointExecutor<'a> {
                         })
                     })
                     .collect();
-                let merged = match self.cluster.try_run_stage_traced(
+                let merged = match self.cluster.run_stage_traced(
                     sink,
                     "fixpoint reduce",
                     StageKind::Reduce,
@@ -646,7 +649,7 @@ impl<'a> FixpointExecutor<'a> {
                     .collect();
                 match self
                     .cluster
-                    .try_run_stage_traced(sink, "fixpoint map", StageKind::Map, tasks)
+                    .run_stage_traced(sink, "fixpoint map", StageKind::Map, tasks)
                 {
                     Ok(out) => out,
                     Err(e) => {
@@ -752,7 +755,7 @@ impl<'a> FixpointExecutor<'a> {
             .collect();
         let encoded = self
             .cluster
-            .try_run_stage_traced(sink, "fixpoint checkpoint", StageKind::Checkpoint, tasks)
+            .run_stage_traced(sink, "fixpoint checkpoint", StageKind::Checkpoint, tasks)
             .map_err(EngineError::Exec)?;
         let mut bytes = 0u64;
         for per_part in encoded {
@@ -884,7 +887,7 @@ impl<'a> FixpointExecutor<'a> {
         &self,
         views: &Arc<Vec<ViewRt>>,
         branches: &Arc<Vec<CompiledBranch>>,
-        base_buckets: Buckets,
+        base_buckets: &Buckets,
     ) -> Result<u32, EngineError> {
         let p = self.config.partitions;
         let nv = views.len();
@@ -941,7 +944,7 @@ impl<'a> FixpointExecutor<'a> {
             // failed stage simply propagates as a typed error.
             let map_out = self
                 .cluster
-                .try_run_stage_traced(sink, "fixpoint naive map", StageKind::Map, tasks)
+                .run_stage_traced(sink, "fixpoint naive map", StageKind::Map, tasks)
                 .map_err(EngineError::Exec)?;
             let mut derived_rows = 0u64;
             for buckets in map_out {
@@ -1095,7 +1098,7 @@ impl<'a> FixpointExecutor<'a> {
             0
         };
         let results = loop {
-            match self.cluster.try_run_stage_traced(
+            match self.cluster.run_stage_traced(
                 sink,
                 "fixpoint decomposed",
                 StageKind::Decomposed,

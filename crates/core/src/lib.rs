@@ -1,4 +1,4 @@
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 //! # rasql-core
 //!
@@ -24,6 +24,7 @@
 //! assert_eq!(tc.stats.iterations.len(), 1);
 //! ```
 
+pub mod check;
 pub mod config;
 pub mod context;
 pub mod error;
@@ -32,10 +33,14 @@ pub mod fixpoint;
 pub mod library;
 pub mod prem;
 
+pub use check::{CheckReport, PremColumnEvidence, PremEvidence};
 pub use config::{EngineConfig, EvalMode, JoinStrategy};
 pub use context::{ContextBuilder, QueryResult, QueryStats, RaSqlContext};
 pub use error::EngineError;
 pub use prem::{PremCheckOutcome, PremChecker};
 pub use rasql_exec::{
     CliqueTrace, IterationTrace, JsonValue, OperatorTrace, QueryTrace, StageKind, StageSpan,
+};
+pub use rasql_plan::{
+    DiagCode, Diagnostic, PremObligation, Severity, StaticVerdict, VerifyReport, ViewVerification,
 };

@@ -98,10 +98,18 @@ impl<'a> PremChecker<'a> {
     /// Run the lock-step check on a RaSQL query.
     pub fn check(&self, sql: &str) -> Result<PremCheckOutcome, EngineError> {
         let stmt = parse(sql)?;
-        let analyzed = self.ctx.analyze(&stmt)?;
+        self.check_statement(&stmt)
+    }
+
+    /// Run the lock-step check on an already-parsed statement (the static
+    /// verifier's dynamic-fallback entry point).
+    pub fn check_statement(&self, stmt: &Statement) -> Result<PremCheckOutcome, EngineError> {
+        let analyzed = self.ctx.analyze(stmt)?;
         let q = match analyzed {
             AnalyzedStatement::Query(q) => q,
-            AnalyzedStatement::CreateView { .. } | AnalyzedStatement::Explain { .. } => {
+            AnalyzedStatement::CreateView { .. }
+            | AnalyzedStatement::Explain { .. }
+            | AnalyzedStatement::Check(_) => {
                 return Ok(PremCheckOutcome::Inconclusive(
                     "only plain queries have recursion to check".into(),
                 ))
@@ -463,7 +471,7 @@ fn render_select(s: &Select, from_view: &str, to_view: &str) -> String {
             .from
             .iter()
             .map(|t| match t {
-                TableRef::Table { name, alias } => {
+                TableRef::Table { name, alias, .. } => {
                     let n = if name.eq_ignore_ascii_case(from_view) {
                         // Keep the original name visible to expressions via an
                         // alias so qualified references still resolve.

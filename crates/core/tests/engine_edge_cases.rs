@@ -69,7 +69,7 @@ fn apsp_plan_is_decomposable() {
     ctx.register("edge", Relation::weighted_edges(&[(1, 2, 1.0)]))
         .unwrap();
     let plan = ctx.explain(&library::apsp()).unwrap();
-    assert!(plan.contains("decomposable_on=[0]"), "{plan}");
+    assert!(plan.contains("certificate=preserved[0]"), "{plan}");
 }
 
 #[test]

@@ -291,7 +291,7 @@ fn mlm_matches_oracle() {
     let expected = oracle::mlm_bonuses(&tree.sales, &tree.sponsor);
     let ctx = ctx_with(EngineConfig::rasql());
     ctx.register("sales", tree.sales.clone()).unwrap();
-    ctx.register("sponsor", tree.sponsor.clone()).unwrap();
+    ctx.register("sponsor", tree.sponsor).unwrap();
     let got = ctx.query(&library::mlm_bonus()).unwrap().relation;
     assert_eq!(got.len(), expected.len());
     for r in got.rows() {

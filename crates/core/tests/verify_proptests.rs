@@ -1,0 +1,103 @@
+//! Cross-validation of the two PreM systems: on randomly generated graphs,
+//! a static [`StaticVerdict::Proven`] must never be contradicted by the
+//! dynamic lock-step checker observing a violation, and a static
+//! `Refuted` must never be vacuously "proven" by construction (the checker
+//! may still report `Holds` on data too small to expose the violation —
+//! refutation is a property of the query, not of one input).
+
+use proptest::prelude::*;
+use rasql_core::{
+    library, PremCheckOutcome, PremChecker, PremEvidence, RaSqlContext, StaticVerdict,
+};
+use rasql_storage::{DataType, Relation, Row, Schema, Value};
+
+fn graph_ctx(edges: &[(i64, i64, f64)]) -> RaSqlContext {
+    let ctx = RaSqlContext::in_memory();
+    let schema = Schema::new(vec![
+        ("Src", DataType::Int),
+        ("Dst", DataType::Int),
+        ("Cost", DataType::Double),
+    ]);
+    let rows = edges
+        .iter()
+        .map(|&(s, d, c)| Row::new(vec![Value::Int(s), Value::Int(d), Value::Double(c)]))
+        .collect();
+    ctx.register("edge", Relation::try_new(schema, rows).unwrap())
+        .unwrap();
+    ctx
+}
+
+/// The statically-proven query family the property quantifies over.
+fn proven_queries() -> Vec<String> {
+    vec![library::sssp(0), library::cc(), library::apsp()]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Soundness of the syntactic proof: whenever the verifier says
+    /// `Proven`, the dynamic checker must not observe a violation on any
+    /// generated input (it may be inconclusive, never `Violated`).
+    #[test]
+    fn static_proof_never_contradicted_by_dynamic_checker(
+        edges in prop::collection::vec((0i64..6, 0i64..6, 1i64..8), 1..24),
+    ) {
+        let edges: Vec<(i64, i64, f64)> = edges
+            .into_iter()
+            .map(|(s, d, c)| (s, d, c as f64))
+            .collect();
+        let ctx = graph_ctx(&edges);
+        for sql in proven_queries() {
+            let report = ctx.check(&sql).unwrap();
+            for p in &report.prem {
+                match &p.evidence {
+                    PremEvidence::Static { verdict, .. } => {
+                        prop_assert_eq!(*verdict, StaticVerdict::Proven, "{}", sql);
+                    }
+                    PremEvidence::Dynamic { .. } => {
+                        return Err(TestCaseError::Fail(format!(
+                            "{sql}: obligation unexpectedly Unknown"
+                        )));
+                    }
+                }
+            }
+            let outcome = PremChecker::new(&ctx).check(&sql).unwrap();
+            prop_assert!(
+                !matches!(outcome, PremCheckOutcome::Violated { .. }),
+                "static Proven contradicted on {:?}: {} → {:?}",
+                edges, sql, outcome
+            );
+        }
+    }
+
+    /// The refuted fixture stays refuted on every input, and whenever the
+    /// dynamic checker *does* catch the violation the static verdict agrees
+    /// (never the reverse of the soundness direction above).
+    #[test]
+    fn static_refutation_is_input_independent(
+        edges in prop::collection::vec((0i64..5, 0i64..5, 1i64..8), 1..16),
+    ) {
+        let edges: Vec<(i64, i64, f64)> = edges
+            .into_iter()
+            .map(|(s, d, c)| (s, d, c as f64))
+            .collect();
+        let ctx = graph_ctx(&edges);
+        let sql = "WITH recursive path (Dst, min() AS Cost) AS \
+                     (SELECT 0, 0.0) UNION \
+                     (SELECT edge.Dst, 100 - path.Cost FROM path, edge \
+                      WHERE path.Dst = edge.Src) \
+                   SELECT Dst, Cost FROM path";
+        let report = ctx.check(sql).unwrap();
+        prop_assert!(!report.passed());
+        for p in &report.prem {
+            match &p.evidence {
+                PremEvidence::Static { verdict, .. } => {
+                    prop_assert_eq!(*verdict, StaticVerdict::Refuted);
+                }
+                PremEvidence::Dynamic { .. } => {
+                    return Err(TestCaseError::Fail("refuted obligation ran dynamically".into()));
+                }
+            }
+        }
+    }
+}

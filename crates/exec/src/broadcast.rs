@@ -8,6 +8,7 @@
 //! per-worker rebuild runs as a real stage on each worker.
 
 use crate::cluster::Cluster;
+use crate::error::ExecError;
 use crate::metrics::Metrics;
 use crate::trace::{StageKind, TraceSink};
 use parking_lot::Mutex;
@@ -31,7 +32,7 @@ impl<T: Send + Sync + 'static> Broadcast<T> {
         cluster: &Cluster,
         payload_bytes: usize,
         build: impl Fn(usize) -> T + Send + Sync + 'static,
-    ) -> Self {
+    ) -> Result<Self, ExecError> {
         Broadcast::distribute_traced(cluster, None, payload_bytes, build)
     }
 
@@ -42,7 +43,7 @@ impl<T: Send + Sync + 'static> Broadcast<T> {
         sink: Option<&TraceSink>,
         payload_bytes: usize,
         build: impl Fn(usize) -> T + Send + Sync + 'static,
-    ) -> Self {
+    ) -> Result<Self, ExecError> {
         Metrics::add(
             &cluster.metrics.broadcast_bytes,
             (payload_bytes * cluster.workers()) as u64,
@@ -59,7 +60,7 @@ impl<T: Send + Sync + 'static> Broadcast<T> {
                 let v = Arc::new(build(w));
                 built2.lock()[w] = Some(v);
             },
-        );
+        )?;
         let copies = Arc::try_unwrap(built)
             .ok()
             .expect("stage complete")
@@ -67,7 +68,7 @@ impl<T: Send + Sync + 'static> Broadcast<T> {
             .into_iter()
             .map(Option::unwrap)
             .collect();
-        Broadcast { copies }
+        Ok(Broadcast { copies })
     }
 
     /// The copy local to `worker`.
@@ -90,7 +91,7 @@ mod tests {
     #[test]
     fn distribute_builds_one_copy_per_worker() {
         let c = Cluster::new(ClusterConfig::with_workers(3));
-        let b = Broadcast::distribute(&c, 1000, |w| w * 10);
+        let b = Broadcast::distribute(&c, 1000, |w| w * 10).unwrap();
         assert_eq!(b.copies(), 3);
         for w in 0..3 {
             assert_eq!(*b.on_worker(w).as_ref(), w * 10);

@@ -231,41 +231,25 @@ impl Cluster {
     /// Run one stage: execute all tasks (respecting the locality policy),
     /// barrier, and return results in task order.
     ///
-    /// Panics (driver-side, with the task's message) on an unrecoverable task
-    /// failure; use [`Cluster::try_run_stage`] to handle it as a value.
-    pub fn run_stage<R: Send + 'static>(&self, tasks: Vec<StageTask<R>>) -> Vec<R> {
-        self.run_stage_traced(None, "stage", StageKind::Generic, tasks)
-    }
-
-    /// Fallible [`Cluster::run_stage`].
-    pub fn try_run_stage<R: Send + 'static>(
+    /// Task panics and exhausted retry budgets come back as [`ExecError`] —
+    /// nothing in the driver panics on a worker failure.
+    pub fn run_stage<R: Send + 'static>(
         &self,
         tasks: Vec<StageTask<R>>,
     ) -> Result<Vec<R>, ExecError> {
-        self.try_run_stage_traced(None, "stage", StageKind::Generic, tasks)
+        self.run_stage_traced(None, "stage", StageKind::Generic, tasks)
     }
 
     /// [`Cluster::run_stage`] that additionally records a [`StageSpan`] into
     /// `sink` (when given): dispatch time (scheduler latency + task enqueue),
     /// run time (dispatch end to first task result), and barrier time (first
     /// result to last — the straggler wait).
+    ///
+    /// Task panics and exhausted retry budgets come back as [`ExecError`]
+    /// instead of unwinding across the result channel. Guaranteed quiescent
+    /// on return — every dispatched task attempt has completed (successfully
+    /// or not), so callers may safely restore shared state afterwards.
     pub fn run_stage_traced<R: Send + 'static>(
-        &self,
-        sink: Option<&TraceSink>,
-        label: &str,
-        kind: StageKind,
-        tasks: Vec<StageTask<R>>,
-    ) -> Vec<R> {
-        self.try_run_stage_traced(sink, label, kind, tasks)
-            .unwrap_or_else(|e| panic!("{e}"))
-    }
-
-    /// Fallible [`Cluster::run_stage_traced`]: task panics and exhausted
-    /// retry budgets come back as [`ExecError`] instead of unwinding across
-    /// the result channel. Guaranteed quiescent on return — every dispatched
-    /// task attempt has completed (successfully or not), so callers may
-    /// safely restore shared state afterwards.
-    pub fn try_run_stage_traced<R: Send + 'static>(
         &self,
         sink: Option<&TraceSink>,
         label: &str,
@@ -492,7 +476,7 @@ impl Cluster {
     pub fn run_on_all_workers<R: Send + 'static>(
         &self,
         f: impl Fn(usize) -> R + Send + Sync + 'static,
-    ) -> Vec<R> {
+    ) -> Result<Vec<R>, ExecError> {
         self.run_on_all_workers_traced(None, "all-workers", StageKind::Generic, f)
     }
 
@@ -503,7 +487,7 @@ impl Cluster {
         label: &str,
         kind: StageKind,
         f: impl Fn(usize) -> R + Send + Sync + 'static,
-    ) -> Vec<R> {
+    ) -> Result<Vec<R>, ExecError> {
         let f = Arc::new(f);
         let tasks = (0..self.config.workers)
             .map(|w| {
@@ -543,11 +527,13 @@ mod tests {
     #[test]
     fn stage_runs_all_tasks_in_order() {
         let c = Cluster::new(ClusterConfig::with_workers(4));
-        let results = c.run_stage(
-            (0..16)
-                .map(|i| StageTask::new(i, move |_w| i * 2))
-                .collect(),
-        );
+        let results = c
+            .run_stage(
+                (0..16)
+                    .map(|i| StageTask::new(i, move |_w| i * 2))
+                    .collect(),
+            )
+            .unwrap();
         assert_eq!(results, (0..16).map(|i| i * 2).collect::<Vec<_>>());
         assert_eq!(c.metrics.snapshot().stages, 1);
         assert_eq!(c.metrics.snapshot().tasks, 16);
@@ -556,11 +542,13 @@ mod tests {
     #[test]
     fn partition_aware_runs_on_preferred_worker() {
         let c = Cluster::new(ClusterConfig::with_workers(4));
-        let placements = c.run_stage(
-            (0..8)
-                .map(|p| StageTask::new(p % 4, move |w| w))
-                .collect::<Vec<StageTask<usize>>>(),
-        );
+        let placements = c
+            .run_stage(
+                (0..8)
+                    .map(|p| StageTask::new(p % 4, move |w| w))
+                    .collect::<Vec<StageTask<usize>>>(),
+            )
+            .unwrap();
         for (p, w) in placements.iter().enumerate() {
             assert_eq!(*w, p % 4);
         }
@@ -573,15 +561,15 @@ mod tests {
             partition_aware: false,
             ..Default::default()
         });
-        let a = c.run_stage(vec![StageTask::new(0, |w| w)]);
-        let b = c.run_stage(vec![StageTask::new(0, |w| w)]);
+        let a = c.run_stage(vec![StageTask::new(0, |w| w)]).unwrap();
+        let b = c.run_stage(vec![StageTask::new(0, |w| w)]).unwrap();
         assert_ne!(a[0], b[0], "drift expected between stages");
     }
 
     #[test]
     fn run_on_all_workers_covers_each() {
         let c = Cluster::new(ClusterConfig::with_workers(3));
-        let mut ws = c.run_on_all_workers(|w| w);
+        let mut ws = c.run_on_all_workers(|w| w).unwrap();
         ws.sort_unstable();
         assert_eq!(ws, vec![0, 1, 2]);
     }
@@ -590,14 +578,16 @@ mod tests {
     fn traced_stage_records_span() {
         let c = Cluster::new(ClusterConfig::with_workers(2));
         let sink = TraceSink::new();
-        let out = c.run_stage_traced(
-            Some(&sink),
-            "unit",
-            StageKind::Map,
-            (0..4)
-                .map(|i| StageTask::new(i, move |_w| i + 1))
-                .collect::<Vec<StageTask<usize>>>(),
-        );
+        let out = c
+            .run_stage_traced(
+                Some(&sink),
+                "unit",
+                StageKind::Map,
+                (0..4)
+                    .map(|i| StageTask::new(i, move |_w| i + 1))
+                    .collect::<Vec<StageTask<usize>>>(),
+            )
+            .unwrap();
         assert_eq!(out, vec![1, 2, 3, 4]);
         let t = sink.finish(Duration::from_millis(1), c.metrics.snapshot());
         assert_eq!(t.stages.len(), 1);
@@ -624,7 +614,7 @@ mod tests {
                 })
             })
             .collect();
-        match c.try_run_stage(tasks) {
+        match c.run_stage(tasks) {
             Err(ExecError::TaskPanicked { task, message, .. }) => {
                 assert_eq!(task, 2);
                 assert!(message.contains("boom"), "{message}");
@@ -632,7 +622,7 @@ mod tests {
             other => panic!("expected TaskPanicked, got {other:?}"),
         }
         // The cluster survives: a later stage still works.
-        let ok = c.run_stage(vec![StageTask::new(0, |_w| 7usize)]);
+        let ok = c.run_stage(vec![StageTask::new(0, |_w| 7usize)]).unwrap();
         assert_eq!(ok, vec![7]);
     }
 
@@ -651,7 +641,7 @@ mod tests {
         });
         for _ in 0..10 {
             let out = c
-                .try_run_stage((0..8).map(|i| StageTask::new(i, move |_w| i)).collect())
+                .run_stage((0..8).map(|i| StageTask::new(i, move |_w| i)).collect())
                 .expect("retries absorb injected kills");
             assert_eq!(out, (0..8).collect::<Vec<_>>());
         }
@@ -673,7 +663,7 @@ mod tests {
             max_task_retries: 0,
             ..ClusterConfig::default()
         });
-        match c.try_run_stage((0..2).map(|i| StageTask::new(i, move |_w| i)).collect()) {
+        match c.run_stage((0..2).map(|i| StageTask::new(i, move |_w| i)).collect()) {
             Err(ExecError::RetriesExhausted {
                 attempts, fault, ..
             }) => {
@@ -700,7 +690,7 @@ mod tests {
                 ..ClusterConfig::default()
             });
             for _ in 0..5 {
-                c.try_run_stage((0..8).map(|i| StageTask::new(i, move |_w| i)).collect())
+                c.run_stage((0..8).map(|i| StageTask::new(i, move |_w| i)).collect())
                     .unwrap();
             }
             let m = c.metrics.snapshot();
@@ -724,7 +714,7 @@ mod tests {
             ..ClusterConfig::default()
         });
         for _ in 0..10 {
-            c.try_run_stage(
+            c.run_stage(
                 (0..8)
                     .map(|i| StageTask::new(i, move |_w| i))
                     .collect::<Vec<StageTask<usize>>>(),
@@ -766,7 +756,8 @@ mod tests {
                     })
                 })
                 .collect::<Vec<StageTask<u64>>>(),
-        );
+        )
+        .unwrap();
         let par = t0.elapsed();
         let t1 = std::time::Instant::now();
         for _ in 0..4 {

@@ -7,6 +7,7 @@
 //! measurable in both metrics and wall-clock.
 
 use crate::cluster::{Cluster, StageTask};
+use crate::error::ExecError;
 use crate::metrics::Metrics;
 use crate::trace::{StageKind, StageSpan, TraceSink};
 use rasql_storage::{partition::row_partition, Partitioning, Relation, Row, Schema};
@@ -113,7 +114,7 @@ impl Dataset {
         &self,
         cluster: &Cluster,
         f: impl Fn(usize, &[Row]) -> Vec<Row> + Send + Sync + 'static,
-    ) -> Dataset {
+    ) -> Result<Dataset, ExecError> {
         self.map_partitions_traced(cluster, None, "map", f)
     }
 
@@ -125,7 +126,7 @@ impl Dataset {
         sink: Option<&TraceSink>,
         label: &str,
         f: impl Fn(usize, &[Row]) -> Vec<Row> + Send + Sync + 'static,
-    ) -> Dataset {
+    ) -> Result<Dataset, ExecError> {
         let f = Arc::new(f);
         let n = self.num_partitions();
         let tasks: Vec<StageTask<Vec<Row>>> = (0..n)
@@ -148,14 +149,22 @@ impl Dataset {
                 })
             })
             .collect();
-        let parts = cluster.run_stage_traced(sink, label, StageKind::Map, tasks);
-        Dataset::from_partitions(parts, Partitioning::Unknown { partitions: n })
+        let parts = cluster.run_stage_traced(sink, label, StageKind::Map, tasks)?;
+        Ok(Dataset::from_partitions(
+            parts,
+            Partitioning::Unknown { partitions: n },
+        ))
     }
 
     /// Shuffle into `n` partitions hash-keyed on `key` columns, as a
     /// map-exchange stage pair. Bytes that cross worker boundaries are charged
     /// to `shuffle_bytes`.
-    pub fn shuffle(&self, cluster: &Cluster, key: &[usize], n: usize) -> Dataset {
+    pub fn shuffle(
+        &self,
+        cluster: &Cluster,
+        key: &[usize],
+        n: usize,
+    ) -> Result<Dataset, ExecError> {
         self.shuffle_traced(cluster, None, "shuffle", key, n)
     }
 
@@ -168,7 +177,7 @@ impl Dataset {
         label: &str,
         key: &[usize],
         n: usize,
-    ) -> Dataset {
+    ) -> Result<Dataset, ExecError> {
         let key_owned: Vec<usize> = key.to_vec();
         let src_parts = self.num_partitions();
         // Map side: bucket each source partition's rows by target partition.
@@ -195,7 +204,7 @@ impl Dataset {
                 &format!("{label} write"),
                 StageKind::ShuffleWrite,
                 tasks,
-            )
+            )?
         };
         // Exchange: gather bucket (src → dst) into dst partitions; count the
         // worker-crossing volume.
@@ -229,18 +238,23 @@ impl Dataset {
                 total_us: us,
             });
         }
-        Dataset::from_partitions(
+        Ok(Dataset::from_partitions(
             parts,
             Partitioning::Hash {
                 key: key_owned,
                 partitions: n,
             },
-        )
+        ))
     }
 
     /// Repartition to `n` partitions on `key` only if the current partitioning
     /// does not already satisfy it.
-    pub fn shuffle_if_needed(&self, cluster: &Cluster, key: &[usize], n: usize) -> Dataset {
+    pub fn shuffle_if_needed(
+        &self,
+        cluster: &Cluster,
+        key: &[usize],
+        n: usize,
+    ) -> Result<Dataset, ExecError> {
         self.shuffle_if_needed_traced(cluster, None, "shuffle", key, n)
     }
 
@@ -252,9 +266,9 @@ impl Dataset {
         label: &str,
         key: &[usize],
         n: usize,
-    ) -> Dataset {
+    ) -> Result<Dataset, ExecError> {
         if self.partitioning.satisfies_hash(key, n) {
-            self.clone()
+            Ok(self.clone())
         } else {
             self.shuffle_traced(cluster, sink, label, key, n)
         }
@@ -287,7 +301,7 @@ mod tests {
     fn shuffle_repartitions_correctly() {
         let c = Cluster::new(ClusterConfig::with_workers(2));
         let d = Dataset::round_robin(rows(50), 4);
-        let s = d.shuffle(&c, &[1], 4);
+        let s = d.shuffle(&c, &[1], 4).unwrap();
         assert_eq!(s.len(), 50);
         assert!(s.partitioning.satisfies_hash(&[1], 4));
         assert!(c.metrics.snapshot().shuffle_rows > 0);
@@ -298,7 +312,7 @@ mod tests {
         let c = Cluster::new(ClusterConfig::with_workers(2));
         let d = Dataset::hash_partitioned(rows(10), &[0], 4);
         let before = c.metrics.snapshot().shuffle_rows;
-        let s = d.shuffle_if_needed(&c, &[0], 4);
+        let s = d.shuffle_if_needed(&c, &[0], 4).unwrap();
         assert_eq!(c.metrics.snapshot().shuffle_rows, before);
         assert_eq!(s.len(), 10);
     }
@@ -307,11 +321,13 @@ mod tests {
     fn map_partitions_applies_per_partition() {
         let c = Cluster::new(ClusterConfig::with_workers(2));
         let d = Dataset::hash_partitioned(rows(20), &[0], 4);
-        let doubled = d.map_partitions(&c, |_p, part| {
-            part.iter()
-                .map(|r| int_row(&[r[0].as_int().unwrap() * 2]))
-                .collect()
-        });
+        let doubled = d
+            .map_partitions(&c, |_p, part| {
+                part.iter()
+                    .map(|r| int_row(&[r[0].as_int().unwrap() * 2]))
+                    .collect()
+            })
+            .unwrap();
         assert_eq!(doubled.len(), 20);
         let mut all: Vec<i64> = doubled
             .collect()
@@ -335,8 +351,8 @@ mod tests {
             ..Default::default()
         });
         let d = Dataset::hash_partitioned(rows(100), &[0], 8);
-        d.map_partitions(&aware, |_p, part| part.to_vec());
-        d.map_partitions(&drift, |_p, part| part.to_vec());
+        d.map_partitions(&aware, |_p, part| part.to_vec()).unwrap();
+        d.map_partitions(&drift, |_p, part| part.to_vec()).unwrap();
         assert_eq!(aware.metrics.snapshot().remote_fetch_bytes, 0);
         assert!(drift.metrics.snapshot().remote_fetch_bytes > 0);
     }

@@ -3,7 +3,7 @@
 //! Before this module existed a panicking task tore down its worker thread
 //! and the driver died on a closed result channel with no context. Stage
 //! execution now returns [`ExecError`] through
-//! [`crate::Cluster::try_run_stage_traced`] instead of unwinding across the
+//! [`crate::Cluster::run_stage_traced`] instead of unwinding across the
 //! channel.
 
 use std::fmt;

@@ -72,12 +72,12 @@ impl FaultSpec {
                 "delay_us" => {
                     spec.delay_us = value
                         .parse::<u64>()
-                        .map_err(|e| format!("bad delay_us '{value}': {e}"))?
+                        .map_err(|e| format!("bad delay_us '{value}': {e}"))?;
                 }
                 "seed" => {
                     spec.seed = value
                         .parse::<u64>()
-                        .map_err(|e| format!("bad seed '{value}': {e}"))?
+                        .map_err(|e| format!("bad seed '{value}': {e}"))?;
                 }
                 other => return Err(format!("unknown fault spec key '{other}'")),
             }

@@ -37,7 +37,7 @@ proptest! {
         let c = quiet_cluster(3);
         let data: Vec<Row> = rows.iter().map(|&(a, b)| int_row(&[a, b])).collect();
         let d = Dataset::round_robin(data.clone(), 4);
-        let s = d.shuffle(&c, &[1], parts);
+        let s = d.shuffle(&c, &[1], parts).unwrap();
         prop_assert_eq!(s.num_partitions(), parts);
         let mut got = s.collect();
         let mut want = data;
@@ -214,7 +214,7 @@ proptest! {
         let c = quiet_cluster(workers);
         let data: Vec<Row> = rows.iter().map(|&(a, b)| int_row(&[a, b])).collect();
         let d = Dataset::hash_partitioned(data, &[0], workers * 2);
-        let out = d.map_partitions(&c, |_p, part| part.to_vec());
+        let out = d.map_partitions(&c, |_p, part| part.to_vec()).unwrap();
         prop_assert_eq!(out.len(), rows.len());
     }
 }

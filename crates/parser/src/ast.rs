@@ -5,6 +5,7 @@
 //! (possibly `recursive`) view definitions — each a UNION of sub-queries —
 //! followed by a final `SELECT`.
 
+use crate::span::Span;
 use std::fmt;
 
 /// A top-level statement.
@@ -31,6 +32,10 @@ pub enum Statement {
         /// The explained statement.
         inner: Box<Statement>,
     },
+    /// `CHECK query` — run the static verifier over the query without
+    /// executing it: stratification, PreM verdicts (with dynamic fallback)
+    /// and the decomposed-plan partition certificate.
+    Check(Query),
 }
 
 /// A query: `WITH` definitions plus a final select body.
@@ -49,6 +54,8 @@ pub struct CteDef {
     pub recursive: bool,
     /// View name.
     pub name: String,
+    /// Source span of the view name.
+    pub name_span: Span,
     /// Declared head columns — plain or aggregate.
     pub columns: Vec<CteColumn>,
     /// The UNION-ed sub-queries (base and recursive cases).
@@ -63,6 +70,8 @@ pub struct CteColumn {
     pub name: String,
     /// The aggregate applied in recursion, if any.
     pub agg: Option<AggFunc>,
+    /// Source span of the head column declaration (`min() AS Cost`).
+    pub span: Span,
 }
 
 /// The four basic aggregates the paper allows in recursion, plus `avg`
@@ -137,6 +146,8 @@ pub struct Select {
     pub order_by: Vec<(Expr, bool)>,
     /// LIMIT row count.
     pub limit: Option<u64>,
+    /// Source span of the whole SELECT block.
+    pub span: Span,
 }
 
 /// One projection item.
@@ -164,6 +175,8 @@ pub enum TableRef {
         name: String,
         /// Optional alias.
         alias: Option<String>,
+        /// Source span of the reference (name plus alias).
+        span: Span,
     },
     /// `(query) alias` — derived table.
     Subquery {
@@ -178,7 +191,7 @@ impl TableRef {
     /// The name the item is referred to by in expressions.
     pub fn binding_name(&self) -> &str {
         match self {
-            TableRef::Table { name, alias } => alias.as_deref().unwrap_or(name),
+            TableRef::Table { name, alias, .. } => alias.as_deref().unwrap_or(name),
             TableRef::Subquery { alias, .. } => alias,
         }
     }
@@ -193,6 +206,8 @@ pub enum Expr {
         qualifier: Option<String>,
         /// Column name.
         name: String,
+        /// Source span of the full reference.
+        span: Span,
     },
     /// Literal value.
     Literal(Literal),
@@ -211,6 +226,8 @@ pub enum Expr {
         op: UnaryOp,
         /// Operand.
         expr: Box<Expr>,
+        /// Source span covering the operator and operand.
+        span: Span,
     },
     /// Function call — aggregates (`min(x)`, `count(distinct x)`, `count(*)`)
     /// or scalar functions (`abs`).
@@ -223,6 +240,8 @@ pub enum Expr {
         args: Vec<Expr>,
         /// `*` argument.
         star: bool,
+        /// Source span of the call.
+        span: Span,
     },
     /// `expr IS [NOT] NULL`.
     IsNull {
@@ -234,19 +253,33 @@ pub enum Expr {
 }
 
 impl Expr {
-    /// Unqualified column shorthand.
+    /// Unqualified column shorthand (synthetic span).
     pub fn col(name: impl Into<String>) -> Expr {
         Expr::Column {
             qualifier: None,
             name: name.into(),
+            span: Span::synthetic(),
         }
     }
 
-    /// Qualified column shorthand.
+    /// Qualified column shorthand (synthetic span).
     pub fn qcol(qualifier: impl Into<String>, name: impl Into<String>) -> Expr {
         Expr::Column {
             qualifier: Some(qualifier.into()),
             name: name.into(),
+            span: Span::synthetic(),
+        }
+    }
+
+    /// Best-effort source span of the expression: stored spans on columns,
+    /// calls and unary ops, merged child spans elsewhere; synthetic for
+    /// literals and synthesized nodes.
+    pub fn span(&self) -> Span {
+        match self {
+            Expr::Column { span, .. } | Expr::Unary { span, .. } | Expr::Func { span, .. } => *span,
+            Expr::Literal(_) => Span::synthetic(),
+            Expr::Binary { left, right, .. } => left.span().merge(right.span()),
+            Expr::IsNull { expr, .. } => expr.span(),
         }
     }
 
@@ -287,6 +320,48 @@ impl Expr {
     /// True if the expression contains an aggregate function call.
     pub fn contains_aggregate(&self) -> bool {
         self.any(&|e| matches!(e, Expr::Func { name, .. } if AggFunc::from_name(name).is_some()))
+    }
+
+    /// Copy with every span reset to synthetic — for comparing expressions
+    /// that came from different source positions.
+    pub fn strip_spans(&self) -> Expr {
+        match self {
+            Expr::Column {
+                qualifier, name, ..
+            } => Expr::Column {
+                qualifier: qualifier.clone(),
+                name: name.clone(),
+                span: Span::synthetic(),
+            },
+            Expr::Literal(l) => Expr::Literal(l.clone()),
+            Expr::Binary { left, op, right } => Expr::Binary {
+                left: Box::new(left.strip_spans()),
+                op: *op,
+                right: Box::new(right.strip_spans()),
+            },
+            Expr::Unary { op, expr, .. } => Expr::Unary {
+                op: *op,
+                expr: Box::new(expr.strip_spans()),
+                span: Span::synthetic(),
+            },
+            Expr::Func {
+                name,
+                distinct,
+                args,
+                star,
+                ..
+            } => Expr::Func {
+                name: name.clone(),
+                distinct: *distinct,
+                args: args.iter().map(Expr::strip_spans).collect(),
+                star: *star,
+                span: Span::synthetic(),
+            },
+            Expr::IsNull { expr, negated } => Expr::IsNull {
+                expr: Box::new(expr.strip_spans()),
+                negated: *negated,
+            },
+        }
     }
 }
 
@@ -387,10 +462,12 @@ impl fmt::Display for Expr {
             Expr::Column {
                 qualifier: Some(q),
                 name,
+                ..
             } => write!(f, "{q}.{name}"),
             Expr::Column {
                 qualifier: None,
                 name,
+                ..
             } => write!(f, "{name}"),
             Expr::Literal(Literal::Int(v)) => write!(f, "{v}"),
             Expr::Literal(Literal::Double(v)) => write!(f, "{v}"),
@@ -401,16 +478,19 @@ impl fmt::Display for Expr {
             Expr::Unary {
                 op: UnaryOp::Neg,
                 expr,
+                ..
             } => write!(f, "(-{expr})"),
             Expr::Unary {
                 op: UnaryOp::Not,
                 expr,
+                ..
             } => write!(f, "(NOT {expr})"),
             Expr::Func {
                 name,
                 distinct,
                 args,
                 star,
+                ..
             } => {
                 write!(f, "{name}(")?;
                 if *distinct {
@@ -456,6 +536,7 @@ mod tests {
                 distinct: false,
                 args: vec![Expr::col("b")],
                 star: false,
+                span: Span::synthetic(),
             }),
         };
         assert!(e.contains_aggregate());
@@ -479,6 +560,7 @@ mod tests {
         let t = TableRef::Table {
             name: "edge".into(),
             alias: Some("e".into()),
+            span: Span::synthetic(),
         };
         assert_eq!(t.binding_name(), "e");
     }

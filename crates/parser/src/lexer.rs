@@ -1,5 +1,6 @@
 //! SQL lexer: turns query text into a token stream with source positions.
 
+use crate::span::Span;
 use std::fmt;
 
 /// Lexical token kinds.
@@ -81,7 +82,7 @@ impl fmt::Display for TokenKind {
     }
 }
 
-/// A token plus its 1-based line/column source position.
+/// A token plus its 1-based line/column source position and byte-offset span.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Token {
     /// The token kind/payload.
@@ -90,6 +91,8 @@ pub struct Token {
     pub line: u32,
     /// 1-based column.
     pub col: u32,
+    /// Byte range the token occupies in the source.
+    pub span: Span,
 }
 
 /// Lexing error with position.
@@ -101,6 +104,8 @@ pub struct LexError {
     pub line: u32,
     /// 1-based column.
     pub col: u32,
+    /// Byte range of the offending input.
+    pub span: Span,
 }
 
 impl fmt::Display for LexError {
@@ -168,10 +173,12 @@ impl<'a> Lexer<'a> {
     }
 
     fn err(&self, message: impl Into<String>) -> LexError {
+        let start = self.pos as u32;
         LexError {
             message: message.into(),
             line: self.line,
             col: self.col,
+            span: Span::new(start, (start + 1).min(self.src.len() as u32).max(start)),
         }
     }
 
@@ -216,10 +223,19 @@ impl<'a> Lexer<'a> {
     fn next_token(&mut self) -> Result<Token, LexError> {
         self.skip_ws_and_comments()?;
         let (line, col) = (self.line, self.col);
-        let make = |kind| Token { kind, line, col };
+        let start = self.pos as u32;
+        let kind = self.next_kind()?;
+        Ok(Token {
+            kind,
+            line,
+            col,
+            span: Span::new(start, self.pos as u32),
+        })
+    }
 
+    fn next_kind(&mut self) -> Result<TokenKind, LexError> {
         let c = match self.peek() {
-            None => return Ok(make(TokenKind::Eof)),
+            None => return Ok(TokenKind::Eof),
             Some(c) => c,
         };
 
@@ -300,13 +316,13 @@ impl<'a> Lexer<'a> {
                     TokenKind::Gt
                 }
             }
-            b'\'' => return Ok(make(self.lex_string()?)),
-            b'"' => return Ok(make(self.lex_quoted_ident()?)),
-            c if c.is_ascii_digit() || c == b'.' => return Ok(make(self.lex_number()?)),
-            c if c.is_ascii_alphabetic() || c == b'_' => return Ok(make(self.lex_ident())),
+            b'\'' => self.lex_string()?,
+            b'"' => self.lex_quoted_ident()?,
+            c if c.is_ascii_digit() || c == b'.' => self.lex_number()?,
+            c if c.is_ascii_alphabetic() || c == b'_' => self.lex_ident(),
             c => return Err(self.err(format!("unexpected character '{}'", c as char))),
         };
-        Ok(make(kind))
+        Ok(kind)
     }
 
     fn lex_string(&mut self) -> Result<TokenKind, LexError> {

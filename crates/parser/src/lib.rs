@@ -23,7 +23,9 @@
 pub mod ast;
 pub mod lexer;
 pub mod parser;
+pub mod span;
 
 pub use ast::*;
 pub use lexer::{Lexer, Token, TokenKind};
 pub use parser::{parse, parse_statements, ParseError, Parser};
+pub use span::Span;

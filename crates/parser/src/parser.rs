@@ -16,6 +16,7 @@
 
 use crate::ast::*;
 use crate::lexer::{LexError, Lexer, Token, TokenKind};
+use crate::span::Span;
 use std::fmt;
 
 /// Parser errors with position information.
@@ -33,7 +34,19 @@ pub enum ParseError {
         line: u32,
         /// 1-based column.
         col: u32,
+        /// Byte range of the offending token.
+        span: Span,
     },
+}
+
+impl ParseError {
+    /// Byte range of the offending input.
+    pub fn span(&self) -> Span {
+        match self {
+            ParseError::Lex(e) => e.span,
+            ParseError::Unexpected { span, .. } => *span,
+        }
+    }
 }
 
 impl fmt::Display for ParseError {
@@ -45,6 +58,7 @@ impl fmt::Display for ParseError {
                 expected,
                 line,
                 col,
+                ..
             } => write!(
                 f,
                 "parse error at {line}:{col}: expected {expected}, found '{found}'"
@@ -108,6 +122,7 @@ pub fn parse(sql: &str) -> Result<Statement, ParseError> {
             expected: "exactly one statement".into(),
             line: 1,
             col: 1,
+            span: Span::synthetic(),
         });
     }
     Ok(stmts.remove(0))
@@ -163,7 +178,18 @@ impl Parser {
             expected: expected.into(),
             line: t.line,
             col: t.col,
+            span: t.span,
         }
+    }
+
+    /// Span from `start` through the last consumed token.
+    fn span_to_prev(&self, start: Span) -> Span {
+        let prev = if self.pos > 0 {
+            self.tokens[self.pos - 1].span
+        } else {
+            start
+        };
+        start.merge(prev)
     }
 
     /// True and consume if the next token is the keyword `kw` (case-insensitive).
@@ -208,16 +234,23 @@ impl Parser {
 
     /// An identifier that is not a reserved keyword.
     fn expect_ident(&mut self) -> Result<String, ParseError> {
+        self.expect_ident_spanned().map(|(s, _)| s)
+    }
+
+    /// Like [`Parser::expect_ident`], also returning the identifier's span.
+    fn expect_ident_spanned(&mut self) -> Result<(String, Span), ParseError> {
         match &self.peek().kind {
             TokenKind::Ident(s) if !is_keyword(s) => {
                 let s = s.clone();
+                let span = self.peek().span;
                 self.bump();
-                Ok(s)
+                Ok((s, span))
             }
             TokenKind::QuotedIdent(s) => {
                 let s = s.clone();
+                let span = self.peek().span;
                 self.bump();
-                Ok(s)
+                Ok((s, span))
             }
             _ => Err(self.error("identifier")),
         }
@@ -231,6 +264,15 @@ impl Parser {
             let analyze = self.eat_kw("analyze");
             let inner = Box::new(self.parse_statement()?);
             Ok(Statement::Explain { analyze, inner })
+        } else if self.peek_kw("check")
+            && !matches!(
+                self.tokens.get(self.pos + 1).map(|t| &t.kind),
+                Some(TokenKind::Eof) | None
+            )
+        {
+            // `check`, like `explain`, is contextual.
+            self.bump();
+            Ok(Statement::Check(self.parse_query()?))
         } else if self.peek_kw("create") {
             self.parse_create_view()
         } else {
@@ -278,7 +320,7 @@ impl Parser {
 
     fn parse_cte(&mut self) -> Result<CteDef, ParseError> {
         let recursive = self.eat_kw("recursive");
-        let name = self.expect_ident()?;
+        let (name, name_span) = self.expect_ident_spanned()?;
         self.expect_symbol(&TokenKind::LParen)?;
         let mut columns = Vec::new();
         loop {
@@ -293,6 +335,7 @@ impl Parser {
         Ok(CteDef {
             recursive,
             name,
+            name_span,
             columns,
             branches,
         })
@@ -300,6 +343,7 @@ impl Parser {
 
     /// A CTE head column: `name` or `agg() AS name`.
     fn parse_cte_column(&mut self) -> Result<CteColumn, ParseError> {
+        let start = self.peek().span;
         // Look ahead for `ident ( )` — the aggregate-in-head form.
         if let TokenKind::Ident(s) = &self.peek().kind {
             if let Some(agg) = AggFunc::from_name(s) {
@@ -312,12 +356,17 @@ impl Parser {
                     return Ok(CteColumn {
                         name,
                         agg: Some(agg),
+                        span: self.span_to_prev(start),
                     });
                 }
             }
         }
         let name = self.expect_ident()?;
-        Ok(CteColumn { name, agg: None })
+        Ok(CteColumn {
+            name,
+            agg: None,
+            span: self.span_to_prev(start),
+        })
     }
 
     /// A union chain: `(select) UNION (select) ...` or bare selects.
@@ -342,6 +391,7 @@ impl Parser {
     }
 
     fn parse_select(&mut self) -> Result<Select, ParseError> {
+        let start = self.peek().span;
         self.expect_kw("select")?;
         let distinct = self.eat_kw("distinct");
 
@@ -444,6 +494,7 @@ impl Parser {
             having,
             order_by,
             limit,
+            span: self.span_to_prev(start),
         })
     }
 
@@ -486,7 +537,7 @@ impl Parser {
                 alias,
             });
         }
-        let name = self.expect_ident()?;
+        let (name, start) = self.expect_ident_spanned()?;
         let aliased =
             self.eat_kw("as") || matches!(&self.peek().kind, TokenKind::Ident(s) if !is_keyword(s));
         let alias = if aliased {
@@ -494,7 +545,11 @@ impl Parser {
         } else {
             None
         };
-        Ok(TableRef::Table { name, alias })
+        Ok(TableRef::Table {
+            name,
+            alias,
+            span: self.span_to_prev(start),
+        })
     }
 
     /// Expression entry point (lowest precedence: OR).
@@ -529,11 +584,13 @@ impl Parser {
     }
 
     fn parse_not(&mut self) -> Result<Expr, ParseError> {
+        let start = self.peek().span;
         if self.eat_kw("not") {
             let e = self.parse_not()?;
             return Ok(Expr::Unary {
                 op: UnaryOp::Not,
                 expr: Box::new(e),
+                span: self.span_to_prev(start),
             });
         }
         self.parse_comparison()
@@ -606,6 +663,7 @@ impl Parser {
     }
 
     fn parse_unary(&mut self) -> Result<Expr, ParseError> {
+        let start = self.peek().span;
         if self.eat_symbol(&TokenKind::Minus) {
             let e = self.parse_unary()?;
             // Fold negation into numeric literals directly.
@@ -615,6 +673,7 @@ impl Parser {
                 other => Expr::Unary {
                     op: UnaryOp::Neg,
                     expr: Box::new(other),
+                    span: self.span_to_prev(start),
                 },
             });
         }
@@ -657,43 +716,49 @@ impl Parser {
                 Ok(Expr::Literal(Literal::Bool(false)))
             }
             TokenKind::Ident(s) if !is_keyword(&s) => {
+                let start = self.peek().span;
                 self.bump();
                 // Function call?
                 if self.peek().kind == TokenKind::LParen {
-                    return self.parse_func_call(s);
+                    return self.parse_func_call(&s, start);
                 }
                 // Qualified column?
                 if self.eat_symbol(&TokenKind::Dot) {
-                    let name = self.expect_ident()?;
+                    let (name, end) = self.expect_ident_spanned()?;
                     return Ok(Expr::Column {
                         qualifier: Some(s),
                         name,
+                        span: start.merge(end),
                     });
                 }
                 Ok(Expr::Column {
                     qualifier: None,
                     name: s,
+                    span: start,
                 })
             }
             TokenKind::QuotedIdent(s) => {
+                let start = self.peek().span;
                 self.bump();
                 if self.eat_symbol(&TokenKind::Dot) {
-                    let name = self.expect_ident()?;
+                    let (name, end) = self.expect_ident_spanned()?;
                     return Ok(Expr::Column {
                         qualifier: Some(s),
                         name,
+                        span: start.merge(end),
                     });
                 }
                 Ok(Expr::Column {
                     qualifier: None,
                     name: s,
+                    span: start,
                 })
             }
             _ => Err(self.error("expression")),
         }
     }
 
-    fn parse_func_call(&mut self, name: String) -> Result<Expr, ParseError> {
+    fn parse_func_call(&mut self, name: &str, start: Span) -> Result<Expr, ParseError> {
         self.expect_symbol(&TokenKind::LParen)?;
         let mut distinct = false;
         let mut args = Vec::new();
@@ -715,6 +780,7 @@ impl Parser {
             distinct,
             args,
             star,
+            span: self.span_to_prev(start),
         })
     }
 }

@@ -1,0 +1,104 @@
+//! Byte-offset source spans.
+//!
+//! Every token carries the half-open byte range `[start, end)` it occupies in
+//! the original SQL text, and the parser threads merged spans onto the AST
+//! nodes diagnostics point at. Offsets are bytes (the lexer is ASCII-oriented),
+//! so a span can always be rendered back against the source with plain
+//! slicing.
+
+use std::fmt;
+
+/// A half-open byte range `[start, end)` into the source text.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Hash, PartialOrd, Ord)]
+pub struct Span {
+    /// Byte offset of the first byte covered.
+    pub start: u32,
+    /// Byte offset one past the last byte covered.
+    pub end: u32,
+}
+
+impl Span {
+    /// Build a span from byte offsets.
+    pub fn new(start: u32, end: u32) -> Span {
+        Span { start, end }
+    }
+
+    /// The zero-length span at offset 0, used for synthesized nodes that have
+    /// no source text (e.g. rewrites produced by the analyzer).
+    pub fn synthetic() -> Span {
+        Span::default()
+    }
+
+    /// True for spans that do not point at any source text.
+    pub fn is_synthetic(&self) -> bool {
+        self.start == 0 && self.end == 0
+    }
+
+    /// Length in bytes.
+    pub fn len(&self) -> u32 {
+        self.end.saturating_sub(self.start)
+    }
+
+    /// True when the span covers no bytes.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Smallest span covering both `self` and `other`. Synthetic spans are
+    /// ignored so merging with a synthesized node never drags a span to 0.
+    pub fn merge(self, other: Span) -> Span {
+        if self.is_synthetic() {
+            return other;
+        }
+        if other.is_synthetic() {
+            return self;
+        }
+        Span {
+            start: self.start.min(other.start),
+            end: self.end.max(other.end),
+        }
+    }
+
+    /// Slice the covered text out of `source` (empty on out-of-range spans).
+    pub fn text<'a>(&self, source: &'a str) -> &'a str {
+        source
+            .get(self.start as usize..self.end as usize)
+            .unwrap_or("")
+    }
+
+    /// 1-based (line, column) of the span start within `source`.
+    pub fn line_col(&self, source: &str) -> (u32, u32) {
+        let upto = &source.as_bytes()[..(self.start as usize).min(source.len())];
+        let line = upto.iter().filter(|&&b| b == b'\n').count() as u32 + 1;
+        let col = upto.iter().rev().take_while(|&&b| b != b'\n').count() as u32 + 1;
+        (line, col)
+    }
+}
+
+impl fmt::Display for Span {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "bytes {}..{}", self.start, self.end)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn merge_ignores_synthetic() {
+        let a = Span::new(5, 9);
+        assert_eq!(a.merge(Span::synthetic()), a);
+        assert_eq!(Span::synthetic().merge(a), a);
+        assert_eq!(a.merge(Span::new(1, 6)), Span::new(1, 9));
+    }
+
+    #[test]
+    fn text_and_line_col() {
+        let src = "SELECT x\nFROM t";
+        let s = Span::new(9, 13);
+        assert_eq!(s.text(src), "FROM");
+        assert_eq!(s.line_col(src), (2, 1));
+        assert_eq!(Span::new(7, 8).line_col(src), (1, 8));
+    }
+}

@@ -9,6 +9,7 @@
 //! head declaration.
 
 use crate::branch::{BranchProgram, BranchStep, CountMode, DeltaValueMode, JoinBuild, RecAllMode};
+use crate::certificate::{CertificateFailure, PartitionCertificate};
 use crate::error::PlanError;
 use crate::expr::PExpr;
 use crate::logical::{AggExpr, FixpointSpec, LogicalPlan, ViewSpec};
@@ -16,6 +17,7 @@ use rasql_parser::ast::{
     AggFunc, BinaryOp, CteDef, Expr, Literal, Query, Select, SelectItem, Statement, TableRef,
     UnaryOp,
 };
+use rasql_parser::Span;
 use rasql_storage::{DataType, Field, Row, Schema, Value};
 use std::collections::HashMap;
 
@@ -77,6 +79,9 @@ pub enum AnalyzedStatement {
         /// The explained statement.
         inner: Box<AnalyzedStatement>,
     },
+    /// A `CHECK query`: the *unanalyzed* query AST, kept so the verifier can
+    /// report spanned diagnostics even when analysis itself fails.
+    Check(Query),
 }
 
 /// An analyzed query.
@@ -132,6 +137,7 @@ pub fn analyze_statement(
             analyze: *analyze,
             inner: Box::new(analyze_statement(inner, catalog)?),
         }),
+        Statement::Check(q) => Ok(AnalyzedStatement::Check(q.clone())),
     }
 }
 
@@ -437,7 +443,7 @@ impl<'a> Analyzer<'a> {
                     .iter()
                     .any(|r| member_idx.contains_key(&r.to_ascii_lowercase()));
                 if is_recursive {
-                    let programs = self
+                    let mut programs = self
                         .analyze_recursive_branch(
                             branch,
                             vi,
@@ -447,6 +453,9 @@ impl<'a> Analyzer<'a> {
                             &all_agg_cols,
                         )
                         .map_err(|e| to_plan_err(e, &cte.name))?;
+                    for p in &mut programs {
+                        p.span = branch.span;
+                    }
                     recursive.extend(programs);
                 } else {
                     let plan = self
@@ -465,20 +474,21 @@ impl<'a> Analyzer<'a> {
 
             views.push(ViewSpec {
                 name: cte.name.clone(),
+                name_span: cte.name_span,
                 schema,
                 key_cols,
                 aggs,
                 base,
                 recursive,
-                decomposable_on: None,
+                certificate: PartitionCertificate::not_preserved(CertificateFailure::NoRecursion),
             });
         }
 
-        // Decomposability (paper §7.2): a self-recursive view whose recursive
-        // programs are linear and pass some key columns through unchanged can
-        // run decomposed with a broadcast base relation.
+        // Partition preservation (paper §7.2): prove — or record why not —
+        // that each view's recursive plan keeps tuples in their partition.
+        // The fixpoint executor consumes this certificate as-is.
         for vi in 0..views.len() {
-            views[vi].decomposable_on = detect_decomposable(vi, &views);
+            views[vi].certificate = certify_partition_preservation(vi, &views);
         }
 
         for v in &views {
@@ -554,7 +564,7 @@ impl<'a> Analyzer<'a> {
         let mut bindings = Vec::new();
         for item in &select.from {
             let (name, source) = match item {
-                TableRef::Table { name, alias } => {
+                TableRef::Table { name, alias, .. } => {
                     let src = self.resolve_table(name, clique)?;
                     (alias.clone().unwrap_or_else(|| name.clone()), src)
                 }
@@ -1285,6 +1295,7 @@ impl<'a> Analyzer<'a> {
             agg_exprs,
             count_modes,
             combined_arity: cur_arity,
+            span: Span::synthetic(),
         })
     }
 }
@@ -1342,16 +1353,16 @@ impl Scope {
     /// Bind an AST expression to the combined layout.
     fn bind(&self, e: &Expr) -> ARes<PExpr> {
         match e {
-            Expr::Column { qualifier, name } => {
-                Ok(PExpr::Col(self.resolve_column(qualifier.as_deref(), name)?))
-            }
+            Expr::Column {
+                qualifier, name, ..
+            } => Ok(PExpr::Col(self.resolve_column(qualifier.as_deref(), name)?)),
             Expr::Literal(l) => Ok(PExpr::Lit(literal_value(l))),
             Expr::Binary { left, op, right } => Ok(PExpr::Binary {
                 left: Box::new(self.bind(left)?),
                 op: *op,
                 right: Box::new(self.bind(right)?),
             }),
-            Expr::Unary { op, expr } => {
+            Expr::Unary { op, expr, .. } => {
                 let inner = Box::new(self.bind(expr)?);
                 Ok(match op {
                     UnaryOp::Neg => PExpr::Neg(inner),
@@ -1367,6 +1378,7 @@ impl Scope {
                 args,
                 distinct,
                 star,
+                ..
             } => {
                 if let Some(func) = crate::expr::ScalarFunc::from_name(name) {
                     if *distinct || *star {
@@ -1388,7 +1400,9 @@ impl Scope {
 /// Bind an expression using join-order offsets (recursive branch layouts).
 fn bind_expr_with_offsets(e: &Expr, scope: &Scope, offsets: &[Option<usize>]) -> ARes<PExpr> {
     match e {
-        Expr::Column { qualifier, name } => {
+        Expr::Column {
+            qualifier, name, ..
+        } => {
             let (b_idx, col) = resolve_binding_col(scope, qualifier.as_deref(), name)?;
             let off = offsets[b_idx].ok_or_else(|| {
                 AErr::Plan(PlanError::Invalid(format!(
@@ -1403,7 +1417,7 @@ fn bind_expr_with_offsets(e: &Expr, scope: &Scope, offsets: &[Option<usize>]) ->
             op: *op,
             right: Box::new(bind_expr_with_offsets(right, scope, offsets)?),
         }),
-        Expr::Unary { op, expr } => {
+        Expr::Unary { op, expr, .. } => {
             let inner = Box::new(bind_expr_with_offsets(expr, scope, offsets)?);
             Ok(match op {
                 UnaryOp::Neg => PExpr::Neg(inner),
@@ -1419,6 +1433,7 @@ fn bind_expr_with_offsets(e: &Expr, scope: &Scope, offsets: &[Option<usize>]) ->
             args,
             distinct,
             star,
+            ..
         } => {
             if let Some(func) = crate::expr::ScalarFunc::from_name(name) {
                 if *distinct || *star {
@@ -1473,7 +1488,9 @@ fn resolve_binding_col(scope: &Scope, qualifier: Option<&str>, name: &str) -> AR
 /// Which bindings an AST expression references.
 fn collect_expr_bindings(e: &Expr, scope: &Scope, out: &mut Vec<usize>) -> ARes<()> {
     match e {
-        Expr::Column { qualifier, name } => {
+        Expr::Column {
+            qualifier, name, ..
+        } => {
             let (b, _) = resolve_binding_col(scope, qualifier.as_deref(), name)?;
             out.push(b);
             Ok(())
@@ -1533,7 +1550,10 @@ fn equi_edge(
             return Ok(None);
         }
         // Build side must be a plain column for hash indexing.
-        if let Expr::Column { qualifier, name } = build {
+        if let Expr::Column {
+            qualifier, name, ..
+        } = build
+        {
             let (b, col) = resolve_binding_col(scope, qualifier.as_deref(), name)?;
             if b == cand {
                 return Ok(Some((stream.clone(), col)));
@@ -1577,6 +1597,7 @@ fn rewrite_agg_expr(
         distinct,
         args,
         star,
+        ..
     } = e
     {
         if AggFunc::from_name(name).is_none() {
@@ -1634,7 +1655,7 @@ fn rewrite_agg_expr(
             op: *op,
             right: Box::new(rewrite_agg_expr(right, scope, group_bound, agg_calls)?),
         }),
-        Expr::Unary { op, expr } => {
+        Expr::Unary { op, expr, .. } => {
             let inner = Box::new(rewrite_agg_expr(expr, scope, group_bound, agg_calls)?);
             Ok(match op {
                 UnaryOp::Neg => PExpr::Neg(inner),
@@ -1667,18 +1688,35 @@ fn collect_table_refs(select: &Select, out: &mut Vec<String>) {
     }
 }
 
-/// Detect decomposability of view `vi` (paper §7.2): every recursive program
-/// must be linear, driven by the view itself, and pass through some non-empty
-/// subset of key columns unchanged.
-fn detect_decomposable(vi: usize, views: &[ViewSpec]) -> Option<Vec<usize>> {
+/// Prove partition preservation for view `vi` (paper §7.2): every recursive
+/// program must be linear, driven by the view itself, and pass through some
+/// non-empty subset of key columns unchanged — then the join keys stay inside
+/// the partition key along every recursive branch and decomposed evaluation
+/// is sound. The returned [`PartitionCertificate`] either names the preserved
+/// key columns or records the first (spanned) obstruction.
+fn certify_partition_preservation(vi: usize, views: &[ViewSpec]) -> PartitionCertificate {
+    if views.len() > 1 {
+        return PartitionCertificate::not_preserved(CertificateFailure::MultiViewClique {
+            views: views.len(),
+        });
+    }
     let v = &views[vi];
     if v.recursive.is_empty() {
-        return None;
+        return PartitionCertificate::not_preserved(CertificateFailure::NoRecursion);
     }
     let mut preserved: Option<Vec<usize>> = None;
-    for p in &v.recursive {
-        if p.driver != vi || p.target != vi || !p.is_linear() {
-            return None;
+    for (bi, p) in v.recursive.iter().enumerate() {
+        if p.driver != vi || p.target != vi {
+            return PartitionCertificate::not_preserved(CertificateFailure::NonSelfRecursive {
+                branch: bi,
+                span: p.span,
+            });
+        }
+        if !p.is_linear() {
+            return PartitionCertificate::not_preserved(CertificateFailure::NonLinear {
+                branch: bi,
+                span: p.span,
+            });
         }
         // key position i (i-th key col) preserved if key_exprs[i] == Col(key_cols[i])
         // — the driver occupies offsets [0, arity) of the combined layout.
@@ -1695,8 +1733,10 @@ fn detect_decomposable(vi: usize, views: &[ViewSpec]) -> Option<Vec<usize>> {
         });
     }
     match preserved {
-        Some(p) if !p.is_empty() => Some(p.into_iter().map(|i| views[vi].key_cols[i]).collect()),
-        _ => None,
+        Some(p) if !p.is_empty() => PartitionCertificate::Preserved {
+            key_cols: p.into_iter().map(|i| views[vi].key_cols[i]).collect(),
+        },
+        _ => PartitionCertificate::not_preserved(CertificateFailure::NoPreservedKey),
     }
 }
 

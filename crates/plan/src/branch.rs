@@ -19,6 +19,7 @@
 
 use crate::expr::PExpr;
 use crate::logical::LogicalPlan;
+use rasql_parser::Span;
 use std::fmt;
 
 /// How a delta row exposes the driving view's aggregate column(s) to the
@@ -118,6 +119,10 @@ pub struct BranchProgram {
     pub count_modes: Vec<CountMode>,
     /// Arity of the final combined row.
     pub combined_arity: usize,
+    /// Source span of the SQL branch this program was lowered from
+    /// (synthetic for programmatically built programs). Certificate failures
+    /// and diagnostics point here.
+    pub span: Span,
 }
 
 impl BranchProgram {

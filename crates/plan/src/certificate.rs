@@ -1,0 +1,146 @@
+//! Partition-preservation certificates for decomposed-plan evaluation
+//! (paper §7.2).
+//!
+//! Decomposed evaluation keeps every recursive tuple on the worker that owns
+//! its partition key and broadcasts the (small) base relations, eliminating
+//! the per-iteration shuffle. That is only sound when **every** recursive
+//! branch provably keeps each tuple in its partition: the branch must be
+//! linear, driven by the view itself, and pass some non-empty subset of the
+//! key columns through unchanged (so the join keys stay inside the partition
+//! key along every recursive path).
+//!
+//! [`PartitionCertificate`] is the *proof object* the analyzer attaches to
+//! each [`crate::ViewSpec`]: either the preserved key columns, or the first
+//! reason the proof failed — with the source span of the offending branch so
+//! the verifier can point at real SQL text. Plan selection in the fixpoint
+//! executor consumes only this certificate (never re-deriving the condition),
+//! so "why did/didn't this run decomposed?" always has a spanned answer.
+
+use rasql_parser::Span;
+use std::fmt;
+
+/// Proof that a view's recursive plan preserves (or fails to preserve)
+/// partitioning on a subset of its key columns.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PartitionCertificate {
+    /// Every recursive branch is linear, self-driven, and passes the listed
+    /// key columns through unchanged: decomposed evaluation partitioned on
+    /// those columns is sound.
+    Preserved {
+        /// Schema positions of the preserved partition key columns.
+        key_cols: Vec<usize>,
+    },
+    /// The proof failed; the certificate records why.
+    NotPreserved {
+        /// The first obstruction found.
+        failure: CertificateFailure,
+    },
+}
+
+/// Why a partition-preservation proof failed.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CertificateFailure {
+    /// The clique has several mutually recursive views; decomposition is
+    /// defined for single-view cliques only.
+    MultiViewClique {
+        /// Number of views in the clique.
+        views: usize,
+    },
+    /// The view has no recursive branches — there is no fixpoint to decompose.
+    NoRecursion,
+    /// A recursive branch is driven by (or produces into) another view.
+    NonSelfRecursive {
+        /// Index of the offending branch program.
+        branch: usize,
+        /// Source span of the branch's SQL.
+        span: Span,
+    },
+    /// A recursive branch reads a second recursive relation (non-linear
+    /// recursion), so its join cannot stay within one partition.
+    NonLinear {
+        /// Index of the offending branch program.
+        branch: usize,
+        /// Source span of the branch's SQL.
+        span: Span,
+    },
+    /// No key column passes through every recursive branch unchanged.
+    NoPreservedKey,
+}
+
+impl PartitionCertificate {
+    /// Shorthand constructor for a failed proof.
+    pub fn not_preserved(failure: CertificateFailure) -> Self {
+        PartitionCertificate::NotPreserved { failure }
+    }
+
+    /// The preserved partition key columns, if the proof succeeded. This is
+    /// the *only* accessor plan selection should consult.
+    pub fn preserved_key(&self) -> Option<&[usize]> {
+        match self {
+            PartitionCertificate::Preserved { key_cols } => Some(key_cols),
+            PartitionCertificate::NotPreserved { .. } => None,
+        }
+    }
+
+    /// The failure, if the proof did not go through.
+    pub fn failure(&self) -> Option<&CertificateFailure> {
+        match self {
+            PartitionCertificate::Preserved { .. } => None,
+            PartitionCertificate::NotPreserved { failure } => Some(failure),
+        }
+    }
+}
+
+impl fmt::Display for PartitionCertificate {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PartitionCertificate::Preserved { key_cols } => {
+                write!(f, "preserved{key_cols:?}")
+            }
+            PartitionCertificate::NotPreserved { failure } => {
+                write!(f, "not-preserved({failure})")
+            }
+        }
+    }
+}
+
+impl fmt::Display for CertificateFailure {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CertificateFailure::MultiViewClique { views } => {
+                write!(f, "clique has {views} mutually recursive views")
+            }
+            CertificateFailure::NoRecursion => write!(f, "no recursive branches"),
+            CertificateFailure::NonSelfRecursive { branch, .. } => {
+                write!(f, "recursive branch #{branch} involves another view")
+            }
+            CertificateFailure::NonLinear { branch, .. } => {
+                write!(f, "recursive branch #{branch} is non-linear")
+            }
+            CertificateFailure::NoPreservedKey => {
+                write!(
+                    f,
+                    "no key column passes through every recursive branch unchanged"
+                )
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn preserved_key_accessor() {
+        let c = PartitionCertificate::Preserved { key_cols: vec![0] };
+        assert_eq!(c.preserved_key(), Some(&[0][..]));
+        assert!(c.failure().is_none());
+        let n = PartitionCertificate::not_preserved(CertificateFailure::NoPreservedKey);
+        assert!(n.preserved_key().is_none());
+        assert_eq!(
+            n.to_string(),
+            "not-preserved(no key column passes through every recursive branch unchanged)"
+        );
+    }
+}

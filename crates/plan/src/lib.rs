@@ -1,4 +1,4 @@
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 //! # rasql-plan
 //!
@@ -15,16 +15,22 @@
 
 pub mod analyzer;
 pub mod branch;
+pub mod certificate;
+pub mod diag;
 pub mod error;
 pub mod expr;
 pub mod logical;
 pub mod optimizer;
+pub mod verify;
 
 pub use analyzer::{
     analyze_query, analyze_statement, AnalyzedQuery, AnalyzedStatement, Analyzer, ViewCatalog,
 };
 pub use branch::{BranchProgram, BranchStep, CountMode, DeltaValueMode, JoinBuild, RecAllMode};
+pub use certificate::{CertificateFailure, PartitionCertificate};
+pub use diag::{DiagCode, Diagnostic, Severity};
 pub use error::PlanError;
 pub use expr::{PExpr, ScalarFunc};
 pub use logical::{AggExpr, FixpointSpec, LogicalPlan, ViewSpec};
 pub use optimizer::{optimize, optimize_spec};
+pub use verify::{verify_query, PremObligation, StaticVerdict, VerifyReport, ViewVerification};

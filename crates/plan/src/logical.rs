@@ -1,8 +1,10 @@
 //! Bound logical plans and the recursive clique / fixpoint specification.
 
 use crate::branch::BranchProgram;
+use crate::certificate::PartitionCertificate;
 use crate::expr::PExpr;
 use rasql_parser::ast::AggFunc;
+use rasql_parser::Span;
 use rasql_storage::{Row, Schema};
 use std::fmt;
 
@@ -294,7 +296,7 @@ impl FixpointSpec {
         let mut s = String::new();
         for v in &self.views {
             s.push_str(&format!(
-                "RecursiveClique {} {} key={:?} aggs={:?}{}\n",
+                "RecursiveClique {} {} key={:?} aggs={:?} certificate={}\n",
                 v.name,
                 v.schema,
                 v.key_cols,
@@ -302,10 +304,7 @@ impl FixpointSpec {
                     .iter()
                     .map(|(c, f)| format!("{f}@#{c}"))
                     .collect::<Vec<_>>(),
-                match &v.decomposable_on {
-                    Some(p) => format!(" decomposable_on={p:?}"),
-                    None => String::new(),
-                }
+                v.certificate
             ));
             for (i, b) in v.base.iter().enumerate() {
                 s.push_str(&format!("  Base[{i}]\n"));
@@ -329,6 +328,9 @@ impl FixpointSpec {
 pub struct ViewSpec {
     /// View name.
     pub name: String,
+    /// Source span of the view name in the `WITH` clause (synthetic for
+    /// programmatically built specs).
+    pub name_span: Span,
     /// Output schema (head columns, declared order).
     pub schema: Schema,
     /// Positions of the non-aggregate (group) columns.
@@ -339,9 +341,9 @@ pub struct ViewSpec {
     pub base: Vec<LogicalPlan>,
     /// Recursive branches, lowered to per-iteration pipelines.
     pub recursive: Vec<BranchProgram>,
-    /// If the view's recursive plan preserves partitioning on these key
-    /// positions (paper §7.2), it can run decomposed with broadcast joins.
-    pub decomposable_on: Option<Vec<usize>>,
+    /// Partition-preservation proof (paper §7.2): plan selection consults
+    /// this — and only this — to decide decomposed vs. shuffle evaluation.
+    pub certificate: PartitionCertificate,
 }
 
 impl ViewSpec {

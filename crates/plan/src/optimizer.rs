@@ -82,7 +82,7 @@ fn rewrite(plan: LogicalPlan) -> LogicalPlan {
     // Bottom-up.
     let plan = map_children(plan, rewrite);
     match plan {
-        LogicalPlan::Filter { input, predicate } => rewrite_filter(*input, predicate),
+        LogicalPlan::Filter { input, predicate } => rewrite_filter(*input, &predicate),
         LogicalPlan::Projection {
             input,
             exprs,
@@ -157,7 +157,7 @@ fn map_children(plan: LogicalPlan, f: impl Fn(LogicalPlan) -> LogicalPlan + Copy
 }
 
 /// Rewrite `Filter(pred) over input`, pushing conjuncts as deep as possible.
-fn rewrite_filter(input: LogicalPlan, predicate: PExpr) -> LogicalPlan {
+fn rewrite_filter(input: LogicalPlan, predicate: &PExpr) -> LogicalPlan {
     let mut conjuncts = Vec::new();
     predicate.fold().split_conjuncts(&mut conjuncts);
     // Drop literal TRUE conjuncts.

@@ -133,7 +133,7 @@ fn sssp_min_view() {
     // Stream key is path.Dst == the view key ⇒ co-partitioned (no reshuffle).
     assert_eq!(p.first_join_stream_keys().unwrap(), &[PExpr::Col(0)]);
     // SSSP is not decomposable: the output key comes from the edge side.
-    assert!(v.decomposable_on.is_none());
+    assert!(v.certificate.preserved_key().is_none());
 }
 
 #[test]
@@ -147,7 +147,7 @@ fn tc_is_decomposable() {
     let v = &q.cliques[0].views[0];
     assert!(v.aggs.is_empty());
     assert_eq!(v.key_cols, vec![0, 1]); // set semantics: all columns are key
-    assert_eq!(v.decomposable_on, Some(vec![0])); // Src passes through
+    assert_eq!(v.certificate.preserved_key(), Some(&[0][..])); // Src passes through
 }
 
 #[test]
@@ -371,5 +371,5 @@ fn clique_plan_display_mentions_branches() {
     assert!(txt.contains("RecursiveClique tc"), "{txt}");
     assert!(txt.contains("Base[0]"), "{txt}");
     assert!(txt.contains("Recursive[0]"), "{txt}");
-    assert!(txt.contains("decomposable_on"), "{txt}");
+    assert!(txt.contains("certificate=preserved[0]"), "{txt}");
 }

@@ -95,7 +95,7 @@ impl<'a> BspEngine<'a> {
                     })
                 })
                 .collect();
-            let results = self.cluster.run_stage(tasks);
+            let results = self.cluster.run_stage(tasks).expect("superstep stage");
             values = Arc::try_unwrap(values_arc)
                 .map_err(|_| ())
                 .expect("stage done");

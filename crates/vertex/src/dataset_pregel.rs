@@ -80,54 +80,61 @@ impl<'a> DatasetPregelEngine<'a> {
             // own stage).
             let msgs = Arc::new(messages);
             let program1 = Arc::clone(&program);
-            let reduced: Vec<Vec<(u32, f64)>> = self.cluster.run_stage(
-                (0..parts)
-                    .map(|p| {
-                        let msgs = Arc::clone(&msgs);
-                        let program = Arc::clone(&program1);
-                        StageTask::new(p, move |_w| {
-                            let mut combined: FxHashMap<u32, f64> = FxHashMap::default();
-                            for &(v, m) in &msgs[p] {
-                                combined
-                                    .entry(v)
-                                    .and_modify(|cur| *cur = program.combine(*cur, m))
-                                    .or_insert(m);
-                            }
-                            combined.into_iter().collect::<Vec<_>>()
+            let reduced: Vec<Vec<(u32, f64)>> = self
+                .cluster
+                .run_stage(
+                    (0..parts)
+                        .map(|p| {
+                            let msgs = Arc::clone(&msgs);
+                            let program = Arc::clone(&program1);
+                            StageTask::new(p, move |_w| {
+                                let mut combined: FxHashMap<u32, f64> = FxHashMap::default();
+                                for &(v, m) in &msgs[p] {
+                                    combined
+                                        .entry(v)
+                                        .and_modify(|cur| *cur = program.combine(*cur, m))
+                                        .or_insert(m);
+                                }
+                                combined.into_iter().collect::<Vec<_>>()
+                            })
                         })
-                    })
-                    .collect(),
-            );
+                        .collect(),
+                )
+                .expect("reduce stage");
 
             // Stage 2: join with vertices, apply; produce updated vertex
             // partitions and the activated set.
             let reduced = Arc::new(reduced);
             let verts = Arc::new(vertex_parts);
             let program2 = Arc::clone(&program);
-            let applied: Vec<ApplyResult> = self.cluster.run_stage(
-                (0..parts)
-                    .map(|p| {
-                        let reduced = Arc::clone(&reduced);
-                        let verts = Arc::clone(&verts);
-                        let program = Arc::clone(&program2);
-                        StageTask::new(p, move |_w| {
-                            let inbox: FxHashMap<u32, f64> = reduced[p].iter().copied().collect();
-                            let mut new_part = Vec::with_capacity(verts[p].len());
-                            let mut activated = Vec::new();
-                            for &(v, val) in &verts[p] {
-                                match inbox.get(&v).and_then(|&m| program.apply(val, m)) {
-                                    Some(nv) => {
-                                        new_part.push((v, nv));
-                                        activated.push((v, nv));
+            let applied: Vec<ApplyResult> = self
+                .cluster
+                .run_stage(
+                    (0..parts)
+                        .map(|p| {
+                            let reduced = Arc::clone(&reduced);
+                            let verts = Arc::clone(&verts);
+                            let program = Arc::clone(&program2);
+                            StageTask::new(p, move |_w| {
+                                let inbox: FxHashMap<u32, f64> =
+                                    reduced[p].iter().copied().collect();
+                                let mut new_part = Vec::with_capacity(verts[p].len());
+                                let mut activated = Vec::new();
+                                for &(v, val) in &verts[p] {
+                                    match inbox.get(&v).and_then(|&m| program.apply(val, m)) {
+                                        Some(nv) => {
+                                            new_part.push((v, nv));
+                                            activated.push((v, nv));
+                                        }
+                                        None => new_part.push((v, val)),
                                     }
-                                    None => new_part.push((v, val)),
                                 }
-                            }
-                            (new_part, activated)
+                                (new_part, activated)
+                            })
                         })
-                    })
-                    .collect(),
-            );
+                        .collect(),
+                )
+                .expect("apply stage");
             let mut new_vertex_parts = Vec::with_capacity(parts);
             let mut activated_parts = Vec::with_capacity(parts);
             for (vp, act) in applied {
@@ -141,44 +148,52 @@ impl<'a> DatasetPregelEngine<'a> {
             let activated = Arc::new(activated_parts);
             let program3 = Arc::clone(&program);
             let edge_parts3 = Arc::clone(&edge_parts);
-            let scattered: Vec<Vec<Vec<(u32, f64)>>> = self.cluster.run_stage(
-                (0..parts)
-                    .map(|p| {
-                        let activated = Arc::clone(&activated);
-                        let edges = Arc::clone(&edge_parts3);
-                        let program = Arc::clone(&program3);
-                        StageTask::new(p, move |_w| {
-                            let vals: FxHashMap<u32, f64> = activated[p].iter().copied().collect();
-                            let mut out: Vec<Vec<(u32, f64)>> = vec![Vec::new(); activated.len()];
-                            for &(s, d, w) in &edges[p] {
-                                if let Some(&val) = vals.get(&s) {
-                                    out[d as usize % activated.len()]
-                                        .push((d, program.scatter(val, w)));
+            let scattered: Vec<Vec<Vec<(u32, f64)>>> = self
+                .cluster
+                .run_stage(
+                    (0..parts)
+                        .map(|p| {
+                            let activated = Arc::clone(&activated);
+                            let edges = Arc::clone(&edge_parts3);
+                            let program = Arc::clone(&program3);
+                            StageTask::new(p, move |_w| {
+                                let vals: FxHashMap<u32, f64> =
+                                    activated[p].iter().copied().collect();
+                                let mut out: Vec<Vec<(u32, f64)>> =
+                                    vec![Vec::new(); activated.len()];
+                                for &(s, d, w) in &edges[p] {
+                                    if let Some(&val) = vals.get(&s) {
+                                        out[d as usize % activated.len()]
+                                            .push((d, program.scatter(val, w)));
+                                    }
                                 }
-                            }
-                            out
+                                out
+                            })
                         })
-                    })
-                    .collect(),
-            );
+                        .collect(),
+                )
+                .expect("scatter stage");
 
             // Stage 4: materialize the next message dataset (the RDD union /
             // repartition GraphX performs), with shuffle accounting.
             let scattered = Arc::new(scattered);
-            let gathered: Vec<Vec<(u32, f64)>> = self.cluster.run_stage(
-                (0..parts)
-                    .map(|p| {
-                        let scattered = Arc::clone(&scattered);
-                        StageTask::new(p, move |_w| {
-                            let mut inbox = Vec::new();
-                            for src in scattered.iter() {
-                                inbox.extend(src[p].iter().copied());
-                            }
-                            inbox
+            let gathered: Vec<Vec<(u32, f64)>> = self
+                .cluster
+                .run_stage(
+                    (0..parts)
+                        .map(|p| {
+                            let scattered = Arc::clone(&scattered);
+                            StageTask::new(p, move |_w| {
+                                let mut inbox = Vec::new();
+                                for src in scattered.iter() {
+                                    inbox.extend(src[p].iter().copied());
+                                }
+                                inbox
+                            })
                         })
-                    })
-                    .collect(),
-            );
+                        .collect(),
+                )
+                .expect("gather stage");
             let mut moved = 0u64;
             for (src, outs) in scattered.iter().enumerate() {
                 for (dst, msgs) in outs.iter().enumerate() {

@@ -29,7 +29,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     let ctx = RaSqlContext::in_memory();
     ctx.register("assbl", tree.assbl.clone())?;
-    ctx.register("basic", tree.basic.clone())?;
+    ctx.register("basic", tree.basic)?;
 
     // Q2 — the endo-max query: the aggregate runs inside the fixpoint, so
     // only the best value per part survives each iteration.
@@ -60,7 +60,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // The two must agree on rows (PreM — §3 of the paper); the output column
     // names differ (declared head vs. aggregate call), so compare row sets.
-    assert_eq!(q1.clone().sorted().rows(), q2.clone().sorted().rows());
+    assert_eq!(q1.sorted().rows(), q2.sorted().rows());
     println!("Q1 ≡ Q2 verified ✓ (PreM holds)");
 
     // Count of basic items per assembly: the count() variant from §3.

@@ -6,7 +6,17 @@ cd "$(dirname "$0")/.."
 cargo build --release
 cargo test -q
 cargo fmt --check
-cargo clippy -- -D warnings
+# Default lints plus a curated pedantic subset the codebase holds itself to.
+cargo clippy -- -D warnings \
+  -W clippy::needless_pass_by_value \
+  -W clippy::redundant_clone \
+  -W clippy::semicolon_if_nothing_returned \
+  -W clippy::uninlined_format_args \
+  -W clippy::explicit_iter_loop
+
+# Compile-time query verifier over every shipped example query: fails on any
+# error-severity diagnostic or refuted PreM obligation.
+cargo run --release -p rasql-bench --bin reproduce -- lint
 
 # Seeded fault-injection soak: every example query under deterministic
 # kill/delay/loss injection must match its fault-free result, and a
