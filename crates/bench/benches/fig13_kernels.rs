@@ -1,0 +1,27 @@
+//! Fig 13 (beyond the paper): monomorphized CSR fixpoint kernels vs the
+//! generic interpreter.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rasql_bench::{rmat_graph, run_rasql, GraphQuery};
+use rasql_core::EngineConfig;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig13_kernels");
+    g.sample_size(10);
+    g.warm_up_time(std::time::Duration::from_millis(500));
+    g.measurement_time(std::time::Duration::from_secs(2));
+    for q in [GraphQuery::Cc, GraphQuery::Reach, GraphQuery::Sssp] {
+        let edges = rmat_graph(4096, q.weighted(), 7);
+        let cfg = || EngineConfig::rasql().with_stage_latency_us(0);
+        g.bench_function(format!("{}_specialized", q.name()), |b| {
+            b.iter(|| run_rasql(cfg(), q, &edges, 1));
+        });
+        g.bench_function(format!("{}_generic", q.name()), |b| {
+            b.iter(|| run_rasql(cfg().with_specialized_kernels(false), q, &edges, 1));
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -2,7 +2,8 @@
 //!
 //! ```text
 //! reproduce [all|fig1|fig2|fig5|fig6|fig7|fig8|fig9|fig10|fig11|fig12|
-//!            table1|table2|table3|premcheck|traces|faults|lint] [--scale X]
+//!            table1|table2|table3|premcheck|traces|faults|lint|
+//!            bench-kernels] [--scale X]
 //!           [--faults SPEC] [--retries N] [--checkpoint-every K]
 //! ```
 //!
@@ -15,6 +16,11 @@
 //! The `lint` target runs the compile-time verifier (`CHECK`) over every
 //! shipped example query and exits non-zero on any error-severity
 //! diagnostic or refuted PreM obligation.
+//!
+//! The `bench-kernels` target compares the specialized CSR fixpoint kernels
+//! against the generic interpreter, writes `BENCH_kernels.json` in the
+//! working directory, and exits non-zero if SSSP or CC falls under a 2×
+//! speedup on any ≥4096-vertex R-MAT graph.
 //!
 //! The `faults` target runs the seeded fault-injection soak: every example
 //! query under deterministic fault injection must match its fault-free
@@ -70,8 +76,8 @@ fn main() {
             "--help" | "-h" => {
                 println!(
                     "reproduce [all|fig1|fig2|fig5|fig6|fig7|fig8|fig9|fig10|fig11|fig12|\n\
-                     table1|table2|table3|premcheck|traces|faults|lint]... [--scale X]\n\
-                     [--faults SPEC] [--retries N] [--checkpoint-every K]"
+                     table1|table2|table3|premcheck|traces|faults|lint|bench-kernels]...\n\
+                     [--scale X] [--faults SPEC] [--retries N] [--checkpoint-every K]"
                 );
                 return;
             }
@@ -129,6 +135,19 @@ fn main() {
     }
     if want("premcheck") {
         println!("{}", bench::premcheck());
+    }
+    // Not part of `all`: a beyond-the-paper artifact with its own gate.
+    if targets.iter().any(|t| t == "bench-kernels") {
+        let (table, json) = bench::fig13(scale);
+        println!("{}", table.render());
+        let path = std::path::Path::new("BENCH_kernels.json");
+        if let Err(e) = std::fs::write(path, json.render()) {
+            die(&format!("cannot write {}: {e}", path.display()));
+        }
+        println!("wrote {}", path.display());
+        if let Err(e) = bench::kernels_meet_target(&json, 2.0) {
+            die(&e);
+        }
     }
     // Not part of `all`: a subsystem check, not a paper artifact.
     if targets.iter().any(|t| t == "lint") {

@@ -4,7 +4,7 @@
 //! rows/series the paper reports, at laptop scale. The `reproduce` binary
 //! prints them; the Criterion benches wrap the same runners at reduced sizes.
 
-use rasql_core::{library, EngineConfig, JoinStrategy, RaSqlContext};
+use rasql_core::{library, EngineConfig, JoinStrategy, JsonValue, RaSqlContext};
 use rasql_datagen::{
     erdos_renyi, grid, real_graph_standin, rmat, tree_hierarchy, RealGraph, RmatConfig, TreeConfig,
 };
@@ -793,6 +793,124 @@ pub fn fig12(scale: f64) -> Table {
         t.row(vec!["SG-Tree".into(), format!("{w}"), ms(d)]);
     }
     t
+}
+
+/// Fig 13 (beyond the paper): monomorphized CSR fixpoint kernels vs the
+/// generic interpreter on CC / REACH / SSSP.
+///
+/// Both legs run with the simulated per-stage dispatch latency zeroed so the
+/// ratio measures the inner loops (CSR scan + dense vertex state vs hashed
+/// `Row`/`Value` plumbing), not the dispatch model. The kernel label comes
+/// from a traced run, which doubles as a selection sanity check; result
+/// cardinalities must agree between the legs.
+///
+/// Returns the rendered table plus the `BENCH_kernels.json` artifact: one
+/// record per (graph, query) with both times and the speedup.
+pub fn fig13(scale: f64) -> (Table, JsonValue) {
+    let workers = default_workers();
+    let sizes: Vec<usize> = [4_096, 16_384, 65_536]
+        .iter()
+        .map(|&n| (((n as f64) * scale) as usize).max(4_096))
+        .collect();
+    let mut t = Table::new(
+        "Fig 13 — Specialized fixpoint kernels (times in ms)",
+        &[
+            "graph",
+            "query",
+            "kernel",
+            "specialized",
+            "generic",
+            "speedup",
+        ],
+    );
+    let base_cfg = || {
+        EngineConfig::rasql()
+            .with_workers(workers)
+            .with_stage_latency_us(0)
+    };
+    let mut records = Vec::new();
+    for &n in &sizes {
+        for q in [GraphQuery::Cc, GraphQuery::Reach, GraphQuery::Sssp] {
+            let edges = rmat_graph(n, q.weighted(), 7);
+            let (_, _, trace) = run_traced(base_cfg(), &[("edge", &edges)], &q.rasql_sql(1));
+            let kernel = trace.cliques[0].kernel.clone();
+            // Best-of-3 per leg to keep the asserted ratio noise-tolerant.
+            let best = |cfg: &EngineConfig| {
+                (0..3)
+                    .map(|_| run_rasql(cfg.clone(), q, &edges, 1))
+                    .min_by_key(|&(d, _)| d)
+                    .unwrap()
+            };
+            let (spec_t, spec_rows) = best(&base_cfg());
+            let (gen_t, gen_rows) = best(&base_cfg().with_specialized_kernels(false));
+            assert_eq!(
+                spec_rows,
+                gen_rows,
+                "kernel diverged from the interpreter on {} RMAT-{n}",
+                q.name()
+            );
+            let speedup = gen_t.as_secs_f64() / spec_t.as_secs_f64();
+            t.row(vec![
+                format!("RMAT-{}k", n / 1000),
+                q.name().into(),
+                kernel.clone(),
+                ms(spec_t),
+                ms(gen_t),
+                format!("{speedup:.2}x"),
+            ]);
+            records.push(JsonValue::Obj(vec![
+                (
+                    "graph".into(),
+                    JsonValue::Str(format!("RMAT-{}k", n / 1000)),
+                ),
+                ("vertices".into(), JsonValue::Num(n as f64)),
+                ("edges".into(), JsonValue::Num(edges.len() as f64)),
+                ("query".into(), JsonValue::Str(q.name().into())),
+                ("kernel".into(), JsonValue::Str(kernel)),
+                (
+                    "specialized_ms".into(),
+                    JsonValue::Num(spec_t.as_secs_f64() * 1e3),
+                ),
+                (
+                    "generic_ms".into(),
+                    JsonValue::Num(gen_t.as_secs_f64() * 1e3),
+                ),
+                ("speedup".into(), JsonValue::Num(speedup)),
+            ]));
+        }
+    }
+    let json = JsonValue::Obj(vec![
+        ("figure".into(), JsonValue::Str("fig13_kernels".into())),
+        ("workers".into(), JsonValue::Num(workers as f64)),
+        ("scale".into(), JsonValue::Num(scale)),
+        ("rows".into(), JsonValue::Arr(records)),
+    ]);
+    (t, json)
+}
+
+/// Acceptance gate for [`fig13`]: the specialized kernels must be at least
+/// `target`× faster than the interpreter on SSSP and CC for every R-MAT
+/// graph of ≥ 4096 vertices in the artifact.
+pub fn kernels_meet_target(json: &JsonValue, target: f64) -> Result<(), String> {
+    let rows = json
+        .get("rows")
+        .and_then(JsonValue::as_arr)
+        .ok_or("malformed kernel artifact: no rows")?;
+    for r in rows {
+        let query = r.get("query").and_then(JsonValue::as_str).unwrap_or("?");
+        let vertices = r.get("vertices").and_then(JsonValue::as_u64).unwrap_or(0);
+        let speedup = match r.get("speedup") {
+            Some(JsonValue::Num(s)) => *s,
+            _ => return Err(format!("malformed kernel artifact: no speedup for {query}")),
+        };
+        if (query == "SSSP" || query == "CC") && vertices >= 4_096 && speedup < target {
+            return Err(format!(
+                "kernel speedup below target on {query} ({vertices} vertices): \
+                 {speedup:.2}x < {target}x"
+            ));
+        }
+    }
+    Ok(())
 }
 
 /// Table 1: parameters of the real-graph stand-ins.

@@ -45,6 +45,11 @@ pub struct EngineConfig {
     /// Broadcast the compressed relation and rebuild hash tables on workers,
     /// instead of shipping the (2-3x larger) prebuilt hash table (§7.2).
     pub broadcast_compression: bool,
+    /// Select monomorphized fixpoint kernels (CSR broadcast graph + dense
+    /// vertex state) when the plan shape and the verifier's Proven-PreM
+    /// verdict allow it — the whole-stage-codegen fast path for the inner
+    /// loop (§7.3). Any unprovable shape falls back to the interpreter.
+    pub specialized_kernels: bool,
     /// Iteration cap; exceeded ⇒ [`crate::EngineError::NonTermination`].
     pub max_iterations: u32,
     /// Simulated per-stage scheduler latency in microseconds (see
@@ -87,6 +92,7 @@ impl EngineConfig {
             join: JoinStrategy::ShuffleHash,
             decomposed_plans: true,
             broadcast_compression: true,
+            specialized_kernels: true,
             max_iterations: 100_000,
             stage_latency_us: 2_000,
             tracing: false,
@@ -104,6 +110,7 @@ impl EngineConfig {
             stage_combination: false,
             fused_codegen: false,
             broadcast_compression: false,
+            specialized_kernels: false,
             ..EngineConfig::rasql()
         }
     }
@@ -118,6 +125,7 @@ impl EngineConfig {
             fused_codegen: false,
             decomposed_plans: false,
             broadcast_compression: false,
+            specialized_kernels: false,
             ..EngineConfig::rasql()
         }
     }
@@ -164,6 +172,12 @@ impl EngineConfig {
     /// Toggle broadcast compression.
     pub fn with_broadcast_compression(mut self, on: bool) -> Self {
         self.broadcast_compression = on;
+        self
+    }
+
+    /// Toggle specialized fixpoint kernels.
+    pub fn with_specialized_kernels(mut self, on: bool) -> Self {
+        self.specialized_kernels = on;
         self
     }
 
@@ -224,6 +238,7 @@ mod tests {
         let bd = EngineConfig::bigdatalog_like();
         assert!(rasql.stage_combination && !bd.stage_combination);
         assert!(rasql.fused_codegen && !bd.fused_codegen);
+        assert!(rasql.specialized_kernels && !bd.specialized_kernels);
         assert_eq!(rasql.eval_mode, bd.eval_mode);
         let naive = EngineConfig::spark_sql_naive();
         assert_eq!(naive.eval_mode, EvalMode::Naive);

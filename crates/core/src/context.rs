@@ -509,6 +509,12 @@ impl ContextBuilder {
         self
     }
 
+    /// Toggle specialized fixpoint kernels (CSR + dense vertex state).
+    pub fn specialized_kernels(mut self, on: bool) -> Self {
+        self.config = self.config.with_specialized_kernels(on);
+        self
+    }
+
     /// Iteration cap.
     pub fn max_iterations(mut self, n: u32) -> Self {
         self.config = self.config.with_max_iterations(n);
@@ -620,5 +626,6 @@ fn diff_metrics(before: MetricsSnapshot, after: MetricsSnapshot) -> MetricsSnaps
         checkpoints: after.checkpoints - before.checkpoints,
         checkpoint_bytes: after.checkpoint_bytes - before.checkpoint_bytes,
         restores: after.restores - before.restores,
+        combined_rows: after.combined_rows - before.combined_rows,
     }
 }

@@ -7,11 +7,12 @@
 
 use crate::error::EngineError;
 use rasql_exec::{
-    run_fused, run_unfused, Cluster, Dataset, HashTable, Pipeline, PipelineStep, TraceSink,
+    run_fused, run_unfused, Cluster, Dataset, HashTable, Pipeline, PipelineStep, RowCombiner,
+    TraceSink,
 };
 use rasql_parser::ast::AggFunc;
 use rasql_plan::{AggExpr, LogicalPlan, PExpr};
-use rasql_storage::{Catalog, FxHashMap, FxHashSet, Relation, Row, Value};
+use rasql_storage::{Catalog, DataType, FxHashMap, FxHashSet, Relation, Row, Schema, Value};
 use std::collections::HashMap;
 use std::sync::Arc;
 use std::time::Instant;
@@ -286,12 +287,13 @@ impl<'a> EvalContext<'a> {
             // Global aggregate: everything to one partition.
             Dataset::single(child.collect())
         } else {
-            child.shuffle_if_needed_traced(
+            child.shuffle_if_needed_combined_traced(
                 self.cluster,
                 self.trace,
                 "aggregate shuffle",
                 &key,
                 self.partitions,
+                map_side_combiner(group_cols, aggs, input.schema()).as_ref(),
             )?
         };
         let aggs: Vec<AggExpr> = aggs.to_vec();
@@ -319,6 +321,75 @@ impl<'a> EvalContext<'a> {
             },
         )?)
     }
+}
+
+/// Map-side combiner for the aggregate shuffle (paper §7.1, map side of
+/// stage combination): pre-merge rows that share a group key on the write
+/// side, so the exchange ships one partial row per (source partition, group)
+/// instead of one per input row.
+///
+/// Only built when the pre-merge is provably invisible downstream: every
+/// aggregate is a non-`DISTINCT` `min`/`max`/`sum`, every `sum` argument is
+/// an integer column (float addition is order-dependent and the combine
+/// reorders it), and no column is consumed by two aggregates with different
+/// functions (one cell cannot hold both partials). `count`/`avg` never
+/// qualify — they need the uncombined row multiplicity.
+fn map_side_combiner(group_cols: usize, aggs: &[AggExpr], input: &Schema) -> Option<RowCombiner> {
+    let mut ops: Vec<(usize, AggFunc)> = Vec::new();
+    for a in aggs {
+        let c = a.arg?; // count(*) has no argument
+        if a.distinct {
+            return None;
+        }
+        match a.func {
+            AggFunc::Min | AggFunc::Max => {}
+            AggFunc::Sum if input.field(c).data_type == DataType::Int => {}
+            _ => return None,
+        }
+        if ops.iter().any(|&(col, f)| col == c && f != a.func) {
+            return None;
+        }
+        if !ops.contains(&(c, a.func)) {
+            ops.push((c, a.func));
+        }
+    }
+    Some(Arc::new(move |rows: Vec<Row>| {
+        // First-seen order keeps the combined bucket deterministic.
+        let mut index: FxHashMap<Box<[Value]>, usize> = FxHashMap::default();
+        let mut acc: Vec<Vec<Value>> = Vec::new();
+        for row in rows {
+            let key: Box<[Value]> = row.values()[..group_cols].to_vec().into();
+            if let Some(&slot) = index.get(&key) {
+                let cur = &mut acc[slot];
+                for &(c, func) in &ops {
+                    let v = &row[c];
+                    if v.is_null() {
+                        continue; // SQL aggregates skip NULLs
+                    }
+                    let m = &mut cur[c];
+                    match func {
+                        _ if m.is_null() => *m = v.clone(),
+                        AggFunc::Min => {
+                            if *v < *m {
+                                *m = v.clone();
+                            }
+                        }
+                        AggFunc::Max => {
+                            if *v > *m {
+                                *m = v.clone();
+                            }
+                        }
+                        AggFunc::Sum => *m = m.add(v),
+                        AggFunc::Count | AggFunc::Avg => unreachable!("filtered above"),
+                    }
+                }
+            } else {
+                index.insert(key, acc.len());
+                acc.push(row.into_values());
+            }
+        }
+        acc.into_iter().map(Row::new).collect()
+    }))
 }
 
 fn finish_row(key: &[Value], accs: &[Accumulator]) -> Row {

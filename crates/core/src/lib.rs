@@ -30,6 +30,7 @@ pub mod context;
 pub mod error;
 pub mod eval;
 pub mod fixpoint;
+pub mod kernel;
 pub mod library;
 pub mod prem;
 
@@ -37,6 +38,7 @@ pub use check::{CheckReport, PremColumnEvidence, PremEvidence};
 pub use config::{EngineConfig, EvalMode, JoinStrategy};
 pub use context::{ContextBuilder, QueryResult, QueryStats, RaSqlContext};
 pub use error::EngineError;
+pub use kernel::{select_kernel, KernelEdgeFn, KernelOp, KernelPlan, KernelScalar};
 pub use prem::{PremCheckOutcome, PremChecker};
 pub use rasql_exec::{
     CliqueTrace, IterationTrace, JsonValue, OperatorTrace, QueryTrace, StageKind, StageSpan,

@@ -536,10 +536,13 @@ fn stage_combination_halves_stages() {
         6,
     );
     let run = |combine: bool| -> (u64, u64) {
+        // Pin the fast-path axes off: this ablation measures the *generic*
+        // engine's stage combination, not the specialized kernels.
         let ctx = ctx_with(
             EngineConfig::rasql()
                 .with_stage_combination(combine)
-                .with_decomposed(false),
+                .with_decomposed(false)
+                .with_specialized_kernels(false),
         );
         ctx.register("edge", edges.clone()).unwrap();
         let stats = ctx.query(&library::sssp(1)).unwrap().stats;

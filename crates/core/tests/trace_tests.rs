@@ -68,6 +68,28 @@ fn decomposed_tc_reports_zero_shuffle() {
     }
 }
 
+/// §7.1, map side: the aggregate shuffle pre-merges rows that share a group
+/// key before the exchange. The eliminated rows are charged to the
+/// `combined_rows` metric and the answer is unchanged.
+#[test]
+fn aggregate_shuffle_combines_map_side() {
+    let ctx = traced_ctx(EngineConfig::rasql().with_workers(2));
+    ctx.register("edge", Relation::edges(&chain_edges(10)))
+        .unwrap();
+    let result = ctx.query(&library::cc_stratified()).unwrap();
+    assert!(
+        result.stats.metrics.combined_rows > 0,
+        "stratified min should pre-merge on the shuffle write side"
+    );
+    // Every node on the chain collapses to component 0.
+    let rows = result.relation.sorted();
+    assert_eq!(rows.len(), 11);
+    for (i, r) in rows.rows().iter().enumerate() {
+        assert_eq!(r[0].as_int().unwrap(), i as i64);
+        assert_eq!(r[1].as_int().unwrap(), 0);
+    }
+}
+
 /// Semi-naive evaluation converges: the recorded deltas end at zero and the
 /// all-relation size never shrinks (rows are only ever added or improved).
 #[test]

@@ -290,7 +290,7 @@ fn lint_script_checks_queries_and_executes_views() {
     assert!(reports[0].passed(), "{}", reports[0].rendered);
 }
 
-fn diag<'a>(diags: &'a [rasql_core::Diagnostic], code: DiagCode) -> &'a rasql_core::Diagnostic {
+fn diag(diags: &[rasql_core::Diagnostic], code: DiagCode) -> &rasql_core::Diagnostic {
     diags
         .iter()
         .find(|d| d.code == code)

@@ -14,6 +14,11 @@ use rasql_storage::{partition::row_partition, Partitioning, Relation, Row, Schem
 use std::sync::Arc;
 use std::time::Instant;
 
+/// A map-side combine function: collapses a shuffle bucket's rows into an
+/// equivalent (for the downstream consumer) smaller set — e.g. merging
+/// monotone-aggregate contributions that share a group key (paper §7.1).
+pub type RowCombiner = Arc<dyn Fn(Vec<Row>) -> Vec<Row> + Send + Sync>;
+
 /// A hash-partitioned, distributed (simulated) collection of rows.
 #[derive(Clone)]
 pub struct Dataset {
@@ -34,7 +39,8 @@ impl Dataset {
 
     /// Hash-partition rows on `key` columns into `n` partitions.
     pub fn hash_partitioned(rows: Vec<Row>, key: &[usize], n: usize) -> Self {
-        let mut parts: Vec<Vec<Row>> = (0..n).map(|_| Vec::new()).collect();
+        let cap = rows.len() / n.max(1) + 1;
+        let mut parts: Vec<Vec<Row>> = (0..n).map(|_| Vec::with_capacity(cap)).collect();
         for row in rows {
             let p = row_partition(&row, key, n);
             parts[p].push(row);
@@ -56,7 +62,8 @@ impl Dataset {
     /// Split rows round-robin into `n` partitions with no partitioning
     /// guarantee (freshly loaded data).
     pub fn round_robin(rows: Vec<Row>, n: usize) -> Self {
-        let mut parts: Vec<Vec<Row>> = (0..n).map(|_| Vec::new()).collect();
+        let cap = rows.len() / n.max(1) + 1;
+        let mut parts: Vec<Vec<Row>> = (0..n).map(|_| Vec::with_capacity(cap)).collect();
         for (i, row) in rows.into_iter().enumerate() {
             parts[i % n].push(row);
         }
@@ -87,9 +94,24 @@ impl Dataset {
         out
     }
 
-    /// Materialize into a [`Relation`].
-    pub fn into_relation(&self, schema: Schema) -> Relation {
-        Relation::new_unchecked(schema, self.collect())
+    /// Gather all rows to the driver, consuming the dataset. Uniquely-owned
+    /// partitions are moved, not cloned — the fast path for the end-of-query
+    /// materialization where no other stage holds the data.
+    pub fn into_rows(self) -> Vec<Row> {
+        let mut out = Vec::with_capacity(self.len());
+        for p in self.partitions {
+            match Arc::try_unwrap(p) {
+                Ok(rows) => out.extend(rows),
+                Err(shared) => out.extend(shared.iter().cloned()),
+            }
+        }
+        out
+    }
+
+    /// Materialize into a [`Relation`], consuming the dataset (see
+    /// [`Dataset::into_rows`]).
+    pub fn into_relation(self, schema: Schema) -> Relation {
+        Relation::new_unchecked(schema, self.into_rows())
     }
 
     /// Access partition `p` from worker `worker`: zero-copy if local,
@@ -178,6 +200,24 @@ impl Dataset {
         key: &[usize],
         n: usize,
     ) -> Result<Dataset, ExecError> {
+        self.shuffle_combined_traced(cluster, sink, label, key, n, None)
+    }
+
+    /// [`Dataset::shuffle_traced`] with an optional **map-side combiner**
+    /// (paper §7.1, Map side of stage combination): each write task runs the
+    /// combiner over its per-target buckets *before* the exchange, shrinking
+    /// the shuffled volume. The combiner must be semantics-preserving for the
+    /// downstream consumer (e.g. pre-merging monotone-aggregate rows that
+    /// share a group key); rows eliminated are charged to `combined_rows`.
+    pub fn shuffle_combined_traced(
+        &self,
+        cluster: &Cluster,
+        sink: Option<&TraceSink>,
+        label: &str,
+        key: &[usize],
+        n: usize,
+        combiner: Option<&RowCombiner>,
+    ) -> Result<Dataset, ExecError> {
         let key_owned: Vec<usize> = key.to_vec();
         let src_parts = self.num_partitions();
         // Map side: bucket each source partition's rows by target partition.
@@ -189,11 +229,25 @@ impl Dataset {
                     let this = this.clone();
                     let key = key_for_task.clone();
                     let owner = cluster.owner_of(p);
+                    let combiner = combiner.cloned();
+                    let metrics = Arc::clone(&cluster.metrics);
                     StageTask::new(owner, move |_w| {
-                        let mut out: Vec<Vec<Row>> = (0..n).map(|_| Vec::new()).collect();
+                        let cap = this.partitions[p].len() / n.max(1) + 1;
+                        let mut out: Vec<Vec<Row>> =
+                            (0..n).map(|_| Vec::with_capacity(cap)).collect();
                         for row in this.partitions[p].iter() {
                             let t = row_partition(row, &key, n);
                             out[t].push(row.clone());
+                        }
+                        if let Some(combine) = &combiner {
+                            let mut eliminated = 0u64;
+                            for bucket in &mut out {
+                                let before = bucket.len();
+                                let combined = combine(std::mem::take(bucket));
+                                eliminated += (before - combined.len()) as u64;
+                                *bucket = combined;
+                            }
+                            Metrics::add(&metrics.combined_rows, eliminated);
                         }
                         out
                     })
@@ -209,7 +263,8 @@ impl Dataset {
         // Exchange: gather bucket (src → dst) into dst partitions; count the
         // worker-crossing volume.
         let t_read = Instant::now();
-        let mut parts: Vec<Vec<Row>> = (0..n).map(|_| Vec::new()).collect();
+        let cap = self.len() / n.max(1) + 1;
+        let mut parts: Vec<Vec<Row>> = (0..n).map(|_| Vec::with_capacity(cap)).collect();
         let mut moved_rows = 0u64;
         let mut moved_bytes = 0u64;
         for (src, mut src_buckets) in buckets.into_iter().enumerate() {
@@ -271,6 +326,25 @@ impl Dataset {
             Ok(self.clone())
         } else {
             self.shuffle_traced(cluster, sink, label, key, n)
+        }
+    }
+
+    /// [`Dataset::shuffle_if_needed_traced`] with a map-side combiner for the
+    /// shuffle (no-op when the partitioning is already satisfied — there is
+    /// no exchange to shrink).
+    pub fn shuffle_if_needed_combined_traced(
+        &self,
+        cluster: &Cluster,
+        sink: Option<&TraceSink>,
+        label: &str,
+        key: &[usize],
+        n: usize,
+        combiner: Option<&RowCombiner>,
+    ) -> Result<Dataset, ExecError> {
+        if self.partitioning.satisfies_hash(key, n) {
+            Ok(self.clone())
+        } else {
+            self.shuffle_combined_traced(cluster, sink, label, key, n, combiner)
         }
     }
 }

@@ -1,0 +1,476 @@
+//! Dense vertex-indexed fixpoint state and monomorphized delta-join kernels.
+//!
+//! This is the compiled fast path for the dominant recursive-query shape —
+//! `(Int vertex key, Int/Double monotone aggregate)` over a static edge
+//! relation (SSSP, CC, reachability, path counting). Instead of
+//! `FxHashMap<Row, Value>` with dynamic [`crate::MonotoneOp`] dispatch per
+//! candidate, aggregate state lives in flat `Vec` slabs indexed by the dense
+//! vertex ids of a [`rasql_storage::CsrGraph`], and the per-round
+//! delta-join-aggregate loop is monomorphized over a [`MergeOp`] so the
+//! compiler emits one tight loop per (op, type) pair — the whole-stage
+//! code-generation analog of paper §7.3.
+//!
+//! **Semantics contract**: every structure here mirrors the generic
+//! [`crate::AggState`] / [`crate::SetState`] behavior bit-for-bit —
+//! vacant slots accept any first contribution (even a zero `sum`
+//! contribution counts as a change), `min`/`max` move only on *strictly*
+//! better values (`f64` compared with `total_cmp`, exactly like
+//! `Value::cmp`), and a zero `sum` contribution onto an occupied slot is a
+//! no-op. The differential proptests in `rasql-core` enforce this against
+//! the interpreter on random graphs.
+
+use rasql_storage::CsrGraph;
+
+/// Scalar types the kernels are monomorphized over.
+///
+/// `lt`/`gt` define the same total order as `Value::cmp` (`f64` uses
+/// `total_cmp`); `add`/`sub` are the slab-local analogs of
+/// `Value::add`/`Value::sub` for in-domain values.
+pub trait KernelValue: Copy + PartialEq + Send + Sync + std::fmt::Debug + 'static {
+    /// Additive identity (the generic path's vacant-`sum` `prev` of `Int(0)`).
+    fn zero() -> Self;
+    /// Strict total-order less-than.
+    fn lt(a: Self, b: Self) -> bool;
+    /// Strict total-order greater-than.
+    fn gt(a: Self, b: Self) -> bool;
+    /// Addition. `i64` wraps rather than panicking; kernel selection only
+    /// fires on workloads whose sums stay in range (the generic path would
+    /// promote to `Double` on overflow, which the kernels cannot mirror).
+    fn add(a: Self, b: Self) -> Self;
+    /// Subtraction (used to form per-round `sum` increments).
+    fn sub(a: Self, b: Self) -> Self;
+    /// True for the additive identity (a `sum` contribution that cannot
+    /// change an occupied slot).
+    fn is_zero(self) -> bool;
+}
+
+impl KernelValue for i64 {
+    #[inline]
+    fn zero() -> Self {
+        0
+    }
+    #[inline]
+    fn lt(a: Self, b: Self) -> bool {
+        a < b
+    }
+    #[inline]
+    fn gt(a: Self, b: Self) -> bool {
+        a > b
+    }
+    #[inline]
+    fn add(a: Self, b: Self) -> Self {
+        a.wrapping_add(b)
+    }
+    #[inline]
+    fn sub(a: Self, b: Self) -> Self {
+        a.wrapping_sub(b)
+    }
+    #[inline]
+    fn is_zero(self) -> bool {
+        self == 0
+    }
+}
+
+impl KernelValue for f64 {
+    #[inline]
+    fn zero() -> Self {
+        0.0
+    }
+    #[inline]
+    fn lt(a: Self, b: Self) -> bool {
+        a.total_cmp(&b) == std::cmp::Ordering::Less
+    }
+    #[inline]
+    fn gt(a: Self, b: Self) -> bool {
+        a.total_cmp(&b) == std::cmp::Ordering::Greater
+    }
+    #[inline]
+    fn add(a: Self, b: Self) -> Self {
+        a + b
+    }
+    #[inline]
+    fn sub(a: Self, b: Self) -> Self {
+        a - b
+    }
+    #[inline]
+    fn is_zero(self) -> bool {
+        self == 0.0
+    }
+}
+
+/// A monotone merge operator, monomorphized per scalar type.
+///
+/// `merge` returns `Some(updated)` when the contribution strictly improves
+/// the current total, `None` when the slot is unchanged — the exact
+/// changed/unchanged split [`crate::MonotoneOp::merge`] reports.
+pub trait MergeOp<T: KernelValue>: Send + Sync + 'static {
+    /// Operator name as it appears in kernel labels (`min`, `max`, `sum`).
+    const NAME: &'static str;
+    /// Merge `new` into `cur`.
+    fn merge(cur: T, new: T) -> Option<T>;
+}
+
+/// `min`: move only on strictly smaller values.
+#[derive(Debug, Clone, Copy)]
+pub struct MinOp;
+/// `max`: move only on strictly larger values.
+#[derive(Debug, Clone, Copy)]
+pub struct MaxOp;
+/// `sum`: accumulate; zero contributions are no-ops.
+#[derive(Debug, Clone, Copy)]
+pub struct SumOp;
+
+impl<T: KernelValue> MergeOp<T> for MinOp {
+    const NAME: &'static str = "min";
+    #[inline]
+    fn merge(cur: T, new: T) -> Option<T> {
+        if T::lt(new, cur) {
+            Some(new)
+        } else {
+            None
+        }
+    }
+}
+
+impl<T: KernelValue> MergeOp<T> for MaxOp {
+    const NAME: &'static str = "max";
+    #[inline]
+    fn merge(cur: T, new: T) -> Option<T> {
+        if T::gt(new, cur) {
+            Some(new)
+        } else {
+            None
+        }
+    }
+}
+
+impl<T: KernelValue> MergeOp<T> for SumOp {
+    const NAME: &'static str = "sum";
+    #[inline]
+    fn merge(cur: T, new: T) -> Option<T> {
+        if new.is_zero() {
+            None
+        } else {
+            Some(T::add(cur, new))
+        }
+    }
+}
+
+/// Dense vertex-indexed aggregate state — the flat-slab sibling of
+/// [`crate::AggState`] for single-`Int`-key, single-aggregate views.
+///
+/// Slabs are sized to the vertex universe of the query's CSR graph. A
+/// round-tagged stamp array dedups the dirty list (each vertex enters a
+/// round's delta at most once) and records the pre-round total so `sum`
+/// increments can be formed without a second map.
+#[derive(Debug, Clone)]
+pub struct DenseAggState<T> {
+    vals: Vec<T>,
+    occupied: Vec<bool>,
+    /// `round + 1` when the slot is already dirty this round; 0 = never.
+    stamp: Vec<u32>,
+    /// Total at the moment the slot first became dirty this round (zero for
+    /// slots that were vacant), so `increment = vals[v] - inc_base[v]`.
+    inc_base: Vec<T>,
+    dirty: Vec<u32>,
+    rows: usize,
+}
+
+impl<T: KernelValue> DenseAggState<T> {
+    /// State for a universe of `n` dense vertex ids, all vacant.
+    pub fn new(n: usize) -> Self {
+        DenseAggState {
+            vals: vec![T::zero(); n],
+            occupied: vec![false; n],
+            stamp: vec![0; n],
+            inc_base: vec![T::zero(); n],
+            dirty: Vec::new(),
+            rows: 0,
+        }
+    }
+
+    /// Merge one contribution for dense vertex `v` during 1-based `round`.
+    /// Returns true when the slot changed (mirrors `MergeOutcome::Changed`):
+    /// always on first occupancy, otherwise per `Op::merge`.
+    #[inline]
+    pub fn merge<Op: MergeOp<T>>(&mut self, v: u32, c: T, round: u32) -> bool {
+        let i = v as usize;
+        if !self.occupied[i] {
+            self.occupied[i] = true;
+            self.vals[i] = c;
+            self.rows += 1;
+            self.mark_dirty(i, round, T::zero());
+            return true;
+        }
+        match Op::merge(self.vals[i], c) {
+            Some(updated) => {
+                let before = self.vals[i];
+                self.mark_dirty(i, round, before);
+                self.vals[i] = updated;
+                true
+            }
+            None => false,
+        }
+    }
+
+    #[inline]
+    fn mark_dirty(&mut self, i: usize, round: u32, base: T) {
+        if self.stamp[i] != round + 1 {
+            self.stamp[i] = round + 1;
+            self.inc_base[i] = base;
+            #[allow(clippy::cast_possible_truncation)]
+            self.dirty.push(i as u32);
+        }
+    }
+
+    /// Drain this round's delta. With `totals` the pairs carry the current
+    /// totals (min/max driver mode — where increments *are* totals);
+    /// otherwise per-round increments (`sum` increment driver mode).
+    pub fn take_delta(&mut self, totals: bool) -> Vec<(u32, T)> {
+        let dirty = std::mem::take(&mut self.dirty);
+        dirty
+            .into_iter()
+            .map(|v| {
+                let i = v as usize;
+                let out = if totals {
+                    self.vals[i]
+                } else {
+                    T::sub(self.vals[i], self.inc_base[i])
+                };
+                (v, out)
+            })
+            .collect()
+    }
+
+    /// Number of occupied slots (the view's row count in this partition).
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.rows
+    }
+
+    /// True when no slot is occupied.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.rows == 0
+    }
+
+    /// Current total for dense vertex `v`, if occupied.
+    #[inline]
+    pub fn get(&self, v: u32) -> Option<T> {
+        self.occupied[v as usize].then(|| self.vals[v as usize])
+    }
+
+    /// Iterate occupied `(dense id, total)` pairs in dense-id order.
+    #[allow(clippy::cast_possible_truncation)]
+    pub fn iter(&self) -> impl Iterator<Item = (u32, T)> + '_ {
+        self.occupied
+            .iter()
+            .enumerate()
+            .filter(|&(_, &occ)| occ)
+            .map(|(i, _)| (i as u32, self.vals[i]))
+    }
+
+    /// Reset every slot to vacant (the reset-and-rerun recovery path).
+    pub fn clear(&mut self) {
+        self.vals.iter_mut().for_each(|v| *v = T::zero());
+        self.occupied.iter_mut().for_each(|o| *o = false);
+        self.stamp.iter_mut().for_each(|s| *s = 0);
+        self.inc_base.iter_mut().for_each(|b| *b = T::zero());
+        self.dirty.clear();
+        self.rows = 0;
+    }
+}
+
+/// Dense vertex membership state — the flat sibling of [`crate::SetState`]
+/// for single-`Int`-key set views (reachability).
+#[derive(Debug, Clone, Default)]
+pub struct DenseSetState {
+    present: Vec<bool>,
+    dirty: Vec<u32>,
+    rows: usize,
+}
+
+impl DenseSetState {
+    /// State for a universe of `n` dense vertex ids, all absent.
+    pub fn new(n: usize) -> Self {
+        DenseSetState {
+            present: vec![false; n],
+            dirty: Vec::new(),
+            rows: 0,
+        }
+    }
+
+    /// Insert dense vertex `v`; true (and queued for the delta) when new.
+    #[inline]
+    pub fn insert(&mut self, v: u32) -> bool {
+        let i = v as usize;
+        if self.present[i] {
+            return false;
+        }
+        self.present[i] = true;
+        self.rows += 1;
+        self.dirty.push(v);
+        true
+    }
+
+    /// Drain this round's newly inserted vertices.
+    pub fn take_delta(&mut self) -> Vec<u32> {
+        std::mem::take(&mut self.dirty)
+    }
+
+    /// Number of present vertices.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.rows
+    }
+
+    /// True when no vertex is present.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.rows == 0
+    }
+
+    /// Iterate present dense ids in ascending order.
+    #[allow(clippy::cast_possible_truncation)]
+    pub fn iter(&self) -> impl Iterator<Item = u32> + '_ {
+        self.present
+            .iter()
+            .enumerate()
+            .filter(|&(_, &p)| p)
+            .map(|(i, _)| i as u32)
+    }
+
+    /// Reset every vertex to absent (the reset-and-rerun recovery path).
+    pub fn clear(&mut self) {
+        self.present.iter_mut().for_each(|p| *p = false);
+        self.dirty.clear();
+        self.rows = 0;
+    }
+}
+
+/// Scan one delta against CSR adjacency, routing derived contributions to
+/// per-partition output buckets. `edge_fn(value, edge_index)` computes the
+/// contribution carried along edge `edge_index` — monomorphized per query
+/// shape (identity, `+ weight`, `+ const`, `least(value, weight)`), so the
+/// whole loop compiles to straight-line code with no `Row` allocation.
+#[inline]
+pub fn scan_delta<T, E>(csr: &CsrGraph, delta: &[(u32, T)], edge_fn: E, out: &mut [Vec<(u32, T)>])
+where
+    T: KernelValue,
+    E: Fn(T, usize) -> T,
+{
+    for &(v, val) in delta {
+        for e in csr.adjacency(v) {
+            let dst = csr.targets[e];
+            out[csr.part_of[dst as usize] as usize].push((dst, edge_fn(val, e)));
+        }
+    }
+}
+
+/// Set-kernel analog of [`scan_delta`]: propagate membership along edges.
+#[inline]
+pub fn scan_delta_set(csr: &CsrGraph, delta: &[u32], out: &mut [Vec<u32>]) {
+    for &v in delta {
+        for e in csr.adjacency(v) {
+            let dst = csr.targets[e];
+            out[csr.part_of[dst as usize] as usize].push(dst);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn vacant_insert_always_changes() {
+        let mut s: DenseAggState<i64> = DenseAggState::new(4);
+        // Even a zero sum contribution occupies the slot and is "changed".
+        assert!(s.merge::<SumOp>(2, 0, 1));
+        assert_eq!(s.get(2), Some(0));
+        assert_eq!(s.len(), 1);
+        let d = s.take_delta(false);
+        assert_eq!(d, vec![(2, 0)]);
+    }
+
+    #[test]
+    fn min_strictness_and_delta_dedup() {
+        let mut s: DenseAggState<i64> = DenseAggState::new(4);
+        assert!(s.merge::<MinOp>(1, 10, 1));
+        assert!(!s.merge::<MinOp>(1, 10, 1)); // equal — not strictly better
+        assert!(s.merge::<MinOp>(1, 7, 1));
+        assert!(s.merge::<MinOp>(1, 3, 1));
+        let d = s.take_delta(true);
+        assert_eq!(d, vec![(1, 3)]); // one delta entry despite three changes
+        assert!(!s.merge::<MinOp>(1, 5, 2));
+        assert!(s.take_delta(true).is_empty());
+    }
+
+    #[test]
+    fn sum_increments_per_round() {
+        let mut s: DenseAggState<i64> = DenseAggState::new(2);
+        assert!(s.merge::<SumOp>(0, 5, 1));
+        assert!(s.merge::<SumOp>(0, 3, 1));
+        assert!(!s.merge::<SumOp>(0, 0, 1)); // zero onto occupied: no-op
+        assert_eq!(s.take_delta(false), vec![(0, 8)]);
+        assert!(s.merge::<SumOp>(0, 2, 2));
+        assert_eq!(s.get(0), Some(10));
+        assert_eq!(s.take_delta(false), vec![(0, 2)]); // increment, not total
+        assert!(s.merge::<SumOp>(0, 4, 3));
+        assert_eq!(s.take_delta(true), vec![(0, 14)]); // totals mode
+    }
+
+    #[test]
+    fn f64_total_order_matches_value_cmp() {
+        let mut s: DenseAggState<f64> = DenseAggState::new(2);
+        assert!(s.merge::<MinOp>(0, f64::NAN, 1));
+        // total_cmp puts every number below NaN, like Value::cmp.
+        assert!(s.merge::<MinOp>(0, f64::INFINITY, 1));
+        assert!(s.merge::<MinOp>(0, 1.5, 1));
+        assert!(!s.merge::<MinOp>(0, 1.5, 1));
+        assert_eq!(s.get(0), Some(1.5));
+        let mut m: DenseAggState<f64> = DenseAggState::new(1);
+        assert!(m.merge::<MaxOp>(0, -0.0, 1));
+        assert!(m.merge::<MaxOp>(0, 0.0, 1)); // total_cmp: +0.0 > -0.0
+    }
+
+    #[test]
+    fn set_state_dedups() {
+        let mut s = DenseSetState::new(3);
+        assert!(s.insert(1));
+        assert!(!s.insert(1));
+        assert!(s.insert(2));
+        assert_eq!(s.take_delta(), vec![1, 2]);
+        assert_eq!(s.len(), 2);
+        assert_eq!(s.iter().collect::<Vec<_>>(), vec![1, 2]);
+        s.clear();
+        assert!(s.is_empty());
+    }
+
+    #[test]
+    fn scan_routes_by_partition() {
+        use rasql_storage::{row::int_row, CsrGraph, CsrWeight};
+        let rows: Vec<_> = [(0i64, 1i64, 10i64), (0, 2, 20), (1, 2, 30)]
+            .iter()
+            .map(|&(s, d, w)| int_row(&[s, d, w]))
+            .collect();
+        let csr = CsrGraph::build(&rows, 0, 1, CsrWeight::Int { col: 2 }, [], 3).unwrap();
+        let v0 = csr.dense_id(0).unwrap();
+        let mut out: Vec<Vec<(u32, i64)>> = vec![Vec::new(); 3];
+        let w = csr.weights_i.clone();
+        scan_delta(&csr, &[(v0, 100)], |val, e| val + w[e], &mut out);
+        let mut pairs: Vec<(i64, i64)> = out
+            .iter()
+            .flatten()
+            .map(|&(d, v)| (csr.orig_id(d), v))
+            .collect();
+        pairs.sort_unstable();
+        assert_eq!(pairs, vec![(1, 110), (2, 120)]);
+        // Each pair landed in the partition the generic path would pick.
+        for (p, bucket) in out.iter().enumerate() {
+            for &(d, _) in bucket {
+                assert_eq!(csr.part_of[d as usize] as usize, p);
+            }
+        }
+    }
+}

@@ -34,6 +34,7 @@ pub mod dataset;
 pub mod error;
 pub mod fault;
 pub mod join;
+pub mod kernel;
 pub mod metrics;
 pub mod pipeline;
 pub mod state;
@@ -45,10 +46,14 @@ pub use checkpoint::{
     encode_set_state, CheckpointStore,
 };
 pub use cluster::{Cluster, ClusterConfig, StageTask};
-pub use dataset::Dataset;
+pub use dataset::{Dataset, RowCombiner};
 pub use error::ExecError;
 pub use fault::{FaultInjector, FaultSpec, TaskFault};
 pub use join::{merge_join, HashTable};
+pub use kernel::{
+    scan_delta, scan_delta_set, DenseAggState, DenseSetState, KernelValue, MaxOp, MergeOp, MinOp,
+    SumOp,
+};
 pub use metrics::{Metrics, MetricsSnapshot};
 pub use pipeline::{run_fused, run_unfused, Pipeline, PipelineStep};
 pub use state::{AggState, MergeOutcome, MonotoneOp, SetState};

@@ -37,6 +37,9 @@ pub struct Metrics {
     pub checkpoint_bytes: AtomicU64,
     /// Fixpoint restores performed after unrecoverable stage failures.
     pub restores: AtomicU64,
+    /// Rows eliminated by map-side combine before a shuffle exchange
+    /// (input rows − combined output rows, paper §7.1 Map side).
+    pub combined_rows: AtomicU64,
 }
 
 impl Metrics {
@@ -68,6 +71,7 @@ impl Metrics {
         self.checkpoints.store(0, Ordering::Relaxed);
         self.checkpoint_bytes.store(0, Ordering::Relaxed);
         self.restores.store(0, Ordering::Relaxed);
+        self.combined_rows.store(0, Ordering::Relaxed);
     }
 
     /// Take a plain-value snapshot.
@@ -88,6 +92,7 @@ impl Metrics {
             checkpoints: self.checkpoints.load(Ordering::Relaxed),
             checkpoint_bytes: self.checkpoint_bytes.load(Ordering::Relaxed),
             restores: self.restores.load(Ordering::Relaxed),
+            combined_rows: self.combined_rows.load(Ordering::Relaxed),
         }
     }
 }
@@ -125,6 +130,8 @@ pub struct MetricsSnapshot {
     pub checkpoint_bytes: u64,
     /// Fixpoint restores after unrecoverable stage failures.
     pub restores: u64,
+    /// Rows eliminated by map-side combine before shuffle exchanges.
+    pub combined_rows: u64,
 }
 
 impl std::fmt::Display for MetricsSnapshot {
@@ -148,6 +155,9 @@ impl std::fmt::Display for MetricsSnapshot {
                 " failures={} retries={} blacklists={}",
                 self.task_failures, self.task_retries, self.worker_blacklists
             )?;
+        }
+        if self.combined_rows > 0 {
+            write!(f, " combined_rows={}", self.combined_rows)?;
         }
         if self.checkpoints + self.restores > 0 {
             write!(

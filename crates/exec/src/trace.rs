@@ -400,9 +400,12 @@ pub struct IterationTrace {
 pub struct CliqueTrace {
     /// View names of the clique, in declaration order.
     pub views: Vec<String>,
-    /// Evaluation mode: `semi_naive_combined`, `semi_naive`, `naive`, or
-    /// `decomposed`.
+    /// Evaluation mode: `semi_naive_combined`, `semi_naive`, `naive`,
+    /// `decomposed`, or `specialized`.
     pub mode: String,
+    /// Inner-loop kernel the clique ran on: `generic` for the interpreter,
+    /// or a monomorphized kernel label such as `csr_min_i64` / `csr_set`.
+    pub kernel: String,
     /// Rounds until the fixpoint (max over partitions when decomposed).
     pub fixpoint_rounds: u32,
     /// Per-round records.
@@ -544,8 +547,16 @@ impl TraceSink {
         self.inner.lock().recovery.push(event);
     }
 
-    /// Open a clique trace; subsequent iterations are recorded into it.
+    /// Open a clique trace; subsequent iterations are recorded into it. The
+    /// clique is tagged with the `generic` (interpreter) kernel; specialized
+    /// paths use [`TraceSink::begin_clique_kernel`].
     pub fn begin_clique(&self, views: Vec<String>, mode: &str) {
+        self.begin_clique_kernel(views, mode, "generic");
+    }
+
+    /// [`TraceSink::begin_clique`] with an explicit kernel label (e.g.
+    /// `csr_min_i64` when a monomorphized fixpoint kernel was selected).
+    pub fn begin_clique_kernel(&self, views: Vec<String>, mode: &str, kernel: &str) {
         let mut d = self.inner.lock();
         if let Some(open) = d.current.take() {
             d.cliques.push(open); // defensive: unterminated clique
@@ -553,6 +564,7 @@ impl TraceSink {
         d.current = Some(CliqueTrace {
             views,
             mode: mode.to_string(),
+            kernel: kernel.to_string(),
             fixpoint_rounds: 0,
             iterations: Vec::new(),
         });
@@ -568,6 +580,7 @@ impl TraceSink {
                 d.current = Some(CliqueTrace {
                     views: Vec::new(),
                     mode: "unknown".into(),
+                    kernel: "generic".into(),
                     fixpoint_rounds: 0,
                     iterations: vec![it],
                 });
@@ -679,6 +692,7 @@ impl QueryTrace {
                     ("checkpoints".into(), num(m.checkpoints)),
                     ("checkpoint_bytes".into(), num(m.checkpoint_bytes)),
                     ("restores".into(), num(m.restores)),
+                    ("combined_rows".into(), num(m.combined_rows)),
                 ]),
             ),
             (
@@ -695,6 +709,7 @@ impl QueryTrace {
                                     ),
                                 ),
                                 ("mode".into(), JsonValue::Str(c.mode.clone())),
+                                ("kernel".into(), JsonValue::Str(c.kernel.clone())),
                                 ("fixpoint_rounds".into(), num(c.fixpoint_rounds as u64)),
                                 (
                                     "iterations".into(),
@@ -796,6 +811,7 @@ impl QueryTrace {
             checkpoints: get_u64_or(m, "checkpoints", 0),
             checkpoint_bytes: get_u64_or(m, "checkpoint_bytes", 0),
             restores: get_u64_or(m, "restores", 0),
+            combined_rows: get_u64_or(m, "combined_rows", 0),
         };
         let mut cliques = Vec::new();
         for c in root
@@ -829,6 +845,9 @@ impl QueryTrace {
             cliques.push(CliqueTrace {
                 views,
                 mode: get_str(c, "mode")?,
+                // Older exports predate kernel selection; they all ran the
+                // interpreter.
+                kernel: get_str(c, "kernel").unwrap_or_else(|_| "generic".into()),
                 fixpoint_rounds: get_u64(c, "fixpoint_rounds")? as u32,
                 iterations,
             });
@@ -896,9 +915,10 @@ impl QueryTrace {
         let mut out = String::new();
         for c in &self.cliques {
             out.push_str(&format!(
-                "\nFixpoint [{}] mode={} rounds={}\n",
+                "\nFixpoint [{}] mode={} kernel={} rounds={}\n",
                 c.views.join(", "),
                 c.mode,
+                c.kernel,
                 c.fixpoint_rounds
             ));
             out.push_str(
@@ -1062,6 +1082,7 @@ mod tests {
             cliques: vec![CliqueTrace {
                 views: vec!["tc".into()],
                 mode: "semi_naive_combined".into(),
+                kernel: "generic".into(),
                 fixpoint_rounds: 3,
                 iterations: vec![
                     IterationTrace {
@@ -1223,12 +1244,17 @@ mod tests {
             .replace(",\"checkpoints\":0", "")
             .replace(",\"checkpoint_bytes\":0", "")
             .replace(",\"restores\":0", "")
+            .replace(",\"combined_rows\":0", "")
+            .replace(",\"kernel\":\"generic\"", "")
             .replace(",\"attempts\":6", "");
         let back = QueryTrace::from_json(&json).unwrap();
         assert_eq!(back.metrics.stages, 5);
         assert!(back.recovery.is_empty());
         // attempts defaults to tasks when absent.
         assert_eq!(back.stages[0].attempts, back.stages[0].tasks);
+        // Pre-kernel exports all ran the interpreter.
+        assert_eq!(back.cliques[0].kernel, "generic");
+        assert_eq!(back.metrics.combined_rows, 0);
     }
 
     #[test]

@@ -258,6 +258,22 @@ impl<'a> Analyzer<'a> {
             }
         }
 
+        // Stamp each aggregate head column with the verifier's static PreM
+        // verdict (Proven / Refuted / Unknown). Kernel selection reads this
+        // off the spec; `Unknown` stays for columns the syntactic proof
+        // cannot decide.
+        let verdicts = crate::verify::static_prem_verdicts(query);
+        for clique in &mut self.cliques {
+            for view in &mut clique.views {
+                let name = view.name.to_ascii_lowercase();
+                for (i, &(col, _)) in view.aggs.iter().enumerate() {
+                    if let Some(&v) = verdicts.get(&(name.clone(), col)) {
+                        view.prem[i] = v;
+                    }
+                }
+            }
+        }
+
         // --- Step 3: final body. ---
         let final_plan = self
             .analyze_union(&query.body, None)
@@ -477,6 +493,7 @@ impl<'a> Analyzer<'a> {
                 name_span: cte.name_span,
                 schema,
                 key_cols,
+                prem: vec![crate::verify::StaticVerdict::Unknown; aggs.len()],
                 aggs,
                 base,
                 recursive,

@@ -337,6 +337,10 @@ pub struct ViewSpec {
     pub key_cols: Vec<usize>,
     /// `(position, function)` for each aggregate head column.
     pub aggs: Vec<(usize, AggFunc)>,
+    /// Static PreM verdict for each entry of `aggs` (same order): the
+    /// verifier's syntactic proof outcome, consulted by kernel selection —
+    /// only `Proven` columns may take a specialized fixpoint kernel.
+    pub prem: Vec<crate::verify::StaticVerdict>,
     /// Base-case branches (no clique references), as ordinary plans.
     pub base: Vec<LogicalPlan>,
     /// Recursive branches, lowered to per-iteration pipelines.

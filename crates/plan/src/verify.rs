@@ -284,6 +284,25 @@ pub fn verify_query(q: &Query, catalog: &ViewCatalog) -> VerifyReport {
     report
 }
 
+/// Static PreM verdicts keyed by `(lowercased view name, head column index)`
+/// — the compile-time evidence kernel selection consults, without the
+/// diagnostic rendering of the full [`verify_query`] pass. Columns of
+/// non-recursive views are absent from the map.
+pub fn static_prem_verdicts(q: &Query) -> HashMap<(String, usize), StaticVerdict> {
+    let sccs = recursive_components(&q.ctes);
+    let mut acc: HashMap<(usize, usize), (StaticVerdict, Vec<String>)> = HashMap::new();
+    for &(vi, ci) in sccs.iter().flat_map(|s| &s.agg_cols) {
+        acc.insert((vi, ci), (StaticVerdict::Proven, Vec::new()));
+    }
+    let mut throwaway = Vec::new();
+    for scc in &sccs {
+        check_clique(q, scc, &mut throwaway, &mut acc);
+    }
+    acc.into_iter()
+        .map(|((vi, ci), (verdict, _))| ((q.ctes[vi].name.to_ascii_lowercase(), ci), verdict))
+        .collect()
+}
+
 fn proven_reason(func: AggFunc, col: &str) -> String {
     match func {
         AggFunc::Min => format!(

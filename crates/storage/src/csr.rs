@@ -1,0 +1,338 @@
+//! CSR (compressed sparse row) edge encoding with dense vertex-id remapping.
+//!
+//! The specialized fixpoint kernels (paper §7.2/§7.3) broadcast the static
+//! edge relation once per query as the "compressed base relation" and then
+//! scan deltas against its adjacency lists without materializing intermediate
+//! rows. [`CsrGraph`] is that broadcast payload: original (arbitrary) `Int`
+//! vertex ids are remapped to dense `u32` ids so aggregate state can live in
+//! flat `Vec` slabs, and each vertex's hash partition is precomputed with the
+//! same [`hash_partition`] function the generic path uses — the kernel and
+//! interpreter therefore route every contribution to the same partition.
+//!
+//! The build is *fallible by design*: any value that is not the exact type
+//! the caller declared (a `Str` vertex id, a `Double` weight in an `Int`
+//! column) aborts construction and the engine falls back to the generic
+//! interpreter, preserving bit-identical semantics.
+
+use crate::hasher::FxHashMap;
+use crate::partition::hash_partition;
+use crate::row::Row;
+use crate::value::Value;
+
+/// How edge weights are extracted while building a [`CsrGraph`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CsrWeight {
+    /// The kernel needs no weight column (reachability, connected
+    /// components, hop counting with a constant increment).
+    None,
+    /// `i64` weights read from the given edge column; any non-`Int` value
+    /// aborts the build.
+    Int {
+        /// Edge-relation column holding the weight.
+        col: usize,
+    },
+    /// `f64` weights read from the given edge column. When `promote_int` is
+    /// true, `Int` values are widened with `as f64` — exactly the promotion
+    /// [`Value::add`] performs — otherwise any non-`Double` value aborts the
+    /// build (required for `least`-style combiners where the generic path
+    /// would return the un-promoted `Int`).
+    Float {
+        /// Edge-relation column holding the weight.
+        col: usize,
+        /// Allow `Int` weights, widening them to `f64`.
+        promote_int: bool,
+    },
+}
+
+/// A static edge relation in CSR form with dense vertex ids.
+///
+/// Adjacency for dense vertex `v` is `targets[offsets[v]..offsets[v + 1]]`,
+/// with the parallel weight slab (when present) indexed identically. All
+/// fields are public so the monomorphized kernels can index them directly in
+/// their inner loops.
+#[derive(Debug, Clone, Default)]
+pub struct CsrGraph {
+    /// `offsets[v]..offsets[v + 1]` bounds vertex `v`'s adjacency slice.
+    pub offsets: Vec<usize>,
+    /// Dense destination ids, grouped by source.
+    pub targets: Vec<u32>,
+    /// `i64` edge weights parallel to `targets` (empty unless built with
+    /// [`CsrWeight::Int`]).
+    pub weights_i: Vec<i64>,
+    /// `f64` edge weights parallel to `targets` (empty unless built with
+    /// [`CsrWeight::Float`]).
+    pub weights_f: Vec<f64>,
+    /// Original `Int` id for each dense vertex id.
+    pub orig: Vec<i64>,
+    /// Precomputed hash partition of each vertex's *original* id — identical
+    /// to what the generic path computes for a single-column `Int` key.
+    pub part_of: Vec<u32>,
+    remap: FxHashMap<i64, u32>,
+}
+
+impl CsrGraph {
+    /// Build a CSR graph from edge rows plus extra seed vertices (base-case
+    /// keys that may have no outgoing edges). Returns `None` if any vertex
+    /// id is not `Value::Int` or a weight violates `weight` — the caller
+    /// falls back to the generic interpreter.
+    pub fn build(
+        edges: &[Row],
+        src_col: usize,
+        dst_col: usize,
+        weight: CsrWeight,
+        extra_vertices: impl IntoIterator<Item = i64>,
+        partitions: usize,
+    ) -> Option<CsrGraph> {
+        let mut remap: FxHashMap<i64, u32> = FxHashMap::default();
+        let mut orig: Vec<i64> = Vec::new();
+        let mut intern = |id: i64, orig: &mut Vec<i64>| -> Option<u32> {
+            if let Some(&d) = remap.get(&id) {
+                return Some(d);
+            }
+            let d = u32::try_from(orig.len()).ok()?;
+            remap.insert(id, d);
+            orig.push(id);
+            Some(d)
+        };
+
+        // Intern every endpoint (and seed vertex) first so ids are stable,
+        // extracting typed (src, dst, weight) triples as we go.
+        let mut tri_i: Vec<(u32, u32, i64)> = Vec::new();
+        let mut tri_f: Vec<(u32, u32, f64)> = Vec::new();
+        let mut tri: Vec<(u32, u32)> = Vec::new();
+        for row in edges {
+            let (Value::Int(s), Value::Int(d)) = (row.get(src_col), row.get(dst_col)) else {
+                return None;
+            };
+            let s = intern(*s, &mut orig)?;
+            let d = intern(*d, &mut orig)?;
+            match weight {
+                CsrWeight::None => tri.push((s, d)),
+                CsrWeight::Int { col } => match row.get(col) {
+                    Value::Int(w) => tri_i.push((s, d, *w)),
+                    _ => return None,
+                },
+                CsrWeight::Float { col, promote_int } => match row.get(col) {
+                    Value::Double(w) => tri_f.push((s, d, *w)),
+                    #[allow(clippy::cast_precision_loss)]
+                    Value::Int(w) if promote_int => tri_f.push((s, d, *w as f64)),
+                    _ => return None,
+                },
+            }
+        }
+        for id in extra_vertices {
+            intern(id, &mut orig)?;
+        }
+
+        let n = orig.len();
+        let mut offsets = vec![0usize; n + 1];
+        let srcs = |i: usize| -> u32 {
+            match weight {
+                CsrWeight::None => tri[i].0,
+                CsrWeight::Int { .. } => tri_i[i].0,
+                CsrWeight::Float { .. } => tri_f[i].0,
+            }
+        };
+        let m = edges.len();
+        for i in 0..m {
+            offsets[srcs(i) as usize + 1] += 1;
+        }
+        for v in 0..n {
+            offsets[v + 1] += offsets[v];
+        }
+        let mut cursor = offsets.clone();
+        let mut targets = vec![0u32; m];
+        let mut weights_i = Vec::new();
+        let mut weights_f = Vec::new();
+        match weight {
+            CsrWeight::None => {
+                for &(s, d) in &tri {
+                    let at = cursor[s as usize];
+                    targets[at] = d;
+                    cursor[s as usize] += 1;
+                }
+            }
+            CsrWeight::Int { .. } => {
+                weights_i = vec![0i64; m];
+                for &(s, d, w) in &tri_i {
+                    let at = cursor[s as usize];
+                    targets[at] = d;
+                    weights_i[at] = w;
+                    cursor[s as usize] += 1;
+                }
+            }
+            CsrWeight::Float { .. } => {
+                weights_f = vec![0f64; m];
+                for &(s, d, w) in &tri_f {
+                    let at = cursor[s as usize];
+                    targets[at] = d;
+                    weights_f[at] = w;
+                    cursor[s as usize] += 1;
+                }
+            }
+        }
+
+        let parts = partitions.max(1);
+        let part_of = orig
+            .iter()
+            .map(|&id| {
+                #[allow(clippy::cast_possible_truncation)]
+                let p = hash_partition(&[&Value::Int(id)], parts) as u32;
+                p
+            })
+            .collect();
+
+        Some(CsrGraph {
+            offsets,
+            targets,
+            weights_i,
+            weights_f,
+            orig,
+            part_of,
+            remap,
+        })
+    }
+
+    /// Number of (dense) vertices.
+    #[inline]
+    pub fn vertex_count(&self) -> usize {
+        self.orig.len()
+    }
+
+    /// Number of edges.
+    #[inline]
+    pub fn edge_count(&self) -> usize {
+        self.targets.len()
+    }
+
+    /// Dense id of an original vertex id, if the vertex is known.
+    #[inline]
+    pub fn dense_id(&self, orig_id: i64) -> Option<u32> {
+        self.remap.get(&orig_id).copied()
+    }
+
+    /// Original id of a dense vertex id.
+    #[inline]
+    pub fn orig_id(&self, dense: u32) -> i64 {
+        self.orig[dense as usize]
+    }
+
+    /// Adjacency slice bounds for dense vertex `v`.
+    #[inline]
+    pub fn adjacency(&self, v: u32) -> std::ops::Range<usize> {
+        self.offsets[v as usize]..self.offsets[v as usize + 1]
+    }
+
+    /// Approximate in-memory footprint, charged as the broadcast payload.
+    pub fn size_bytes(&self) -> usize {
+        self.offsets.len() * std::mem::size_of::<usize>()
+            + self.targets.len() * 4
+            + self.weights_i.len() * 8
+            + self.weights_f.len() * 8
+            + self.orig.len() * 8
+            + self.part_of.len() * 4
+            + self.remap.len() * 12
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::row::int_row;
+
+    fn edge_rows(edges: &[(i64, i64, i64)]) -> Vec<Row> {
+        edges.iter().map(|&(s, d, w)| int_row(&[s, d, w])).collect()
+    }
+
+    #[test]
+    fn builds_adjacency_and_remap() {
+        let rows = edge_rows(&[(10, 20, 1), (10, 30, 2), (30, 20, 3)]);
+        let g = CsrGraph::build(&rows, 0, 1, CsrWeight::Int { col: 2 }, [], 4).unwrap();
+        assert_eq!(g.vertex_count(), 3);
+        assert_eq!(g.edge_count(), 3);
+        let v10 = g.dense_id(10).unwrap();
+        let adj = g.adjacency(v10);
+        assert_eq!(adj.len(), 2);
+        let mut out: Vec<(i64, i64)> = adj
+            .map(|i| (g.orig_id(g.targets[i]), g.weights_i[i]))
+            .collect();
+        out.sort_unstable();
+        assert_eq!(out, vec![(20, 1), (30, 2)]);
+        assert!(g.dense_id(99).is_none());
+    }
+
+    #[test]
+    fn seeds_isolated_vertices() {
+        let rows = edge_rows(&[(1, 2, 0)]);
+        let g = CsrGraph::build(&rows, 0, 1, CsrWeight::None, [7, 1], 2).unwrap();
+        assert_eq!(g.vertex_count(), 3);
+        let v7 = g.dense_id(7).unwrap();
+        assert!(g.adjacency(v7).is_empty());
+    }
+
+    #[test]
+    fn partition_matches_generic_hash() {
+        let rows = edge_rows(&[(5, 6, 0), (6, 7, 0)]);
+        let g = CsrGraph::build(&rows, 0, 1, CsrWeight::None, [], 8).unwrap();
+        for (dense, &id) in g.orig.iter().enumerate() {
+            let expect = hash_partition(&[&Value::Int(id)], 8);
+            assert_eq!(g.part_of[dense] as usize, expect);
+        }
+    }
+
+    #[test]
+    fn rejects_type_violations() {
+        let mut rows = edge_rows(&[(1, 2, 3)]);
+        rows.push(Row::new(vec![
+            Value::str("x"),
+            Value::Int(2),
+            Value::Int(1),
+        ]));
+        assert!(CsrGraph::build(&rows, 0, 1, CsrWeight::None, [], 2).is_none());
+
+        let rows = vec![Row::new(vec![
+            Value::Int(1),
+            Value::Int(2),
+            Value::Double(1.5),
+        ])];
+        assert!(CsrGraph::build(&rows, 0, 1, CsrWeight::Int { col: 2 }, [], 2).is_none());
+        // Float weight accepts Double, and Int only when promotion is on.
+        assert!(CsrGraph::build(
+            &rows,
+            0,
+            1,
+            CsrWeight::Float {
+                col: 2,
+                promote_int: false
+            },
+            [],
+            2
+        )
+        .is_some());
+        let int_w = edge_rows(&[(1, 2, 3)]);
+        assert!(CsrGraph::build(
+            &int_w,
+            0,
+            1,
+            CsrWeight::Float {
+                col: 2,
+                promote_int: false
+            },
+            [],
+            2
+        )
+        .is_none());
+        assert!(CsrGraph::build(
+            &int_w,
+            0,
+            1,
+            CsrWeight::Float {
+                col: 2,
+                promote_int: true
+            },
+            [],
+            2
+        )
+        .is_some());
+    }
+}

@@ -27,6 +27,7 @@
 
 pub mod catalog;
 pub mod codec;
+pub mod csr;
 pub mod error;
 pub mod hasher;
 pub mod partition;
@@ -36,6 +37,7 @@ pub mod schema;
 pub mod value;
 
 pub use catalog::Catalog;
+pub use csr::{CsrGraph, CsrWeight};
 pub use error::StorageError;
 pub use hasher::{FxBuildHasher, FxHashMap, FxHashSet, FxHasher};
 pub use partition::{hash_partition, partition_rows, Partitioning};

@@ -22,3 +22,9 @@ cargo run --release -p rasql-bench --bin reproduce -- lint
 # kill/delay/loss injection must match its fault-free result, and a
 # zero-retry leg must recover via checkpoint/restore mid-fixpoint.
 cargo run --release -p rasql-bench --bin reproduce -- faults --scale 0.1
+
+# Specialized-kernel gate: the differential suite (kernel vs interpreter must
+# be bit-identical) plus a small-scale bench smoke that still enforces the
+# >= 2x speedup floor on SSSP and CC.
+cargo test -q -p rasql-core --test kernel_proptests
+cargo run --release -p rasql-bench --bin reproduce -- bench-kernels --scale 0.1
