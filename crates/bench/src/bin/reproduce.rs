@@ -3,7 +3,7 @@
 //! ```text
 //! reproduce [all|fig1|fig2|fig5|fig6|fig7|fig8|fig9|fig10|fig11|fig12|
 //!            table1|table2|table3|premcheck|traces|faults|lint|
-//!            bench-kernels] [--scale X]
+//!            bench-kernels|soak] [--scale X]
 //!           [--faults SPEC] [--retries N] [--checkpoint-every K]
 //! ```
 //!
@@ -27,6 +27,11 @@
 //! result, plus a zero-retry checkpoint/restore leg. `--faults` overrides the
 //! default spec (e.g. `--faults kill=0.1,loss=0.05,seed=7`), `--retries` the
 //! retry budget, and `--checkpoint-every` the checkpoint interval.
+//!
+//! The `soak` target runs the resource-governance soak: concurrent queries on
+//! one context under a tight memory budget with fault injection, plus one
+//! forced `kill` — asserting correct surviving results, actual spilling, a
+//! typed cancellation, and no leaked temp files or worker threads.
 
 use rasql_bench as bench;
 use rasql_exec::FaultSpec;
@@ -76,7 +81,7 @@ fn main() {
             "--help" | "-h" => {
                 println!(
                     "reproduce [all|fig1|fig2|fig5|fig6|fig7|fig8|fig9|fig10|fig11|fig12|\n\
-                     table1|table2|table3|premcheck|traces|faults|lint|bench-kernels]...\n\
+                     table1|table2|table3|premcheck|traces|faults|lint|bench-kernels|soak]...\n\
                      [--scale X] [--faults SPEC] [--retries N] [--checkpoint-every K]"
                 );
                 return;
@@ -156,6 +161,10 @@ fn main() {
         if !clean {
             die("lint found error-severity diagnostics");
         }
+    }
+    // Not part of `all`: a subsystem check, not a paper artifact.
+    if targets.iter().any(|t| t == "soak") {
+        println!("{}", bench::soak(scale).render());
     }
     // Not part of `all`: a subsystem check, not a paper artifact.
     if targets.iter().any(|t| t == "faults") {

@@ -1206,6 +1206,192 @@ pub fn fault_soak(scale: f64, spec: FaultSpec, retries: u32, checkpoint_every: u
     table
 }
 
+/// Count `rasql-spill-*` entries under the OS temp dir — the governance
+/// soak's leaked-file detector (every spill directory is removed with its
+/// query's governor, on success and on every error path).
+fn spill_dirs() -> usize {
+    std::fs::read_dir(std::env::temp_dir())
+        .map(|rd| {
+            rd.filter_map(Result::ok)
+                .filter(|e| e.file_name().to_string_lossy().starts_with("rasql-spill-"))
+                .count()
+        })
+        .unwrap_or(0)
+}
+
+/// Current thread count of this process (Linux); `None` elsewhere, which
+/// disables the leak check rather than failing it.
+fn thread_count() -> Option<usize> {
+    let status = std::fs::read_to_string("/proc/self/status").ok()?;
+    status
+        .lines()
+        .find_map(|l| l.strip_prefix("Threads:"))
+        .and_then(|v| v.trim().parse().ok())
+}
+
+/// Resource-governance soak (tier-1): concurrent queries on ONE context under
+/// a tight memory budget with deterministic fault injection, plus one forced
+/// `kill`. Asserts — hard, so the tier-1 gate fails on any violation — that
+/// the surviving queries return exactly the ungoverned rows, that the budget
+/// actually forced spilling, that the kill surfaces as a typed cancellation
+/// (never a panic) with the context immediately serving the next query, and
+/// that no spill temp directories or worker threads leak.
+pub fn soak(scale: f64) -> Table {
+    let n = ((2_000.0 * scale) as usize).max(100);
+    let edges = rmat_graph(n, true, 7);
+    let workloads: Vec<(&str, String)> = vec![
+        ("TC", library::transitive_closure()),
+        ("SSSP", library::sssp(1)),
+        ("CC", library::cc()),
+    ];
+
+    // Ungoverned baselines for the differential check.
+    let baseline: Vec<Relation> = {
+        let ctx = RaSqlContext::with_config(EngineConfig::rasql().with_workers(default_workers()));
+        ctx.register("edge", edges.clone()).unwrap();
+        workloads
+            .iter()
+            .map(|(_, sql)| ctx.query(sql).unwrap().relation.sorted())
+            .collect()
+    };
+
+    let spill_before = spill_dirs();
+    let threads_before = thread_count();
+
+    // Kernels and decomposed plans keep all state in per-partition slabs
+    // (charged, but never paged); the interpreter's semi-naive driver is the
+    // path that spills, so the governed leg pins it — the differential check
+    // then also crosses evaluation paths.
+    let cfg = EngineConfig::rasql()
+        .with_workers(default_workers())
+        .with_specialized_kernels(false)
+        .with_decomposed(false)
+        .with_memory_budget(256 * 1024)
+        .with_max_concurrent_queries(2)
+        .with_admission_queue(8)
+        .with_faults(Some(FaultSpec {
+            kill: 0.05,
+            delay: 0.0,
+            loss: 0.0,
+            delay_us: 0,
+            seed: 11,
+        }))
+        .with_max_task_retries(3)
+        .with_checkpoint_interval(3);
+    let ctx = RaSqlContext::with_config(cfg);
+    ctx.register("edge", edges).unwrap();
+
+    let mut table = Table::new(
+        "Resource-governance soak — 256 KiB budget, 2-query admission, kill=0.05 faults",
+        &[
+            "query",
+            "rows",
+            "spilled B",
+            "spill files",
+            "peak B",
+            "status",
+        ],
+    );
+
+    // All workloads race on the shared context; the admission controller
+    // holds the overflow in its queue.
+    let results: Vec<(
+        usize,
+        Result<rasql_core::QueryResult, rasql_core::EngineError>,
+    )> = std::thread::scope(|s| {
+        let handles: Vec<_> = workloads
+            .iter()
+            .enumerate()
+            .map(|(i, (_, sql))| {
+                let ctx = &ctx;
+                s.spawn(move || (i, ctx.query(sql)))
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+
+    let mut spilled_total = 0u64;
+    for (i, outcome) in results {
+        let (name, _) = workloads[i];
+        let result = outcome.unwrap_or_else(|e| panic!("soak: governed {name} failed: {e}"));
+        let rows = result.relation.len();
+        assert_eq!(
+            result.relation.sorted().rows(),
+            baseline[i].rows(),
+            "soak: governed {name} diverged from the ungoverned run"
+        );
+        let m = &result.stats.metrics;
+        spilled_total += m.spilled_bytes;
+        table.row(vec![
+            name.to_string(),
+            rows.to_string(),
+            m.spilled_bytes.to_string(),
+            m.spill_files.to_string(),
+            m.peak_memory.to_string(),
+            "ok".into(),
+        ]);
+    }
+    assert!(
+        spilled_total > 0,
+        "soak: the memory budget never forced a spill — the soak proved nothing"
+    );
+
+    // Forced cancellation on the SAME context: the cancellation token is
+    // polled at plan-node and fixpoint-round boundaries, so the kill lands
+    // long before this long-diameter reachability converges.
+    let side = ((400.0 * scale) as usize).max(40);
+    ctx.register_or_replace("edge", grid(side, false, 42));
+    let reach_sql = library::reach(0);
+    let (killed, outcome) = std::thread::scope(|s| {
+        let h = s.spawn(|| ctx.query(&reach_sql));
+        let mut victim = None;
+        for _ in 0..1_000_000 {
+            if let Some(&q) = ctx.active_queries().first() {
+                victim = Some(q);
+                break;
+            }
+            std::thread::yield_now();
+        }
+        (victim.is_some_and(|q| ctx.kill(q)), h.join().unwrap())
+    });
+    assert!(
+        killed,
+        "soak: never observed the victim query in the active set"
+    );
+    match outcome {
+        Err(rasql_core::EngineError::Exec(rasql_exec::ExecError::Cancelled { .. })) => {}
+        Err(other) => panic!("soak: kill surfaced as the wrong error: {other}"),
+        Ok(r) => panic!(
+            "soak: query outran the kill ({} rows) — grow the grid",
+            r.relation.len()
+        ),
+    }
+    // The context must serve the very next query.
+    ctx.query("SELECT count(*) FROM edge;")
+        .expect("soak: context unusable after a kill");
+    table.row(vec![
+        "REACH/kill".into(),
+        "-".into(),
+        "-".into(),
+        "-".into(),
+        "-".into(),
+        "ok (typed cancellation; context served the next query)".into(),
+    ]);
+
+    drop(ctx);
+    assert!(
+        spill_dirs() <= spill_before,
+        "soak: leaked spill directories under the temp dir"
+    );
+    if let (Some(before), Some(after)) = (threads_before, thread_count()) {
+        assert!(
+            after <= before,
+            "soak: leaked worker threads ({before} -> {after})"
+        );
+    }
+    table
+}
+
 /// A small synthetic share-ownership relation for the company-control soak:
 /// a layered DAG of `n` companies with integer percentages.
 fn ownership_graph(n: i64) -> Relation {

@@ -18,6 +18,9 @@
 //! | `\trace [json]` | show (or export as JSON) the last query's trace |
 //! | `\workers <n>` | restart the session with n workers |
 //! | `\fault [spec\|off]` | show/set/clear deterministic fault injection (e.g. `\fault kill=0.1,seed=7 retries=2 checkpoint=3`) |
+//! | `\limits [budget=BYTES] [timeout=MS]` | show/set the per-query memory budget and deadline (0 = off; restarts the session) |
+//! | `\kill <query-id>` | cooperatively cancel a running query (ids from `QueryStats::query_id` / `\running`) |
+//! | `\running` | list active query ids and admission queue depth |
 //! | `\q` | quit |
 //!
 //! `EXPLAIN [ANALYZE] <query>;` works as plain SQL: `EXPLAIN` prints the
@@ -174,6 +177,44 @@ impl Shell {
                 None => LineResult::Output("usage: \\workers <n>\n".into()),
             },
             "\\fault" => self.fault(&parts),
+            "\\limits" => self.limits(&parts),
+            "\\kill" => match parts.get(1).and_then(|s| s.parse::<u64>().ok()) {
+                Some(id) => {
+                    if self.ctx.kill(id) {
+                        LineResult::Output(format!("cancellation requested for query {id}\n"))
+                    } else {
+                        LineResult::Output(format!("no active query {id}\n"))
+                    }
+                }
+                None => {
+                    let active = self.ctx.active_queries();
+                    if active.is_empty() {
+                        LineResult::Output("usage: \\kill <query-id> (no active queries)\n".into())
+                    } else {
+                        let ids: Vec<String> = active
+                            .iter()
+                            .map(std::string::ToString::to_string)
+                            .collect();
+                        LineResult::Output(format!(
+                            "usage: \\kill <query-id> (active: {})\n",
+                            ids.join(", ")
+                        ))
+                    }
+                }
+            },
+            "\\running" => {
+                let active = self.ctx.active_queries();
+                let ids: Vec<String> = active
+                    .iter()
+                    .map(std::string::ToString::to_string)
+                    .collect();
+                LineResult::Output(format!(
+                    "active queries: [{}]  running: {}  waiting: {}\n",
+                    ids.join(", "),
+                    self.ctx.running_queries(),
+                    self.ctx.waiting_queries()
+                ))
+            }
             "\\load" => self.load(&parts),
             "\\gen" => self.generate(&parts),
             "\\explain" => {
@@ -211,7 +252,7 @@ impl Shell {
             }
             other => LineResult::Output(format!(
                 "unknown command '{other}' (try \\d, \\load, \\gen, \\explain, \\lint, \\prem, \
-                 \\timing, \\tracing, \\trace, \\fault, \\q)\n"
+                 \\timing, \\tracing, \\trace, \\fault, \\limits, \\kill, \\running, \\q)\n"
             )),
         }
     }
@@ -285,6 +326,50 @@ impl Shell {
                 }
             }
         }
+    }
+
+    /// `\limits` — show or set the per-query resource limits. Setting restarts
+    /// the session (the governor configuration is baked into the context), so
+    /// tables are cleared.
+    fn limits(&mut self, parts: &[&str]) -> LineResult {
+        if parts.len() == 1 {
+            return LineResult::Output(format!(
+                "memory budget: {} bytes, timeout: {} ms (0 = unlimited; \
+                 usage: \\limits [budget=BYTES] [timeout=MS])\n",
+                self.config.memory_budget, self.config.query_timeout_ms
+            ));
+        }
+        let mut budget = self.config.memory_budget;
+        let mut timeout = self.config.query_timeout_ms;
+        for token in &parts[1..] {
+            if let Some(v) = token.strip_prefix("budget=") {
+                match v.parse() {
+                    Ok(b) => budget = b,
+                    Err(e) => return LineResult::Output(format!("error: bad budget '{v}': {e}\n")),
+                }
+            } else if let Some(v) = token.strip_prefix("timeout=") {
+                match v.parse() {
+                    Ok(t) => timeout = t,
+                    Err(e) => {
+                        return LineResult::Output(format!("error: bad timeout '{v}': {e}\n"))
+                    }
+                }
+            } else {
+                return LineResult::Output(format!(
+                    "error: unknown limit '{token}' (usage: \\limits [budget=BYTES] [timeout=MS])\n"
+                ));
+            }
+        }
+        self.config = self
+            .config
+            .clone()
+            .with_memory_budget(budget)
+            .with_query_timeout_ms(timeout);
+        self.ctx = RaSqlContext::with_config(self.config.clone());
+        LineResult::Output(format!(
+            "memory budget: {budget} bytes, timeout: {timeout} ms \
+             (session restarted, tables cleared)\n"
+        ))
     }
 
     fn load(&mut self, parts: &[&str]) -> LineResult {
@@ -548,6 +633,63 @@ mod tests {
         }
         match sh.feed("\\fault kill=notanumber") {
             LineResult::Output(o) => assert!(o.contains("error"), "{o}"),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn kill_and_running_commands() {
+        let mut sh = Shell::new();
+        match sh.feed("\\kill") {
+            LineResult::Output(o) => assert!(o.contains("usage: \\kill"), "{o}"),
+            other => panic!("{other:?}"),
+        }
+        match sh.feed("\\kill 999") {
+            LineResult::Output(o) => assert!(o.contains("no active query 999"), "{o}"),
+            other => panic!("{other:?}"),
+        }
+        match sh.feed("\\kill notanumber") {
+            LineResult::Output(o) => assert!(o.contains("usage"), "{o}"),
+            other => panic!("{other:?}"),
+        }
+        match sh.feed("\\running") {
+            LineResult::Output(o) => {
+                assert!(o.contains("active queries: []"), "{o}");
+                assert!(o.contains("running: 0"), "{o}");
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn limits_command_round_trip() {
+        let mut sh = Shell::new();
+        match sh.feed("\\limits") {
+            LineResult::Output(o) => {
+                assert!(o.contains("memory budget: 0 bytes"), "{o}");
+                assert!(o.contains("timeout: 0 ms"), "{o}");
+            }
+            other => panic!("{other:?}"),
+        }
+        match sh.feed("\\limits budget=1048576 timeout=5000") {
+            LineResult::Output(o) => {
+                assert!(o.contains("memory budget: 1048576 bytes"), "{o}");
+                assert!(o.contains("timeout: 5000 ms"), "{o}");
+            }
+            other => panic!("{other:?}"),
+        }
+        // The restarted session still answers queries under the new limits.
+        sh.feed("\\gen g rmat 100");
+        match sh.feed("SELECT count(*) FROM g;") {
+            LineResult::Output(o) => assert!(o.contains("1000"), "{o}"),
+            other => panic!("{other:?}"),
+        }
+        match sh.feed("\\limits budget=bad") {
+            LineResult::Output(o) => assert!(o.contains("error"), "{o}"),
+            other => panic!("{other:?}"),
+        }
+        match sh.feed("\\limits nonsense=1") {
+            LineResult::Output(o) => assert!(o.contains("unknown limit"), "{o}"),
             other => panic!("{other:?}"),
         }
     }

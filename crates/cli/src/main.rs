@@ -7,6 +7,10 @@
 //!   `--faults kill=0.05,loss=0.02,seed=42`
 //! * `--retries <n>` — retry budget for injected task failures
 //! * `--checkpoint-every <k>` — checkpoint fixpoint state every k rounds
+//! * `--memory-budget <bytes>` — per-query memory budget; over-budget state
+//!   spills to disk (0 = unlimited)
+//! * `--timeout <ms>` — per-query deadline; queries past it return a typed
+//!   `deadline exceeded` error (0 = none)
 
 use rasql_cli::{LineResult, Shell};
 use rasql_core::EngineConfig;
@@ -43,6 +47,18 @@ fn parse_args(args: &[String]) -> Result<EngineConfig, String> {
                     .map_err(|e| format!("bad --checkpoint-every: {e}"))?;
                 config = config.with_checkpoint_interval(k);
             }
+            "--memory-budget" => {
+                let b = value("--memory-budget")?
+                    .parse::<u64>()
+                    .map_err(|e| format!("bad --memory-budget: {e}"))?;
+                config = config.with_memory_budget(b);
+            }
+            "--timeout" => {
+                let t = value("--timeout")?
+                    .parse::<u64>()
+                    .map_err(|e| format!("bad --timeout: {e}"))?;
+                config = config.with_query_timeout_ms(t);
+            }
             other => return Err(format!("unknown flag '{other}'")),
         }
     }
@@ -56,7 +72,7 @@ fn main() {
         Err(e) => {
             eprintln!(
                 "error: {e}\nusage: rasql-shell [--workers N] [--faults SPEC] [--retries N] \
-                 [--checkpoint-every K]"
+                 [--checkpoint-every K] [--memory-budget BYTES] [--timeout MS]"
             );
             std::process::exit(2);
         }
@@ -70,6 +86,12 @@ fn main() {
         println!(
             "fault injection: {spec} (retries={}, checkpoint every {} rounds)",
             config.max_task_retries, config.checkpoint_interval
+        );
+    }
+    if config.memory_budget > 0 || config.query_timeout_ms > 0 {
+        println!(
+            "limits: memory budget {} bytes, timeout {} ms (0 = unlimited)",
+            config.memory_budget, config.query_timeout_ms
         );
     }
     let mut shell = Shell::with_config(config);

@@ -69,6 +69,22 @@ pub struct EngineConfig {
     /// initial round-0 capture); 0 disables checkpointing, so an
     /// unrecoverable stage failure fails the query.
     pub checkpoint_interval: u32,
+    /// Per-query memory budget in bytes; 0 (the default) is unlimited. Over
+    /// budget, shuffle gather buffers and fixpoint state spill to disk; an
+    /// allocation that cannot fit even after spilling fails the query with
+    /// `MemoryExceeded`.
+    pub memory_budget: u64,
+    /// Per-query deadline in milliseconds; 0 (the default) is no deadline.
+    /// Checked cooperatively at stage and fixpoint-round boundaries; a
+    /// missed deadline fails the query with `DeadlineExceeded`.
+    pub query_timeout_ms: u64,
+    /// Maximum queries executing concurrently on one context; 0 (the
+    /// default) is unlimited. Excess queries wait in a bounded queue.
+    pub max_concurrent_queries: usize,
+    /// Wait-queue capacity of the admission controller (only meaningful with
+    /// `max_concurrent_queries > 0`); queries beyond it are rejected
+    /// immediately with `AdmissionRejected`.
+    pub admission_queue: usize,
 }
 
 impl Default for EngineConfig {
@@ -99,6 +115,10 @@ impl EngineConfig {
             fault_spec: None,
             max_task_retries: 3,
             checkpoint_interval: 0,
+            memory_budget: 0,
+            query_timeout_ms: 0,
+            max_concurrent_queries: 0,
+            admission_queue: 16,
         }
     }
 
@@ -214,6 +234,30 @@ impl EngineConfig {
     /// Checkpoint fixpoint state every `k` rounds (0 disables).
     pub fn with_checkpoint_interval(mut self, k: u32) -> Self {
         self.checkpoint_interval = k;
+        self
+    }
+
+    /// Set the per-query memory budget in bytes (0 = unlimited).
+    pub fn with_memory_budget(mut self, bytes: u64) -> Self {
+        self.memory_budget = bytes;
+        self
+    }
+
+    /// Set the per-query deadline in milliseconds (0 = none).
+    pub fn with_query_timeout_ms(mut self, ms: u64) -> Self {
+        self.query_timeout_ms = ms;
+        self
+    }
+
+    /// Cap concurrent queries on the context (0 = unlimited).
+    pub fn with_max_concurrent_queries(mut self, n: usize) -> Self {
+        self.max_concurrent_queries = n;
+        self
+    }
+
+    /// Set the admission wait-queue capacity.
+    pub fn with_admission_queue(mut self, n: usize) -> Self {
+        self.admission_queue = n;
         self
     }
 }

@@ -5,25 +5,34 @@ use crate::error::EngineError;
 use crate::eval::EvalContext;
 use crate::fixpoint::FixpointExecutor;
 use parking_lot::Mutex;
-use rasql_exec::{Cluster, ClusterConfig, MetricsSnapshot, QueryTrace, TraceSink};
+use rasql_exec::{
+    AdmissionController, CancellationToken, Cluster, ClusterConfig, ExecError, Metrics,
+    MetricsSnapshot, QueryGovernor, QueryTrace, TraceSink,
+};
 use rasql_parser::{parse_statements, Statement};
 use rasql_plan::{
     analyze_statement, optimize, optimize_spec, AnalyzedQuery, AnalyzedStatement, ViewCatalog,
 };
 use rasql_storage::{Catalog, DataType, Relation, Row, Schema, Value};
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 /// Statistics of the most recent query execution.
 #[derive(Debug, Clone, Default, PartialEq)]
 pub struct QueryStats {
+    /// The context-assigned query id (the handle `kill` takes); 0 for
+    /// statements that never entered execution (e.g. `CREATE VIEW`).
+    pub query_id: u64,
     /// Fixpoint iterations, one entry per recursive clique evaluated.
     pub iterations: Vec<u32>,
     /// Wall-clock time of the execution.
     pub elapsed: Duration,
-    /// Runtime metric deltas accumulated during the query.
+    /// Runtime metric deltas accumulated during the query. The governance
+    /// fields (`peak_memory`, `spilled_bytes`, `spill_files`) are this
+    /// query's own, from its governor — exact even under concurrency.
     pub metrics: MetricsSnapshot,
 }
 
@@ -63,6 +72,16 @@ pub struct RaSqlContext {
     config: EngineConfig,
     tracing: AtomicBool,
     last_stats: Mutex<QueryStats>,
+    /// Concurrency gate: queries beyond `max_concurrent_queries` wait in a
+    /// bounded queue; beyond `admission_queue` they are rejected.
+    admission: Arc<AdmissionController>,
+    /// Monotonic query-id source (ids are per-context, starting at 1).
+    query_seq: AtomicU64,
+    /// Cancellation tokens of queries currently executing, by query id —
+    /// the registry [`RaSqlContext::kill`] resolves against.
+    active: Mutex<HashMap<u64, CancellationToken>>,
+    /// Where per-query governors place spill files.
+    spill_root: PathBuf,
 }
 
 impl RaSqlContext {
@@ -86,6 +105,10 @@ impl RaSqlContext {
             max_task_retries: config.max_task_retries,
             ..Default::default()
         });
+        let admission = Arc::new(AdmissionController::new(
+            config.max_concurrent_queries,
+            config.admission_queue,
+        ));
         RaSqlContext {
             catalog: Catalog::new(),
             planner_catalog: Mutex::new(ViewCatalog::new()),
@@ -93,6 +116,10 @@ impl RaSqlContext {
             tracing: AtomicBool::new(config.tracing),
             config,
             last_stats: Mutex::new(QueryStats::default()),
+            admission,
+            query_seq: AtomicU64::new(0),
+            active: Mutex::new(HashMap::new()),
+            spill_root: std::env::temp_dir(),
         }
     }
 
@@ -197,7 +224,59 @@ impl RaSqlContext {
     }
 
     /// Run an analyzed query; `traced` additionally collects a [`QueryTrace`].
+    ///
+    /// This is the governed entry point: the query first passes the admission
+    /// controller (blocking in its bounded wait queue when the context is at
+    /// `max_concurrent_queries`), then runs under a fresh [`QueryGovernor`]
+    /// that enforces the memory budget and deadline and is registered in the
+    /// active-query table so [`RaSqlContext::kill`] can reach it. Every exit
+    /// path — success, typed error, cancellation — deregisters the query,
+    /// releases the admission slot, and drops the governor (removing any
+    /// spill directory it created).
     fn execute_query(&self, q: AnalyzedQuery, traced: bool) -> Result<QueryResult, EngineError> {
+        let permit = match self.admission.admit() {
+            Ok(p) => {
+                Metrics::add(&self.cluster.metrics.admitted, 1);
+                p
+            }
+            Err(e) => {
+                Metrics::add(&self.cluster.metrics.rejected, 1);
+                return Err(e.into());
+            }
+        };
+        let query_id = self.query_seq.fetch_add(1, Ordering::Relaxed) + 1;
+        let timeout = (self.config.query_timeout_ms > 0)
+            .then(|| Duration::from_millis(self.config.query_timeout_ms));
+        let governor = QueryGovernor::new(
+            query_id,
+            self.config.memory_budget,
+            timeout,
+            &self.spill_root,
+        );
+        self.active
+            .lock()
+            .insert(query_id, governor.token().clone());
+        let result = self.execute_governed(q, traced, &governor);
+        self.active.lock().remove(&query_id);
+        drop(permit);
+        self.cluster.metrics.raise_peak(governor.tracker().peak());
+        if matches!(
+            &result,
+            Err(EngineError::Exec(
+                ExecError::Cancelled { .. } | ExecError::DeadlineExceeded { .. }
+            ))
+        ) {
+            Metrics::add(&self.cluster.metrics.cancellations, 1);
+        }
+        result
+    }
+
+    fn execute_governed(
+        &self,
+        q: AnalyzedQuery,
+        traced: bool,
+        governor: &QueryGovernor,
+    ) -> Result<QueryResult, EngineError> {
         let start = Instant::now();
         let before = self.cluster.metrics.snapshot();
         let sink = traced.then(TraceSink::new);
@@ -212,6 +291,7 @@ impl RaSqlContext {
                 partitions: self.config.partitions,
                 fused: self.config.fused_codegen,
                 trace: sink.as_ref(),
+                governor: Some(governor),
             };
             let exec = FixpointExecutor::new(&eval, &self.config);
             let result = exec.run(&clique)?;
@@ -228,6 +308,7 @@ impl RaSqlContext {
             partitions: self.config.partitions,
             fused: self.config.fused_codegen,
             trace: sink.as_ref(),
+            governor: Some(governor),
         };
         // Operator counters only around the final plan, so base-case and
         // build-side evaluations inside the fixpoint don't pollute them.
@@ -239,8 +320,14 @@ impl RaSqlContext {
             s.enable_operators(false);
         }
         let elapsed = start.elapsed();
-        let metrics = diff_metrics(before, self.cluster.metrics.snapshot());
+        let mut metrics = diff_metrics(before, self.cluster.metrics.snapshot());
+        // Governance numbers come from this query's own governor: global
+        // counter deltas would bleed across concurrent queries.
+        metrics.peak_memory = governor.tracker().peak();
+        metrics.spilled_bytes = governor.spilled_bytes();
+        metrics.spill_files = governor.spill_files();
         let stats = QueryStats {
+            query_id: governor.query_id(),
             iterations,
             elapsed,
             metrics,
@@ -251,6 +338,37 @@ impl RaSqlContext {
             stats,
             trace: sink.map(|s| s.finish(elapsed, metrics)),
         })
+    }
+
+    /// Request cooperative cancellation of a running query. Returns `true`
+    /// when `query_id` matched an active query (whose token is now fired —
+    /// the query unwinds with [`ExecError::Cancelled`] at its next stage or
+    /// round boundary), `false` when no such query is running.
+    pub fn kill(&self, query_id: u64) -> bool {
+        match self.active.lock().get(&query_id) {
+            Some(token) => {
+                token.cancel();
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Ids of the queries currently executing on this context, ascending.
+    pub fn active_queries(&self) -> Vec<u64> {
+        let mut ids: Vec<u64> = self.active.lock().keys().copied().collect();
+        ids.sort_unstable();
+        ids
+    }
+
+    /// Queries currently admitted (executing) on this context.
+    pub fn running_queries(&self) -> usize {
+        self.admission.running()
+    }
+
+    /// Queries currently blocked in the admission wait queue.
+    pub fn waiting_queries(&self) -> usize {
+        self.admission.waiting()
     }
 
     fn execute_explain(
@@ -301,6 +419,7 @@ impl RaSqlContext {
                 ));
                 text.push_str(&trace.render_iterations());
                 text.push_str(&trace.render_recovery());
+                text.push_str(&trace.render_governance());
                 text.push_str(&format!(
                     "\nTotals: {:.3} ms, {} stages, {} tasks, {} iterations, \
                      shuffle {} rows / {} bytes\n",
@@ -551,6 +670,32 @@ impl ContextBuilder {
         self
     }
 
+    /// Per-query memory budget in bytes (0 = unlimited). Over budget, shuffle
+    /// buffers and fixpoint state spill to disk.
+    pub fn memory_budget(mut self, bytes: u64) -> Self {
+        self.config = self.config.with_memory_budget(bytes);
+        self
+    }
+
+    /// Per-query deadline in milliseconds (0 = none), enforced cooperatively
+    /// at stage and fixpoint-round boundaries.
+    pub fn query_timeout_ms(mut self, ms: u64) -> Self {
+        self.config = self.config.with_query_timeout_ms(ms);
+        self
+    }
+
+    /// Cap queries executing concurrently on the context (0 = unlimited).
+    pub fn max_concurrent_queries(mut self, n: usize) -> Self {
+        self.config = self.config.with_max_concurrent_queries(n);
+        self
+    }
+
+    /// Admission wait-queue capacity; queries beyond it are rejected.
+    pub fn admission_queue(mut self, n: usize) -> Self {
+        self.config = self.config.with_admission_queue(n);
+        self
+    }
+
     /// The configuration built so far.
     pub fn config(&self) -> &EngineConfig {
         &self.config
@@ -627,5 +772,12 @@ fn diff_metrics(before: MetricsSnapshot, after: MetricsSnapshot) -> MetricsSnaps
         checkpoint_bytes: after.checkpoint_bytes - before.checkpoint_bytes,
         restores: after.restores - before.restores,
         combined_rows: after.combined_rows - before.combined_rows,
+        spilled_bytes: after.spilled_bytes - before.spilled_bytes,
+        spill_files: after.spill_files - before.spill_files,
+        // A gauge, not a counter: the high-water mark as of `after`.
+        peak_memory: after.peak_memory,
+        cancellations: after.cancellations - before.cancellations,
+        admitted: after.admitted - before.admitted,
+        rejected: after.rejected - before.rejected,
     }
 }

@@ -7,8 +7,8 @@
 
 use crate::error::EngineError;
 use rasql_exec::{
-    run_fused, run_unfused, Cluster, Dataset, HashTable, Pipeline, PipelineStep, RowCombiner,
-    TraceSink,
+    run_fused, run_unfused, Cluster, Dataset, HashTable, Pipeline, PipelineStep, QueryGovernor,
+    RowCombiner, TraceSink,
 };
 use rasql_parser::ast::AggFunc;
 use rasql_plan::{AggExpr, LogicalPlan, PExpr};
@@ -31,6 +31,9 @@ pub struct EvalContext<'a> {
     pub fused: bool,
     /// Per-query trace recorder; `None` disables all recording.
     pub trace: Option<&'a TraceSink>,
+    /// Per-query resource governor (memory budget, deadline, cancellation);
+    /// `None` runs ungoverned.
+    pub governor: Option<&'a QueryGovernor>,
 }
 
 impl<'a> EvalContext<'a> {
@@ -50,6 +53,9 @@ impl<'a> EvalContext<'a> {
     /// [`LogicalPlan::display_annotated`][rasql_plan::LogicalPlan::display_annotated])
     /// when operator tracing is on. Counters are inclusive of children.
     fn eval_node(&self, plan: &LogicalPlan, path: &str) -> Result<Dataset, EngineError> {
+        if let Some(g) = self.governor {
+            g.check()?;
+        }
         let recording = self.trace.is_some_and(TraceSink::operators_enabled);
         let t0 = Instant::now();
         let ds = self.eval_inner(plan, path)?;
@@ -294,6 +300,7 @@ impl<'a> EvalContext<'a> {
                 &key,
                 self.partitions,
                 map_side_combiner(group_cols, aggs, input.schema()).as_ref(),
+                self.governor,
             )?
         };
         let aggs: Vec<AggExpr> = aggs.to_vec();
@@ -506,6 +513,7 @@ mod tests {
             partitions: 4,
             fused: true,
             trace: None,
+            governor: None,
         };
         ctx.evaluate(&plan).unwrap().sorted()
     }

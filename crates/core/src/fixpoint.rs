@@ -27,9 +27,9 @@ use rasql_exec::join::SortedRun;
 use rasql_exec::state::{AggMergeResult, AggState, MonotoneOp};
 use rasql_exec::{
     merge_join, run_fused, run_unfused, scan_delta, scan_delta_set, Broadcast, Cluster,
-    DenseAggState, DenseSetState, HashTable, IterationTrace, KernelValue, MaxOp, MergeOp, Metrics,
-    MinOp, Pipeline, PipelineStep, RecoveryEvent, RecoveryKind, SetState, StageKind, StageTask,
-    SumOp,
+    DenseAggState, DenseSetState, ExecError, HashTable, IterationTrace, KernelValue, MaxOp,
+    MergeOp, Metrics, MinOp, Pipeline, PipelineStep, QueryGovernor, RecoveryEvent, RecoveryKind,
+    SetState, StageKind, StageTask, SumOp, TraceSink,
 };
 use rasql_parser::ast::AggFunc;
 use rasql_plan::{
@@ -44,8 +44,19 @@ use std::sync::Arc;
 use std::time::Instant;
 
 /// Per-partition local-fixpoint history: one `(delta rows consumed, state
-/// rows after merge)` pair per local round (`Err` marks a failed task).
-type RoundHistory = Result<Vec<(u64, u64)>, ()>;
+/// rows after merge)` pair per local round (`Err` marks a task that gave up).
+type RoundHistory = Result<Vec<(u64, u64)>, LocalAbort>;
+
+/// Why a decomposed local fixpoint gave up mid-stage. Local rounds run
+/// entirely inside one cluster stage, so both conditions are detected on the
+/// worker and reported back for the driver to turn into a typed error.
+#[derive(Clone, Copy)]
+enum LocalAbort {
+    /// Local rounds exceeded the iteration cap.
+    NonTermination,
+    /// The query's cancellation token fired (kill or deadline).
+    Cancelled,
+}
 
 /// How many times the fixpoint may restore from the *same* checkpoint before
 /// giving up. The budget refills whenever a newer checkpoint is captured
@@ -212,6 +223,15 @@ impl<'a> FixpointExecutor<'a> {
             config,
             cluster: eval.cluster,
         }
+    }
+
+    /// Cooperative cancellation/deadline check, called at every fixpoint
+    /// round boundary (and before launching long-running stages).
+    fn check_cancel(&self) -> Result<(), EngineError> {
+        if let Some(g) = self.eval.governor {
+            g.check()?;
+        }
+        Ok(())
     }
 
     /// Evaluate the clique to materialized view relations.
@@ -400,22 +420,34 @@ impl<'a> FixpointExecutor<'a> {
                                 // per-worker rebuild, or ship the prebuilt
                                 // (2-3x larger) hash table.
                                 let keys = build_keys.clone();
+                                let governor = self.eval.governor;
                                 let bc = if self.config.broadcast_compression {
                                     let compressed = Arc::new(CompressedRelation::compress(
                                         rel.schema(),
                                         rel.rows(),
                                     ));
                                     let payload = compressed.size_bytes();
-                                    Broadcast::distribute(self.cluster, payload, move |_w| {
-                                        let rows = compressed.decompress().expect("own payload");
-                                        HashTable::build(&rows, &keys)
-                                    })
+                                    Broadcast::distribute_traced(
+                                        self.cluster,
+                                        None,
+                                        payload,
+                                        move |_w| {
+                                            let rows =
+                                                compressed.decompress().expect("own payload");
+                                            HashTable::build(&rows, &keys)
+                                        },
+                                        governor,
+                                    )
                                 } else {
                                     let master = Arc::new(HashTable::build(rel.rows(), &keys));
                                     let payload = master.size_bytes();
-                                    Broadcast::distribute(self.cluster, payload, move |_w| {
-                                        master.as_ref().clone()
-                                    })
+                                    Broadcast::distribute_traced(
+                                        self.cluster,
+                                        None,
+                                        payload,
+                                        move |_w| master.as_ref().clone(),
+                                        governor,
+                                    )
                                 };
                                 BuildSide::Replicated(Arc::new(bc?))
                             }
@@ -479,8 +511,31 @@ impl<'a> FixpointExecutor<'a> {
                 },
             );
         }
+        // Resource governance: `gov_charge` is what the tracker holds for the
+        // inter-round resident set (pending contribution buckets plus the
+        // all-relation aggregate/set state); anything the governor paged out
+        // to disk at the previous round boundary is listed here and read back
+        // right before the next round consumes it.
+        let governor = self.eval.governor;
+        let mut gov_charge: u64 = 0;
+        let mut paged_contribs: Vec<(usize, usize, String)> = Vec::new();
+        let mut paged_state: Vec<(usize, usize, String)> = Vec::new();
 
         'rounds: loop {
+            self.check_cancel()?;
+            if let Some(g) = governor {
+                // Page spilled buckets/state back in (the merge stage and the
+                // checkpoint capture below both need them resident), then drop
+                // the inter-round charge: the stages take ownership now.
+                page_in(
+                    g,
+                    views,
+                    &mut contributions,
+                    &mut paged_contribs,
+                    &mut paged_state,
+                )?;
+                g.tracker().release(std::mem::take(&mut gov_charge));
+            }
             // Capture at the round boundary: round 0 (the base delta) and
             // every `ckpt_every` rounds after. A restore rewinds `round` to a
             // boundary we already captured; the `last_ckpt` guard keeps the
@@ -727,7 +782,107 @@ impl<'a> FixpointExecutor<'a> {
                     elapsed_us: round_t0.elapsed().as_micros() as u64,
                 });
             }
+            if let Some(g) = governor {
+                gov_charge = self.govern_round_footprint(
+                    g,
+                    views,
+                    &mut contributions,
+                    &mut paged_contribs,
+                    &mut paged_state,
+                    round,
+                    sink,
+                )?;
+            }
         }
+    }
+
+    /// End-of-round memory governance for the semi-naive loop: charge the
+    /// inter-round resident set (pending contribution buckets plus the
+    /// all-relation aggregate/set state) to the query's tracker, and while the
+    /// tracker is over budget page it out to the governor's spill directory —
+    /// buckets first (order-preserving row codec, so the next merge replays
+    /// contributions byte-for-byte), then per-partition state (canonical
+    /// checkpoint codec). Returns the bytes that stayed resident and charged.
+    #[allow(clippy::too_many_arguments)]
+    fn govern_round_footprint(
+        &self,
+        g: &QueryGovernor,
+        views: &[ViewRt],
+        contributions: &mut Buckets,
+        paged_contribs: &mut Vec<(usize, usize, String)>,
+        paged_state: &mut Vec<(usize, usize, String)>,
+        round: u32,
+        sink: Option<&TraceSink>,
+    ) -> Result<u64, EngineError> {
+        let mut charge = buckets_bytes(contributions) + state_size_bytes(views);
+        g.tracker().charge(charge);
+        if !g.tracker().over_budget() {
+            return Ok(charge);
+        }
+        let dir = g.spill_dir()?;
+        let mut written = 0u64;
+        let mut files = 0u64;
+        'page: {
+            for (vi, per_view) in contributions.iter_mut().enumerate() {
+                for (part, rows) in per_view.iter_mut().enumerate() {
+                    if rows.is_empty() {
+                        continue;
+                    }
+                    let freed: u64 = rows.iter().map(|r| r.size_bytes() as u64 + 16).sum();
+                    let name = format!("contrib-r{round}-v{vi}-p{part}");
+                    written += dir.append_rows(&name, rows).map_err(EngineError::Exec)?;
+                    files += 1;
+                    rows.clear();
+                    paged_contribs.push((vi, part, name));
+                    g.tracker().release(freed);
+                    charge = charge.saturating_sub(freed);
+                    if !g.tracker().over_budget() {
+                        break 'page;
+                    }
+                }
+            }
+            for (vi, v) in views.iter().enumerate() {
+                for (part, cell) in v.state.iter().enumerate() {
+                    let mut st = cell.lock();
+                    let (blob, freed) = match &*st {
+                        ViewState::Set(s) => (encode_set_state(s), s.size_bytes()),
+                        ViewState::Agg(a) => (encode_agg_state(a), a.size_bytes()),
+                    };
+                    if freed == 0 {
+                        continue;
+                    }
+                    let name = format!("state-r{round}-v{vi}-p{part}");
+                    written += dir
+                        .write_blob(&name, blob.as_ref())
+                        .map_err(EngineError::Exec)?;
+                    files += 1;
+                    *st = if v.is_set() {
+                        ViewState::Set(SetState::new())
+                    } else {
+                        ViewState::Agg(AggState::new())
+                    };
+                    drop(st);
+                    paged_state.push((vi, part, name));
+                    g.tracker().release(freed);
+                    charge = charge.saturating_sub(freed);
+                    if !g.tracker().over_budget() {
+                        break 'page;
+                    }
+                }
+            }
+        }
+        g.note_spill(written, files);
+        Metrics::add(&self.cluster.metrics.spilled_bytes, written);
+        Metrics::add(&self.cluster.metrics.spill_files, files);
+        if let Some(s) = sink {
+            s.record_recovery(RecoveryEvent {
+                kind: RecoveryKind::Spill,
+                stage: clique_label(views),
+                round,
+                detail: format!("paged out {written} B in {files} files (footprint over budget)"),
+            });
+        }
+        Ok(charge)
     }
 
     // ----------------------------------------------------------------
@@ -912,6 +1067,7 @@ impl<'a> FixpointExecutor<'a> {
         // Previous full state as plain (schema-shaped) rows per view/partition.
         let mut prev: Vec<Vec<Vec<Row>>> = (0..nv).map(|_| vec![Vec::new(); p]).collect();
         loop {
+            self.check_cancel()?;
             round += 1;
             if round > self.config.max_iterations {
                 return Err(EngineError::NonTermination {
@@ -968,9 +1124,14 @@ impl<'a> FixpointExecutor<'a> {
                     }
                 }
             }
-            prev = Arc::try_unwrap(prev_arc)
-                .map_err(|_| ())
-                .expect("stage done");
+            prev = Arc::try_unwrap(prev_arc).map_err(|_| {
+                EngineError::Exec(ExecError::TaskPanicked {
+                    stage: "fixpoint naive map".into(),
+                    task: 0,
+                    worker: 0,
+                    message: "previous-state snapshot still shared after the stage".into(),
+                })
+            })?;
 
             // Recompute state from scratch; compare with the previous round.
             let mut changed = false;
@@ -1060,6 +1221,9 @@ impl<'a> FixpointExecutor<'a> {
         let views_c = Arc::clone(views);
         let branches_c = Arc::clone(branches);
         let fused = self.eval.fused;
+        // The whole local fixpoint runs inside one stage, so the cancellation
+        // token travels into the task and is polled per local round.
+        let token = self.eval.governor.map(|g| g.token().clone());
         // Each task returns its local per-round history: (delta rows consumed,
         // state rows after the round's merge).
         let make_tasks = || -> Vec<StageTask<RoundHistory>> {
@@ -1068,6 +1232,7 @@ impl<'a> FixpointExecutor<'a> {
                     let base = Arc::clone(&base);
                     let views_c = Arc::clone(&views_c);
                     let branches_c = Arc::clone(&branches_c);
+                    let token = token.clone();
                     StageTask::new(part % self.cluster.workers(), move |w| {
                         let v = &views_c[0];
                         let mut state = v.state[part].lock();
@@ -1077,7 +1242,10 @@ impl<'a> FixpointExecutor<'a> {
                         while !delta.is_empty() {
                             iters += 1;
                             if iters > max_iter {
-                                return Err(());
+                                return Err(LocalAbort::NonTermination);
+                            }
+                            if token.as_ref().is_some_and(|t| t.check().is_err()) {
+                                return Err(LocalAbort::Cancelled);
                             }
                             let consumed = delta.rows.len() as u64;
                             let mut produced: Vec<Row> = Vec::new();
@@ -1111,6 +1279,7 @@ impl<'a> FixpointExecutor<'a> {
             0
         };
         let results = loop {
+            self.check_cancel()?;
             match self.cluster.run_stage_traced(
                 sink,
                 "fixpoint decomposed",
@@ -1146,11 +1315,20 @@ impl<'a> FixpointExecutor<'a> {
         for r in results {
             match r {
                 Ok(history) => histories.push(history),
-                Err(()) => {
+                Err(LocalAbort::NonTermination) => {
                     return Err(EngineError::NonTermination {
                         view: views[0].spec.name.clone(),
                         iterations: max_iter,
                     })
+                }
+                Err(LocalAbort::Cancelled) => {
+                    // `check_cancel` re-derives the precise typed error
+                    // (cancelled vs. deadline); the fallback covers a token
+                    // that was somehow un-fired by the time we got here.
+                    self.check_cancel()?;
+                    return Err(EngineError::Exec(ExecError::Cancelled {
+                        query_id: self.eval.governor.map_or(0, QueryGovernor::query_id),
+                    }));
                 }
             }
         }
@@ -1269,7 +1447,11 @@ impl<'a> FixpointExecutor<'a> {
         Op: MergeOp<T>,
     {
         let p = self.config.partitions;
-        let agg_col = kp.agg_col.expect("aggregate kernels carry a column");
+        let Some(agg_col) = kp.agg_col else {
+            // A planner bug, not a data mismatch — but falling back to the
+            // interpreter is strictly safer than panicking mid-query.
+            return Ok(None);
+        };
         let edge_op: EdgeOp<T> = match &kp.edge_fn {
             KernelEdgeFn::Identity => EdgeOp::Identity,
             KernelEdgeFn::AddWeight => EdgeOp::AddWeight,
@@ -1289,7 +1471,9 @@ impl<'a> FixpointExecutor<'a> {
             let Some(val) = T::from_value(row.get(agg_col)) else {
                 return Ok(None);
             };
-            let d = csr.dense_id(*k).expect("base vertices are seeded");
+            let Some(d) = csr.dense_id(*k) else {
+                return Ok(None);
+            };
             base[csr.part_of[d as usize] as usize].push((d, val));
         }
 
@@ -1299,8 +1483,14 @@ impl<'a> FixpointExecutor<'a> {
         let bc = {
             let src = Arc::clone(&csr);
             Arc::new(
-                Broadcast::distribute(self.cluster, payload, move |_w| src.as_ref().clone())
-                    .map_err(EngineError::Exec)?,
+                Broadcast::distribute_traced(
+                    self.cluster,
+                    None,
+                    payload,
+                    move |_w| src.as_ref().clone(),
+                    self.eval.governor,
+                )
+                .map_err(EngineError::Exec)?,
             )
         };
         let slabs: Arc<Vec<Mutex<DenseAggState<T>>>> =
@@ -1321,7 +1511,9 @@ impl<'a> FixpointExecutor<'a> {
         } else {
             0
         };
+        let mut gov_charge: u64 = 0;
         let iterations = loop {
+            self.check_cancel()?;
             round += 1;
             if round > self.config.max_iterations {
                 return Err(EngineError::NonTermination {
@@ -1401,6 +1593,17 @@ impl<'a> FixpointExecutor<'a> {
 
             let delta_rows: u64 = results.iter().map(|(n, _)| *n).sum();
             let total_rows: u64 = slabs.iter().map(|s| s.lock().len() as u64).sum();
+            if let Some(g) = self.eval.governor {
+                // Dense slabs are the kernel's resident state: keep the
+                // tracker's charge equal to their current footprint.
+                let now: u64 = slabs.iter().map(|s| s.lock().size_bytes()).sum();
+                if now >= gov_charge {
+                    g.tracker().charge(now - gov_charge);
+                } else {
+                    g.tracker().release(gov_charge - now);
+                }
+                gov_charge = now;
+            }
             if delta_rows == 0 {
                 // Closing round: every partition merged an empty delta.
                 if let Some(s) = sink {
@@ -1444,6 +1647,9 @@ impl<'a> FixpointExecutor<'a> {
             }
             contributions = next;
         };
+        if let Some(g) = self.eval.governor {
+            g.tracker().release(gov_charge);
+        }
         if let Some(s) = sink {
             s.end_clique(iterations);
         }
@@ -1481,7 +1687,9 @@ impl<'a> FixpointExecutor<'a> {
             let Value::Int(k) = row.get(kp.key_col) else {
                 return Ok(None);
             };
-            let d = csr.dense_id(*k).expect("base vertices are seeded");
+            let Some(d) = csr.dense_id(*k) else {
+                return Ok(None);
+            };
             base[csr.part_of[d as usize] as usize].push(d);
         }
 
@@ -1491,8 +1699,14 @@ impl<'a> FixpointExecutor<'a> {
         let bc = {
             let src = Arc::clone(&csr);
             Arc::new(
-                Broadcast::distribute(self.cluster, payload, move |_w| src.as_ref().clone())
-                    .map_err(EngineError::Exec)?,
+                Broadcast::distribute_traced(
+                    self.cluster,
+                    None,
+                    payload,
+                    move |_w| src.as_ref().clone(),
+                    self.eval.governor,
+                )
+                .map_err(EngineError::Exec)?,
             )
         };
         let slabs: Arc<Vec<Mutex<DenseSetState>>> =
@@ -1509,7 +1723,9 @@ impl<'a> FixpointExecutor<'a> {
         } else {
             0
         };
+        let mut gov_charge: u64 = 0;
         let iterations = loop {
+            self.check_cancel()?;
             round += 1;
             if round > self.config.max_iterations {
                 return Err(EngineError::NonTermination {
@@ -1571,6 +1787,17 @@ impl<'a> FixpointExecutor<'a> {
 
             let delta_rows: u64 = results.iter().map(|(n, _)| *n).sum();
             let total_rows: u64 = slabs.iter().map(|s| s.lock().len() as u64).sum();
+            if let Some(g) = self.eval.governor {
+                // Dense slabs are the kernel's resident state: keep the
+                // tracker's charge equal to their current footprint.
+                let now: u64 = slabs.iter().map(|s| s.lock().size_bytes()).sum();
+                if now >= gov_charge {
+                    g.tracker().charge(now - gov_charge);
+                } else {
+                    g.tracker().release(gov_charge - now);
+                }
+                gov_charge = now;
+            }
             if delta_rows == 0 {
                 if let Some(s) = sink {
                     s.record_iteration(IterationTrace {
@@ -1612,6 +1839,9 @@ impl<'a> FixpointExecutor<'a> {
             }
             contributions = next;
         };
+        if let Some(g) = self.eval.governor {
+            g.tracker().release(gov_charge);
+        }
         if let Some(s) = sink {
             s.end_clique(iterations);
         }
@@ -2017,6 +2247,61 @@ fn empty_buckets(nv: usize, p: usize) -> Buckets {
     (0..nv)
         .map(|_| (0..p).map(|_| Vec::new()).collect())
         .collect()
+}
+
+/// Estimated heap footprint of pending contribution buckets (per-row payload
+/// plus container overhead — the same estimate the shuffle exchange uses).
+fn buckets_bytes(buckets: &Buckets) -> u64 {
+    buckets
+        .iter()
+        .flatten()
+        .flatten()
+        .map(|r| r.size_bytes() as u64 + 16)
+        .sum()
+}
+
+/// Estimated heap footprint of every partition's fixpoint state.
+fn state_size_bytes(views: &[ViewRt]) -> u64 {
+    views
+        .iter()
+        .flat_map(|v| v.state.iter())
+        .map(|cell| match &*cell.lock() {
+            ViewState::Set(s) => s.size_bytes(),
+            ViewState::Agg(a) => a.size_bytes(),
+        })
+        .sum()
+}
+
+/// Read back everything [`FixpointExecutor::govern_round_footprint`] paged
+/// out at the previous round boundary: spilled contribution rows are appended
+/// back in their original order (the spill row codec preserves it), and
+/// paged-out state partitions are decoded from their checkpoint-codec blobs.
+fn page_in(
+    g: &QueryGovernor,
+    views: &[ViewRt],
+    contributions: &mut Buckets,
+    paged_contribs: &mut Vec<(usize, usize, String)>,
+    paged_state: &mut Vec<(usize, usize, String)>,
+) -> Result<(), EngineError> {
+    if paged_contribs.is_empty() && paged_state.is_empty() {
+        return Ok(());
+    }
+    let dir = g.spill_dir()?;
+    for (vi, part, name) in paged_contribs.drain(..) {
+        let mut rows = dir.take_rows(&name).map_err(EngineError::Exec)?;
+        rows.append(&mut contributions[vi][part]);
+        contributions[vi][part] = rows;
+    }
+    for (vi, part, name) in paged_state.drain(..) {
+        let blob = dir.take_blob(&name).map_err(EngineError::Exec)?;
+        let v = &views[vi];
+        *v.state[part].lock() = if v.is_set() {
+            ViewState::Set(decode_set_state(Bytes::from(blob))?)
+        } else {
+            ViewState::Agg(decode_agg_state(Bytes::from(blob))?)
+        };
+    }
+    Ok(())
 }
 
 /// Comma-joined view names — the `stage` label for clique-scoped recovery

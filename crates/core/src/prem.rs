@@ -155,6 +155,7 @@ impl<'a> PremChecker<'a> {
             partitions: ctx.config().partitions,
             fused: true,
             trace: None,
+            governor: None,
         };
 
         // Base rows (deduped — UNION semantics).

@@ -9,6 +9,7 @@
 
 use crate::cluster::Cluster;
 use crate::error::ExecError;
+use crate::governor::QueryGovernor;
 use crate::metrics::Metrics;
 use crate::trace::{StageKind, TraceSink};
 use parking_lot::Mutex;
@@ -33,26 +34,43 @@ impl<T: Send + Sync + 'static> Broadcast<T> {
         payload_bytes: usize,
         build: impl Fn(usize) -> T + Send + Sync + 'static,
     ) -> Result<Self, ExecError> {
-        Broadcast::distribute_traced(cluster, None, payload_bytes, build)
+        Broadcast::distribute_traced(cluster, None, payload_bytes, build, None)
     }
 
     /// [`Broadcast::distribute`] that records the per-worker build stage as a
     /// `broadcast build` span into `sink` (when given).
+    ///
+    /// When a `governor` is given, the replicated payload
+    /// (`payload_bytes × workers`) is charged to its memory tracker for the
+    /// broadcast's build; a payload that alone cannot fit in the budget is a
+    /// hard [`ExecError::MemoryExceeded`] — replicas are pinned on every
+    /// worker for the fixpoint's lifetime, so there is nothing to spill.
     pub fn distribute_traced(
         cluster: &Cluster,
         sink: Option<&TraceSink>,
         payload_bytes: usize,
         build: impl Fn(usize) -> T + Send + Sync + 'static,
+        governor: Option<&QueryGovernor>,
     ) -> Result<Self, ExecError> {
-        Metrics::add(
-            &cluster.metrics.broadcast_bytes,
-            (payload_bytes * cluster.workers()) as u64,
-        );
+        let replicated = (payload_bytes * cluster.workers()) as u64;
+        if let Some(g) = governor {
+            g.check()?;
+            let budget = g.tracker().budget();
+            if budget > 0 && replicated > budget {
+                return Err(ExecError::MemoryExceeded {
+                    query_id: g.query_id(),
+                    requested: replicated,
+                    budget,
+                });
+            }
+            g.tracker().charge(replicated);
+        }
+        Metrics::add(&cluster.metrics.broadcast_bytes, replicated);
         let built: Arc<Mutex<Vec<Option<Arc<T>>>>> =
             Arc::new(Mutex::new((0..cluster.workers()).map(|_| None).collect()));
         let built2 = Arc::clone(&built);
         let build = Arc::new(build);
-        cluster.run_on_all_workers_traced(
+        let stage = cluster.run_on_all_workers_traced(
             sink,
             "broadcast build",
             StageKind::Broadcast,
@@ -60,14 +78,30 @@ impl<T: Send + Sync + 'static> Broadcast<T> {
                 let v = Arc::new(build(w));
                 built2.lock()[w] = Some(v);
             },
-        )?;
-        let copies = Arc::try_unwrap(built)
-            .ok()
-            .expect("stage complete")
-            .into_inner()
-            .into_iter()
-            .map(Option::unwrap)
-            .collect();
+        );
+        if let Some(g) = governor {
+            // The build stage is done (or failed): the transient charge ends
+            // here; the live replicas are the consumer's to account.
+            g.tracker().release(replicated);
+        }
+        stage?;
+        let slots = Arc::try_unwrap(built)
+            .map_err(|_| ExecError::TaskPanicked {
+                stage: "broadcast build".into(),
+                task: 0,
+                worker: 0,
+                message: "broadcast slots still shared after the build stage".into(),
+            })?
+            .into_inner();
+        let mut copies = Vec::with_capacity(slots.len());
+        for (w, slot) in slots.into_iter().enumerate() {
+            copies.push(slot.ok_or_else(|| ExecError::TaskPanicked {
+                stage: "broadcast build".into(),
+                task: w,
+                worker: w,
+                message: "worker produced no broadcast copy".into(),
+            })?);
+        }
         Ok(Broadcast { copies })
     }
 

@@ -180,6 +180,10 @@ impl CheckpointStore {
     }
 
     /// An on-disk store rooted at `dir` (created if absent).
+    ///
+    /// The store owns the directory: dropping the store removes `dir` and
+    /// every checkpoint file in it, on any exit path — checkpoints are
+    /// intra-query recovery state, worthless once the query ends.
     pub fn disk(dir: impl Into<PathBuf>) -> Result<Self, StorageError> {
         let dir = dir.into();
         std::fs::create_dir_all(&dir)?;
@@ -221,6 +225,15 @@ impl CheckpointStore {
                 }
                 Ok(Some(Bytes::from(std::fs::read(path)?)))
             }
+        }
+    }
+}
+
+impl Drop for CheckpointStore {
+    fn drop(&mut self) {
+        if let StoreBackend::Disk(dir) = &self.backend {
+            // Best-effort: cleanup must not panic during unwind.
+            let _ = std::fs::remove_dir_all(dir);
         }
     }
 }
@@ -337,6 +350,8 @@ mod tests {
             .unwrap();
         assert_eq!(store.get("r2/v1/p3").unwrap().unwrap().as_ref(), b"payload");
         assert!(store.get("r2/v1/p4").unwrap().is_none());
-        std::fs::remove_dir_all(&dir).unwrap();
+        assert!(dir.exists());
+        drop(store);
+        assert!(!dir.exists(), "Drop must remove the checkpoint dir");
     }
 }

@@ -288,7 +288,16 @@ impl Cluster {
         let mut pending = n;
         let mut fatal: Option<ExecError> = None;
         while pending > 0 {
-            let (i, outcome) = done_rx.recv().expect("driver holds a sender");
+            let Ok((i, outcome)) = done_rx.recv() else {
+                // Every worker hung up mid-stage: the pool is gone. Surface
+                // a typed error instead of panicking the driver thread.
+                return Err(ExecError::TaskPanicked {
+                    stage: label.to_string(),
+                    task: 0,
+                    worker: 0,
+                    message: "worker pool disconnected mid-stage".into(),
+                });
+            };
             match outcome {
                 TaskOutcome::Done(r) => {
                     t_first.get_or_insert_with(Instant::now);
@@ -385,7 +394,18 @@ impl Cluster {
                 total_us: (t_end - t_start).as_micros() as u64,
             });
         }
-        Ok(results.into_iter().map(Option::unwrap).collect())
+        let mut out = Vec::with_capacity(n);
+        for (i, slot) in results.into_iter().enumerate() {
+            // A missing result with no fatal error means the accounting above
+            // is broken; keep the invariant typed rather than panicking.
+            out.push(slot.ok_or_else(|| ExecError::TaskPanicked {
+                stage: label.to_string(),
+                task: i,
+                worker: 0,
+                message: "task completed without producing a result".into(),
+            })?);
+        }
+        Ok(out)
     }
 
     /// Enqueue one attempt of a task on `worker`. The fault fate is decided

@@ -8,8 +8,9 @@
 
 use crate::cluster::{Cluster, StageTask};
 use crate::error::ExecError;
+use crate::governor::QueryGovernor;
 use crate::metrics::Metrics;
-use crate::trace::{StageKind, StageSpan, TraceSink};
+use crate::trace::{RecoveryEvent, RecoveryKind, StageKind, StageSpan, TraceSink};
 use rasql_storage::{partition::row_partition, Partitioning, Relation, Row, Schema};
 use std::sync::Arc;
 use std::time::Instant;
@@ -200,7 +201,7 @@ impl Dataset {
         key: &[usize],
         n: usize,
     ) -> Result<Dataset, ExecError> {
-        self.shuffle_combined_traced(cluster, sink, label, key, n, None)
+        self.shuffle_combined_traced(cluster, sink, label, key, n, None, None)
     }
 
     /// [`Dataset::shuffle_traced`] with an optional **map-side combiner**
@@ -209,6 +210,14 @@ impl Dataset {
     /// the shuffled volume. The combiner must be semantics-preserving for the
     /// downstream consumer (e.g. pre-merging monotone-aggregate rows that
     /// share a group key); rows eliminated are charged to `combined_rows`.
+    ///
+    /// When a `governor` with a memory budget is given, the driver-side
+    /// gather charges its working set to the tracker and **spills** gathered
+    /// partitions to disk whenever the query goes over budget, merging them
+    /// back (in exact arrival order, so results stay bit-identical) before
+    /// the dataset is returned. The governor's cancellation token is checked
+    /// at the stage boundary.
+    #[allow(clippy::too_many_lines, clippy::too_many_arguments)]
     pub fn shuffle_combined_traced(
         &self,
         cluster: &Cluster,
@@ -217,7 +226,11 @@ impl Dataset {
         key: &[usize],
         n: usize,
         combiner: Option<&RowCombiner>,
+        governor: Option<&QueryGovernor>,
     ) -> Result<Dataset, ExecError> {
+        if let Some(g) = governor {
+            g.check()?;
+        }
         let key_owned: Vec<usize> = key.to_vec();
         let src_parts = self.num_partitions();
         // Map side: bucket each source partition's rows by target partition.
@@ -261,20 +274,72 @@ impl Dataset {
             )?
         };
         // Exchange: gather bucket (src → dst) into dst partitions; count the
-        // worker-crossing volume.
+        // worker-crossing volume. Under a memory budget the per-dst gather
+        // buffers are the unbounded structure: each dst accumulates rows
+        // from every source partition, so once the tracker goes over budget
+        // the current dst's buffer pages out to a spill file (preserving
+        // arrival order) and its charge is released.
         let t_read = Instant::now();
         let cap = self.len() / n.max(1) + 1;
         let mut parts: Vec<Vec<Row>> = (0..n).map(|_| Vec::with_capacity(cap)).collect();
+        let mut charged: Vec<u64> = vec![0; n];
+        let mut spilled: Vec<bool> = vec![false; n];
         let mut moved_rows = 0u64;
         let mut moved_bytes = 0u64;
+        let mut total_charged = 0u64;
+        let spill_name = |dst: usize| format!("shuffle-{label}-d{dst}");
         for (src, mut src_buckets) in buckets.into_iter().enumerate() {
             for (dst, bucket) in src_buckets.drain(..).enumerate() {
+                let bucket_bytes = bucket.iter().map(Row::size_bytes).sum::<usize>() as u64;
                 if cluster.owner_of(src) != cluster.owner_of(dst) {
                     moved_rows += bucket.len() as u64;
-                    moved_bytes += bucket.iter().map(Row::size_bytes).sum::<usize>() as u64;
+                    moved_bytes += bucket_bytes;
                 }
                 parts[dst].extend(bucket);
+                if let Some(g) = governor {
+                    g.tracker().charge(bucket_bytes);
+                    charged[dst] += bucket_bytes;
+                    total_charged += bucket_bytes;
+                    if g.tracker().over_budget() && !parts[dst].is_empty() {
+                        let dir = g.spill_dir()?;
+                        let first_write = !spilled[dst];
+                        let written = dir.append_rows(&spill_name(dst), &parts[dst])?;
+                        parts[dst].clear();
+                        g.tracker().release(charged[dst]);
+                        total_charged -= charged[dst];
+                        charged[dst] = 0;
+                        spilled[dst] = true;
+                        g.note_spill(written, u64::from(first_write));
+                        Metrics::add(&cluster.metrics.spilled_bytes, written);
+                        Metrics::add(&cluster.metrics.spill_files, u64::from(first_write));
+                        if let Some(s) = sink {
+                            s.record_recovery(RecoveryEvent {
+                                kind: RecoveryKind::Spill,
+                                stage: format!("{label} read"),
+                                round: 0,
+                                detail: format!("partition {dst} spilled {written} B"),
+                            });
+                        }
+                    }
+                }
             }
+        }
+        // Merge spilled prefixes back: the spill file holds each dst's
+        // earliest rows (in arrival order); rows still in memory arrived
+        // after the last spill, so spilled ++ in-memory reproduces the
+        // unbounded gather exactly.
+        if let Some(g) = governor {
+            for (dst, part) in parts.iter_mut().enumerate() {
+                if spilled[dst] {
+                    let dir = g.spill_dir()?;
+                    let mut rows = dir.take_rows(&spill_name(dst))?;
+                    rows.append(part);
+                    *part = rows;
+                }
+            }
+            // The gather's transient charges end with the function; the
+            // returned dataset's footprint is the consumer's to account.
+            g.tracker().release(total_charged);
         }
         Metrics::add(&cluster.metrics.shuffle_rows, moved_rows);
         Metrics::add(&cluster.metrics.shuffle_bytes, moved_bytes);
@@ -332,6 +397,7 @@ impl Dataset {
     /// [`Dataset::shuffle_if_needed_traced`] with a map-side combiner for the
     /// shuffle (no-op when the partitioning is already satisfied — there is
     /// no exchange to shrink).
+    #[allow(clippy::too_many_arguments)]
     pub fn shuffle_if_needed_combined_traced(
         &self,
         cluster: &Cluster,
@@ -340,11 +406,12 @@ impl Dataset {
         key: &[usize],
         n: usize,
         combiner: Option<&RowCombiner>,
+        governor: Option<&QueryGovernor>,
     ) -> Result<Dataset, ExecError> {
         if self.partitioning.satisfies_hash(key, n) {
             Ok(self.clone())
         } else {
-            self.shuffle_combined_traced(cluster, sink, label, key, n, combiner)
+            self.shuffle_combined_traced(cluster, sink, label, key, n, combiner, governor)
         }
     }
 }

@@ -35,6 +35,40 @@ pub enum ExecError {
         /// Name of the last injected fault (`kill` / `lost_output`).
         fault: String,
     },
+    /// The query was cancelled through its governor handle (`\kill`).
+    Cancelled {
+        /// Query id assigned by the admission controller.
+        query_id: u64,
+    },
+    /// The query ran past its configured deadline.
+    DeadlineExceeded {
+        /// Query id assigned by the admission controller.
+        query_id: u64,
+        /// The configured timeout, in milliseconds.
+        timeout_ms: u64,
+    },
+    /// A single allocation could not fit in the memory budget even after
+    /// spilling everything spillable.
+    MemoryExceeded {
+        /// Query id assigned by the admission controller.
+        query_id: u64,
+        /// Bytes the failed charge asked for.
+        requested: u64,
+        /// The configured budget, in bytes.
+        budget: u64,
+    },
+    /// A spill file could not be written or read back.
+    SpillIo {
+        /// What the spill layer was doing when the I/O failed.
+        detail: String,
+    },
+    /// The admission queue was full and the query was rejected.
+    AdmissionRejected {
+        /// Queries currently running.
+        running: usize,
+        /// Queries already waiting in the admission queue.
+        waiting: usize,
+    },
 }
 
 impl fmt::Display for ExecError {
@@ -58,6 +92,27 @@ impl fmt::Display for ExecError {
                 f,
                 "task {task} of stage '{stage}' failed {attempts} attempts \
                  (last injected fault: {fault}); retry budget exhausted"
+            ),
+            ExecError::Cancelled { query_id } => {
+                write!(f, "query {query_id} cancelled")
+            }
+            ExecError::DeadlineExceeded {
+                query_id,
+                timeout_ms,
+            } => write!(f, "query {query_id} exceeded its {timeout_ms} ms deadline"),
+            ExecError::MemoryExceeded {
+                query_id,
+                requested,
+                budget,
+            } => write!(
+                f,
+                "query {query_id} exceeded its memory budget: \
+                 a {requested} B allocation cannot fit in {budget} B even after spilling"
+            ),
+            ExecError::SpillIo { detail } => write!(f, "spill I/O failed: {detail}"),
+            ExecError::AdmissionRejected { running, waiting } => write!(
+                f,
+                "admission queue full ({running} running, {waiting} waiting); query rejected"
             ),
         }
     }

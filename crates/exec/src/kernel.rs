@@ -279,6 +279,14 @@ impl<T: KernelValue> DenseAggState<T> {
         self.dirty.clear();
         self.rows = 0;
     }
+
+    /// Slab footprint in bytes, for memory-budget accounting. Dense slabs
+    /// are allocated up front to the vertex universe, so this is a constant
+    /// charge per partition for the fixpoint's lifetime.
+    pub fn size_bytes(&self) -> u64 {
+        (self.vals.len() * (2 * std::mem::size_of::<T>() + 1 + 4) + self.dirty.capacity() * 4)
+            as u64
+    }
 }
 
 /// Dense vertex membership state — the flat sibling of [`crate::SetState`]
@@ -345,6 +353,11 @@ impl DenseSetState {
         self.present.iter_mut().for_each(|p| *p = false);
         self.dirty.clear();
         self.rows = 0;
+    }
+
+    /// Slab footprint in bytes, for memory-budget accounting.
+    pub fn size_bytes(&self) -> u64 {
+        (self.present.len() + self.dirty.capacity() * 4) as u64
     }
 }
 

@@ -25,7 +25,13 @@
 //!   ([`FaultSpec`]), task retry with backoff and worker blacklisting, typed
 //!   stage errors ([`ExecError`]), and round-boundary checkpoint stores
 //!   ([`CheckpointStore`]) for the fixpoint's mutable state (which forfeits
-//!   Spark's lineage recovery — see DESIGN.md "Fault tolerance").
+//!   Spark's lineage recovery — see DESIGN.md "Fault tolerance");
+//! - a **resource-governance layer**: per-query memory budgets with
+//!   spill-to-disk ([`MemoryTracker`], [`crate::spill`]), deadlines and
+//!   cooperative cancellation ([`CancellationToken`]), and concurrent-query
+//!   admission control ([`AdmissionController`]) — the Spark facilities the
+//!   paper's engine inherited for free (see DESIGN.md "Resource
+//!   governance").
 
 pub mod broadcast;
 pub mod checkpoint;
@@ -33,10 +39,12 @@ pub mod cluster;
 pub mod dataset;
 pub mod error;
 pub mod fault;
+pub mod governor;
 pub mod join;
 pub mod kernel;
 pub mod metrics;
 pub mod pipeline;
+pub mod spill;
 pub mod state;
 pub mod trace;
 
@@ -49,6 +57,9 @@ pub use cluster::{Cluster, ClusterConfig, StageTask};
 pub use dataset::{Dataset, RowCombiner};
 pub use error::ExecError;
 pub use fault::{FaultInjector, FaultSpec, TaskFault};
+pub use governor::{
+    AdmissionController, AdmissionPermit, CancellationToken, MemoryTracker, QueryGovernor,
+};
 pub use join::{merge_join, HashTable};
 pub use kernel::{
     scan_delta, scan_delta_set, DenseAggState, DenseSetState, KernelValue, MaxOp, MergeOp, MinOp,
@@ -56,6 +67,7 @@ pub use kernel::{
 };
 pub use metrics::{Metrics, MetricsSnapshot};
 pub use pipeline::{run_fused, run_unfused, Pipeline, PipelineStep};
+pub use spill::SpillDir;
 pub use state::{AggState, MergeOutcome, MonotoneOp, SetState};
 pub use trace::{
     CliqueTrace, IterationTrace, JsonValue, OperatorTrace, QueryTrace, RecoveryEvent, RecoveryKind,

@@ -40,6 +40,20 @@ pub struct Metrics {
     /// Rows eliminated by map-side combine before a shuffle exchange
     /// (input rows − combined output rows, paper §7.1 Map side).
     pub combined_rows: AtomicU64,
+    /// Bytes written to spill files by memory-governed queries.
+    pub spilled_bytes: AtomicU64,
+    /// Spill files written by memory-governed queries.
+    pub spill_files: AtomicU64,
+    /// High-water mark of governed memory across queries (a gauge: `reset`
+    /// zeroes it, per-query peaks come from the governor, see
+    /// `QueryGovernor`).
+    pub peak_memory: AtomicU64,
+    /// Queries that ended with `Cancelled` or `DeadlineExceeded`.
+    pub cancellations: AtomicU64,
+    /// Queries admitted by the admission controller.
+    pub admitted: AtomicU64,
+    /// Queries rejected because the admission wait queue was full.
+    pub rejected: AtomicU64,
 }
 
 impl Metrics {
@@ -72,6 +86,18 @@ impl Metrics {
         self.checkpoint_bytes.store(0, Ordering::Relaxed);
         self.restores.store(0, Ordering::Relaxed);
         self.combined_rows.store(0, Ordering::Relaxed);
+        self.spilled_bytes.store(0, Ordering::Relaxed);
+        self.spill_files.store(0, Ordering::Relaxed);
+        self.peak_memory.store(0, Ordering::Relaxed);
+        self.cancellations.store(0, Ordering::Relaxed);
+        self.admitted.store(0, Ordering::Relaxed);
+        self.rejected.store(0, Ordering::Relaxed);
+    }
+
+    /// Raise the peak-memory gauge to at least `v`.
+    #[inline]
+    pub fn raise_peak(&self, v: u64) {
+        self.peak_memory.fetch_max(v, Ordering::Relaxed);
     }
 
     /// Take a plain-value snapshot.
@@ -93,6 +119,12 @@ impl Metrics {
             checkpoint_bytes: self.checkpoint_bytes.load(Ordering::Relaxed),
             restores: self.restores.load(Ordering::Relaxed),
             combined_rows: self.combined_rows.load(Ordering::Relaxed),
+            spilled_bytes: self.spilled_bytes.load(Ordering::Relaxed),
+            spill_files: self.spill_files.load(Ordering::Relaxed),
+            peak_memory: self.peak_memory.load(Ordering::Relaxed),
+            cancellations: self.cancellations.load(Ordering::Relaxed),
+            admitted: self.admitted.load(Ordering::Relaxed),
+            rejected: self.rejected.load(Ordering::Relaxed),
         }
     }
 }
@@ -132,6 +164,18 @@ pub struct MetricsSnapshot {
     pub restores: u64,
     /// Rows eliminated by map-side combine before shuffle exchanges.
     pub combined_rows: u64,
+    /// Bytes written to spill files by memory-governed queries.
+    pub spilled_bytes: u64,
+    /// Spill files written by memory-governed queries.
+    pub spill_files: u64,
+    /// High-water mark of governed memory (gauge, not a counter).
+    pub peak_memory: u64,
+    /// Queries that ended with `Cancelled` or `DeadlineExceeded`.
+    pub cancellations: u64,
+    /// Queries admitted by the admission controller.
+    pub admitted: u64,
+    /// Queries rejected because the admission wait queue was full.
+    pub rejected: u64,
 }
 
 impl std::fmt::Display for MetricsSnapshot {
@@ -165,6 +209,26 @@ impl std::fmt::Display for MetricsSnapshot {
                 " checkpoints={}/{} B restores={}",
                 self.checkpoints, self.checkpoint_bytes, self.restores
             )?;
+        }
+        if self.spilled_bytes + self.spill_files > 0 {
+            write!(
+                f,
+                " spilled={} B/{} files",
+                self.spilled_bytes, self.spill_files
+            )?;
+        }
+        if self.peak_memory > 0 {
+            write!(f, " peak_mem={} B", self.peak_memory)?;
+        }
+        if self.cancellations + self.rejected > 0 {
+            write!(
+                f,
+                " cancelled={} rejected={}",
+                self.cancellations, self.rejected
+            )?;
+        }
+        if self.admitted > 0 {
+            write!(f, " admitted={}", self.admitted)?;
         }
         Ok(())
     }

@@ -131,6 +131,15 @@ impl SetState {
     pub fn iter_with_rounds(&self) -> impl Iterator<Item = (&Row, u32)> {
         self.rows.iter().map(|(row, &r)| (row, r))
     }
+
+    /// Estimated heap footprint, for memory-budget accounting: deep row
+    /// sizes plus per-entry map overhead.
+    pub fn size_bytes(&self) -> u64 {
+        self.rows
+            .keys()
+            .map(|r| r.size_bytes() as u64 + 16)
+            .sum::<u64>()
+    }
 }
 
 /// One aggregate group's stored state.
@@ -306,6 +315,21 @@ impl AggState {
     /// Reinstall a contributor tuple verbatim (checkpoint restore).
     pub fn insert_contributor(&mut self, tuple: Box<[Value]>) {
         self.contributors.insert(tuple);
+    }
+
+    /// Estimated heap footprint, for memory-budget accounting: deep sizes of
+    /// keys, totals, previous totals, and contributor tuples plus per-entry
+    /// overhead.
+    pub fn size_bytes(&self) -> u64 {
+        let value_bytes =
+            |vs: &[Value]| vs.iter().map(Value::size_bytes).sum::<usize>() as u64 + 16;
+        let groups: u64 = self
+            .groups
+            .iter()
+            .map(|(k, e)| value_bytes(k) + value_bytes(&e.values) + value_bytes(&e.prev) + 8)
+            .sum();
+        let contributors: u64 = self.contributors.iter().map(|t| value_bytes(t)).sum();
+        groups + contributors
     }
 }
 

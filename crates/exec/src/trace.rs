@@ -423,6 +423,8 @@ pub enum RecoveryKind {
     Checkpoint,
     /// Fixpoint state was restored from the last checkpoint and replayed.
     Restore,
+    /// Memory-governed state paged out to a spill file.
+    Spill,
 }
 
 impl RecoveryKind {
@@ -433,6 +435,7 @@ impl RecoveryKind {
             RecoveryKind::Blacklist => "blacklist",
             RecoveryKind::Checkpoint => "checkpoint",
             RecoveryKind::Restore => "restore",
+            RecoveryKind::Spill => "spill",
         }
     }
 
@@ -443,6 +446,7 @@ impl RecoveryKind {
             "blacklist" => RecoveryKind::Blacklist,
             "checkpoint" => RecoveryKind::Checkpoint,
             "restore" => RecoveryKind::Restore,
+            "spill" => RecoveryKind::Spill,
             _ => return None,
         })
     }
@@ -693,6 +697,12 @@ impl QueryTrace {
                     ("checkpoint_bytes".into(), num(m.checkpoint_bytes)),
                     ("restores".into(), num(m.restores)),
                     ("combined_rows".into(), num(m.combined_rows)),
+                    ("spilled_bytes".into(), num(m.spilled_bytes)),
+                    ("spill_files".into(), num(m.spill_files)),
+                    ("peak_memory".into(), num(m.peak_memory)),
+                    ("cancellations".into(), num(m.cancellations)),
+                    ("admitted".into(), num(m.admitted)),
+                    ("rejected".into(), num(m.rejected)),
                 ]),
             ),
             (
@@ -812,6 +822,12 @@ impl QueryTrace {
             checkpoint_bytes: get_u64_or(m, "checkpoint_bytes", 0),
             restores: get_u64_or(m, "restores", 0),
             combined_rows: get_u64_or(m, "combined_rows", 0),
+            spilled_bytes: get_u64_or(m, "spilled_bytes", 0),
+            spill_files: get_u64_or(m, "spill_files", 0),
+            peak_memory: get_u64_or(m, "peak_memory", 0),
+            cancellations: get_u64_or(m, "cancellations", 0),
+            admitted: get_u64_or(m, "admitted", 0),
+            rejected: get_u64_or(m, "rejected", 0),
         };
         let mut cliques = Vec::new();
         for c in root
@@ -940,6 +956,29 @@ impl QueryTrace {
         out
     }
 
+    /// Render the resource-governance section: spill volume, peak governed
+    /// memory, and admission/cancellation counts. Empty string when the
+    /// query ran ungoverned (no budget, no limits) and nothing spilled.
+    pub fn render_governance(&self) -> String {
+        let m = &self.metrics;
+        if m.spilled_bytes + m.spill_files + m.cancellations + m.rejected == 0 {
+            return String::new();
+        }
+        let mut out = String::new();
+        out.push_str(&format!(
+            "\nGovernance: spilled {} B in {} files, peak memory {} B",
+            m.spilled_bytes, m.spill_files, m.peak_memory
+        ));
+        if m.cancellations + m.rejected > 0 {
+            out.push_str(&format!(
+                ", {} cancellations, {} rejected",
+                m.cancellations, m.rejected
+            ));
+        }
+        out.push('\n');
+        out
+    }
+
     /// Render the fault-tolerance section: a recovery summary line plus one
     /// line per event. Empty string when the run was fault-free.
     pub fn render_recovery(&self) -> String {
@@ -1038,6 +1077,7 @@ impl QueryTrace {
             }
         }
         out.push_str(&self.render_recovery());
+        out.push_str(&self.render_governance());
         if !self.operators.is_empty() {
             out.push_str("\nOperators (final plan, inclusive):\n");
             for o in &self.operators {
@@ -1213,6 +1253,7 @@ mod tests {
             RecoveryKind::Blacklist,
             RecoveryKind::Checkpoint,
             RecoveryKind::Restore,
+            RecoveryKind::Spill,
         ] {
             assert_eq!(RecoveryKind::from_name(k.as_str()), Some(k));
         }
@@ -1245,6 +1286,12 @@ mod tests {
             .replace(",\"checkpoint_bytes\":0", "")
             .replace(",\"restores\":0", "")
             .replace(",\"combined_rows\":0", "")
+            .replace(",\"spilled_bytes\":0", "")
+            .replace(",\"spill_files\":0", "")
+            .replace(",\"peak_memory\":0", "")
+            .replace(",\"cancellations\":0", "")
+            .replace(",\"admitted\":0", "")
+            .replace(",\"rejected\":0", "")
             .replace(",\"kernel\":\"generic\"", "")
             .replace(",\"attempts\":6", "");
         let back = QueryTrace::from_json(&json).unwrap();

@@ -28,3 +28,9 @@ cargo run --release -p rasql-bench --bin reproduce -- faults --scale 0.1
 # >= 2x speedup floor on SSSP and CC.
 cargo test -q -p rasql-core --test kernel_proptests
 cargo run --release -p rasql-bench --bin reproduce -- bench-kernels --scale 0.1
+
+# Resource-governance gate: concurrent queries on one context under a tight
+# memory budget with fault injection, plus one forced kill — asserts correct
+# surviving results, actual spilling, a typed cancellation, and no leaked
+# spill directories or worker threads.
+cargo run --release -p rasql-bench --bin reproduce -- soak --scale 0.1
