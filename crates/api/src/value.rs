@@ -286,10 +286,10 @@ impl From<String> for Value {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::hasher::FxHasher;
+    use std::collections::hash_map::DefaultHasher;
 
     fn hash_of(v: &Value) -> u64 {
-        let mut h = FxHasher::default();
+        let mut h = DefaultHasher::default();
         v.hash(&mut h);
         h.finish()
     }

@@ -1,0 +1,851 @@
+//! The versioned framed client/server protocol.
+//!
+//! ## Framing
+//!
+//! Every message is one frame:
+//!
+//! ```text
+//! +----------+----------------+------------------+
+//! | "RQ" (2) | length u32 BE  | payload (length) |
+//! +----------+----------------+------------------+
+//! ```
+//!
+//! The two magic bytes reject garbage prefixes immediately (a stray HTTP
+//! request or random bytes fail on the first read, not after a multi-gigabyte
+//! "length"); the length is additionally capped at [`MAX_FRAME_LEN`]. A clean
+//! EOF *before* a frame starts is a normal disconnect
+//! ([`ErrorCode::ConnectionClosed`]); EOF *inside* a frame is a protocol
+//! error (truncated frame).
+//!
+//! ## Payload encoding
+//!
+//! Payloads are hand-rolled in the style of the engine's checkpoint varint
+//! codec: a one-byte message tag, then fields as LEB128 varints (zigzag for
+//! signed), length-prefixed UTF-8 strings, and tagged [`Value`]s. Decoding is
+//! strict: unknown tags, truncated fields, and trailing bytes are all
+//! [`ErrorCode::Protocol`] errors.
+//!
+//! ## Versioning
+//!
+//! The first exchange on a connection is `Hello{version}` in both
+//! directions. [`PROTOCOL_VERSION`] is bumped on any incompatible change;
+//! within a version, tags and field orders are frozen — new message kinds get
+//! new tags. A server answers a version it does not speak with an
+//! `Error(RA0902)` frame and closes.
+//!
+//! ## Conversation shape
+//!
+//! ```text
+//! client: Hello ----------------------------> server
+//! client: <---------------------------------- Hello
+//! client: Query{sql} -----------------------> server
+//! client: <- ResultHeader <- RowBatch* <- StatementDone   (per statement)
+//! client: <---------------------------------- QueryDone | Error
+//! ```
+//!
+//! `Prepare`/`Execute`, `Register`, `Kill`, `Metrics`, `Status`, `Shutdown`
+//! and `Goodbye` are single-request/single-response.
+
+use crate::error::{ApiError, ErrorCode};
+use crate::result::{QueryStats, ServerStatus};
+use crate::row::Row;
+use crate::schema::{DataType, Field, Schema};
+use crate::value::Value;
+use std::io::{Read, Write};
+
+/// The protocol version this crate speaks.
+pub const PROTOCOL_VERSION: u16 = 1;
+
+/// Frame magic: every frame starts with these two bytes.
+pub const FRAME_MAGIC: [u8; 2] = *b"RQ";
+
+/// Upper bound on a frame payload; larger lengths are rejected as garbage.
+pub const MAX_FRAME_LEN: usize = 64 << 20;
+
+/// A client-to-server message.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Request {
+    /// Open the conversation; the server refuses mismatched versions.
+    Hello {
+        /// The client's [`PROTOCOL_VERSION`].
+        version: u16,
+    },
+    /// Execute a `;`-separated SQL script in this session.
+    Query {
+        /// The SQL text.
+        sql: String,
+    },
+    /// Parse and analyze a script now, under a session-local name.
+    Prepare {
+        /// Session-local statement name.
+        name: String,
+        /// The SQL text.
+        sql: String,
+    },
+    /// Execute a previously prepared script.
+    Execute {
+        /// The name given at `Prepare` time.
+        name: String,
+    },
+    /// Register (or replace) a base table in the shared catalog.
+    Register {
+        /// Table name.
+        name: String,
+        /// Table schema.
+        schema: Schema,
+        /// Table rows.
+        rows: Vec<Row>,
+    },
+    /// Cooperatively cancel a running query by id (any session's).
+    Kill {
+        /// The id from [`QueryStats::query_id`] or `Status`.
+        query_id: u64,
+    },
+    /// Fetch cumulative engine metrics in Prometheus text format.
+    Metrics,
+    /// Fetch a point-in-time server status.
+    Status,
+    /// Ask the server to drain in-flight queries and exit.
+    Shutdown,
+    /// Close this session politely.
+    Goodbye,
+}
+
+/// A server-to-client message.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Response {
+    /// Version handshake reply.
+    Hello {
+        /// The server's [`PROTOCOL_VERSION`].
+        version: u16,
+        /// Server software identifier (e.g. `rasql-server/0.1`).
+        server: String,
+    },
+    /// A statement's result begins; its rows follow in `RowBatch` frames.
+    ResultHeader {
+        /// The result schema.
+        schema: Schema,
+    },
+    /// A batch of result rows (streamed; a statement may send many).
+    RowBatch {
+        /// The rows.
+        rows: Vec<Row>,
+    },
+    /// A statement's result is complete.
+    StatementDone {
+        /// The statement's execution statistics.
+        stats: QueryStats,
+    },
+    /// The whole `Query`/`Execute` script is complete.
+    QueryDone,
+    /// The request failed (for `Query`, aborts the remainder of the script).
+    Error {
+        /// The failure.
+        error: ApiError,
+    },
+    /// `Register` succeeded.
+    Registered {
+        /// Rows now in the table.
+        rows: u64,
+    },
+    /// `Prepare` succeeded.
+    Prepared {
+        /// Statements in the prepared script.
+        statements: u64,
+    },
+    /// `Kill` reply.
+    Killed {
+        /// Whether the id matched an active query.
+        found: bool,
+    },
+    /// `Metrics` reply: Prometheus text-format exposition.
+    MetricsText {
+        /// The rendered metrics.
+        text: String,
+    },
+    /// `Status` reply.
+    Status {
+        /// The server status.
+        status: ServerStatus,
+    },
+    /// The session (or, after `Shutdown`, the server) is closing.
+    Goodbye,
+}
+
+// --------------------------------------------------------------------
+// Primitive payload codec (LEB128 varints, zigzag, tagged values) — the
+// same idiom as the storage crate's checkpoint codec, duplicated here so
+// the wire crate stays dependency-free.
+// --------------------------------------------------------------------
+
+fn put_varint(buf: &mut Vec<u8>, mut v: u64) {
+    loop {
+        let byte = (v & 0x7f) as u8;
+        v >>= 7;
+        if v == 0 {
+            buf.push(byte);
+            return;
+        }
+        buf.push(byte | 0x80);
+    }
+}
+
+fn get_varint(input: &mut &[u8]) -> Result<u64, ApiError> {
+    let mut v: u64 = 0;
+    let mut shift = 0u32;
+    loop {
+        let (&byte, rest) = input
+            .split_first()
+            .ok_or_else(|| ApiError::protocol("truncated varint"))?;
+        *input = rest;
+        if shift >= 64 {
+            return Err(ApiError::protocol("varint overflow"));
+        }
+        v |= u64::from(byte & 0x7f) << shift;
+        if byte & 0x80 == 0 {
+            return Ok(v);
+        }
+        shift += 7;
+    }
+}
+
+fn zigzag(v: i64) -> u64 {
+    ((v << 1) ^ (v >> 63)) as u64
+}
+
+fn unzigzag(v: u64) -> i64 {
+    ((v >> 1) as i64) ^ -((v & 1) as i64)
+}
+
+fn put_u16(buf: &mut Vec<u8>, v: u16) {
+    put_varint(buf, u64::from(v));
+}
+
+fn get_u16(input: &mut &[u8]) -> Result<u16, ApiError> {
+    u16::try_from(get_varint(input)?).map_err(|_| ApiError::protocol("u16 out of range"))
+}
+
+fn put_bool(buf: &mut Vec<u8>, v: bool) {
+    buf.push(u8::from(v));
+}
+
+fn get_bool(input: &mut &[u8]) -> Result<bool, ApiError> {
+    match get_u8(input)? {
+        0 => Ok(false),
+        1 => Ok(true),
+        other => Err(ApiError::protocol(format!("bad bool byte {other}"))),
+    }
+}
+
+fn get_u8(input: &mut &[u8]) -> Result<u8, ApiError> {
+    let (&byte, rest) = input
+        .split_first()
+        .ok_or_else(|| ApiError::protocol("truncated byte"))?;
+    *input = rest;
+    Ok(byte)
+}
+
+fn put_str(buf: &mut Vec<u8>, s: &str) {
+    put_varint(buf, s.len() as u64);
+    buf.extend_from_slice(s.as_bytes());
+}
+
+fn get_str(input: &mut &[u8]) -> Result<String, ApiError> {
+    let len = usize::try_from(get_varint(input)?)
+        .map_err(|_| ApiError::protocol("string length out of range"))?;
+    if input.len() < len {
+        return Err(ApiError::protocol("truncated string"));
+    }
+    let (bytes, rest) = input.split_at(len);
+    *input = rest;
+    String::from_utf8(bytes.to_vec()).map_err(|_| ApiError::protocol("invalid UTF-8 string"))
+}
+
+fn put_value(buf: &mut Vec<u8>, v: &Value) {
+    match v {
+        Value::Null => buf.push(0),
+        Value::Bool(b) => {
+            buf.push(1);
+            put_bool(buf, *b);
+        }
+        Value::Int(i) => {
+            buf.push(2);
+            put_varint(buf, zigzag(*i));
+        }
+        Value::Double(d) => {
+            buf.push(3);
+            buf.extend_from_slice(&d.to_bits().to_le_bytes());
+        }
+        Value::Str(s) => {
+            buf.push(4);
+            put_str(buf, s);
+        }
+    }
+}
+
+fn get_value(input: &mut &[u8]) -> Result<Value, ApiError> {
+    match get_u8(input)? {
+        0 => Ok(Value::Null),
+        1 => Ok(Value::Bool(get_bool(input)?)),
+        2 => Ok(Value::Int(unzigzag(get_varint(input)?))),
+        3 => {
+            if input.len() < 8 {
+                return Err(ApiError::protocol("truncated double"));
+            }
+            let (bytes, rest) = input.split_at(8);
+            *input = rest;
+            let bits = u64::from_le_bytes(bytes.try_into().expect("8-byte split"));
+            Ok(Value::Double(f64::from_bits(bits)))
+        }
+        4 => Ok(Value::str(get_str(input)?)),
+        tag => Err(ApiError::protocol(format!("unknown value tag {tag}"))),
+    }
+}
+
+fn put_row(buf: &mut Vec<u8>, row: &Row) {
+    put_varint(buf, row.arity() as u64);
+    for v in row.values() {
+        put_value(buf, v);
+    }
+}
+
+fn get_row(input: &mut &[u8]) -> Result<Row, ApiError> {
+    let arity = usize::try_from(get_varint(input)?)
+        .map_err(|_| ApiError::protocol("row arity out of range"))?;
+    if arity > input.len() {
+        // Each value costs at least one byte; reject absurd arities before
+        // allocating.
+        return Err(ApiError::protocol("row arity exceeds payload"));
+    }
+    let mut values = Vec::with_capacity(arity);
+    for _ in 0..arity {
+        values.push(get_value(input)?);
+    }
+    Ok(Row::new(values))
+}
+
+fn put_rows(buf: &mut Vec<u8>, rows: &[Row]) {
+    put_varint(buf, rows.len() as u64);
+    for r in rows {
+        put_row(buf, r);
+    }
+}
+
+fn get_rows(input: &mut &[u8]) -> Result<Vec<Row>, ApiError> {
+    let n = usize::try_from(get_varint(input)?)
+        .map_err(|_| ApiError::protocol("row count out of range"))?;
+    if n > input.len() {
+        return Err(ApiError::protocol("row count exceeds payload"));
+    }
+    let mut rows = Vec::with_capacity(n);
+    for _ in 0..n {
+        rows.push(get_row(input)?);
+    }
+    Ok(rows)
+}
+
+fn type_tag(t: DataType) -> u8 {
+    match t {
+        DataType::Int => 0,
+        DataType::Double => 1,
+        DataType::Str => 2,
+        DataType::Bool => 3,
+        DataType::Any => 4,
+    }
+}
+
+fn type_from_tag(tag: u8) -> Result<DataType, ApiError> {
+    match tag {
+        0 => Ok(DataType::Int),
+        1 => Ok(DataType::Double),
+        2 => Ok(DataType::Str),
+        3 => Ok(DataType::Bool),
+        4 => Ok(DataType::Any),
+        other => Err(ApiError::protocol(format!("unknown type tag {other}"))),
+    }
+}
+
+fn put_schema(buf: &mut Vec<u8>, schema: &Schema) {
+    put_varint(buf, schema.arity() as u64);
+    for f in schema.fields() {
+        put_str(buf, &f.name);
+        buf.push(type_tag(f.data_type));
+    }
+}
+
+fn get_schema(input: &mut &[u8]) -> Result<Schema, ApiError> {
+    let n = usize::try_from(get_varint(input)?)
+        .map_err(|_| ApiError::protocol("schema arity out of range"))?;
+    if n > input.len() {
+        return Err(ApiError::protocol("schema arity exceeds payload"));
+    }
+    let mut fields = Vec::with_capacity(n);
+    for _ in 0..n {
+        let name = get_str(input)?;
+        let ty = type_from_tag(get_u8(input)?)?;
+        fields.push(Field::new(name, ty));
+    }
+    Ok(Schema::from_fields(fields))
+}
+
+fn put_stats(buf: &mut Vec<u8>, s: &QueryStats) {
+    for v in [
+        s.query_id,
+        s.elapsed_us,
+        s.iterations,
+        s.stages,
+        s.tasks,
+        s.shuffle_rows,
+        s.shuffle_bytes,
+        s.peak_memory,
+        s.spilled_bytes,
+        s.spill_files,
+    ] {
+        put_varint(buf, v);
+    }
+}
+
+fn get_stats(input: &mut &[u8]) -> Result<QueryStats, ApiError> {
+    Ok(QueryStats {
+        query_id: get_varint(input)?,
+        elapsed_us: get_varint(input)?,
+        iterations: get_varint(input)?,
+        stages: get_varint(input)?,
+        tasks: get_varint(input)?,
+        shuffle_rows: get_varint(input)?,
+        shuffle_bytes: get_varint(input)?,
+        peak_memory: get_varint(input)?,
+        spilled_bytes: get_varint(input)?,
+        spill_files: get_varint(input)?,
+    })
+}
+
+fn put_error(buf: &mut Vec<u8>, e: &ApiError) {
+    put_str(buf, e.code.code());
+    put_str(buf, &e.message);
+}
+
+fn get_error(input: &mut &[u8]) -> Result<ApiError, ApiError> {
+    let code = ErrorCode::from_code(&get_str(input)?);
+    let message = get_str(input)?;
+    Ok(ApiError { code, message })
+}
+
+fn put_status(buf: &mut Vec<u8>, s: &ServerStatus) {
+    put_varint(buf, s.active_queries.len() as u64);
+    for &q in &s.active_queries {
+        put_varint(buf, q);
+    }
+    put_varint(buf, s.running);
+    put_varint(buf, s.waiting);
+    put_varint(buf, s.sessions);
+    put_varint(buf, s.tables.len() as u64);
+    for t in &s.tables {
+        put_str(buf, t);
+    }
+}
+
+fn get_status(input: &mut &[u8]) -> Result<ServerStatus, ApiError> {
+    let n = usize::try_from(get_varint(input)?)
+        .map_err(|_| ApiError::protocol("query count out of range"))?;
+    if n > input.len() {
+        return Err(ApiError::protocol("query count exceeds payload"));
+    }
+    let mut active_queries = Vec::with_capacity(n);
+    for _ in 0..n {
+        active_queries.push(get_varint(input)?);
+    }
+    let running = get_varint(input)?;
+    let waiting = get_varint(input)?;
+    let sessions = get_varint(input)?;
+    let t = usize::try_from(get_varint(input)?)
+        .map_err(|_| ApiError::protocol("table count out of range"))?;
+    if t > input.len() {
+        return Err(ApiError::protocol("table count exceeds payload"));
+    }
+    let mut tables = Vec::with_capacity(t);
+    for _ in 0..t {
+        tables.push(get_str(input)?);
+    }
+    Ok(ServerStatus {
+        active_queries,
+        running,
+        waiting,
+        sessions,
+        tables,
+    })
+}
+
+/// Decoding must consume the payload exactly; leftovers mean a peer encoded
+/// something this version does not understand.
+fn expect_empty(input: &[u8]) -> Result<(), ApiError> {
+    if input.is_empty() {
+        Ok(())
+    } else {
+        Err(ApiError::protocol(format!(
+            "{} trailing byte(s) after message",
+            input.len()
+        )))
+    }
+}
+
+// --------------------------------------------------------------------
+// Message codecs
+// --------------------------------------------------------------------
+
+impl Request {
+    /// Encode into a frame payload.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut buf = Vec::new();
+        match self {
+            Request::Hello { version } => {
+                buf.push(1);
+                put_u16(&mut buf, *version);
+            }
+            Request::Query { sql } => {
+                buf.push(2);
+                put_str(&mut buf, sql);
+            }
+            Request::Prepare { name, sql } => {
+                buf.push(3);
+                put_str(&mut buf, name);
+                put_str(&mut buf, sql);
+            }
+            Request::Execute { name } => {
+                buf.push(4);
+                put_str(&mut buf, name);
+            }
+            Request::Register { name, schema, rows } => {
+                buf.push(5);
+                put_str(&mut buf, name);
+                put_schema(&mut buf, schema);
+                put_rows(&mut buf, rows);
+            }
+            Request::Kill { query_id } => {
+                buf.push(6);
+                put_varint(&mut buf, *query_id);
+            }
+            Request::Metrics => buf.push(7),
+            Request::Status => buf.push(8),
+            Request::Shutdown => buf.push(9),
+            Request::Goodbye => buf.push(10),
+        }
+        buf
+    }
+
+    /// Decode a frame payload.
+    ///
+    /// # Errors
+    /// [`ErrorCode::Protocol`] on unknown tags, truncation, or trailing bytes.
+    pub fn decode(payload: &[u8]) -> Result<Request, ApiError> {
+        let mut input = payload;
+        let tag = get_u8(&mut input)?;
+        let req = match tag {
+            1 => Request::Hello {
+                version: get_u16(&mut input)?,
+            },
+            2 => Request::Query {
+                sql: get_str(&mut input)?,
+            },
+            3 => Request::Prepare {
+                name: get_str(&mut input)?,
+                sql: get_str(&mut input)?,
+            },
+            4 => Request::Execute {
+                name: get_str(&mut input)?,
+            },
+            5 => Request::Register {
+                name: get_str(&mut input)?,
+                schema: get_schema(&mut input)?,
+                rows: get_rows(&mut input)?,
+            },
+            6 => Request::Kill {
+                query_id: get_varint(&mut input)?,
+            },
+            7 => Request::Metrics,
+            8 => Request::Status,
+            9 => Request::Shutdown,
+            10 => Request::Goodbye,
+            other => return Err(ApiError::protocol(format!("unknown request tag {other}"))),
+        };
+        expect_empty(input)?;
+        Ok(req)
+    }
+}
+
+impl Response {
+    /// Encode into a frame payload.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut buf = Vec::new();
+        match self {
+            Response::Hello { version, server } => {
+                buf.push(1);
+                put_u16(&mut buf, *version);
+                put_str(&mut buf, server);
+            }
+            Response::ResultHeader { schema } => {
+                buf.push(2);
+                put_schema(&mut buf, schema);
+            }
+            Response::RowBatch { rows } => {
+                buf.push(3);
+                put_rows(&mut buf, rows);
+            }
+            Response::StatementDone { stats } => {
+                buf.push(4);
+                put_stats(&mut buf, stats);
+            }
+            Response::QueryDone => buf.push(5),
+            Response::Error { error } => {
+                buf.push(6);
+                put_error(&mut buf, error);
+            }
+            Response::Registered { rows } => {
+                buf.push(7);
+                put_varint(&mut buf, *rows);
+            }
+            Response::Prepared { statements } => {
+                buf.push(8);
+                put_varint(&mut buf, *statements);
+            }
+            Response::Killed { found } => {
+                buf.push(9);
+                put_bool(&mut buf, *found);
+            }
+            Response::MetricsText { text } => {
+                buf.push(10);
+                put_str(&mut buf, text);
+            }
+            Response::Status { status } => {
+                buf.push(11);
+                put_status(&mut buf, status);
+            }
+            Response::Goodbye => buf.push(12),
+        }
+        buf
+    }
+
+    /// Decode a frame payload.
+    ///
+    /// # Errors
+    /// [`ErrorCode::Protocol`] on unknown tags, truncation, or trailing bytes.
+    pub fn decode(payload: &[u8]) -> Result<Response, ApiError> {
+        let mut input = payload;
+        let tag = get_u8(&mut input)?;
+        let resp = match tag {
+            1 => Response::Hello {
+                version: get_u16(&mut input)?,
+                server: get_str(&mut input)?,
+            },
+            2 => Response::ResultHeader {
+                schema: get_schema(&mut input)?,
+            },
+            3 => Response::RowBatch {
+                rows: get_rows(&mut input)?,
+            },
+            4 => Response::StatementDone {
+                stats: get_stats(&mut input)?,
+            },
+            5 => Response::QueryDone,
+            6 => Response::Error {
+                error: get_error(&mut input)?,
+            },
+            7 => Response::Registered {
+                rows: get_varint(&mut input)?,
+            },
+            8 => Response::Prepared {
+                statements: get_varint(&mut input)?,
+            },
+            9 => Response::Killed {
+                found: get_bool(&mut input)?,
+            },
+            10 => Response::MetricsText {
+                text: get_str(&mut input)?,
+            },
+            11 => Response::Status {
+                status: get_status(&mut input)?,
+            },
+            12 => Response::Goodbye,
+            other => return Err(ApiError::protocol(format!("unknown response tag {other}"))),
+        };
+        expect_empty(input)?;
+        Ok(resp)
+    }
+}
+
+// --------------------------------------------------------------------
+// Frame I/O
+// --------------------------------------------------------------------
+
+/// Write one frame (magic, length, payload) and flush.
+///
+/// # Errors
+/// Propagates transport I/O errors.
+pub fn write_frame(w: &mut impl Write, payload: &[u8]) -> std::io::Result<()> {
+    debug_assert!(
+        payload.len() <= MAX_FRAME_LEN,
+        "frame exceeds MAX_FRAME_LEN"
+    );
+    let mut frame = Vec::with_capacity(6 + payload.len());
+    frame.extend_from_slice(&FRAME_MAGIC);
+    frame.extend_from_slice(&(payload.len() as u32).to_be_bytes());
+    frame.extend_from_slice(payload);
+    w.write_all(&frame)?;
+    w.flush()
+}
+
+/// Read one frame payload.
+///
+/// # Errors
+/// - [`ErrorCode::ConnectionClosed`] on clean EOF before a frame starts.
+/// - [`ErrorCode::Protocol`] on bad magic, oversized length, or truncation.
+/// - [`ErrorCode::Io`] on transport errors.
+pub fn read_frame(r: &mut impl Read) -> Result<Vec<u8>, ApiError> {
+    let mut magic = [0u8; 2];
+    read_exact_or(r, &mut magic, ErrorCode::ConnectionClosed)?;
+    if magic != FRAME_MAGIC {
+        return Err(ApiError::protocol(format!(
+            "bad frame magic {magic:02x?} (expected \"RQ\")"
+        )));
+    }
+    let mut len_bytes = [0u8; 4];
+    read_exact_or(r, &mut len_bytes, ErrorCode::Protocol)?;
+    let len = u32::from_be_bytes(len_bytes) as usize;
+    if len > MAX_FRAME_LEN {
+        return Err(ApiError::protocol(format!(
+            "frame length {len} exceeds cap {MAX_FRAME_LEN}"
+        )));
+    }
+    let mut payload = vec![0u8; len];
+    read_exact_or(r, &mut payload, ErrorCode::Protocol)?;
+    Ok(payload)
+}
+
+/// `read_exact` with EOF mapped to `eof_code` ("connection closed" at a frame
+/// boundary, "truncated frame" inside one) and other I/O errors to `Io`.
+fn read_exact_or(r: &mut impl Read, buf: &mut [u8], eof_code: ErrorCode) -> Result<(), ApiError> {
+    r.read_exact(buf).map_err(|e| {
+        if e.kind() == std::io::ErrorKind::UnexpectedEof {
+            let what = match eof_code {
+                ErrorCode::ConnectionClosed => "peer closed the connection",
+                _ => "truncated frame",
+            };
+            ApiError::new(eof_code, what)
+        } else {
+            ApiError::io(&e)
+        }
+    })
+}
+
+/// Encode and send a request as one frame.
+///
+/// # Errors
+/// [`ErrorCode::Io`] on transport errors.
+pub fn send_request(w: &mut impl Write, req: &Request) -> Result<(), ApiError> {
+    write_frame(w, &req.encode()).map_err(|e| ApiError::io(&e))
+}
+
+/// Encode and send a response as one frame.
+///
+/// # Errors
+/// [`ErrorCode::Io`] on transport errors.
+pub fn send_response(w: &mut impl Write, resp: &Response) -> Result<(), ApiError> {
+    write_frame(w, &resp.encode()).map_err(|e| ApiError::io(&e))
+}
+
+/// Read and decode one request frame.
+///
+/// # Errors
+/// As [`read_frame`], plus [`ErrorCode::Protocol`] on malformed payloads.
+pub fn read_request(r: &mut impl Read) -> Result<Request, ApiError> {
+    Request::decode(&read_frame(r)?)
+}
+
+/// Read and decode one response frame.
+///
+/// # Errors
+/// As [`read_frame`], plus [`ErrorCode::Protocol`] on malformed payloads.
+pub fn read_response(r: &mut impl Read) -> Result<Response, ApiError> {
+    Response::decode(&read_frame(r)?)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn varint_round_trip() {
+        for v in [0u64, 1, 127, 128, 300, u32::MAX as u64, u64::MAX] {
+            let mut buf = Vec::new();
+            put_varint(&mut buf, v);
+            let mut input = buf.as_slice();
+            assert_eq!(get_varint(&mut input).unwrap(), v);
+            assert!(input.is_empty());
+        }
+    }
+
+    #[test]
+    fn zigzag_round_trip() {
+        for v in [0i64, 1, -1, i64::MAX, i64::MIN, 42, -42] {
+            assert_eq!(unzigzag(zigzag(v)), v);
+        }
+    }
+
+    #[test]
+    fn frame_round_trip() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, b"hello").unwrap();
+        let mut cursor = buf.as_slice();
+        assert_eq!(read_frame(&mut cursor).unwrap(), b"hello");
+    }
+
+    #[test]
+    fn eof_at_boundary_is_connection_closed() {
+        let mut empty: &[u8] = &[];
+        let err = read_frame(&mut empty).unwrap_err();
+        assert_eq!(err.code, ErrorCode::ConnectionClosed);
+    }
+
+    #[test]
+    fn garbage_prefix_rejected() {
+        let mut garbage: &[u8] = b"GET / HTTP/1.1\r\n";
+        let err = read_frame(&mut garbage).unwrap_err();
+        assert_eq!(err.code, ErrorCode::Protocol);
+    }
+
+    #[test]
+    fn oversized_length_rejected() {
+        let mut frame = Vec::new();
+        frame.extend_from_slice(&FRAME_MAGIC);
+        frame.extend_from_slice(&u32::MAX.to_be_bytes());
+        let mut cursor = frame.as_slice();
+        let err = read_frame(&mut cursor).unwrap_err();
+        assert_eq!(err.code, ErrorCode::Protocol);
+    }
+
+    #[test]
+    fn request_round_trip() {
+        let reqs = vec![
+            Request::Hello {
+                version: PROTOCOL_VERSION,
+            },
+            Request::Query {
+                sql: "SELECT 1".into(),
+            },
+            Request::Kill { query_id: 7 },
+            Request::Metrics,
+            Request::Goodbye,
+        ];
+        for req in reqs {
+            assert_eq!(Request::decode(&req.encode()).unwrap(), req);
+        }
+    }
+
+    #[test]
+    fn trailing_bytes_rejected() {
+        let mut payload = Request::Metrics.encode();
+        payload.push(0xff);
+        let err = Request::decode(&payload).unwrap_err();
+        assert_eq!(err.code, ErrorCode::Protocol);
+    }
+}

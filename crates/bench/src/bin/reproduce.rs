@@ -3,7 +3,7 @@
 //! ```text
 //! reproduce [all|fig1|fig2|fig5|fig6|fig7|fig8|fig9|fig10|fig11|fig12|
 //!            table1|table2|table3|premcheck|traces|faults|lint|
-//!            bench-kernels|soak] [--scale X]
+//!            bench-kernels|soak|serve-soak] [--scale X]
 //!           [--faults SPEC] [--retries N] [--checkpoint-every K]
 //! ```
 //!
@@ -32,6 +32,12 @@
 //! one context under a tight memory budget with fault injection, plus one
 //! forced `kill` — asserting correct surviving results, actual spilling, a
 //! typed cancellation, and no leaked temp files or worker threads.
+//!
+//! The `serve-soak` target runs the same discipline over TCP: an in-process
+//! `rasql-server` with concurrent clients running the complete example-query
+//! library under a tight budget and fault injection, plus one remote
+//! `Kill` — asserting surviving results bit-identical to local execution, a
+//! clean drain on shutdown, and no leaked temp files or threads.
 
 use rasql_bench as bench;
 use rasql_exec::FaultSpec;
@@ -81,7 +87,8 @@ fn main() {
             "--help" | "-h" => {
                 println!(
                     "reproduce [all|fig1|fig2|fig5|fig6|fig7|fig8|fig9|fig10|fig11|fig12|\n\
-                     table1|table2|table3|premcheck|traces|faults|lint|bench-kernels|soak]...\n\
+                     table1|table2|table3|premcheck|traces|faults|lint|bench-kernels|soak|\n\
+                     serve-soak]...\n\
                      [--scale X] [--faults SPEC] [--retries N] [--checkpoint-every K]"
                 );
                 return;
@@ -165,6 +172,10 @@ fn main() {
     // Not part of `all`: a subsystem check, not a paper artifact.
     if targets.iter().any(|t| t == "soak") {
         println!("{}", bench::soak(scale).render());
+    }
+    // Not part of `all`: a subsystem check, not a paper artifact.
+    if targets.iter().any(|t| t == "serve-soak") {
+        println!("{}", bench::serve_soak(scale).render());
     }
     // Not part of `all`: a subsystem check, not a paper artifact.
     if targets.iter().any(|t| t == "faults") {

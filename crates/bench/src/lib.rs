@@ -1418,6 +1418,358 @@ fn ownership_graph(n: i64) -> Relation {
     .unwrap()
 }
 
+/// The full 11-table example dataset every library query runs against, at
+/// `scale`. The `edge` table is a layered weighted DAG so the stratified
+/// SSSP variant and `count_paths` terminate alongside the PreM forms.
+fn example_dataset(scale: f64) -> Vec<(&'static str, Relation)> {
+    use rasql_storage::{DataType, Row, Schema, Value};
+    let layers = ((60.0 * scale) as usize).max(6);
+    let width = 8usize;
+    let mut edge_rows = Vec::new();
+    for l in 0..layers - 1 {
+        for i in 0..width {
+            let src = (l * width + i) as i64;
+            // Offsets 0/2/4 mod 8 are distinct, so no duplicate edges.
+            for k in 0..3usize {
+                let dst = ((l + 1) * width + (i + 2 * k + l) % width) as i64;
+                let cost = 1.0 + ((src * 7 + dst * 3) % 10) as f64 / 2.0;
+                edge_rows.push(Row::new(vec![
+                    Value::Int(src),
+                    Value::Int(dst),
+                    Value::Double(cost),
+                ]));
+            }
+        }
+    }
+    let edge = Relation::try_new(
+        Schema::new(vec![
+            ("Src", DataType::Int),
+            ("Dst", DataType::Int),
+            ("Cost", DataType::Double),
+        ]),
+        edge_rows,
+    )
+    .unwrap();
+
+    let tree = tree_hierarchy(
+        TreeConfig {
+            target_nodes: ((1_000.0 * scale) as usize).max(100),
+            ..Default::default()
+        },
+        23,
+    );
+    // rel(Parent, Child) for Same Generation reuses the assembly hierarchy.
+    let rel = Relation::try_new(
+        Schema::new(vec![("Parent", DataType::Int), ("Child", DataType::Int)]),
+        tree.assbl.rows().to_vec(),
+    )
+    .unwrap();
+
+    let inter = Relation::try_new(
+        Schema::new(vec![("S", DataType::Int), ("E", DataType::Int)]),
+        (0..((200.0 * scale) as i64).max(24))
+            .map(|i| {
+                let s = i * 3 + (i % 7);
+                Row::new(vec![Value::Int(s), Value::Int(s + 2 + (i * 5) % 9)])
+            })
+            .collect(),
+    )
+    .unwrap();
+
+    // 16 people; the first three organize, everyone befriends the next four
+    // in the ring — enough in-degree for the count()-threshold cascade.
+    let person = |i: usize| format!("p{}", i % 16);
+    let organizer = Relation::try_new(
+        Schema::new(vec![("OrgName", DataType::Str)]),
+        (0..3)
+            .map(|i| Row::new(vec![Value::str(person(i))]))
+            .collect(),
+    )
+    .unwrap();
+    let friend = Relation::try_new(
+        Schema::new(vec![("Pname", DataType::Str), ("Fname", DataType::Str)]),
+        (0..16)
+            .flat_map(|i| {
+                (1..=4)
+                    .map(move |d| Row::new(vec![Value::str(person(i)), Value::str(person(i + d))]))
+            })
+            .collect(),
+    )
+    .unwrap();
+
+    vec![
+        ("edge", edge),
+        ("assbl", tree.assbl),
+        ("basic", tree.basic),
+        ("report", tree.report),
+        ("sales", tree.sales),
+        ("sponsor", tree.sponsor),
+        ("shares", ownership_graph(30)),
+        ("rel", rel),
+        ("inter", inter),
+        ("organizer", organizer),
+        ("friend", friend),
+    ]
+}
+
+/// Server soak (tier-1): an in-process `rasql-server` with several concurrent
+/// TCP clients running the complete example-query library under a tight
+/// memory budget and deterministic fault injection, plus one forced remote
+/// `Kill`. Asserts — hard, so the tier-1 gate fails on any violation — that
+/// every surviving query's rows are bit-identical to an ungoverned local run,
+/// that the fault spec actually fired, that the kill surfaces to its client
+/// as the stable `RA0602` cancellation code with the server immediately
+/// serving the next request, and that shutdown drains cleanly within its
+/// timeout leaking neither spill directories nor threads.
+pub fn serve_soak(scale: f64) -> Table {
+    use std::sync::Arc;
+
+    const CLIENTS: usize = 4;
+    let dataset = example_dataset(scale);
+    let queries: Vec<(&str, String)> = vec![
+        ("bom_delivery", library::bom_delivery()),
+        (
+            "bom_delivery_stratified",
+            library::bom_delivery_stratified(),
+        ),
+        ("sssp", library::sssp(1)),
+        ("sssp_stratified", library::sssp_stratified(1)),
+        ("cc", library::cc()),
+        ("cc_count", library::cc_count()),
+        ("cc_stratified", library::cc_stratified()),
+        ("count_paths", library::count_paths(1)),
+        ("management", library::management()),
+        ("mlm_bonus", library::mlm_bonus()),
+        ("interval_coalesce", library::interval_coalesce()),
+        ("party_attendance", library::party_attendance()),
+        ("company_control", library::company_control()),
+        ("same_generation", library::same_generation()),
+        ("reach", library::reach(1)),
+        ("apsp", library::apsp()),
+        ("transitive_closure", library::transitive_closure()),
+        ("widest_path", library::widest_path(1)),
+        ("sssp_hops", library::sssp_hops(1)),
+    ];
+
+    // Ungoverned, fault-free local baseline: the bit-identical oracle.
+    let baseline: Vec<Vec<rasql_api::Row>> = {
+        let ctx = RaSqlContext::with_config(EngineConfig::rasql().with_workers(default_workers()));
+        for (name, rel) in &dataset {
+            ctx.register(name, rel.clone()).unwrap();
+        }
+        queries
+            .iter()
+            .map(|(name, sql)| {
+                let results = ctx
+                    .query_script(sql)
+                    .unwrap_or_else(|e| panic!("serve-soak baseline {name} failed: {e}"));
+                rasql_core::result_to_wire(results.last().unwrap()).sorted_rows()
+            })
+            .collect()
+    };
+
+    let spill_before = spill_dirs();
+    let threads_before = thread_count();
+
+    // The served context pins the interpreter (the spilling path) and runs
+    // governed: tight budget, 2-query admission, seeded fault injection.
+    let ctx = Arc::new(
+        RaSqlContext::builder()
+            .workers(default_workers())
+            .specialized_kernels(false)
+            .decomposed_plans(false)
+            .memory_budget(256 * 1024)
+            .max_concurrent_queries(2)
+            .admission_queue(CLIENTS + 4)
+            .faults(Some(FaultSpec {
+                kill: 0.05,
+                delay: 0.0,
+                loss: 0.0,
+                delay_us: 0,
+                seed: 11,
+            }))
+            .max_task_retries(3)
+            .checkpoint_interval(3)
+            .build(),
+    );
+    for (name, rel) in &dataset {
+        ctx.register(name, rel.clone()).unwrap();
+    }
+    let handle = rasql_server::serve_with(Arc::clone(&ctx), "127.0.0.1:0", Duration::from_secs(10))
+        .expect("serve-soak: bind");
+    let addr = handle.addr();
+
+    let mut table = Table::new(
+        &format!(
+            "Server soak — {CLIENTS} clients over TCP, 256 KiB budget, \
+             2-query admission, kill=0.05 faults"
+        ),
+        &["query", "rows", "client", "time_ms", "status"],
+    );
+
+    // Round-robin the library over the client pool; every client is its own
+    // TCP connection (and therefore its own server session).
+    let outcomes: Vec<(usize, usize, usize, Duration)> = std::thread::scope(|s| {
+        let handles: Vec<_> = (0..CLIENTS)
+            .map(|c| {
+                let queries = &queries;
+                let baseline = &baseline;
+                s.spawn(move || {
+                    let mut client =
+                        rasql_client::Client::connect(addr).expect("serve-soak: connect");
+                    let mut ran = Vec::new();
+                    for (i, (name, sql)) in queries.iter().enumerate() {
+                        if i % CLIENTS != c {
+                            continue;
+                        }
+                        let t = Instant::now();
+                        let results = client
+                            .query(sql)
+                            .unwrap_or_else(|e| panic!("serve-soak: {name} failed: {e}"));
+                        let elapsed = t.elapsed();
+                        let got = results.last().expect("at least one result").sorted_rows();
+                        assert_eq!(
+                            got, baseline[i],
+                            "serve-soak: remote {name} diverged from the local run"
+                        );
+                        ran.push((i, got.len(), c, elapsed));
+                    }
+                    client.close().expect("serve-soak: close");
+                    ran
+                })
+            })
+            .collect();
+        let mut all: Vec<_> = handles
+            .into_iter()
+            .flat_map(|h| h.join().expect("serve-soak: client thread panicked"))
+            .collect();
+        all.sort_by_key(|&(i, ..)| i);
+        all
+    });
+    for (i, rows, c, elapsed) in outcomes {
+        table.row(vec![
+            queries[i].0.to_string(),
+            rows.to_string(),
+            format!("#{c}"),
+            ms(elapsed),
+            "ok".into(),
+        ]);
+    }
+    assert!(
+        ctx.metrics().task_failures > 0,
+        "serve-soak: the fault spec never fired — the soak proved nothing"
+    );
+
+    // Kill leg, entirely over the wire: replace `edge` with a long-diameter
+    // grid through one session, start REACH through another, then use
+    // Status -> Kill from the first to cancel it mid-fixpoint.
+    let side = ((400.0 * scale) as usize).max(40);
+    let grid_edges = grid(side, false, 42);
+    let cancellations_before = ctx.metrics().cancellations;
+    let mut admin = rasql_client::Client::connect(addr).expect("serve-soak: admin connect");
+    admin
+        .register(
+            "edge",
+            grid_edges.schema().clone(),
+            grid_edges.rows().to_vec(),
+        )
+        .expect("serve-soak: remote re-register");
+    let reach_sql = library::reach(0);
+    let (killed, outcome) = std::thread::scope(|s| {
+        let victim = s.spawn(|| {
+            let mut client =
+                rasql_client::Client::connect(addr).expect("serve-soak: victim connect");
+            client.query(&reach_sql)
+        });
+        let deadline = Instant::now() + Duration::from_secs(30);
+        let mut killed = false;
+        while Instant::now() < deadline {
+            let status = admin.status().expect("serve-soak: status");
+            if let Some(&q) = status.active_queries.first() {
+                killed = admin.kill(q).expect("serve-soak: kill");
+                break;
+            }
+            std::thread::yield_now();
+        }
+        (killed, victim.join().expect("serve-soak: victim panicked"))
+    });
+    assert!(
+        killed,
+        "serve-soak: never observed the victim query in Status"
+    );
+    match outcome {
+        Err(e) => assert_eq!(
+            e.code,
+            rasql_api::ErrorCode::Cancelled,
+            "serve-soak: kill surfaced as the wrong error: {e}"
+        ),
+        Ok(r) => panic!(
+            "serve-soak: query outran the kill ({} rows) — grow the grid",
+            r.last().map_or(0, |q| q.rows.len())
+        ),
+    }
+    assert!(
+        ctx.metrics().cancellations > cancellations_before,
+        "serve-soak: the kill never reached the engine's cancellation metric"
+    );
+    // The server must serve the very next request on an existing session.
+    let count = admin
+        .query("SELECT count(*) FROM edge")
+        .expect("serve-soak: server unusable after a kill");
+    assert_eq!(
+        count[0].rows[0][0],
+        rasql_api::Value::Int(grid_edges.len() as i64)
+    );
+    admin.close().expect("serve-soak: admin close");
+    table.row(vec![
+        "reach/kill".into(),
+        "-".into(),
+        "admin".into(),
+        "-".into(),
+        "ok (RA0602 at the client; server served the next request)".into(),
+    ]);
+
+    // Drain: every connection thread joined, within the 10 s timeout.
+    let t = Instant::now();
+    assert!(
+        handle.shutdown(),
+        "serve-soak: shutdown did not drain cleanly"
+    );
+    table.row(vec![
+        "shutdown".into(),
+        "-".into(),
+        "-".into(),
+        ms(t.elapsed()),
+        "ok (clean drain)".into(),
+    ]);
+
+    drop(ctx);
+    assert!(
+        spill_dirs() <= spill_before,
+        "serve-soak: leaked spill directories under the temp dir"
+    );
+    if let Some(before) = threads_before {
+        // Joined threads are gone from /proc immediately, but give any
+        // OS-level teardown still in flight a moment before calling it a leak.
+        let deadline = Instant::now() + Duration::from_secs(2);
+        loop {
+            let after = match thread_count() {
+                Some(n) => n,
+                None => break,
+            };
+            if after <= before {
+                break;
+            }
+            assert!(
+                Instant::now() < deadline,
+                "serve-soak: leaked server threads ({before} -> {after})"
+            );
+            std::thread::sleep(Duration::from_millis(20));
+        }
+    }
+    table
+}
+
 pub fn premcheck() -> String {
     let mut out = String::from("\n=== Appendix G — PreM auto-validation ===\n");
     let ctx = RaSqlContext::in_memory();

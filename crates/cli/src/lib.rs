@@ -21,6 +21,9 @@
 //! | `\limits [budget=BYTES] [timeout=MS]` | show/set the per-query memory budget and deadline (0 = off; restarts the session) |
 //! | `\kill <query-id>` | cooperatively cancel a running query (ids from `QueryStats::query_id` / `\running`) |
 //! | `\running` | list active query ids and admission queue depth |
+//! | `\connect <host:port>` | switch to a remote `rasql-server` (SQL, `\d`, `\gen`, `\load`, `\kill`, `\running`, `\metrics` go over the wire) |
+//! | `\disconnect` | close the remote session, back to the local engine |
+//! | `\metrics` | engine metrics in Prometheus text format (local or remote) |
 //! | `\q` | quit |
 //!
 //! `EXPLAIN [ANALYZE] <query>;` works as plain SQL: `EXPLAIN` prints the
@@ -56,6 +59,9 @@ pub struct Shell {
     timing: bool,
     /// The most recent statement's result (for `\trace`).
     last: Option<QueryResult>,
+    /// When connected (`\connect`), SQL and catalog commands go over the
+    /// wire to a `rasql-server` instead of the local context.
+    remote: Option<rasql_client::Client>,
 }
 
 impl Default for Shell {
@@ -78,12 +84,31 @@ impl Shell {
             buffer: String::new(),
             timing: false,
             last: None,
+            remote: None,
         }
     }
 
     /// Access the underlying context (for scripted use).
     pub fn context(&self) -> &RaSqlContext {
         &self.ctx
+    }
+
+    /// Whether the shell is talking to a remote server (`\connect`).
+    pub fn is_remote(&self) -> bool {
+        self.remote.is_some()
+    }
+
+    /// Connect to a `rasql-server`; subsequent SQL and catalog commands go
+    /// over the wire. Returns the banner to print. Exposed for the binary's
+    /// `--connect` flag; the `\connect` command routes here too.
+    pub fn connect(&mut self, addr: &str) -> Result<String, String> {
+        let client = rasql_client::Client::connect(addr).map_err(|e| e.to_string())?;
+        let banner = format!(
+            "connected to {} at {addr} (\\disconnect to return to the local session)\n",
+            client.server()
+        );
+        self.remote = Some(client);
+        Ok(banner)
     }
 
     /// Feed one input line.
@@ -102,6 +127,9 @@ impl Shell {
     }
 
     fn run_sql(&mut self, sql: &str) -> String {
+        if self.remote.is_some() {
+            return self.run_sql_remote(sql);
+        }
         let start = std::time::Instant::now();
         match self.ctx.query_script(sql) {
             Ok(results) => {
@@ -129,12 +157,110 @@ impl Shell {
         }
     }
 
+    /// Run SQL over the wire. Rows stream back in batches and reassemble
+    /// into relations client-side — the same render path as local results,
+    /// because the wire types *are* the storage types.
+    fn run_sql_remote(&mut self, sql: &str) -> String {
+        let start = std::time::Instant::now();
+        let client = self.remote.as_mut().expect("checked by run_sql");
+        match client.query(sql) {
+            Ok(results) => {
+                let mut out = String::new();
+                for result in &results {
+                    if result.schema.arity() == 0 {
+                        out.push_str("ok\n");
+                    } else {
+                        out.push_str(
+                            &Relation::new_unchecked(result.schema.clone(), result.rows.clone())
+                                .pretty(40),
+                        );
+                    }
+                }
+                if self.timing {
+                    if let Some(last) = results.last() {
+                        out.push_str(&format!(
+                            "time: {:?}  iterations: {}  server: {:.3} ms\n",
+                            start.elapsed(),
+                            last.stats.iterations,
+                            last.stats.elapsed_us as f64 / 1000.0
+                        ));
+                    }
+                }
+                out
+            }
+            Err(e) => self.remote_error(&e),
+        }
+    }
+
+    /// Render a wire error; a dead transport also drops the connection and
+    /// falls back to the local session.
+    fn remote_error(&mut self, e: &rasql_api::ApiError) -> String {
+        use rasql_api::ErrorCode;
+        if matches!(
+            e.code,
+            ErrorCode::ConnectionClosed | ErrorCode::Io | ErrorCode::ServerShutdown
+        ) {
+            self.remote = None;
+            format!("{e}\nconnection lost; back to the local session\n")
+        } else {
+            format!("{e}\n")
+        }
+    }
+
     fn command(&mut self, cmd: &str) -> LineResult {
         let parts: Vec<&str> = cmd.split_whitespace().collect();
+        // These inspect or rebuild the *local* engine; connected to a
+        // server they would silently answer about the wrong session.
+        const LOCAL_ONLY: &[&str] = &[
+            "\\workers",
+            "\\fault",
+            "\\limits",
+            "\\tracing",
+            "\\trace",
+            "\\explain",
+            "\\prem",
+            "\\lint",
+        ];
+        if self.remote.is_some() && LOCAL_ONLY.contains(&parts[0]) {
+            return LineResult::Output(format!(
+                "{} is local-only; \\disconnect first (EXPLAIN still works as plain SQL)\n",
+                parts[0]
+            ));
+        }
         match parts[0] {
             "\\q" | "\\quit" => LineResult::Quit,
+            "\\connect" => match parts.get(1) {
+                Some(addr) => {
+                    let addr = (*addr).to_string();
+                    match self.connect(&addr) {
+                        Ok(banner) => LineResult::Output(banner),
+                        Err(e) => LineResult::Output(format!("error: {e}\n")),
+                    }
+                }
+                None => LineResult::Output("usage: \\connect <host:port>\n".into()),
+            },
+            "\\disconnect" => match self.remote.take() {
+                Some(client) => {
+                    let _ = client.close();
+                    LineResult::Output("disconnected; back to the local session\n".into())
+                }
+                None => LineResult::Output("not connected\n".into()),
+            },
+            "\\metrics" => match &mut self.remote {
+                Some(client) => match client.metrics() {
+                    Ok(text) => LineResult::Output(text),
+                    Err(e) => LineResult::Output(self.remote_error(&e)),
+                },
+                None => LineResult::Output(self.ctx.metrics().prometheus_text()),
+            },
             "\\d" => {
-                let names = self.ctx.table_names();
+                let names = match &mut self.remote {
+                    Some(client) => match client.status() {
+                        Ok(status) => status.tables,
+                        Err(e) => return LineResult::Output(self.remote_error(&e)),
+                    },
+                    None => self.ctx.table_names(),
+                };
                 if names.is_empty() {
                     LineResult::Output("no tables\n".into())
                 } else {
@@ -180,14 +306,27 @@ impl Shell {
             "\\limits" => self.limits(&parts),
             "\\kill" => match parts.get(1).and_then(|s| s.parse::<u64>().ok()) {
                 Some(id) => {
-                    if self.ctx.kill(id) {
+                    let found = match &mut self.remote {
+                        Some(client) => match client.kill(id) {
+                            Ok(found) => found,
+                            Err(e) => return LineResult::Output(self.remote_error(&e)),
+                        },
+                        None => self.ctx.kill(id),
+                    };
+                    if found {
                         LineResult::Output(format!("cancellation requested for query {id}\n"))
                     } else {
                         LineResult::Output(format!("no active query {id}\n"))
                     }
                 }
                 None => {
-                    let active = self.ctx.active_queries();
+                    let active = match &mut self.remote {
+                        Some(client) => match client.status() {
+                            Ok(status) => status.active_queries,
+                            Err(e) => return LineResult::Output(self.remote_error(&e)),
+                        },
+                        None => self.ctx.active_queries(),
+                    };
                     if active.is_empty() {
                         LineResult::Output("usage: \\kill <query-id> (no active queries)\n".into())
                     } else {
@@ -203,17 +342,36 @@ impl Shell {
                 }
             },
             "\\running" => {
-                let active = self.ctx.active_queries();
+                let (active, running, waiting, sessions) = match &mut self.remote {
+                    Some(client) => match client.status() {
+                        Ok(s) => (
+                            s.active_queries,
+                            s.running as usize,
+                            s.waiting as usize,
+                            Some(s.sessions),
+                        ),
+                        Err(e) => return LineResult::Output(self.remote_error(&e)),
+                    },
+                    None => (
+                        self.ctx.active_queries(),
+                        self.ctx.running_queries(),
+                        self.ctx.waiting_queries(),
+                        None,
+                    ),
+                };
                 let ids: Vec<String> = active
                     .iter()
                     .map(std::string::ToString::to_string)
                     .collect();
-                LineResult::Output(format!(
-                    "active queries: [{}]  running: {}  waiting: {}\n",
-                    ids.join(", "),
-                    self.ctx.running_queries(),
-                    self.ctx.waiting_queries()
-                ))
+                let mut out = format!(
+                    "active queries: [{}]  running: {running}  waiting: {waiting}",
+                    ids.join(", ")
+                );
+                if let Some(n) = sessions {
+                    out.push_str(&format!("  sessions: {n}"));
+                }
+                out.push('\n');
+                LineResult::Output(out)
             }
             "\\load" => self.load(&parts),
             "\\gen" => self.generate(&parts),
@@ -252,7 +410,8 @@ impl Shell {
             }
             other => LineResult::Output(format!(
                 "unknown command '{other}' (try \\d, \\load, \\gen, \\explain, \\lint, \\prem, \
-                 \\timing, \\tracing, \\trace, \\fault, \\limits, \\kill, \\running, \\q)\n"
+                 \\timing, \\tracing, \\trace, \\fault, \\limits, \\kill, \\running, \\connect, \
+                 \\disconnect, \\metrics, \\q)\n"
             )),
         }
     }
@@ -384,10 +543,31 @@ impl Shell {
         match Relation::load_text(Path::new(path), schema) {
             Ok(rel) => {
                 let n = rel.len();
-                self.ctx.register_or_replace(name, rel);
-                LineResult::Output(format!("loaded {n} rows into '{name}'\n"))
+                match self.install(name, rel) {
+                    Ok(()) => LineResult::Output(format!("loaded {n} rows into '{name}'\n")),
+                    Err(e) => LineResult::Output(e),
+                }
             }
             Err(e) => LineResult::Output(format!("error: {e}\n")),
+        }
+    }
+
+    /// Register a table where the session lives: the remote server's shared
+    /// catalog when connected, the local context otherwise.
+    fn install(&mut self, name: &str, rel: Relation) -> Result<(), String> {
+        match &mut self.remote {
+            Some(client) => {
+                let schema = rel.schema().clone();
+                let rows = rel.rows().to_vec();
+                match client.register(name, schema, rows) {
+                    Ok(_) => Ok(()),
+                    Err(e) => Err(self.remote_error(&e)),
+                }
+            }
+            None => {
+                self.ctx.register_or_replace(name, rel);
+                Ok(())
+            }
         }
     }
 
@@ -417,10 +597,12 @@ impl Shell {
                     },
                     42,
                 );
-                self.ctx
-                    .register_or_replace(&format!("{name}_basic"), t.basic);
-                self.ctx
-                    .register_or_replace(&format!("{name}_report"), t.report);
+                if let Err(e) = self.install(&format!("{name}_basic"), t.basic) {
+                    return LineResult::Output(e);
+                }
+                if let Err(e) = self.install(&format!("{name}_report"), t.report) {
+                    return LineResult::Output(e);
+                }
                 t.assbl
             }
             other => {
@@ -430,8 +612,10 @@ impl Shell {
             }
         };
         let rows = rel.len();
-        self.ctx.register_or_replace(name, rel);
-        LineResult::Output(format!("generated {rows} rows into '{name}'\n"))
+        match self.install(name, rel) {
+            Ok(()) => LineResult::Output(format!("generated {rows} rows into '{name}'\n")),
+            Err(e) => LineResult::Output(e),
+        }
     }
 }
 
@@ -716,6 +900,75 @@ mod tests {
         assert!(parse_schema("int,double,str,bool").is_ok());
         assert!(parse_schema("nope").is_err());
         assert!(parse_schema("").is_err());
+    }
+
+    #[test]
+    fn remote_mode_round_trip() {
+        let ctx = std::sync::Arc::new(rasql_core::RaSqlContext::builder().workers(2).build());
+        let server = rasql_server::serve(ctx, "127.0.0.1:0").unwrap();
+
+        let mut sh = Shell::new();
+        match sh.feed(&format!("\\connect {}", server.addr())) {
+            LineResult::Output(o) => assert!(o.contains("connected to rasql-server/"), "{o}"),
+            other => panic!("{other:?}"),
+        }
+        assert!(sh.is_remote());
+
+        // \gen registers on the server; SQL runs over the wire.
+        assert_eq!(
+            sh.feed("\\gen g rmat 100"),
+            LineResult::Output("generated 1000 rows into 'g'\n".into())
+        );
+        match sh.feed("\\d") {
+            LineResult::Output(o) => assert!(o.contains('g'), "{o}"),
+            other => panic!("{other:?}"),
+        }
+        match sh.feed(
+            "WITH recursive tc (Src, Dst) AS (SELECT Src, Dst FROM g) UNION \
+             (SELECT tc.Src, g.Dst FROM tc, g WHERE tc.Dst = g.Src) \
+             SELECT count(*) FROM tc;",
+        ) {
+            LineResult::Output(o) => assert!(!o.contains("error"), "{o}"),
+            other => panic!("{other:?}"),
+        }
+        // Errors carry the server's stable codes and don't kill the session.
+        match sh.feed("SELECT * FROM missing;") {
+            LineResult::Output(o) => assert!(o.contains("RA0400"), "{o}"),
+            other => panic!("{other:?}"),
+        }
+        // Local-only commands are refused while connected.
+        match sh.feed("\\workers 4") {
+            LineResult::Output(o) => assert!(o.contains("local-only"), "{o}"),
+            other => panic!("{other:?}"),
+        }
+        match sh.feed("\\metrics") {
+            LineResult::Output(o) => assert!(o.contains("# TYPE rasql_stages_total"), "{o}"),
+            other => panic!("{other:?}"),
+        }
+        match sh.feed("\\running") {
+            LineResult::Output(o) => assert!(o.contains("sessions: 1"), "{o}"),
+            other => panic!("{other:?}"),
+        }
+        match sh.feed("\\disconnect") {
+            LineResult::Output(o) => assert!(o.contains("disconnected"), "{o}"),
+            other => panic!("{other:?}"),
+        }
+        assert!(!sh.is_remote());
+        // The local session is intact (and has no 'g' — that lives on the
+        // server).
+        assert_eq!(sh.feed("\\d"), LineResult::Output("no tables\n".into()));
+        assert!(server.shutdown());
+    }
+
+    #[test]
+    fn local_metrics_command() {
+        let mut sh = Shell::new();
+        sh.feed("\\gen g rmat 50");
+        sh.feed("SELECT count(*) FROM g;");
+        match sh.feed("\\metrics") {
+            LineResult::Output(o) => assert!(o.contains("# TYPE rasql_stages_total"), "{o}"),
+            other => panic!("{other:?}"),
+        }
     }
 
     #[test]

@@ -11,14 +11,17 @@
 //!   spills to disk (0 = unlimited)
 //! * `--timeout <ms>` — per-query deadline; queries past it return a typed
 //!   `deadline exceeded` error (0 = none)
+//! * `--connect <host:port>` — start connected to a `rasql-server` instead
+//!   of the local engine
 
 use rasql_cli::{LineResult, Shell};
 use rasql_core::EngineConfig;
 use rasql_exec::FaultSpec;
 use std::io::{BufRead, Write};
 
-fn parse_args(args: &[String]) -> Result<EngineConfig, String> {
+fn parse_args(args: &[String]) -> Result<(EngineConfig, Option<String>), String> {
     let mut config = EngineConfig::rasql();
+    let mut connect = None;
     let mut it = args.iter();
     while let Some(arg) = it.next() {
         let mut value = |flag: &str| -> Result<&String, String> {
@@ -59,20 +62,22 @@ fn parse_args(args: &[String]) -> Result<EngineConfig, String> {
                     .map_err(|e| format!("bad --timeout: {e}"))?;
                 config = config.with_query_timeout_ms(t);
             }
+            "--connect" => connect = Some(value("--connect")?.clone()),
             other => return Err(format!("unknown flag '{other}'")),
         }
     }
-    Ok(config)
+    Ok((config, connect))
 }
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let config = match parse_args(&args) {
+    let (config, connect) = match parse_args(&args) {
         Ok(c) => c,
         Err(e) => {
             eprintln!(
                 "error: {e}\nusage: rasql-shell [--workers N] [--faults SPEC] [--retries N] \
-                 [--checkpoint-every K] [--memory-budget BYTES] [--timeout MS]"
+                 [--checkpoint-every K] [--memory-budget BYTES] [--timeout MS] \
+                 [--connect HOST:PORT]"
             );
             std::process::exit(2);
         }
@@ -95,6 +100,15 @@ fn main() {
         );
     }
     let mut shell = Shell::with_config(config);
+    if let Some(addr) = connect {
+        match shell.connect(&addr) {
+            Ok(banner) => print!("{banner}"),
+            Err(e) => {
+                eprintln!("error: cannot connect to {addr}: {e}");
+                std::process::exit(2);
+            }
+        }
+    }
     let stdin = std::io::stdin();
     let mut prompt = "rasql> ";
     loop {

@@ -1,0 +1,238 @@
+#![warn(missing_docs)]
+
+//! # rasql-client
+//!
+//! A small blocking client for `rasql-server`. It depends only on
+//! [`rasql_api`] (the wire types and framed codec) and the standard
+//! library — no engine crates — so anything that can open a TCP socket can
+//! embed it.
+//!
+//! ```no_run
+//! use rasql_client::Client;
+//!
+//! let mut client = Client::connect("127.0.0.1:7432").unwrap();
+//! let results = client.query("SELECT count(*) FROM edge").unwrap();
+//! println!("{} rows", results[0].rows.len());
+//! client.close().unwrap();
+//! ```
+//!
+//! One [`Client`] is one server session: views created and statements
+//! prepared through it are invisible to other connections. Errors carry the
+//! server's stable `RA####` codes ([`rasql_api::ErrorCode`]); transport
+//! failures surface as [`ErrorCode::Io`] or [`ErrorCode::ConnectionClosed`].
+
+use rasql_api::wire::{read_response, send_request, Request, Response, PROTOCOL_VERSION};
+use rasql_api::{ApiError, ErrorCode, QueryResult, Row, Schema, ServerStatus};
+use std::net::{TcpStream, ToSocketAddrs};
+
+/// A connected `rasql-server` session.
+pub struct Client {
+    stream: TcpStream,
+    /// The server's identifier from the handshake (e.g. `rasql-server/0.1.0`).
+    server: String,
+}
+
+impl Client {
+    /// Connect and perform the version handshake.
+    pub fn connect(addr: impl ToSocketAddrs) -> Result<Client, ApiError> {
+        let stream = TcpStream::connect(addr).map_err(|e| ApiError::io(&e))?;
+        let _ = stream.set_nodelay(true);
+        let mut client = Client {
+            stream,
+            server: String::new(),
+        };
+        client.send(&Request::Hello {
+            version: PROTOCOL_VERSION,
+        })?;
+        match client.recv()? {
+            Response::Hello { server, .. } => {
+                client.server = server;
+                Ok(client)
+            }
+            Response::Error { error } => Err(error),
+            other => Err(unexpected("Hello", &other)),
+        }
+    }
+
+    /// The server identifier from the handshake.
+    pub fn server(&self) -> &str {
+        &self.server
+    }
+
+    /// Execute a `;`-separated SQL script; one [`QueryResult`] per
+    /// statement, in order. Results stream: earlier statements' rows are in
+    /// flight while later ones still execute server-side.
+    pub fn query(&mut self, sql: &str) -> Result<Vec<QueryResult>, ApiError> {
+        self.send(&Request::Query {
+            sql: sql.to_string(),
+        })?;
+        self.collect_results()
+    }
+
+    /// Parse and analyze a script server-side under `name`; returns the
+    /// statement count. Re-preparing a name replaces it.
+    pub fn prepare(&mut self, name: &str, sql: &str) -> Result<u64, ApiError> {
+        self.send(&Request::Prepare {
+            name: name.to_string(),
+            sql: sql.to_string(),
+        })?;
+        match self.recv()? {
+            Response::Prepared { statements } => Ok(statements),
+            Response::Error { error } => Err(error),
+            other => Err(unexpected("Prepared", &other)),
+        }
+    }
+
+    /// Execute a previously prepared script.
+    pub fn execute(&mut self, name: &str) -> Result<Vec<QueryResult>, ApiError> {
+        self.send(&Request::Execute {
+            name: name.to_string(),
+        })?;
+        self.collect_results()
+    }
+
+    /// Register (or replace) a base table in the server's shared catalog.
+    /// Returns the row count the server accepted.
+    pub fn register(
+        &mut self,
+        name: &str,
+        schema: Schema,
+        rows: Vec<Row>,
+    ) -> Result<u64, ApiError> {
+        self.send(&Request::Register {
+            name: name.to_string(),
+            schema,
+            rows,
+        })?;
+        match self.recv()? {
+            Response::Registered { rows } => Ok(rows),
+            Response::Error { error } => Err(error),
+            other => Err(unexpected("Registered", &other)),
+        }
+    }
+
+    /// Cooperatively cancel a running query (any session's) by id. Returns
+    /// whether the id matched an active query.
+    pub fn kill(&mut self, query_id: u64) -> Result<bool, ApiError> {
+        self.send(&Request::Kill { query_id })?;
+        match self.recv()? {
+            Response::Killed { found } => Ok(found),
+            Response::Error { error } => Err(error),
+            other => Err(unexpected("Killed", &other)),
+        }
+    }
+
+    /// Cumulative engine metrics in Prometheus text exposition format.
+    pub fn metrics(&mut self) -> Result<String, ApiError> {
+        self.send(&Request::Metrics)?;
+        match self.recv()? {
+            Response::MetricsText { text } => Ok(text),
+            Response::Error { error } => Err(error),
+            other => Err(unexpected("MetricsText", &other)),
+        }
+    }
+
+    /// Point-in-time server status: active query ids, admission counts,
+    /// open sessions, table names.
+    pub fn status(&mut self) -> Result<ServerStatus, ApiError> {
+        self.send(&Request::Status)?;
+        match self.recv()? {
+            Response::Status { status } => Ok(status),
+            Response::Error { error } => Err(error),
+            other => Err(unexpected("Status", &other)),
+        }
+    }
+
+    /// Ask the server to drain and exit, then close this connection.
+    pub fn shutdown(mut self) -> Result<(), ApiError> {
+        self.send(&Request::Shutdown)?;
+        match self.recv()? {
+            Response::Goodbye => Ok(()),
+            Response::Error { error } => Err(error),
+            other => Err(unexpected("Goodbye", &other)),
+        }
+    }
+
+    /// Close the session politely. Dropping the client without calling this
+    /// also works — the server treats the EOF as a disconnect and cancels
+    /// anything the session still had running.
+    pub fn close(mut self) -> Result<(), ApiError> {
+        self.send(&Request::Goodbye)?;
+        match self.recv()? {
+            Response::Goodbye => Ok(()),
+            Response::Error { error } => Err(error),
+            other => Err(unexpected("Goodbye", &other)),
+        }
+    }
+
+    /// Reassemble streamed `ResultHeader`/`RowBatch`/`StatementDone` frames
+    /// into per-statement results, ending at `QueryDone` or `Error`.
+    fn collect_results(&mut self) -> Result<Vec<QueryResult>, ApiError> {
+        let mut results = Vec::new();
+        let mut current: Option<(Schema, Vec<Row>)> = None;
+        loop {
+            match self.recv()? {
+                Response::ResultHeader { schema } => {
+                    if current.is_some() {
+                        return Err(ApiError::protocol(
+                            "ResultHeader before previous statement finished",
+                        ));
+                    }
+                    current = Some((schema, Vec::new()));
+                }
+                Response::RowBatch { rows } => match &mut current {
+                    Some((_, acc)) => acc.extend(rows),
+                    None => return Err(ApiError::protocol("RowBatch outside a statement")),
+                },
+                Response::StatementDone { stats } => match current.take() {
+                    Some((schema, rows)) => results.push(QueryResult {
+                        schema,
+                        rows,
+                        stats,
+                    }),
+                    None => return Err(ApiError::protocol("StatementDone outside a statement")),
+                },
+                Response::QueryDone => {
+                    if current.is_some() {
+                        return Err(ApiError::protocol("QueryDone mid-statement"));
+                    }
+                    return Ok(results);
+                }
+                Response::Error { error } => return Err(error),
+                other => return Err(unexpected("result stream", &other)),
+            }
+        }
+    }
+
+    fn send(&mut self, request: &Request) -> Result<(), ApiError> {
+        send_request(&mut self.stream, request)
+    }
+
+    fn recv(&mut self) -> Result<Response, ApiError> {
+        read_response(&mut self.stream)
+    }
+}
+
+fn unexpected(wanted: &str, got: &Response) -> ApiError {
+    let tag = match got {
+        Response::Hello { .. } => "Hello",
+        Response::ResultHeader { .. } => "ResultHeader",
+        Response::RowBatch { .. } => "RowBatch",
+        Response::StatementDone { .. } => "StatementDone",
+        Response::QueryDone => "QueryDone",
+        Response::Error { .. } => "Error",
+        Response::Registered { .. } => "Registered",
+        Response::Prepared { .. } => "Prepared",
+        Response::Killed { .. } => "Killed",
+        Response::MetricsText { .. } => "MetricsText",
+        Response::Status { .. } => "Status",
+        Response::Goodbye => "Goodbye",
+    };
+    ApiError::new(
+        ErrorCode::Protocol,
+        format!("expected {wanted}, server sent {tag}"),
+    )
+}
+
+/// Convenience re-export: everything a caller needs to interpret results.
+pub use rasql_api as api;

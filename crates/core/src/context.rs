@@ -11,7 +11,8 @@ use rasql_exec::{
 };
 use rasql_parser::{parse_statements, Statement};
 use rasql_plan::{
-    analyze_statement, optimize, optimize_spec, AnalyzedQuery, AnalyzedStatement, ViewCatalog,
+    analyze_statement, optimize, optimize_spec, AnalyzedQuery, AnalyzedStatement, LogicalPlan,
+    ViewCatalog,
 };
 use rasql_storage::{Catalog, DataType, Relation, Row, Schema, Value};
 use std::collections::HashMap;
@@ -53,6 +54,23 @@ pub struct QueryResult {
     pub trace: Option<QueryTrace>,
 }
 
+/// What one statement produced when run against a caller-supplied catalog
+/// (the [`Session`](crate::Session) path): result rows, or a view definition
+/// the caller should install in its own catalog overlay.
+pub(crate) enum StatementOutcome {
+    /// The statement executed and produced rows (boxed: a result is much
+    /// larger than the `CreatedView` variant).
+    Rows(Box<QueryResult>),
+    /// The statement was a `CREATE VIEW`; nothing was installed — the
+    /// optimized plan comes back for the caller's catalog.
+    CreatedView {
+        /// The view name as written.
+        name: String,
+        /// The optimized view plan.
+        plan: LogicalPlan,
+    },
+}
+
 /// A RaSQL session: registered tables, a simulated cluster, and the SQL
 /// entry points.
 ///
@@ -71,7 +89,6 @@ pub struct RaSqlContext {
     cluster: Cluster,
     config: EngineConfig,
     tracing: AtomicBool,
-    last_stats: Mutex<QueryStats>,
     /// Concurrency gate: queries beyond `max_concurrent_queries` wait in a
     /// bounded queue; beyond `admission_queue` they are rejected.
     admission: Arc<AdmissionController>,
@@ -115,7 +132,6 @@ impl RaSqlContext {
             cluster,
             tracing: AtomicBool::new(config.tracing),
             config,
-            last_stats: Mutex::new(QueryStats::default()),
             admission,
             query_seq: AtomicU64::new(0),
             active: Mutex::new(HashMap::new()),
@@ -177,22 +193,6 @@ impl RaSqlContext {
         Ok(out)
     }
 
-    /// Execute one SQL statement; returns its result relation.
-    #[deprecated(since = "0.2.0", note = "use `query` — it returns stats and trace too")]
-    pub fn sql(&self, sql: &str) -> Result<Relation, EngineError> {
-        Ok(self.query(sql)?.relation)
-    }
-
-    /// Execute a `;`-separated script; returns one relation per statement.
-    #[deprecated(since = "0.2.0", note = "use `query_script`")]
-    pub fn execute_script(&self, sql: &str) -> Result<Vec<Relation>, EngineError> {
-        Ok(self
-            .query_script(sql)?
-            .into_iter()
-            .map(|r| r.relation)
-            .collect())
-    }
-
     pub(crate) fn execute_statement(
         &self,
         stmt: &Statement,
@@ -202,23 +202,57 @@ impl RaSqlContext {
             let pc = self.planner_catalog.lock();
             analyze_statement(stmt, &pc)?
         };
+        if let AnalyzedStatement::CreateView { name, plan } = analyzed {
+            let plan = optimize(plan);
+            self.planner_catalog.lock().add_view(&name, plan);
+            return Ok(empty_result());
+        }
+        self.dispatch(analyzed, stmt, source, None)
+    }
+
+    /// Execute one statement analyzed against a caller-supplied catalog — the
+    /// session path. `CREATE VIEW` does *not* mutate the shared planner
+    /// catalog; the definition comes back as
+    /// [`StatementOutcome::CreatedView`] for the caller to install in its own
+    /// overlay. `parent` links the query's cancellation token under the
+    /// session's interrupt token, so dropping a connection cancels its
+    /// in-flight queries.
+    pub(crate) fn run_statement_in(
+        &self,
+        stmt: &Statement,
+        source: &str,
+        catalog: &ViewCatalog,
+        parent: Option<&CancellationToken>,
+    ) -> Result<StatementOutcome, EngineError> {
+        let analyzed = analyze_statement(stmt, catalog)?;
+        if let AnalyzedStatement::CreateView { name, plan } = analyzed {
+            let plan = optimize(plan);
+            return Ok(StatementOutcome::CreatedView { name, plan });
+        }
+        Ok(StatementOutcome::Rows(Box::new(
+            self.dispatch(analyzed, stmt, source, parent)?,
+        )))
+    }
+
+    /// Run a non-view analyzed statement. `CREATE VIEW` never reaches here
+    /// (both callers intercept it, because where the view lands differs);
+    /// defensively it is a no-op result.
+    fn dispatch(
+        &self,
+        analyzed: AnalyzedStatement,
+        stmt: &Statement,
+        source: &str,
+        parent: Option<&CancellationToken>,
+    ) -> Result<QueryResult, EngineError> {
         match analyzed {
-            AnalyzedStatement::CreateView { name, plan } => {
-                let plan = optimize(plan);
-                self.planner_catalog.lock().add_view(&name, plan);
-                Ok(QueryResult {
-                    relation: Relation::empty(Schema::empty()),
-                    stats: QueryStats::default(),
-                    trace: None,
-                })
-            }
-            AnalyzedStatement::Query(q) => self.execute_query(q, self.tracing_enabled()),
+            AnalyzedStatement::CreateView { .. } => Ok(empty_result()),
+            AnalyzedStatement::Query(q) => self.execute_query(q, self.tracing_enabled(), parent),
             AnalyzedStatement::Check(q) => {
                 Ok(crate::check::check_result(&self.run_check(&q, source)))
             }
             AnalyzedStatement::Explain { analyze, inner } => {
                 let verification = innermost_query(stmt).map(|q| self.verify_ast(q).summary());
-                self.execute_explain(analyze, *inner, verification, source)
+                self.execute_explain(analyze, *inner, verification, source, parent)
             }
         }
     }
@@ -233,7 +267,17 @@ impl RaSqlContext {
     /// path — success, typed error, cancellation — deregisters the query,
     /// releases the admission slot, and drops the governor (removing any
     /// spill directory it created).
-    fn execute_query(&self, q: AnalyzedQuery, traced: bool) -> Result<QueryResult, EngineError> {
+    ///
+    /// With a `parent` token the query's own token is a child of it: the
+    /// query still has its own id and deadline, but also observes the
+    /// parent's cancel flag (a session interrupt fans out to every query the
+    /// session has in flight).
+    fn execute_query(
+        &self,
+        q: AnalyzedQuery,
+        traced: bool,
+        parent: Option<&CancellationToken>,
+    ) -> Result<QueryResult, EngineError> {
         let permit = match self.admission.admit() {
             Ok(p) => {
                 Metrics::add(&self.cluster.metrics.admitted, 1);
@@ -247,12 +291,12 @@ impl RaSqlContext {
         let query_id = self.query_seq.fetch_add(1, Ordering::Relaxed) + 1;
         let timeout = (self.config.query_timeout_ms > 0)
             .then(|| Duration::from_millis(self.config.query_timeout_ms));
-        let governor = QueryGovernor::new(
-            query_id,
-            self.config.memory_budget,
-            timeout,
-            &self.spill_root,
-        );
+        let token = match parent {
+            Some(p) => p.child(query_id, timeout),
+            None => CancellationToken::new(query_id, timeout),
+        };
+        let governor =
+            QueryGovernor::with_token(query_id, self.config.memory_budget, token, &self.spill_root);
         self.active
             .lock()
             .insert(query_id, governor.token().clone());
@@ -332,7 +376,6 @@ impl RaSqlContext {
             elapsed,
             metrics,
         };
-        *self.last_stats.lock() = stats.clone();
         Ok(QueryResult {
             relation: rel,
             stats,
@@ -377,6 +420,7 @@ impl RaSqlContext {
         inner: AnalyzedStatement,
         verification: Option<String>,
         source: &str,
+        parent: Option<&CancellationToken>,
     ) -> Result<QueryResult, EngineError> {
         match inner {
             // EXPLAIN CHECK is the same as CHECK: the report *is* the plan
@@ -394,7 +438,7 @@ impl RaSqlContext {
                     .cloned()
                     .map(|c| optimize_spec(c).display())
                     .collect();
-                let mut result = self.execute_query(q, true)?;
+                let mut result = self.execute_query(q, true, parent)?;
                 let trace = result.trace.take().expect("tracing forced on");
                 let mut text = String::new();
                 for c in &cliques_for_render {
@@ -502,15 +546,6 @@ impl RaSqlContext {
         self.catalog.table_names()
     }
 
-    /// Statistics of the most recent query.
-    #[deprecated(
-        since = "0.2.0",
-        note = "use the `stats` field of the `QueryResult` returned by `query`"
-    )]
-    pub fn last_stats(&self) -> QueryStats {
-        self.last_stats.lock().clone()
-    }
-
     /// Cumulative cluster metrics.
     pub fn metrics(&self) -> MetricsSnapshot {
         self.cluster.metrics.snapshot()
@@ -533,6 +568,21 @@ impl RaSqlContext {
 
     pub(crate) fn catalog(&self) -> &Catalog {
         &self.catalog
+    }
+
+    /// A clone of the shared planner catalog — the base a session overlays
+    /// its private views onto.
+    pub(crate) fn planner_snapshot(&self) -> ViewCatalog {
+        self.planner_catalog.lock().clone()
+    }
+}
+
+/// The empty result `CREATE VIEW` statements return.
+pub(crate) fn empty_result() -> QueryResult {
+    QueryResult {
+        relation: Relation::empty(Schema::empty()),
+        stats: QueryStats::default(),
+        trace: None,
     }
 }
 

@@ -33,6 +33,8 @@ pub mod fixpoint;
 pub mod kernel;
 pub mod library;
 pub mod prem;
+pub mod session;
+pub mod wire;
 
 pub use check::{CheckReport, PremColumnEvidence, PremEvidence};
 pub use config::{EngineConfig, EvalMode, JoinStrategy};
@@ -46,3 +48,5 @@ pub use rasql_exec::{
 pub use rasql_plan::{
     DiagCode, Diagnostic, PremObligation, Severity, StaticVerdict, VerifyReport, ViewVerification,
 };
+pub use session::Session;
+pub use wire::{error_to_wire, result_to_wire, stats_to_wire};

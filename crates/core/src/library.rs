@@ -114,7 +114,7 @@ pub fn mlm_bonus() -> String {
 }
 
 /// Example 6: interval coalescing — a two-statement script (CREATE VIEW +
-/// recursive query); run with `execute_script`.
+/// recursive query); run with `query_script`.
 pub fn interval_coalesce() -> String {
     "CREATE VIEW lstart(T) AS \
        (SELECT a.S FROM inter a, inter b WHERE a.S <= b.E \

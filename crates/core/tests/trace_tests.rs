@@ -198,16 +198,15 @@ fn builder_configures_tracing_and_workers() {
     assert!(ctx.query(&library::reach(0)).unwrap().trace.is_none());
 }
 
-/// The deprecated `sql()`/`last_stats()` shims still work and agree with
-/// the `query()` path they delegate to.
+/// `query()` is the single result path: rows and stats travel in one value
+/// (the old `sql()`/`last_stats()` side channel is gone).
 #[test]
-#[allow(deprecated)]
-fn deprecated_shims_delegate_to_query() {
+fn query_carries_rows_and_stats_together() {
     let ctx = RaSqlContext::with_config(EngineConfig::rasql().with_workers(2));
     ctx.register("edge", Relation::edges(&chain_edges(6)))
         .unwrap();
-    let via_shim = ctx.query(&library::transitive_closure()).unwrap().relation;
-    let shim = ctx.sql(&library::transitive_closure()).unwrap();
-    assert_eq!(shim.sorted(), via_shim.sorted());
-    assert!(!ctx.last_stats().iterations.is_empty());
+    let result = ctx.query(&library::transitive_closure()).unwrap();
+    assert_eq!(result.relation.len(), 21, "6-chain closure");
+    assert!(!result.stats.iterations.is_empty());
+    assert!(result.stats.query_id > 0);
 }

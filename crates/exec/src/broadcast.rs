@@ -7,12 +7,11 @@
 //! cost as `payload_bytes × workers` charged to `broadcast_bytes`, and the
 //! per-worker rebuild runs as a real stage on each worker.
 
-use crate::cluster::Cluster;
+use crate::cluster::{Cluster, StageTask};
 use crate::error::ExecError;
 use crate::governor::QueryGovernor;
 use crate::metrics::Metrics;
 use crate::trace::{StageKind, TraceSink};
-use parking_lot::Mutex;
 use std::sync::Arc;
 
 /// A value replicated to every worker.
@@ -66,43 +65,25 @@ impl<T: Send + Sync + 'static> Broadcast<T> {
             g.tracker().charge(replicated);
         }
         Metrics::add(&cluster.metrics.broadcast_bytes, replicated);
-        let built: Arc<Mutex<Vec<Option<Arc<T>>>>> =
-            Arc::new(Mutex::new((0..cluster.workers()).map(|_| None).collect()));
-        let built2 = Arc::clone(&built);
+        // One task per replica, indexed by the worker the copy is FOR. The
+        // stage returns results in task order, so a task retried on a
+        // different worker (fault injection, blacklisting) still lands its
+        // copy in the right slot — the executing worker only pays the build
+        // cost.
         let build = Arc::new(build);
-        let stage = cluster.run_on_all_workers_traced(
-            sink,
-            "broadcast build",
-            StageKind::Broadcast,
-            move |w| {
-                let v = Arc::new(build(w));
-                built2.lock()[w] = Some(v);
-            },
-        );
+        let tasks = (0..cluster.workers())
+            .map(|w| {
+                let build = Arc::clone(&build);
+                StageTask::new(w, move |_wid| Arc::new(build(w)))
+            })
+            .collect();
+        let stage = cluster.run_stage_traced(sink, "broadcast build", StageKind::Broadcast, tasks);
         if let Some(g) = governor {
             // The build stage is done (or failed): the transient charge ends
             // here; the live replicas are the consumer's to account.
             g.tracker().release(replicated);
         }
-        stage?;
-        let slots = Arc::try_unwrap(built)
-            .map_err(|_| ExecError::TaskPanicked {
-                stage: "broadcast build".into(),
-                task: 0,
-                worker: 0,
-                message: "broadcast slots still shared after the build stage".into(),
-            })?
-            .into_inner();
-        let mut copies = Vec::with_capacity(slots.len());
-        for (w, slot) in slots.into_iter().enumerate() {
-            copies.push(slot.ok_or_else(|| ExecError::TaskPanicked {
-                stage: "broadcast build".into(),
-                task: w,
-                worker: w,
-                message: "worker produced no broadcast copy".into(),
-            })?);
-        }
-        Ok(Broadcast { copies })
+        Ok(Broadcast { copies: stage? })
     }
 
     /// The copy local to `worker`.

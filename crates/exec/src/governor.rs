@@ -130,6 +130,19 @@ struct CancelInner {
     deadline: Option<Instant>,
     timeout_ms: u64,
     query_id: u64,
+    /// Cancelling a parent cancels every child (used by server sessions:
+    /// one session-scoped token parents each query's token, so a client
+    /// disconnect fires every in-flight query of that session at once).
+    parent: Option<Arc<CancelInner>>,
+}
+
+impl CancelInner {
+    fn flag_raised(&self) -> bool {
+        if self.cancelled.load(Ordering::Relaxed) {
+            return true;
+        }
+        self.parent.as_ref().is_some_and(|p| p.flag_raised())
+    }
 }
 
 /// Shared cancel flag plus optional deadline for one query.
@@ -139,6 +152,10 @@ struct CancelInner {
 /// Cancellation is cooperative — [`CancellationToken::check`] is called at
 /// stage and fixpoint-round boundaries and returns a typed error that
 /// unwinds through the normal [`Result`] path.
+///
+/// Tokens can be linked: [`CancellationToken::child`] makes a token that
+/// also observes its parent's flag, so one session-level cancel reaches
+/// every query started under it.
 #[derive(Debug, Clone)]
 pub struct CancellationToken {
     inner: Arc<CancelInner>,
@@ -154,19 +171,39 @@ impl CancellationToken {
                 deadline: timeout.map(|t| Instant::now() + t),
                 timeout_ms: timeout.map_or(0, |t| t.as_millis() as u64),
                 query_id,
+                parent: None,
             }),
         }
     }
 
-    /// Request cancellation. Takes effect at the next cooperative check.
+    /// A token for `query_id` that is also cancelled whenever `self` is.
+    /// The deadline is the child's own; the parent contributes only its
+    /// cancel flag.
+    #[must_use]
+    pub fn child(&self, query_id: u64, timeout: Option<Duration>) -> Self {
+        CancellationToken {
+            inner: Arc::new(CancelInner {
+                cancelled: AtomicBool::new(false),
+                deadline: timeout.map(|t| Instant::now() + t),
+                timeout_ms: timeout.map_or(0, |t| t.as_millis() as u64),
+                query_id,
+                parent: Some(Arc::clone(&self.inner)),
+            }),
+        }
+    }
+
+    /// Request cancellation. Takes effect at the next cooperative check
+    /// (of this token and of every token derived from it via
+    /// [`CancellationToken::child`]).
     pub fn cancel(&self) {
         self.inner.cancelled.store(true, Ordering::Relaxed);
     }
 
-    /// True once [`CancellationToken::cancel`] has been called.
+    /// True once [`CancellationToken::cancel`] has been called on this token
+    /// or any ancestor.
     #[must_use]
     pub fn is_cancelled(&self) -> bool {
-        self.inner.cancelled.load(Ordering::Relaxed)
+        self.inner.flag_raised()
     }
 
     /// The query this token governs.
@@ -228,10 +265,28 @@ impl QueryGovernor {
         timeout: Option<Duration>,
         spill_root: &Path,
     ) -> Self {
+        Self::with_token(
+            query_id,
+            memory_budget,
+            CancellationToken::new(query_id, timeout),
+            spill_root,
+        )
+    }
+
+    /// A governor that enforces an externally-created [`CancellationToken`]
+    /// (e.g. a child of a server session's token, so a client disconnect
+    /// cancels the query mid-fixpoint).
+    #[must_use]
+    pub fn with_token(
+        query_id: u64,
+        memory_budget: u64,
+        token: CancellationToken,
+        spill_root: &Path,
+    ) -> Self {
         QueryGovernor {
             query_id,
             tracker: MemoryTracker::new(memory_budget),
-            token: CancellationToken::new(query_id, timeout),
+            token,
             spill_root: spill_root.to_path_buf(),
             spill: Mutex::new(None),
             spilled_bytes: AtomicU64::new(0),
@@ -481,6 +536,23 @@ mod tests {
                 timeout_ms: 0
             })
         );
+    }
+
+    #[test]
+    fn child_token_observes_parent_cancel() {
+        let session = CancellationToken::new(0, None);
+        let q1 = session.child(1, None);
+        let q2 = session.child(2, None);
+        assert!(q1.check().is_ok());
+        session.cancel();
+        assert_eq!(q1.check(), Err(ExecError::Cancelled { query_id: 1 }));
+        assert_eq!(q2.check(), Err(ExecError::Cancelled { query_id: 2 }));
+        // Child cancel does not propagate upward or sideways.
+        let fresh = CancellationToken::new(0, None);
+        let child = fresh.child(3, None);
+        child.cancel();
+        assert!(fresh.check().is_ok());
+        assert!(fresh.child(4, None).check().is_ok());
     }
 
     #[test]

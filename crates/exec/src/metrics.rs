@@ -178,6 +178,49 @@ pub struct MetricsSnapshot {
     pub rejected: u64,
 }
 
+impl MetricsSnapshot {
+    /// Render in Prometheus text exposition format (`# TYPE` line plus a
+    /// sample per counter, `rasql_`-prefixed) — what `rasql-server` returns
+    /// for its `Metrics` command so any scraper can ingest engine state.
+    pub fn prometheus_text(&self) -> String {
+        let counters: [(&str, &str, u64); 22] = [
+            ("stages_total", "counter", self.stages),
+            ("tasks_total", "counter", self.tasks),
+            ("shuffle_rows_total", "counter", self.shuffle_rows),
+            ("shuffle_bytes_total", "counter", self.shuffle_bytes),
+            (
+                "remote_fetch_bytes_total",
+                "counter",
+                self.remote_fetch_bytes,
+            ),
+            ("broadcast_bytes_total", "counter", self.broadcast_bytes),
+            ("join_output_rows_total", "counter", self.join_output_rows),
+            ("iterations_total", "counter", self.iterations),
+            ("remote_fetches_total", "counter", self.remote_fetches),
+            ("task_failures_total", "counter", self.task_failures),
+            ("task_retries_total", "counter", self.task_retries),
+            ("worker_blacklists_total", "counter", self.worker_blacklists),
+            ("checkpoints_total", "counter", self.checkpoints),
+            ("checkpoint_bytes_total", "counter", self.checkpoint_bytes),
+            ("restores_total", "counter", self.restores),
+            ("combined_rows_total", "counter", self.combined_rows),
+            ("spilled_bytes_total", "counter", self.spilled_bytes),
+            ("spill_files_total", "counter", self.spill_files),
+            ("peak_memory_bytes", "gauge", self.peak_memory),
+            ("cancellations_total", "counter", self.cancellations),
+            ("admitted_total", "counter", self.admitted),
+            ("rejected_total", "counter", self.rejected),
+        ];
+        let mut out = String::new();
+        for (name, kind, value) in counters {
+            out.push_str(&format!(
+                "# TYPE rasql_{name} {kind}\nrasql_{name} {value}\n"
+            ));
+        }
+        out
+    }
+}
+
 impl std::fmt::Display for MetricsSnapshot {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         write!(
@@ -237,6 +280,17 @@ impl std::fmt::Display for MetricsSnapshot {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn prometheus_text_exposition() {
+        let m = Metrics::new();
+        Metrics::add(&m.stages, 3);
+        Metrics::add(&m.cancellations, 1);
+        let text = m.snapshot().prometheus_text();
+        assert!(text.contains("# TYPE rasql_stages_total counter\nrasql_stages_total 3\n"));
+        assert!(text.contains("rasql_cancellations_total 1\n"));
+        assert!(text.contains("# TYPE rasql_peak_memory_bytes gauge\n"));
+    }
 
     #[test]
     fn snapshot_and_reset() {

@@ -1,0 +1,126 @@
+//! `rasql-server` binary: stand up an engine, listen, serve until a client
+//! sends `Shutdown`.
+
+use rasql_core::RaSqlContext;
+use std::process::ExitCode;
+use std::sync::Arc;
+use std::time::Duration;
+
+const USAGE: &str = "\
+rasql-server — RaSQL query daemon
+
+USAGE:
+    rasql-server [OPTIONS]
+
+OPTIONS:
+    --listen ADDR          Listen address (default 127.0.0.1:7432; port 0 picks one)
+    --workers N            Simulated cluster workers (default: cores, clamped 2..8)
+    --memory-budget BYTES  Per-query memory budget, 0 = unlimited (default 0)
+    --timeout-ms MS        Per-query deadline, 0 = none (default 0)
+    --max-concurrent N     Concurrent query cap, 0 = unlimited (default 0)
+    --admission-queue N    Admission wait-queue capacity (default 16)
+    --fault P              Inject task-kill faults with probability P (default off)
+    --retries N            Retry budget for injected faults (default 3)
+    --drain-ms MS          Shutdown drain timeout (default 10000)
+    -h, --help             This help
+";
+
+struct Options {
+    listen: String,
+    workers: usize,
+    memory_budget: u64,
+    timeout_ms: u64,
+    max_concurrent: usize,
+    admission_queue: usize,
+    fault: Option<f64>,
+    retries: u32,
+    drain_ms: u64,
+}
+
+fn parse_args() -> Result<Options, String> {
+    let mut opts = Options {
+        listen: "127.0.0.1:7432".to_string(),
+        workers: std::thread::available_parallelism()
+            .map(std::num::NonZeroUsize::get)
+            .unwrap_or(2)
+            .clamp(2, 8),
+        memory_budget: 0,
+        timeout_ms: 0,
+        max_concurrent: 0,
+        admission_queue: 16,
+        fault: None,
+        retries: 3,
+        drain_ms: 10_000,
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let mut value = |flag: &str| args.next().ok_or_else(|| format!("{flag} expects a value"));
+        match arg.as_str() {
+            "--listen" => opts.listen = value("--listen")?,
+            "--workers" => opts.workers = parse(&value("--workers")?)?,
+            "--memory-budget" => opts.memory_budget = parse(&value("--memory-budget")?)?,
+            "--timeout-ms" => opts.timeout_ms = parse(&value("--timeout-ms")?)?,
+            "--max-concurrent" => opts.max_concurrent = parse(&value("--max-concurrent")?)?,
+            "--admission-queue" => opts.admission_queue = parse(&value("--admission-queue")?)?,
+            "--fault" => opts.fault = Some(parse(&value("--fault")?)?),
+            "--retries" => opts.retries = parse(&value("--retries")?)?,
+            "--drain-ms" => opts.drain_ms = parse(&value("--drain-ms")?)?,
+            "-h" | "--help" => {
+                print!("{USAGE}");
+                std::process::exit(0);
+            }
+            other => return Err(format!("unknown option '{other}'")),
+        }
+    }
+    Ok(opts)
+}
+
+fn parse<T: std::str::FromStr>(s: &str) -> Result<T, String> {
+    s.parse().map_err(|_| format!("invalid value '{s}'"))
+}
+
+fn main() -> ExitCode {
+    let opts = match parse_args() {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("error: {e}\n\n{USAGE}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let mut builder = RaSqlContext::builder()
+        .workers(opts.workers)
+        .memory_budget(opts.memory_budget)
+        .query_timeout_ms(opts.timeout_ms)
+        .max_concurrent_queries(opts.max_concurrent)
+        .admission_queue(opts.admission_queue)
+        .max_task_retries(opts.retries);
+    if let Some(p) = opts.fault {
+        builder = builder.faults(Some(rasql_exec::FaultSpec {
+            kill: p,
+            ..Default::default()
+        }));
+    }
+    let ctx = Arc::new(builder.build());
+    let handle =
+        match rasql_server::serve_with(ctx, &opts.listen, Duration::from_millis(opts.drain_ms)) {
+            Ok(h) => h,
+            Err(e) => {
+                eprintln!("error: cannot listen on {}: {e}", opts.listen);
+                return ExitCode::FAILURE;
+            }
+        };
+    eprintln!(
+        "{} listening on {}",
+        rasql_server::SERVER_IDENT,
+        handle.addr()
+    );
+    handle.wait_for_shutdown();
+    eprintln!("shutdown requested; draining");
+    if handle.shutdown() {
+        eprintln!("drained cleanly");
+        ExitCode::SUCCESS
+    } else {
+        eprintln!("drain timeout hit; interrupted remaining sessions");
+        ExitCode::FAILURE
+    }
+}

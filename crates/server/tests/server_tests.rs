@@ -1,0 +1,301 @@
+//! Integration tests: real TCP connections against an in-process server.
+
+use rasql_api::wire::{read_response, send_request, Request, Response, PROTOCOL_VERSION};
+use rasql_api::ErrorCode;
+use rasql_client::Client;
+use rasql_core::RaSqlContext;
+use rasql_storage::{Relation, Value};
+use std::io::Write;
+use std::net::TcpStream;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+fn chain_edges(n: i64) -> Vec<(i64, i64)> {
+    (0..n).map(|i| (i, i + 1)).collect()
+}
+
+fn start_server(workers: usize) -> (rasql_server::ServerHandle, Arc<RaSqlContext>) {
+    let ctx = Arc::new(RaSqlContext::builder().workers(workers).build());
+    ctx.register("edge", Relation::edges(&chain_edges(64)))
+        .unwrap();
+    let handle =
+        rasql_server::serve_with(Arc::clone(&ctx), "127.0.0.1:0", Duration::from_secs(5)).unwrap();
+    (handle, ctx)
+}
+
+fn spill_dirs() -> usize {
+    std::fs::read_dir(std::env::temp_dir())
+        .map(|rd| {
+            rd.filter_map(Result::ok)
+                .filter(|e| e.file_name().to_string_lossy().starts_with("rasql-spill-"))
+                .count()
+        })
+        .unwrap_or(0)
+}
+
+/// Current thread count of this process (Linux); `None` elsewhere, which
+/// disables the leak check rather than failing it.
+fn thread_count() -> Option<usize> {
+    let status = std::fs::read_to_string("/proc/self/status").ok()?;
+    status
+        .lines()
+        .find_map(|l| l.strip_prefix("Threads:"))
+        .and_then(|v| v.trim().parse().ok())
+}
+
+#[test]
+fn query_round_trip_matches_local() {
+    let (handle, ctx) = start_server(2);
+    let tc = "WITH recursive tc (Src, Dst) AS \
+                (SELECT Src, Dst FROM edge) UNION \
+                (SELECT tc.Src, edge.Dst FROM tc, edge WHERE tc.Dst = edge.Src) \
+              SELECT Src, Dst FROM tc";
+
+    let mut client = Client::connect(handle.addr()).unwrap();
+    assert!(client.server().starts_with("rasql-server/"));
+    let remote = client.query(tc).unwrap();
+    let local = ctx.query(tc).unwrap();
+    assert_eq!(remote.len(), 1);
+    assert_eq!(
+        remote[0].sorted_rows(),
+        rasql_core::result_to_wire(&local).sorted_rows(),
+        "remote rows must be bit-identical to local execution"
+    );
+    assert!(remote[0].stats.iterations > 0);
+    client.close().unwrap();
+    assert!(handle.shutdown(), "drain should be clean");
+}
+
+#[test]
+fn streaming_batches_reassemble_large_results() {
+    let (handle, _ctx) = start_server(2);
+    let mut client = Client::connect(handle.addr()).unwrap();
+    // 65 nodes -> 65*64/2 + 65 = 2145 closure rows: several 512-row batches.
+    let tc = "WITH recursive tc (Src, Dst) AS \
+                (SELECT Src, Dst FROM edge) UNION \
+                (SELECT tc.Src, edge.Dst FROM tc, edge WHERE tc.Dst = edge.Src) \
+              SELECT Src, Dst FROM tc";
+    let results = client.query(tc).unwrap();
+    assert_eq!(results[0].rows.len(), 64 * 65 / 2);
+    client.close().unwrap();
+}
+
+#[test]
+fn session_views_and_prepared_statements_are_per_connection() {
+    let (handle, _ctx) = start_server(2);
+    let mut a = Client::connect(handle.addr()).unwrap();
+    let mut b = Client::connect(handle.addr()).unwrap();
+
+    a.query("CREATE VIEW firsthop AS SELECT Src, Dst FROM edge WHERE Src = 0")
+        .unwrap();
+    let rows = a.query("SELECT count(*) FROM firsthop").unwrap();
+    assert_eq!(rows[0].rows[0][0], Value::Int(1));
+    // The other connection never sees the view...
+    let err = b.query("SELECT count(*) FROM firsthop").unwrap_err();
+    assert_eq!(err.code, ErrorCode::Plan);
+
+    // ...nor the prepared statement.
+    assert_eq!(
+        a.prepare("hop", "SELECT count(*) FROM firsthop").unwrap(),
+        1
+    );
+    let again = a.execute("hop").unwrap();
+    assert_eq!(again[0].rows[0][0], Value::Int(1));
+    let err = b.execute("hop").unwrap_err();
+    assert_eq!(err.code, ErrorCode::UnknownPrepared);
+
+    // Base tables are shared: registering through one session is visible
+    // to the other.
+    let rel = Relation::edges(&[(100, 200)]);
+    let n = a
+        .register("extra", rel.schema().clone(), rel.rows().to_vec())
+        .unwrap();
+    assert_eq!(n, 1);
+    let rows = b.query("SELECT count(*) FROM extra").unwrap();
+    assert_eq!(rows[0].rows[0][0], Value::Int(1));
+
+    a.close().unwrap();
+    b.close().unwrap();
+}
+
+#[test]
+fn errors_carry_stable_codes() {
+    let (handle, _ctx) = start_server(2);
+    let mut client = Client::connect(handle.addr()).unwrap();
+    assert_eq!(client.query("SELEKT 1").unwrap_err().code, ErrorCode::Parse);
+    assert_eq!(
+        client.query("SELECT * FROM missing").unwrap_err().code,
+        ErrorCode::Plan
+    );
+    // The connection survives errors: the next query works.
+    assert!(client.query("SELECT count(*) FROM edge").is_ok());
+    client.close().unwrap();
+}
+
+#[test]
+fn version_mismatch_is_refused() {
+    let (handle, _ctx) = start_server(2);
+    let mut stream = TcpStream::connect(handle.addr()).unwrap();
+    send_request(&mut stream, &Request::Hello { version: 999 }).unwrap();
+    match read_response(&mut stream).unwrap() {
+        Response::Error { error } => assert_eq!(error.code, ErrorCode::VersionMismatch),
+        other => panic!("expected Error, got {other:?}"),
+    }
+}
+
+#[test]
+fn garbage_bytes_are_rejected_not_hung() {
+    let (handle, _ctx) = start_server(2);
+    let mut stream = TcpStream::connect(handle.addr()).unwrap();
+    stream.write_all(b"GET / HTTP/1.1\r\n\r\n").unwrap();
+    stream.flush().unwrap();
+    // The server answers with a protocol error frame and closes.
+    match read_response(&mut stream) {
+        Ok(Response::Error { error }) => assert_eq!(error.code, ErrorCode::Protocol),
+        // Or it already closed on us — also acceptable.
+        Err(e) => assert!(
+            matches!(
+                e.code,
+                ErrorCode::ConnectionClosed | ErrorCode::Protocol | ErrorCode::Io
+            ),
+            "unexpected: {e}"
+        ),
+        Ok(other) => panic!("expected Error, got {other:?}"),
+    }
+}
+
+/// The headline enforcement test: a client that disconnects mid-query has
+/// its in-flight fixpoint cancelled — observed via the engine's
+/// cancellation metric — and leaks neither spill directories nor worker
+/// threads.
+#[test]
+fn disconnect_mid_query_cancels_and_leaks_nothing() {
+    let ctx = Arc::new(
+        RaSqlContext::builder()
+            .workers(2)
+            // Tight budget so the long query is actively spilling when the
+            // client vanishes — the governor's spill dir must still go away.
+            .memory_budget(256 * 1024)
+            .build(),
+    );
+    // A dense-ish graph whose closure is expensive enough to still be
+    // running when we sever the connection.
+    let n: i64 = 400;
+    let mut edges: Vec<(i64, i64)> = chain_edges(n);
+    edges.extend((0..n).map(|i| (i, (i * 7 + 3) % n)));
+    edges.extend((0..n).map(|i| (i, (i * 13 + 1) % n)));
+    ctx.register("edge", Relation::edges(&edges)).unwrap();
+    let handle =
+        rasql_server::serve_with(Arc::clone(&ctx), "127.0.0.1:0", Duration::from_secs(5)).unwrap();
+
+    let dirs_before = spill_dirs();
+    let cancellations_before = ctx.metrics().cancellations;
+
+    // Raw socket: handshake, fire the query, read the first frame (so we
+    // know execution started), then drop the socket without reading more.
+    {
+        let mut stream = TcpStream::connect(handle.addr()).unwrap();
+        send_request(
+            &mut stream,
+            &Request::Hello {
+                version: PROTOCOL_VERSION,
+            },
+        )
+        .unwrap();
+        let hello = read_response(&mut stream).unwrap();
+        assert!(matches!(hello, Response::Hello { .. }));
+        send_request(
+            &mut stream,
+            &Request::Query {
+                sql: "WITH recursive tc (Src, Dst) AS \
+                        (SELECT Src, Dst FROM edge) UNION \
+                        (SELECT tc.Src, edge.Dst FROM tc, edge WHERE tc.Dst = edge.Src) \
+                      SELECT count(*) FROM tc"
+                    .to_string(),
+            },
+        )
+        .unwrap();
+        // Give the query time to admit and start iterating, then vanish.
+        let deadline = Instant::now() + Duration::from_secs(5);
+        while ctx.active_queries().is_empty() && Instant::now() < deadline {
+            std::thread::sleep(Duration::from_millis(2));
+        }
+        assert!(
+            !ctx.active_queries().is_empty(),
+            "query never started executing"
+        );
+        // stream drops here: EOF at the server.
+    }
+
+    // The server must notice the EOF and cancel the in-flight query.
+    let deadline = Instant::now() + Duration::from_secs(10);
+    while ctx.metrics().cancellations == cancellations_before && Instant::now() < deadline {
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    assert!(
+        ctx.metrics().cancellations > cancellations_before,
+        "disconnect did not surface as a cancellation"
+    );
+    // And the active-query table must drain.
+    let deadline = Instant::now() + Duration::from_secs(10);
+    while !ctx.active_queries().is_empty() && Instant::now() < deadline {
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    assert!(ctx.active_queries().is_empty(), "query still active");
+
+    // The engine is immediately usable for the next client.
+    let mut client = Client::connect(handle.addr()).unwrap();
+    let rows = client.query("SELECT count(*) FROM edge").unwrap();
+    assert_eq!(rows[0].rows[0][0], Value::Int(3 * n));
+    client.close().unwrap();
+
+    assert!(
+        handle.shutdown(),
+        "drain should be clean after cancellation"
+    );
+
+    // No leaked governor spill directories; no leaked connection threads.
+    assert_eq!(
+        spill_dirs(),
+        dirs_before,
+        "spill directory leaked past disconnect"
+    );
+    if let Some(threads) = thread_count() {
+        // All server threads joined by shutdown(); allow generous slack for
+        // the test harness itself.
+        assert!(
+            threads < 64,
+            "thread count suspiciously high after shutdown: {threads}"
+        );
+    }
+}
+
+#[test]
+fn kill_metrics_and_status_are_reachable() {
+    let (handle, _ctx) = start_server(2);
+    let mut client = Client::connect(handle.addr()).unwrap();
+
+    // Nothing running: kill misses.
+    assert!(!client.kill(123_456).unwrap());
+
+    let status = client.status().unwrap();
+    assert!(status.tables.contains(&"edge".to_string()));
+    assert_eq!(status.sessions, 1);
+    assert!(status.active_queries.is_empty());
+
+    client.query("SELECT count(*) FROM edge").unwrap();
+    let metrics = client.metrics().unwrap();
+    assert!(metrics.contains("# TYPE rasql_stages_total counter"));
+    assert!(metrics.contains("rasql_admitted_total"));
+    client.close().unwrap();
+}
+
+#[test]
+fn client_shutdown_request_drains_server() {
+    let (handle, _ctx) = start_server(2);
+    let client = Client::connect(handle.addr()).unwrap();
+    client.shutdown().unwrap();
+    handle.wait_for_shutdown();
+    assert!(handle.is_shutting_down());
+    assert!(handle.shutdown());
+}

@@ -2,13 +2,16 @@
 
 //! # rasql-storage
 //!
-//! The storage substrate of the RaSQL reproduction: dynamically-typed values,
-//! rows, schemas, in-memory relations, hash partitioning, a fast non-cryptographic
-//! hasher, and the varint/delta codecs used for compressed broadcast of base
-//! relations (paper §7.2).
+//! The storage substrate of the RaSQL reproduction: in-memory relations,
+//! hash partitioning, a fast non-cryptographic hasher, and the varint/delta
+//! codecs used for compressed broadcast of base relations (paper §7.2).
 //!
-//! Everything above this crate (parser, planner, executor, fixpoint operator)
-//! manipulates data exclusively through the types defined here.
+//! The dynamically-typed value, row, and schema types live in the
+//! dependency-light `rasql-api` crate (they are part of the engine's stable
+//! wire surface) and are re-exported here at their historical paths, so
+//! everything above this crate (parser, planner, executor, fixpoint
+//! operator) keeps manipulating data through `rasql_storage::{Value, Row,
+//! Schema}` — which *are* the wire types, no conversion needed.
 //!
 //! ## Quick tour
 //!
@@ -32,9 +35,22 @@ pub mod error;
 pub mod hasher;
 pub mod partition;
 pub mod relation;
-pub mod row;
-pub mod schema;
-pub mod value;
+
+/// Re-export of the wire-facing row type (now defined in `rasql-api`, kept
+/// at its historical path here).
+pub mod row {
+    pub use rasql_api::row::*;
+}
+
+/// Re-export of the wire-facing schema types (now defined in `rasql-api`).
+pub mod schema {
+    pub use rasql_api::schema::*;
+}
+
+/// Re-export of the wire-facing value type (now defined in `rasql-api`).
+pub mod value {
+    pub use rasql_api::value::*;
+}
 
 pub use catalog::Catalog;
 pub use csr::{CsrGraph, CsrWeight};

@@ -34,3 +34,10 @@ cargo run --release -p rasql-bench --bin reproduce -- bench-kernels --scale 0.1
 # surviving results, actual spilling, a typed cancellation, and no leaked
 # spill directories or worker threads.
 cargo run --release -p rasql-bench --bin reproduce -- soak --scale 0.1
+
+# Server gate: an in-process rasql-server with concurrent TCP clients running
+# the complete example-query library under a tight memory budget and fault
+# injection, plus one remote kill — asserts surviving results bit-identical
+# to local execution, a clean drain on shutdown, and no leaked temp files or
+# threads.
+cargo run --release -p rasql-bench --bin reproduce -- serve-soak --scale 0.1
