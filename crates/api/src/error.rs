@@ -10,6 +10,7 @@
 //! | `RA0300` | SQL parse errors |
 //! | `RA0400` | analysis / planning errors (including verifier rejections) |
 //! | `RA0500` | storage and catalog errors |
+//! | `RA0501` | unknown materialized view |
 //! | `RA0601`–`RA0606` | execution & governance (panic, cancel, deadline, memory, spill I/O, admission) |
 //! | `RA0700` | fixpoint non-termination (iteration cap) |
 //! | `RA0901`–`RA0906` | protocol & session (malformed frame, version, unknown prepared name, connection closed, server shutdown, transport I/O) |
@@ -29,6 +30,8 @@ pub enum ErrorCode {
     Plan,
     /// `RA0500` — a storage or catalog operation failed.
     Storage,
+    /// `RA0501` — a statement named a materialized view that does not exist.
+    UnknownView,
     /// `RA0601` — execution failed (task panic or retries exhausted).
     ExecutionFailed,
     /// `RA0602` — the query was cooperatively cancelled (kill or disconnect).
@@ -68,6 +71,7 @@ impl ErrorCode {
             ErrorCode::Parse => "RA0300",
             ErrorCode::Plan => "RA0400",
             ErrorCode::Storage => "RA0500",
+            ErrorCode::UnknownView => "RA0501",
             ErrorCode::ExecutionFailed => "RA0601",
             ErrorCode::Cancelled => "RA0602",
             ErrorCode::DeadlineExceeded => "RA0603",
@@ -92,6 +96,7 @@ impl ErrorCode {
             "RA0300" => ErrorCode::Parse,
             "RA0400" => ErrorCode::Plan,
             "RA0500" => ErrorCode::Storage,
+            "RA0501" => ErrorCode::UnknownView,
             "RA0601" => ErrorCode::ExecutionFailed,
             "RA0602" => ErrorCode::Cancelled,
             "RA0603" => ErrorCode::DeadlineExceeded,
@@ -110,11 +115,12 @@ impl ErrorCode {
     }
 
     /// All defined codes (for exhaustive wire tests).
-    pub fn all() -> [ErrorCode; 17] {
+    pub fn all() -> [ErrorCode; 18] {
         [
             ErrorCode::Parse,
             ErrorCode::Plan,
             ErrorCode::Storage,
+            ErrorCode::UnknownView,
             ErrorCode::ExecutionFailed,
             ErrorCode::Cancelled,
             ErrorCode::DeadlineExceeded,

@@ -62,6 +62,22 @@ impl QueryResult {
     }
 }
 
+/// One materialized view's status, as returned by `ListViews`.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ViewInfo {
+    /// View name.
+    pub name: String,
+    /// Monotonically increasing version, bumped on every refresh.
+    pub version: u64,
+    /// Whether a base relation changed since the last refresh.
+    pub stale: bool,
+    /// Bytes of warm fixpoint state retained for delta-seeded refresh.
+    pub retained_bytes: u64,
+    /// How the last refresh ran: `"full"`, `"incremental"`, or `"none"`
+    /// for a view that has never been refreshed since creation.
+    pub last_refresh: String,
+}
+
 /// A point-in-time description of a server, as returned by `Status`.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct ServerStatus {

@@ -47,7 +47,7 @@
 //! and `Goodbye` are single-request/single-response.
 
 use crate::error::{ApiError, ErrorCode};
-use crate::result::{QueryStats, ServerStatus};
+use crate::result::{QueryStats, ServerStatus, ViewInfo};
 use crate::row::Row;
 use crate::schema::{DataType, Field, Schema};
 use crate::value::Value;
@@ -109,6 +109,8 @@ pub enum Request {
     Shutdown,
     /// Close this session politely.
     Goodbye,
+    /// List the materialized views and their staleness.
+    ListViews,
 }
 
 /// A server-to-client message.
@@ -170,6 +172,11 @@ pub enum Response {
     },
     /// The session (or, after `Shutdown`, the server) is closing.
     Goodbye,
+    /// `ListViews` reply.
+    Views {
+        /// One entry per materialized view, sorted by name.
+        views: Vec<ViewInfo>,
+    },
 }
 
 // --------------------------------------------------------------------
@@ -420,6 +427,36 @@ fn get_stats(input: &mut &[u8]) -> Result<QueryStats, ApiError> {
     })
 }
 
+fn put_views(buf: &mut Vec<u8>, views: &[ViewInfo]) {
+    put_varint(buf, views.len() as u64);
+    for v in views {
+        put_str(buf, &v.name);
+        put_varint(buf, v.version);
+        put_bool(buf, v.stale);
+        put_varint(buf, v.retained_bytes);
+        put_str(buf, &v.last_refresh);
+    }
+}
+
+fn get_views(input: &mut &[u8]) -> Result<Vec<ViewInfo>, ApiError> {
+    let n = usize::try_from(get_varint(input)?)
+        .map_err(|_| ApiError::protocol("view count out of range"))?;
+    if n > input.len() {
+        return Err(ApiError::protocol("view count exceeds payload"));
+    }
+    let mut views = Vec::with_capacity(n);
+    for _ in 0..n {
+        views.push(ViewInfo {
+            name: get_str(input)?,
+            version: get_varint(input)?,
+            stale: get_bool(input)?,
+            retained_bytes: get_varint(input)?,
+            last_refresh: get_str(input)?,
+        });
+    }
+    Ok(views)
+}
+
 fn put_error(buf: &mut Vec<u8>, e: &ApiError) {
     put_str(buf, e.code.code());
     put_str(buf, &e.message);
@@ -529,6 +566,7 @@ impl Request {
             Request::Status => buf.push(8),
             Request::Shutdown => buf.push(9),
             Request::Goodbye => buf.push(10),
+            Request::ListViews => buf.push(11),
         }
         buf
     }
@@ -566,6 +604,7 @@ impl Request {
             8 => Request::Status,
             9 => Request::Shutdown,
             10 => Request::Goodbye,
+            11 => Request::ListViews,
             other => return Err(ApiError::protocol(format!("unknown request tag {other}"))),
         };
         expect_empty(input)?;
@@ -621,6 +660,10 @@ impl Response {
                 put_status(&mut buf, status);
             }
             Response::Goodbye => buf.push(12),
+            Response::Views { views } => {
+                buf.push(13);
+                put_views(&mut buf, views);
+            }
         }
         buf
     }
@@ -666,6 +709,9 @@ impl Response {
                 status: get_status(&mut input)?,
             },
             12 => Response::Goodbye,
+            13 => Response::Views {
+                views: get_views(&mut input)?,
+            },
             other => return Err(ApiError::protocol(format!("unknown response tag {other}"))),
         };
         expect_empty(input)?;
@@ -835,10 +881,38 @@ mod tests {
             Request::Kill { query_id: 7 },
             Request::Metrics,
             Request::Goodbye,
+            Request::ListViews,
         ];
         for req in reqs {
             assert_eq!(Request::decode(&req.encode()).unwrap(), req);
         }
+    }
+
+    #[test]
+    fn views_response_round_trips() {
+        let resp = Response::Views {
+            views: vec![
+                ViewInfo {
+                    name: "paths".into(),
+                    version: 3,
+                    stale: true,
+                    retained_bytes: 4096,
+                    last_refresh: "incremental".into(),
+                },
+                ViewInfo {
+                    name: "reach".into(),
+                    version: 1,
+                    stale: false,
+                    retained_bytes: 0,
+                    last_refresh: "full".into(),
+                },
+            ],
+        };
+        assert_eq!(Response::decode(&resp.encode()).unwrap(), resp);
+        assert_eq!(
+            Response::decode(&Response::Views { views: vec![] }.encode()).unwrap(),
+            Response::Views { views: vec![] }
+        );
     }
 
     #[test]

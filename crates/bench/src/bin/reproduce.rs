@@ -3,7 +3,7 @@
 //! ```text
 //! reproduce [all|fig1|fig2|fig5|fig6|fig7|fig8|fig9|fig10|fig11|fig12|
 //!            table1|table2|table3|premcheck|traces|faults|lint|
-//!            bench-kernels|soak|serve-soak] [--scale X]
+//!            bench-kernels|ivm|soak|serve-soak] [--scale X]
 //!           [--faults SPEC] [--retries N] [--checkpoint-every K]
 //! ```
 //!
@@ -27,6 +27,14 @@
 //! result, plus a zero-retry checkpoint/restore leg. `--faults` overrides the
 //! default spec (e.g. `--faults kill=0.1,loss=0.05,seed=7`), `--retries` the
 //! retry budget, and `--checkpoint-every` the checkpoint interval.
+//!
+//! The `ivm` target runs the incremental-view-maintenance gate: every
+//! single-statement example query is materialized as a view, a withheld
+//! delta is inserted back, and the refresh must be bit-identical to a full
+//! recompute (delta-seeded when the verifier certifies the shape, full
+//! fallback with an RA0301 finding otherwise). It writes `BENCH_ivm.json`
+//! and exits non-zero if the small-delta R-MAT refresh is less than 5x
+//! faster than recomputing.
 //!
 //! The `soak` target runs the resource-governance soak: concurrent queries on
 //! one context under a tight memory budget with fault injection, plus one
@@ -87,8 +95,8 @@ fn main() {
             "--help" | "-h" => {
                 println!(
                     "reproduce [all|fig1|fig2|fig5|fig6|fig7|fig8|fig9|fig10|fig11|fig12|\n\
-                     table1|table2|table3|premcheck|traces|faults|lint|bench-kernels|soak|\n\
-                     serve-soak]...\n\
+                     table1|table2|table3|premcheck|traces|faults|lint|bench-kernels|ivm|\n\
+                     soak|serve-soak]...\n\
                      [--scale X] [--faults SPEC] [--retries N] [--checkpoint-every K]"
                 );
                 return;
@@ -158,6 +166,19 @@ fn main() {
         }
         println!("wrote {}", path.display());
         if let Err(e) = bench::kernels_meet_target(&json, 2.0) {
+            die(&e);
+        }
+    }
+    // Not part of `all`: a subsystem gate with its own artifact.
+    if targets.iter().any(|t| t == "ivm") {
+        let (table, json) = bench::ivm(scale);
+        println!("{}", table.render());
+        let path = std::path::Path::new("BENCH_ivm.json");
+        if let Err(e) = std::fs::write(path, json.render()) {
+            die(&format!("cannot write {}: {e}", path.display()));
+        }
+        println!("wrote {}", path.display());
+        if let Err(e) = bench::ivm_meets_target(&json, 5.0) {
             die(&e);
         }
     }

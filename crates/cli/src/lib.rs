@@ -267,6 +267,30 @@ impl Shell {
                     LineResult::Output(names.join("\n") + "\n")
                 }
             }
+            "\\views" => {
+                let views = match &mut self.remote {
+                    Some(client) => match client.views() {
+                        Ok(views) => views,
+                        Err(e) => return LineResult::Output(self.remote_error(&e)),
+                    },
+                    None => self.ctx.view_infos(),
+                };
+                if views.is_empty() {
+                    return LineResult::Output("no materialized views\n".into());
+                }
+                let mut out = String::from("name | version | stale | retained | last refresh\n");
+                for v in &views {
+                    out.push_str(&format!(
+                        "{} | {} | {} | {} B | {}\n",
+                        v.name,
+                        v.version,
+                        if v.stale { "stale" } else { "fresh" },
+                        v.retained_bytes,
+                        v.last_refresh,
+                    ));
+                }
+                LineResult::Output(out)
+            }
             "\\timing" => {
                 self.timing = parts.get(1) != Some(&"off");
                 LineResult::Output(format!(
@@ -409,9 +433,9 @@ impl Shell {
                 }
             }
             other => LineResult::Output(format!(
-                "unknown command '{other}' (try \\d, \\load, \\gen, \\explain, \\lint, \\prem, \
-                 \\timing, \\tracing, \\trace, \\fault, \\limits, \\kill, \\running, \\connect, \
-                 \\disconnect, \\metrics, \\q)\n"
+                "unknown command '{other}' (try \\d, \\views, \\load, \\gen, \\explain, \\lint, \
+                 \\prem, \\timing, \\tracing, \\trace, \\fault, \\limits, \\kill, \\running, \
+                 \\connect, \\disconnect, \\metrics, \\q)\n"
             )),
         }
     }
@@ -685,6 +709,53 @@ mod tests {
         }
         match sh.feed("\\nope") {
             LineResult::Output(o) => assert!(o.contains("unknown command"), "{o}"),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn views_command_lifecycle() {
+        let mut sh = Shell::new();
+        match sh.feed("\\views") {
+            LineResult::Output(o) => assert_eq!(o, "no materialized views\n"),
+            other => panic!("{other:?}"),
+        }
+        sh.feed("\\gen g rmat 50");
+        match sh.feed(
+            "CREATE MATERIALIZED VIEW t AS WITH recursive tc (Src, Dst) AS \
+             (SELECT Src, Dst FROM g) UNION \
+             (SELECT tc.Src, g.Dst FROM tc, g WHERE tc.Dst = g.Src) \
+             SELECT Src, Dst FROM tc;",
+        ) {
+            LineResult::Output(o) => assert!(o.contains("materialized view 't'"), "{o}"),
+            other => panic!("{other:?}"),
+        }
+        match sh.feed("\\views") {
+            LineResult::Output(o) => {
+                assert!(
+                    o.starts_with("name | version | stale | retained | last refresh\n"),
+                    "{o}"
+                );
+                assert!(o.contains("t | 1 | fresh |"), "{o}");
+            }
+            other => panic!("{other:?}"),
+        }
+        sh.feed("INSERT INTO g VALUES (9999, 1);");
+        match sh.feed("\\views") {
+            LineResult::Output(o) => assert!(o.contains("t | 1 | stale |"), "{o}"),
+            other => panic!("{other:?}"),
+        }
+        sh.feed("REFRESH MATERIALIZED VIEW t;");
+        match sh.feed("\\views") {
+            LineResult::Output(o) => {
+                assert!(o.contains("t | 2 | fresh |"), "{o}");
+                assert!(o.contains("incremental"), "{o}");
+            }
+            other => panic!("{other:?}"),
+        }
+        sh.feed("DROP MATERIALIZED VIEW t;");
+        match sh.feed("\\views") {
+            LineResult::Output(o) => assert_eq!(o, "no materialized views\n"),
             other => panic!("{other:?}"),
         }
     }

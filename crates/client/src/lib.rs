@@ -132,6 +132,17 @@ impl Client {
         }
     }
 
+    /// The server's registered materialized views: name, version,
+    /// staleness, retained warm-state bytes, and last refresh mode.
+    pub fn views(&mut self) -> Result<Vec<rasql_api::ViewInfo>, ApiError> {
+        self.send(&Request::ListViews)?;
+        match self.recv()? {
+            Response::Views { views } => Ok(views),
+            Response::Error { error } => Err(error),
+            other => Err(unexpected("Views", &other)),
+        }
+    }
+
     /// Point-in-time server status: active query ids, admission counts,
     /// open sessions, table names.
     pub fn status(&mut self) -> Result<ServerStatus, ApiError> {
@@ -226,6 +237,7 @@ fn unexpected(wanted: &str, got: &Response) -> ApiError {
         Response::Killed { .. } => "Killed",
         Response::MetricsText { .. } => "MetricsText",
         Response::Status { .. } => "Status",
+        Response::Views { .. } => "Views",
         Response::Goodbye => "Goodbye",
     };
     ApiError::new(

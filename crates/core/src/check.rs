@@ -13,7 +13,7 @@ use crate::error::EngineError;
 use crate::prem::{PremCheckOutcome, PremChecker};
 use rasql_parser::ast::{AggFunc, Query, Statement};
 use rasql_parser::parse;
-use rasql_plan::{Severity, StaticVerdict, VerifyReport};
+use rasql_plan::{AnalyzedStatement, Severity, StaticVerdict, VerifyReport};
 use rasql_storage::Relation;
 
 /// How a PreM obligation was discharged.
@@ -89,9 +89,17 @@ impl RaSqlContext {
         let stmt = parse(sql)?;
         let q = match stmt {
             Statement::Check(q) | Statement::Query(q) => q,
-            Statement::CreateView { .. } | Statement::Explain { .. } => {
+            // A materialized view's maintenance certificate lives on its
+            // defining query — CHECK reaches through to it.
+            Statement::CreateMaterializedView { query, .. } => query,
+            Statement::CreateView { .. }
+            | Statement::Explain { .. }
+            | Statement::Insert { .. }
+            | Statement::Delete { .. }
+            | Statement::RefreshMaterializedView { .. }
+            | Statement::DropMaterializedView { .. } => {
                 return Err(EngineError::Other(
-                    "CHECK applies to queries (not CREATE VIEW or EXPLAIN)".into(),
+                    "CHECK applies to queries (not DDL or DML statements)".into(),
                 ))
             }
         };
@@ -112,7 +120,22 @@ impl RaSqlContext {
                 Statement::CreateView { .. } => {
                     self.execute_statement(stmt, sql)?;
                 }
-                Statement::Explain { .. } => {}
+                // Lint never executes queries, so a materialized view is
+                // checked (its defining query) and its *schema* registered so
+                // later statements resolve — without materializing anything.
+                Statement::CreateMaterializedView { name, query, .. } => {
+                    reports.push(self.run_check(query, sql));
+                    if let Ok(AnalyzedStatement::CreateMaterializedView { query: aq, .. }) =
+                        self.analyze(stmt)
+                    {
+                        self.add_planner_table(name, aq.final_plan.schema());
+                    }
+                }
+                Statement::Explain { .. }
+                | Statement::Insert { .. }
+                | Statement::Delete { .. }
+                | Statement::RefreshMaterializedView { .. }
+                | Statement::DropMaterializedView { .. } => {}
             }
         }
         Ok(reports)
@@ -192,6 +215,12 @@ fn render_report(verification: &VerifyReport, prem: &[PremColumnEvidence], sourc
     for v in &verification.views {
         if let Some(c) = &v.certificate {
             out.push_str(&format!("Certificate {}: {}\n", v.name, c));
+        }
+    }
+    if !verification.maintenance.is_empty() {
+        out.push_str("Maintenance:\n");
+        for d in &verification.maintenance {
+            out.push_str(&d.render(source));
         }
     }
     let errors = verification.error_count();

@@ -85,6 +85,11 @@ pub struct EngineConfig {
     /// `max_concurrent_queries > 0`); queries beyond it are rejected
     /// immediately with `AdmissionRejected`.
     pub admission_queue: usize,
+    /// Capacity (entries) of the version-keyed result cache for ad-hoc
+    /// queries; 0 (the default) disables caching. A repeated identical query
+    /// against unchanged base relations is served from cache (FIFO eviction);
+    /// any base-table mutation invalidates the affected entries.
+    pub result_cache_entries: usize,
 }
 
 impl Default for EngineConfig {
@@ -119,6 +124,7 @@ impl EngineConfig {
             query_timeout_ms: 0,
             max_concurrent_queries: 0,
             admission_queue: 16,
+            result_cache_entries: 0,
         }
     }
 
@@ -258,6 +264,12 @@ impl EngineConfig {
     /// Set the admission wait-queue capacity.
     pub fn with_admission_queue(mut self, n: usize) -> Self {
         self.admission_queue = n;
+        self
+    }
+
+    /// Set the result-cache capacity in entries (0 disables caching).
+    pub fn with_result_cache(mut self, entries: usize) -> Self {
+        self.result_cache_entries = entries;
         self
     }
 }

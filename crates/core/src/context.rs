@@ -1,9 +1,11 @@
 //! [`RaSqlContext`] — the public entry point of the engine.
 
+use crate::cache::{CachedQuery, CsrCache, ResultCache};
 use crate::config::{EngineConfig, EvalMode, JoinStrategy};
 use crate::error::EngineError;
 use crate::eval::EvalContext;
-use crate::fixpoint::FixpointExecutor;
+use crate::fixpoint::{FixpointExecutor, WarmBuilds};
+use crate::matview::{query_dep_tables, warm_prefix, DepRecord, MatView};
 use parking_lot::Mutex;
 use rasql_exec::{
     AdmissionController, CancellationToken, Cluster, ClusterConfig, ExecError, Metrics,
@@ -14,8 +16,10 @@ use rasql_plan::{
     analyze_statement, optimize, optimize_spec, AnalyzedQuery, AnalyzedStatement, LogicalPlan,
     ViewCatalog,
 };
-use rasql_storage::{Catalog, DataType, Relation, Row, Schema, Value};
-use std::collections::HashMap;
+use rasql_storage::{
+    decode_warm_rows, encode_warm_rows, Catalog, DataType, Relation, Row, Schema, Value, WarmStore,
+};
+use std::collections::{BTreeMap, HashMap, HashSet};
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
@@ -31,6 +35,9 @@ pub struct QueryStats {
     pub iterations: Vec<u32>,
     /// Wall-clock time of the execution.
     pub elapsed: Duration,
+    /// True when the result was served from the version-keyed result cache
+    /// (nothing executed; `metrics` are zero and `query_id` is 0).
+    pub cached: bool,
     /// Runtime metric deltas accumulated during the query. The governance
     /// fields (`peak_memory`, `spilled_bytes`, `spill_files`) are this
     /// query's own, from its governor — exact even under concurrency.
@@ -99,6 +106,18 @@ pub struct RaSqlContext {
     active: Mutex<HashMap<u64, CancellationToken>>,
     /// Where per-query governors place spill files.
     spill_root: PathBuf,
+    /// Built CSR kernel graphs, keyed by build plan + edge-table versions.
+    csr_cache: CsrCache,
+    /// Ad-hoc query results, keyed by plan text + base-table versions
+    /// (capacity from [`EngineConfig::result_cache_entries`]).
+    result_cache: ResultCache,
+    /// Registered materialized views, by lower-cased name.
+    matviews: Mutex<BTreeMap<String, MatView>>,
+    /// Warm fixpoint state retained for delta-seeded refresh.
+    warm: WarmStore,
+    /// Retained build-side hash tables per eligible view, so a delta-seeded
+    /// refresh layers a small delta build instead of re-hashing full bases.
+    warm_builds: Mutex<HashMap<String, WarmBuilds>>,
 }
 
 impl RaSqlContext {
@@ -131,11 +150,16 @@ impl RaSqlContext {
             planner_catalog: Mutex::new(ViewCatalog::new()),
             cluster,
             tracing: AtomicBool::new(config.tracing),
+            csr_cache: CsrCache::new(),
+            result_cache: ResultCache::new(config.result_cache_entries),
             config,
             admission,
             query_seq: AtomicU64::new(0),
             active: Mutex::new(HashMap::new()),
             spill_root: std::env::temp_dir(),
+            matviews: Mutex::new(BTreeMap::new()),
+            warm: WarmStore::new(),
+            warm_builds: Mutex::new(HashMap::new()),
         }
     }
 
@@ -165,12 +189,30 @@ impl RaSqlContext {
         Ok(())
     }
 
-    /// Register or replace a base table.
+    /// Register or replace a base table. Cached results built from the old
+    /// contents are swept (they could never be served again anyway — their
+    /// version fingerprint no longer matches).
     pub fn register_or_replace(&self, name: &str, rel: Relation) {
         self.planner_catalog
             .lock()
             .add_table(name, rel.schema().clone());
         self.catalog.register_or_replace(name, rel);
+        self.invalidate_caches(name);
+    }
+
+    /// Register a base-table schema in the shared planner catalog without
+    /// touching stored data (lint needs later statements to resolve a
+    /// materialized view's schema without materializing it).
+    pub(crate) fn add_planner_table(&self, name: &str, schema: &Schema) {
+        self.planner_catalog.lock().add_table(name, schema.clone());
+    }
+
+    /// Sweep both version-keyed caches of entries reading `table`.
+    fn invalidate_caches(&self, table: &str) {
+        let swept = self.result_cache.invalidate(table) + self.csr_cache.invalidate(table);
+        if swept > 0 {
+            Metrics::add(&self.cluster.metrics.cache_invalidations, swept);
+        }
     }
 
     /// Execute one SQL statement; returns its [`QueryResult`] (empty
@@ -246,7 +288,7 @@ impl RaSqlContext {
     ) -> Result<QueryResult, EngineError> {
         match analyzed {
             AnalyzedStatement::CreateView { .. } => Ok(empty_result()),
-            AnalyzedStatement::Query(q) => self.execute_query(q, self.tracing_enabled(), parent),
+            AnalyzedStatement::Query(q) => self.run_query_statement(q, parent),
             AnalyzedStatement::Check(q) => {
                 Ok(crate::check::check_result(&self.run_check(&q, source)))
             }
@@ -254,7 +296,133 @@ impl RaSqlContext {
                 let verification = innermost_query(stmt).map(|q| self.verify_ast(q).summary());
                 self.execute_explain(analyze, *inner, verification, source, parent)
             }
+            AnalyzedStatement::Insert { table, rows, .. } => {
+                self.guard_not_matview(&table, "INSERT into")?;
+                let n = rows.len();
+                self.catalog.insert_rows(&table, rows)?;
+                self.invalidate_caches(&table);
+                Ok(count_result("inserted", n))
+            }
+            AnalyzedStatement::Delete {
+                table, keep_plan, ..
+            } => {
+                self.guard_not_matview(&table, "DELETE from")?;
+                let before = self.catalog.get(&table).map(|r| r.len()).unwrap_or(0);
+                let keep_plan = optimize(keep_plan);
+                let no_views = HashMap::new();
+                let eval = EvalContext {
+                    cluster: &self.cluster,
+                    catalog: &self.catalog,
+                    views: &no_views,
+                    partitions: self.config.partitions,
+                    fused: self.config.fused_codegen,
+                    trace: None,
+                    governor: None,
+                    csr_cache: None,
+                };
+                let kept = eval.evaluate(&keep_plan)?;
+                let removed = before.saturating_sub(kept.len());
+                self.catalog.replace_rows(&table, kept)?;
+                self.invalidate_caches(&table);
+                Ok(count_result("deleted", removed))
+            }
+            AnalyzedStatement::CreateMaterializedView { name, query, .. } => {
+                self.create_materialized_view(&name, query, stmt, parent)
+            }
+            AnalyzedStatement::RefreshMaterializedView { name, .. } => {
+                self.refresh_view(&name, parent)
+            }
+            AnalyzedStatement::DropMaterializedView { name, .. } => {
+                let key = name.to_ascii_lowercase();
+                if self.matviews.lock().remove(&key).is_none() {
+                    return Err(EngineError::UnknownView(name));
+                }
+                self.warm.remove_prefix(&warm_prefix(&key));
+                self.warm_builds.lock().remove(&key);
+                self.catalog.drop_table(&key);
+                self.planner_catalog.lock().remove_table(&key);
+                self.invalidate_caches(&key);
+                self.cluster
+                    .metrics
+                    .retained_bytes
+                    .store(self.warm.retained_bytes(), Ordering::Relaxed);
+                Ok(status_result(&format!(
+                    "dropped materialized view '{name}'"
+                )))
+            }
         }
+    }
+
+    /// INSERT/DELETE targets must be base tables: a materialized view's
+    /// contents are derived, and only `REFRESH` may rewrite them.
+    fn guard_not_matview(&self, table: &str, action: &str) -> Result<(), EngineError> {
+        if self
+            .matviews
+            .lock()
+            .contains_key(&table.to_ascii_lowercase())
+        {
+            return Err(EngineError::Other(format!(
+                "cannot {action} materialized view '{table}': its contents are \
+                 derived from its defining query (use REFRESH MATERIALIZED VIEW)"
+            )));
+        }
+        Ok(())
+    }
+
+    /// Execute a query statement: refresh any stale materialized views it
+    /// reads, then serve from the version-keyed result cache when possible.
+    fn run_query_statement(
+        &self,
+        q: AnalyzedQuery,
+        parent: Option<&CancellationToken>,
+    ) -> Result<QueryResult, EngineError> {
+        let deps = query_dep_tables(&q);
+        // Reading a stale materialized view refreshes it first, so results
+        // are always as-of the current base data.
+        let mut visited = HashSet::new();
+        for t in &deps {
+            self.refresh_if_stale(t, &mut visited, parent)?;
+        }
+        let traced = self.tracing_enabled();
+        if traced || self.result_cache.disabled() {
+            return self.execute_query(q, traced, parent);
+        }
+        let key = self.query_cache_key(&q, &deps);
+        if let Some(hit) = self.result_cache.get(&key) {
+            Metrics::add(&self.cluster.metrics.cache_hits, 1);
+            return Ok(QueryResult {
+                relation: hit.relation,
+                stats: QueryStats {
+                    iterations: hit.iterations,
+                    cached: true,
+                    ..QueryStats::default()
+                },
+                trace: None,
+            });
+        }
+        let result = self.execute_query(q, false, parent)?;
+        self.result_cache.put(
+            key,
+            deps,
+            CachedQuery {
+                relation: result.relation.clone(),
+                iterations: result.stats.iterations.clone(),
+            },
+        );
+        Ok(result)
+    }
+
+    /// The result-cache key: the optimized plan text (cliques + final plan)
+    /// plus the version fingerprint of every base table the query reads.
+    fn query_cache_key(&self, q: &AnalyzedQuery, deps: &[String]) -> String {
+        let mut key = String::new();
+        for clique in &q.cliques {
+            key.push_str(&optimize_spec(clique.clone()).display());
+        }
+        key.push_str(&optimize(q.final_plan.clone()).display_indent());
+        key.push('|');
+        key.push_str(&crate::cache::version_fingerprint(&self.catalog, deps));
+        key
     }
 
     /// Run an analyzed query; `traced` additionally collects a [`QueryTrace`].
@@ -278,6 +446,33 @@ impl RaSqlContext {
         traced: bool,
         parent: Option<&CancellationToken>,
     ) -> Result<QueryResult, EngineError> {
+        self.execute_query_with_views(q, traced, parent)
+            .map(|(result, _)| result)
+    }
+
+    /// Like [`Self::execute_query`], but also returns the materialized
+    /// recursive-clique relations (the converged fixpoint state a
+    /// materialized view retains as warm state).
+    fn execute_query_with_views(
+        &self,
+        q: AnalyzedQuery,
+        traced: bool,
+        parent: Option<&CancellationToken>,
+    ) -> Result<(QueryResult, HashMap<String, Arc<Relation>>), EngineError> {
+        self.with_governor(parent, |governor| {
+            self.execute_governed(q, traced, governor)
+        })
+    }
+
+    /// Run `f` under full query governance: admission, a fresh query id and
+    /// cancellation token (child of `parent` when given), the kill registry,
+    /// and governor teardown on every exit path. Both ad-hoc queries and
+    /// materialized-view refreshes execute through here.
+    fn with_governor<T>(
+        &self,
+        parent: Option<&CancellationToken>,
+        f: impl FnOnce(&QueryGovernor) -> Result<T, EngineError>,
+    ) -> Result<T, EngineError> {
         let permit = match self.admission.admit() {
             Ok(p) => {
                 Metrics::add(&self.cluster.metrics.admitted, 1);
@@ -300,7 +495,7 @@ impl RaSqlContext {
         self.active
             .lock()
             .insert(query_id, governor.token().clone());
-        let result = self.execute_governed(q, traced, &governor);
+        let result = f(&governor);
         self.active.lock().remove(&query_id);
         drop(permit);
         self.cluster.metrics.raise_peak(governor.tracker().peak());
@@ -320,7 +515,7 @@ impl RaSqlContext {
         q: AnalyzedQuery,
         traced: bool,
         governor: &QueryGovernor,
-    ) -> Result<QueryResult, EngineError> {
+    ) -> Result<(QueryResult, HashMap<String, Arc<Relation>>), EngineError> {
         let start = Instant::now();
         let before = self.cluster.metrics.snapshot();
         let sink = traced.then(TraceSink::new);
@@ -336,6 +531,7 @@ impl RaSqlContext {
                 fused: self.config.fused_codegen,
                 trace: sink.as_ref(),
                 governor: Some(governor),
+                csr_cache: Some(&self.csr_cache),
             };
             let exec = FixpointExecutor::new(&eval, &self.config);
             let result = exec.run(&clique)?;
@@ -353,6 +549,7 @@ impl RaSqlContext {
             fused: self.config.fused_codegen,
             trace: sink.as_ref(),
             governor: Some(governor),
+            csr_cache: Some(&self.csr_cache),
         };
         // Operator counters only around the final plan, so base-case and
         // build-side evaluations inside the fixpoint don't pollute them.
@@ -374,13 +571,429 @@ impl RaSqlContext {
             query_id: governor.query_id(),
             iterations,
             elapsed,
+            cached: false,
             metrics,
         };
+        Ok((
+            QueryResult {
+                relation: rel,
+                stats,
+                trace: sink.map(|s| s.finish(elapsed, metrics)),
+            },
+            views,
+        ))
+    }
+
+    /// `CREATE MATERIALIZED VIEW`: run the defining query once, register its
+    /// result as a read-only table, capture dependency versions, and — when
+    /// the static maintenance certificate holds — retain the converged
+    /// fixpoint state for delta-seeded refresh.
+    fn create_materialized_view(
+        &self,
+        name: &str,
+        query: AnalyzedQuery,
+        stmt: &Statement,
+        parent: Option<&CancellationToken>,
+    ) -> Result<QueryResult, EngineError> {
+        let key = name.to_ascii_lowercase();
+        if self.matviews.lock().contains_key(&key) {
+            return Err(EngineError::Other(format!(
+                "materialized view '{name}' already exists"
+            )));
+        }
+        if self.catalog.contains(&key) {
+            return Err(EngineError::Other(format!(
+                "a table named '{name}' already exists"
+            )));
+        }
+        // Static maintenance certificate: idempotent Proven-PreM heads over
+        // a single self-recursive clique. The RA0301 findings (if any) name
+        // every violating shape; the first one becomes the recorded reason.
+        let (eligible, reason) = if query.cliques.is_empty() {
+            (false, Some("non-recursive defining query".to_string()))
+        } else if let Statement::CreateMaterializedView { query: ast, .. } = stmt {
+            match self.verify_ast(ast).maintenance.first() {
+                None => (true, None),
+                Some(d) => (false, Some(d.to_string())),
+            }
+        } else {
+            (false, Some("defining query AST unavailable".to_string()))
+        };
+        // Dependency versions are captured *before* execution: a concurrent
+        // insert during materialization leaves the view stale (and thus
+        // refreshed on next read) rather than silently missed.
+        let deps = self.snapshot_deps(&query_dep_tables(&query));
+        let (result, views) = self.execute_query_with_views(query.clone(), false, parent)?;
+        let prefix = warm_prefix(&key);
+        let mut retained = 0;
+        if eligible {
+            // `eligible` implies exactly one clique (stratified recursion is
+            // an RA0301 finding); warm blobs are keyed by view index.
+            for (i, vs) in query.cliques[0].views.iter().enumerate() {
+                let rows = views
+                    .get(&vs.name.to_ascii_lowercase())
+                    .map(|r| r.rows())
+                    .unwrap_or(&[]);
+                self.warm
+                    .put(&format!("{prefix}{i}"), encode_warm_rows(rows));
+            }
+            retained = self.warm.retained_bytes_prefix(&prefix);
+            self.rebuild_warm_builds(&key, &query);
+        }
+        let QueryResult {
+            relation, stats, ..
+        } = result;
+        let nrows = relation.len();
+        self.planner_catalog
+            .lock()
+            .add_table(name, relation.schema().clone());
+        self.catalog.register_or_replace(name, relation);
+        self.matviews.lock().insert(
+            key,
+            MatView {
+                name: name.to_string(),
+                query,
+                deps,
+                version: 1,
+                eligible,
+                ineligible_reason: reason.clone(),
+                last_refresh: "none".to_string(),
+                retained_bytes: retained,
+            },
+        );
+        self.cluster
+            .metrics
+            .retained_bytes
+            .store(self.warm.retained_bytes(), Ordering::Relaxed);
+        let mode = if eligible {
+            "incremental refresh eligible".to_string()
+        } else {
+            format!(
+                "full recompute on refresh: {}",
+                reason.unwrap_or_else(|| "ineligible".to_string())
+            )
+        };
         Ok(QueryResult {
-            relation: rel,
+            relation: status_lines(&format!(
+                "materialized view '{name}': {nrows} rows ({mode})"
+            )),
             stats,
-            trace: sink.map(|s| s.finish(elapsed, metrics)),
+            trace: None,
         })
+    }
+
+    /// `REFRESH MATERIALIZED VIEW`: re-materialize a view against the
+    /// current base data — resuming semi-naive evaluation from retained warm
+    /// state seeded with only the inserted delta when the view is eligible
+    /// and the delta is insert-only, recomputing from scratch otherwise.
+    fn refresh_view(
+        &self,
+        name: &str,
+        parent: Option<&CancellationToken>,
+    ) -> Result<QueryResult, EngineError> {
+        let key = name.to_ascii_lowercase();
+        let mv = self
+            .matviews
+            .lock()
+            .get(&key)
+            .cloned()
+            .ok_or_else(|| EngineError::UnknownView(name.to_string()))?;
+        let prefix = warm_prefix(&key);
+        // Incremental needs the static certificate *and* a dynamically
+        // insert-only delta *and* intact warm state.
+        let mut warm: Vec<Vec<Row>> = Vec::new();
+        let mut incremental = mv.eligible && self.insert_only_delta(&mv.deps);
+        if incremental {
+            for i in 0..mv.query.cliques[0].views.len() {
+                match self
+                    .warm
+                    .get(&format!("{prefix}{i}"))
+                    .map(|b| decode_warm_rows(&b))
+                {
+                    Some(Ok(rows)) => warm.push(rows),
+                    _ => {
+                        incremental = false;
+                        break;
+                    }
+                }
+            }
+        }
+        // New dependency versions, captured before execution (see
+        // `create_materialized_view`).
+        let new_deps = self.snapshot_deps(&query_dep_tables(&mv.query));
+        // Retained build-side artifacts are taken out for the duration of
+        // the refresh and put back afterwards even on failure: each entry
+        // records the catalog versions it covers, so a partially updated
+        // set stays valid and a concurrent refresh simply rebuilds.
+        let mut wbuilds = self
+            .warm_builds
+            .lock()
+            .remove(&key)
+            .or_else(|| (mv.eligible && incremental).then(WarmBuilds::new));
+        let run = self.with_governor(parent, |governor| {
+            if incremental {
+                let start = Instant::now();
+                let before = self.cluster.metrics.snapshot();
+                let spec = optimize_spec(mv.query.cliques[0].clone());
+                let changed: Vec<(String, Vec<Row>)> = mv
+                    .deps
+                    .iter()
+                    .filter_map(|d| {
+                        let rel = self.catalog.get(&d.table).ok()?;
+                        (rel.len() > d.len).then(|| (d.table.clone(), rel.rows()[d.len..].to_vec()))
+                    })
+                    .collect();
+                let no_views = HashMap::new();
+                let eval = EvalContext {
+                    cluster: &self.cluster,
+                    catalog: &self.catalog,
+                    views: &no_views,
+                    partitions: self.config.partitions,
+                    fused: self.config.fused_codegen,
+                    trace: None,
+                    governor: Some(governor),
+                    csr_cache: Some(&self.csr_cache),
+                };
+                let exec = FixpointExecutor::new(&eval, &self.config);
+                let fres = exec.run_resume(&spec, &warm, &changed, wbuilds.as_mut())?;
+                let mut vmap: HashMap<String, Arc<Relation>> = HashMap::new();
+                for (vs, rel) in spec.views.iter().zip(fres.views.iter()) {
+                    vmap.insert(vs.name.to_ascii_lowercase(), Arc::new(rel.clone()));
+                }
+                let plan = optimize(mv.query.final_plan.clone());
+                let eval = EvalContext {
+                    cluster: &self.cluster,
+                    catalog: &self.catalog,
+                    views: &vmap,
+                    partitions: self.config.partitions,
+                    fused: self.config.fused_codegen,
+                    trace: None,
+                    governor: Some(governor),
+                    csr_cache: Some(&self.csr_cache),
+                };
+                let relation = eval.evaluate(&plan)?;
+                let elapsed = start.elapsed();
+                let mut metrics = diff_metrics(before, self.cluster.metrics.snapshot());
+                metrics.peak_memory = governor.tracker().peak();
+                metrics.spilled_bytes = governor.spilled_bytes();
+                metrics.spill_files = governor.spill_files();
+                let stats = QueryStats {
+                    query_id: governor.query_id(),
+                    iterations: vec![fres.iterations],
+                    elapsed,
+                    cached: false,
+                    metrics,
+                };
+                Ok((
+                    QueryResult {
+                        relation,
+                        stats,
+                        trace: None,
+                    },
+                    fres.views,
+                ))
+            } else {
+                let (result, views) = self.execute_governed(mv.query.clone(), false, governor)?;
+                let mut rels = Vec::new();
+                for clique in &mv.query.cliques {
+                    for vs in &clique.views {
+                        rels.push(
+                            views
+                                .get(&vs.name.to_ascii_lowercase())
+                                .map(|r| (**r).clone())
+                                .unwrap_or_else(|| Relation::empty(vs.schema.clone())),
+                        );
+                    }
+                }
+                Ok((result, rels))
+            }
+        });
+        if let Some(wb) = wbuilds {
+            self.warm_builds.lock().insert(key.clone(), wb);
+        }
+        let (result, clique_rels) = run?;
+        let mut retained = 0;
+        if mv.eligible {
+            for (i, rel) in clique_rels.iter().enumerate() {
+                self.warm
+                    .put(&format!("{prefix}{i}"), encode_warm_rows(rel.rows()));
+            }
+            retained = self.warm.retained_bytes_prefix(&prefix);
+            if !incremental {
+                // A full fallback (e.g. after a delete) converged against the
+                // current bases; re-prepare the build artifacts so the next
+                // insert-only refresh is warm again.
+                self.rebuild_warm_builds(&key, &mv.query);
+            }
+        }
+        let QueryResult {
+            relation, stats, ..
+        } = result;
+        let nrows = relation.len();
+        self.planner_catalog
+            .lock()
+            .add_table(&mv.name, relation.schema().clone());
+        self.catalog.register_or_replace(&mv.name, relation);
+        self.invalidate_caches(&key);
+        Metrics::add(&self.cluster.metrics.view_refreshes, 1);
+        if incremental {
+            Metrics::add(&self.cluster.metrics.view_refreshes_incremental, 1);
+        }
+        let mode = if incremental { "incremental" } else { "full" };
+        let new_version = {
+            let mut reg = self.matviews.lock();
+            match reg.get_mut(&key) {
+                Some(entry) => {
+                    entry.deps = new_deps;
+                    entry.version += 1;
+                    entry.last_refresh = mode.to_string();
+                    entry.retained_bytes = retained;
+                    entry.version
+                }
+                // Dropped concurrently mid-refresh: nothing to record.
+                None => 0,
+            }
+        };
+        self.cluster
+            .metrics
+            .retained_bytes
+            .store(self.warm.retained_bytes(), Ordering::Relaxed);
+        Ok(QueryResult {
+            relation: status_lines(&format!(
+                "refreshed materialized view '{}' ({mode}): {nrows} rows, version {new_version}",
+                mv.name
+            )),
+            stats,
+            trace: None,
+        })
+    }
+
+    /// Refresh `table` if it names a stale materialized view, refreshing its
+    /// own stale materialized-view dependencies first. `visited` breaks
+    /// cycles (a view can never read itself, but defensive anyway).
+    fn refresh_if_stale(
+        &self,
+        table: &str,
+        visited: &mut HashSet<String>,
+        parent: Option<&CancellationToken>,
+    ) -> Result<(), EngineError> {
+        let key = table.to_ascii_lowercase();
+        if !visited.insert(key.clone()) {
+            return Ok(());
+        }
+        let deps = match self.matviews.lock().get(&key) {
+            Some(mv) => mv.deps.clone(),
+            None => return Ok(()),
+        };
+        for d in &deps {
+            self.refresh_if_stale(&d.table, visited, parent)?;
+        }
+        // Re-check after dependency refreshes: refreshing a dependency bumps
+        // its version, which is exactly what makes this view stale.
+        let stale = match self.matviews.lock().get(&key) {
+            Some(mv) => self.deps_stale(&mv.deps),
+            None => false,
+        };
+        if stale {
+            self.refresh_view(&key, parent)?;
+        }
+        Ok(())
+    }
+
+    /// True when any dependency's version moved since it was recorded (or
+    /// the dependency no longer exists).
+    fn deps_stale(&self, deps: &[DepRecord]) -> bool {
+        deps.iter()
+            .any(|d| match self.catalog.version_of(&d.table) {
+                Some(v) => v.version != d.version || v.rewrite_version != d.rewrite_version,
+                None => true,
+            })
+    }
+
+    /// True when every dependency still exists, was never rewritten
+    /// (deleted from / replaced), and only grew — the precondition for
+    /// seeding a refresh with the `rows[len..]` suffixes.
+    fn insert_only_delta(&self, deps: &[DepRecord]) -> bool {
+        deps.iter()
+            .all(|d| match self.catalog.get_versioned(&d.table) {
+                Ok((rel, v)) => v.rewrite_version == d.rewrite_version && rel.len() >= d.len,
+                Err(_) => false,
+            })
+    }
+
+    /// (Re)build the retained build-side hash tables for an eligible view
+    /// against the current catalog, so the next delta-seeded refresh skips
+    /// the full base build. Purely an optimization: on any failure the entry
+    /// is dropped and refresh rebuilds from scratch.
+    fn rebuild_warm_builds(&self, key: &str, query: &AnalyzedQuery) {
+        let spec = optimize_spec(query.cliques[0].clone());
+        let no_views = HashMap::new();
+        let eval = EvalContext {
+            cluster: &self.cluster,
+            catalog: &self.catalog,
+            views: &no_views,
+            partitions: self.config.partitions,
+            fused: self.config.fused_codegen,
+            trace: None,
+            governor: None,
+            csr_cache: Some(&self.csr_cache),
+        };
+        let exec = FixpointExecutor::new(&eval, &self.config);
+        match exec.prepare_warm_builds(&spec) {
+            Ok(wb) => {
+                self.warm_builds.lock().insert(key.to_string(), wb);
+            }
+            Err(_) => {
+                self.warm_builds.lock().remove(key);
+            }
+        }
+    }
+
+    /// Capture the current `(version, rewrite_version, len)` triple of each
+    /// table (missing tables record as zeros and always read as stale).
+    fn snapshot_deps(&self, tables: &[String]) -> Vec<DepRecord> {
+        tables
+            .iter()
+            .map(|t| match self.catalog.get_versioned(t) {
+                Ok((rel, v)) => DepRecord {
+                    table: t.clone(),
+                    version: v.version,
+                    rewrite_version: v.rewrite_version,
+                    len: rel.len(),
+                },
+                Err(_) => DepRecord {
+                    table: t.clone(),
+                    version: 0,
+                    rewrite_version: 0,
+                    len: 0,
+                },
+            })
+            .collect()
+    }
+
+    /// The registered materialized views — name, version, staleness,
+    /// retained warm-state bytes, and last refresh mode — for the shell's
+    /// `\views` and the server's `ListViews`.
+    pub fn view_infos(&self) -> Vec<rasql_api::ViewInfo> {
+        let reg = self.matviews.lock();
+        reg.values()
+            .map(|mv| rasql_api::ViewInfo {
+                name: mv.name.clone(),
+                version: mv.version,
+                stale: self.deps_stale(&mv.deps),
+                retained_bytes: mv.retained_bytes,
+                last_refresh: mv.last_refresh.clone(),
+            })
+            .collect()
+    }
+
+    /// The registry record of a materialized view, if one is registered
+    /// under `name` (case-insensitive).
+    pub fn mat_view(&self, name: &str) -> Option<MatView> {
+        self.matviews
+            .lock()
+            .get(&name.to_ascii_lowercase())
+            .cloned()
     }
 
     /// Request cooperative cancellation of a running query. Returns `true`
@@ -494,7 +1107,10 @@ impl RaSqlContext {
             // nothing to measure): render without executing.
             other => {
                 let mut text = render_plan(&other);
-                if matches!(other, AnalyzedStatement::Query(_)) {
+                if matches!(
+                    other,
+                    AnalyzedStatement::Query(_) | AnalyzedStatement::CreateMaterializedView { .. }
+                ) {
                     if let Some(v) = verification {
                         text.push_str("Verification:\n");
                         text.push_str(&v);
@@ -523,7 +1139,11 @@ impl RaSqlContext {
                 AnalyzedStatement::Check(q) => out.push_str(&self.run_check(&q, sql).rendered),
                 other => {
                     out.push_str(&render_plan(&other));
-                    if matches!(other, AnalyzedStatement::Query(_)) {
+                    if matches!(
+                        other,
+                        AnalyzedStatement::Query(_)
+                            | AnalyzedStatement::CreateMaterializedView { .. }
+                    ) {
                         if let Some(q) = innermost_query(stmt) {
                             out.push_str("Verification:\n");
                             out.push_str(&self.verify_ast(q).summary());
@@ -581,6 +1201,35 @@ impl RaSqlContext {
 pub(crate) fn empty_result() -> QueryResult {
     QueryResult {
         relation: Relation::empty(Schema::empty()),
+        stats: QueryStats::default(),
+        trace: None,
+    }
+}
+
+/// A one-column, one-row integer result (`INSERT` / `DELETE` row counts).
+fn count_result(label: &str, n: usize) -> QueryResult {
+    let schema = Schema::new(vec![(label, DataType::Int)]);
+    QueryResult {
+        relation: Relation::new_unchecked(schema, vec![Row::new(vec![Value::Int(n as i64)])]),
+        stats: QueryStats::default(),
+        trace: None,
+    }
+}
+
+/// A one-column status relation, one row per line.
+fn status_lines(text: &str) -> Relation {
+    let schema = Schema::new(vec![("status", DataType::Str)]);
+    let rows = text
+        .lines()
+        .map(|l| Row::new(vec![Value::str(l)]))
+        .collect();
+    Relation::new_unchecked(schema, rows)
+}
+
+/// A status message packed as a [`QueryResult`] with default stats.
+fn status_result(text: &str) -> QueryResult {
+    QueryResult {
+        relation: status_lines(text),
         stats: QueryStats::default(),
         trace: None,
     }
@@ -746,6 +1395,12 @@ impl ContextBuilder {
         self
     }
 
+    /// Version-keyed result-cache capacity in entries (0 disables caching).
+    pub fn result_cache(mut self, entries: usize) -> Self {
+        self.config = self.config.with_result_cache(entries);
+        self
+    }
+
     /// The configuration built so far.
     pub fn config(&self) -> &EngineConfig {
         &self.config
@@ -779,6 +1434,25 @@ fn render_plan(analyzed: &AnalyzedStatement) -> String {
         AnalyzedStatement::Check(_) => {
             "Check (execute the statement to run the verifier)\n".to_string()
         }
+        AnalyzedStatement::Insert { table, rows, .. } => {
+            format!("Insert into {table} ({} row(s))\n", rows.len())
+        }
+        AnalyzedStatement::Delete {
+            table, keep_plan, ..
+        } => format!(
+            "Delete from {table}, keeping:\n{}",
+            optimize(keep_plan.clone()).display_indent()
+        ),
+        AnalyzedStatement::CreateMaterializedView { name, query, .. } => format!(
+            "CreateMaterializedView {name}\n{}",
+            render_plan(&AnalyzedStatement::Query(query.clone()))
+        ),
+        AnalyzedStatement::RefreshMaterializedView { name, .. } => {
+            format!("RefreshMaterializedView {name}\n")
+        }
+        AnalyzedStatement::DropMaterializedView { name, .. } => {
+            format!("DropMaterializedView {name}\n")
+        }
     }
 }
 
@@ -789,7 +1463,14 @@ fn innermost_query(stmt: &Statement) -> Option<&rasql_parser::ast::Query> {
     match stmt {
         Statement::Query(q) | Statement::Check(q) => Some(q),
         Statement::Explain { inner, .. } => innermost_query(inner),
-        Statement::CreateView { .. } => None,
+        // A materialized view's verification (including the RA0301
+        // maintenance findings) is that of its defining query.
+        Statement::CreateMaterializedView { query, .. } => Some(query),
+        Statement::CreateView { .. }
+        | Statement::Insert { .. }
+        | Statement::Delete { .. }
+        | Statement::RefreshMaterializedView { .. }
+        | Statement::DropMaterializedView { .. } => None,
     }
 }
 
@@ -829,5 +1510,12 @@ fn diff_metrics(before: MetricsSnapshot, after: MetricsSnapshot) -> MetricsSnaps
         cancellations: after.cancellations - before.cancellations,
         admitted: after.admitted - before.admitted,
         rejected: after.rejected - before.rejected,
+        cache_hits: after.cache_hits - before.cache_hits,
+        cache_invalidations: after.cache_invalidations - before.cache_invalidations,
+        view_refreshes: after.view_refreshes - before.view_refreshes,
+        view_refreshes_incremental: after.view_refreshes_incremental
+            - before.view_refreshes_incremental,
+        // A gauge: warm-state bytes retained as of `after`.
+        retained_bytes: after.retained_bytes,
     }
 }

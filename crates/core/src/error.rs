@@ -27,6 +27,8 @@ pub enum EngineError {
         /// The iteration cap that was hit.
         iterations: u32,
     },
+    /// A statement named a materialized view that does not exist.
+    UnknownView(String),
     /// Anything else.
     Other(String),
 }
@@ -43,6 +45,9 @@ impl fmt::Display for EngineError {
                 "fixpoint for view '{view}' did not converge after {iterations} iterations \
                  (cyclic data with a stratified/set-semantics recursion?)"
             ),
+            EngineError::UnknownView(name) => {
+                write!(f, "unknown materialized view '{name}'")
+            }
             EngineError::Other(m) => write!(f, "{m}"),
         }
     }

@@ -34,6 +34,8 @@ pub struct EvalContext<'a> {
     /// Per-query resource governor (memory budget, deadline, cancellation);
     /// `None` runs ungoverned.
     pub governor: Option<&'a QueryGovernor>,
+    /// Version-keyed cache of built CSR kernel graphs; `None` builds fresh.
+    pub csr_cache: Option<&'a crate::cache::CsrCache>,
 }
 
 impl<'a> EvalContext<'a> {
@@ -514,6 +516,7 @@ mod tests {
             fused: true,
             trace: None,
             governor: None,
+            csr_cache: None,
         };
         ctx.evaluate(&plan).unwrap().sorted()
     }

@@ -33,12 +33,12 @@ use rasql_exec::{
 };
 use rasql_parser::ast::AggFunc;
 use rasql_plan::{
-    BranchProgram, BranchStep, CountMode, DeltaValueMode, FixpointSpec, JoinBuild, PExpr,
-    RecAllMode, ViewSpec,
+    BranchProgram, BranchStep, CountMode, DeltaValueMode, FixpointSpec, JoinBuild, LogicalPlan,
+    PExpr, RecAllMode, ViewSpec,
 };
 use rasql_storage::codec::CompressedRelation;
 use rasql_storage::{
-    partition::hash_partition, CsrGraph, FxHashMap, FxHashSet, Relation, Row, Value,
+    partition::hash_partition, Catalog, CsrGraph, FxHashMap, FxHashSet, Relation, Row, Value,
 };
 use std::sync::Arc;
 use std::time::Instant;
@@ -175,12 +175,84 @@ fn resolve_count_modes(v: &ViewSpec) -> Result<Vec<CountMode>, EngineError> {
 enum BuildSide {
     /// Co-partitioned cached hash tables (one per partition).
     Partitioned(Vec<Arc<HashTable>>),
+    /// Co-partitioned layered hash tables, `[layer][partition]`: a retained
+    /// converged build plus one small delta-built layer per refresh.
+    PartitionedLayered(Vec<Vec<Arc<HashTable>>>),
     /// Co-partitioned cached sorted runs (sort-merge strategy).
     PartitionedSorted(Vec<Arc<SortedRun>>),
     /// One replicated table per worker (broadcast, §7.2).
     Replicated(Arc<Broadcast<HashTable>>),
     /// Snapshot of a recursive relation, rebuilt per round.
     Recursive { view: usize, mode: RecAllMode },
+}
+
+/// Delta layers retained per build step before the next refresh compacts
+/// them back into a single full rebuild.
+const MAX_WARM_LAYERS: usize = 6;
+
+/// Per-table version record of a retained build-side artifact.
+struct WarmDep {
+    table: String,
+    version: u64,
+    rewrite_version: u64,
+    len: usize,
+}
+
+/// Retained co-partitioned hash layers for one base join step.
+struct WarmStep {
+    deps: Vec<WarmDep>,
+    /// `[layer][partition]`, oldest first.
+    layers: Vec<Vec<Arc<HashTable>>>,
+}
+
+/// Retained build-side artifacts of a converged materialized view: the
+/// co-partitioned hash tables of every delta-layerable base join step, keyed
+/// by `(view, branch, step)` position in the clique. A delta-seeded resume
+/// whose base growth is insert-only stacks one small delta-built layer on
+/// the retained tables instead of re-evaluating and re-hashing the full base
+/// input; every entry records the catalog versions it covers, so a stale or
+/// rewritten dependency falls back to a rebuild, never a wrong answer.
+pub struct WarmBuilds {
+    steps: FxHashMap<(usize, usize, usize), WarmStep>,
+}
+
+impl WarmBuilds {
+    /// An empty artifact set; steps are added as they are first built.
+    pub fn new() -> Self {
+        WarmBuilds {
+            steps: FxHashMap::default(),
+        }
+    }
+}
+
+impl Default for WarmBuilds {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// Whether evaluating `plan` over a grown catalog yields exactly the old
+/// output plus the union of its per-table delta overlays — i.e. every node
+/// distributes over row insertion. Scans, filters, projections, joins and
+/// unions qualify; aggregates, sorts, limits and view scans do not (an
+/// inserted row can change or reorder previously emitted output). The
+/// duplicate rows a layered build can emit are no-ops under the idempotent
+/// merge the resume path already requires.
+fn plan_is_delta_layerable(plan: &LogicalPlan) -> bool {
+    match plan {
+        LogicalPlan::TableScan { .. } | LogicalPlan::Values { .. } => true,
+        LogicalPlan::Projection { input, .. }
+        | LogicalPlan::Filter { input, .. }
+        | LogicalPlan::Distinct { input } => plan_is_delta_layerable(input),
+        LogicalPlan::Join { left, right, .. } => {
+            plan_is_delta_layerable(left) && plan_is_delta_layerable(right)
+        }
+        LogicalPlan::Union { inputs, .. } => inputs.iter().all(plan_is_delta_layerable),
+        LogicalPlan::Aggregate { .. }
+        | LogicalPlan::Sort { .. }
+        | LogicalPlan::Limit { .. }
+        | LogicalPlan::ViewScan { .. } => false,
+    }
 }
 
 struct CompiledStep {
@@ -207,6 +279,10 @@ struct CompiledBranch {
 /// Contributions produced by a map task: per target view, per target
 /// partition, schema-shaped rows.
 type Buckets = Vec<Vec<Vec<Row>>>;
+
+/// Per-op recursive-relation snapshots of a seed branch (`None` for
+/// filters and base build sides).
+type SeedSnapshots = Vec<Option<Arc<HashTable>>>;
 
 /// The fixpoint executor for one clique.
 pub struct FixpointExecutor<'a> {
@@ -300,7 +376,7 @@ impl<'a> FixpointExecutor<'a> {
         let mut branches: Vec<CompiledBranch> = Vec::new();
         for (vi, v) in spec.views.iter().enumerate() {
             for prog in &v.recursive {
-                branches.push(self.compile_branch(prog, &views[vi])?);
+                branches.push(self.compile_branch(prog, &views[vi], None)?);
             }
         }
         let branches = Arc::new(branches);
@@ -328,7 +404,7 @@ impl<'a> FixpointExecutor<'a> {
             self.run_decomposed(&views, &branches, base_buckets)?
         } else {
             match self.config.eval_mode {
-                EvalMode::SemiNaive => self.run_semi_naive(&views, &branches, base_buckets)?,
+                EvalMode::SemiNaive => self.run_semi_naive(&views, &branches, base_buckets, 0)?,
                 EvalMode::Naive => self.run_naive(&views, &branches, &base_buckets)?,
             }
         };
@@ -351,6 +427,424 @@ impl<'a> FixpointExecutor<'a> {
         })
     }
 
+    /// Resume a converged fixpoint from retained warm state: `warm` holds
+    /// the converged rows per clique view, `changed` the *inserted* delta
+    /// rows per mutated base relation. Only sound for idempotent recursion
+    /// (set semantics or min/max aggregates with Proven PreM) over
+    /// insert-only deltas — the materialized-view layer certifies this
+    /// before calling.
+    ///
+    /// The algorithm: preload warm state at round stamp 0; re-evaluate base
+    /// branches against the new catalog (re-merging converged rows is a
+    /// no-op under idempotence, so only genuinely new base facts survive as
+    /// deltas); additionally seed, for every recursive branch and every join
+    /// position reading a changed relation, the join of the *warm* driver
+    /// rows against only the *delta* rows at that position. Completeness:
+    /// any new derivation tree has a bottommost node whose base leaf is new
+    /// and whose recursive inputs are warm-derivable — that node is exactly
+    /// warm ⋈ Δbase (covered by the seed), and everything above it flows
+    /// through the ordinary semi-naive rounds, which the resumed loop
+    /// re-enters at round 1 (warm rows keep stamp 0, so old-snapshot cutoffs
+    /// of non-linear branches stay exact).
+    pub fn run_resume(
+        &self,
+        spec: &FixpointSpec,
+        warm: &[Vec<Row>],
+        changed: &[(String, Vec<Row>)],
+        mut builds: Option<&mut WarmBuilds>,
+    ) -> Result<FixpointResult, EngineError> {
+        let p = self.config.partitions;
+        // Per-view runtime state: like `run`, but decomposed evaluation is
+        // forced off — warm state is partitioned on the key columns, and the
+        // resumed loop must keep that partitioning.
+        let mut views: Vec<ViewRt> = Vec::with_capacity(spec.views.len());
+        for v in &spec.views {
+            let agg_cols: Vec<usize> = v.aggs.iter().map(|(c, _)| *c).collect();
+            let funcs: Vec<AggFunc> = v.aggs.iter().map(|(_, f)| *f).collect();
+            let ops: Vec<MonotoneOp> = funcs
+                .iter()
+                .map(|f| match f {
+                    AggFunc::Min => MonotoneOp::Min,
+                    AggFunc::Max => MonotoneOp::Max,
+                    AggFunc::Sum | AggFunc::Count => MonotoneOp::Sum,
+                    AggFunc::Avg => unreachable!("rejected by the analyzer"),
+                })
+                .collect();
+            let modes = resolve_count_modes(v)?;
+            let state = (0..p)
+                .map(|_| {
+                    Mutex::new(if v.aggs.is_empty() {
+                        ViewState::Set(SetState::new())
+                    } else {
+                        ViewState::Agg(AggState::new())
+                    })
+                })
+                .collect();
+            views.push(ViewRt {
+                spec: v.clone(),
+                agg_cols,
+                ops,
+                funcs,
+                modes,
+                partition_key: v.key_cols.clone(),
+                state,
+                decomposed: false,
+            });
+        }
+
+        // Preload the warm rows, stamped round 0.
+        for (vi, v) in views.iter().enumerate() {
+            let mut per_part: Vec<Vec<Row>> = vec![Vec::new(); p];
+            for row in &warm[vi] {
+                per_part[v.partition_of(row, p)].push(row.clone());
+            }
+            for (part, rows) in per_part.into_iter().enumerate() {
+                merge_into_state(v, &mut v.state[part].lock(), &rows, 0);
+            }
+        }
+        let views = Arc::new(views);
+
+        // Compile the loop branches against the *new* catalog, reusing (or
+        // delta-layering) any retained build-side artifacts.
+        let mut branches: Vec<CompiledBranch> = Vec::new();
+        for (vi, v) in spec.views.iter().enumerate() {
+            for (bi, prog) in v.recursive.iter().enumerate() {
+                let slot = builds.as_mut().map(|w| (&mut **w, vi, bi));
+                branches.push(self.compile_branch(prog, &views[vi], slot)?);
+            }
+        }
+        let branches = Arc::new(branches);
+
+        // Re-evaluate base branches over the new catalog. Converged rows
+        // re-merge as no-ops; inserted base facts become round-1 deltas.
+        let mut base_buckets: Buckets = empty_buckets(views.len(), p);
+        for (vi, v) in spec.views.iter().enumerate() {
+            let mut seen: FxHashSet<Row> = FxHashSet::default();
+            for plan in &v.base {
+                let rel = self.eval.evaluate(plan)?;
+                for row in rel.into_rows() {
+                    if seen.insert(row.clone()) {
+                        let part = views[vi].partition_of(&row, p);
+                        base_buckets[vi][part].push(row);
+                    }
+                }
+            }
+        }
+
+        // Delta-build seeding: warm driver ⋈ Δbase at each changed position.
+        // One seed run per (join position, changed table); every other table
+        // in the position's build plan sees its full new contents, so a
+        // derivation touching several changed tables is still covered (the
+        // duplicates this superset produces are no-ops under idempotence).
+        for v in &spec.views {
+            for prog in &v.recursive {
+                for (si, step) in prog.steps.iter().enumerate() {
+                    let BranchStep::HashJoin {
+                        build: JoinBuild::Base(plan),
+                        ..
+                    } = step
+                    else {
+                        continue;
+                    };
+                    let mut tabs: Vec<String> = Vec::new();
+                    plan.referenced_tables(&mut tabs);
+                    for (table, delta_rows) in changed {
+                        if !tabs.iter().any(|t| t.eq_ignore_ascii_case(table)) {
+                            continue;
+                        }
+                        let (seed, snaps) =
+                            self.compile_seed_branch(prog, si, table, delta_rows, warm)?;
+                        let produced =
+                            run_branch(&seed, &warm[seed.driver], &snaps, 0, 0, 0, self.eval.fused);
+                        let target = &views[seed.target];
+                        for row in partial_aggregate(target, produced) {
+                            let part = target.partition_of(&row, p);
+                            base_buckets[seed.target][part].push(row);
+                        }
+                    }
+                }
+            }
+        }
+
+        self.check_cancel()?;
+        let iterations = self.run_semi_naive(&views, &branches, base_buckets, 1)?;
+        if let Some(sink) = self.eval.trace {
+            sink.end_clique(iterations);
+        }
+        let mut out = Vec::with_capacity(views.len());
+        for v in views.iter() {
+            let mut rows = Vec::new();
+            for part in &v.state {
+                rows.extend(state_rows(v, &part.lock()));
+            }
+            out.push(Relation::new_unchecked(v.spec.schema.clone(), rows));
+        }
+        Ok(FixpointResult {
+            views: out,
+            iterations,
+        })
+    }
+
+    /// Compile one *seed* instance of a recursive branch for delta-seeded
+    /// resume: sequential (each base build a single whole hash table, run on
+    /// partition 0), with the base build at step `delta_pos` evaluated under
+    /// an overlay catalog where `delta_table` holds only the inserted rows,
+    /// and recursive build sides snapshotted from the warm rows.
+    fn compile_seed_branch(
+        &self,
+        prog: &BranchProgram,
+        delta_pos: usize,
+        delta_table: &str,
+        delta_rows: &[Row],
+        warm: &[Vec<Row>],
+    ) -> Result<(CompiledBranch, SeedSnapshots), EngineError> {
+        let mut ops = Vec::with_capacity(prog.steps.len());
+        let mut snaps: SeedSnapshots = Vec::with_capacity(prog.steps.len());
+        let mut uses_recursive_build = false;
+        for (si, step) in prog.steps.iter().enumerate() {
+            match step {
+                BranchStep::Filter(e) => {
+                    ops.push(CompiledOp::Filter(e.clone()));
+                    snaps.push(None);
+                }
+                BranchStep::HashJoin {
+                    build,
+                    stream_keys,
+                    build_keys,
+                    ..
+                } => {
+                    let build_side = match build {
+                        JoinBuild::RecursiveAll { view, mode, .. } => {
+                            uses_recursive_build = true;
+                            snaps.push(Some(Arc::new(HashTable::build(&warm[*view], build_keys))));
+                            BuildSide::Recursive {
+                                view: *view,
+                                mode: *mode,
+                            }
+                        }
+                        JoinBuild::Base(plan) => {
+                            let rel = if si == delta_pos {
+                                self.eval_with_table_delta(plan, delta_table, delta_rows)?
+                            } else {
+                                self.eval.evaluate(plan)?
+                            };
+                            snaps.push(None);
+                            BuildSide::Partitioned(vec![Arc::new(HashTable::build(
+                                rel.rows(),
+                                build_keys,
+                            ))])
+                        }
+                    };
+                    ops.push(CompiledOp::Join(CompiledStep {
+                        build: build_side,
+                        stream_keys: stream_keys.clone(),
+                        build_keys: build_keys.clone(),
+                    }));
+                }
+            }
+        }
+        Ok((
+            CompiledBranch {
+                driver: prog.driver,
+                driver_value_mode: prog.driver_value_mode,
+                ops,
+                target: prog.target,
+                key_exprs: prog.key_exprs.clone(),
+                agg_exprs: prog.agg_exprs.clone(),
+                uses_recursive_build,
+            },
+            snaps,
+        ))
+    }
+
+    /// Evaluate `plan` with `table` replaced by only `delta_rows`; every
+    /// other referenced table sees its full current contents.
+    fn eval_with_table_delta(
+        &self,
+        plan: &LogicalPlan,
+        table: &str,
+        delta_rows: &[Row],
+    ) -> Result<Relation, EngineError> {
+        let overlay = Catalog::new();
+        let mut tabs: Vec<String> = Vec::new();
+        plan.referenced_tables(&mut tabs);
+        for t in &mut tabs {
+            t.make_ascii_lowercase();
+        }
+        tabs.sort();
+        tabs.dedup();
+        for t in &tabs {
+            let full = self.eval.catalog.get(t)?;
+            if t.eq_ignore_ascii_case(table) {
+                overlay.register_shared(
+                    t,
+                    Arc::new(Relation::new_unchecked(
+                        full.schema().clone(),
+                        delta_rows.to_vec(),
+                    )),
+                );
+            } else {
+                overlay.register_shared(t, full);
+            }
+        }
+        let eval = EvalContext {
+            cluster: self.eval.cluster,
+            catalog: &overlay,
+            views: self.eval.views,
+            partitions: self.eval.partitions,
+            fused: self.eval.fused,
+            trace: None,
+            governor: self.eval.governor,
+            csr_cache: None,
+        };
+        eval.evaluate(plan)
+    }
+
+    /// Build the retained build-side artifacts for a converged view:
+    /// evaluate and hash every delta-layerable co-partitioned base join step
+    /// once, so the first delta-seeded refresh already reuses them instead
+    /// of paying the full base build.
+    pub fn prepare_warm_builds(&self, spec: &FixpointSpec) -> Result<WarmBuilds, EngineError> {
+        let mut wb = WarmBuilds::new();
+        if self.config.join == JoinStrategy::SortMerge {
+            return Ok(wb);
+        }
+        for (vi, v) in spec.views.iter().enumerate() {
+            for (bi, prog) in v.recursive.iter().enumerate() {
+                let mut first_join = true;
+                for (si, step) in prog.steps.iter().enumerate() {
+                    if let BranchStep::HashJoin {
+                        build,
+                        stream_keys,
+                        build_keys,
+                        ..
+                    } = step
+                    {
+                        // Mirrors the resume compile: decomposed evaluation
+                        // is forced off, so the driver partitions on the
+                        // view's key columns.
+                        if let JoinBuild::Base(plan) = build {
+                            if first_join
+                                && !build_keys.is_empty()
+                                && stream_keys_match(stream_keys, &v.key_cols)
+                                && plan_is_delta_layerable(plan)
+                            {
+                                self.warm_hash_layers(&mut wb, (vi, bi, si), plan, build_keys)?;
+                            }
+                        }
+                        first_join = false;
+                    }
+                }
+            }
+        }
+        Ok(wb)
+    }
+
+    /// Reuse, extend, or (re)build the retained hash layers for one base
+    /// join step. Reuse requires the recorded dependency versions to still
+    /// match the catalog; insert-only growth (same rewrite versions, longer
+    /// tables) appends one delta-built layer evaluated under per-table
+    /// overlay catalogs — the same superset argument as delta-build seeding,
+    /// so its duplicates are no-ops under the resume path's idempotence
+    /// certificate; anything else rebuilds from scratch.
+    fn warm_hash_layers(
+        &self,
+        wb: &mut WarmBuilds,
+        key: (usize, usize, usize),
+        plan: &LogicalPlan,
+        build_keys: &[usize],
+    ) -> Result<Vec<Vec<Arc<HashTable>>>, EngineError> {
+        let p = self.config.partitions;
+        let mut tabs: Vec<String> = Vec::new();
+        plan.referenced_tables(&mut tabs);
+        for t in &mut tabs {
+            t.make_ascii_lowercase();
+        }
+        tabs.sort();
+        tabs.dedup();
+        let mut cur: Vec<WarmDep> = Vec::with_capacity(tabs.len());
+        for t in &tabs {
+            let (Some(v), Ok(rel)) = (self.eval.catalog.version_of(t), self.eval.catalog.get(t))
+            else {
+                return Err(EngineError::Other(format!(
+                    "build-side table '{t}' vanished during refresh"
+                )));
+            };
+            cur.push(WarmDep {
+                table: t.clone(),
+                version: v.version,
+                rewrite_version: v.rewrite_version,
+                len: rel.len(),
+            });
+        }
+        enum Fit {
+            Unchanged,
+            Grown,
+            Rebuild,
+        }
+        let fit = match wb.steps.get(&key) {
+            Some(s)
+                if s.deps.len() == cur.len()
+                    && s.deps.iter().zip(&cur).all(|(a, b)| a.table == b.table) =>
+            {
+                if s.deps.iter().zip(&cur).all(|(a, b)| a.version == b.version) {
+                    Fit::Unchanged
+                } else if s.layers.len() < MAX_WARM_LAYERS
+                    && s.deps
+                        .iter()
+                        .zip(&cur)
+                        .all(|(a, b)| a.rewrite_version == b.rewrite_version && b.len >= a.len)
+                {
+                    Fit::Grown
+                } else {
+                    Fit::Rebuild
+                }
+            }
+            _ => Fit::Rebuild,
+        };
+        match fit {
+            Fit::Unchanged => {}
+            Fit::Grown => {
+                let entry = wb.steps.get_mut(&key).expect("matched above");
+                let mut delta: Vec<Row> = Vec::new();
+                for (old, new) in entry.deps.iter().zip(&cur) {
+                    if new.len > old.len {
+                        let full = self.eval.catalog.get(&old.table)?;
+                        let rel =
+                            self.eval_with_table_delta(plan, &old.table, &full.rows()[old.len..])?;
+                        delta.extend(rel.into_rows());
+                    }
+                }
+                if !delta.is_empty() {
+                    let parts = rasql_storage::partition_rows(delta, build_keys, p);
+                    entry.layers.push(
+                        parts
+                            .into_iter()
+                            .map(|rows| Arc::new(HashTable::build(&rows, build_keys)))
+                            .collect(),
+                    );
+                }
+                entry.deps = cur;
+            }
+            Fit::Rebuild => {
+                let rel = self.eval.evaluate(plan)?;
+                let parts = rasql_storage::partition_rows(rel.rows().to_vec(), build_keys, p);
+                let layer: Vec<Arc<HashTable>> = parts
+                    .into_iter()
+                    .map(|rows| Arc::new(HashTable::build(&rows, build_keys)))
+                    .collect();
+                wb.steps.insert(
+                    key,
+                    WarmStep {
+                        deps: cur,
+                        layers: vec![layer],
+                    },
+                );
+            }
+        }
+        Ok(wb.steps[&key].layers.clone())
+    }
+
     // ----------------------------------------------------------------
     // Branch compilation
     // ----------------------------------------------------------------
@@ -359,12 +853,13 @@ impl<'a> FixpointExecutor<'a> {
         &self,
         prog: &BranchProgram,
         driver: &ViewRt,
+        mut warm: Option<(&mut WarmBuilds, usize, usize)>,
     ) -> Result<CompiledBranch, EngineError> {
         let p = self.config.partitions;
         let mut ops = Vec::with_capacity(prog.steps.len());
         let mut first_join = true;
         let mut uses_recursive_build = false;
-        for step in &prog.steps {
+        for (si, step) in prog.steps.iter().enumerate() {
             match step {
                 BranchStep::Filter(e) => ops.push(CompiledOp::Filter(e.clone())),
                 BranchStep::HashJoin {
@@ -382,7 +877,6 @@ impl<'a> FixpointExecutor<'a> {
                             }
                         }
                         JoinBuild::Base(plan) => {
-                            let rel = self.eval.evaluate(plan)?;
                             // Co-partitioned iff this is the first join, the
                             // delta arrives partitioned on exactly the probe
                             // key, and the view is not decomposed.
@@ -390,7 +884,25 @@ impl<'a> FixpointExecutor<'a> {
                                 && !driver.decomposed
                                 && !build_keys.is_empty()
                                 && stream_keys_match(stream_keys, &driver.partition_key);
-                            if co_partitioned {
+                            let warm_slot = if co_partitioned
+                                && self.config.join != JoinStrategy::SortMerge
+                                && plan_is_delta_layerable(plan)
+                            {
+                                warm.as_mut()
+                            } else {
+                                None
+                            };
+                            if let Some((wb, vi, bi)) = warm_slot {
+                                let slot = (*vi, *bi, si);
+                                let mut layers =
+                                    self.warm_hash_layers(wb, slot, plan, build_keys)?;
+                                if layers.len() == 1 {
+                                    BuildSide::Partitioned(layers.pop().expect("one layer"))
+                                } else {
+                                    BuildSide::PartitionedLayered(layers)
+                                }
+                            } else if co_partitioned {
+                                let rel = self.eval.evaluate(plan)?;
                                 let parts = rasql_storage::partition_rows(
                                     rel.rows().to_vec(),
                                     build_keys,
@@ -416,6 +928,7 @@ impl<'a> FixpointExecutor<'a> {
                                     )
                                 }
                             } else {
+                                let rel = self.eval.evaluate(plan)?;
                                 // Broadcast build (§7.2): compressed payload +
                                 // per-worker rebuild, or ship the prebuilt
                                 // (2-3x larger) hash table.
@@ -477,16 +990,21 @@ impl<'a> FixpointExecutor<'a> {
     // Semi-naive loop (Algorithms 4/5 and 6)
     // ----------------------------------------------------------------
 
+    /// `start_round` is 0 for a from-scratch run; a delta-seeded resume
+    /// passes 1 so the warm state (stamped 0) stays distinct from the seeded
+    /// contributions (merged at stamp 1) — the old-snapshot cutoff of the
+    /// first resumed round then correctly selects exactly the warm rows.
     fn run_semi_naive(
         &self,
         views: &Arc<Vec<ViewRt>>,
         branches: &Arc<Vec<CompiledBranch>>,
         base_buckets: Buckets,
+        start_round: u32,
     ) -> Result<u32, EngineError> {
         let p = self.config.partitions;
         let nv = views.len();
         let mut contributions: Buckets = base_buckets;
-        let mut round: u32 = 0;
+        let mut round: u32 = start_round;
         // Round-boundary checkpointing (see `rasql_exec::checkpoint`): between
         // rounds every partition's state plus the pending contributions form a
         // consistent cut, so that is where snapshots are taken and where
@@ -1406,26 +1924,63 @@ impl<'a> FixpointExecutor<'a> {
                 _ => return Ok(None),
             }
         }
-        let edges = self.eval.evaluate(&kp.build)?;
-        let Some(csr) = CsrGraph::build(edges.rows(), kp.src_col, kp.dst_col, kp.weight, extras, p)
-        else {
-            return Ok(None);
+        // Version-keyed CSR cache: a repeated kernel query against unchanged
+        // edge tables skips both the edge scan and the CSR construction. The
+        // key folds in the seed-vertex list, since CSR dense-id assignment
+        // depends on it.
+        let mut dep_tables: Vec<String> = Vec::new();
+        kp.build.referenced_tables(&mut dep_tables);
+        let cache_key = self.eval.csr_cache.map(|_| {
+            use std::hash::{Hash, Hasher};
+            let mut h = std::collections::hash_map::DefaultHasher::new();
+            extras.hash(&mut h);
+            format!(
+                "{}|{}|p{p}|s{}d{}w{:?}|x{:016x}",
+                kp.build.display_indent(),
+                crate::cache::version_fingerprint(self.eval.catalog, &dep_tables),
+                kp.src_col,
+                kp.dst_col,
+                kp.weight,
+                h.finish()
+            )
+        });
+        let csr: Arc<CsrGraph> = match cache_key
+            .as_ref()
+            .and_then(|k| self.eval.csr_cache.and_then(|c| c.get(k)))
+        {
+            Some(hit) => {
+                Metrics::add(&self.cluster.metrics.cache_hits, 1);
+                hit
+            }
+            None => {
+                let edges = self.eval.evaluate(&kp.build)?;
+                let Some(csr) =
+                    CsrGraph::build(edges.rows(), kp.src_col, kp.dst_col, kp.weight, extras, p)
+                else {
+                    return Ok(None);
+                };
+                let csr = Arc::new(csr);
+                if let (Some(key), Some(cache)) = (cache_key, self.eval.csr_cache) {
+                    cache.put(key, dep_tables, Arc::clone(&csr));
+                }
+                csr
+            }
         };
         match (kp.op, kp.scalar) {
-            (KernelOp::Set, _) => self.run_kernel_set(v, kp, csr, &base_rows),
+            (KernelOp::Set, _) => self.run_kernel_set(v, kp, &csr, &base_rows),
             (KernelOp::Min, KernelScalar::I64) => {
-                self.run_kernel_agg::<i64, MinOp>(v, kp, csr, &base_rows)
+                self.run_kernel_agg::<i64, MinOp>(v, kp, &csr, &base_rows)
             }
             (KernelOp::Min, KernelScalar::F64) => {
-                self.run_kernel_agg::<f64, MinOp>(v, kp, csr, &base_rows)
+                self.run_kernel_agg::<f64, MinOp>(v, kp, &csr, &base_rows)
             }
             (KernelOp::Max, KernelScalar::I64) => {
-                self.run_kernel_agg::<i64, MaxOp>(v, kp, csr, &base_rows)
+                self.run_kernel_agg::<i64, MaxOp>(v, kp, &csr, &base_rows)
             }
             (KernelOp::Max, KernelScalar::F64) => {
-                self.run_kernel_agg::<f64, MaxOp>(v, kp, csr, &base_rows)
+                self.run_kernel_agg::<f64, MaxOp>(v, kp, &csr, &base_rows)
             }
-            (KernelOp::Sum, _) => self.run_kernel_agg::<i64, SumOp>(v, kp, csr, &base_rows),
+            (KernelOp::Sum, _) => self.run_kernel_agg::<i64, SumOp>(v, kp, &csr, &base_rows),
         }
     }
 
@@ -1439,7 +1994,7 @@ impl<'a> FixpointExecutor<'a> {
         &self,
         v: &ViewSpec,
         kp: &KernelPlan,
-        csr: CsrGraph,
+        csr: &Arc<CsrGraph>,
         base_rows: &[Row],
     ) -> Result<Option<FixpointResult>, EngineError>
     where
@@ -1479,9 +2034,8 @@ impl<'a> FixpointExecutor<'a> {
 
         let n = csr.vertex_count();
         let payload = csr.size_bytes();
-        let csr = Arc::new(csr);
         let bc = {
-            let src = Arc::clone(&csr);
+            let src = Arc::clone(csr);
             Arc::new(
                 Broadcast::distribute_traced(
                     self.cluster,
@@ -1678,7 +2232,7 @@ impl<'a> FixpointExecutor<'a> {
         &self,
         v: &ViewSpec,
         kp: &KernelPlan,
-        csr: CsrGraph,
+        csr: &Arc<CsrGraph>,
         base_rows: &[Row],
     ) -> Result<Option<FixpointResult>, EngineError> {
         let p = self.config.partitions;
@@ -1695,9 +2249,8 @@ impl<'a> FixpointExecutor<'a> {
 
         let n = csr.vertex_count();
         let payload = csr.size_bytes();
-        let csr = Arc::new(csr);
         let bc = {
-            let src = Arc::clone(&csr);
+            let src = Arc::clone(csr);
             Arc::new(
                 Broadcast::distribute_traced(
                     self.cluster,
@@ -2042,22 +2595,33 @@ fn run_branch(
                 })));
             }
             CompiledOp::Join(cs) => {
-                let table: Arc<HashTable> = match &cs.build {
-                    BuildSide::Partitioned(tables) => Arc::clone(&tables[part]),
+                let keys = cs.stream_keys.clone();
+                let key: rasql_exec::pipeline::KeyFn =
+                    Arc::new(move |r: &Row| keys.iter().map(|e| e.eval(r)).collect());
+                steps.push(match &cs.build {
+                    BuildSide::Partitioned(tables) => PipelineStep::HashJoin {
+                        table: Arc::clone(&tables[part]),
+                        key,
+                    },
+                    BuildSide::PartitionedLayered(layers) => PipelineStep::HashJoinLayered {
+                        tables: layers.iter().map(|l| Arc::clone(&l[part])).collect(),
+                        key,
+                    },
                     BuildSide::PartitionedSorted(_) => {
                         unreachable!("sorted joins executed eagerly above")
                     }
-                    BuildSide::Replicated(bc) => Arc::clone(bc.on_worker(worker)),
-                    BuildSide::Recursive { .. } => Arc::clone(
-                        snapshots[op_base + i]
-                            .as_ref()
-                            .expect("snapshot built for recursive build side"),
-                    ),
-                };
-                let keys = cs.stream_keys.clone();
-                steps.push(PipelineStep::HashJoin {
-                    table,
-                    key: Arc::new(move |r: &Row| keys.iter().map(|e| e.eval(r)).collect()),
+                    BuildSide::Replicated(bc) => PipelineStep::HashJoin {
+                        table: Arc::clone(bc.on_worker(worker)),
+                        key,
+                    },
+                    BuildSide::Recursive { .. } => PipelineStep::HashJoin {
+                        table: Arc::clone(
+                            snapshots[op_base + i]
+                                .as_ref()
+                                .expect("snapshot built for recursive build side"),
+                        ),
+                        key,
+                    },
                 });
             }
         }

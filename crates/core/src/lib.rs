@@ -24,6 +24,7 @@
 //! assert_eq!(tc.stats.iterations.len(), 1);
 //! ```
 
+pub mod cache;
 pub mod check;
 pub mod config;
 pub mod context;
@@ -32,15 +33,18 @@ pub mod eval;
 pub mod fixpoint;
 pub mod kernel;
 pub mod library;
+pub mod matview;
 pub mod prem;
 pub mod session;
 pub mod wire;
 
+pub use cache::{CachedQuery, CsrCache, ResultCache};
 pub use check::{CheckReport, PremColumnEvidence, PremEvidence};
 pub use config::{EngineConfig, EvalMode, JoinStrategy};
 pub use context::{ContextBuilder, QueryResult, QueryStats, RaSqlContext};
 pub use error::EngineError;
 pub use kernel::{select_kernel, KernelEdgeFn, KernelOp, KernelPlan, KernelScalar};
+pub use matview::{DepRecord, MatView};
 pub use prem::{PremCheckOutcome, PremChecker};
 pub use rasql_exec::{
     CliqueTrace, IterationTrace, JsonValue, OperatorTrace, QueryTrace, StageKind, StageSpan,

@@ -1,0 +1,103 @@
+//! Materialized recursive views: the registry entry, dependency versioning,
+//! and refresh-eligibility bookkeeping.
+//!
+//! A `CREATE MATERIALIZED VIEW v AS <query>` runs the defining query once and
+//! registers its result as a read-only table. The context keeps a [`MatView`]
+//! record per view: the analyzed defining query (so a refresh never
+//! re-parses), one [`DepRecord`] per base table read (capturing the
+//! `(version, rewrite_version, len)` triple as of the last refresh), and —
+//! when the static maintenance certificate holds — the converged fixpoint
+//! state in the [`WarmStore`](rasql_storage::WarmStore) so the next refresh
+//! can resume semi-naive evaluation seeded with only the inserted delta
+//! instead of recomputing from scratch.
+//!
+//! Eligibility for incremental refresh is decided *statically* at creation
+//! (idempotent `min`/`max` heads with Proven PreM over a single
+//! self-recursive clique — the `RA0301` findings of
+//! [`rasql_plan::verify_query`] enumerate every violation) and re-checked
+//! *dynamically* at refresh time (the delta must be insert-only: a bumped
+//! `rewrite_version` on any dependency means rows were deleted or replaced,
+//! and the refresh falls back to a full recompute).
+
+use rasql_plan::{AnalyzedQuery, BranchStep, JoinBuild};
+
+/// One base-table dependency of a materialized view, captured as of the
+/// view's last (re)materialization.
+#[derive(Debug, Clone)]
+pub struct DepRecord {
+    /// Lower-cased table name.
+    pub table: String,
+    /// The table's catalog `version` at the last refresh (bumped by every
+    /// mutation; a mismatch means the view is stale).
+    pub version: u64,
+    /// The table's `rewrite_version` at the last refresh (bumped only by
+    /// deletes/replaces; a mismatch forces a full recompute).
+    pub rewrite_version: u64,
+    /// Row count at the last refresh: the suffix `rows[len..]` of the
+    /// current relation is exactly the inserted delta.
+    pub len: usize,
+}
+
+/// A registered materialized view.
+#[derive(Debug, Clone)]
+pub struct MatView {
+    /// View name as written at creation.
+    pub name: String,
+    /// The analyzed defining query, replayed (in full or resumed) on
+    /// refresh.
+    pub query: AnalyzedQuery,
+    /// Base tables the defining query reads, with their versions as of the
+    /// last refresh.
+    pub deps: Vec<DepRecord>,
+    /// Monotonically increasing view version, starting at 1 and bumped on
+    /// every refresh.
+    pub version: u64,
+    /// Whether the static maintenance certificate admits delta-seeded
+    /// incremental refresh.
+    pub eligible: bool,
+    /// Why incremental refresh is ruled out (the first `RA0301` finding),
+    /// when `eligible` is false.
+    pub ineligible_reason: Option<String>,
+    /// How the view was last materialized: `"none"` (creation only),
+    /// `"full"`, or `"incremental"`.
+    pub last_refresh: String,
+    /// Bytes of warm fixpoint state retained for this view.
+    pub retained_bytes: u64,
+}
+
+/// The warm-store key prefix of a view (`mv/<name>/`); per-clique-view
+/// blobs live at `<prefix><index>`.
+pub fn warm_prefix(view_key: &str) -> String {
+    format!("mv/{view_key}/")
+}
+
+/// Every base table an analyzed query reads — the final plan, the clique
+/// base cases, and the base build sides inside recursive branch programs —
+/// lower-cased, sorted, deduplicated. These are the tables whose versions a
+/// result-cache fingerprint or a [`DepRecord`] snapshot must cover.
+pub fn query_dep_tables(q: &AnalyzedQuery) -> Vec<String> {
+    let mut out = Vec::new();
+    q.final_plan.referenced_tables(&mut out);
+    for clique in &q.cliques {
+        for view in &clique.views {
+            for plan in &view.base {
+                plan.referenced_tables(&mut out);
+            }
+            for prog in &view.recursive {
+                for step in &prog.steps {
+                    if let BranchStep::HashJoin {
+                        build: JoinBuild::Base(plan),
+                        ..
+                    } = step
+                    {
+                        plan.referenced_tables(&mut out);
+                    }
+                }
+            }
+        }
+    }
+    let mut out: Vec<String> = out.into_iter().map(|t| t.to_ascii_lowercase()).collect();
+    out.sort();
+    out.dedup();
+    out
+}

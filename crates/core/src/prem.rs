@@ -109,7 +109,12 @@ impl<'a> PremChecker<'a> {
             AnalyzedStatement::Query(q) => q,
             AnalyzedStatement::CreateView { .. }
             | AnalyzedStatement::Explain { .. }
-            | AnalyzedStatement::Check(_) => {
+            | AnalyzedStatement::Check(_)
+            | AnalyzedStatement::Insert { .. }
+            | AnalyzedStatement::Delete { .. }
+            | AnalyzedStatement::CreateMaterializedView { .. }
+            | AnalyzedStatement::RefreshMaterializedView { .. }
+            | AnalyzedStatement::DropMaterializedView { .. } => {
                 return Ok(PremCheckOutcome::Inconclusive(
                     "only plain queries have recursion to check".into(),
                 ))
@@ -156,6 +161,7 @@ impl<'a> PremChecker<'a> {
             fused: true,
             trace: None,
             governor: None,
+            csr_cache: None,
         };
 
         // Base rows (deduped — UNION semantics).

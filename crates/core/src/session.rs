@@ -240,7 +240,19 @@ impl Session {
                 .ctx
                 .run_statement_in(stmt, source, &catalog, Some(&self.interrupt))?
             {
-                StatementOutcome::Rows(result) => on_result(*result),
+                StatementOutcome::Rows(result) => {
+                    // Materialized-view DDL mutates the *shared* planner
+                    // catalog; re-snapshot so later statements in this
+                    // script resolve against it.
+                    if matches!(
+                        stmt,
+                        Statement::CreateMaterializedView { .. }
+                            | Statement::DropMaterializedView { .. }
+                    ) {
+                        catalog = self.merged_catalog();
+                    }
+                    on_result(*result);
+                }
                 StatementOutcome::CreatedView { name, plan } => {
                     catalog.add_view(&name, plan.clone());
                     let mut views = self.views.lock();

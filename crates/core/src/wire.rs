@@ -59,6 +59,7 @@ pub fn error_to_wire(err: &EngineError) -> ApiError {
             }
         },
         EngineError::NonTermination { .. } => ErrorCode::NonTermination,
+        EngineError::UnknownView(_) => ErrorCode::UnknownView,
         EngineError::Other(_) => ErrorCode::Internal,
     };
     ApiError::new(code, err.to_string())

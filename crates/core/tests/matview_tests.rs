@@ -1,0 +1,467 @@
+//! Incremental materialized-view maintenance: differential correctness
+//! against full recompute, fault injection, atomicity under mid-refresh
+//! kill, the RA0301 fallback contract, the version-keyed result cache, and
+//! the INSERT/DELETE statement surface the subsystem rides on.
+//!
+//! The load-bearing property throughout: a delta-seeded (`incremental`)
+//! refresh must be **bit-identical** to recomputing the defining query from
+//! scratch on the post-delta base tables — same sorted rows, on both the
+//! specialized-kernel and generic-interpreter paths.
+
+use proptest::prelude::*;
+use rasql_core::{library, EngineConfig, EngineError, RaSqlContext};
+use rasql_exec::FaultSpec;
+use rasql_storage::{Relation, Row, Value};
+use std::sync::Arc;
+
+fn weighted_rmat(n: usize, seed: u64) -> Relation {
+    rasql_datagen::rmat(
+        n,
+        rasql_datagen::RmatConfig {
+            weighted: true,
+            ..Default::default()
+        },
+        seed,
+    )
+}
+
+fn plain_rmat(n: usize, seed: u64) -> Relation {
+    rasql_datagen::rmat(n, rasql_datagen::RmatConfig::default(), seed)
+}
+
+fn literal(v: &Value) -> String {
+    match v {
+        Value::Int(i) => i.to_string(),
+        Value::Double(d) => {
+            if d.fract() == 0.0 {
+                format!("{d:.1}")
+            } else {
+                format!("{d}")
+            }
+        }
+        Value::Str(s) => format!("'{s}'"),
+        Value::Bool(b) => b.to_string(),
+        Value::Null => "NULL".to_string(),
+    }
+}
+
+/// Render `rows` as an `INSERT INTO table VALUES ...` statement.
+fn insert_sql(table: &str, rows: &[Row]) -> String {
+    let tuples: Vec<String> = rows
+        .iter()
+        .map(|r| {
+            let vals: Vec<String> = r.values().iter().map(literal).collect();
+            format!("({})", vals.join(", "))
+        })
+        .collect();
+    format!("INSERT INTO {table} VALUES {}", tuples.join(", "))
+}
+
+/// Recompute `sql` from scratch on `edges` in a fresh context.
+fn recompute(cfg: &EngineConfig, edges: &Relation, sql: &str) -> Vec<Row> {
+    let ctx = RaSqlContext::with_config(cfg.clone().with_workers(2));
+    ctx.register("edge", edges.clone()).unwrap();
+    ctx.query(sql).unwrap().relation.sorted().rows().to_vec()
+}
+
+/// Create a materialized view over `sql` seeded with the first `split` rows
+/// of `edges`, INSERT the remainder in `batches` batches, read the view
+/// back (auto-refresh), and demand the result is bit-identical to a fresh
+/// full recompute — with every refresh having taken the incremental path.
+fn assert_incremental_matches(
+    cfg: &EngineConfig,
+    edges: &Relation,
+    sql: &str,
+    split: usize,
+    batches: usize,
+) {
+    let rows = edges.rows();
+    let initial = Relation::try_new(edges.schema().clone(), rows[..split].to_vec()).unwrap();
+    let ctx = RaSqlContext::with_config(cfg.clone().with_workers(2));
+    ctx.register("edge", initial).unwrap();
+    ctx.query(&format!("CREATE MATERIALIZED VIEW v AS {sql}"))
+        .unwrap();
+    let mv = ctx.mat_view("v").unwrap();
+    assert!(
+        mv.eligible,
+        "expected eligibility: {:?}",
+        mv.ineligible_reason
+    );
+
+    let delta = &rows[split..];
+    let per = delta.len().div_ceil(batches).max(1);
+    let mut refreshes = 0u64;
+    for chunk in delta.chunks(per) {
+        ctx.query(&insert_sql("edge", chunk)).unwrap();
+        assert!(ctx.view_infos()[0].stale, "insert must mark the view stale");
+        let got = ctx.query("SELECT * FROM v").unwrap();
+        refreshes += 1;
+        let mv = ctx.mat_view("v").unwrap();
+        assert_eq!(
+            mv.last_refresh, "incremental",
+            "insert-only delta must take the delta-seeded path"
+        );
+        assert_eq!(mv.version, 1 + refreshes);
+        assert!(
+            !ctx.view_infos()[0].stale,
+            "read-through refresh clears staleness"
+        );
+        let upto = (split + refreshes as usize * per).min(rows.len());
+        let base = Relation::try_new(edges.schema().clone(), rows[..upto].to_vec()).unwrap();
+        let want = recompute(cfg, &base, sql);
+        assert_eq!(
+            got.relation.sorted().rows(),
+            &want[..],
+            "incremental refresh diverged from full recompute ({sql})"
+        );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// SSSP (min over Double, kernel path): random insert batches refresh
+    /// incrementally and land exactly on the full-recompute answer.
+    #[test]
+    fn sssp_incremental_matches_recompute(n in 16usize..120, seed in 0u64..1000, batches in 1usize..4) {
+        let edges = weighted_rmat(n, seed);
+        let split = edges.len() - (edges.len() / 4).clamp(1, 24);
+        assert_incremental_matches(&EngineConfig::rasql(), &edges, &library::sssp(1), split, batches);
+    }
+
+    /// Same property on the generic interpreter (kernels off).
+    #[test]
+    fn sssp_incremental_matches_recompute_interpreter(n in 16usize..100, seed in 0u64..1000) {
+        let edges = weighted_rmat(n, seed);
+        let split = edges.len() - (edges.len() / 5).clamp(1, 16);
+        let cfg = EngineConfig::rasql().with_specialized_kernels(false);
+        assert_incremental_matches(&cfg, &edges, &library::sssp(1), split, 2);
+    }
+
+    /// Connected components (min over Int).
+    #[test]
+    fn cc_incremental_matches_recompute(n in 16usize..120, seed in 0u64..1000) {
+        let edges = plain_rmat(n, seed);
+        let split = edges.len() - (edges.len() / 4).clamp(1, 24);
+        assert_incremental_matches(&EngineConfig::rasql(), &edges, &library::cc(), split, 2);
+    }
+
+    /// Reachability (set semantics, no aggregate head).
+    #[test]
+    fn reach_incremental_matches_recompute(n in 16usize..120, seed in 0u64..1000) {
+        let edges = plain_rmat(n, seed);
+        let split = edges.len() - (edges.len() / 4).clamp(1, 24);
+        assert_incremental_matches(&EngineConfig::rasql(), &edges, &library::reach(1), split, 1);
+    }
+
+    /// Fault injection during the incremental refresh: retries and
+    /// checkpoint/restore must still land on the exact clean answer.
+    #[test]
+    fn faulted_incremental_refresh_matches_clean(seed in 0u64..300) {
+        let edges = weighted_rmat(100, 11);
+        let split = edges.len() - 12;
+        let cfg = EngineConfig::rasql()
+            .with_faults(Some(FaultSpec { kill: 0.12, delay: 0.08, loss: 0.04, delay_us: 40, seed }))
+            .with_max_task_retries(3)
+            .with_checkpoint_interval(3);
+        let clean = EngineConfig::rasql();
+        let rows = edges.rows();
+        let initial = Relation::try_new(edges.schema().clone(), rows[..split].to_vec()).unwrap();
+        let ctx = RaSqlContext::with_config(cfg.with_workers(2));
+        ctx.register("edge", initial).unwrap();
+        ctx.query(&format!("CREATE MATERIALIZED VIEW v AS {}", library::sssp(1))).unwrap();
+        ctx.query(&insert_sql("edge", &rows[split..])).unwrap();
+        let got = ctx.query("REFRESH MATERIALIZED VIEW v").unwrap();
+        assert!(got.relation.len() >= 1);
+        assert_eq!(ctx.mat_view("v").unwrap().last_refresh, "incremental");
+        let read = ctx.query("SELECT * FROM v").unwrap();
+        let want = recompute(&clean, &edges, &library::sssp(1));
+        assert_eq!(read.relation.sorted().rows(), &want[..], "faulted refresh diverged");
+    }
+}
+
+/// A killed refresh must be atomic: the registry keeps the old version, the
+/// view stays stale, and the next read refreshes cleanly.
+#[test]
+fn mid_refresh_kill_leaves_view_consistent() {
+    let edges = weighted_rmat(240, 5);
+    let split = edges.len() - 20;
+    let rows = edges.rows();
+    let mut witnessed = false;
+    for _attempt in 0..10 {
+        let ctx = Arc::new(RaSqlContext::with_config(
+            EngineConfig::rasql().with_workers(2),
+        ));
+        let initial = Relation::try_new(edges.schema().clone(), rows[..split].to_vec()).unwrap();
+        ctx.register("edge", initial).unwrap();
+        ctx.query(&format!(
+            "CREATE MATERIALIZED VIEW v AS {}",
+            library::sssp(1)
+        ))
+        .unwrap();
+        ctx.query(&insert_sql("edge", &rows[split..])).unwrap();
+
+        // Slow every stage down only for the refresh we are about to kill.
+        // with_config is per-context, so build a second context sharing
+        // nothing — instead, rebuild: slow context from scratch.
+        let slow = Arc::new(RaSqlContext::with_config(
+            EngineConfig::rasql()
+                .with_workers(2)
+                .with_stage_latency_us(1500),
+        ));
+        let initial = Relation::try_new(edges.schema().clone(), rows[..split].to_vec()).unwrap();
+        slow.register("edge", initial).unwrap();
+        slow.query(&format!(
+            "CREATE MATERIALIZED VIEW v AS {}",
+            library::sssp(1)
+        ))
+        .unwrap();
+        slow.query(&insert_sql("edge", &rows[split..])).unwrap();
+        let before = slow.mat_view("v").unwrap().version;
+
+        let worker = {
+            let slow = Arc::clone(&slow);
+            std::thread::spawn(move || slow.query("REFRESH MATERIALIZED VIEW v"))
+        };
+        let mut killed = false;
+        for _ in 0..4000 {
+            if let Some(&id) = slow.active_queries().first() {
+                if slow.kill(id) {
+                    killed = true;
+                    break;
+                }
+            }
+            std::thread::sleep(std::time::Duration::from_micros(200));
+        }
+        let outcome = worker.join().unwrap();
+        if !(killed && outcome.is_err()) {
+            continue; // refresh won the race; try again
+        }
+        let err = outcome.unwrap_err().to_string();
+        assert!(
+            err.contains("cancelled"),
+            "kill must surface as a typed cancellation, got: {err}"
+        );
+        let mv = slow.mat_view("v").unwrap();
+        assert_eq!(
+            mv.version, before,
+            "aborted refresh must not bump the version"
+        );
+        assert!(
+            slow.view_infos()[0].stale,
+            "aborted refresh must leave the view stale"
+        );
+        // The context keeps serving: the next read refreshes to the right
+        // answer.
+        let read = slow.query("SELECT * FROM v").unwrap();
+        let want = recompute(&EngineConfig::rasql(), &edges, &library::sssp(1));
+        assert_eq!(read.relation.sorted().rows(), &want[..]);
+        witnessed = true;
+        break;
+    }
+    assert!(witnessed, "never managed to kill a refresh mid-flight");
+}
+
+/// DELETE on a base table is outside the insert-only contract: the refresh
+/// must fall back to full recompute and still be exact.
+#[test]
+fn delete_falls_back_to_full_refresh() {
+    let edges = weighted_rmat(80, 3);
+    let ctx = RaSqlContext::with_config(EngineConfig::rasql().with_workers(2));
+    ctx.register("edge", edges.clone()).unwrap();
+    ctx.query(&format!(
+        "CREATE MATERIALIZED VIEW v AS {}",
+        library::sssp(1)
+    ))
+    .unwrap();
+    assert!(ctx.mat_view("v").unwrap().eligible);
+    ctx.query("DELETE FROM edge WHERE Src = 3").unwrap();
+    ctx.query("REFRESH MATERIALIZED VIEW v").unwrap();
+    assert_eq!(ctx.mat_view("v").unwrap().last_refresh, "full");
+    let kept: Vec<Row> = edges
+        .rows()
+        .iter()
+        .filter(|r| r[0] != Value::Int(3))
+        .cloned()
+        .collect();
+    let base = Relation::try_new(edges.schema().clone(), kept).unwrap();
+    let want = recompute(&EngineConfig::rasql(), &base, &library::sssp(1));
+    let read = ctx.query("SELECT * FROM v").unwrap();
+    assert_eq!(read.relation.sorted().rows(), &want[..]);
+}
+
+/// INSERT and DELETE report affected-row counts; bare DELETE truncates.
+#[test]
+fn insert_delete_statement_surface() {
+    let ctx = RaSqlContext::in_memory();
+    ctx.register("edge", Relation::edges(&[(1, 2), (2, 3)]))
+        .unwrap();
+    let r = ctx
+        .query("INSERT INTO edge VALUES (3, 4), (4, 5), (5, 6)")
+        .unwrap();
+    assert_eq!(r.relation.schema().fields()[0].name, "inserted");
+    assert_eq!(r.relation.rows()[0][0], Value::Int(3));
+    let r = ctx.query("DELETE FROM edge WHERE Src > 3").unwrap();
+    assert_eq!(r.relation.schema().fields()[0].name, "deleted");
+    assert_eq!(r.relation.rows()[0][0], Value::Int(2));
+    let r = ctx.query("DELETE FROM edge").unwrap();
+    assert_eq!(r.relation.rows()[0][0], Value::Int(3));
+    let empty = ctx.query("SELECT * FROM edge").unwrap();
+    assert_eq!(empty.relation.len(), 0);
+}
+
+/// The version-keyed result cache: hit on a repeat, invalidated by INSERT.
+#[test]
+fn result_cache_hits_and_invalidates() {
+    let ctx = RaSqlContext::builder()
+        .preset(EngineConfig::rasql())
+        .workers(2)
+        .result_cache(8)
+        .build();
+    ctx.register("edge", weighted_rmat(60, 9)).unwrap();
+    let sql = library::sssp(1);
+    let first = ctx.query(&sql).unwrap();
+    assert!(!first.stats.cached);
+    let second = ctx.query(&sql).unwrap();
+    assert!(
+        second.stats.cached,
+        "identical query on identical versions must hit"
+    );
+    assert_eq!(
+        first.relation.sorted().rows(),
+        second.relation.sorted().rows()
+    );
+    assert_eq!(first.stats.iterations, second.stats.iterations);
+    let m = ctx.metrics();
+    assert!(m.cache_hits >= 1);
+    ctx.query("INSERT INTO edge VALUES (1, 2, 0.5)").unwrap();
+    let third = ctx.query(&sql).unwrap();
+    assert!(!third.stats.cached, "version bump must miss the cache");
+    assert!(ctx.metrics().cache_invalidations >= 1);
+}
+
+/// Non-idempotent aggregate heads (count/sum) are ineligible: creation
+/// records the reason, REFRESH takes the full path, and CHECK surfaces
+/// RA0301.
+#[test]
+fn count_paths_view_is_ineligible_and_falls_back() {
+    // count_paths only terminates on DAGs; keep forward edges.
+    let full = weighted_rmat(60, 2);
+    let rows: Vec<Row> = full
+        .rows()
+        .iter()
+        .filter(|r| r[0].as_int().unwrap() < r[1].as_int().unwrap())
+        .cloned()
+        .collect();
+    let split = rows.len() - 4;
+    let edges = Relation::try_new(full.schema().clone(), rows[..split].to_vec()).unwrap();
+    let ctx = RaSqlContext::with_config(EngineConfig::rasql().with_workers(2));
+    ctx.register("edge", edges).unwrap();
+    let sql = library::count_paths(1);
+    ctx.query(&format!("CREATE MATERIALIZED VIEW cnt AS {sql}"))
+        .unwrap();
+    let mv = ctx.mat_view("cnt").unwrap();
+    assert!(!mv.eligible);
+    assert!(mv.ineligible_reason.is_some());
+    assert_eq!(
+        mv.retained_bytes, 0,
+        "no warm state is retained for ineligible views"
+    );
+    ctx.query(&insert_sql("edge", &rows[split..])).unwrap();
+    let read = ctx.query("SELECT * FROM cnt").unwrap();
+    assert_eq!(ctx.mat_view("cnt").unwrap().last_refresh, "full");
+    let want = recompute(
+        &EngineConfig::rasql(),
+        &Relation::try_new(full.schema().clone(), rows).unwrap(),
+        &sql,
+    );
+    assert_eq!(read.relation.sorted().rows(), &want[..]);
+    let report = ctx.check(&sql).unwrap();
+    assert!(report.rendered.contains("RA0301"));
+}
+
+/// Golden RA0301 diagnostic: code, message, and byte span are pinned.
+#[test]
+fn golden_ra0301_code_and_span() {
+    let ctx = RaSqlContext::in_memory();
+    ctx.register("edge", Relation::edges(&[(1, 2)])).unwrap();
+    let sql = "WITH RECURSIVE cnt(Dst, count() AS Paths) AS \
+               (SELECT 1, 1) UNION (SELECT e.Dst, cnt.Paths FROM cnt, edge e \
+               WHERE cnt.Dst = e.Src) SELECT Dst, Paths FROM cnt";
+    let report = ctx.check(sql).unwrap();
+    assert!(report.rendered.contains(
+        "warning[RA0301]: non-idempotent aggregate count() AS Paths in view cnt: \
+         re-deriving a retained contribution would double-count it"
+    ));
+    assert!(report.rendered.contains("bytes 24..40"));
+    assert!(report
+        .rendered
+        .contains("a REFRESH of a materialized view over this query falls back to full recompute"));
+    // RA0301 lives in the maintenance channel: it must not flip CHECK to
+    // failing or count as a verification warning.
+    assert!(report.rendered.contains("CHECK: pass"));
+}
+
+/// Statement guards: no INSERT/DELETE into a view, no duplicate CREATE,
+/// unknown names surface as typed errors, DROP unregisters the table.
+#[test]
+fn matview_statement_guards() {
+    let ctx = RaSqlContext::in_memory();
+    ctx.register("edge", Relation::edges(&[(1, 2), (2, 3)]))
+        .unwrap();
+    ctx.query(&format!(
+        "CREATE MATERIALIZED VIEW v AS {}",
+        library::reach(1)
+    ))
+    .unwrap();
+    let err = ctx.query("INSERT INTO v VALUES (9)").unwrap_err();
+    assert!(err.to_string().contains("materialized view"), "{err}");
+    let err = ctx.query("DELETE FROM v").unwrap_err();
+    assert!(err.to_string().contains("materialized view"), "{err}");
+    let err = ctx
+        .query(&format!(
+            "CREATE MATERIALIZED VIEW v AS {}",
+            library::reach(1)
+        ))
+        .unwrap_err();
+    assert!(err.to_string().contains("already exists"), "{err}");
+    assert!(matches!(
+        ctx.query("REFRESH MATERIALIZED VIEW nope").unwrap_err(),
+        EngineError::UnknownView(_)
+    ));
+    assert!(matches!(
+        ctx.query("DROP MATERIALIZED VIEW nope").unwrap_err(),
+        EngineError::UnknownView(_)
+    ));
+    ctx.query("DROP MATERIALIZED VIEW v").unwrap();
+    assert!(ctx.mat_view("v").is_none());
+    assert!(ctx.view_infos().is_empty());
+    assert!(
+        ctx.query("SELECT * FROM v").is_err(),
+        "dropped view must unregister"
+    );
+}
+
+/// The whole lifecycle through a session script (the server/CLI path): the
+/// view created by an earlier statement is visible to later ones.
+#[test]
+fn session_script_sees_new_view() {
+    let ctx = Arc::new(RaSqlContext::in_memory());
+    ctx.register("edge", Relation::edges(&[(1, 2), (2, 3), (3, 4)]))
+        .unwrap();
+    let session = ctx.session();
+    let results = session
+        .query_script(&format!(
+            "CREATE MATERIALIZED VIEW r AS {}; SELECT count(*) FROM r",
+            library::reach(1)
+        ))
+        .unwrap();
+    assert_eq!(results.len(), 2);
+    assert_eq!(results[1].relation.rows()[0][0], Value::Int(4));
+    let infos = ctx.view_infos();
+    assert_eq!(infos.len(), 1);
+    assert_eq!(infos[0].name, "r");
+    assert_eq!(infos[0].version, 1);
+    assert!(!infos[0].stale);
+    assert_eq!(infos[0].last_refresh, "none");
+}

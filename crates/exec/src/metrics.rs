@@ -54,6 +54,19 @@ pub struct Metrics {
     pub admitted: AtomicU64,
     /// Queries rejected because the admission wait queue was full.
     pub rejected: AtomicU64,
+    /// Result/CSR cache hits (ad-hoc query results and retained CSR graphs
+    /// served without recomputation).
+    pub cache_hits: AtomicU64,
+    /// Cache entries invalidated by base-relation version bumps.
+    pub cache_invalidations: AtomicU64,
+    /// Materialized-view refreshes that fell back to full recompute.
+    pub view_refreshes: AtomicU64,
+    /// Materialized-view refreshes served by delta-seeded incremental
+    /// maintenance.
+    pub view_refreshes_incremental: AtomicU64,
+    /// Bytes of converged fixpoint state retained for materialized views
+    /// (a gauge, updated after every create/refresh/drop).
+    pub retained_bytes: AtomicU64,
 }
 
 impl Metrics {
@@ -92,6 +105,11 @@ impl Metrics {
         self.cancellations.store(0, Ordering::Relaxed);
         self.admitted.store(0, Ordering::Relaxed);
         self.rejected.store(0, Ordering::Relaxed);
+        self.cache_hits.store(0, Ordering::Relaxed);
+        self.cache_invalidations.store(0, Ordering::Relaxed);
+        self.view_refreshes.store(0, Ordering::Relaxed);
+        self.view_refreshes_incremental.store(0, Ordering::Relaxed);
+        self.retained_bytes.store(0, Ordering::Relaxed);
     }
 
     /// Raise the peak-memory gauge to at least `v`.
@@ -125,6 +143,11 @@ impl Metrics {
             cancellations: self.cancellations.load(Ordering::Relaxed),
             admitted: self.admitted.load(Ordering::Relaxed),
             rejected: self.rejected.load(Ordering::Relaxed),
+            cache_hits: self.cache_hits.load(Ordering::Relaxed),
+            cache_invalidations: self.cache_invalidations.load(Ordering::Relaxed),
+            view_refreshes: self.view_refreshes.load(Ordering::Relaxed),
+            view_refreshes_incremental: self.view_refreshes_incremental.load(Ordering::Relaxed),
+            retained_bytes: self.retained_bytes.load(Ordering::Relaxed),
         }
     }
 }
@@ -176,6 +199,16 @@ pub struct MetricsSnapshot {
     pub admitted: u64,
     /// Queries rejected because the admission wait queue was full.
     pub rejected: u64,
+    /// Result/CSR cache hits.
+    pub cache_hits: u64,
+    /// Cache entries invalidated by base-relation version bumps.
+    pub cache_invalidations: u64,
+    /// Materialized-view refreshes that fully recomputed.
+    pub view_refreshes: u64,
+    /// Materialized-view refreshes served incrementally.
+    pub view_refreshes_incremental: u64,
+    /// Bytes of retained warm fixpoint state (gauge, not a counter).
+    pub retained_bytes: u64,
 }
 
 impl MetricsSnapshot {
@@ -183,7 +216,7 @@ impl MetricsSnapshot {
     /// sample per counter, `rasql_`-prefixed) — what `rasql-server` returns
     /// for its `Metrics` command so any scraper can ingest engine state.
     pub fn prometheus_text(&self) -> String {
-        let counters: [(&str, &str, u64); 22] = [
+        let counters: [(&str, &str, u64); 27] = [
             ("stages_total", "counter", self.stages),
             ("tasks_total", "counter", self.tasks),
             ("shuffle_rows_total", "counter", self.shuffle_rows),
@@ -210,6 +243,19 @@ impl MetricsSnapshot {
             ("cancellations_total", "counter", self.cancellations),
             ("admitted_total", "counter", self.admitted),
             ("rejected_total", "counter", self.rejected),
+            ("cache_hits_total", "counter", self.cache_hits),
+            (
+                "cache_invalidations_total",
+                "counter",
+                self.cache_invalidations,
+            ),
+            ("view_refreshes_total", "counter", self.view_refreshes),
+            (
+                "view_refreshes_incremental_total",
+                "counter",
+                self.view_refreshes_incremental,
+            ),
+            ("retained_bytes", "gauge", self.retained_bytes),
         ];
         let mut out = String::new();
         for (name, kind, value) in counters {
@@ -273,6 +319,23 @@ impl std::fmt::Display for MetricsSnapshot {
         if self.admitted > 0 {
             write!(f, " admitted={}", self.admitted)?;
         }
+        if self.cache_hits + self.cache_invalidations > 0 {
+            write!(
+                f,
+                " cache_hits={} cache_invalidations={}",
+                self.cache_hits, self.cache_invalidations
+            )?;
+        }
+        if self.view_refreshes + self.view_refreshes_incremental > 0 {
+            write!(
+                f,
+                " view_refreshes={}+{}incr",
+                self.view_refreshes, self.view_refreshes_incremental
+            )?;
+        }
+        if self.retained_bytes > 0 {
+            write!(f, " retained={} B", self.retained_bytes)?;
+        }
         Ok(())
     }
 }
@@ -290,6 +353,9 @@ mod tests {
         assert!(text.contains("# TYPE rasql_stages_total counter\nrasql_stages_total 3\n"));
         assert!(text.contains("rasql_cancellations_total 1\n"));
         assert!(text.contains("# TYPE rasql_peak_memory_bytes gauge\n"));
+        assert!(text.contains("rasql_cache_hits_total 0\n"));
+        assert!(text.contains("# TYPE rasql_retained_bytes gauge\n"));
+        assert!(text.contains("rasql_view_refreshes_incremental_total 0\n"));
     }
 
     #[test]

@@ -36,6 +36,16 @@ pub enum PipelineStep {
         /// Probe-key extractor.
         key: KeyFn,
     },
+    /// Hash-join against a stack of build layers: each probe visits every
+    /// layer in order and emits `row ++ match` for every match in every
+    /// layer. An incremental-view refresh retains the converged build table
+    /// and stacks small delta-only tables on top instead of rebuilding.
+    HashJoinLayered {
+        /// Build layers, oldest first.
+        tables: Vec<Arc<HashTable>>,
+        /// Probe-key extractor.
+        key: KeyFn,
+    },
 }
 
 /// A pipeline: steps then a final projection.
@@ -84,6 +94,16 @@ pub fn run_unfused(input: &[Row], pipeline: &Pipeline) -> Vec<Row> {
                     }
                 }
             }
+            PipelineStep::HashJoinLayered { tables, key } => {
+                for row in &current {
+                    let k = key(row);
+                    for table in tables {
+                        for m in table.probe(&k) {
+                            next.push(row.concat(m));
+                        }
+                    }
+                }
+            }
         }
         current = next;
     }
@@ -113,6 +133,15 @@ fn push_row(row: &Row, steps: &[PipelineStep], project: &MapFn, out: &mut Vec<Ro
             for m in table.probe(&k) {
                 let joined = row.concat(m);
                 push_row(&joined, &steps[1..], project, out);
+            }
+        }
+        Some(PipelineStep::HashJoinLayered { tables, key }) => {
+            let k = key(row);
+            for table in tables {
+                for m in table.probe(&k) {
+                    let joined = row.concat(m);
+                    push_row(&joined, &steps[1..], project, out);
+                }
             }
         }
     }
@@ -156,6 +185,32 @@ mod tests {
         let p = Pipeline::with_project(vec![], Arc::new(|r: &Row| r.project(&[1])));
         assert_eq!(run_fused(&input, &p), vec![int_row(&[2])]);
         assert_eq!(run_unfused(&input, &p), vec![int_row(&[2])]);
+    }
+
+    #[test]
+    fn layered_join_matches_single_build() {
+        let input: Vec<Row> = (0..50).map(|i| int_row(&[i % 9])).collect();
+        let build: Vec<Row> = (0..9).map(|i| int_row(&[i, i * 10])).collect();
+        let key: KeyFn = Arc::new(|r: &Row| vec![r[0].clone()]);
+        let merged = Pipeline::new(vec![PipelineStep::HashJoin {
+            table: Arc::new(HashTable::build(&build, &[0])),
+            key: Arc::clone(&key),
+        }]);
+        let layered = Pipeline::new(vec![PipelineStep::HashJoinLayered {
+            tables: vec![
+                Arc::new(HashTable::build(&build[..6], &[0])),
+                Arc::new(HashTable::build(&build[6..], &[0])),
+            ],
+            key,
+        }]);
+        for run in [run_fused, run_unfused] {
+            let mut a = run(&input, &merged);
+            let mut b = run(&input, &layered);
+            a.sort_unstable();
+            b.sort_unstable();
+            assert_eq!(a, b);
+            assert!(!a.is_empty());
+        }
     }
 
     #[test]

@@ -828,6 +828,11 @@ impl QueryTrace {
             cancellations: get_u64_or(m, "cancellations", 0),
             admitted: get_u64_or(m, "admitted", 0),
             rejected: get_u64_or(m, "rejected", 0),
+            cache_hits: get_u64_or(m, "cache_hits", 0),
+            cache_invalidations: get_u64_or(m, "cache_invalidations", 0),
+            view_refreshes: get_u64_or(m, "view_refreshes", 0),
+            view_refreshes_incremental: get_u64_or(m, "view_refreshes_incremental", 0),
+            retained_bytes: get_u64_or(m, "retained_bytes", 0),
         };
         let mut cliques = Vec::new();
         for c in root

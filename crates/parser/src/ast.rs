@@ -36,6 +36,53 @@ pub enum Statement {
     /// executing it: stratification, PreM verdicts (with dynamic fallback)
     /// and the decomposed-plan partition certificate.
     Check(Query),
+    /// `CREATE MATERIALIZED VIEW name AS query` — run the (possibly
+    /// recursive) query once and retain its converged fixpoint state for
+    /// incremental refresh.
+    CreateMaterializedView {
+        /// View name.
+        name: String,
+        /// Source span of the view name.
+        name_span: Span,
+        /// Defining query.
+        query: Query,
+    },
+    /// `REFRESH MATERIALIZED VIEW name` — bring a stale materialized view
+    /// up to date (incrementally when sound, else by full recompute).
+    RefreshMaterializedView {
+        /// View name.
+        name: String,
+        /// Source span of the view name.
+        name_span: Span,
+    },
+    /// `DROP MATERIALIZED VIEW name` — discard the view, its result table
+    /// and its retained warm state.
+    DropMaterializedView {
+        /// View name.
+        name: String,
+        /// Source span of the view name.
+        name_span: Span,
+    },
+    /// `INSERT INTO table VALUES (..), ..` — append literal rows to a base
+    /// relation (the append-only delta path incremental maintenance keys on).
+    Insert {
+        /// Target table name.
+        table: String,
+        /// Source span of the table name.
+        table_span: Span,
+        /// Literal rows, one expression list per `(...)` group.
+        rows: Vec<Vec<Expr>>,
+    },
+    /// `DELETE FROM table [WHERE pred]` — remove rows from a base relation
+    /// (a rewrite: dependent materialized views must fully recompute).
+    Delete {
+        /// Target table name.
+        table: String,
+        /// Source span of the table name.
+        table_span: Span,
+        /// Optional predicate; `None` deletes every row.
+        predicate: Option<Expr>,
+    },
 }
 
 /// A query: `WITH` definitions plus a final select body.

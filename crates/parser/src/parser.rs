@@ -275,13 +275,89 @@ impl Parser {
             Ok(Statement::Check(self.parse_query()?))
         } else if self.peek_kw("create") {
             self.parse_create_view()
+        } else if self.peek_kw("insert") {
+            // `insert`/`into`/`values`, like `explain`, are contextual:
+            // queries never start with them, so they stay usable as
+            // identifiers everywhere else.
+            self.parse_insert()
+        } else if self.peek_kw("delete") {
+            self.parse_delete()
+        } else if self.peek_kw("refresh") {
+            self.bump();
+            self.expect_kw("materialized")?;
+            self.expect_kw("view")?;
+            let (name, name_span) = self.expect_ident_spanned()?;
+            Ok(Statement::RefreshMaterializedView { name, name_span })
+        } else if self.peek_kw("drop") {
+            self.bump();
+            self.expect_kw("materialized")?;
+            self.expect_kw("view")?;
+            let (name, name_span) = self.expect_ident_spanned()?;
+            Ok(Statement::DropMaterializedView { name, name_span })
         } else {
             Ok(Statement::Query(self.parse_query()?))
         }
     }
 
+    fn parse_insert(&mut self) -> Result<Statement, ParseError> {
+        self.expect_kw("insert")?;
+        self.expect_kw("into")?;
+        let (table, table_span) = self.expect_ident_spanned()?;
+        self.expect_kw("values")?;
+        let mut rows = Vec::new();
+        loop {
+            self.expect_symbol(&TokenKind::LParen)?;
+            let mut row = Vec::new();
+            loop {
+                row.push(self.parse_expr()?);
+                if !self.eat_symbol(&TokenKind::Comma) {
+                    break;
+                }
+            }
+            self.expect_symbol(&TokenKind::RParen)?;
+            rows.push(row);
+            if !self.eat_symbol(&TokenKind::Comma) {
+                break;
+            }
+        }
+        Ok(Statement::Insert {
+            table,
+            table_span,
+            rows,
+        })
+    }
+
+    fn parse_delete(&mut self) -> Result<Statement, ParseError> {
+        self.expect_kw("delete")?;
+        self.expect_kw("from")?;
+        let (table, table_span) = self.expect_ident_spanned()?;
+        let predicate = if self.eat_kw("where") {
+            Some(self.parse_expr()?)
+        } else {
+            None
+        };
+        Ok(Statement::Delete {
+            table,
+            table_span,
+            predicate,
+        })
+    }
+
     fn parse_create_view(&mut self) -> Result<Statement, ParseError> {
         self.expect_kw("create")?;
+        if self.eat_kw("materialized") {
+            self.expect_kw("view")?;
+            let (name, name_span) = self.expect_ident_spanned()?;
+            self.expect_kw("as")?;
+            // A full query: materialized views exist to retain the fixpoint
+            // state of recursive CTEs.
+            let query = self.parse_query()?;
+            return Ok(Statement::CreateMaterializedView {
+                name,
+                name_span,
+                query,
+            });
+        }
         self.expect_kw("view")?;
         let name = self.expect_ident()?;
         let mut columns = Vec::new();
@@ -1040,5 +1116,69 @@ mod tests {
         for sql in examples {
             parse(sql).unwrap_or_else(|e| panic!("failed: {e}\n{sql}"));
         }
+    }
+
+    #[test]
+    fn insert_values_parses() {
+        match parse("INSERT INTO edge VALUES (1, 2), (2, -3)").unwrap() {
+            Statement::Insert { table, rows, .. } => {
+                assert_eq!(table, "edge");
+                assert_eq!(rows.len(), 2);
+                assert_eq!(rows[0].len(), 2);
+                // Leading minus folds into the literal.
+                assert_eq!(rows[1][1], Expr::Literal(Literal::Int(-3)));
+            }
+            other => panic!("{other:?}"),
+        }
+        // Contextual: `insert`/`values`/`into` still fine as identifiers.
+        let s = &q("SELECT insert, values FROM into").body[0];
+        assert_eq!(s.projection.len(), 2);
+    }
+
+    #[test]
+    fn delete_parses_with_and_without_predicate() {
+        match parse("DELETE FROM edge WHERE src = 1").unwrap() {
+            Statement::Delete {
+                table, predicate, ..
+            } => {
+                assert_eq!(table, "edge");
+                assert!(predicate.is_some());
+            }
+            other => panic!("{other:?}"),
+        }
+        match parse("delete from edge").unwrap() {
+            Statement::Delete { predicate, .. } => assert!(predicate.is_none()),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn materialized_view_ddl_parses() {
+        let sql = "CREATE MATERIALIZED VIEW paths AS \
+             WITH recursive path (Dst, min() AS Cost) AS (SELECT 1, 0) UNION \
+             (SELECT edge.Dst, path.Cost + edge.Cost FROM path, edge WHERE path.Dst = edge.Src) \
+             SELECT Dst, Cost FROM path";
+        match parse(sql).unwrap() {
+            Statement::CreateMaterializedView {
+                name,
+                name_span,
+                query,
+            } => {
+                assert_eq!(name, "paths");
+                assert!(!name_span.is_synthetic());
+                assert_eq!(query.ctes.len(), 1);
+            }
+            other => panic!("{other:?}"),
+        }
+        match parse("REFRESH MATERIALIZED VIEW paths").unwrap() {
+            Statement::RefreshMaterializedView { name, .. } => assert_eq!(name, "paths"),
+            other => panic!("{other:?}"),
+        }
+        match parse("DROP MATERIALIZED VIEW paths").unwrap() {
+            Statement::DropMaterializedView { name, .. } => assert_eq!(name, "paths"),
+            other => panic!("{other:?}"),
+        }
+        // Plain CREATE VIEW still works and `materialized` stays contextual.
+        assert!(parse("CREATE VIEW v AS SELECT materialized FROM t").is_ok());
     }
 }

@@ -48,6 +48,12 @@ impl ViewCatalog {
         self.views.insert(name.to_ascii_lowercase(), plan);
     }
 
+    /// Remove a base-table schema (`DROP MATERIALIZED VIEW` unregisters the
+    /// view's result table). Returns whether it was present.
+    pub fn remove_table(&mut self, name: &str) -> bool {
+        self.tables.remove(&name.to_ascii_lowercase()).is_some()
+    }
+
     fn lookup(&self, name: &str) -> Option<TableSource> {
         let key = name.to_ascii_lowercase();
         if let Some(plan) = self.views.get(&key) {
@@ -82,6 +88,51 @@ pub enum AnalyzedStatement {
     /// A `CHECK query`: the *unanalyzed* query AST, kept so the verifier can
     /// report spanned diagnostics even when analysis itself fails.
     Check(Query),
+    /// An `INSERT INTO t VALUES ...`: literal rows, folded and type-checked
+    /// against the target table's schema.
+    Insert {
+        /// Target base-table name (as written).
+        table: String,
+        /// Source span of the table name.
+        table_span: Span,
+        /// The typed rows to append.
+        rows: Vec<Row>,
+    },
+    /// A `DELETE FROM t [WHERE p]`, compiled to a plan computing the rows to
+    /// *keep* (`NOT p OR p IS NULL` — predicate-unknown rows survive, per SQL
+    /// three-valued DELETE semantics; a bare DELETE keeps nothing).
+    Delete {
+        /// Target base-table name (as written).
+        table: String,
+        /// Source span of the table name.
+        table_span: Span,
+        /// Plan producing the surviving rows.
+        keep_plan: LogicalPlan,
+    },
+    /// A `CREATE MATERIALIZED VIEW`: the analyzed (possibly recursive)
+    /// defining query.
+    CreateMaterializedView {
+        /// View name.
+        name: String,
+        /// Source span of the view name.
+        name_span: Span,
+        /// The analyzed defining query.
+        query: AnalyzedQuery,
+    },
+    /// A `REFRESH MATERIALIZED VIEW`.
+    RefreshMaterializedView {
+        /// View name.
+        name: String,
+        /// Source span of the view name.
+        name_span: Span,
+    },
+    /// A `DROP MATERIALIZED VIEW`.
+    DropMaterializedView {
+        /// View name.
+        name: String,
+        /// Source span of the view name.
+        name_span: Span,
+    },
 }
 
 /// An analyzed query.
@@ -138,6 +189,165 @@ pub fn analyze_statement(
             inner: Box::new(analyze_statement(inner, catalog)?),
         }),
         Statement::Check(q) => Ok(AnalyzedStatement::Check(q.clone())),
+        Statement::Insert {
+            table,
+            table_span,
+            rows,
+        } => {
+            let key = table.to_ascii_lowercase();
+            if catalog.views.contains_key(&key) {
+                return Err(PlanError::Invalid(format!(
+                    "INSERT target '{table}' is a view, not a base table"
+                )));
+            }
+            let schema = catalog
+                .tables
+                .get(&key)
+                .ok_or_else(|| PlanError::UnknownTable(table.clone()))?;
+            let mut typed = Vec::with_capacity(rows.len());
+            for (ri, row) in rows.iter().enumerate() {
+                if row.len() != schema.arity() {
+                    return Err(PlanError::ArityMismatch {
+                        view: table.clone(),
+                        expected: schema.arity(),
+                        actual: row.len(),
+                    });
+                }
+                let mut values = Vec::with_capacity(row.len());
+                for (expr, field) in row.iter().zip(schema.fields()) {
+                    let Some(v) = fold_literal_expr(expr) else {
+                        return Err(PlanError::Invalid(format!(
+                            "INSERT values must be literals, got `{expr}` in row {}",
+                            ri + 1
+                        )));
+                    };
+                    values.push(coerce_literal(v, field.data_type).ok_or_else(|| {
+                        PlanError::Invalid(format!(
+                            "INSERT value `{expr}` in row {} does not fit column \
+                             `{}` of type {:?}",
+                            ri + 1,
+                            field.name,
+                            field.data_type
+                        ))
+                    })?);
+                }
+                typed.push(Row::new(values));
+            }
+            Ok(AnalyzedStatement::Insert {
+                table: table.clone(),
+                table_span: *table_span,
+                rows: typed,
+            })
+        }
+        Statement::Delete {
+            table,
+            table_span,
+            predicate,
+        } => {
+            let key = table.to_ascii_lowercase();
+            if catalog.views.contains_key(&key) {
+                return Err(PlanError::Invalid(format!(
+                    "DELETE target '{table}' is a view, not a base table"
+                )));
+            }
+            if !catalog.tables.contains_key(&key) {
+                return Err(PlanError::UnknownTable(table.clone()));
+            }
+            // Compile "the rows to keep": NOT p OR p IS NULL (three-valued
+            // logic — DELETE removes only rows where p is *true*), or keep
+            // nothing for a bare DELETE.
+            let keep_pred = match predicate {
+                Some(p) => Expr::Binary {
+                    left: Box::new(Expr::Unary {
+                        op: UnaryOp::Not,
+                        expr: Box::new(p.clone()),
+                        span: p.span(),
+                    }),
+                    op: BinaryOp::Or,
+                    right: Box::new(Expr::IsNull {
+                        expr: Box::new(p.clone()),
+                        negated: false,
+                    }),
+                },
+                None => Expr::Literal(Literal::Bool(false)),
+            };
+            let keep_query = Query {
+                ctes: vec![],
+                body: vec![Select {
+                    projection: vec![SelectItem::Wildcard],
+                    from: vec![TableRef::Table {
+                        name: table.clone(),
+                        alias: None,
+                        span: *table_span,
+                    }],
+                    where_clause: Some(keep_pred),
+                    ..Select::default()
+                }],
+            };
+            let analyzed = analyze_query(&keep_query, catalog)?;
+            Ok(AnalyzedStatement::Delete {
+                table: table.clone(),
+                table_span: *table_span,
+                keep_plan: analyzed.final_plan,
+            })
+        }
+        Statement::CreateMaterializedView {
+            name,
+            name_span,
+            query,
+        } => Ok(AnalyzedStatement::CreateMaterializedView {
+            name: name.clone(),
+            name_span: *name_span,
+            query: analyze_query(query, catalog)?,
+        }),
+        Statement::RefreshMaterializedView { name, name_span } => {
+            Ok(AnalyzedStatement::RefreshMaterializedView {
+                name: name.clone(),
+                name_span: *name_span,
+            })
+        }
+        Statement::DropMaterializedView { name, name_span } => {
+            Ok(AnalyzedStatement::DropMaterializedView {
+                name: name.clone(),
+                name_span: *name_span,
+            })
+        }
+    }
+}
+
+/// Fold a literal expression (including a leading minus) to a [`Value`].
+fn fold_literal_expr(e: &Expr) -> Option<Value> {
+    match e {
+        Expr::Literal(Literal::Int(v)) => Some(Value::Int(*v)),
+        Expr::Literal(Literal::Double(v)) => Some(Value::Double(*v)),
+        Expr::Literal(Literal::Str(s)) => Some(Value::from(s.as_str())),
+        Expr::Literal(Literal::Bool(b)) => Some(Value::Bool(*b)),
+        Expr::Literal(Literal::Null) => Some(Value::Null),
+        Expr::Unary {
+            op: UnaryOp::Neg,
+            expr,
+            ..
+        } => match fold_literal_expr(expr)? {
+            Value::Int(v) => Some(Value::Int(-v)),
+            Value::Double(v) => Some(Value::Double(-v)),
+            _ => None,
+        },
+        _ => None,
+    }
+}
+
+/// Check/coerce a literal into a column type (Int promotes to Double; NULL
+/// fits everywhere; `Any` accepts everything).
+fn coerce_literal(v: Value, ty: DataType) -> Option<Value> {
+    match (ty, v) {
+        (_, Value::Null) => Some(Value::Null),
+        (DataType::Any, v) => Some(v),
+        (DataType::Int, v @ Value::Int(_)) => Some(v),
+        (DataType::Double, Value::Int(i)) => Some(Value::Double(i as f64)),
+        (DataType::Double, v @ Value::Double(_)) => Some(v),
+        (DataType::Str, v @ Value::Str(_)) => Some(v),
+        (DataType::Bool, v @ Value::Bool(_)) => Some(v),
+        _ => None,
     }
 }
 

@@ -14,6 +14,7 @@
 //! | `RA00xx` | stratification / safety / analysis errors |
 //! | `RA01xx` | PreM (pre-mappability) verdicts |
 //! | `RA02xx` | decomposed-plan partition certificates |
+//! | `RA03xx` | incremental view-maintenance certificates |
 
 use rasql_parser::Span;
 use std::fmt;
@@ -66,6 +67,11 @@ pub enum DiagCode {
     /// `RA0202`: the certificate does not hold; the plan runs with
     /// shuffle-based evaluation.
     CertificateNotPreserved,
+    /// `RA0301`: incremental maintenance of a materialized view over this
+    /// query is unsound — a refresh must fully recompute. Emitted for
+    /// non-idempotent head aggregates (`sum`/`count`), non-Proven PreM
+    /// verdicts, and mutual/stratified recursion.
+    MaintenanceUnsound,
 }
 
 impl DiagCode {
@@ -81,6 +87,7 @@ impl DiagCode {
             DiagCode::PremUnknown => "RA0103",
             DiagCode::CertificatePreserved => "RA0201",
             DiagCode::CertificateNotPreserved => "RA0202",
+            DiagCode::MaintenanceUnsound => "RA0301",
         }
     }
 
@@ -92,7 +99,7 @@ impl DiagCode {
             | DiagCode::DisallowedHeadAggregate
             | DiagCode::AnalysisError
             | DiagCode::PremRefuted => Severity::Error,
-            DiagCode::PremUnknown => Severity::Warning,
+            DiagCode::PremUnknown | DiagCode::MaintenanceUnsound => Severity::Warning,
             DiagCode::PremProven
             | DiagCode::CertificatePreserved
             | DiagCode::CertificateNotPreserved => Severity::Info,
@@ -198,7 +205,9 @@ mod tests {
         assert_eq!(DiagCode::NegationInRecursion.code(), "RA0001");
         assert_eq!(DiagCode::PremRefuted.code(), "RA0102");
         assert_eq!(DiagCode::CertificatePreserved.code(), "RA0201");
+        assert_eq!(DiagCode::MaintenanceUnsound.code(), "RA0301");
         assert_eq!(DiagCode::PremUnknown.severity(), Severity::Warning);
+        assert_eq!(DiagCode::MaintenanceUnsound.severity(), Severity::Warning);
     }
 
     #[test]

@@ -93,6 +93,11 @@ pub struct VerifyReport {
     pub diagnostics: Vec<Diagnostic>,
     /// Per recursive view facts.
     pub views: Vec<ViewVerification>,
+    /// Incremental view-maintenance findings (`RA03xx`). Kept separate from
+    /// `diagnostics` so they never affect [`VerifyReport::is_clean`] — they
+    /// gate *how* a materialized view over this query refreshes (incremental
+    /// vs. full recompute), not whether the query runs.
+    pub maintenance: Vec<Diagnostic>,
 }
 
 impl VerifyReport {
@@ -118,6 +123,9 @@ impl VerifyReport {
         for d in &self.diagnostics {
             out.push_str(&d.render(source));
         }
+        for d in &self.maintenance {
+            out.push_str(&d.render(source));
+        }
         out.push_str(&self.summary());
         out
     }
@@ -134,6 +142,17 @@ impl VerifyReport {
             }
             if let Some(c) = &v.certificate {
                 out.push_str(&format!("  {}: partition certificate {}\n", v.name, c));
+            }
+        }
+        if !self.views.is_empty() {
+            if self.maintenance.is_empty() {
+                out.push_str(
+                    "  maintenance: incremental refresh eligible (idempotent Proven-PreM heads)\n",
+                );
+            } else {
+                for d in &self.maintenance {
+                    out.push_str(&format!("  maintenance: {d}\n"));
+                }
             }
         }
         let (e, w) = (
@@ -219,6 +238,83 @@ pub fn verify_query(q: &Query, catalog: &ViewCatalog) -> VerifyReport {
                 prem,
                 certificate: None,
             });
+        }
+    }
+
+    // Incremental view-maintenance certificate (RA0301): a materialized
+    // view over this query may refresh incrementally only when the query
+    // has a single recursive clique of one view whose head aggregates are
+    // idempotent (min/max) with Proven PreM — then re-merging retained
+    // state is a no-op and semi-naive can resume from it over an
+    // insert-only delta. Every violation gets its own spanned finding.
+    let maintenance_help =
+        "a REFRESH of a materialized view over this query falls back to full recompute";
+    if sccs.len() > 1 {
+        let &vi = sccs[1].members.first().expect("scc members are non-empty");
+        report.maintenance.push(
+            Diagnostic::new(
+                DiagCode::MaintenanceUnsound,
+                q.ctes[vi].name_span,
+                "stratified recursion: later cliques consume earlier fixpoints, so a \
+                 delta cannot be seeded into retained state",
+            )
+            .with_help(maintenance_help),
+        );
+    }
+    for scc in &sccs {
+        if scc.members.len() > 1 {
+            let &vi = scc.members.first().expect("scc members are non-empty");
+            report.maintenance.push(
+                Diagnostic::new(
+                    DiagCode::MaintenanceUnsound,
+                    q.ctes[vi].name_span,
+                    format!(
+                        "mutual recursion ({} views in one clique): retained per-view \
+                         state cannot be resumed independently",
+                        scc.members.len()
+                    ),
+                )
+                .with_help(maintenance_help),
+            );
+        }
+        for &(vi, ci) in &scc.agg_cols {
+            let col = &q.ctes[vi].columns[ci];
+            let func = col.agg.expect("agg column");
+            match func {
+                AggFunc::Sum | AggFunc::Count | AggFunc::Avg => {
+                    report.maintenance.push(
+                        Diagnostic::new(
+                            DiagCode::MaintenanceUnsound,
+                            col.span,
+                            format!(
+                                "non-idempotent aggregate {func}() AS {} in view {}: \
+                                 re-deriving a retained contribution would double-count it",
+                                col.name, q.ctes[vi].name
+                            ),
+                        )
+                        .with_help(maintenance_help),
+                    );
+                }
+                AggFunc::Min | AggFunc::Max => {
+                    let verdict = acc
+                        .get(&(vi, ci))
+                        .map_or(StaticVerdict::Unknown, |(v, _)| *v);
+                    if verdict != StaticVerdict::Proven {
+                        report.maintenance.push(
+                            Diagnostic::new(
+                                DiagCode::MaintenanceUnsound,
+                                col.span,
+                                format!(
+                                    "PreM verdict {verdict} for {func}() AS {} in view {}: \
+                                     only Proven monotone heads may resume from retained state",
+                                    col.name, q.ctes[vi].name
+                                ),
+                            )
+                            .with_help(maintenance_help),
+                        );
+                    }
+                }
+            }
         }
     }
 

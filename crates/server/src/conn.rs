@@ -124,6 +124,10 @@ impl Conn {
                     let status = self.status();
                     self.send(&Response::Status { status })?;
                 }
+                Request::ListViews => {
+                    let views = self.state.ctx.view_infos();
+                    self.send(&Response::Views { views })?;
+                }
                 Request::Shutdown => {
                     self.state.shutdown.store(true, Ordering::Relaxed);
                     let _ = self.send(&Response::Goodbye);

@@ -299,3 +299,43 @@ fn client_shutdown_request_drains_server() {
     assert!(handle.is_shutting_down());
     assert!(handle.shutdown());
 }
+
+#[test]
+fn matview_lifecycle_over_the_wire() {
+    let (handle, _ctx) = start_server(2);
+    let mut client = Client::connect(handle.addr()).unwrap();
+    assert!(client.views().unwrap().is_empty());
+
+    let tc = "WITH recursive tc (Src, Dst) AS \
+                (SELECT Src, Dst FROM edge) UNION \
+                (SELECT tc.Src, edge.Dst FROM tc, edge WHERE tc.Dst = edge.Src) \
+              SELECT Src, Dst FROM tc";
+    client
+        .query(&format!("CREATE MATERIALIZED VIEW t AS {tc}"))
+        .unwrap();
+    let views = client.views().unwrap();
+    assert_eq!(views.len(), 1);
+    assert_eq!(views[0].name, "t");
+    assert_eq!(views[0].version, 1);
+    assert!(!views[0].stale);
+    assert!(views[0].retained_bytes > 0);
+
+    client.query("INSERT INTO edge VALUES (64, 65)").unwrap();
+    assert!(client.views().unwrap()[0].stale);
+    client.query("REFRESH MATERIALIZED VIEW t").unwrap();
+    let views = client.views().unwrap();
+    assert_eq!(views[0].version, 2);
+    assert!(!views[0].stale);
+    assert_eq!(views[0].last_refresh, "incremental");
+
+    // Unknown-view errors cross the wire with their stable code.
+    let err = client.query("REFRESH MATERIALIZED VIEW nope").unwrap_err();
+    assert_eq!(err.code, ErrorCode::UnknownView);
+    assert_eq!(err.code.code(), "RA0501");
+    let err = client.query("DROP MATERIALIZED VIEW nope").unwrap_err();
+    assert_eq!(err.code, ErrorCode::UnknownView);
+
+    client.query("DROP MATERIALIZED VIEW t").unwrap();
+    assert!(client.views().unwrap().is_empty());
+    client.close().unwrap();
+}

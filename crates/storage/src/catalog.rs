@@ -1,4 +1,17 @@
 //! Catalog: the named base tables visible to a query session.
+//!
+//! Every table carries a pair of version counters so higher layers can do
+//! cheap change detection (the incremental view-maintenance subsystem keys
+//! its staleness checks and caches on them):
+//!
+//! * `version` — bumped on *every* mutation (insert, replace, re-register).
+//! * `rewrite_version` — bumped only on non-append mutations (replace,
+//!   delete, drop+re-register). While `rewrite_version` is unchanged the
+//!   relation has only grown by appends, so `rows[old_len..]` is exactly
+//!   the delta since any earlier observation of length `old_len`.
+//!
+//! Version numbers are drawn from one catalog-global counter, so a dropped
+//! and re-created table can never alias an older version of itself.
 
 use crate::error::StorageError;
 use crate::relation::Relation;
@@ -6,11 +19,28 @@ use parking_lot::RwLock;
 use std::collections::BTreeMap;
 use std::sync::Arc;
 
+/// The version pair tracked per table (see the module docs for the
+/// append-only invariant `rewrite_version` encodes).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TableVersion {
+    /// Bumped on every mutation.
+    pub version: u64,
+    /// Bumped only on non-append mutations (replace / re-register).
+    pub rewrite_version: u64,
+}
+
+struct Entry {
+    rel: Arc<Relation>,
+    version: u64,
+    rewrite_version: u64,
+}
+
 /// A thread-safe registry of base relations, shared between the engine's
 /// planner and the executor's workers. Names are case-insensitive (SQL).
 #[derive(Default)]
 pub struct Catalog {
-    tables: RwLock<BTreeMap<String, Arc<Relation>>>,
+    tables: RwLock<BTreeMap<String, Entry>>,
+    next_version: RwLock<u64>,
 }
 
 impl Catalog {
@@ -19,22 +49,106 @@ impl Catalog {
         Self::default()
     }
 
+    fn fresh_version(&self) -> u64 {
+        let mut next = self.next_version.write();
+        *next += 1;
+        *next
+    }
+
     /// Register a table, failing if the name is taken.
     pub fn register(&self, name: &str, rel: Relation) -> Result<(), StorageError> {
         let key = name.to_ascii_lowercase();
+        let v = self.fresh_version();
         let mut tables = self.tables.write();
         if tables.contains_key(&key) {
             return Err(StorageError::DuplicateTable(name.to_string()));
         }
-        tables.insert(key, Arc::new(rel));
+        tables.insert(
+            key,
+            Entry {
+                rel: Arc::new(rel),
+                version: v,
+                rewrite_version: v,
+            },
+        );
         Ok(())
     }
 
-    /// Register or replace a table.
+    /// Register or replace a table. Counts as a rewrite: both version
+    /// counters are bumped.
     pub fn register_or_replace(&self, name: &str, rel: Relation) {
-        self.tables
-            .write()
-            .insert(name.to_ascii_lowercase(), Arc::new(rel));
+        let v = self.fresh_version();
+        self.tables.write().insert(
+            name.to_ascii_lowercase(),
+            Entry {
+                rel: Arc::new(rel),
+                version: v,
+                rewrite_version: v,
+            },
+        );
+    }
+
+    /// Register or replace a table from an already-shared relation, without
+    /// cloning its rows (used for overlay catalogs during delta-seeded
+    /// refresh). Counts as a rewrite: both version counters are bumped.
+    pub fn register_shared(&self, name: &str, rel: Arc<Relation>) {
+        let v = self.fresh_version();
+        self.tables.write().insert(
+            name.to_ascii_lowercase(),
+            Entry {
+                rel,
+                version: v,
+                rewrite_version: v,
+            },
+        );
+    }
+
+    /// Append rows to an existing table (copy-on-write). Bumps `version`
+    /// but not `rewrite_version`, and returns the table's row count from
+    /// *before* the append — the suffix `rows[old_len..]` of the new
+    /// relation is exactly the inserted delta.
+    pub fn insert_rows(
+        &self,
+        name: &str,
+        rows: Vec<crate::row::Row>,
+    ) -> Result<usize, StorageError> {
+        let key = name.to_ascii_lowercase();
+        let v = self.fresh_version();
+        let mut tables = self.tables.write();
+        let entry = tables
+            .get_mut(&key)
+            .ok_or_else(|| StorageError::UnknownTable(name.to_string()))?;
+        let arity = entry.rel.schema().arity();
+        if let Some(bad) = rows.iter().find(|r| r.arity() != arity) {
+            return Err(StorageError::ArityMismatch {
+                expected: arity,
+                actual: bad.arity(),
+            });
+        }
+        let old_len = entry.rel.len();
+        let mut grown = (*entry.rel).clone();
+        for row in rows {
+            grown.push(row);
+        }
+        entry.rel = Arc::new(grown);
+        entry.version = v;
+        Ok(old_len)
+    }
+
+    /// Replace a table's contents in place (e.g. after a `DELETE`). Counts
+    /// as a rewrite: both version counters are bumped. Fails if the table
+    /// does not exist.
+    pub fn replace_rows(&self, name: &str, rel: Relation) -> Result<(), StorageError> {
+        let key = name.to_ascii_lowercase();
+        let v = self.fresh_version();
+        let mut tables = self.tables.write();
+        let entry = tables
+            .get_mut(&key)
+            .ok_or_else(|| StorageError::UnknownTable(name.to_string()))?;
+        entry.rel = Arc::new(rel);
+        entry.version = v;
+        entry.rewrite_version = v;
+        Ok(())
     }
 
     /// Look up a table.
@@ -42,8 +156,37 @@ impl Catalog {
         self.tables
             .read()
             .get(&name.to_ascii_lowercase())
-            .cloned()
+            .map(|e| Arc::clone(&e.rel))
             .ok_or_else(|| StorageError::UnknownTable(name.to_string()))
+    }
+
+    /// Look up a table together with its version pair and current length,
+    /// atomically (a consistent snapshot for dependency tracking).
+    pub fn get_versioned(&self, name: &str) -> Result<(Arc<Relation>, TableVersion), StorageError> {
+        self.tables
+            .read()
+            .get(&name.to_ascii_lowercase())
+            .map(|e| {
+                (
+                    Arc::clone(&e.rel),
+                    TableVersion {
+                        version: e.version,
+                        rewrite_version: e.rewrite_version,
+                    },
+                )
+            })
+            .ok_or_else(|| StorageError::UnknownTable(name.to_string()))
+    }
+
+    /// The version pair of a table, if it exists.
+    pub fn version_of(&self, name: &str) -> Option<TableVersion> {
+        self.tables
+            .read()
+            .get(&name.to_ascii_lowercase())
+            .map(|e| TableVersion {
+                version: e.version,
+                rewrite_version: e.rewrite_version,
+            })
     }
 
     /// True if the table exists.
@@ -53,7 +196,10 @@ impl Catalog {
 
     /// Remove a table; returns it if present.
     pub fn drop_table(&self, name: &str) -> Option<Arc<Relation>> {
-        self.tables.write().remove(&name.to_ascii_lowercase())
+        self.tables
+            .write()
+            .remove(&name.to_ascii_lowercase())
+            .map(|e| e.rel)
     }
 
     /// Sorted table names.
@@ -65,6 +211,7 @@ impl Catalog {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::row::int_row;
 
     #[test]
     fn register_lookup_case_insensitive() {
@@ -91,5 +238,42 @@ mod tests {
         assert_eq!(c.table_names(), vec!["a", "b"]);
         assert!(c.drop_table("a").is_some());
         assert!(c.get("a").is_err());
+    }
+
+    #[test]
+    fn insert_bumps_version_not_rewrite() {
+        let c = Catalog::new();
+        c.register("t", Relation::edges(&[(1, 2)])).unwrap();
+        let v0 = c.version_of("t").unwrap();
+        let old_len = c.insert_rows("t", vec![int_row(&[3, 4])]).unwrap();
+        assert_eq!(old_len, 1);
+        let v1 = c.version_of("t").unwrap();
+        assert!(v1.version > v0.version);
+        assert_eq!(v1.rewrite_version, v0.rewrite_version);
+        // The suffix past old_len is exactly the delta.
+        assert_eq!(c.get("t").unwrap().rows()[old_len..], [int_row(&[3, 4])]);
+    }
+
+    #[test]
+    fn replace_bumps_rewrite() {
+        let c = Catalog::new();
+        c.register("t", Relation::edges(&[(1, 2)])).unwrap();
+        let v0 = c.version_of("t").unwrap();
+        c.replace_rows("t", Relation::edges(&[])).unwrap();
+        let v1 = c.version_of("t").unwrap();
+        assert!(v1.rewrite_version > v0.rewrite_version);
+        // Re-registering after a drop can't alias the old versions.
+        c.drop_table("t").unwrap();
+        c.register("t", Relation::edges(&[])).unwrap();
+        let v2 = c.version_of("t").unwrap();
+        assert!(v2.version > v1.version);
+    }
+
+    #[test]
+    fn insert_validates_arity() {
+        let c = Catalog::new();
+        c.register("t", Relation::edges(&[])).unwrap();
+        assert!(c.insert_rows("t", vec![int_row(&[1])]).is_err());
+        assert!(c.insert_rows("missing", vec![]).is_err());
     }
 }

@@ -35,6 +35,7 @@ pub mod error;
 pub mod hasher;
 pub mod partition;
 pub mod relation;
+pub mod warmstore;
 
 /// Re-export of the wire-facing row type (now defined in `rasql-api`, kept
 /// at its historical path here).
@@ -52,7 +53,7 @@ pub mod value {
     pub use rasql_api::value::*;
 }
 
-pub use catalog::Catalog;
+pub use catalog::{Catalog, TableVersion};
 pub use csr::{CsrGraph, CsrWeight};
 pub use error::StorageError;
 pub use hasher::{FxBuildHasher, FxHashMap, FxHashSet, FxHasher};
@@ -61,3 +62,4 @@ pub use relation::Relation;
 pub use row::Row;
 pub use schema::{DataType, Field, Schema};
 pub use value::Value;
+pub use warmstore::{decode_warm_rows, encode_warm_rows, WarmStore};

@@ -29,6 +29,14 @@ cargo run --release -p rasql-bench --bin reproduce -- faults --scale 0.1
 cargo test -q -p rasql-core --test kernel_proptests
 cargo run --release -p rasql-bench --bin reproduce -- bench-kernels --scale 0.1
 
+# Incremental-view-maintenance gate: every example query materialized as a
+# view must refresh bit-identically to a full recompute after withheld
+# inserts (delta-seeded when certified, full fallback with RA0301 otherwise),
+# the differential matview suite must pass, and the small-delta R-MAT refresh
+# must stay >= 5x faster than recomputing.
+cargo test -q -p rasql-core --test matview_tests
+cargo run --release -p rasql-bench --bin reproduce -- ivm --scale 0.1
+
 # Resource-governance gate: concurrent queries on one context under a tight
 # memory budget with fault injection, plus one forced kill — asserts correct
 # surviving results, actual spilling, a typed cancellation, and no leaked
