@@ -113,6 +113,16 @@ pub struct RaSqlContext {
     result_cache: ResultCache,
     /// Registered materialized views, by lower-cased name.
     matviews: Mutex<BTreeMap<String, MatView>>,
+    /// Per-view serialization guards held across CREATE/REFRESH/DROP of a
+    /// materialized view. Two concurrent refreshes of the same view (easily
+    /// triggered by two clients reading it stale, since reads auto-refresh)
+    /// would otherwise interleave their warm-state, catalog, and
+    /// dependency-record publishes — pairing one refresh's contents with the
+    /// other's `DepRecord`s, which never reads as stale again. Entries are
+    /// never removed: a guard may still be held by a late waiter after its
+    /// view is dropped, and a tiny map entry per view name ever used is
+    /// cheaper than racing on guard identity.
+    view_locks: Mutex<HashMap<String, Arc<Mutex<()>>>>,
     /// Warm fixpoint state retained for delta-seeded refresh.
     warm: WarmStore,
     /// Retained build-side hash tables per eligible view, so a delta-seeded
@@ -158,9 +168,18 @@ impl RaSqlContext {
             active: Mutex::new(HashMap::new()),
             spill_root: std::env::temp_dir(),
             matviews: Mutex::new(BTreeMap::new()),
+            view_locks: Mutex::new(HashMap::new()),
             warm: WarmStore::new(),
             warm_builds: Mutex::new(HashMap::new()),
         }
+    }
+
+    /// The serialization guard of one materialized view, created on first
+    /// use. Lock ordering: a view guard is always taken *before* any other
+    /// context lock or the admission controller, and never while one is
+    /// held, so guards cannot deadlock with query execution.
+    fn view_lock(&self, key: &str) -> Arc<Mutex<()>> {
+        Arc::clone(self.view_locks.lock().entry(key.to_string()).or_default())
     }
 
     /// The active configuration.
@@ -307,22 +326,33 @@ impl RaSqlContext {
                 table, keep_plan, ..
             } => {
                 self.guard_not_matview(&table, "DELETE from")?;
-                let before = self.catalog.get(&table).map(|r| r.len()).unwrap_or(0);
                 let keep_plan = optimize(keep_plan);
                 let no_views = HashMap::new();
-                let eval = EvalContext {
-                    cluster: &self.cluster,
-                    catalog: &self.catalog,
-                    views: &no_views,
-                    partitions: self.config.partitions,
-                    fused: self.config.fused_codegen,
-                    trace: None,
-                    governor: None,
-                    csr_cache: None,
-                };
-                let kept = eval.evaluate(&keep_plan)?;
-                let removed = before.saturating_sub(kept.len());
-                self.catalog.replace_rows(&table, kept)?;
+                // Governed like any other statement: the keep-predicate scan
+                // charges the memory budget, observes the query deadline, and
+                // is killable. Optimistic read-evaluate-replace: the keep
+                // plan is evaluated against a version snapshot and published
+                // only if the table is still at that version — rows INSERTed
+                // concurrently force a re-evaluation instead of being
+                // silently clobbered (and the deleted count stays exact).
+                let removed = self.with_governor(parent, |governor| loop {
+                    let (snapshot, v) = self.catalog.get_versioned(&table)?;
+                    let eval = EvalContext {
+                        cluster: &self.cluster,
+                        catalog: &self.catalog,
+                        views: &no_views,
+                        partitions: self.config.partitions,
+                        fused: self.config.fused_codegen,
+                        trace: None,
+                        governor: Some(governor),
+                        csr_cache: None,
+                    };
+                    let kept = eval.evaluate(&keep_plan)?;
+                    let removed = snapshot.len().saturating_sub(kept.len());
+                    if self.catalog.replace_rows_if(&table, kept, v.version)? {
+                        return Ok(removed);
+                    }
+                })?;
                 self.invalidate_caches(&table);
                 Ok(count_result("deleted", removed))
             }
@@ -334,6 +364,11 @@ impl RaSqlContext {
             }
             AnalyzedStatement::DropMaterializedView { name, .. } => {
                 let key = name.to_ascii_lowercase();
+                // Serialized with CREATE/REFRESH of the same view, so a drop
+                // can never interleave with a refresh's publish step (which
+                // would resurrect the catalog table and warm state).
+                let guard = self.view_lock(&key);
+                let _guard = guard.lock();
                 if self.matviews.lock().remove(&key).is_none() {
                     return Err(EngineError::UnknownView(name));
                 }
@@ -596,6 +631,11 @@ impl RaSqlContext {
         parent: Option<&CancellationToken>,
     ) -> Result<QueryResult, EngineError> {
         let key = name.to_ascii_lowercase();
+        // Serialized with other CREATE/REFRESH/DROP of this name: two
+        // concurrent creates would both pass the existence checks and race
+        // their registrations.
+        let guard = self.view_lock(&key);
+        let _guard = guard.lock();
         if self.matviews.lock().contains_key(&key) {
             return Err(EngineError::Other(format!(
                 "materialized view '{name}' already exists"
@@ -692,6 +732,14 @@ impl RaSqlContext {
         parent: Option<&CancellationToken>,
     ) -> Result<QueryResult, EngineError> {
         let key = name.to_ascii_lowercase();
+        // One refresh of a view at a time: interleaved refreshes could pair
+        // one refresh's contents/warm state with the other's `DepRecord`s —
+        // a view silently missing derivations that never reads as stale.
+        // The registry record is read *under* the guard, so a second
+        // refresher sees the first one's updated dependency records (its
+        // delta seed is then exactly the rows that arrived in between).
+        let guard = self.view_lock(&key);
+        let _guard = guard.lock();
         let mv = self
             .matviews
             .lock()
@@ -850,7 +898,8 @@ impl RaSqlContext {
                     entry.retained_bytes = retained;
                     entry.version
                 }
-                // Dropped concurrently mid-refresh: nothing to record.
+                // Unreachable while the view guard serializes DROP with
+                // refresh, but defensive: nothing to record.
                 None => 0,
             }
         };

@@ -290,6 +290,101 @@ fn delete_falls_back_to_full_refresh() {
     assert_eq!(read.relation.sorted().rows(), &want[..]);
 }
 
+/// Concurrent REFRESHes racing concurrent INSERTs must publish atomically:
+/// without per-view serialization, one refresh's contents can be paired
+/// with another refresh's dependency records — the view then reads as
+/// fresh while silently missing derivations, forever.
+#[test]
+fn racing_refreshes_never_publish_torn_state() {
+    let edges = weighted_rmat(200, 11);
+    let split = edges.len() - 16;
+    let rows = edges.rows();
+    let ctx = Arc::new(RaSqlContext::with_config(
+        EngineConfig::rasql()
+            .with_workers(2)
+            .with_stage_latency_us(50),
+    ));
+    let initial = Relation::try_new(edges.schema().clone(), rows[..split].to_vec()).unwrap();
+    ctx.register("edge", initial).unwrap();
+    ctx.query(&format!(
+        "CREATE MATERIALIZED VIEW v AS {}",
+        library::sssp(1)
+    ))
+    .unwrap();
+    // Two writers interleave single-row inserts with refreshes of the same
+    // view, so refreshes overlap arbitrarily with each other and with
+    // version bumps.
+    let delta = rows[split..].to_vec();
+    let mid = delta.len() / 2;
+    let halves = [delta[..mid].to_vec(), delta[mid..].to_vec()];
+    let writers: Vec<_> = halves
+        .into_iter()
+        .map(|half| {
+            let ctx = Arc::clone(&ctx);
+            std::thread::spawn(move || {
+                for row in half {
+                    ctx.query(&insert_sql("edge", std::slice::from_ref(&row)))
+                        .unwrap();
+                    ctx.query("REFRESH MATERIALIZED VIEW v").unwrap();
+                }
+            })
+        })
+        .collect();
+    for w in writers {
+        w.join().unwrap();
+    }
+    // All delta rows are in. A torn publish would record fresh dependency
+    // versions over stale contents, so this read would skip the refresh and
+    // serve the wrong rows; a consistent registry serves (or refreshes to)
+    // exactly the recomputed fixpoint.
+    let want = recompute(&EngineConfig::rasql(), &edges, &library::sssp(1));
+    let read = ctx.query("SELECT * FROM v").unwrap();
+    assert_eq!(read.relation.sorted().rows(), &want[..]);
+}
+
+/// A DELETE racing concurrent INSERTs must not clobber them: the
+/// keep-predicate result is only published if the table version is
+/// unchanged since it was evaluated, re-evaluating otherwise.
+#[test]
+fn delete_does_not_lose_concurrent_inserts() {
+    let ctx = Arc::new(RaSqlContext::with_config(
+        EngineConfig::rasql()
+            .with_workers(2)
+            .with_stage_latency_us(100),
+    ));
+    let base: Vec<(i64, i64)> = (0..200).map(|i| (i, i + 1)).collect();
+    ctx.register("edge", Relation::edges(&base)).unwrap();
+    let deleter = {
+        let ctx = Arc::clone(&ctx);
+        std::thread::spawn(move || ctx.query("DELETE FROM edge WHERE Src < 10000").unwrap())
+    };
+    // Rows the predicate keeps, inserted while the delete is in flight.
+    // Whatever the interleaving, none of them may be lost: a row landing
+    // after the keep-scan but before its publish forces a re-evaluation.
+    for i in 0..40i64 {
+        ctx.query(&format!("INSERT INTO edge VALUES ({}, {i})", 10_000 + i))
+            .unwrap();
+    }
+    deleter.join().unwrap();
+    let rows = ctx.query("SELECT * FROM edge").unwrap();
+    let survivors: Vec<Row> = rows
+        .relation
+        .rows()
+        .iter()
+        .filter(|r| r[0] < Value::Int(10_000))
+        .cloned()
+        .collect();
+    assert!(
+        survivors.is_empty(),
+        "delete must remove every matching row"
+    );
+    assert_eq!(
+        rows.relation.len(),
+        40,
+        "concurrently inserted rows must survive the delete"
+    );
+}
+
 /// INSERT and DELETE report affected-row counts; bare DELETE truncates.
 #[test]
 fn insert_delete_statement_surface() {

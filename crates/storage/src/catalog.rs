@@ -17,6 +17,7 @@ use crate::error::StorageError;
 use crate::relation::Relation;
 use parking_lot::RwLock;
 use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 /// The version pair tracked per table (see the module docs for the
@@ -40,7 +41,7 @@ struct Entry {
 #[derive(Default)]
 pub struct Catalog {
     tables: RwLock<BTreeMap<String, Entry>>,
-    next_version: RwLock<u64>,
+    next_version: AtomicU64,
 }
 
 impl Catalog {
@@ -49,20 +50,22 @@ impl Catalog {
         Self::default()
     }
 
+    /// Draw the next catalog-global version. Callers must hold the `tables`
+    /// write lock: drawing inside the critical section is what keeps every
+    /// individual table's version sequence monotonic (two mutations of one
+    /// table serialize on the lock and draw in that same order).
     fn fresh_version(&self) -> u64 {
-        let mut next = self.next_version.write();
-        *next += 1;
-        *next
+        self.next_version.fetch_add(1, Ordering::Relaxed) + 1
     }
 
     /// Register a table, failing if the name is taken.
     pub fn register(&self, name: &str, rel: Relation) -> Result<(), StorageError> {
         let key = name.to_ascii_lowercase();
-        let v = self.fresh_version();
         let mut tables = self.tables.write();
         if tables.contains_key(&key) {
             return Err(StorageError::DuplicateTable(name.to_string()));
         }
+        let v = self.fresh_version();
         tables.insert(
             key,
             Entry {
@@ -77,8 +80,9 @@ impl Catalog {
     /// Register or replace a table. Counts as a rewrite: both version
     /// counters are bumped.
     pub fn register_or_replace(&self, name: &str, rel: Relation) {
+        let mut tables = self.tables.write();
         let v = self.fresh_version();
-        self.tables.write().insert(
+        tables.insert(
             name.to_ascii_lowercase(),
             Entry {
                 rel: Arc::new(rel),
@@ -92,8 +96,9 @@ impl Catalog {
     /// cloning its rows (used for overlay catalogs during delta-seeded
     /// refresh). Counts as a rewrite: both version counters are bumped.
     pub fn register_shared(&self, name: &str, rel: Arc<Relation>) {
+        let mut tables = self.tables.write();
         let v = self.fresh_version();
-        self.tables.write().insert(
+        tables.insert(
             name.to_ascii_lowercase(),
             Entry {
                 rel,
@@ -113,7 +118,6 @@ impl Catalog {
         rows: Vec<crate::row::Row>,
     ) -> Result<usize, StorageError> {
         let key = name.to_ascii_lowercase();
-        let v = self.fresh_version();
         let mut tables = self.tables.write();
         let entry = tables
             .get_mut(&key)
@@ -131,7 +135,7 @@ impl Catalog {
             grown.push(row);
         }
         entry.rel = Arc::new(grown);
-        entry.version = v;
+        entry.version = self.fresh_version();
         Ok(old_len)
     }
 
@@ -140,15 +144,43 @@ impl Catalog {
     /// does not exist.
     pub fn replace_rows(&self, name: &str, rel: Relation) -> Result<(), StorageError> {
         let key = name.to_ascii_lowercase();
-        let v = self.fresh_version();
         let mut tables = self.tables.write();
         let entry = tables
             .get_mut(&key)
             .ok_or_else(|| StorageError::UnknownTable(name.to_string()))?;
+        let v = self.fresh_version();
         entry.rel = Arc::new(rel);
         entry.version = v;
         entry.rewrite_version = v;
         Ok(())
+    }
+
+    /// Replace a table's contents only if its `version` still equals
+    /// `expected` — the publish step of an optimistic read-evaluate-replace
+    /// cycle (e.g. `DELETE` evaluates its keep-predicate against a version
+    /// snapshot and must not clobber rows inserted concurrently). Returns
+    /// whether the replacement was applied; when it is, it counts as a
+    /// rewrite and both version counters are bumped. Fails if the table
+    /// does not exist.
+    pub fn replace_rows_if(
+        &self,
+        name: &str,
+        rel: Relation,
+        expected: u64,
+    ) -> Result<bool, StorageError> {
+        let key = name.to_ascii_lowercase();
+        let mut tables = self.tables.write();
+        let entry = tables
+            .get_mut(&key)
+            .ok_or_else(|| StorageError::UnknownTable(name.to_string()))?;
+        if entry.version != expected {
+            return Ok(false);
+        }
+        let v = self.fresh_version();
+        entry.rel = Arc::new(rel);
+        entry.version = v;
+        entry.rewrite_version = v;
+        Ok(true)
     }
 
     /// Look up a table.
@@ -267,6 +299,56 @@ mod tests {
         c.register("t", Relation::edges(&[])).unwrap();
         let v2 = c.version_of("t").unwrap();
         assert!(v2.version > v1.version);
+    }
+
+    #[test]
+    fn replace_rows_if_guards_version() {
+        let c = Catalog::new();
+        c.register("t", Relation::edges(&[(1, 2)])).unwrap();
+        let v0 = c.version_of("t").unwrap();
+        // Stale expectation (a concurrent insert moved the version): refused.
+        c.insert_rows("t", vec![int_row(&[3, 4])]).unwrap();
+        assert!(!c
+            .replace_rows_if("t", Relation::edges(&[]), v0.version)
+            .unwrap());
+        assert_eq!(c.get("t").unwrap().len(), 2);
+        // Current expectation: applied, counted as a rewrite.
+        let v1 = c.version_of("t").unwrap();
+        assert!(c
+            .replace_rows_if("t", Relation::edges(&[(9, 9)]), v1.version)
+            .unwrap());
+        let v2 = c.version_of("t").unwrap();
+        assert!(v2.rewrite_version > v1.rewrite_version);
+        assert_eq!(c.get("t").unwrap().len(), 1);
+        assert!(c
+            .replace_rows_if("missing", Relation::edges(&[]), 0)
+            .is_err());
+    }
+
+    #[test]
+    fn versions_monotonic_under_concurrent_mutation() {
+        // Versions are drawn inside the tables write lock, so one table's
+        // version sequence can never run backwards even when many threads
+        // mutate it at once.
+        let c = Arc::new(Catalog::new());
+        c.register("t", Relation::edges(&[])).unwrap();
+        let threads: Vec<_> = (0..4)
+            .map(|_| {
+                let c = Arc::clone(&c);
+                std::thread::spawn(move || {
+                    let mut last = 0;
+                    for _ in 0..50 {
+                        c.insert_rows("t", vec![int_row(&[1, 2])]).unwrap();
+                        let v = c.version_of("t").unwrap().version;
+                        assert!(v > last, "version went backwards: {last} -> {v}");
+                        last = v;
+                    }
+                })
+            })
+            .collect();
+        for t in threads {
+            t.join().unwrap();
+        }
     }
 
     #[test]
