@@ -2,8 +2,8 @@
 //!
 //! ```text
 //! reproduce [all|fig1|fig2|fig5|fig6|fig7|fig8|fig9|fig10|fig11|fig12|
-//!            table1|table2|table3|premcheck|traces|faults|lint|
-//!            bench-kernels|ivm|soak|serve-soak] [--scale X]
+//!            table1|table2|table3|premcheck|traces|faults|lint|lint-src|
+//!            modelcheck|bench-kernels|ivm|soak|serve-soak] [--scale X]
 //!           [--faults SPEC] [--retries N] [--checkpoint-every K]
 //! ```
 //!
@@ -16,6 +16,18 @@
 //! The `lint` target runs the compile-time verifier (`CHECK`) over every
 //! shipped example query and exits non-zero on any error-severity
 //! diagnostic or refuted PreM obligation.
+//!
+//! The `lint-src` target runs the *source* linter (`rasql-lint`) over the
+//! workspace's own `crates/*/src` tree, enforcing the concurrency and
+//! hot-path disciplines with `RL####` diagnostics (`RL` codes are about
+//! the engine's Rust; `RA` codes are about the user's SQL). Exits non-zero
+//! on any unsuppressed finding.
+//!
+//! The `modelcheck` target runs the interleaving model checker over the
+//! engine's shared-state protocols: each model of HEAD must verify clean
+//! under exhaustive schedule enumeration, and each mechanically reverted
+//! variant must yield a counterexample. Exits non-zero either way a
+//! protocol fails.
 //!
 //! The `bench-kernels` target compares the specialized CSR fixpoint kernels
 //! against the generic interpreter, writes `BENCH_kernels.json` in the
@@ -95,8 +107,8 @@ fn main() {
             "--help" | "-h" => {
                 println!(
                     "reproduce [all|fig1|fig2|fig5|fig6|fig7|fig8|fig9|fig10|fig11|fig12|\n\
-                     table1|table2|table3|premcheck|traces|faults|lint|bench-kernels|ivm|\n\
-                     soak|serve-soak]...\n\
+                     table1|table2|table3|premcheck|traces|faults|lint|lint-src|modelcheck|\n\
+                     bench-kernels|ivm|soak|serve-soak]...\n\
                      [--scale X] [--faults SPEC] [--retries N] [--checkpoint-every K]"
                 );
                 return;
@@ -188,6 +200,22 @@ fn main() {
         println!("{report}");
         if !clean {
             die("lint found error-severity diagnostics");
+        }
+    }
+    // Not part of `all`: a subsystem check, not a paper artifact.
+    if targets.iter().any(|t| t == "lint-src") {
+        let (report, clean) = bench::lint_src();
+        println!("{report}");
+        if !clean {
+            die("lint-src found unsuppressed RL#### findings");
+        }
+    }
+    // Not part of `all`: a subsystem check, not a paper artifact.
+    if targets.iter().any(|t| t == "modelcheck") {
+        let (report, ok) = bench::modelcheck();
+        println!("{report}");
+        if !ok {
+            die("modelcheck failed (violation on HEAD, or a reverted variant went undetected)");
         }
     }
     // Not part of `all`: a subsystem check, not a paper artifact.

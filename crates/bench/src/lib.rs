@@ -1752,11 +1752,7 @@ pub fn serve_soak(scale: f64) -> Table {
         // Joined threads are gone from /proc immediately, but give any
         // OS-level teardown still in flight a moment before calling it a leak.
         let deadline = Instant::now() + Duration::from_secs(2);
-        loop {
-            let after = match thread_count() {
-                Some(n) => n,
-                None => break,
-            };
+        while let Some(after) = thread_count() {
             if after <= before {
                 break;
             }
@@ -1897,6 +1893,97 @@ pub fn lint() -> (String, bool) {
         }
     ));
     (out, all_clean)
+}
+
+/// `reproduce lint-src` — run the workspace source linter (`rasql-lint`)
+/// over `crates/*/src`, enforcing the engine's concurrency and hot-path
+/// disciplines with `RL####` diagnostics (the source-level sibling of the
+/// `RA####` query codes). Returns the rendered report and whether the tree
+/// is clean. The walk is rooted at the workspace this binary was built
+/// from, so it works from any working directory.
+pub fn lint_src() -> (String, bool) {
+    let root = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .ancestors()
+        .nth(2)
+        .expect("bench crate lives at <root>/crates/bench");
+    let mut out = String::from("=== Workspace source lint (RL####) ===\n");
+    let report = match rasql_lint::lint_workspace(root) {
+        Ok(r) => r,
+        Err(e) => {
+            out.push_str(&format!("lint-src failed to walk the workspace: {e}\n"));
+            return (out, false);
+        }
+    };
+    for code in rasql_lint::LintCode::all() {
+        out.push_str(&format!("  {}: {}\n", code.code(), code.summary()));
+    }
+    out.push('\n');
+    for d in &report.diagnostics {
+        // Re-read the file for the caret snippet; fall back to the compact
+        // form if it has changed underneath us.
+        let rendered = std::fs::read_to_string(root.join(&d.path))
+            .map(|src| d.render(&src))
+            .unwrap_or_else(|_| format!("{d}\n"));
+        out.push_str(&rendered);
+        out.push('\n');
+    }
+    out.push_str(&format!(
+        "lint-src: {} files scanned, {} findings, {} suppressed by `// lint: allow` — {}\n",
+        report.files_scanned,
+        report.diagnostics.len(),
+        report.suppressed,
+        if report.is_clean() { "clean" } else { "FAILED" },
+    ));
+    (out, report.is_clean())
+}
+
+/// `reproduce modelcheck` — run the interleaving model checker
+/// (`rasql_exec::modelcheck`) over the engine's shared-state protocols.
+/// Every protocol is checked in two variants: the model of HEAD must
+/// verify clean under exhaustive enumeration, and the mechanically
+/// reverted model (the protocol with its fix undone) must produce a
+/// counterexample — proving the checker can still see the bug the fix
+/// removed. Returns the rendered report and whether every protocol met
+/// both criteria.
+pub fn modelcheck() -> (String, bool) {
+    let mut out = String::from("=== Interleaving model check (exec::modelcheck) ===\n");
+    let mut all_ok = true;
+    for report in rasql_exec::modelcheck::protocols::check_all() {
+        let ok = report.ok();
+        all_ok &= ok;
+        out.push_str(&format!(
+            "\n--- {} --- {}\n",
+            report.protocol,
+            if ok { "ok" } else { "FAILED" }
+        ));
+        out.push_str(&format!(
+            "  fixed:    {} schedules, {} steps — {}\n",
+            report.fixed.stats.schedules,
+            report.fixed.stats.steps,
+            match &report.fixed.violation {
+                None => "no violation (expected)".to_string(),
+                Some(v) => format!("UNEXPECTED violation: {v}"),
+            }
+        ));
+        out.push_str(&format!(
+            "  reverted: {} schedules, {} steps — {}\n",
+            report.reverted.stats.schedules,
+            report.reverted.stats.steps,
+            match &report.reverted.violation {
+                None => "NO counterexample (the checker went blunt)".to_string(),
+                Some(v) => format!("counterexample found (expected): {v}"),
+            }
+        ));
+    }
+    out.push_str(&format!(
+        "\nmodelcheck: {}\n",
+        if all_ok {
+            "all protocols verified on HEAD; all reverted variants refuted"
+        } else {
+            "FAILED"
+        }
+    ));
+    (out, all_ok)
 }
 
 /// Render one value as a SQL literal for an `INSERT` statement.

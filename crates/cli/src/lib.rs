@@ -417,7 +417,9 @@ impl Shell {
                 let sql = cmd.trim_start_matches("\\lint").trim();
                 if sql.is_empty() {
                     return LineResult::Output(
-                        "usage: \\lint <query> — static verification (same as CHECK <query>)\n"
+                        "usage: \\lint <query> — static verification (same as CHECK <query>).\n\
+                         Emits RA#### query diagnostics; the engine's own sources are linted \
+                         separately with RL#### codes (`reproduce lint-src`).\n"
                             .into(),
                     );
                 }

@@ -7,7 +7,7 @@
 //! memory and to feed the `cache_invalidations` counter, not for
 //! correctness.
 
-use parking_lot::Mutex;
+use rasql_storage::sync::{LockRank, RankedMutex};
 use rasql_storage::{Catalog, CsrGraph, Relation};
 use std::collections::VecDeque;
 use std::sync::Arc;
@@ -51,14 +51,14 @@ struct Entry<T> {
 
 /// A bounded FIFO cache keyed by plan text + version fingerprint.
 struct VersionedCache<T> {
-    entries: Mutex<VecDeque<Entry<T>>>,
+    entries: RankedMutex<VecDeque<Entry<T>>>,
     capacity: usize,
 }
 
 impl<T: Clone> VersionedCache<T> {
-    fn new(capacity: usize) -> Self {
+    fn new(rank: LockRank, capacity: usize) -> Self {
         VersionedCache {
-            entries: Mutex::new(VecDeque::new()),
+            entries: RankedMutex::new(rank, VecDeque::new()),
             capacity,
         }
     }
@@ -112,7 +112,7 @@ impl ResultCache {
     /// A cache holding at most `capacity` results (0 disables it).
     pub fn new(capacity: usize) -> Self {
         ResultCache {
-            inner: VersionedCache::new(capacity),
+            inner: VersionedCache::new(LockRank::ResultCache, capacity),
         }
     }
 
@@ -159,7 +159,7 @@ impl CsrCache {
     /// A cache with the default capacity.
     pub fn new() -> Self {
         CsrCache {
-            inner: VersionedCache::new(CSR_CACHE_CAPACITY),
+            inner: VersionedCache::new(LockRank::CsrCache, CSR_CACHE_CAPACITY),
         }
     }
 

@@ -6,7 +6,6 @@ use crate::error::EngineError;
 use crate::eval::EvalContext;
 use crate::fixpoint::{FixpointExecutor, WarmBuilds};
 use crate::matview::{query_dep_tables, warm_prefix, DepRecord, MatView};
-use parking_lot::Mutex;
 use rasql_exec::{
     AdmissionController, CancellationToken, Cluster, ClusterConfig, ExecError, Metrics,
     MetricsSnapshot, QueryGovernor, QueryTrace, TraceSink,
@@ -16,6 +15,7 @@ use rasql_plan::{
     analyze_statement, optimize, optimize_spec, AnalyzedQuery, AnalyzedStatement, LogicalPlan,
     ViewCatalog,
 };
+use rasql_storage::sync::{LockRank, RankedMutex};
 use rasql_storage::{
     decode_warm_rows, encode_warm_rows, Catalog, DataType, Relation, Row, Schema, Value, WarmStore,
 };
@@ -92,7 +92,7 @@ pub(crate) enum StatementOutcome {
 /// ```
 pub struct RaSqlContext {
     catalog: Catalog,
-    planner_catalog: Mutex<ViewCatalog>,
+    planner_catalog: RankedMutex<ViewCatalog>,
     cluster: Cluster,
     config: EngineConfig,
     tracing: AtomicBool,
@@ -103,7 +103,7 @@ pub struct RaSqlContext {
     query_seq: AtomicU64,
     /// Cancellation tokens of queries currently executing, by query id —
     /// the registry [`RaSqlContext::kill`] resolves against.
-    active: Mutex<HashMap<u64, CancellationToken>>,
+    active: RankedMutex<HashMap<u64, CancellationToken>>,
     /// Where per-query governors place spill files.
     spill_root: PathBuf,
     /// Built CSR kernel graphs, keyed by build plan + edge-table versions.
@@ -112,7 +112,7 @@ pub struct RaSqlContext {
     /// (capacity from [`EngineConfig::result_cache_entries`]).
     result_cache: ResultCache,
     /// Registered materialized views, by lower-cased name.
-    matviews: Mutex<BTreeMap<String, MatView>>,
+    matviews: RankedMutex<BTreeMap<String, MatView>>,
     /// Per-view serialization guards held across CREATE/REFRESH/DROP of a
     /// materialized view. Two concurrent refreshes of the same view (easily
     /// triggered by two clients reading it stale, since reads auto-refresh)
@@ -122,12 +122,12 @@ pub struct RaSqlContext {
     /// never removed: a guard may still be held by a late waiter after its
     /// view is dropped, and a tiny map entry per view name ever used is
     /// cheaper than racing on guard identity.
-    view_locks: Mutex<HashMap<String, Arc<Mutex<()>>>>,
+    view_locks: RankedMutex<HashMap<String, Arc<RankedMutex<()>>>>,
     /// Warm fixpoint state retained for delta-seeded refresh.
     warm: WarmStore,
     /// Retained build-side hash tables per eligible view, so a delta-seeded
     /// refresh layers a small delta build instead of re-hashing full bases.
-    warm_builds: Mutex<HashMap<String, WarmBuilds>>,
+    warm_builds: RankedMutex<HashMap<String, WarmBuilds>>,
 }
 
 impl RaSqlContext {
@@ -157,7 +157,7 @@ impl RaSqlContext {
         ));
         RaSqlContext {
             catalog: Catalog::new(),
-            planner_catalog: Mutex::new(ViewCatalog::new()),
+            planner_catalog: RankedMutex::new(LockRank::PlannerCatalog, ViewCatalog::new()),
             cluster,
             tracing: AtomicBool::new(config.tracing),
             csr_cache: CsrCache::new(),
@@ -165,12 +165,12 @@ impl RaSqlContext {
             config,
             admission,
             query_seq: AtomicU64::new(0),
-            active: Mutex::new(HashMap::new()),
+            active: RankedMutex::new(LockRank::ActiveQueries, HashMap::new()),
             spill_root: std::env::temp_dir(),
-            matviews: Mutex::new(BTreeMap::new()),
-            view_locks: Mutex::new(HashMap::new()),
+            matviews: RankedMutex::new(LockRank::MatViewRegistry, BTreeMap::new()),
+            view_locks: RankedMutex::new(LockRank::ViewLockMap, HashMap::new()),
             warm: WarmStore::new(),
-            warm_builds: Mutex::new(HashMap::new()),
+            warm_builds: RankedMutex::new(LockRank::WarmBuilds, HashMap::new()),
         }
     }
 
@@ -178,8 +178,13 @@ impl RaSqlContext {
     /// use. Lock ordering: a view guard is always taken *before* any other
     /// context lock or the admission controller, and never while one is
     /// held, so guards cannot deadlock with query execution.
-    fn view_lock(&self, key: &str) -> Arc<Mutex<()>> {
-        Arc::clone(self.view_locks.lock().entry(key.to_string()).or_default())
+    fn view_lock(&self, key: &str) -> Arc<RankedMutex<()>> {
+        Arc::clone(
+            self.view_locks
+                .lock()
+                .entry(key.to_string())
+                .or_insert_with(|| Arc::new(RankedMutex::new(LockRank::ViewSerialization, ()))),
+        )
     }
 
     /// The active configuration.

@@ -18,7 +18,6 @@ use crate::config::{EngineConfig, EvalMode, JoinStrategy};
 use crate::error::EngineError;
 use crate::eval::EvalContext;
 use crate::kernel::{select_kernel, KernelEdgeFn, KernelOp, KernelPlan, KernelScalar};
-use parking_lot::Mutex;
 use rasql_exec::checkpoint::{
     decode_agg_state, decode_rows, decode_set_state, encode_agg_state, encode_rows,
     encode_set_state, Bytes, CheckpointStore,
@@ -37,6 +36,7 @@ use rasql_plan::{
     PExpr, RecAllMode, ViewSpec,
 };
 use rasql_storage::codec::CompressedRelation;
+use rasql_storage::sync::{LockRank, RankedMutex};
 use rasql_storage::{
     partition::hash_partition, Catalog, CsrGraph, FxHashMap, FxHashSet, Relation, Row, Value,
 };
@@ -127,7 +127,7 @@ struct ViewRt {
     /// columns in decomposed mode).
     partition_key: Vec<usize>,
     /// Per-partition state.
-    state: Vec<Mutex<ViewState>>,
+    state: Vec<RankedMutex<ViewState>>,
     /// Whether this view runs decomposed.
     decomposed: bool,
 }
@@ -352,11 +352,14 @@ impl<'a> FixpointExecutor<'a> {
             let modes = resolve_count_modes(v)?;
             let state = (0..p)
                 .map(|_| {
-                    Mutex::new(if v.aggs.is_empty() {
-                        ViewState::Set(SetState::new())
-                    } else {
-                        ViewState::Agg(AggState::new())
-                    })
+                    RankedMutex::new(
+                        LockRank::FixpointState,
+                        if v.aggs.is_empty() {
+                            ViewState::Set(SetState::new())
+                        } else {
+                            ViewState::Agg(AggState::new())
+                        },
+                    )
                 })
                 .collect();
             views.push(ViewRt {
@@ -473,11 +476,14 @@ impl<'a> FixpointExecutor<'a> {
             let modes = resolve_count_modes(v)?;
             let state = (0..p)
                 .map(|_| {
-                    Mutex::new(if v.aggs.is_empty() {
-                        ViewState::Set(SetState::new())
-                    } else {
-                        ViewState::Agg(AggState::new())
-                    })
+                    RankedMutex::new(
+                        LockRank::FixpointState,
+                        if v.aggs.is_empty() {
+                            ViewState::Set(SetState::new())
+                        } else {
+                            ViewState::Agg(AggState::new())
+                        },
+                    )
                 })
                 .collect();
             views.push(ViewRt {
@@ -805,7 +811,11 @@ impl<'a> FixpointExecutor<'a> {
         match fit {
             Fit::Unchanged => {}
             Fit::Grown => {
-                let entry = wb.steps.get_mut(&key).expect("matched above");
+                let entry = wb.steps.get_mut(&key).ok_or_else(|| {
+                    EngineError::Other(
+                        "warm-build entry vanished between fit check and reuse".into(),
+                    )
+                })?;
                 let mut delta: Vec<Row> = Vec::new();
                 for (old, new) in entry.deps.iter().zip(&cur) {
                     if new.len > old.len {
@@ -897,6 +907,7 @@ impl<'a> FixpointExecutor<'a> {
                                 let mut layers =
                                     self.warm_hash_layers(wb, slot, plan, build_keys)?;
                                 if layers.len() == 1 {
+                                    // lint: allow(RL0002, pop guarded by the len()==1 check on the previous line)
                                     BuildSide::Partitioned(layers.pop().expect("one layer"))
                                 } else {
                                     BuildSide::PartitionedLayered(layers)
@@ -945,8 +956,9 @@ impl<'a> FixpointExecutor<'a> {
                                         None,
                                         payload,
                                         move |_w| {
-                                            let rows =
-                                                compressed.decompress().expect("own payload");
+                                            let rows = compressed.decompress();
+                                            // lint: allow(RL0002, round-tripping a payload this pass just compressed)
+                                            let rows = rows.expect("own payload");
                                             HashTable::build(&rows, &keys)
                                         },
                                         governor,
@@ -2047,8 +2059,11 @@ impl<'a> FixpointExecutor<'a> {
                 .map_err(EngineError::Exec)?,
             )
         };
-        let slabs: Arc<Vec<Mutex<DenseAggState<T>>>> =
-            Arc::new((0..p).map(|_| Mutex::new(DenseAggState::new(n))).collect());
+        let slabs: Arc<Vec<RankedMutex<DenseAggState<T>>>> = Arc::new(
+            (0..p)
+                .map(|_| RankedMutex::new(LockRank::FixpointState, DenseAggState::new(n)))
+                .collect(),
+        );
         let totals = kp.totals_delta;
         let sink = self.eval.trace;
         if let Some(s) = sink {
@@ -2262,8 +2277,11 @@ impl<'a> FixpointExecutor<'a> {
                 .map_err(EngineError::Exec)?,
             )
         };
-        let slabs: Arc<Vec<Mutex<DenseSetState>>> =
-            Arc::new((0..p).map(|_| Mutex::new(DenseSetState::new(n))).collect());
+        let slabs: Arc<Vec<RankedMutex<DenseSetState>>> = Arc::new(
+            (0..p)
+                .map(|_| RankedMutex::new(LockRank::FixpointState, DenseSetState::new(n)))
+                .collect(),
+        );
         let sink = self.eval.trace;
         if let Some(s) = sink {
             s.begin_clique_kernel(vec![v.name.clone()], "specialized", kp.name);
@@ -2618,6 +2636,7 @@ fn run_branch(
                         table: Arc::clone(
                             snapshots[op_base + i]
                                 .as_ref()
+                                // lint: allow(RL0002, snapshot pass above fills every Recursive slot)
                                 .expect("snapshot built for recursive build side"),
                         ),
                         key,

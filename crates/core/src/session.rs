@@ -26,10 +26,10 @@
 
 use crate::context::{empty_result, QueryResult, RaSqlContext, StatementOutcome};
 use crate::error::EngineError;
-use parking_lot::Mutex;
 use rasql_exec::CancellationToken;
 use rasql_parser::{parse_statements, Statement};
 use rasql_plan::{analyze_statement, optimize, AnalyzedStatement, LogicalPlan, ViewCatalog};
+use rasql_storage::sync::{LockRank, RankedMutex};
 use rasql_storage::Relation;
 use std::collections::HashMap;
 use std::sync::Arc;
@@ -65,9 +65,9 @@ pub struct Session {
     ctx: Arc<RaSqlContext>,
     /// Session-local views in definition order (later wins on re-definition
     /// when overlaid onto the shared catalog).
-    views: Mutex<Vec<(String, LogicalPlan)>>,
+    views: RankedMutex<Vec<(String, LogicalPlan)>>,
     /// Prepared statements by lowercased name.
-    prepared: Mutex<HashMap<String, Prepared>>,
+    prepared: RankedMutex<HashMap<String, Prepared>>,
     /// Parent of every query token this session issues. One-shot: once
     /// fired, the session is dead (subsequent queries cancel immediately) —
     /// it models a closed connection, not a retryable interrupt.
@@ -79,8 +79,8 @@ impl RaSqlContext {
     pub fn session(self: &Arc<Self>) -> Session {
         Session {
             ctx: Arc::clone(self),
-            views: Mutex::new(Vec::new()),
-            prepared: Mutex::new(HashMap::new()),
+            views: RankedMutex::new(LockRank::SessionViews, Vec::new()),
+            prepared: RankedMutex::new(LockRank::SessionPrepared, HashMap::new()),
             // Query id 0 is never allocated to a real query; no deadline —
             // per-query deadlines come from the engine config as usual.
             interrupt: CancellationToken::new(0, None),

@@ -54,9 +54,9 @@ pub fn error_to_wire(err: &EngineError) -> ApiError {
             ExecError::MemoryExceeded { .. } => ErrorCode::MemoryExceeded,
             ExecError::SpillIo { .. } => ErrorCode::SpillIo,
             ExecError::AdmissionRejected { .. } => ErrorCode::AdmissionRejected,
-            ExecError::TaskPanicked { .. } | ExecError::RetriesExhausted { .. } => {
-                ErrorCode::ExecutionFailed
-            }
+            ExecError::TaskPanicked { .. }
+            | ExecError::RetriesExhausted { .. }
+            | ExecError::WorkerUnavailable { .. } => ErrorCode::ExecutionFailed,
         },
         EngineError::NonTermination { .. } => ErrorCode::NonTermination,
         EngineError::UnknownView(_) => ErrorCode::UnknownView,

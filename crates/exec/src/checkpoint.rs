@@ -18,8 +18,8 @@
 use crate::state::{AggEntry, AggState, SetState};
 pub use bytes::Bytes;
 use bytes::{Buf, BytesMut};
-use parking_lot::Mutex;
 use rasql_storage::codec::{decode_value, encode_value, read_varint, write_varint};
+use rasql_storage::sync::{LockRank, RankedMutex};
 use rasql_storage::{FxHashMap, Row, StorageError, Value};
 use std::path::PathBuf;
 
@@ -159,7 +159,7 @@ pub fn decode_agg_state(mut buf: impl Buf) -> Result<AggState, StorageError> {
 /// Where checkpoint payloads live: in driver memory (a stand-in for a
 /// replicated store) or on disk under a directory (one file per key).
 enum StoreBackend {
-    Memory(Mutex<FxHashMap<String, Bytes>>),
+    Memory(RankedMutex<FxHashMap<String, Bytes>>),
     Disk(PathBuf),
 }
 
@@ -175,7 +175,10 @@ impl CheckpointStore {
     /// An in-memory store.
     pub fn memory() -> Self {
         CheckpointStore {
-            backend: StoreBackend::Memory(Mutex::new(FxHashMap::default())),
+            backend: StoreBackend::Memory(RankedMutex::new(
+                LockRank::CheckpointStore,
+                FxHashMap::default(),
+            )),
         }
     }
 

@@ -26,7 +26,7 @@ use crate::fault::{FaultInjector, FaultSpec, TaskFault};
 use crate::metrics::Metrics;
 use crate::trace::{RecoveryEvent, RecoveryKind, StageKind, StageSpan, TraceSink};
 use crossbeam::channel::{unbounded, Sender};
-use parking_lot::Mutex;
+use rasql_storage::sync::{LockRank, RankedMutex};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
@@ -149,7 +149,7 @@ pub struct Cluster {
     config: ClusterConfig,
     stage_seq: AtomicU64,
     injector: Option<FaultInjector>,
-    health: Mutex<WorkerHealth>,
+    health: RankedMutex<WorkerHealth>,
 }
 
 impl Cluster {
@@ -168,6 +168,7 @@ impl Cluster {
                             job(w);
                         }
                     })
+                    // lint: allow(RL0002, OS thread spawn at pool construction; resource exhaustion here has no recovery path)
                     .expect("spawn worker"),
             );
         }
@@ -175,10 +176,13 @@ impl Cluster {
             .fault_spec
             .filter(FaultSpec::is_active)
             .map(FaultInjector::new);
-        let health = Mutex::new(WorkerHealth {
-            failures: vec![0; config.workers],
-            blacklisted: vec![false; config.workers],
-        });
+        let health = RankedMutex::new(
+            LockRank::ClusterHealth,
+            WorkerHealth {
+                failures: vec![0; config.workers],
+                blacklisted: vec![false; config.workers],
+            },
+        );
         Cluster {
             senders,
             handles,
@@ -259,6 +263,7 @@ impl Cluster {
         let n = tasks.len();
         let t_start = Instant::now();
         if !self.config.stage_latency.is_zero() {
+            // lint: allow(RL0004, simulated per-stage scheduling latency is the point of the knob)
             std::thread::sleep(self.config.stage_latency);
         }
         Metrics::add(&self.metrics.stages, 1);
@@ -277,7 +282,7 @@ impl Cluster {
                 (task.preferred_worker + 1 + seq as usize) % self.config.workers
             };
             prefs.push(task.preferred_worker);
-            self.dispatch(worker, i, seq, 1, task.run, &done_tx);
+            self.dispatch(worker, i, seq, 1, task.run, &done_tx)?;
         }
 
         let t_dispatched = Instant::now();
@@ -370,10 +375,11 @@ impl Cluster {
                         .retry_backoff
                         .saturating_mul(1u32 << (prior - 1).min(10));
                     if !backoff.is_zero() {
+                        // lint: allow(RL0004, bounded retry backoff between task attempts)
                         std::thread::sleep(backoff.min(Duration::from_millis(100)));
                     }
                     let target = self.retry_worker(prefs[i], attempts[i]);
-                    self.dispatch(target, i, seq, attempts[i], body, &done_tx);
+                    self.dispatch(target, i, seq, attempts[i], body, &done_tx)?;
                 }
             }
         }
@@ -419,7 +425,7 @@ impl Cluster {
         attempt: u32,
         body: TaskBody<R>,
         done_tx: &Sender<(usize, TaskOutcome<R>)>,
-    ) {
+    ) -> Result<(), ExecError> {
         let fault = self
             .injector
             .as_ref()
@@ -436,6 +442,7 @@ impl Cluster {
                     },
                     TaskFault::None | TaskFault::Delay(_) => {
                         if let TaskFault::Delay(d) = fault {
+                            // lint: allow(RL0004, injected Delay fault IS a sleep by definition)
                             std::thread::sleep(d);
                         }
                         match std::panic::catch_unwind(std::panic::AssertUnwindSafe(move || {
@@ -451,7 +458,7 @@ impl Cluster {
                 };
                 let _ = tx.send((i, outcome));
             }))
-            .expect("worker alive");
+            .map_err(|_| ExecError::WorkerUnavailable { task: i, worker })
     }
 
     /// Record an injected failure on `worker`; true if this crossed the

@@ -62,6 +62,16 @@ pub enum ExecError {
         /// What the spill layer was doing when the I/O failed.
         detail: String,
     },
+    /// A worker's job channel was closed while the pool was still
+    /// dispatching — the worker thread is gone. Workers only exit when
+    /// their sender drops, so this is a pool-teardown race surfaced as a
+    /// typed error instead of a driver panic.
+    WorkerUnavailable {
+        /// Task index that could not be dispatched.
+        task: usize,
+        /// The worker whose channel was closed.
+        worker: usize,
+    },
     /// The admission queue was full and the query was rejected.
     AdmissionRejected {
         /// Queries currently running.
@@ -110,6 +120,10 @@ impl fmt::Display for ExecError {
                  a {requested} B allocation cannot fit in {budget} B even after spilling"
             ),
             ExecError::SpillIo { detail } => write!(f, "spill I/O failed: {detail}"),
+            ExecError::WorkerUnavailable { task, worker } => write!(
+                f,
+                "cannot dispatch task {task}: worker {worker}'s job channel is closed"
+            ),
             ExecError::AdmissionRejected { running, waiting } => write!(
                 f,
                 "admission queue full ({running} running, {waiting} waiting); query rejected"

@@ -31,7 +31,7 @@ use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-use parking_lot::Mutex;
+use rasql_storage::sync::{LockRank, RankedCondvarMutex, RankedMutex};
 
 use crate::error::ExecError;
 use crate::spill::SpillDir;
@@ -248,7 +248,7 @@ pub struct QueryGovernor {
     tracker: MemoryTracker,
     token: CancellationToken,
     spill_root: PathBuf,
-    spill: Mutex<Option<Arc<SpillDir>>>,
+    spill: RankedMutex<Option<Arc<SpillDir>>>,
     spilled_bytes: AtomicU64,
     spill_files: AtomicU64,
 }
@@ -288,7 +288,7 @@ impl QueryGovernor {
             tracker: MemoryTracker::new(memory_budget),
             token,
             spill_root: spill_root.to_path_buf(),
-            spill: Mutex::new(None),
+            spill: RankedMutex::new(LockRank::GovernorSpill, None),
             spilled_bytes: AtomicU64::new(0),
             spill_files: AtomicU64::new(0),
         }
@@ -373,19 +373,14 @@ struct AdmissionState {
 /// frees; any beyond that are rejected with
 /// [`ExecError::AdmissionRejected`].
 ///
-/// Uses `std::sync` primitives (the `parking_lot` shim has no condvar);
-/// poisoning is deliberately ignored — a panicking query must not wedge
-/// admission for every query after it.
+/// The counters live behind a [`RankedCondvarMutex`] (the `parking_lot`
+/// shim has no condvar); poisoning is deliberately ignored — a panicking
+/// query must not wedge admission for every query after it.
 #[derive(Debug)]
 pub struct AdmissionController {
     max_concurrent: usize,
     max_queue: usize,
-    state: std::sync::Mutex<AdmissionState>,
-    cond: std::sync::Condvar,
-}
-
-fn lock_state(m: &std::sync::Mutex<AdmissionState>) -> std::sync::MutexGuard<'_, AdmissionState> {
-    m.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+    state: RankedCondvarMutex<AdmissionState>,
 }
 
 impl AdmissionController {
@@ -396,8 +391,7 @@ impl AdmissionController {
         AdmissionController {
             max_concurrent,
             max_queue,
-            state: std::sync::Mutex::new(AdmissionState::default()),
-            cond: std::sync::Condvar::new(),
+            state: RankedCondvarMutex::new(LockRank::AdmissionState, AdmissionState::default()),
         }
     }
 
@@ -413,7 +407,7 @@ impl AdmissionController {
                 admitted: true,
             });
         }
-        let mut state = lock_state(&self.state);
+        let mut state = self.state.lock();
         if state.running < self.max_concurrent {
             state.running += 1;
             return Ok(AdmissionPermit {
@@ -429,10 +423,7 @@ impl AdmissionController {
         }
         state.waiting += 1;
         while state.running >= self.max_concurrent {
-            state = self
-                .cond
-                .wait(state)
-                .unwrap_or_else(std::sync::PoisonError::into_inner);
+            state = self.state.wait(state);
         }
         state.waiting -= 1;
         state.running += 1;
@@ -445,20 +436,20 @@ impl AdmissionController {
     /// Queries currently holding a slot.
     #[must_use]
     pub fn running(&self) -> usize {
-        lock_state(&self.state).running
+        self.state.lock().running
     }
 
     /// Queries currently blocked waiting for a slot.
     #[must_use]
     pub fn waiting(&self) -> usize {
-        lock_state(&self.state).waiting
+        self.state.lock().waiting
     }
 
     fn release(&self) {
-        let mut state = lock_state(&self.state);
+        let mut state = self.state.lock();
         state.running = state.running.saturating_sub(1);
         drop(state);
-        self.cond.notify_one();
+        self.state.notify_one();
     }
 }
 

@@ -43,10 +43,17 @@ pub mod governor;
 pub mod join;
 pub mod kernel;
 pub mod metrics;
+pub mod modelcheck;
 pub mod pipeline;
 pub mod spill;
 pub mod state;
 pub mod trace;
+
+/// Rank-checked lock wrappers (re-export of [`rasql_storage::sync`], which
+/// defines the engine's single global lock-rank table).
+pub mod sync {
+    pub use rasql_storage::sync::*;
+}
 
 pub use broadcast::Broadcast;
 pub use checkpoint::{

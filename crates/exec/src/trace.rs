@@ -11,7 +11,7 @@
 //! with [`QueryTrace::from_json`]).
 
 use crate::metrics::MetricsSnapshot;
-use parking_lot::Mutex;
+use rasql_storage::sync::{LockRank, RankedMutex};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::time::Duration;
 
@@ -518,16 +518,24 @@ struct TraceData {
 ///
 /// All recording methods take `&self`; the sink is internally synchronized so
 /// stages recorded from helper code paths need no coordination.
-#[derive(Default)]
 pub struct TraceSink {
     ops_enabled: AtomicBool,
-    inner: Mutex<TraceData>,
+    inner: RankedMutex<TraceData>,
+}
+
+impl Default for TraceSink {
+    fn default() -> Self {
+        Self::new()
+    }
 }
 
 impl TraceSink {
     /// A fresh sink.
     pub fn new() -> Self {
-        TraceSink::default()
+        TraceSink {
+            ops_enabled: AtomicBool::new(false),
+            inner: RankedMutex::new(LockRank::TraceSink, TraceData::default()),
+        }
     }
 
     /// Gate operator recording (enabled only around the final plan, so base

@@ -1,0 +1,391 @@
+//! A token-level Rust lexer, in the style of the SQL lexer in
+//! `rasql-parser`: hand-rolled, span-preserving, and deliberately shallow —
+//! it distinguishes identifiers, punctuation, literals, and comments well
+//! enough to scan for forbidden constructs, without attempting to parse
+//! Rust (the build environment has no `syn`, and the lint rules don't need
+//! one).
+//!
+//! The hard part of scanning Rust text is not the grammar but the literals:
+//! a `Mutex::new` inside a string or a doc comment is not a finding. The
+//! lexer therefore gets exactly these right:
+//!
+//! * line comments and nested block comments;
+//! * string literals with escapes, raw strings with `#` fences (`r#"…"#`),
+//!   and their byte/C variants (`b"…"`, `br#"…"#`, `c"…"`);
+//! * character literals vs. lifetimes (`'a'` vs. `'a`);
+//! * numbers, loosely (digits plus suffix letters; `0..n` stays three
+//!   tokens).
+//!
+//! Everything else is an identifier or a single-character punctuation
+//! token. All tokens carry byte-offset spans into the original source.
+
+/// What a token is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokenKind {
+    /// An identifier or keyword (the lexer does not distinguish).
+    Ident,
+    /// A single punctuation character.
+    Punct,
+    /// A `// …` comment, content up to (not including) the newline.
+    LineComment,
+    /// A `/* … */` comment, nesting handled.
+    BlockComment,
+    /// A string literal of any flavor (escaped, raw, byte, C).
+    Str,
+    /// A character literal (`'a'`, `'\n'`).
+    Char,
+    /// A lifetime (`'a`) — or a loose `'` that introduces neither.
+    Lifetime,
+    /// A numeric literal, suffix included.
+    Number,
+}
+
+/// One token with its byte span.
+#[derive(Debug, Clone, Copy)]
+pub struct Token<'a> {
+    /// The token class.
+    pub kind: TokenKind,
+    /// The source slice, comment/quote delimiters included.
+    pub text: &'a str,
+    /// Byte offset of the first character.
+    pub start: u32,
+    /// Byte offset one past the last character.
+    pub end: u32,
+}
+
+impl Token<'_> {
+    /// True for an identifier token spelling exactly `word`.
+    pub fn is_ident(&self, word: &str) -> bool {
+        self.kind == TokenKind::Ident && self.text == word
+    }
+
+    /// True for a punctuation token spelling exactly `ch`.
+    pub fn is_punct(&self, ch: char) -> bool {
+        self.kind == TokenKind::Punct && self.text.starts_with(ch)
+    }
+}
+
+/// Tokenize `src`. Whitespace is dropped; everything else (comments
+/// included) is kept, so rules can both scan code and read `// lint:`
+/// annotations from one stream.
+pub fn lex(src: &str) -> Vec<Token<'_>> {
+    let bytes = src.as_bytes();
+    let mut tokens = Vec::new();
+    let mut i = 0usize;
+    while i < bytes.len() {
+        let b = bytes[i];
+        // Whitespace.
+        if b.is_ascii_whitespace() {
+            i += 1;
+            continue;
+        }
+        let start = i;
+        // Comments.
+        if b == b'/' && i + 1 < bytes.len() {
+            match bytes[i + 1] {
+                b'/' => {
+                    while i < bytes.len() && bytes[i] != b'\n' {
+                        i += 1;
+                    }
+                    push(&mut tokens, src, TokenKind::LineComment, start, i);
+                    continue;
+                }
+                b'*' => {
+                    i += 2;
+                    let mut depth = 1;
+                    while i < bytes.len() && depth > 0 {
+                        if bytes[i] == b'/' && i + 1 < bytes.len() && bytes[i + 1] == b'*' {
+                            depth += 1;
+                            i += 2;
+                        } else if bytes[i] == b'*' && i + 1 < bytes.len() && bytes[i + 1] == b'/' {
+                            depth -= 1;
+                            i += 2;
+                        } else {
+                            i += 1;
+                        }
+                    }
+                    push(&mut tokens, src, TokenKind::BlockComment, start, i);
+                    continue;
+                }
+                _ => {}
+            }
+        }
+        // Raw strings and byte/C-string prefixes: r"…", r#"…"#, b"…",
+        // br#"…"#, c"…" — an identifier-looking prefix immediately followed
+        // by a quote or `#` fence.
+        if matches!(b, b'r' | b'b' | b'c') {
+            if let Some(end) = try_prefixed_string(bytes, i) {
+                i = end;
+                push(&mut tokens, src, TokenKind::Str, start, i);
+                continue;
+            }
+        }
+        // Plain strings.
+        if b == b'"' {
+            i = skip_escaped_string(bytes, i + 1, b'"');
+            push(&mut tokens, src, TokenKind::Str, start, i);
+            continue;
+        }
+        // Char literal vs. lifetime.
+        if b == b'\'' {
+            let (kind, end) = char_or_lifetime(bytes, i);
+            i = end;
+            push(&mut tokens, src, kind, start, i);
+            continue;
+        }
+        // Identifiers (ASCII start; non-ASCII identifiers don't occur in
+        // this workspace and would lex as punctuation, which is harmless).
+        if b.is_ascii_alphabetic() || b == b'_' {
+            i += 1;
+            while i < bytes.len() && (bytes[i].is_ascii_alphanumeric() || bytes[i] == b'_') {
+                i += 1;
+            }
+            push(&mut tokens, src, TokenKind::Ident, start, i);
+            continue;
+        }
+        // Numbers: digits, then suffix letters/underscores/digits; a dot
+        // joins only when followed by a digit (so `0..n` stays `0 . . n`).
+        if b.is_ascii_digit() {
+            i += 1;
+            while i < bytes.len() {
+                let c = bytes[i];
+                if c.is_ascii_alphanumeric() || c == b'_' {
+                    i += 1;
+                } else if c == b'.' && i + 1 < bytes.len() && bytes[i + 1].is_ascii_digit() {
+                    i += 2;
+                } else {
+                    break;
+                }
+            }
+            push(&mut tokens, src, TokenKind::Number, start, i);
+            continue;
+        }
+        // Everything else: one punctuation character (multi-byte UTF-8
+        // sequences advance as one opaque token).
+        let ch_len = utf8_len(b);
+        i += ch_len;
+        push(&mut tokens, src, TokenKind::Punct, start, i);
+    }
+    tokens
+}
+
+fn push<'a>(tokens: &mut Vec<Token<'a>>, src: &'a str, kind: TokenKind, start: usize, end: usize) {
+    tokens.push(Token {
+        kind,
+        text: &src[start..end],
+        start: start as u32,
+        end: end as u32,
+    });
+}
+
+fn utf8_len(b: u8) -> usize {
+    if b < 0x80 {
+        1
+    } else if b >= 0xF0 {
+        4
+    } else if b >= 0xE0 {
+        3
+    } else {
+        2
+    }
+}
+
+/// Past-the-end of a `"…"`-style body starting *inside* the quotes, honoring
+/// backslash escapes; returns one past the closing quote.
+fn skip_escaped_string(bytes: &[u8], mut i: usize, quote: u8) -> usize {
+    while i < bytes.len() {
+        match bytes[i] {
+            b'\\' => i += 2,
+            c if c == quote => return i + 1,
+            _ => i += 1,
+        }
+    }
+    i
+}
+
+/// Try to lex a prefixed string (`r`, `rb`, `br`, `b`, `c` prefixes, with
+/// optional `#` fences for the raw flavors) starting at `i`. Returns the
+/// past-the-end offset, or `None` when this is an ordinary identifier.
+fn try_prefixed_string(bytes: &[u8], i: usize) -> Option<usize> {
+    let mut j = i;
+    let mut raw = false;
+    // Up to two prefix letters (`br`, `rb`, plus lone `r`/`b`/`c`).
+    for _ in 0..2 {
+        match bytes.get(j) {
+            Some(b'r') => {
+                raw = true;
+                j += 1;
+            }
+            Some(b'b' | b'c') => j += 1,
+            _ => break,
+        }
+    }
+    if raw {
+        // Count the `#` fence.
+        let mut hashes = 0;
+        while bytes.get(j) == Some(&b'#') {
+            hashes += 1;
+            j += 1;
+        }
+        if bytes.get(j) != Some(&b'"') {
+            return None;
+        }
+        j += 1;
+        // Scan for `"` followed by `hashes` `#`s; no escapes in raw strings.
+        while j < bytes.len() {
+            if bytes[j] == b'"' {
+                let mut k = j + 1;
+                let mut seen = 0;
+                while seen < hashes && bytes.get(k) == Some(&b'#') {
+                    seen += 1;
+                    k += 1;
+                }
+                if seen == hashes {
+                    return Some(k);
+                }
+            }
+            j += 1;
+        }
+        Some(j)
+    } else {
+        // Non-raw prefixed string: next char must open the quote.
+        if bytes.get(j) != Some(&b'"') {
+            return None;
+        }
+        Some(skip_escaped_string(bytes, j + 1, b'"'))
+    }
+}
+
+/// Disambiguate `'a'` (char) from `'a` (lifetime) at a `'`; returns the
+/// token kind and past-the-end offset.
+fn char_or_lifetime(bytes: &[u8], i: usize) -> (TokenKind, usize) {
+    // Escaped char: '\n', '\'', '\u{…}'.
+    if bytes.get(i + 1) == Some(&b'\\') {
+        return (TokenKind::Char, skip_escaped_string(bytes, i + 2, b'\''));
+    }
+    // A label/lifetime: identifier chars after the quote with no closing
+    // quote right after the first char cluster.
+    if let Some(&c) = bytes.get(i + 1) {
+        if c.is_ascii_alphabetic() || c == b'_' {
+            let mut j = i + 2;
+            while j < bytes.len() && (bytes[j].is_ascii_alphanumeric() || bytes[j] == b'_') {
+                j += 1;
+            }
+            if bytes.get(j) == Some(&b'\'') {
+                return (TokenKind::Char, j + 1); // 'a'
+            }
+            return (TokenKind::Lifetime, j); // 'a (lifetime)
+        }
+        // Any other single char: 'x' where x is punctuation/digit.
+        let len = utf8_len(c);
+        if bytes.get(i + 1 + len) == Some(&b'\'') {
+            return (TokenKind::Char, i + 2 + len);
+        }
+    }
+    (TokenKind::Lifetime, i + 1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<(TokenKind, &str)> {
+        lex(src).into_iter().map(|t| (t.kind, t.text)).collect()
+    }
+
+    #[test]
+    fn idents_puncts_numbers() {
+        let toks = kinds("let x = foo::bar(1, 0..10);");
+        assert!(toks.contains(&(TokenKind::Ident, "foo")));
+        assert!(toks.contains(&(TokenKind::Punct, ":")));
+        assert!(toks.contains(&(TokenKind::Number, "10")));
+        // `0..10` does not swallow the dots.
+        let dots = toks.iter().filter(|(_, t)| *t == ".").count();
+        assert_eq!(dots, 2);
+    }
+
+    #[test]
+    fn strings_hide_their_content() {
+        let toks = kinds(r#"call("Mutex::new inside a string \" still one token")"#);
+        assert_eq!(toks.iter().filter(|(k, _)| *k == TokenKind::Str).count(), 1);
+        assert!(!toks
+            .iter()
+            .any(|(k, t)| *k == TokenKind::Ident && *t == "Mutex"));
+    }
+
+    #[test]
+    fn raw_strings_with_fences() {
+        let src = r###"let s = r#"Mutex::new " unfenced quote"# ; done"###;
+        let toks = kinds(src);
+        assert!(toks.iter().any(|(k, _)| *k == TokenKind::Str));
+        assert!(toks
+            .iter()
+            .any(|(k, t)| *k == TokenKind::Ident && *t == "done"));
+        assert!(!toks
+            .iter()
+            .any(|(k, t)| *k == TokenKind::Ident && *t == "Mutex"));
+    }
+
+    #[test]
+    fn byte_strings_and_plain_b_ident() {
+        let toks = kinds(r#"b"bytes" br"raw" b r 1"#);
+        assert_eq!(toks.iter().filter(|(k, _)| *k == TokenKind::Str).count(), 2);
+        // Lone `b` and `r` stay identifiers.
+        assert!(toks
+            .iter()
+            .any(|(k, t)| *k == TokenKind::Ident && *t == "b"));
+        assert!(toks
+            .iter()
+            .any(|(k, t)| *k == TokenKind::Ident && *t == "r"));
+    }
+
+    #[test]
+    fn chars_vs_lifetimes() {
+        let toks = kinds(r"fn f<'a>(x: &'a str) { let c = 'x'; let n = '\n'; }");
+        assert_eq!(
+            toks.iter()
+                .filter(|(k, _)| *k == TokenKind::Lifetime)
+                .count(),
+            2
+        );
+        assert_eq!(
+            toks.iter().filter(|(k, _)| *k == TokenKind::Char).count(),
+            2
+        );
+    }
+
+    #[test]
+    fn nested_block_comments() {
+        let toks = kinds("before /* outer /* inner */ still outer */ after");
+        assert_eq!(
+            toks.iter()
+                .filter(|(k, _)| *k == TokenKind::BlockComment)
+                .count(),
+            1
+        );
+        assert!(toks
+            .iter()
+            .any(|(k, t)| *k == TokenKind::Ident && *t == "after"));
+    }
+
+    #[test]
+    fn line_comments_end_at_newline() {
+        let toks = kinds("x // comment with Mutex::new\ny");
+        assert!(toks.iter().any(|(k, _)| *k == TokenKind::LineComment));
+        assert!(toks
+            .iter()
+            .any(|(k, t)| *k == TokenKind::Ident && *t == "y"));
+        assert!(!toks
+            .iter()
+            .any(|(k, t)| *k == TokenKind::Ident && *t == "Mutex"));
+    }
+
+    #[test]
+    fn spans_are_byte_accurate() {
+        let src = "ab  cd";
+        let toks = lex(src);
+        assert_eq!((toks[0].start, toks[0].end), (0, 2));
+        assert_eq!((toks[1].start, toks[1].end), (4, 6));
+        assert_eq!(&src[toks[1].start as usize..toks[1].end as usize], "cd");
+    }
+}

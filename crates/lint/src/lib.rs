@@ -1,0 +1,794 @@
+//! Engine-level source linter for the RaSQL workspace.
+//!
+//! `rasql-lint` scans the workspace's own Rust sources (`crates/*/src`) for
+//! violations of the engine's concurrency and hot-path disciplines, and
+//! reports them as spanned, `rustc`-style diagnostics with stable `RL####`
+//! codes — the source-level sibling of the `RA####` query-diagnostic
+//! namespace in `rasql-plan::diag`. It is driven by a hand-rolled
+//! token-level lexer ([`lexer`]); there is no `syn` in the build
+//! environment, and none of the rules need a full parse.
+//!
+//! The code space:
+//!
+//! | code | rule |
+//! |---|---|
+//! | `RL0001` | raw `Mutex`/`RwLock`/`Condvar` constructed outside `storage::sync` — every lock must carry a [`LockRank`](https://docs.rs) via the ranked wrappers |
+//! | `RL0002` | `unwrap()`/`expect()`/`panic!` in a hot-path module (`exec::{pipeline,kernel,cluster,join,state}`, `core::fixpoint`) without an allow annotation |
+//! | `RL0003` | `fresh_version()` called in `storage::catalog` outside a `tables` write-lock scope |
+//! | `RL0004` | `std::thread::sleep` in non-test `server`/`exec` code |
+//!
+//! A finding is suppressed — and counted as suppressed, not silently
+//! dropped — by a justification comment on the same line or the line
+//! above:
+//!
+//! ```text
+//! // lint: allow(RL0004, bounded retry backoff; capped at 3 attempts)
+//! std::thread::sleep(delay);
+//! ```
+//!
+//! The reason is mandatory: an `allow` without one does not suppress.
+//! Code inside `#[cfg(test)]` modules is out of scope for every rule, as
+//! are string literals and comments (the lexer sees through both).
+//!
+//! Entry points: [`lint_file`] for one source text under a virtual path
+//! (what the golden-fixture tests use), [`lint_workspace`] to walk
+//! `crates/*/src` from a repo root (what `reproduce lint-src` and the
+//! tier-1 gate use).
+
+pub mod lexer;
+
+use lexer::{lex, Token, TokenKind};
+use rasql_parser::Span;
+use rasql_plan::Severity;
+use std::collections::HashMap;
+use std::fmt;
+use std::path::Path;
+
+/// Stable lint codes. The `RL` prefix keeps the namespace disjoint from the
+/// query verifier's `RA####` codes: `RA` diagnostics are about the user's
+/// SQL, `RL` diagnostics are about the engine's own source.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum LintCode {
+    /// `RL0001`: a raw `Mutex`/`RwLock`/`Condvar` constructed outside
+    /// `crates/storage/src/sync.rs`. All engine locks must be
+    /// `RankedMutex`/`RankedRwLock`/`RankedCondvarMutex` so the lock-rank
+    /// checker can see them.
+    RawLockConstruction,
+    /// `RL0002`: `unwrap()`, `expect()`, or `panic!` in a hot-path module.
+    /// Hot paths return typed `ExecError`s; a justified panic needs an
+    /// allow annotation.
+    HotPathPanic,
+    /// `RL0003`: `fresh_version()` called in `storage::catalog` from a
+    /// function that never takes the `tables` write lock — the version
+    /// counter is only meaningful inside a tables-lock scope.
+    UnscopedVersionRead,
+    /// `RL0004`: `std::thread::sleep` in non-test `server`/`exec` code.
+    /// Blocking waits go through `RankedCondvarMutex::wait`.
+    SleepInServerPath,
+}
+
+impl LintCode {
+    /// The stable `RL####` code string.
+    pub fn code(&self) -> &'static str {
+        match self {
+            LintCode::RawLockConstruction => "RL0001",
+            LintCode::HotPathPanic => "RL0002",
+            LintCode::UnscopedVersionRead => "RL0003",
+            LintCode::SleepInServerPath => "RL0004",
+        }
+    }
+
+    /// The severity this code carries. Every discipline rule is an error:
+    /// the workspace gates on a clean run, so there is no warning tier.
+    pub fn severity(&self) -> Severity {
+        Severity::Error
+    }
+
+    /// All codes, for `--explain`-style listings.
+    pub fn all() -> [LintCode; 4] {
+        [
+            LintCode::RawLockConstruction,
+            LintCode::HotPathPanic,
+            LintCode::UnscopedVersionRead,
+            LintCode::SleepInServerPath,
+        ]
+    }
+
+    /// One-line rule description.
+    pub fn summary(&self) -> &'static str {
+        match self {
+            LintCode::RawLockConstruction => {
+                "raw Mutex/RwLock/Condvar constructed outside storage::sync"
+            }
+            LintCode::HotPathPanic => {
+                "unwrap()/expect()/panic! in a hot-path module without an allow annotation"
+            }
+            LintCode::UnscopedVersionRead => {
+                "catalog fresh_version() outside a tables write-lock scope"
+            }
+            LintCode::SleepInServerPath => "thread::sleep in non-test server/exec code",
+        }
+    }
+}
+
+impl fmt::Display for LintCode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.code())
+    }
+}
+
+/// One lint finding, anchored to a workspace source file. Mirrors
+/// `rasql_plan::Diagnostic`, plus the path (the verifier's diagnostics are
+/// all about one SQL string; the linter's are spread across a tree).
+#[derive(Debug, Clone, PartialEq)]
+pub struct LintDiagnostic {
+    /// Stable code.
+    pub code: LintCode,
+    /// Severity (always the code's severity).
+    pub severity: Severity,
+    /// Workspace-relative path, forward slashes (`crates/exec/src/...`).
+    pub path: String,
+    /// Byte-offset span into the file's source.
+    pub span: Span,
+    /// Human-readable description of the finding.
+    pub message: String,
+    /// Optional guidance on how to address it.
+    pub help: Option<String>,
+}
+
+impl LintDiagnostic {
+    /// A diagnostic with the code's severity and no help text.
+    pub fn new(
+        code: LintCode,
+        path: impl Into<String>,
+        span: Span,
+        message: impl Into<String>,
+    ) -> Self {
+        LintDiagnostic {
+            code,
+            severity: code.severity(),
+            path: path.into(),
+            span,
+            message: message.into(),
+            help: None,
+        }
+    }
+
+    /// Attach help text.
+    pub fn with_help(mut self, help: impl Into<String>) -> Self {
+        self.help = Some(help.into());
+        self
+    }
+
+    /// Render against the file's source: a `rustc`-style snippet with the
+    /// span underlined, same shape as `rasql_plan::Diagnostic::render`.
+    pub fn render(&self, source: &str) -> String {
+        let mut out = format!("{}[{}]: {}\n", self.severity, self.code, self.message);
+        if !self.span.is_synthetic() && (self.span.end as usize) <= source.len() {
+            let (line, col) = self.span.line_col(source);
+            out.push_str(&format!(
+                "  --> {}:{line}:{col} ({})\n",
+                self.path, self.span
+            ));
+            out.push_str(&render_snippet(source, self.span, line, col));
+        } else {
+            out.push_str(&format!("  --> {}\n", self.path));
+        }
+        if let Some(h) = &self.help {
+            out.push_str(&format!("  = help: {h}\n"));
+        }
+        out
+    }
+}
+
+impl fmt::Display for LintDiagnostic {
+    /// Compact rendering: `error[RL0001] crates/x/src/y.rs at bytes 12..34: msg`.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}[{}] {}", self.severity, self.code, self.path)?;
+        if !self.span.is_synthetic() {
+            write!(f, " at {}", self.span)?;
+        }
+        write!(f, ": {}", self.message)
+    }
+}
+
+/// Same caret-snippet shape as `rasql_plan::diag::render_snippet`.
+fn render_snippet(source: &str, span: Span, line: u32, col: u32) -> String {
+    let start = span.start as usize;
+    let line_start = source[..start].rfind('\n').map(|p| p + 1).unwrap_or(0);
+    let line_end = source[start..]
+        .find('\n')
+        .map(|p| start + p)
+        .unwrap_or(source.len());
+    let text = &source[line_start..line_end];
+    let underline_len = ((span.end as usize).min(line_end) - start).max(1);
+    let gutter = format!("{line}");
+    let pad = " ".repeat(gutter.len());
+    format!(
+        "{pad} |\n{gutter} | {text}\n{pad} | {}{}\n",
+        " ".repeat(col.saturating_sub(1) as usize),
+        "^".repeat(underline_len),
+    )
+}
+
+/// Result of linting a set of files.
+#[derive(Debug, Default)]
+pub struct LintReport {
+    /// All findings, in (path, byte-offset) order.
+    pub diagnostics: Vec<LintDiagnostic>,
+    /// Number of `.rs` files scanned.
+    pub files_scanned: usize,
+    /// Findings suppressed by `// lint: allow(...)` annotations.
+    pub suppressed: usize,
+}
+
+impl LintReport {
+    /// True when no diagnostics survived suppression.
+    pub fn is_clean(&self) -> bool {
+        self.diagnostics.is_empty()
+    }
+}
+
+// ----------------------------------------------------------------
+// Shared scanning machinery
+// ----------------------------------------------------------------
+
+/// Hot-path modules covered by RL0002.
+const HOT_PATHS: &[&str] = &[
+    "crates/exec/src/pipeline.rs",
+    "crates/exec/src/kernel.rs",
+    "crates/exec/src/cluster.rs",
+    "crates/exec/src/join.rs",
+    "crates/exec/src/state.rs",
+    "crates/core/src/fixpoint.rs",
+];
+
+/// The one file allowed to construct raw lock primitives.
+const SYNC_MODULE: &str = "crates/storage/src/sync.rs";
+
+/// The file RL0003 applies to.
+const CATALOG_MODULE: &str = "crates/storage/src/catalog.rs";
+
+/// Byte offsets of every line start, for offset → line mapping.
+fn line_starts(src: &str) -> Vec<u32> {
+    let mut starts = vec![0u32];
+    for (i, b) in src.bytes().enumerate() {
+        if b == b'\n' {
+            starts.push(i as u32 + 1);
+        }
+    }
+    starts
+}
+
+/// 1-based line number of a byte offset.
+fn line_of(starts: &[u32], offset: u32) -> u32 {
+    match starts.binary_search(&offset) {
+        Ok(i) => i as u32 + 1,
+        Err(i) => i as u32,
+    }
+}
+
+/// `// lint: allow(RL####, reason)` annotations, keyed by the 1-based line
+/// the comment sits on. An annotation covers its own line and the next one.
+/// The reason is mandatory — `allow(RL0002)` bare, or with an empty reason,
+/// suppresses nothing.
+fn collect_allows(tokens: &[Token<'_>], starts: &[u32]) -> HashMap<u32, Vec<String>> {
+    let mut allows: HashMap<u32, Vec<String>> = HashMap::new();
+    for t in tokens {
+        if t.kind != TokenKind::LineComment {
+            continue;
+        }
+        let body = t.text.trim_start_matches('/').trim();
+        let Some(rest) = body.strip_prefix("lint:") else {
+            continue;
+        };
+        let rest = rest.trim();
+        let Some(args) = rest.strip_prefix("allow(") else {
+            continue;
+        };
+        let Some(close) = args.rfind(')') else {
+            continue;
+        };
+        let args = &args[..close];
+        let Some((code, reason)) = args.split_once(',') else {
+            continue; // no reason → not a valid suppression
+        };
+        let code = code.trim();
+        if reason.trim().is_empty() || !code.starts_with("RL") {
+            continue;
+        }
+        let line = line_of(starts, t.start);
+        allows.entry(line).or_default().push(code.to_string());
+    }
+    allows
+}
+
+/// Is a finding on `line` covered by an allow for `code`? Annotations apply
+/// to their own line (trailing comment) and the line directly below.
+fn is_allowed(allows: &HashMap<u32, Vec<String>>, line: u32, code: &str) -> bool {
+    let hit = |l: u32| allows.get(&l).is_some_and(|v| v.iter().any(|c| c == code));
+    hit(line) || (line > 1 && hit(line - 1))
+}
+
+/// Byte regions of `#[cfg(test)] mod ... { ... }` blocks; every rule skips
+/// them. Attribute chains between the cfg and the `mod` keyword (e.g. an
+/// added `#[allow(...)]`) are tolerated.
+fn test_mod_regions(tokens: &[Token<'_>]) -> Vec<(u32, u32)> {
+    let code: Vec<&Token<'_>> = tokens
+        .iter()
+        .filter(|t| !matches!(t.kind, TokenKind::LineComment | TokenKind::BlockComment))
+        .collect();
+    let mut regions = Vec::new();
+    let mut i = 0;
+    while i < code.len() {
+        // #[cfg(test)]
+        let is_cfg_test = i + 6 < code.len()
+            && code[i].is_punct('#')
+            && code[i + 1].is_punct('[')
+            && code[i + 2].is_ident("cfg")
+            && code[i + 3].is_punct('(')
+            && code[i + 4].is_ident("test")
+            && code[i + 5].is_punct(')')
+            && code[i + 6].is_punct(']');
+        if !is_cfg_test {
+            i += 1;
+            continue;
+        }
+        // Scan forward over any further attributes to the item keyword.
+        let mut j = i + 7;
+        while j < code.len() && code[j].is_punct('#') {
+            // Skip a balanced #[...] group.
+            let mut depth = 0;
+            j += 1;
+            while j < code.len() {
+                if code[j].is_punct('[') {
+                    depth += 1;
+                } else if code[j].is_punct(']') {
+                    depth -= 1;
+                    if depth == 0 {
+                        j += 1;
+                        break;
+                    }
+                }
+                j += 1;
+            }
+        }
+        if j < code.len() && code[j].is_ident("mod") {
+            // Find the opening brace, then its match.
+            let mut k = j;
+            while k < code.len() && !code[k].is_punct('{') && !code[k].is_punct(';') {
+                k += 1;
+            }
+            if k < code.len() && code[k].is_punct('{') {
+                let start = code[i].start;
+                let mut depth = 0;
+                while k < code.len() {
+                    if code[k].is_punct('{') {
+                        depth += 1;
+                    } else if code[k].is_punct('}') {
+                        depth -= 1;
+                        if depth == 0 {
+                            regions.push((start, code[k].end));
+                            break;
+                        }
+                    }
+                    k += 1;
+                }
+                i = k + 1;
+                continue;
+            }
+        }
+        i = j.max(i + 1);
+    }
+    regions
+}
+
+fn in_regions(regions: &[(u32, u32)], offset: u32) -> bool {
+    regions.iter().any(|&(s, e)| offset >= s && offset < e)
+}
+
+// ----------------------------------------------------------------
+// The rules
+// ----------------------------------------------------------------
+
+struct FileCtx<'a> {
+    path: &'a str,
+    /// Code tokens only — comments stripped, indices contiguous.
+    code: Vec<Token<'a>>,
+    starts: Vec<u32>,
+    allows: HashMap<u32, Vec<String>>,
+    skip: Vec<(u32, u32)>,
+}
+
+impl<'a> FileCtx<'a> {
+    fn new(path: &'a str, src: &'a str) -> Self {
+        let tokens = lex(src);
+        let starts = line_starts(src);
+        let allows = collect_allows(&tokens, &starts);
+        let skip = test_mod_regions(&tokens);
+        let code = tokens
+            .into_iter()
+            .filter(|t| !matches!(t.kind, TokenKind::LineComment | TokenKind::BlockComment))
+            .collect();
+        FileCtx {
+            path,
+            code,
+            starts,
+            allows,
+            skip,
+        }
+    }
+
+    /// Emit a finding unless it is inside a test module or suppressed by an
+    /// allow annotation; returns whether it was suppressed.
+    fn emit(&self, out: &mut Vec<LintDiagnostic>, suppressed: &mut usize, diag: LintDiagnostic) {
+        if in_regions(&self.skip, diag.span.start) {
+            return;
+        }
+        let line = line_of(&self.starts, diag.span.start);
+        if is_allowed(&self.allows, line, diag.code.code()) {
+            *suppressed += 1;
+            return;
+        }
+        out.push(diag);
+    }
+}
+
+/// RL0001: `Mutex::new` / `RwLock::new` / `Condvar::new` anywhere but the
+/// sync module itself. The pattern is the construction site, not the type
+/// mention — `fn f(m: &Mutex<T>)` in a shim-facing signature is fine; only
+/// `Mutex::new(...)` creates an unranked lock.
+fn rule_raw_lock(ctx: &FileCtx<'_>, out: &mut Vec<LintDiagnostic>, suppressed: &mut usize) {
+    if ctx.path.ends_with(SYNC_MODULE) {
+        return;
+    }
+    let code = &ctx.code;
+    for i in 0..code.len().saturating_sub(3) {
+        let t = &code[i];
+        if t.kind != TokenKind::Ident
+            || !matches!(t.text, "Mutex" | "RwLock" | "Condvar")
+            || !(code[i + 1].is_punct(':')
+                && code[i + 2].is_punct(':')
+                && code[i + 3].is_ident("new"))
+        {
+            continue;
+        }
+        // `RankedMutex` lexes as one ident, so no false positive there; but
+        // do not flag the ranked wrappers' fully-qualified paths like
+        // `sync::RankedMutex::new` — those never match (`RankedMutex` ≠
+        // `Mutex`).
+        let span = Span::new(t.start, code[i + 3].end);
+        ctx.emit(
+            out,
+            suppressed,
+            LintDiagnostic::new(
+                LintCode::RawLockConstruction,
+                ctx.path,
+                span,
+                format!(
+                    "raw `{}::new` outside `storage::sync` — this lock has no rank",
+                    t.text
+                ),
+            )
+            .with_help(
+                "use `RankedMutex`/`RankedRwLock`/`RankedCondvarMutex` from `rasql_storage::sync` \
+                 with a rank from the global `LockRank` table",
+            ),
+        );
+    }
+}
+
+/// RL0002: `.unwrap()` / `.expect(` / `panic!` in hot-path modules.
+fn rule_hot_path_panic(ctx: &FileCtx<'_>, out: &mut Vec<LintDiagnostic>, suppressed: &mut usize) {
+    if !HOT_PATHS.iter().any(|p| ctx.path.ends_with(p)) {
+        return;
+    }
+    let code = &ctx.code;
+    for i in 0..code.len() {
+        let t = &code[i];
+        if t.kind != TokenKind::Ident {
+            continue;
+        }
+        let (what, span) = match t.text {
+            "unwrap" | "expect"
+                if i > 0
+                    && code[i - 1].is_punct('.')
+                    && i + 1 < code.len()
+                    && code[i + 1].is_punct('(') =>
+            {
+                (
+                    format!("`.{}()`", t.text),
+                    Span::new(code[i - 1].start, code[i + 1].end),
+                )
+            }
+            "panic" if i + 1 < code.len() && code[i + 1].is_punct('!') => {
+                ("`panic!`".to_string(), Span::new(t.start, code[i + 1].end))
+            }
+            _ => continue,
+        };
+        ctx.emit(
+            out,
+            suppressed,
+            LintDiagnostic::new(
+                LintCode::HotPathPanic,
+                ctx.path,
+                span,
+                format!("{what} in a hot-path module"),
+            )
+            .with_help(
+                "return a typed `ExecError` instead; if the invariant is locally provable, \
+                 annotate with `// lint: allow(RL0002, <why it cannot fire>)`",
+            ),
+        );
+    }
+}
+
+/// RL0003: `.fresh_version(` called from a catalog function whose body never
+/// takes the `tables` write lock. The `fresh_version` definition itself is
+/// exempt (it is the primitive the rule protects).
+fn rule_unscoped_version(ctx: &FileCtx<'_>, out: &mut Vec<LintDiagnostic>, suppressed: &mut usize) {
+    if !ctx.path.ends_with(CATALOG_MODULE) {
+        return;
+    }
+    let code = &ctx.code;
+    // Walk tokens tracking enclosing fn bodies by brace depth.
+    struct Frame {
+        name: String,
+        start: usize,
+        depth: u32,
+    }
+    let mut depth = 0u32;
+    let mut frames: Vec<Frame> = Vec::new();
+    let mut pending: Option<String> = None;
+    for i in 0..code.len() {
+        let t = &code[i];
+        if t.is_ident("fn") {
+            // `fn name(...)` — a following ident is the name; `fn(` is a
+            // function-pointer type and carries no body of interest.
+            pending = code
+                .get(i + 1)
+                .filter(|n| n.kind == TokenKind::Ident)
+                .map(|n| n.text.to_string());
+            continue;
+        }
+        if t.is_punct(';') && depth == frames.last().map_or(0, |f| f.depth) {
+            pending = None; // trait method declaration without a body
+        }
+        if t.is_punct('{') {
+            depth += 1;
+            if let Some(name) = pending.take() {
+                frames.push(Frame {
+                    name,
+                    start: i,
+                    depth,
+                });
+            }
+        } else if t.is_punct('}') {
+            if frames.last().is_some_and(|f| f.depth == depth) {
+                frames.pop();
+            }
+            depth = depth.saturating_sub(1);
+        }
+        // The call pattern: `.fresh_version(`.
+        if t.is_punct('.')
+            && i + 2 < code.len()
+            && code[i + 1].is_ident("fresh_version")
+            && code[i + 2].is_punct('(')
+        {
+            let Some(frame) = frames.last() else { continue };
+            if frame.name == "fresh_version" {
+                continue;
+            }
+            // Look for `tables . write` earlier in this body.
+            let scoped = (frame.start..i).any(|j| {
+                code[j].is_ident("tables")
+                    && code.get(j + 1).is_some_and(|t| t.is_punct('.'))
+                    && code.get(j + 2).is_some_and(|t| t.is_ident("write"))
+            });
+            if scoped {
+                continue;
+            }
+            let span = Span::new(code[i + 1].start, code[i + 1].end);
+            ctx.emit(
+                out,
+                suppressed,
+                LintDiagnostic::new(
+                    LintCode::UnscopedVersionRead,
+                    ctx.path,
+                    span,
+                    format!(
+                        "`fresh_version()` in `{}` outside a `tables` write-lock scope",
+                        frame.name
+                    ),
+                )
+                .with_help(
+                    "take `self.tables.write()` before minting a version — the counter is only \
+                     meaningful while the tables lock serializes publication",
+                ),
+            );
+        }
+    }
+}
+
+/// RL0004: `thread::sleep` in non-test server/exec code.
+fn rule_sleep(ctx: &FileCtx<'_>, out: &mut Vec<LintDiagnostic>, suppressed: &mut usize) {
+    let covered = ctx.path.contains("crates/server/src") || ctx.path.contains("crates/exec/src");
+    if !covered {
+        return;
+    }
+    let code = &ctx.code;
+    for i in 0..code.len().saturating_sub(3) {
+        let t = &code[i];
+        if !(t.is_ident("thread")
+            && code[i + 1].is_punct(':')
+            && code[i + 2].is_punct(':')
+            && code[i + 3].is_ident("sleep"))
+        {
+            continue;
+        }
+        let span = Span::new(t.start, code[i + 3].end);
+        ctx.emit(
+            out,
+            suppressed,
+            LintDiagnostic::new(
+                LintCode::SleepInServerPath,
+                ctx.path,
+                span,
+                "`thread::sleep` in non-test server/exec code",
+            )
+            .with_help(
+                "block on `RankedCondvarMutex::wait` (or an event) instead of sleeping; \
+                 a justified sleep needs `// lint: allow(RL0004, <reason>)`",
+            ),
+        );
+    }
+}
+
+// ----------------------------------------------------------------
+// Entry points
+// ----------------------------------------------------------------
+
+/// Lint one source text under a (possibly virtual) workspace-relative path.
+/// Which rules fire depends on the path — fixtures exercise a rule by
+/// claiming the path it covers.
+pub fn lint_file(path: &str, src: &str) -> Vec<LintDiagnostic> {
+    lint_file_counting(path, src).0
+}
+
+/// Like [`lint_file`], also reporting how many findings an
+/// `// lint: allow(...)` annotation suppressed.
+pub fn lint_file_counting(path: &str, src: &str) -> (Vec<LintDiagnostic>, usize) {
+    let ctx = FileCtx::new(path, src);
+    let mut out = Vec::new();
+    let mut suppressed = 0;
+    rule_raw_lock(&ctx, &mut out, &mut suppressed);
+    rule_hot_path_panic(&ctx, &mut out, &mut suppressed);
+    rule_unscoped_version(&ctx, &mut out, &mut suppressed);
+    rule_sleep(&ctx, &mut out, &mut suppressed);
+    out.sort_by_key(|d| d.span.start);
+    (out, suppressed)
+}
+
+/// Walk `crates/*/src` under `root` and lint every `.rs` file, in sorted
+/// path order. IO errors on individual files abort the run.
+pub fn lint_workspace(root: &Path) -> std::io::Result<LintReport> {
+    let mut files = Vec::new();
+    let crates_dir = root.join("crates");
+    let mut crate_dirs: Vec<_> = std::fs::read_dir(&crates_dir)?
+        .filter_map(|e| e.ok())
+        .map(|e| e.path())
+        .filter(|p| p.is_dir())
+        .collect();
+    crate_dirs.sort();
+    for dir in crate_dirs {
+        let src = dir.join("src");
+        if src.is_dir() {
+            collect_rs_files(&src, &mut files)?;
+        }
+    }
+    files.sort();
+    let mut report = LintReport::default();
+    for file in files {
+        let rel = file
+            .strip_prefix(root)
+            .unwrap_or(&file)
+            .to_string_lossy()
+            .replace('\\', "/");
+        let source = std::fs::read_to_string(&file)?;
+        let (diags, suppressed) = lint_file_counting(&rel, &source);
+        report.files_scanned += 1;
+        report.suppressed += suppressed;
+        report.diagnostics.extend(diags);
+    }
+    Ok(report)
+}
+
+fn collect_rs_files(dir: &Path, out: &mut Vec<std::path::PathBuf>) -> std::io::Result<()> {
+    for entry in std::fs::read_dir(dir)? {
+        let path = entry?.path();
+        if path.is_dir() {
+            collect_rs_files(&path, out)?;
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            out.push(path);
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn codes_are_stable_and_error_severity() {
+        assert_eq!(LintCode::RawLockConstruction.code(), "RL0001");
+        assert_eq!(LintCode::HotPathPanic.code(), "RL0002");
+        assert_eq!(LintCode::UnscopedVersionRead.code(), "RL0003");
+        assert_eq!(LintCode::SleepInServerPath.code(), "RL0004");
+        for c in LintCode::all() {
+            assert_eq!(c.severity(), Severity::Error);
+        }
+    }
+
+    #[test]
+    fn allow_requires_a_reason() {
+        let src = "// lint: allow(RL0004)\nthread::sleep(d);\n";
+        let diags = lint_file("crates/server/src/lib.rs", src);
+        assert_eq!(diags.len(), 1, "bare allow must not suppress");
+
+        let src = "// lint: allow(RL0004, latch poll; bounded at 50ms)\nthread::sleep(d);\n";
+        let (diags, suppressed) = lint_file_counting("crates/server/src/lib.rs", src);
+        assert!(diags.is_empty());
+        assert_eq!(suppressed, 1);
+    }
+
+    #[test]
+    fn allow_on_same_line_works() {
+        let src = "thread::sleep(d); // lint: allow(RL0004, drain tick)\n";
+        let (diags, suppressed) = lint_file_counting("crates/server/src/lib.rs", src);
+        assert!(diags.is_empty());
+        assert_eq!(suppressed, 1);
+    }
+
+    #[test]
+    fn allow_for_wrong_code_does_not_suppress() {
+        let src = "// lint: allow(RL0002, wrong rule)\nthread::sleep(d);\n";
+        let diags = lint_file("crates/server/src/lib.rs", src);
+        assert_eq!(diags.len(), 1);
+        assert_eq!(diags[0].code, LintCode::SleepInServerPath);
+    }
+
+    #[test]
+    fn test_modules_are_skipped() {
+        let src = "#[cfg(test)]\nmod tests {\n    fn t() { thread::sleep(d); x.unwrap(); }\n}\n";
+        assert!(lint_file("crates/exec/src/pipeline.rs", src).is_empty());
+    }
+
+    #[test]
+    fn strings_and_comments_do_not_fire() {
+        let src = r#"
+// Mutex::new in a comment
+fn f() { let s = "Mutex::new(0) and thread::sleep"; }
+"#;
+        assert!(lint_file("crates/exec/src/pipeline.rs", src).is_empty());
+    }
+
+    #[test]
+    fn sync_module_may_construct_locks() {
+        let src = "fn mk() { let m = Mutex::new(0); let c = Condvar::new(); }";
+        assert!(lint_file("crates/storage/src/sync.rs", src).is_empty());
+        assert_eq!(lint_file("crates/exec/src/governor.rs", src).len(), 2);
+    }
+
+    #[test]
+    fn render_mirrors_plan_diag_shape() {
+        let src = "let m = Mutex::new(0);";
+        let diags = lint_file("crates/exec/src/governor.rs", src);
+        assert_eq!(diags.len(), 1);
+        let r = diags[0].render(src);
+        assert!(r.contains("error[RL0001]"), "{r}");
+        assert!(r.contains("crates/exec/src/governor.rs:1:9"), "{r}");
+        assert!(r.contains("^^^^^^^^^^"), "{r}");
+        assert!(r.contains("= help:"), "{r}");
+    }
+}

@@ -1,0 +1,15 @@
+//! Fixture: must lint clean under ANY virtual path. Forbidden patterns
+//! appear only where the lexer must see through them — comments, strings,
+//! raw strings — plus the sanctioned ranked-lock idiom.
+
+// Mutex::new in a line comment; thread::sleep too.
+/* panic! inside a /* nested */ block comment */
+
+fn clean() {
+    let m = RankedMutex::new(LockRank::WarmStore, 0u32);
+    let s = "x.unwrap() and panic! and Mutex::new inside a string";
+    let r = r#"thread::sleep and RwLock::new in a raw string"#;
+    let b = b"Condvar::new in a byte string";
+    let lifetime_not_char: &'static str = "ok";
+    let _ = (m, s, r, b, lifetime_not_char);
+}

@@ -1,0 +1,15 @@
+// Fixture: trips RL0001. Linted under the virtual path
+// `crates/exec/src/governor.rs` — any path outside storage::sync is covered.
+use std::sync::{Condvar, Mutex, RwLock};
+
+fn build() {
+    let m = Mutex::new(0u32);
+    let r = RwLock::new(Vec::<u8>::new());
+    let c = Condvar::new();
+    let _ = (m, r, c);
+}
+
+fn suppressed() -> Mutex<u8> {
+    // lint: allow(RL0001, fixture: justified raw lock)
+    Mutex::new(7)
+}

@@ -1,0 +1,19 @@
+// Fixture: trips RL0002. Linted under the virtual path
+// `crates/exec/src/pipeline.rs` — one of the hot-path modules.
+fn hot(x: Option<u32>) -> u32 {
+    let a = x.unwrap();
+    let b = x.expect("present");
+    if a + b > 100 {
+        panic!("overflow");
+    }
+    // lint: allow(RL0002, fixture: invariant locally provable)
+    let c = x.unwrap();
+    a + b + c
+}
+
+#[cfg(test)]
+mod tests {
+    fn unit_tests_may_unwrap(x: Option<u32>) -> u32 {
+        x.unwrap()
+    }
+}

@@ -1,0 +1,18 @@
+// Fixture: trips RL0003. Linted under the virtual path
+// `crates/storage/src/catalog.rs` — the only file the rule covers.
+impl Catalog {
+    fn fresh_version(&self) -> u64 {
+        self.version.fetch_add(1, Ordering::Relaxed) + 1
+    }
+
+    fn bad_publish(&self, name: &str) {
+        let v = self.fresh_version();
+        self.publish(name, v);
+    }
+
+    fn good_publish(&self, name: &str) {
+        let mut tables = self.tables.write();
+        let v = self.fresh_version();
+        tables.insert(name.to_string(), v);
+    }
+}

@@ -1,0 +1,19 @@
+// Fixture: trips RL0004. Linted under the virtual path
+// `crates/server/src/lib.rs`.
+fn accept_loop() {
+    loop {
+        std::thread::sleep(Duration::from_millis(5));
+    }
+}
+
+fn drain() {
+    // lint: allow(RL0004, fixture: bounded drain tick)
+    std::thread::sleep(Duration::from_millis(5));
+}
+
+#[cfg(test)]
+mod tests {
+    fn tests_may_sleep() {
+        std::thread::sleep(Duration::from_millis(1));
+    }
+}

@@ -1,0 +1,211 @@
+//! Golden tests for the `RL####` lint rules.
+//!
+//! Each fixture under `tests/fixtures/` is linted under a *virtual* path —
+//! the workspace path the rule covers — and the findings are pinned down to
+//! their codes and byte-offset spans. If a rule's detection pattern drifts
+//! (different span, missed construct, new false positive), these fail
+//! loudly with the exact offsets.
+//!
+//! The last test is the self-check the tier-1 gate relies on: the live
+//! workspace must lint clean while these same fixtures trip every rule.
+
+use rasql_lint::{lint_file, lint_file_counting, lint_workspace, LintCode};
+use std::path::Path;
+
+/// (code, span start, span end) triples, in file order.
+fn triples(path: &str, src: &str) -> Vec<(LintCode, u32, u32)> {
+    lint_file(path, src)
+        .into_iter()
+        .map(|d| (d.code, d.span.start, d.span.end))
+        .collect()
+}
+
+#[test]
+fn rl0001_flags_every_raw_lock_constructor() {
+    let src = include_str!("fixtures/rl0001_raw_locks.rs");
+    let (diags, suppressed) = lint_file_counting("crates/exec/src/governor.rs", src);
+    let got: Vec<_> = diags
+        .iter()
+        .map(|d| (d.code, d.span.start, d.span.end))
+        .collect();
+    assert_eq!(
+        got,
+        vec![
+            (LintCode::RawLockConstruction, 203, 213), // Mutex::new
+            (LintCode::RawLockConstruction, 233, 244), // RwLock::new
+            (LintCode::RawLockConstruction, 276, 288), // Condvar::new
+        ],
+        "{diags:#?}"
+    );
+    assert_eq!(
+        suppressed, 1,
+        "the annotated Mutex::new(7) must count as suppressed"
+    );
+    // Spans point at the constructor path, verbatim.
+    assert_eq!(&src[203..213], "Mutex::new");
+    assert_eq!(&src[233..244], "RwLock::new");
+    assert_eq!(&src[276..288], "Condvar::new");
+}
+
+#[test]
+fn rl0001_does_not_apply_inside_the_sync_module() {
+    let src = include_str!("fixtures/rl0001_raw_locks.rs");
+    assert!(
+        lint_file("crates/storage/src/sync.rs", src).is_empty(),
+        "storage::sync is the one sanctioned construction site"
+    );
+}
+
+#[test]
+fn rl0002_flags_unwrap_expect_and_panic_in_hot_paths() {
+    let src = include_str!("fixtures/rl0002_hot_path_panics.rs");
+    let (diags, suppressed) = lint_file_counting("crates/exec/src/pipeline.rs", src);
+    let got: Vec<_> = diags
+        .iter()
+        .map(|d| (d.code, d.span.start, d.span.end))
+        .collect();
+    assert_eq!(
+        got,
+        vec![
+            (LintCode::HotPathPanic, 167, 175), // .unwrap(
+            (LintCode::HotPathPanic, 191, 199), // .expect(
+            (LintCode::HotPathPanic, 240, 246), // panic!
+        ],
+        "{diags:#?}"
+    );
+    // The annotated unwrap is suppressed; the #[cfg(test)] one is skipped
+    // outright (not even counted).
+    assert_eq!(suppressed, 1);
+    assert_eq!(&src[167..175], ".unwrap(");
+    assert_eq!(&src[240..246], "panic!");
+}
+
+#[test]
+fn rl0002_only_covers_hot_path_modules() {
+    let src = include_str!("fixtures/rl0002_hot_path_panics.rs");
+    for path in [
+        "crates/exec/src/governor.rs", // exec, but not a hot-path module
+        "crates/server/src/lib.rs",
+        "crates/core/src/matview.rs",
+    ] {
+        assert!(lint_file(path, src).is_empty(), "{path} is not covered");
+    }
+    for path in [
+        "crates/exec/src/pipeline.rs",
+        "crates/exec/src/kernel.rs",
+        "crates/exec/src/cluster.rs",
+        "crates/exec/src/join.rs",
+        "crates/exec/src/state.rs",
+        "crates/core/src/fixpoint.rs",
+    ] {
+        assert_eq!(lint_file(path, src).len(), 3, "{path} is covered");
+    }
+}
+
+#[test]
+fn rl0003_flags_only_the_unscoped_call() {
+    let src = include_str!("fixtures/rl0003_unscoped_version.rs");
+    let got = triples("crates/storage/src/catalog.rs", src);
+    // The definition of fresh_version itself and the tables.write()-scoped
+    // call in good_publish are both exempt; only bad_publish trips.
+    assert_eq!(
+        got,
+        vec![(LintCode::UnscopedVersionRead, 303, 316)],
+        "{got:?}"
+    );
+    assert_eq!(&src[303..316], "fresh_version");
+    // The finding names the offending function.
+    let d = &lint_file("crates/storage/src/catalog.rs", src)[0];
+    assert!(d.message.contains("bad_publish"), "{}", d.message);
+}
+
+#[test]
+fn rl0003_is_catalog_specific() {
+    let src = include_str!("fixtures/rl0003_unscoped_version.rs");
+    assert!(lint_file("crates/exec/src/pipeline.rs", src).is_empty());
+}
+
+#[test]
+fn rl0004_flags_sleeps_outside_tests() {
+    let src = include_str!("fixtures/rl0004_sleeps.rs");
+    let (diags, suppressed) = lint_file_counting("crates/server/src/lib.rs", src);
+    let got: Vec<_> = diags
+        .iter()
+        .map(|d| (d.code, d.span.start, d.span.end))
+        .collect();
+    assert_eq!(
+        got,
+        vec![(LintCode::SleepInServerPath, 130, 143)],
+        "{diags:#?}"
+    );
+    assert_eq!(suppressed, 1);
+    assert_eq!(&src[130..143], "thread::sleep");
+    // Covered in exec too; out of scope elsewhere (e.g. the bench harness).
+    assert_eq!(lint_file("crates/exec/src/cluster.rs", src).len(), 1);
+    assert!(lint_file("crates/bench/src/lib.rs", src).is_empty());
+}
+
+#[test]
+fn clean_fixture_is_clean_everywhere() {
+    let src = include_str!("fixtures/clean.rs");
+    for path in [
+        "crates/exec/src/pipeline.rs",
+        "crates/server/src/lib.rs",
+        "crates/storage/src/catalog.rs",
+        "crates/core/src/fixpoint.rs",
+    ] {
+        let (diags, suppressed) = lint_file_counting(path, src);
+        assert!(diags.is_empty(), "{path}: {diags:#?}");
+        assert_eq!(suppressed, 0, "nothing to suppress in the clean fixture");
+    }
+}
+
+#[test]
+fn diagnostics_render_rustc_style_with_path_and_caret() {
+    let src = include_str!("fixtures/rl0004_sleeps.rs");
+    let d = &lint_file("crates/server/src/lib.rs", src)[0];
+    let r = d.render(src);
+    assert!(r.contains("error[RL0004]"), "{r}");
+    assert!(r.contains("crates/server/src/lib.rs:5:14"), "{r}");
+    assert!(r.contains("^^^^^^^^^^^^^"), "{r}");
+    assert!(r.contains("= help:"), "{r}");
+    // Compact form, plan-diag shaped.
+    let compact = d.to_string();
+    assert!(
+        compact.starts_with("error[RL0004] crates/server/src/lib.rs at bytes 130..143"),
+        "{compact}"
+    );
+}
+
+#[test]
+fn live_workspace_lints_clean() {
+    // tests/ → crates/lint → crates → repo root
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .ancestors()
+        .nth(2)
+        .expect("repo root");
+    let report = lint_workspace(root).expect("workspace walk");
+    assert!(
+        report.is_clean(),
+        "the workspace must satisfy its own disciplines:\n{}",
+        report
+            .diagnostics
+            .iter()
+            .map(|d| d.to_string())
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+    // Sanity: the walk actually visited the tree and honored real
+    // annotations (the justified sleeps in server/cluster, the provable
+    // expects in fixpoint), rather than scanning nothing.
+    assert!(
+        report.files_scanned >= 60,
+        "only {} files",
+        report.files_scanned
+    );
+    assert!(
+        report.suppressed >= 8,
+        "only {} suppressions",
+        report.suppressed
+    );
+}

@@ -190,7 +190,7 @@ impl Conn {
             scope.spawn(move || {
                 let tx_results = tx.clone();
                 let on_result = |r: rasql_core::QueryResult| {
-                    drop(tx_results.send(Event::Result(result_to_wire(&r))))
+                    drop(tx_results.send(Event::Result(result_to_wire(&r))));
                 };
                 let run = match job {
                     Job::Script(sql) => session.query_script_with(sql, on_result),

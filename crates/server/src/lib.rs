@@ -39,8 +39,8 @@
 
 mod conn;
 
-use parking_lot::Mutex;
 use rasql_core::{RaSqlContext, Session};
+use rasql_storage::sync::{LockRank, RankedMutex};
 use std::io;
 use std::net::{SocketAddr, TcpListener};
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -60,7 +60,7 @@ pub const DEFAULT_DRAIN_TIMEOUT: Duration = Duration::from_secs(10);
 pub(crate) struct ServerState {
     pub(crate) ctx: Arc<RaSqlContext>,
     pub(crate) shutdown: AtomicBool,
-    pub(crate) connections: Mutex<Vec<ConnEntry>>,
+    pub(crate) connections: RankedMutex<Vec<ConnEntry>>,
 }
 
 pub(crate) struct ConnEntry {
@@ -111,7 +111,7 @@ pub fn serve_with(
     let state = Arc::new(ServerState {
         ctx,
         shutdown: AtomicBool::new(false),
-        connections: Mutex::new(Vec::new()),
+        connections: RankedMutex::new(LockRank::ServerConnections, Vec::new()),
     });
     let accept_state = Arc::clone(&state);
     let accept = thread::Builder::new()
@@ -148,6 +148,7 @@ impl ServerHandle {
     /// not itself initiate one). The binary's main thread parks here.
     pub fn wait_for_shutdown(&self) {
         while !self.is_shutting_down() {
+            // lint: allow(RL0004, shutdown latch has no waker; 50ms poll is the wire-level idle loop)
             thread::sleep(Duration::from_millis(50));
         }
     }
@@ -187,6 +188,7 @@ impl ServerHandle {
                 }
                 break;
             }
+            // lint: allow(RL0004, drain loop polls joinable handles; no condvar on JoinHandle)
             thread::sleep(Duration::from_millis(5));
         }
         let entries: Vec<ConnEntry> = std::mem::take(&mut *self.state.connections.lock());
@@ -234,8 +236,10 @@ fn accept_loop(listener: &TcpListener, state: &Arc<ServerState>) {
                 }
             }
             Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                // lint: allow(RL0004, non-blocking accept; poll interval bounds shutdown latency)
                 thread::sleep(Duration::from_millis(5));
             }
+            // lint: allow(RL0004, transient accept errors back off at the same poll interval)
             Err(_) => thread::sleep(Duration::from_millis(5)),
         }
     }

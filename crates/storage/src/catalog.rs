@@ -15,7 +15,7 @@
 
 use crate::error::StorageError;
 use crate::relation::Relation;
-use parking_lot::RwLock;
+use crate::sync::{LockRank, RankedRwLock};
 use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
@@ -38,16 +38,24 @@ struct Entry {
 
 /// A thread-safe registry of base relations, shared between the engine's
 /// planner and the executor's workers. Names are case-insensitive (SQL).
-#[derive(Default)]
 pub struct Catalog {
-    tables: RwLock<BTreeMap<String, Entry>>,
+    tables: RankedRwLock<BTreeMap<String, Entry>>,
     next_version: AtomicU64,
+}
+
+impl Default for Catalog {
+    fn default() -> Self {
+        Self::new()
+    }
 }
 
 impl Catalog {
     /// An empty catalog.
     pub fn new() -> Self {
-        Self::default()
+        Catalog {
+            tables: RankedRwLock::new(LockRank::CatalogTables, BTreeMap::new()),
+            next_version: AtomicU64::new(0),
+        }
     }
 
     /// Draw the next catalog-global version. Callers must hold the `tables`

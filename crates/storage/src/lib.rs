@@ -35,6 +35,7 @@ pub mod error;
 pub mod hasher;
 pub mod partition;
 pub mod relation;
+pub mod sync;
 pub mod warmstore;
 
 /// Re-export of the wire-facing row type (now defined in `rasql-api`, kept
@@ -61,5 +62,6 @@ pub use partition::{hash_partition, partition_rows, Partitioning};
 pub use relation::Relation;
 pub use row::Row;
 pub use schema::{DataType, Field, Schema};
+pub use sync::{LockRank, RankedCondvarMutex, RankedMutex, RankedRwLock};
 pub use value::Value;
 pub use warmstore::{decode_warm_rows, encode_warm_rows, WarmStore};

@@ -12,8 +12,8 @@
 use crate::codec::{decode_value, encode_value, read_varint, write_varint};
 use crate::error::StorageError;
 use crate::row::Row;
+use crate::sync::{LockRank, RankedRwLock};
 use bytes::{Buf, Bytes, BytesMut};
-use parking_lot::RwLock;
 use std::collections::BTreeMap;
 
 /// Encode rows into a compact self-delimiting blob (varint row count and
@@ -50,15 +50,22 @@ pub fn decode_warm_rows(blob: &Bytes) -> Result<Vec<Row>, StorageError> {
 }
 
 /// A thread-safe store of encoded warm-state blobs with byte accounting.
-#[derive(Default)]
 pub struct WarmStore {
-    blobs: RwLock<BTreeMap<String, Bytes>>,
+    blobs: RankedRwLock<BTreeMap<String, Bytes>>,
+}
+
+impl Default for WarmStore {
+    fn default() -> Self {
+        Self::new()
+    }
 }
 
 impl WarmStore {
     /// An empty store.
     pub fn new() -> Self {
-        Self::default()
+        WarmStore {
+            blobs: RankedRwLock::new(LockRank::WarmStore, BTreeMap::new()),
+        }
     }
 
     /// Store a blob under `key`, replacing any previous one. Returns the

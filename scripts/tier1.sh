@@ -18,6 +18,20 @@ cargo clippy -- -D warnings \
 # error-severity diagnostic or refuted PreM obligation.
 cargo run --release -p rasql-bench --bin reproduce -- lint
 
+# Workspace source linter: the RL#### concurrency/hot-path disciplines over
+# crates/*/src (golden fixture tests pin every rule's codes and spans, then
+# the live tree must lint clean).
+cargo test -q -p rasql-lint
+cargo run --release -p rasql-bench --bin reproduce -- lint-src
+
+# Interleaving model checker: lock-rank unit tests, the protocol regression
+# suite (each fixed model clean, each reverted model refuted — including
+# both PR-7 races), then the reproduce-level summary gate.
+cargo test -q -p rasql-storage sync::
+cargo test -q -p rasql-core --test lock_order_tests
+cargo test -q -p rasql-exec --test modelcheck_tests
+cargo run --release -p rasql-bench --bin reproduce -- modelcheck
+
 # Seeded fault-injection soak: every example query under deterministic
 # kill/delay/loss injection must match its fault-free result, and a
 # zero-retry leg must recover via checkpoint/restore mid-fixpoint.

@@ -78,6 +78,11 @@ impl<T: ?Sized> RwLock<T> {
     pub fn write(&self) -> RwLockWriteGuard<'_, T> {
         unpoison(self.inner.write())
     }
+
+    /// Mutable access without locking (requires exclusive ownership).
+    pub fn get_mut(&mut self) -> &mut T {
+        unpoison(self.inner.get_mut())
+    }
 }
 
 fn unpoison<G>(r: LockResult<G>) -> G {
