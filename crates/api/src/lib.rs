@@ -35,7 +35,7 @@ pub mod value;
 pub mod wire;
 
 pub use error::{ApiError, ErrorCode};
-pub use result::{QueryResult, QueryStats, ServerStatus, ViewInfo};
+pub use result::{DurabilityStatus, QueryResult, QueryStats, ServerStatus, ViewInfo};
 pub use row::{int_row, Row};
 pub use schema::{DataType, Field, Schema};
 pub use value::Value;

@@ -78,6 +78,23 @@ pub struct ViewInfo {
     pub last_refresh: String,
 }
 
+/// A point-in-time description of an engine's durability subsystem, as
+/// returned by `Durability` (and the shell's `\durability`). All counters
+/// are since the current process attached to the data directory.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct DurabilityStatus {
+    /// The data directory the write-ahead log and snapshots live in.
+    pub data_dir: String,
+    /// Records currently in the write-ahead log (since the last snapshot).
+    pub wal_records: u64,
+    /// Bytes currently in the write-ahead log.
+    pub wal_bytes: u64,
+    /// Snapshots published (log compactions) by this process.
+    pub snapshots: u64,
+    /// Size in bytes of the most recently published snapshot.
+    pub last_snapshot_bytes: u64,
+}
+
 /// A point-in-time description of a server, as returned by `Status`.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct ServerStatus {

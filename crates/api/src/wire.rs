@@ -47,7 +47,7 @@
 //! and `Goodbye` are single-request/single-response.
 
 use crate::error::{ApiError, ErrorCode};
-use crate::result::{QueryStats, ServerStatus, ViewInfo};
+use crate::result::{DurabilityStatus, QueryStats, ServerStatus, ViewInfo};
 use crate::row::Row;
 use crate::schema::{DataType, Field, Schema};
 use crate::value::Value;
@@ -111,6 +111,8 @@ pub enum Request {
     Goodbye,
     /// List the materialized views and their staleness.
     ListViews,
+    /// Fetch the server's durability status (WAL and snapshot counters).
+    Durability,
 }
 
 /// A server-to-client message.
@@ -176,6 +178,11 @@ pub enum Response {
     Views {
         /// One entry per materialized view, sorted by name.
         views: Vec<ViewInfo>,
+    },
+    /// `Durability` reply; `None` when the server runs in-memory.
+    Durability {
+        /// WAL and snapshot counters, when a data directory is attached.
+        status: Option<DurabilityStatus>,
     },
 }
 
@@ -457,6 +464,33 @@ fn get_views(input: &mut &[u8]) -> Result<Vec<ViewInfo>, ApiError> {
     Ok(views)
 }
 
+fn put_durability(buf: &mut Vec<u8>, status: &Option<DurabilityStatus>) {
+    match status {
+        None => put_bool(buf, false),
+        Some(s) => {
+            put_bool(buf, true);
+            put_str(buf, &s.data_dir);
+            put_varint(buf, s.wal_records);
+            put_varint(buf, s.wal_bytes);
+            put_varint(buf, s.snapshots);
+            put_varint(buf, s.last_snapshot_bytes);
+        }
+    }
+}
+
+fn get_durability(input: &mut &[u8]) -> Result<Option<DurabilityStatus>, ApiError> {
+    if !get_bool(input)? {
+        return Ok(None);
+    }
+    Ok(Some(DurabilityStatus {
+        data_dir: get_str(input)?,
+        wal_records: get_varint(input)?,
+        wal_bytes: get_varint(input)?,
+        snapshots: get_varint(input)?,
+        last_snapshot_bytes: get_varint(input)?,
+    }))
+}
+
 fn put_error(buf: &mut Vec<u8>, e: &ApiError) {
     put_str(buf, e.code.code());
     put_str(buf, &e.message);
@@ -567,6 +601,7 @@ impl Request {
             Request::Shutdown => buf.push(9),
             Request::Goodbye => buf.push(10),
             Request::ListViews => buf.push(11),
+            Request::Durability => buf.push(12),
         }
         buf
     }
@@ -605,6 +640,7 @@ impl Request {
             9 => Request::Shutdown,
             10 => Request::Goodbye,
             11 => Request::ListViews,
+            12 => Request::Durability,
             other => return Err(ApiError::protocol(format!("unknown request tag {other}"))),
         };
         expect_empty(input)?;
@@ -664,6 +700,10 @@ impl Response {
                 buf.push(13);
                 put_views(&mut buf, views);
             }
+            Response::Durability { status } => {
+                buf.push(14);
+                put_durability(&mut buf, status);
+            }
         }
         buf
     }
@@ -711,6 +751,9 @@ impl Response {
             12 => Response::Goodbye,
             13 => Response::Views {
                 views: get_views(&mut input)?,
+            },
+            14 => Response::Durability {
+                status: get_durability(&mut input)?,
             },
             other => return Err(ApiError::protocol(format!("unknown response tag {other}"))),
         };
@@ -882,6 +925,7 @@ mod tests {
             Request::Metrics,
             Request::Goodbye,
             Request::ListViews,
+            Request::Durability,
         ];
         for req in reqs {
             assert_eq!(Request::decode(&req.encode()).unwrap(), req);
@@ -913,6 +957,22 @@ mod tests {
             Response::decode(&Response::Views { views: vec![] }.encode()).unwrap(),
             Response::Views { views: vec![] }
         );
+    }
+
+    #[test]
+    fn durability_response_round_trips() {
+        let present = Response::Durability {
+            status: Some(DurabilityStatus {
+                data_dir: "/var/lib/rasql".into(),
+                wal_records: 42,
+                wal_bytes: 8192,
+                snapshots: 3,
+                last_snapshot_bytes: 65536,
+            }),
+        };
+        assert_eq!(Response::decode(&present.encode()).unwrap(), present);
+        let absent = Response::Durability { status: None };
+        assert_eq!(Response::decode(&absent.encode()).unwrap(), absent);
     }
 
     #[test]

@@ -3,7 +3,8 @@
 //! ```text
 //! reproduce [all|fig1|fig2|fig5|fig6|fig7|fig8|fig9|fig10|fig11|fig12|
 //!            table1|table2|table3|premcheck|traces|faults|lint|lint-src|
-//!            modelcheck|bench-kernels|ivm|soak|serve-soak] [--scale X]
+//!            modelcheck|bench-kernels|ivm|soak|serve-soak|crash-soak]
+//!           [--scale X]
 //!           [--faults SPEC] [--retries N] [--checkpoint-every K]
 //! ```
 //!
@@ -58,6 +59,12 @@
 //! library under a tight budget and fault injection, plus one remote
 //! `Kill` — asserting surviving results bit-identical to local execution, a
 //! clean drain on shutdown, and no leaked temp files or threads.
+//!
+//! The `crash-soak` target runs the kill-at-every-crashpoint recovery soak:
+//! a counting pass enumerates every durability write boundary a scripted
+//! DDL/DML/matview workload visits, then one leg per boundary kills exactly
+//! there and asserts recovery lands on a bit-identical prefix-consistent
+//! state with zero stray snapshot temp files.
 
 use rasql_bench as bench;
 use rasql_exec::FaultSpec;
@@ -108,7 +115,7 @@ fn main() {
                 println!(
                     "reproduce [all|fig1|fig2|fig5|fig6|fig7|fig8|fig9|fig10|fig11|fig12|\n\
                      table1|table2|table3|premcheck|traces|faults|lint|lint-src|modelcheck|\n\
-                     bench-kernels|ivm|soak|serve-soak]...\n\
+                     bench-kernels|ivm|soak|serve-soak|crash-soak]...\n\
                      [--scale X] [--faults SPEC] [--retries N] [--checkpoint-every K]"
                 );
                 return;
@@ -225,6 +232,10 @@ fn main() {
     // Not part of `all`: a subsystem check, not a paper artifact.
     if targets.iter().any(|t| t == "serve-soak") {
         println!("{}", bench::serve_soak(scale).render());
+    }
+    // Not part of `all`: a subsystem check, not a paper artifact.
+    if targets.iter().any(|t| t == "crash-soak") {
+        println!("{}", bench::crash_soak(scale).render());
     }
     // Not part of `all`: a subsystem check, not a paper artifact.
     if targets.iter().any(|t| t == "faults") {

@@ -4,7 +4,7 @@
 //! rows/series the paper reports, at laptop scale. The `reproduce` binary
 //! prints them; the Criterion benches wrap the same runners at reduced sizes.
 
-use rasql_core::{library, EngineConfig, JoinStrategy, JsonValue, RaSqlContext};
+use rasql_core::{library, EngineConfig, EngineError, JoinStrategy, JsonValue, RaSqlContext};
 use rasql_datagen::{
     erdos_renyi, grid, real_graph_standin, rmat, tree_hierarchy, RealGraph, RmatConfig, TreeConfig,
 };
@@ -1340,7 +1340,8 @@ pub fn soak(scale: f64) -> Table {
     // polled at plan-node and fixpoint-round boundaries, so the kill lands
     // long before this long-diameter reachability converges.
     let side = ((400.0 * scale) as usize).max(40);
-    ctx.register_or_replace("edge", grid(side, false, 42));
+    ctx.register_or_replace("edge", grid(side, false, 42))
+        .unwrap();
     let reach_sql = library::reach(0);
     let (killed, outcome) = std::thread::scope(|s| {
         let h = s.spawn(|| ctx.query(&reach_sql));
@@ -1763,6 +1764,224 @@ pub fn serve_soak(scale: f64) -> Table {
             std::thread::sleep(Duration::from_millis(20));
         }
     }
+    table
+}
+
+/// The kill-at-every-crashpoint recovery soak behind `reproduce crash-soak`.
+///
+/// A counting pass runs a scripted DDL/DML/materialized-view workload on a
+/// durable context with an armed-but-never-firing injector, enumerating every
+/// write/fsync/rename boundary the workload visits (WAL appends *and* the
+/// snapshot publications forced by `snapshot_every=3`). Then, for each
+/// boundary K, a fresh data directory is driven through the same workload
+/// with `CrashSpec::at(K)`, the context is dropped at the injected death,
+/// and recovery must land — hard assertions, so the tier-1 gate fails on any
+/// violation — on a bit-identical prefix-consistent state: the pre-statement
+/// digest, the post-statement digest, or (for two-record statements only)
+/// base tables ahead of the view registry, never the inverse and never
+/// anything else. Every recovery must also leave zero stray snapshot temp
+/// files, every crash site must be exercised at least once, and all three
+/// recovery outcomes must actually occur.
+pub fn crash_soak(scale: f64) -> Table {
+    let n = ((600.0 * scale) as usize).max(32);
+    let edges = rmat_graph(n, true, 13);
+
+    // The scripted workload. Op 0 registers the base table; the rest drive
+    // every WAL record shape: Insert, Replace+ViewPut (create and refresh),
+    // Replace alone (delete), Drop+ViewDrop.
+    enum Op {
+        Register,
+        Sql(String),
+    }
+    let ops: Vec<(&str, Op)> = vec![
+        ("register", Op::Register),
+        (
+            "insert-1",
+            Op::Sql("INSERT INTO edge VALUES (9001, 1, 1.0)".into()),
+        ),
+        (
+            "create-mv",
+            Op::Sql(format!("CREATE MATERIALIZED VIEW cs AS {}", library::cc())),
+        ),
+        (
+            "insert-2",
+            Op::Sql("INSERT INTO edge VALUES (9002, 2, 1.0)".into()),
+        ),
+        ("refresh-mv", Op::Sql("REFRESH MATERIALIZED VIEW cs".into())),
+        (
+            "delete",
+            Op::Sql("DELETE FROM edge WHERE Src = 9001".into()),
+        ),
+        ("drop-mv", Op::Sql("DROP MATERIALIZED VIEW cs".into())),
+    ];
+    let apply = |ctx: &RaSqlContext, op: &Op| -> Result<(), EngineError> {
+        match op {
+            Op::Register => ctx.register("edge", edges.clone()).map(|_| ()),
+            Op::Sql(sql) => ctx.query(sql).map(|_| ()),
+        }
+    };
+
+    // Reference digests: an in-memory context after every acked-op prefix.
+    // Digests are layout-sensitive only through the worker count, so the
+    // references use the same count as the durable legs.
+    let workers = default_workers();
+    let refs: Vec<(String, (String, String))> = (0..=ops.len())
+        .map(|a| {
+            let ctx = RaSqlContext::builder().workers(workers).build();
+            for (name, op) in &ops[..a] {
+                apply(&ctx, op)
+                    .unwrap_or_else(|e| panic!("crash-soak reference (after {name}): {e}"));
+            }
+            (ctx.state_digest(), ctx.state_digest_parts())
+        })
+        .collect();
+
+    let scratch = |tag: &str| {
+        let dir =
+            std::env::temp_dir().join(format!("rasql-crash-soak-{tag}-p{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    };
+    let durable = |dir: &std::path::Path, spec: Option<rasql_storage::CrashSpec>| {
+        RaSqlContext::builder()
+            .workers(workers)
+            .data_dir(dir.to_path_buf())
+            .snapshot_every(3) // compact mid-workload so snapshot sites enumerate too
+            .crash_spec(spec)
+            .try_build()
+    };
+
+    // Counting pass: armed but never firing, so `crashpoint_hits` is the
+    // exact number of boundaries the workload visits.
+    let total = {
+        let dir = scratch("count");
+        let ctx = durable(
+            &dir,
+            Some(rasql_storage::CrashSpec {
+                kill_at: None,
+                prob: 0.0,
+                seed: 0,
+            }),
+        )
+        .unwrap_or_else(|e| panic!("crash-soak counting pass: {e}"));
+        for (name, op) in &ops {
+            apply(&ctx, op).unwrap_or_else(|e| panic!("crash-soak counting {name}: {e}"));
+        }
+        let hits = ctx.crashpoint_hits();
+        drop(ctx);
+        let _ = std::fs::remove_dir_all(&dir);
+        hits
+    };
+    assert!(
+        total >= 3 * ops.len() as u64,
+        "crash-soak: counting pass saw only {total} crash sites"
+    );
+
+    #[derive(Default)]
+    struct SiteTally {
+        legs: u32,
+        pre: u32,
+        post: u32,
+        partial: u32,
+    }
+    let mut tally: Vec<SiteTally> = rasql_storage::CRASH_SITES
+        .iter()
+        .map(|_| SiteTally::default())
+        .collect();
+
+    for k in 0..total {
+        let dir = scratch(&format!("leg-{k}"));
+        let ctx = durable(&dir, Some(rasql_storage::CrashSpec::at(k)))
+            .unwrap_or_else(|e| panic!("crash-soak leg {k}: fresh-dir open failed: {e}"));
+        let mut acked = 0usize;
+        let mut site: Option<String> = None;
+        for (name, op) in &ops {
+            match apply(&ctx, op) {
+                Ok(()) => acked += 1,
+                Err(EngineError::Storage(rasql_storage::StorageError::InjectedCrash(s))) => {
+                    site = Some(s);
+                    break;
+                }
+                Err(e) => panic!("crash-soak leg {k}: {name} failed with a non-crash error: {e}"),
+            }
+        }
+        let site =
+            site.unwrap_or_else(|| panic!("crash-soak leg {k}: enumerated crashpoint never fired"));
+        drop(ctx); // the simulated process death
+
+        let recovered = durable(&dir, None)
+            .unwrap_or_else(|e| panic!("crash-soak leg {k} ({site}): recovery failed: {e}"));
+        assert!(
+            rasql_storage::snapshot::stray_temp_files(&dir).is_empty(),
+            "crash-soak leg {k} ({site}): recovery left snapshot temp files behind"
+        );
+        let got = recovered.state_digest();
+        let outcome = if got == refs[acked].0 {
+            "pre"
+        } else if got == refs[acked + 1].0 {
+            "post"
+        } else {
+            let (tables, views) = recovered.state_digest_parts();
+            assert!(
+                tables == refs[acked + 1].1 .0 && views == refs[acked].1 .1,
+                "crash-soak leg {k} ({site}): recovered state after {acked} acked ops is \
+                 neither the pre- nor post-statement digest nor the legal tables-ahead split"
+            );
+            "partial"
+        };
+        let si = rasql_storage::CRASH_SITES
+            .iter()
+            .position(|s| *s == site)
+            .unwrap_or_else(|| panic!("crash-soak leg {k}: unknown crash site '{site}'"));
+        tally[si].legs += 1;
+        match outcome {
+            "pre" => tally[si].pre += 1,
+            "post" => tally[si].post += 1,
+            _ => tally[si].partial += 1,
+        }
+        drop(recovered);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    let mut table = Table::new(
+        &format!(
+            "Crash-recovery soak — {total} kill legs over {} ops, snapshot_every=3, {n} edges",
+            ops.len()
+        ),
+        &["site", "legs", "pre", "post", "partial"],
+    );
+    let (mut pre, mut post, mut partial) = (0u32, 0u32, 0u32);
+    for (site, t) in rasql_storage::CRASH_SITES.iter().zip(&tally) {
+        assert!(
+            t.legs > 0,
+            "crash-soak: site {site} was never exercised ({total} legs)"
+        );
+        table.row(vec![
+            (*site).to_string(),
+            t.legs.to_string(),
+            t.pre.to_string(),
+            t.post.to_string(),
+            t.partial.to_string(),
+        ]);
+        pre += t.pre;
+        post += t.post;
+        partial += t.partial;
+    }
+    table.row(vec![
+        "total".to_string(),
+        total.to_string(),
+        pre.to_string(),
+        post.to_string(),
+        partial.to_string(),
+    ]);
+    // The enumeration must produce all three recovery shapes, or the soak
+    // is not actually probing the interesting windows.
+    assert!(pre > 0, "crash-soak: no leg recovered to the pre state");
+    assert!(post > 0, "crash-soak: no leg recovered to the post state");
+    assert!(
+        partial > 0,
+        "crash-soak: no leg landed in the tables-ahead window"
+    );
     table
 }
 

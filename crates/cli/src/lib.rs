@@ -291,6 +291,22 @@ impl Shell {
                 }
                 LineResult::Output(out)
             }
+            "\\durability" => {
+                let status = match &mut self.remote {
+                    Some(client) => match client.durability() {
+                        Ok(status) => status,
+                        Err(e) => return LineResult::Output(self.remote_error(&e)),
+                    },
+                    None => self.ctx.durability_status(),
+                };
+                LineResult::Output(match status {
+                    Some(s) => format!(
+                        "data dir: {}\nwal: {} records / {} B\nsnapshots: {} (last {} B)\n",
+                        s.data_dir, s.wal_records, s.wal_bytes, s.snapshots, s.last_snapshot_bytes,
+                    ),
+                    None => "in-memory (no data directory; state is lost on exit)\n".into(),
+                })
+            }
             "\\timing" => {
                 self.timing = parts.get(1) != Some(&"off");
                 LineResult::Output(format!(
@@ -435,9 +451,9 @@ impl Shell {
                 }
             }
             other => LineResult::Output(format!(
-                "unknown command '{other}' (try \\d, \\views, \\load, \\gen, \\explain, \\lint, \
-                 \\prem, \\timing, \\tracing, \\trace, \\fault, \\limits, \\kill, \\running, \
-                 \\connect, \\disconnect, \\metrics, \\q)\n"
+                "unknown command '{other}' (try \\d, \\views, \\durability, \\load, \\gen, \
+                 \\explain, \\lint, \\prem, \\timing, \\tracing, \\trace, \\fault, \\limits, \
+                 \\kill, \\running, \\connect, \\disconnect, \\metrics, \\q)\n"
             )),
         }
     }
@@ -590,10 +606,10 @@ impl Shell {
                     Err(e) => Err(self.remote_error(&e)),
                 }
             }
-            None => {
-                self.ctx.register_or_replace(name, rel);
-                Ok(())
-            }
+            None => self
+                .ctx
+                .register_or_replace(name, rel)
+                .map_err(|e| format!("error: {e}\n")),
         }
     }
 
@@ -711,6 +727,15 @@ mod tests {
         }
         match sh.feed("\\nope") {
             LineResult::Output(o) => assert!(o.contains("unknown command"), "{o}"),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn durability_command_reports_in_memory() {
+        let mut sh = Shell::new();
+        match sh.feed("\\durability") {
+            LineResult::Output(o) => assert!(o.contains("in-memory"), "{o}"),
             other => panic!("{other:?}"),
         }
     }

@@ -90,6 +90,19 @@ pub struct EngineConfig {
     /// against unchanged base relations is served from cache (FIFO eviction);
     /// any base-table mutation invalidates the affected entries.
     pub result_cache_entries: usize,
+    /// Durability directory: when set, the context recovers catalog and
+    /// materialized-view state from `snapshot.bin` + `wal.log` on startup
+    /// and journals every mutation. `None` (the default) keeps everything
+    /// in memory, exactly as before.
+    pub data_dir: Option<std::path::PathBuf>,
+    /// Publish a compacting snapshot (and truncate the log) every N journal
+    /// records; 0 disables automatic compaction (snapshots still happen at
+    /// startup and via explicit flush).
+    pub snapshot_every: u64,
+    /// Deterministic crashpoint injection for the durability layer
+    /// (`storage::crashpoint`); `None` disables it. Test-only knob driven by
+    /// the `reproduce crash-soak` gate.
+    pub crash_spec: Option<rasql_storage::CrashSpec>,
 }
 
 impl Default for EngineConfig {
@@ -125,6 +138,9 @@ impl EngineConfig {
             max_concurrent_queries: 0,
             admission_queue: 16,
             result_cache_entries: 0,
+            data_dir: None,
+            snapshot_every: 256,
+            crash_spec: None,
         }
     }
 
@@ -270,6 +286,25 @@ impl EngineConfig {
     /// Set the result-cache capacity in entries (0 disables caching).
     pub fn with_result_cache(mut self, entries: usize) -> Self {
         self.result_cache_entries = entries;
+        self
+    }
+
+    /// Persist catalog and view state under `dir` (WAL + snapshots) and
+    /// recover from it on startup.
+    pub fn with_data_dir(mut self, dir: impl Into<std::path::PathBuf>) -> Self {
+        self.data_dir = Some(dir.into());
+        self
+    }
+
+    /// Snapshot/compact the journal every `n` records (0 disables).
+    pub fn with_snapshot_every(mut self, n: u64) -> Self {
+        self.snapshot_every = n;
+        self
+    }
+
+    /// Arm deterministic crashpoint injection in the durability layer.
+    pub fn with_crash_spec(mut self, spec: Option<rasql_storage::CrashSpec>) -> Self {
+        self.crash_spec = spec;
         self
     }
 }

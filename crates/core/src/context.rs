@@ -15,9 +15,12 @@ use rasql_plan::{
     analyze_statement, optimize, optimize_spec, AnalyzedQuery, AnalyzedStatement, LogicalPlan,
     ViewCatalog,
 };
+use rasql_storage::snapshot::{encode_state, read_snapshot, sweep_stray_temp};
 use rasql_storage::sync::{LockRank, RankedMutex};
+use rasql_storage::wal::{replay, WAL_FILE};
 use rasql_storage::{
-    decode_warm_rows, encode_warm_rows, Catalog, DataType, Relation, Row, Schema, Value, WarmStore,
+    decode_warm_rows, encode_warm_rows, Catalog, CrashInjector, DataType, DurableState, Relation,
+    Row, Schema, StorageError, TableImage, Value, ViewDep, ViewImage, Wal, WalRecord, WarmStore,
 };
 use std::collections::{BTreeMap, HashMap, HashSet};
 use std::path::PathBuf;
@@ -128,6 +131,23 @@ pub struct RaSqlContext {
     /// Retained build-side hash tables per eligible view, so a delta-seeded
     /// refresh layers a small delta build instead of re-hashing full bases.
     warm_builds: RankedMutex<HashMap<String, WarmBuilds>>,
+    /// Write-ahead journaling state; `Some` when the context owns a data
+    /// directory ([`EngineConfig::data_dir`]).
+    durability: Option<Durability>,
+}
+
+/// The durable half of a context: the log appender plus the compaction
+/// threshold. Catalog mutations journal through `wal` from inside the
+/// catalog's own critical section; view lifecycle events are appended by the
+/// context after their registry publish.
+struct Durability {
+    wal: Arc<Wal>,
+    /// Publish a compacting snapshot once the log holds this many records
+    /// (0 disables compaction; the log then only shrinks at startup).
+    snapshot_every: u64,
+    /// The crashpoint injector shared with `wal` (counts write/fsync/rename
+    /// boundaries even when disarmed — the crash-soak's enumeration).
+    injector: CrashInjector,
 }
 
 impl RaSqlContext {
@@ -142,7 +162,24 @@ impl RaSqlContext {
     }
 
     /// A context with an explicit configuration.
+    ///
+    /// # Panics
+    /// When [`EngineConfig::data_dir`] is set and recovery fails (corrupt
+    /// durability state, filesystem failure); use
+    /// [`RaSqlContext::try_with_config`] to handle those as typed errors.
     pub fn with_config(config: EngineConfig) -> Self {
+        Self::try_with_config(config).expect("durability recovery failed")
+    }
+
+    /// A context with an explicit configuration, surfacing durability
+    /// recovery failures as typed errors. With no
+    /// [`EngineConfig::data_dir`], this never fails.
+    ///
+    /// # Errors
+    /// [`EngineError::Storage`] wrapping [`StorageError::Corrupt`] for a
+    /// damaged snapshot or mid-log WAL record (torn *tails* are healed
+    /// silently), or an I/O failure opening the data directory.
+    pub fn try_with_config(config: EngineConfig) -> Result<Self, EngineError> {
         let cluster = Cluster::new(ClusterConfig {
             workers: config.workers,
             partition_aware: config.partition_aware,
@@ -155,7 +192,7 @@ impl RaSqlContext {
             config.max_concurrent_queries,
             config.admission_queue,
         ));
-        RaSqlContext {
+        let mut ctx = RaSqlContext {
             catalog: Catalog::new(),
             planner_catalog: RankedMutex::new(LockRank::PlannerCatalog, ViewCatalog::new()),
             cluster,
@@ -171,7 +208,368 @@ impl RaSqlContext {
             view_locks: RankedMutex::new(LockRank::ViewLockMap, HashMap::new()),
             warm: WarmStore::new(),
             warm_builds: RankedMutex::new(LockRank::WarmBuilds, HashMap::new()),
+            durability: None,
+        };
+        if let Some(dir) = ctx.config.data_dir.clone() {
+            ctx.recover(&dir)?;
         }
+        Ok(ctx)
+    }
+
+    /// Recover the exact pre-crash catalog and view registry from `dir`
+    /// (snapshot plus WAL tail), then attach the journal so subsequent
+    /// mutations are durable. Runs before the context is shared, so plain
+    /// sequential application is race-free.
+    fn recover(&mut self, dir: &std::path::Path) -> Result<(), EngineError> {
+        std::fs::create_dir_all(dir).map_err(StorageError::Io)?;
+        // A stray `snapshot.tmp` can only be a publish that died before its
+        // rename; the published snapshot (if any) is intact.
+        sweep_stray_temp(dir)?;
+        let state = read_snapshot(dir)?.unwrap_or_default();
+        let outcome = replay(&dir.join(WAL_FILE))?;
+        let had_history = state.version_floor > 0
+            || !state.tables.is_empty()
+            || !state.views.is_empty()
+            || !outcome.records.is_empty()
+            || outcome.truncated_at.is_some();
+        self.catalog.bump_version_floor(state.version_floor);
+        let mut views: BTreeMap<String, ViewImage> = BTreeMap::new();
+        for img in state.tables {
+            self.restore_table(img)?;
+        }
+        for v in state.views {
+            views.insert(v.key.clone(), v);
+        }
+        // WAL records re-apply on top of the snapshot. Replay is idempotent
+        // and version-guarded, so the crash window where a snapshot was
+        // renamed live but the log not yet truncated recovers exactly.
+        for rec in outcome.records {
+            match rec {
+                WalRecord::Register(img) | WalRecord::Replace(img) => self.restore_table(img)?,
+                WalRecord::Insert {
+                    name,
+                    rows,
+                    version,
+                } => self.catalog.apply_insert(&name, rows, version)?,
+                WalRecord::Drop { name } => {
+                    self.catalog.apply_drop(&name);
+                    self.planner_catalog.lock().remove_table(&name);
+                }
+                WalRecord::ViewPut(img) => {
+                    views.insert(img.key.clone(), img);
+                }
+                WalRecord::ViewDrop { key } => {
+                    views.remove(&key);
+                }
+            }
+        }
+        for (_, img) in views {
+            self.restore_view(img)?;
+        }
+        self.cluster
+            .metrics
+            .retained_bytes
+            .store(self.warm.retained_bytes(), Ordering::Relaxed);
+        let injector = match self.config.crash_spec {
+            Some(spec) => CrashInjector::new(spec),
+            None => CrashInjector::none(),
+        };
+        let wal = Arc::new(Wal::open(dir, injector.clone())?);
+        if had_history {
+            // Compact what was just replayed: recovery is the one moment the
+            // whole state is already in hand, and truncating here bounds
+            // startup replay work for the next process.
+            let encoded = encode_state(&self.durable_state());
+            wal.publish_snapshot(&encoded, wal.record_count())?;
+        }
+        self.catalog.attach_journal(Arc::clone(&wal));
+        self.durability = Some(Durability {
+            wal,
+            snapshot_every: self.config.snapshot_every,
+            injector,
+        });
+        Ok(())
+    }
+
+    /// Crash-site boundaries hit on the durability write path so far — the
+    /// counting half of the crash-soak's enumerate-then-kill-at-each
+    /// protocol (boundaries are counted even with no
+    /// [`rasql_storage::CrashSpec`] armed).
+    /// Always 0 on an in-memory context.
+    pub fn crashpoint_hits(&self) -> u64 {
+        self.durability.as_ref().map_or(0, |d| d.injector.hits())
+    }
+
+    /// Count one server connection reaped by the idle keepalive timeout
+    /// (`rasql_connections_reaped_total` in the Prometheus exposition).
+    pub fn note_connection_reaped(&self) {
+        Metrics::add(&self.cluster.metrics.connections_reaped, 1);
+    }
+
+    /// Apply one recovered table image: planner schema plus catalog entry.
+    fn restore_table(&self, img: TableImage) -> Result<(), EngineError> {
+        self.planner_catalog
+            .lock()
+            .add_table(&img.name, img.schema.clone());
+        self.catalog.apply_image(img)?;
+        Ok(())
+    }
+
+    /// Rebuild one materialized view from its durable image: re-parse and
+    /// re-analyze the stored defining script (compiled plans never travel
+    /// through the log), restore warm fixpoint state, and register the
+    /// record verbatim.
+    fn restore_view(&self, img: ViewImage) -> Result<(), EngineError> {
+        let ViewImage {
+            key,
+            sql,
+            version,
+            eligible,
+            ineligible_reason,
+            last_refresh,
+            retained_bytes,
+            deps,
+            warm,
+        } = img;
+        let statements = parse_statements(&sql)?;
+        // Plain views the defining query reads are planner-only state; the
+        // ones created in the same script replay into a private overlay.
+        let mut pc = self.planner_snapshot();
+        let mut create: Option<&Statement> = None;
+        for stmt in &statements {
+            match stmt {
+                Statement::CreateView { .. } => {
+                    if let AnalyzedStatement::CreateView { name, plan } =
+                        analyze_statement(stmt, &pc)?
+                    {
+                        pc.add_view(&name, optimize(plan));
+                    }
+                }
+                Statement::CreateMaterializedView { name, .. }
+                    if name.to_ascii_lowercase() == key =>
+                {
+                    create = Some(stmt);
+                }
+                _ => {}
+            }
+        }
+        let Some(stmt) = create else {
+            return Err(EngineError::Other(format!(
+                "durability recovery: stored script for materialized view \
+                 '{key}' has no matching CREATE MATERIALIZED VIEW statement"
+            )));
+        };
+        let AnalyzedStatement::CreateMaterializedView { name, query, .. } =
+            analyze_statement(stmt, &pc)?
+        else {
+            return Err(EngineError::Other(format!(
+                "durability recovery: defining statement of materialized view \
+                 '{key}' no longer analyzes as CREATE MATERIALIZED VIEW"
+            )));
+        };
+        for (k, blob) in warm {
+            self.warm.put(&k, bytes::Bytes::from(blob));
+        }
+        if eligible {
+            self.rebuild_warm_builds(&key, &query);
+        }
+        self.matviews.lock().insert(
+            key,
+            MatView {
+                name,
+                query,
+                sql,
+                deps: deps
+                    .into_iter()
+                    .map(|d| DepRecord {
+                        table: d.table,
+                        version: d.version,
+                        rewrite_version: d.rewrite_version,
+                        len: d.len as usize,
+                    })
+                    .collect(),
+                version,
+                eligible,
+                ineligible_reason,
+                last_refresh,
+                retained_bytes,
+            },
+        );
+        Ok(())
+    }
+
+    /// The full durable state as of now: catalog version ceiling, every
+    /// table image, every view image (warm blobs included).
+    fn durable_state(&self) -> DurableState {
+        let tables = self.catalog.export_tables();
+        let views = {
+            let reg = self.matviews.lock();
+            reg.iter().map(|(k, mv)| self.view_image(k, mv)).collect()
+        };
+        DurableState {
+            version_floor: self.catalog.version_ceiling(),
+            tables,
+            views,
+        }
+    }
+
+    /// One view's durable image, collected from its registry record and the
+    /// warm store.
+    fn view_image(&self, key: &str, mv: &MatView) -> ViewImage {
+        let prefix = warm_prefix(key);
+        let mut warm = Vec::new();
+        if mv.eligible {
+            // `eligible` implies exactly one clique; blobs are keyed by view
+            // index (the same layout `create_materialized_view` writes).
+            for i in 0..mv.query.cliques[0].views.len() {
+                let k = format!("{prefix}{i}");
+                if let Some(b) = self.warm.get(&k) {
+                    warm.push((k, b.as_ref().to_vec()));
+                }
+            }
+        }
+        ViewImage {
+            key: key.to_string(),
+            sql: mv.sql.clone(),
+            version: mv.version,
+            eligible: mv.eligible,
+            ineligible_reason: mv.ineligible_reason.clone(),
+            last_refresh: mv.last_refresh.clone(),
+            retained_bytes: mv.retained_bytes,
+            deps: mv
+                .deps
+                .iter()
+                .map(|d| ViewDep {
+                    table: d.table.clone(),
+                    version: d.version,
+                    rewrite_version: d.rewrite_version,
+                    len: d.len as u64,
+                })
+                .collect(),
+            warm,
+        }
+    }
+
+    /// Journal the current registry record of view `key` (a no-op on an
+    /// in-memory context or when the view vanished meanwhile).
+    fn journal_view_put(&self, key: &str) -> Result<(), EngineError> {
+        let Some(d) = &self.durability else {
+            return Ok(());
+        };
+        let img = {
+            let reg = self.matviews.lock();
+            match reg.get(key) {
+                Some(mv) => self.view_image(key, mv),
+                None => return Ok(()),
+            }
+        };
+        d.wal.append(&WalRecord::ViewPut(img))?;
+        Ok(())
+    }
+
+    /// Journal the removal of view `key` (a no-op on an in-memory context).
+    fn journal_view_drop(&self, key: &str) -> Result<(), EngineError> {
+        if let Some(d) = &self.durability {
+            d.wal.append(&WalRecord::ViewDrop {
+                key: key.to_string(),
+            })?;
+        }
+        Ok(())
+    }
+
+    /// Publish a compacting snapshot when the log has grown past the
+    /// configured threshold. State is collected *without* the appender lock
+    /// (catalog locks rank below it), so publication is guarded by the
+    /// record count: a mutation landing in between fails the guard and the
+    /// collection retries — after three lost races the log just stays long
+    /// until the next mutation tries again.
+    fn maybe_compact(&self) -> Result<(), EngineError> {
+        let Some(d) = &self.durability else {
+            return Ok(());
+        };
+        if d.snapshot_every == 0 {
+            return Ok(());
+        }
+        for _ in 0..3 {
+            let expected = d.wal.record_count();
+            if expected < d.snapshot_every {
+                return Ok(());
+            }
+            let encoded = encode_state(&self.durable_state());
+            if d.wal.publish_snapshot(&encoded, expected)? {
+                return Ok(());
+            }
+        }
+        Ok(())
+    }
+
+    /// Force pending log bytes to disk — the shutdown drain hook (appends
+    /// already fsync, so a quiet log makes this a no-op).
+    ///
+    /// # Errors
+    /// [`EngineError::Storage`] on filesystem failure.
+    pub fn flush_durability(&self) -> Result<(), EngineError> {
+        if let Some(d) = &self.durability {
+            d.wal.flush()?;
+        }
+        Ok(())
+    }
+
+    /// A canonical digest of the whole engine state: every base table
+    /// (rows, versions), every materialized view (record, warm blobs),
+    /// serialized in sorted order and checksummed. Two contexts hold
+    /// bit-identical state exactly when their digests are equal — the
+    /// crash-soak's recovery assertion. The catalog's version *counter* is
+    /// excluded: it is a floor, not state (recovery only promises it never
+    /// re-mints a recovered version).
+    pub fn state_digest(&self) -> String {
+        let mut state = self.durable_state();
+        state.version_floor = 0;
+        let encoded = encode_state(&state);
+        format!(
+            "{:08x}-{}",
+            rasql_storage::wal::crc32(&encoded),
+            encoded.len()
+        )
+    }
+
+    /// [`state_digest`](Self::state_digest) split into its `(tables, views)`
+    /// components. The crash-soak compares the pair to accept the one legal
+    /// partial recovery of a two-record statement: base tables already at
+    /// the post-statement state while the view registry is still at the
+    /// pre-statement state (the table record always precedes the view
+    /// record in the log, so the inverse split cannot occur).
+    pub fn state_digest_parts(&self) -> (String, String) {
+        let mut state = self.durable_state();
+        state.version_floor = 0;
+        let digest = |s: &DurableState| {
+            let encoded = encode_state(s);
+            format!(
+                "{:08x}-{}",
+                rasql_storage::wal::crc32(&encoded),
+                encoded.len()
+            )
+        };
+        let views = std::mem::take(&mut state.views);
+        let tables_digest = digest(&state);
+        state.tables = Vec::new();
+        state.views = views;
+        (tables_digest, digest(&state))
+    }
+
+    /// Durability counters for status surfaces (`\durability`, the server's
+    /// `Durability` request); `None` on an in-memory context.
+    pub fn durability_status(&self) -> Option<rasql_api::DurabilityStatus> {
+        self.durability.as_ref().map(|d| {
+            let s = d.wal.stats();
+            rasql_api::DurabilityStatus {
+                data_dir: d.wal.dir().display().to_string(),
+                wal_records: s.records,
+                wal_bytes: s.bytes,
+                snapshots: s.snapshots,
+                last_snapshot_bytes: s.last_snapshot_bytes,
+            }
+        })
     }
 
     /// The serialization guard of one materialized view, created on first
@@ -210,18 +608,25 @@ impl RaSqlContext {
             .lock()
             .add_table(name, rel.schema().clone());
         self.catalog.register(name, rel)?;
+        self.maybe_compact()?;
         Ok(())
     }
 
     /// Register or replace a base table. Cached results built from the old
     /// contents are swept (they could never be served again anyway — their
     /// version fingerprint no longer matches).
-    pub fn register_or_replace(&self, name: &str, rel: Relation) {
+    ///
+    /// # Errors
+    /// [`EngineError::Storage`] when journaling the replacement to a durable
+    /// context's write-ahead log fails; infallible in memory.
+    pub fn register_or_replace(&self, name: &str, rel: Relation) -> Result<(), EngineError> {
         self.planner_catalog
             .lock()
             .add_table(name, rel.schema().clone());
-        self.catalog.register_or_replace(name, rel);
+        self.catalog.register_or_replace(name, rel)?;
         self.invalidate_caches(name);
+        self.maybe_compact()?;
+        Ok(())
     }
 
     /// Register a base-table schema in the shared planner catalog without
@@ -325,6 +730,7 @@ impl RaSqlContext {
                 let n = rows.len();
                 self.catalog.insert_rows(&table, rows)?;
                 self.invalidate_caches(&table);
+                self.maybe_compact()?;
                 Ok(count_result("inserted", n))
             }
             AnalyzedStatement::Delete {
@@ -359,10 +765,11 @@ impl RaSqlContext {
                     }
                 })?;
                 self.invalidate_caches(&table);
+                self.maybe_compact()?;
                 Ok(count_result("deleted", removed))
             }
             AnalyzedStatement::CreateMaterializedView { name, query, .. } => {
-                self.create_materialized_view(&name, query, stmt, parent)
+                self.create_materialized_view(&name, query, stmt, source, parent)
             }
             AnalyzedStatement::RefreshMaterializedView { name, .. } => {
                 self.refresh_view(&name, parent)
@@ -379,13 +786,15 @@ impl RaSqlContext {
                 }
                 self.warm.remove_prefix(&warm_prefix(&key));
                 self.warm_builds.lock().remove(&key);
-                self.catalog.drop_table(&key);
+                self.catalog.drop_table(&key)?;
                 self.planner_catalog.lock().remove_table(&key);
                 self.invalidate_caches(&key);
+                self.journal_view_drop(&key)?;
                 self.cluster
                     .metrics
                     .retained_bytes
                     .store(self.warm.retained_bytes(), Ordering::Relaxed);
+                self.maybe_compact()?;
                 Ok(status_result(&format!(
                     "dropped materialized view '{name}'"
                 )))
@@ -633,6 +1042,7 @@ impl RaSqlContext {
         name: &str,
         query: AnalyzedQuery,
         stmt: &Statement,
+        source: &str,
         parent: Option<&CancellationToken>,
     ) -> Result<QueryResult, EngineError> {
         let key = name.to_ascii_lowercase();
@@ -692,12 +1102,13 @@ impl RaSqlContext {
         self.planner_catalog
             .lock()
             .add_table(name, relation.schema().clone());
-        self.catalog.register_or_replace(name, relation);
+        self.catalog.register_or_replace(name, relation)?;
         self.matviews.lock().insert(
-            key,
+            key.clone(),
             MatView {
                 name: name.to_string(),
                 query,
+                sql: source.to_string(),
                 deps,
                 version: 1,
                 eligible,
@@ -706,10 +1117,12 @@ impl RaSqlContext {
                 retained_bytes: retained,
             },
         );
+        self.journal_view_put(&key)?;
         self.cluster
             .metrics
             .retained_bytes
             .store(self.warm.retained_bytes(), Ordering::Relaxed);
+        self.maybe_compact()?;
         let mode = if eligible {
             "incremental refresh eligible".to_string()
         } else {
@@ -886,7 +1299,7 @@ impl RaSqlContext {
         self.planner_catalog
             .lock()
             .add_table(&mv.name, relation.schema().clone());
-        self.catalog.register_or_replace(&mv.name, relation);
+        self.catalog.register_or_replace(&mv.name, relation)?;
         self.invalidate_caches(&key);
         Metrics::add(&self.cluster.metrics.view_refreshes, 1);
         if incremental {
@@ -908,10 +1321,12 @@ impl RaSqlContext {
                 None => 0,
             }
         };
+        self.journal_view_put(&key)?;
         self.cluster
             .metrics
             .retained_bytes
             .store(self.warm.retained_bytes(), Ordering::Relaxed);
+        self.maybe_compact()?;
         Ok(QueryResult {
             relation: status_lines(&format!(
                 "refreshed materialized view '{}' ({mode}): {nrows} rows, version {new_version}",
@@ -1455,14 +1870,50 @@ impl ContextBuilder {
         self
     }
 
+    /// Attach a data directory: catalog and materialized-view mutations are
+    /// journaled to a checksummed write-ahead log in `dir`, and building the
+    /// context first recovers whatever state the directory holds.
+    pub fn data_dir(mut self, dir: impl Into<PathBuf>) -> Self {
+        self.config = self.config.with_data_dir(dir);
+        self
+    }
+
+    /// Publish a compacting snapshot every `n` journaled records (0 leaves
+    /// the log to grow until the next startup compaction).
+    pub fn snapshot_every(mut self, n: u64) -> Self {
+        self.config = self.config.with_snapshot_every(n);
+        self
+    }
+
+    /// Enable deterministic crashpoint injection on the durability write
+    /// path (testing only: write/fsync/rename boundaries simulate process
+    /// death as [`StorageError::InjectedCrash`]).
+    pub fn crash_spec(mut self, spec: Option<rasql_storage::CrashSpec>) -> Self {
+        self.config = self.config.with_crash_spec(spec);
+        self
+    }
+
     /// The configuration built so far.
     pub fn config(&self) -> &EngineConfig {
         &self.config
     }
 
     /// Build the context.
+    ///
+    /// # Panics
+    /// When a data directory is attached and recovery fails; use
+    /// [`ContextBuilder::try_build`] to handle that as a typed error.
     pub fn build(self) -> RaSqlContext {
         RaSqlContext::with_config(self.config)
+    }
+
+    /// Build the context, surfacing durability recovery failures as typed
+    /// errors (never fails without a data directory).
+    ///
+    /// # Errors
+    /// See [`RaSqlContext::try_with_config`].
+    pub fn try_build(self) -> Result<RaSqlContext, EngineError> {
+        RaSqlContext::try_with_config(self.config)
     }
 }
 
@@ -1571,5 +2022,6 @@ fn diff_metrics(before: MetricsSnapshot, after: MetricsSnapshot) -> MetricsSnaps
             - before.view_refreshes_incremental,
         // A gauge: warm-state bytes retained as of `after`.
         retained_bytes: after.retained_bytes,
+        connections_reaped: after.connections_reaped - before.connections_reaped,
     }
 }

@@ -688,9 +688,9 @@ impl<'a> FixpointExecutor<'a> {
                         full.schema().clone(),
                         delta_rows.to_vec(),
                     )),
-                );
+                )?;
             } else {
-                overlay.register_shared(t, full);
+                overlay.register_shared(t, full)?;
             }
         }
         let eval = EvalContext {

@@ -46,6 +46,12 @@ pub struct MatView {
     /// The analyzed defining query, replayed (in full or resumed) on
     /// refresh.
     pub query: AnalyzedQuery,
+    /// The SQL script the view was created from, verbatim. Recovery
+    /// re-parses and re-analyzes it (an [`AnalyzedQuery`] holds compiled
+    /// plans that never travel through the write-ahead log); plain views the
+    /// defining query reads must be created in the same script to be
+    /// restorable.
+    pub sql: String,
     /// Base tables the defining query reads, with their versions as of the
     /// last refresh.
     pub deps: Vec<DepRecord>,

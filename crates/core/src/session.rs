@@ -187,8 +187,12 @@ impl Session {
 
     /// Register or replace a base table — shared with every session (table
     /// data is engine state, not session state).
-    pub fn register(&self, name: &str, rel: Relation) {
-        self.ctx.register_or_replace(name, rel);
+    ///
+    /// # Errors
+    /// [`EngineError::Storage`](crate::EngineError::Storage) when journaling
+    /// to a durable context's write-ahead log fails; infallible in memory.
+    pub fn register(&self, name: &str, rel: Relation) -> Result<(), crate::EngineError> {
+        self.ctx.register_or_replace(name, rel)
     }
 
     /// Names of this session's private views, in definition order.
@@ -341,7 +345,7 @@ mod tests {
         let ctx = ctx();
         let a = ctx.session();
         let b = ctx.session();
-        a.register("extra", Relation::edges(&[(9, 10)]));
+        a.register("extra", Relation::edges(&[(9, 10)])).unwrap();
         let r = b.query("SELECT count(*) FROM extra").unwrap();
         assert_eq!(r.relation.rows()[0][0], Value::Int(1));
     }

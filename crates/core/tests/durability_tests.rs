@@ -1,0 +1,251 @@
+//! Crash-consistent durability: a context with a data directory must come
+//! back from restart (or simulated death at any write boundary) holding
+//! exactly the catalog and materialized-view state it had acknowledged —
+//! bit-identical, as measured by [`RaSqlContext::state_digest`].
+//!
+//! The exhaustive kill-at-every-crashpoint soak lives in `rasql-bench`
+//! (`reproduce crash-soak`); these tests pin the core recovery semantics:
+//! clean restart, torn-tail healing, typed mid-log corruption, prefix
+//! consistency around an injected crash, and temp-file hygiene.
+
+use rasql_core::{library, EngineError, RaSqlContext};
+use rasql_storage::{CrashSpec, Relation, StorageError};
+use std::fs;
+use std::path::{Path, PathBuf};
+
+fn data_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!(
+        "rasql-durability-test-{tag}-p{}",
+        std::process::id()
+    ));
+    let _ = fs::remove_dir_all(&dir);
+    dir
+}
+
+fn durable(dir: &Path) -> RaSqlContext {
+    RaSqlContext::builder()
+        .workers(2)
+        .data_dir(dir.to_path_buf())
+        .try_build()
+        .expect("recovery")
+}
+
+fn edges() -> Relation {
+    Relation::edges(&[(1, 2), (2, 3), (3, 4), (4, 5)])
+}
+
+#[test]
+fn restart_recovers_tables_and_views_without_ddl() {
+    let dir = data_dir("restart");
+    let create = format!("CREATE MATERIALIZED VIEW v AS {}", library::reach(1));
+    let reference = {
+        let ctx = durable(&dir);
+        ctx.register("edge", edges()).unwrap();
+        ctx.query("INSERT INTO edge VALUES (5, 6), (6, 7)").unwrap();
+        ctx.query(&create).unwrap();
+        // An insert staleness-refreshes the view on read, exercising the
+        // ViewPut journal path with bumped versions and new warm state.
+        ctx.query("INSERT INTO edge VALUES (7, 8)").unwrap();
+        ctx.query("SELECT count(*) FROM v").unwrap();
+        ctx.state_digest()
+    };
+    // A second process: no registration, no DDL — everything from disk.
+    let ctx = durable(&dir);
+    assert_eq!(
+        ctx.state_digest(),
+        reference,
+        "recovered state must be bit-identical"
+    );
+    assert_eq!(ctx.table_names().len(), 2, "edge and v");
+    let infos = ctx.view_infos();
+    assert_eq!(infos.len(), 1);
+    assert_eq!(infos[0].name, "v");
+    assert!(!infos[0].stale, "versions recovered exactly, so not stale");
+    let mv = ctx.mat_view("v").unwrap();
+    assert!(mv.eligible);
+    assert_eq!(mv.version, 2, "create + one read-through refresh");
+    // The recovered view still maintains incrementally: warm state and
+    // dependency records survived the restart.
+    ctx.query("INSERT INTO edge VALUES (8, 9)").unwrap();
+    ctx.query("SELECT count(*) FROM v").unwrap();
+    assert_eq!(ctx.mat_view("v").unwrap().last_refresh, "incremental");
+    // Third generation sees the post-restart mutations too.
+    let digest = ctx.state_digest();
+    drop(ctx);
+    let ctx = durable(&dir);
+    assert_eq!(ctx.state_digest(), digest);
+    let _ = fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn torn_tail_is_healed_silently() {
+    let dir = data_dir("torn");
+    let reference = {
+        let ctx = durable(&dir);
+        ctx.register("edge", edges()).unwrap();
+        ctx.query("INSERT INTO edge VALUES (9, 10)").unwrap();
+        ctx.state_digest()
+    };
+    // Simulate a crash mid-append: half a frame lands after the good tail.
+    let wal = dir.join("wal.log");
+    let mut bytes = fs::read(&wal).unwrap();
+    bytes.extend_from_slice(&[0x40, 7, 1, 2, 3]);
+    fs::write(&wal, &bytes).unwrap();
+    let ctx = durable(&dir);
+    assert_eq!(
+        ctx.state_digest(),
+        reference,
+        "torn tail truncates; every acked record survives"
+    );
+    let _ = fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn midlog_corruption_is_a_typed_spanned_error() {
+    let dir = data_dir("corrupt");
+    {
+        let ctx = durable(&dir);
+        ctx.register("edge", edges()).unwrap();
+        ctx.query("INSERT INTO edge VALUES (9, 10)").unwrap();
+    }
+    // Flip a payload byte of the *first* frame: the CRC fails with valid
+    // frames after it, which can never be explained by a torn write.
+    let wal = dir.join("wal.log");
+    let mut bytes = fs::read(&wal).unwrap();
+    assert!(bytes.len() > 32, "two frames on disk");
+    bytes[16] ^= 0xff;
+    fs::write(&wal, &bytes).unwrap();
+    let err = match RaSqlContext::builder().data_dir(dir.clone()).try_build() {
+        Ok(_) => panic!("mid-log corruption must not recover silently"),
+        Err(e) => e,
+    };
+    match err {
+        EngineError::Storage(StorageError::Corrupt { offset, detail }) => {
+            assert_eq!(offset, 0, "first frame starts at byte 0");
+            assert!(detail.contains("crc mismatch"), "spanned detail: {detail}");
+        }
+        other => panic!("expected typed Corrupt error, got: {other}"),
+    }
+    let _ = fs::remove_dir_all(&dir);
+}
+
+/// Prefix consistency around an injected crash: recovery lands on either
+/// the pre-statement state (record never became durable) or the
+/// post-statement state (record durable, ack lost) — never anything else.
+#[test]
+fn injected_crash_recovers_prefix_consistent() {
+    // Each WAL append passes three crash sites (pre, torn, post); the
+    // context's first two appends are `register` and the INSERT.
+    for (kill_at, insert_survives) in [(3, false), (4, false), (5, true)] {
+        let dir = data_dir(&format!("crash-{kill_at}"));
+        let pre = {
+            let ctx = durable(&dir);
+            ctx.register("edge", edges()).unwrap();
+            ctx.state_digest()
+        };
+        let _ = fs::remove_dir_all(&dir);
+        let ctx = RaSqlContext::builder()
+            .workers(2)
+            .data_dir(dir.clone())
+            .crash_spec(Some(CrashSpec::at(kill_at)))
+            .try_build()
+            .expect("fresh dir recovery");
+        ctx.register("edge", edges()).unwrap();
+        let err = ctx
+            .query("INSERT INTO edge VALUES (9, 10)")
+            .expect_err("armed crashpoint must kill the statement");
+        assert!(
+            matches!(err, EngineError::Storage(StorageError::InjectedCrash(_))),
+            "got: {err}"
+        );
+        assert!(ctx.crashpoint_hits() > kill_at);
+        drop(ctx); // simulated death
+        let recovered = durable(&dir);
+        let post = {
+            let reference = RaSqlContext::builder().workers(2).build();
+            reference.register("edge", edges()).unwrap();
+            reference.query("INSERT INTO edge VALUES (9, 10)").unwrap();
+            reference.state_digest()
+        };
+        let got = recovered.state_digest();
+        let want = if insert_survives { &post } else { &pre };
+        assert_eq!(
+            &got,
+            want,
+            "kill_at={kill_at}: expected {} state",
+            if insert_survives {
+                "post-insert"
+            } else {
+                "pre-insert"
+            }
+        );
+        let _ = fs::remove_dir_all(&dir);
+    }
+}
+
+#[test]
+fn crash_mid_snapshot_leaves_no_temp_files_after_recovery() {
+    let dir = data_dir("snaptmp");
+    let ctx = RaSqlContext::builder()
+        .workers(2)
+        .data_dir(dir.clone())
+        .snapshot_every(1)
+        // Sites 0..=2 are the register append; 3 is snapshot-temp-pre and
+        // 4 is snapshot-temp-torn, which strands a half-written temp file.
+        .crash_spec(Some(CrashSpec::at(4)))
+        .try_build()
+        .unwrap();
+    let err = ctx
+        .register("edge", edges())
+        .expect_err("crash in compaction");
+    assert!(matches!(
+        err,
+        EngineError::Storage(StorageError::InjectedCrash(_))
+    ));
+    drop(ctx);
+    assert!(
+        !rasql_storage::snapshot::stray_temp_files(&dir).is_empty(),
+        "the simulated death strands snapshot.tmp"
+    );
+    let recovered = durable(&dir);
+    assert!(
+        rasql_storage::snapshot::stray_temp_files(&dir).is_empty(),
+        "recovery sweeps stray temp files"
+    );
+    // The register itself was durable before the compaction crashed.
+    let reference = RaSqlContext::builder().workers(2).build();
+    reference.register("edge", edges()).unwrap();
+    assert_eq!(recovered.state_digest(), reference.state_digest());
+    let _ = fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn durability_status_reports_log_and_snapshot_counters() {
+    let dir = data_dir("status");
+    let ctx = RaSqlContext::builder()
+        .data_dir(dir.clone())
+        .snapshot_every(3)
+        .try_build()
+        .unwrap();
+    assert!(
+        RaSqlContext::builder()
+            .build()
+            .durability_status()
+            .is_none(),
+        "in-memory contexts report no durability"
+    );
+    ctx.register("edge", edges()).unwrap();
+    ctx.query("INSERT INTO edge VALUES (9, 10)").unwrap();
+    let s = ctx.durability_status().unwrap();
+    assert_eq!(s.wal_records, 2);
+    assert!(s.wal_bytes > 0);
+    assert_eq!(s.snapshots, 0);
+    assert_eq!(s.data_dir, dir.display().to_string());
+    // The third record crosses the threshold: the log compacts to zero.
+    ctx.query("INSERT INTO edge VALUES (10, 11)").unwrap();
+    let s = ctx.durability_status().unwrap();
+    assert_eq!(s.wal_records, 0, "compaction truncates the log");
+    assert_eq!(s.snapshots, 1);
+    assert!(s.last_snapshot_bytes > 0);
+    let _ = fs::remove_dir_all(&dir);
+}

@@ -118,6 +118,57 @@ fn inversion_still_panics_in_this_build() {
     assert!(msg.contains("WarmStore"), "{msg}");
 }
 
+/// `DurabilityLog` ranks after `CatalogTables` and `WarmStore` because
+/// catalog mutations journal to the WAL from inside the catalog write lock,
+/// and snapshot publication captures warm fixpoint state before appending.
+/// Driving a fresh durable context through the full DDL/DML/matview
+/// lifecycle (with compaction forced every few records) executes every
+/// append-under-catalog-write and snapshot-under-warm-read nesting with the
+/// debug rank checker armed.
+#[test]
+fn durability_log_nests_under_catalog_and_warm_state() {
+    assert!((LockRank::CatalogTables as u32) < (LockRank::WarmStore as u32));
+    assert!((LockRank::WarmStore as u32) < (LockRank::DurabilityLog as u32));
+    assert!((LockRank::DurabilityLog as u32) < (LockRank::ResultCache as u32));
+
+    let dir = std::env::temp_dir().join(format!("rasql-lock-order-dur-p{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let ctx = RaSqlContext::builder()
+        .workers(2)
+        .data_dir(dir.clone())
+        .snapshot_every(4) // compact mid-test so publish_snapshot runs under load
+        .try_build()
+        .expect("fresh durable context");
+    let edges = rasql_datagen::rmat(
+        48,
+        rasql_datagen::RmatConfig {
+            weighted: true,
+            ..Default::default()
+        },
+        7,
+    );
+    ctx.register("edge", edges).unwrap();
+    ctx.query(&format!("CREATE MATERIALIZED VIEW v AS {}", library::cc()))
+        .unwrap();
+    for i in 0..6 {
+        ctx.query(&format!(
+            "INSERT INTO edge VALUES ({}, {}, 1.0)",
+            100 + i,
+            i
+        ))
+        .unwrap();
+    }
+    ctx.query("DELETE FROM edge WHERE Src = 100").unwrap();
+    ctx.query("REFRESH MATERIALIZED VIEW v").unwrap();
+    ctx.query("DROP MATERIALIZED VIEW v").unwrap();
+    assert!(
+        held_ranks().is_empty(),
+        "no lock may leak out of a durable statement"
+    );
+    drop(ctx);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
 /// Sessions overlay private views on the shared context; their locks rank
 /// before the planner catalog and the registry. Exercise the session path.
 #[test]

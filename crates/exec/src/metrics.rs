@@ -67,6 +67,9 @@ pub struct Metrics {
     /// Bytes of converged fixpoint state retained for materialized views
     /// (a gauge, updated after every create/refresh/drop).
     pub retained_bytes: AtomicU64,
+    /// Server connections reaped for exceeding the idle keepalive timeout
+    /// (half-open clients that vanished without a FIN).
+    pub connections_reaped: AtomicU64,
 }
 
 impl Metrics {
@@ -110,6 +113,7 @@ impl Metrics {
         self.view_refreshes.store(0, Ordering::Relaxed);
         self.view_refreshes_incremental.store(0, Ordering::Relaxed);
         self.retained_bytes.store(0, Ordering::Relaxed);
+        self.connections_reaped.store(0, Ordering::Relaxed);
     }
 
     /// Raise the peak-memory gauge to at least `v`.
@@ -148,6 +152,7 @@ impl Metrics {
             view_refreshes: self.view_refreshes.load(Ordering::Relaxed),
             view_refreshes_incremental: self.view_refreshes_incremental.load(Ordering::Relaxed),
             retained_bytes: self.retained_bytes.load(Ordering::Relaxed),
+            connections_reaped: self.connections_reaped.load(Ordering::Relaxed),
         }
     }
 }
@@ -209,6 +214,8 @@ pub struct MetricsSnapshot {
     pub view_refreshes_incremental: u64,
     /// Bytes of retained warm fixpoint state (gauge, not a counter).
     pub retained_bytes: u64,
+    /// Server connections reaped by the idle keepalive timeout.
+    pub connections_reaped: u64,
 }
 
 impl MetricsSnapshot {
@@ -216,7 +223,7 @@ impl MetricsSnapshot {
     /// sample per counter, `rasql_`-prefixed) — what `rasql-server` returns
     /// for its `Metrics` command so any scraper can ingest engine state.
     pub fn prometheus_text(&self) -> String {
-        let counters: [(&str, &str, u64); 27] = [
+        let counters: [(&str, &str, u64); 28] = [
             ("stages_total", "counter", self.stages),
             ("tasks_total", "counter", self.tasks),
             ("shuffle_rows_total", "counter", self.shuffle_rows),
@@ -256,6 +263,11 @@ impl MetricsSnapshot {
                 self.view_refreshes_incremental,
             ),
             ("retained_bytes", "gauge", self.retained_bytes),
+            (
+                "connections_reaped_total",
+                "counter",
+                self.connections_reaped,
+            ),
         ];
         let mut out = String::new();
         for (name, kind, value) in counters {
@@ -336,6 +348,9 @@ impl std::fmt::Display for MetricsSnapshot {
         if self.retained_bytes > 0 {
             write!(f, " retained={} B", self.retained_bytes)?;
         }
+        if self.connections_reaped > 0 {
+            write!(f, " conns_reaped={}", self.connections_reaped)?;
+        }
         Ok(())
     }
 }
@@ -356,6 +371,7 @@ mod tests {
         assert!(text.contains("rasql_cache_hits_total 0\n"));
         assert!(text.contains("# TYPE rasql_retained_bytes gauge\n"));
         assert!(text.contains("rasql_view_refreshes_incremental_total 0\n"));
+        assert!(text.contains("rasql_connections_reaped_total 0\n"));
     }
 
     #[test]

@@ -841,6 +841,7 @@ impl QueryTrace {
             view_refreshes: get_u64_or(m, "view_refreshes", 0),
             view_refreshes_incremental: get_u64_or(m, "view_refreshes_incremental", 0),
             retained_bytes: get_u64_or(m, "retained_bytes", 0),
+            connections_reaped: get_u64_or(m, "connections_reaped", 0),
         };
         let mut cliques = Vec::new();
         for c in root

@@ -16,6 +16,7 @@
 //! | `RL0002` | `unwrap()`/`expect()`/`panic!` in a hot-path module (`exec::{pipeline,kernel,cluster,join,state}`, `core::fixpoint`) without an allow annotation |
 //! | `RL0003` | `fresh_version()` called in `storage::catalog` outside a `tables` write-lock scope |
 //! | `RL0004` | `std::thread::sleep` in non-test `server`/`exec` code |
+//! | `RL0005` | direct durable file writes (`File::create`, `.write_all(`, `fs::rename`) in `crates/storage/src` outside the WAL/snapshot/spill modules |
 //!
 //! A finding is suppressed — and counted as suppressed, not silently
 //! dropped — by a justification comment on the same line or the line
@@ -65,6 +66,13 @@ pub enum LintCode {
     /// `RL0004`: `std::thread::sleep` in non-test `server`/`exec` code.
     /// Blocking waits go through `RankedCondvarMutex::wait`.
     SleepInServerPath,
+    /// `RL0005`: a direct durable write (`File::create`, `.write_all(`,
+    /// `fs::rename`) in `crates/storage/src` outside the modules that own
+    /// the crash-consistency protocol (`wal.rs`, `snapshot.rs`, spill).
+    /// Every other byte that reaches disk must go through the WAL's
+    /// checksummed append or the snapshot's temp-fsync-rename publish, or
+    /// recovery cannot reason about it.
+    UnmanagedDurableWrite,
 }
 
 impl LintCode {
@@ -75,6 +83,7 @@ impl LintCode {
             LintCode::HotPathPanic => "RL0002",
             LintCode::UnscopedVersionRead => "RL0003",
             LintCode::SleepInServerPath => "RL0004",
+            LintCode::UnmanagedDurableWrite => "RL0005",
         }
     }
 
@@ -85,12 +94,13 @@ impl LintCode {
     }
 
     /// All codes, for `--explain`-style listings.
-    pub fn all() -> [LintCode; 4] {
+    pub fn all() -> [LintCode; 5] {
         [
             LintCode::RawLockConstruction,
             LintCode::HotPathPanic,
             LintCode::UnscopedVersionRead,
             LintCode::SleepInServerPath,
+            LintCode::UnmanagedDurableWrite,
         ]
     }
 
@@ -107,6 +117,9 @@ impl LintCode {
                 "catalog fresh_version() outside a tables write-lock scope"
             }
             LintCode::SleepInServerPath => "thread::sleep in non-test server/exec code",
+            LintCode::UnmanagedDurableWrite => {
+                "direct durable file write in storage outside the WAL/snapshot/spill modules"
+            }
         }
     }
 }
@@ -644,6 +657,95 @@ fn rule_sleep(ctx: &FileCtx<'_>, out: &mut Vec<LintDiagnostic>, suppressed: &mut
     }
 }
 
+/// The storage modules that own the crash-consistency protocol and may
+/// therefore write files directly. Everything else in `crates/storage/src`
+/// must route durable bytes through them, or recovery cannot account for
+/// what is on disk.
+const DURABLE_WRITE_MODULES: &[&str] = &[
+    "crates/storage/src/wal.rs",
+    "crates/storage/src/snapshot.rs",
+];
+
+/// RL0005: `File::create`, `.write_all(`, or `fs::rename` in
+/// `crates/storage/src` outside the WAL/snapshot/spill modules. The WAL
+/// appends with per-record CRCs and fsync; the snapshot publishes via
+/// temp-file, fsync, atomic rename, directory fsync. A stray write bypasses
+/// both disciplines and becomes invisible to crash recovery.
+fn rule_durable_write(ctx: &FileCtx<'_>, out: &mut Vec<LintDiagnostic>, suppressed: &mut usize) {
+    if !ctx.path.contains("crates/storage/src") {
+        return;
+    }
+    if DURABLE_WRITE_MODULES.iter().any(|m| ctx.path.ends_with(m)) || ctx.path.contains("spill") {
+        return;
+    }
+    let help = "route the write through `storage::wal` (checksummed append) or \
+                `storage::snapshot` (temp-fsync-rename publish); a justified direct write \
+                needs `// lint: allow(RL0005, <reason>)`";
+    let code = &ctx.code;
+    for i in 0..code.len() {
+        let t = &code[i];
+        // `File::create` (also matches the tail of `fs::File::create`).
+        if t.is_ident("File")
+            && i + 3 < code.len()
+            && code[i + 1].is_punct(':')
+            && code[i + 2].is_punct(':')
+            && code[i + 3].is_ident("create")
+        {
+            let span = Span::new(t.start, code[i + 3].end);
+            ctx.emit(
+                out,
+                suppressed,
+                LintDiagnostic::new(
+                    LintCode::UnmanagedDurableWrite,
+                    ctx.path,
+                    span,
+                    "`File::create` in storage outside the WAL/snapshot/spill modules",
+                )
+                .with_help(help),
+            );
+        }
+        // `.write_all(`.
+        if t.is_punct('.')
+            && i + 2 < code.len()
+            && code[i + 1].is_ident("write_all")
+            && code[i + 2].is_punct('(')
+        {
+            let span = Span::new(t.start, code[i + 2].end);
+            ctx.emit(
+                out,
+                suppressed,
+                LintDiagnostic::new(
+                    LintCode::UnmanagedDurableWrite,
+                    ctx.path,
+                    span,
+                    "`.write_all(` in storage outside the WAL/snapshot/spill modules",
+                )
+                .with_help(help),
+            );
+        }
+        // `fs::rename` (also matches the tail of `std::fs::rename`).
+        if t.is_ident("fs")
+            && i + 3 < code.len()
+            && code[i + 1].is_punct(':')
+            && code[i + 2].is_punct(':')
+            && code[i + 3].is_ident("rename")
+        {
+            let span = Span::new(t.start, code[i + 3].end);
+            ctx.emit(
+                out,
+                suppressed,
+                LintDiagnostic::new(
+                    LintCode::UnmanagedDurableWrite,
+                    ctx.path,
+                    span,
+                    "`fs::rename` in storage outside the WAL/snapshot/spill modules",
+                )
+                .with_help(help),
+            );
+        }
+    }
+}
+
 // ----------------------------------------------------------------
 // Entry points
 // ----------------------------------------------------------------
@@ -665,6 +767,7 @@ pub fn lint_file_counting(path: &str, src: &str) -> (Vec<LintDiagnostic>, usize)
     rule_hot_path_panic(&ctx, &mut out, &mut suppressed);
     rule_unscoped_version(&ctx, &mut out, &mut suppressed);
     rule_sleep(&ctx, &mut out, &mut suppressed);
+    rule_durable_write(&ctx, &mut out, &mut suppressed);
     out.sort_by_key(|d| d.span.start);
     (out, suppressed)
 }
@@ -725,6 +828,7 @@ mod tests {
         assert_eq!(LintCode::HotPathPanic.code(), "RL0002");
         assert_eq!(LintCode::UnscopedVersionRead.code(), "RL0003");
         assert_eq!(LintCode::SleepInServerPath.code(), "RL0004");
+        assert_eq!(LintCode::UnmanagedDurableWrite.code(), "RL0005");
         for c in LintCode::all() {
             assert_eq!(c.severity(), Severity::Error);
         }

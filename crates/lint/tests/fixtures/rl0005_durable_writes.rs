@@ -1,0 +1,25 @@
+// Fixture: trips RL0005. Linted under a virtual path inside
+// `crates/storage/src/` that is not one of the sanctioned modules.
+fn persist(path: &Path, bytes: &[u8]) -> io::Result<()> {
+    let mut f = File::create(path)?;
+    f.write_all(bytes)?;
+    Ok(())
+}
+
+fn publish(tmp: &Path, dst: &Path) -> io::Result<()> {
+    std::fs::rename(tmp, dst)
+}
+
+fn journaled(path: &Path, bytes: &[u8]) -> io::Result<()> {
+    // lint: allow(RL0005, fixture: test-only scratch file, never recovered)
+    let mut f = File::create(path)?;
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    fn tests_may_write() {
+        let mut f = File::create("scratch").unwrap();
+        f.write_all(b"x").unwrap();
+    }
+}

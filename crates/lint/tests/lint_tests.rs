@@ -146,6 +146,41 @@ fn rl0004_flags_sleeps_outside_tests() {
 }
 
 #[test]
+fn rl0005_flags_direct_durable_writes_in_storage() {
+    let src = include_str!("fixtures/rl0005_durable_writes.rs");
+    let (diags, suppressed) = lint_file_counting("crates/storage/src/catalog.rs", src);
+    let got: Vec<_> = diags
+        .iter()
+        .map(|d| (d.code, d.span.start, d.span.end))
+        .collect();
+    assert_eq!(
+        got,
+        vec![
+            (LintCode::UnmanagedDurableWrite, 203, 215), // File::create
+            (LintCode::UnmanagedDurableWrite, 229, 240), // .write_all(
+            (LintCode::UnmanagedDurableWrite, 327, 337), // std::fs::rename
+        ],
+        "{diags:#?}"
+    );
+    assert_eq!(suppressed, 1, "the annotated File::create is suppressed");
+    assert_eq!(&src[203..215], "File::create");
+    assert_eq!(&src[229..240], ".write_all(");
+    assert_eq!(&src[327..337], "fs::rename");
+}
+
+#[test]
+fn rl0005_exempts_the_crash_consistency_modules() {
+    let src = include_str!("fixtures/rl0005_durable_writes.rs");
+    // The WAL, snapshot, and spill modules own the durable-write protocol.
+    assert!(lint_file("crates/storage/src/wal.rs", src).is_empty());
+    assert!(lint_file("crates/storage/src/snapshot.rs", src).is_empty());
+    assert!(lint_file("crates/storage/src/spill.rs", src).is_empty());
+    // Out of scope entirely outside crates/storage/src.
+    assert!(lint_file("crates/exec/src/checkpoint.rs", src).is_empty());
+    assert!(lint_file("crates/bench/src/lib.rs", src).is_empty());
+}
+
+#[test]
 fn clean_fixture_is_clean_everywhere() {
     let src = include_str!("fixtures/clean.rs");
     for path in [

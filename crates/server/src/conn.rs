@@ -10,7 +10,7 @@ use std::sync::atomic::Ordering;
 use std::sync::mpsc;
 use std::sync::Arc;
 use std::thread;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// How often an idle connection checks the shutdown latch, and how long a
 /// mid-query peek waits for the client to vanish.
@@ -103,8 +103,12 @@ impl Conn {
                     let response = match rasql_storage::Relation::try_new(schema, rows) {
                         Ok(rel) => {
                             let rows = rel.len() as u64;
-                            self.session.register(&name, rel);
-                            Response::Registered { rows }
+                            match self.session.register(&name, rel) {
+                                Ok(()) => Response::Registered { rows },
+                                Err(e) => Response::Error {
+                                    error: error_to_wire(&e),
+                                },
+                            }
                         }
                         Err(e) => Response::Error {
                             error: ApiError::new(ErrorCode::Storage, e.to_string()),
@@ -127,6 +131,10 @@ impl Conn {
                 Request::ListViews => {
                     let views = self.state.ctx.view_infos();
                     self.send(&Response::Views { views })?;
+                }
+                Request::Durability => {
+                    let status = self.state.ctx.durability_status();
+                    self.send(&Response::Durability { status })?;
                 }
                 Request::Shutdown => {
                     self.state.shutdown.store(true, Ordering::Relaxed);
@@ -254,12 +262,27 @@ impl Conn {
     /// Block for the next request, waking every [`POLL`] to check the
     /// shutdown latch and for peer EOF. The peek never consumes bytes, so a
     /// frame that arrives is then read whole with no timeout.
+    ///
+    /// Doubles as the keepalive reaper: a connection quiet past the idle
+    /// timeout is closed. A TCP peer that died without a FIN (pulled cable,
+    /// killed VM) looks exactly like a quiet client — peeking never returns
+    /// EOF — so without this, dead connections hold their threads and
+    /// sessions forever. Live-but-idle clients reconnect transparently.
     fn read_polled(&mut self) -> Result<Request, ApiError> {
+        let idle_since = Instant::now();
         loop {
             if self.state.shutdown.load(Ordering::Relaxed) {
                 return Err(ApiError::new(
                     ErrorCode::ServerShutdown,
                     "server is draining for shutdown",
+                ));
+            }
+            if !self.state.idle_timeout.is_zero() && idle_since.elapsed() >= self.state.idle_timeout
+            {
+                self.state.ctx.note_connection_reaped();
+                return Err(ApiError::new(
+                    ErrorCode::ConnectionClosed,
+                    "connection idle past the keepalive timeout; reaped",
                 ));
             }
             let mut probe = [0u8; 1];

@@ -55,12 +55,21 @@ pub const SERVER_IDENT: &str = concat!("rasql-server/", env!("CARGO_PKG_VERSION"
 /// interrupting the remaining sessions.
 pub const DEFAULT_DRAIN_TIMEOUT: Duration = Duration::from_secs(10);
 
+/// How long a connection may sit idle between requests before the server
+/// reaps it. A live client reconnects transparently (`rasql-client` redials
+/// with backoff); a half-open socket whose peer died without a FIN would
+/// otherwise hold its thread and session forever.
+pub const DEFAULT_IDLE_TIMEOUT: Duration = Duration::from_secs(300);
+
 /// Shared server state: the engine, the shutdown latch, and the live
 /// connection registry.
 pub(crate) struct ServerState {
     pub(crate) ctx: Arc<RaSqlContext>,
     pub(crate) shutdown: AtomicBool,
     pub(crate) connections: RankedMutex<Vec<ConnEntry>>,
+    /// Idle keepalive: reap connections quiet for this long
+    /// (`Duration::ZERO` disables reaping).
+    pub(crate) idle_timeout: Duration,
 }
 
 pub(crate) struct ConnEntry {
@@ -104,6 +113,17 @@ pub fn serve_with(
     addr: &str,
     drain_timeout: Duration,
 ) -> io::Result<ServerHandle> {
+    serve_full(ctx, addr, drain_timeout, DEFAULT_IDLE_TIMEOUT)
+}
+
+/// Start a server with explicit drain and idle-keepalive timeouts. An idle
+/// timeout of [`Duration::ZERO`] disables connection reaping.
+pub fn serve_full(
+    ctx: Arc<RaSqlContext>,
+    addr: &str,
+    drain_timeout: Duration,
+    idle_timeout: Duration,
+) -> io::Result<ServerHandle> {
     let listener = TcpListener::bind(addr)?;
     // Non-blocking accept lets the loop poll the shutdown latch.
     listener.set_nonblocking(true)?;
@@ -112,6 +132,7 @@ pub fn serve_with(
         ctx,
         shutdown: AtomicBool::new(false),
         connections: RankedMutex::new(LockRank::ServerConnections, Vec::new()),
+        idle_timeout,
     });
     let accept_state = Arc::clone(&state);
     let accept = thread::Builder::new()
@@ -195,6 +216,10 @@ impl ServerHandle {
         for entry in entries {
             let _ = entry.handle.join();
         }
+        // Every session is drained or interrupted; make sure the WAL tail
+        // is on stable storage before the process exits (no-op in-memory,
+        // best-effort — acknowledged records were already fsynced).
+        let _ = self.state.ctx.flush_durability();
         clean
     }
 }

@@ -15,6 +15,10 @@ USAGE:
 OPTIONS:
     --listen ADDR          Listen address (default 127.0.0.1:7432; port 0 picks one)
     --workers N            Simulated cluster workers (default: cores, clamped 2..8)
+    --data-dir PATH        Durable data directory: recover catalog and views on
+                           start, write-ahead log every commit (default in-memory)
+    --snapshot-every N     Compact the WAL into a snapshot every N records
+                           (default 256; 0 never compacts)
     --memory-budget BYTES  Per-query memory budget, 0 = unlimited (default 0)
     --timeout-ms MS        Per-query deadline, 0 = none (default 0)
     --max-concurrent N     Concurrent query cap, 0 = unlimited (default 0)
@@ -22,12 +26,15 @@ OPTIONS:
     --fault P              Inject task-kill faults with probability P (default off)
     --retries N            Retry budget for injected faults (default 3)
     --drain-ms MS          Shutdown drain timeout (default 10000)
+    --idle-timeout-ms MS   Reap connections idle this long, 0 = never (default 300000)
     -h, --help             This help
 ";
 
 struct Options {
     listen: String,
     workers: usize,
+    data_dir: Option<String>,
+    snapshot_every: u64,
     memory_budget: u64,
     timeout_ms: u64,
     max_concurrent: usize,
@@ -35,6 +42,7 @@ struct Options {
     fault: Option<f64>,
     retries: u32,
     drain_ms: u64,
+    idle_timeout_ms: u64,
 }
 
 fn parse_args() -> Result<Options, String> {
@@ -44,6 +52,8 @@ fn parse_args() -> Result<Options, String> {
             .map(std::num::NonZeroUsize::get)
             .unwrap_or(2)
             .clamp(2, 8),
+        data_dir: None,
+        snapshot_every: 256,
         memory_budget: 0,
         timeout_ms: 0,
         max_concurrent: 0,
@@ -51,6 +61,7 @@ fn parse_args() -> Result<Options, String> {
         fault: None,
         retries: 3,
         drain_ms: 10_000,
+        idle_timeout_ms: 300_000,
     };
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -58,6 +69,9 @@ fn parse_args() -> Result<Options, String> {
         match arg.as_str() {
             "--listen" => opts.listen = value("--listen")?,
             "--workers" => opts.workers = parse(&value("--workers")?)?,
+            "--data-dir" => opts.data_dir = Some(value("--data-dir")?),
+            "--snapshot-every" => opts.snapshot_every = parse(&value("--snapshot-every")?)?,
+            "--idle-timeout-ms" => opts.idle_timeout_ms = parse(&value("--idle-timeout-ms")?)?,
             "--memory-budget" => opts.memory_budget = parse(&value("--memory-budget")?)?,
             "--timeout-ms" => opts.timeout_ms = parse(&value("--timeout-ms")?)?,
             "--max-concurrent" => opts.max_concurrent = parse(&value("--max-concurrent")?)?,
@@ -100,15 +114,41 @@ fn main() -> ExitCode {
             ..Default::default()
         }));
     }
-    let ctx = Arc::new(builder.build());
-    let handle =
-        match rasql_server::serve_with(ctx, &opts.listen, Duration::from_millis(opts.drain_ms)) {
-            Ok(h) => h,
-            Err(e) => {
-                eprintln!("error: cannot listen on {}: {e}", opts.listen);
-                return ExitCode::FAILURE;
-            }
-        };
+    if let Some(dir) = &opts.data_dir {
+        builder = builder.data_dir(dir).snapshot_every(opts.snapshot_every);
+    }
+    // Recovery replays the snapshot and WAL before the listener opens, so
+    // a recovered server never serves a partially-restored catalog.
+    let ctx = match builder.try_build() {
+        Ok(ctx) => Arc::new(ctx),
+        Err(e) => {
+            eprintln!("error: recovery from data dir failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    if let Some(status) = ctx.durability_status() {
+        eprintln!(
+            "recovered from {} ({} tables, {} views; wal: {} records / {} B, snapshots: {})",
+            status.data_dir,
+            ctx.table_names().len(),
+            ctx.view_infos().len(),
+            status.wal_records,
+            status.wal_bytes,
+            status.snapshots,
+        );
+    }
+    let handle = match rasql_server::serve_full(
+        ctx,
+        &opts.listen,
+        Duration::from_millis(opts.drain_ms),
+        Duration::from_millis(opts.idle_timeout_ms),
+    ) {
+        Ok(h) => h,
+        Err(e) => {
+            eprintln!("error: cannot listen on {}: {e}", opts.listen);
+            return ExitCode::FAILURE;
+        }
+    };
     eprintln!(
         "{} listening on {}",
         rasql_server::SERVER_IDENT,

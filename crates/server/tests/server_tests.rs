@@ -339,3 +339,103 @@ fn matview_lifecycle_over_the_wire() {
     assert!(client.views().unwrap().is_empty());
     client.close().unwrap();
 }
+
+/// A connection quiet past the idle keepalive timeout is reaped (counted in
+/// `connections_reaped`), and the client's next request transparently
+/// redials with backoff instead of surfacing the dead socket.
+#[test]
+fn idle_connection_is_reaped_and_client_reconnects() {
+    let ctx = Arc::new(RaSqlContext::builder().workers(2).build());
+    ctx.register("edge", Relation::edges(&chain_edges(8)))
+        .unwrap();
+    let handle = rasql_server::serve_full(
+        Arc::clone(&ctx),
+        "127.0.0.1:0",
+        Duration::from_secs(5),
+        Duration::from_millis(100),
+    )
+    .unwrap();
+    let mut client = Client::connect(handle.addr()).unwrap();
+    client.status().unwrap();
+    let before = ctx.metrics().connections_reaped;
+    // Sit idle; the server must reap the connection within the timeout
+    // (plus poll slack).
+    let deadline = Instant::now() + Duration::from_secs(5);
+    while ctx.metrics().connections_reaped == before {
+        assert!(Instant::now() < deadline, "connection was never reaped");
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    // The reaped socket is dead; these must reconnect, not fail.
+    let status = client.status().unwrap();
+    assert_eq!(status.tables, vec!["edge".to_string()]);
+    let results = client.query("SELECT count(*) FROM edge").unwrap();
+    assert_eq!(results.len(), 1);
+    let text = client.metrics().unwrap();
+    assert!(text.contains("rasql_connections_reaped_total"), "{text}");
+    drop(client);
+    handle.shutdown();
+}
+
+/// An in-memory server answers the `Durability` request with `None`.
+#[test]
+fn in_memory_server_reports_no_durability() {
+    let (handle, _ctx) = start_server(2);
+    let mut client = Client::connect(handle.addr()).unwrap();
+    assert!(client.durability().unwrap().is_none());
+    client.close().unwrap();
+    handle.shutdown();
+}
+
+/// The acceptance scenario: a server started over a data directory, killed,
+/// and restarted over the same directory serves the pre-crash tables
+/// without any DDL being re-run — and reports its WAL counters remotely.
+#[test]
+fn durable_server_restart_serves_pre_crash_state() {
+    let dir = std::env::temp_dir().join(format!(
+        "rasql-server-durable-restart-p{}",
+        std::process::id()
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    {
+        let ctx = Arc::new(
+            RaSqlContext::builder()
+                .workers(2)
+                .data_dir(dir.clone())
+                .try_build()
+                .unwrap(),
+        );
+        ctx.register("edge", Relation::edges(&chain_edges(4)))
+            .unwrap();
+        let handle =
+            rasql_server::serve_with(Arc::clone(&ctx), "127.0.0.1:0", Duration::from_secs(5))
+                .unwrap();
+        let mut client = Client::connect(handle.addr()).unwrap();
+        let status = client.durability().unwrap().expect("durable server");
+        assert!(status.wal_records >= 1, "{status:?}");
+        assert_eq!(status.data_dir, dir.display().to_string());
+        client.query("INSERT INTO edge VALUES (100, 101)").unwrap();
+        client.close().unwrap();
+        assert!(handle.shutdown());
+    }
+    // "Restart": a fresh engine recovers from the directory; no register,
+    // no DDL. The wire-level INSERT must have survived.
+    let ctx = Arc::new(
+        RaSqlContext::builder()
+            .workers(2)
+            .data_dir(dir.clone())
+            .try_build()
+            .unwrap(),
+    );
+    let handle =
+        rasql_server::serve_with(Arc::clone(&ctx), "127.0.0.1:0", Duration::from_secs(5)).unwrap();
+    let mut client = Client::connect(handle.addr()).unwrap();
+    let results = client.query("SELECT count(*) FROM edge").unwrap();
+    assert_eq!(
+        results[0].rows[0].values()[0],
+        rasql_api::Value::Int(5),
+        "4 chain edges + 1 wire insert"
+    );
+    client.close().unwrap();
+    assert!(handle.shutdown());
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -16,9 +16,10 @@
 use crate::error::StorageError;
 use crate::relation::Relation;
 use crate::sync::{LockRank, RankedRwLock};
+use crate::wal::{TableImage, Wal, WalRecord};
 use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock};
 
 /// The version pair tracked per table (see the module docs for the
 /// append-only invariant `rewrite_version` encodes).
@@ -41,6 +42,10 @@ struct Entry {
 pub struct Catalog {
     tables: RankedRwLock<BTreeMap<String, Entry>>,
     next_version: AtomicU64,
+    /// Durability journal, attached once after recovery. Mutators append
+    /// from *inside* the `tables` write section (rank `CatalogTables` <
+    /// `DurabilityLog`), so log order is exactly apply order.
+    journal: OnceLock<Arc<Wal>>,
 }
 
 impl Default for Catalog {
@@ -55,6 +60,36 @@ impl Catalog {
         Catalog {
             tables: RankedRwLock::new(LockRank::CatalogTables, BTreeMap::new()),
             next_version: AtomicU64::new(0),
+            journal: OnceLock::new(),
+        }
+    }
+
+    /// Attach the write-ahead journal. Recovery attaches only after replay
+    /// has finished, so replayed operations are never re-journaled; a
+    /// second attach is ignored.
+    pub fn attach_journal(&self, wal: Arc<Wal>) {
+        let _ = self.journal.set(wal);
+    }
+
+    /// Whether a journal is attached (i.e. this catalog is durable).
+    pub fn is_journaled(&self) -> bool {
+        self.journal.get().is_some()
+    }
+
+    fn journal_append(&self, record: &WalRecord) -> Result<(), StorageError> {
+        match self.journal.get() {
+            Some(wal) => wal.append(record),
+            None => Ok(()),
+        }
+    }
+
+    fn image(key: &str, entry: &Entry) -> TableImage {
+        TableImage {
+            name: key.to_string(),
+            schema: entry.rel.schema().clone(),
+            rows: entry.rel.rows().to_vec(),
+            version: entry.version,
+            rewrite_version: entry.rewrite_version,
         }
     }
 
@@ -74,46 +109,53 @@ impl Catalog {
             return Err(StorageError::DuplicateTable(name.to_string()));
         }
         let v = self.fresh_version();
-        tables.insert(
-            key,
-            Entry {
-                rel: Arc::new(rel),
-                version: v,
-                rewrite_version: v,
-            },
-        );
+        let entry = Entry {
+            rel: Arc::new(rel),
+            version: v,
+            rewrite_version: v,
+        };
+        self.journal_append(&WalRecord::Register(Self::image(&key, &entry)))?;
+        tables.insert(key, entry);
         Ok(())
     }
 
     /// Register or replace a table. Counts as a rewrite: both version
     /// counters are bumped.
-    pub fn register_or_replace(&self, name: &str, rel: Relation) {
+    ///
+    /// # Errors
+    /// Only when a durability journal is attached and the append fails.
+    pub fn register_or_replace(&self, name: &str, rel: Relation) -> Result<(), StorageError> {
+        let key = name.to_ascii_lowercase();
         let mut tables = self.tables.write();
         let v = self.fresh_version();
-        tables.insert(
-            name.to_ascii_lowercase(),
-            Entry {
-                rel: Arc::new(rel),
-                version: v,
-                rewrite_version: v,
-            },
-        );
+        let entry = Entry {
+            rel: Arc::new(rel),
+            version: v,
+            rewrite_version: v,
+        };
+        self.journal_append(&WalRecord::Replace(Self::image(&key, &entry)))?;
+        tables.insert(key, entry);
+        Ok(())
     }
 
     /// Register or replace a table from an already-shared relation, without
     /// cloning its rows (used for overlay catalogs during delta-seeded
     /// refresh). Counts as a rewrite: both version counters are bumped.
-    pub fn register_shared(&self, name: &str, rel: Arc<Relation>) {
+    ///
+    /// # Errors
+    /// Only when a durability journal is attached and the append fails.
+    pub fn register_shared(&self, name: &str, rel: Arc<Relation>) -> Result<(), StorageError> {
+        let key = name.to_ascii_lowercase();
         let mut tables = self.tables.write();
         let v = self.fresh_version();
-        tables.insert(
-            name.to_ascii_lowercase(),
-            Entry {
-                rel,
-                version: v,
-                rewrite_version: v,
-            },
-        );
+        let entry = Entry {
+            rel,
+            version: v,
+            rewrite_version: v,
+        };
+        self.journal_append(&WalRecord::Replace(Self::image(&key, &entry)))?;
+        tables.insert(key, entry);
+        Ok(())
     }
 
     /// Append rows to an existing table (copy-on-write). Bumps `version`
@@ -138,12 +180,20 @@ impl Catalog {
             });
         }
         let old_len = entry.rel.len();
+        let v = self.fresh_version();
+        if self.journal.get().is_some() {
+            self.journal_append(&WalRecord::Insert {
+                name: key.clone(),
+                rows: rows.clone(),
+                version: v,
+            })?;
+        }
         let mut grown = (*entry.rel).clone();
         for row in rows {
             grown.push(row);
         }
         entry.rel = Arc::new(grown);
-        entry.version = self.fresh_version();
+        entry.version = v;
         Ok(old_len)
     }
 
@@ -160,6 +210,7 @@ impl Catalog {
         entry.rel = Arc::new(rel);
         entry.version = v;
         entry.rewrite_version = v;
+        self.journal_append(&WalRecord::Replace(Self::image(&key, entry)))?;
         Ok(())
     }
 
@@ -188,6 +239,7 @@ impl Catalog {
         entry.rel = Arc::new(rel);
         entry.version = v;
         entry.rewrite_version = v;
+        self.journal_append(&WalRecord::Replace(Self::image(&key, entry)))?;
         Ok(true)
     }
 
@@ -235,16 +287,119 @@ impl Catalog {
     }
 
     /// Remove a table; returns it if present.
-    pub fn drop_table(&self, name: &str) -> Option<Arc<Relation>> {
-        self.tables
-            .write()
-            .remove(&name.to_ascii_lowercase())
-            .map(|e| e.rel)
+    ///
+    /// # Errors
+    /// Only when a durability journal is attached and the append fails.
+    pub fn drop_table(&self, name: &str) -> Result<Option<Arc<Relation>>, StorageError> {
+        let key = name.to_ascii_lowercase();
+        let mut tables = self.tables.write();
+        match tables.remove(&key) {
+            Some(e) => {
+                self.journal_append(&WalRecord::Drop { name: key })?;
+                Ok(Some(e.rel))
+            }
+            None => Ok(None),
+        }
     }
 
     /// Sorted table names.
     pub fn table_names(&self) -> Vec<String> {
         self.tables.read().keys().cloned().collect()
+    }
+
+    // ----------------------------------------------------------------
+    // Recovery and snapshot support
+    // ----------------------------------------------------------------
+
+    /// Install a table image if it is newer than what the catalog holds
+    /// (replay path — never journals). Version-guarded so replaying a log
+    /// whose operations a snapshot already covers is a no-op, which is what
+    /// makes the snapshot-renamed-but-log-not-yet-truncated crash window
+    /// safe.
+    ///
+    /// # Errors
+    /// [`StorageError::ArityMismatch`] if the image's rows do not match its
+    /// own schema (only possible for a hand-forged image).
+    pub fn apply_image(&self, img: TableImage) -> Result<(), StorageError> {
+        let TableImage {
+            name,
+            schema,
+            rows,
+            version,
+            rewrite_version,
+        } = img;
+        let key = name.to_ascii_lowercase();
+        let rel = Relation::try_new(schema, rows)?;
+        let mut tables = self.tables.write();
+        if tables.get(&key).is_some_and(|e| e.version >= version) {
+            return Ok(());
+        }
+        tables.insert(
+            key,
+            Entry {
+                rel: Arc::new(rel),
+                version,
+                rewrite_version,
+            },
+        );
+        self.bump_version_floor(version.max(rewrite_version));
+        Ok(())
+    }
+
+    /// Replay an `INSERT` record: append `rows` and set the table's version
+    /// to the recorded one, unless the table already reached it.
+    ///
+    /// # Errors
+    /// [`StorageError::UnknownTable`] if the table is missing (a log that
+    /// inserts into a never-registered table is corrupt upstream).
+    pub fn apply_insert(
+        &self,
+        name: &str,
+        rows: Vec<crate::row::Row>,
+        version: u64,
+    ) -> Result<(), StorageError> {
+        let key = name.to_ascii_lowercase();
+        let mut tables = self.tables.write();
+        let entry = tables
+            .get_mut(&key)
+            .ok_or_else(|| StorageError::UnknownTable(name.to_string()))?;
+        if entry.version >= version {
+            return Ok(());
+        }
+        let mut grown = (*entry.rel).clone();
+        for row in rows {
+            grown.push(row);
+        }
+        entry.rel = Arc::new(grown);
+        entry.version = version;
+        self.bump_version_floor(version);
+        Ok(())
+    }
+
+    /// Replay a `Drop` record (no-op if already absent, never journals).
+    pub fn apply_drop(&self, name: &str) {
+        self.tables.write().remove(&name.to_ascii_lowercase());
+    }
+
+    /// Full images of every table, for snapshot collection.
+    pub fn export_tables(&self) -> Vec<TableImage> {
+        self.tables
+            .read()
+            .iter()
+            .map(|(k, e)| Self::image(k, e))
+            .collect()
+    }
+
+    /// The highest version this catalog has minted (snapshots persist it as
+    /// the recovery floor).
+    pub fn version_ceiling(&self) -> u64 {
+        self.next_version.load(Ordering::Relaxed)
+    }
+
+    /// Raise the version counter to at least `floor`, so post-recovery
+    /// mints can never alias a recovered version.
+    pub fn bump_version_floor(&self, floor: u64) {
+        self.next_version.fetch_max(floor, Ordering::Relaxed);
     }
 }
 
@@ -266,7 +421,8 @@ mod tests {
         let c = Catalog::new();
         c.register("t", Relation::edges(&[])).unwrap();
         assert!(c.register("T", Relation::edges(&[])).is_err());
-        c.register_or_replace("t", Relation::edges(&[(1, 2)]));
+        c.register_or_replace("t", Relation::edges(&[(1, 2)]))
+            .unwrap();
         assert_eq!(c.get("t").unwrap().len(), 1);
     }
 
@@ -276,7 +432,7 @@ mod tests {
         c.register("b", Relation::edges(&[])).unwrap();
         c.register("a", Relation::edges(&[])).unwrap();
         assert_eq!(c.table_names(), vec!["a", "b"]);
-        assert!(c.drop_table("a").is_some());
+        assert!(c.drop_table("a").unwrap().is_some());
         assert!(c.get("a").is_err());
     }
 
@@ -303,7 +459,7 @@ mod tests {
         let v1 = c.version_of("t").unwrap();
         assert!(v1.rewrite_version > v0.rewrite_version);
         // Re-registering after a drop can't alias the old versions.
-        c.drop_table("t").unwrap();
+        c.drop_table("t").unwrap().unwrap();
         c.register("t", Relation::edges(&[])).unwrap();
         let v2 = c.version_of("t").unwrap();
         assert!(v2.version > v1.version);
@@ -365,5 +521,52 @@ mod tests {
         c.register("t", Relation::edges(&[])).unwrap();
         assert!(c.insert_rows("t", vec![int_row(&[1])]).is_err());
         assert!(c.insert_rows("missing", vec![]).is_err());
+    }
+
+    #[test]
+    fn journaled_mutations_replay_to_an_identical_catalog() {
+        use crate::crashpoint::CrashInjector;
+        use crate::wal;
+
+        let dir = std::env::temp_dir().join(format!(
+            "rasql-catalog-journal-p{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        let c = Catalog::new();
+        c.attach_journal(Arc::new(
+            wal::Wal::open(&dir, CrashInjector::none()).unwrap(),
+        ));
+        assert!(c.is_journaled());
+        c.register("edge", Relation::edges(&[(1, 2)])).unwrap();
+        c.insert_rows("edge", vec![int_row(&[2, 3])]).unwrap();
+        c.register("gone", Relation::edges(&[])).unwrap();
+        c.replace_rows("edge", Relation::edges(&[(5, 6)])).unwrap();
+        c.drop_table("gone").unwrap().unwrap();
+
+        let recovered = Catalog::new();
+        for rec in wal::replay(&dir.join(wal::WAL_FILE)).unwrap().records {
+            match rec {
+                wal::WalRecord::Register(img) | wal::WalRecord::Replace(img) => {
+                    recovered.apply_image(img).unwrap();
+                }
+                wal::WalRecord::Insert {
+                    name,
+                    rows,
+                    version,
+                } => recovered.apply_insert(&name, rows, version).unwrap(),
+                wal::WalRecord::Drop { name } => recovered.apply_drop(&name),
+                other => panic!("unexpected view record {other:?}"),
+            }
+        }
+        assert_eq!(recovered.export_tables(), c.export_tables());
+        assert_eq!(recovered.version_of("edge"), c.version_of("edge"));
+        // The floor guarantees fresh mints stay above every recovered version.
+        recovered.register("next", Relation::edges(&[])).unwrap();
+        assert!(
+            recovered.version_of("next").unwrap().version > c.version_of("edge").unwrap().version
+        );
+        let _ = std::fs::remove_dir_all(&dir);
     }
 }

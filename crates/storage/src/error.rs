@@ -20,6 +20,17 @@ pub enum StorageError {
     Parse(String),
     /// Codec error (corrupt varint stream etc).
     Codec(String),
+    /// A durability record (WAL frame or snapshot) failed its CRC or shape
+    /// check at a position that cannot be explained by a torn tail write.
+    Corrupt {
+        /// Byte offset of the bad record within its file.
+        offset: u64,
+        /// What exactly failed (CRC mismatch, bad tag, truncated field...).
+        detail: String,
+    },
+    /// A deterministic crashpoint fired: the durability layer simulated
+    /// process death at the named write/fsync/rename boundary.
+    InjectedCrash(String),
     /// Underlying IO error.
     Io(std::io::Error),
 }
@@ -37,6 +48,10 @@ impl fmt::Display for StorageError {
             StorageError::DuplicateTable(t) => write!(f, "table '{t}' already exists"),
             StorageError::Parse(m) => write!(f, "parse error: {m}"),
             StorageError::Codec(m) => write!(f, "codec error: {m}"),
+            StorageError::Corrupt { offset, detail } => {
+                write!(f, "corrupt durability record at byte {offset}: {detail}")
+            }
+            StorageError::InjectedCrash(site) => write!(f, "injected crash at {site}"),
             StorageError::Io(e) => write!(f, "io error: {e}"),
         }
     }

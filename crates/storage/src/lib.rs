@@ -30,12 +30,15 @@
 
 pub mod catalog;
 pub mod codec;
+pub mod crashpoint;
 pub mod csr;
 pub mod error;
 pub mod hasher;
 pub mod partition;
 pub mod relation;
+pub mod snapshot;
 pub mod sync;
+pub mod wal;
 pub mod warmstore;
 
 /// Re-export of the wire-facing row type (now defined in `rasql-api`, kept
@@ -55,6 +58,7 @@ pub mod value {
 }
 
 pub use catalog::{Catalog, TableVersion};
+pub use crashpoint::{CrashInjector, CrashSpec, CRASH_SITES};
 pub use csr::{CsrGraph, CsrWeight};
 pub use error::StorageError;
 pub use hasher::{FxBuildHasher, FxHashMap, FxHashSet, FxHasher};
@@ -62,6 +66,8 @@ pub use partition::{hash_partition, partition_rows, Partitioning};
 pub use relation::Relation;
 pub use row::Row;
 pub use schema::{DataType, Field, Schema};
+pub use snapshot::DurableState;
 pub use sync::{LockRank, RankedCondvarMutex, RankedMutex, RankedRwLock};
 pub use value::Value;
+pub use wal::{TableImage, ViewDep, ViewImage, Wal, WalRecord, WalStats};
 pub use warmstore::{decode_warm_rows, encode_warm_rows, WarmStore};

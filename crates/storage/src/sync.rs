@@ -39,6 +39,7 @@
 //! | [`LockRank::WarmBuilds`] | retained build-side hash tables | `core::context` |
 //! | [`LockRank::CatalogTables`] | base-table map + versions | `storage::catalog` |
 //! | [`LockRank::WarmStore`] | retained warm fixpoint state | `storage::warmstore` |
+//! | [`LockRank::DurabilityLog`] | WAL appender + snapshot publisher | `storage::wal` |
 //! | [`LockRank::ResultCache`] | version-keyed result cache | `core::cache` |
 //! | [`LockRank::CsrCache`] | built CSR kernel graphs | `core::cache` |
 //! | [`LockRank::CheckpointStore`] | in-memory checkpoint blobs | `exec::checkpoint` |
@@ -104,6 +105,11 @@ pub enum LockRank {
     CatalogTables = 100,
     /// The warm-state blob store.
     WarmStore = 110,
+    /// The write-ahead-log appender and snapshot publisher. Ranks after
+    /// [`LockRank::CatalogTables`]: catalog mutations journal from inside
+    /// the tables write lock so WAL order equals apply order, and snapshot
+    /// collection reads warm state before taking this lock.
+    DurabilityLog = 115,
     /// The version-keyed ad-hoc result cache.
     ResultCache = 120,
     /// The built-CSR-graph cache.
@@ -139,6 +145,7 @@ impl LockRank {
             LockRank::WarmBuilds => "WarmBuilds",
             LockRank::CatalogTables => "CatalogTables",
             LockRank::WarmStore => "WarmStore",
+            LockRank::DurabilityLog => "DurabilityLog",
             LockRank::ResultCache => "ResultCache",
             LockRank::CsrCache => "CsrCache",
             LockRank::CheckpointStore => "CheckpointStore",
@@ -694,6 +701,7 @@ mod tests {
             LockRank::WarmBuilds,
             LockRank::CatalogTables,
             LockRank::WarmStore,
+            LockRank::DurabilityLog,
             LockRank::ResultCache,
             LockRank::CsrCache,
             LockRank::CheckpointStore,

@@ -63,3 +63,15 @@ cargo run --release -p rasql-bench --bin reproduce -- soak --scale 0.1
 # to local execution, a clean drain on shutdown, and no leaked temp files or
 # threads.
 cargo run --release -p rasql-bench --bin reproduce -- serve-soak --scale 0.1
+
+# Durability gate: the core recovery suite and WAL corruption proptests, then
+# the kill-at-every-crashpoint soak — a counting pass enumerates every WAL
+# append and snapshot publication boundary of a scripted DDL/DML/matview
+# workload, one leg per boundary kills there, and recovery must be
+# bit-identical prefix-consistent with zero stray temp files. The trailing
+# check asserts the soak's scratch directories were all cleaned up.
+cargo test -q -p rasql-core --test durability_tests
+cargo test -q -p rasql-storage --test wal_proptests
+cargo run --release -p rasql-bench --bin reproduce -- crash-soak --scale 0.1
+leaked=$(find "${TMPDIR:-/tmp}" -maxdepth 1 -name "rasql-crash-soak-*" | wc -l)
+test "$leaked" -eq 0
